@@ -1,0 +1,143 @@
+// Figure 10 — single-precision speedup anatomy of the three optimizations:
+// NDL (new data layout), SPEP (SIMD SPE procedure), PARP (parallel
+// procedure).
+//
+// 10(a): Cell side, from the machine model. Baseline = original algorithm
+//        on one SPE. Paper averages: NDL 31.6x, SPEP +28x, PARP 15.7x @16.
+// 10(b): CPU side, measured natively per optimization stage (single
+//        thread), plus the thread-scaling shape from the machine model
+//        with CPU-like parameters (this host has one core).
+#include <cstdio>
+#include <vector>
+
+#include "bench_util/bench_config.hpp"
+#include "bench_util/table.hpp"
+#include "cellsim/npdp_sim.hpp"
+#include "cellsim/variants.hpp"
+#include "common/stopwatch.hpp"
+#include "core/reference.hpp"
+#include "core/solve.hpp"
+
+namespace cellnpdp {
+namespace {
+
+void fig10a(const BenchConfig& cfg) {
+  std::printf("\nFig. 10(a): Cell blade, single precision (simulated; "
+              "baseline = original on one SPE):\n");
+  std::vector<index_t> sizes{2048, 4096};
+  if (cfg.full) sizes.push_back(8192);
+  TextTable t({"n", "baseline", "+NDL", "+SPEP", "PARP x2", "PARP x4",
+               "PARP x8", "PARP x16"});
+  for (index_t n : sizes) {
+    const CellConfig cell = qs20();
+    const double base = time_original_spe(n, Precision::Single, cell);
+    NpdpInstance<float> inst;
+    inst.n = n;
+    inst.init = [](index_t, index_t) { return 1.0f; };
+
+    auto run = [&](bool simd, int spes) {
+      CellConfig c = qs20();
+      c.num_spes = spes;
+      CellSimOptions o;
+      o.block_side = 88;
+      o.simd = simd;
+      return simulate_cellnpdp(inst, c, o).seconds;
+    };
+    const double ndl = run(false, 1);
+    const double spep = run(true, 1);
+    t.row(n, "1.0x", fmt_x(base / ndl), fmt_x(base / spep),
+          fmt_x(base / run(true, 2)), fmt_x(base / run(true, 4)),
+          fmt_x(base / run(true, 8)), fmt_x(base / run(true, 16)));
+  }
+  t.print();
+  std::printf("(paper averages: NDL 31.6x; SPEP a further 28x; PARP 15.7x "
+              "at 16 SPEs)\n");
+}
+
+void fig10b(const BenchConfig& cfg) {
+  const index_t n = cfg.full ? 2048 : 1024;
+  std::printf("\nFig. 10(b): CPU platform, single precision "
+              "(native, n=%ld):\n", static_cast<long>(n));
+
+  auto init = [](index_t i, index_t j) {
+    return i == j ? 0.0f : float((i * 7 + j * 13) % 100);
+  };
+
+  TriangularMatrix<float> d(n);
+  d.fill(init);
+  Stopwatch sw;
+  solve_fig1(d);
+  const double base = sw.seconds();
+
+  NpdpInstance<float> inst;
+  inst.n = n;
+  inst.init = init;
+  auto run = [&](KernelKind k, std::size_t threads) {
+    NpdpOptions o;
+    o.block_side = 64;
+    o.kernel = k;
+    o.threads = threads;
+    Stopwatch w;
+    auto out = solve_blocked(inst, o);
+    const double s = w.seconds();
+    volatile float sink = out.at(0, n - 1);
+    (void)sink;
+    return s;
+  };
+
+  const double ndl = run(KernelKind::Scalar, 1);
+  const double spep = run(KernelKind::Native, 1);
+  TextTable t({"stage", "time", "speedup vs original"});
+  t.row("original (Fig.1)", fmt_seconds(base), "1.0x");
+  t.row("+NDL (blocked, scalar)", fmt_seconds(ndl), fmt_x(base / ndl));
+  t.row("+SPEP (128-bit SIMD)", fmt_seconds(spep), fmt_x(base / spep));
+  for (std::size_t th : {2u, 4u, 8u}) {
+    const double p = run(KernelKind::Native, th);
+    t.row("PARP x" + std::to_string(th) + " (wall-clock, 1-core host)",
+          fmt_seconds(p), fmt_x(base / p));
+  }
+  t.print();
+  std::printf("(paper averages: NDL 7.14x; SPEP a further 5.28x; PARP "
+              "7.22x at 8 cores — thread rows above cannot scale on this "
+              "single-core host; see the modeled scaling below. The NDL "
+              "term is small here because this host's last-level cache is "
+              "far larger than Nehalem's 8MB and the whole table stays "
+              "resident; bench_fig9_traffic shows the layout effect with "
+              "the paper's cache geometry)\n");
+
+  // Thread-scaling shape from the machine model with CPU-like parameters:
+  // ~Nehalem: 8 cores, 2.9 GB/s... use per-core bandwidth-rich config.
+  CellConfig cpu;
+  cpu.name = "CPU-like";
+  cpu.clock_hz = 2.93e9;
+  cpu.memory_bandwidth = 32e9;
+  cpu.dma_cmd_latency = 60e-9;  // cache-line fill latency
+  cpu.dma_overhead_bytes = 0;
+  NpdpInstance<float> inst2;
+  inst2.n = 4096;
+  inst2.init = [](index_t, index_t) { return 1.0f; };
+  TextTable m({"cores (model)", "time", "scaling vs 1 core"});
+  double one = 0;
+  for (int cores : {1, 2, 4, 8}) {
+    CellConfig c = cpu;
+    c.num_spes = cores;
+    CellSimOptions o;
+    o.block_side = 88;
+    const double s = simulate_cellnpdp(inst2, c, o).seconds;
+    if (cores == 1) one = s;
+    m.row(cores, fmt_seconds(s), fmt_x(one / s));
+  }
+  m.print();
+}
+
+}  // namespace
+}  // namespace cellnpdp
+
+int main(int argc, char** argv) {
+  using namespace cellnpdp;
+  const auto cfg = BenchConfig::from_args(argc, argv);
+  print_bench_header("Figure 10: single-precision speedup anatomy", cfg);
+  fig10a(cfg);
+  fig10b(cfg);
+  return 0;
+}

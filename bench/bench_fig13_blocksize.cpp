@@ -1,0 +1,66 @@
+// Figure 13 — CellNPDP with different memory-block sizes and SPE counts.
+//
+// n = 4096 single precision; baseline = 32 KB blocks on one SPE (exactly
+// the paper's normalisation). Smaller blocks move more data, waste DMA
+// efficiency, and drain the software pipeline more often; at high SPE
+// counts they additionally saturate the shared bandwidth (§VI-D).
+#include <cstdio>
+
+#include "bench_util/bench_config.hpp"
+#include "bench_util/table.hpp"
+#include "cellsim/npdp_sim.hpp"
+
+namespace cellnpdp {
+namespace {
+
+void run() {
+  NpdpInstance<float> inst;
+  inst.n = 4096;
+  inst.init = [](index_t, index_t) { return 1.0f; };
+
+  // Block sides for ~32/16/8/4 KB of floats, multiples of the SIMD width.
+  const index_t sides[] = {88, 64, 44, 32};
+  const char* labels[] = {"32KB", "16KB", "8KB", "4KB"};
+
+  auto seconds = [&](index_t bs, int spes) {
+    CellConfig cfg = qs20();
+    cfg.num_spes = spes;
+    CellSimOptions o;
+    o.block_side = bs;
+    return simulate_cellnpdp(inst, cfg, o).seconds;
+  };
+
+  const double base = seconds(88, 1);
+  std::printf("\nSpeedup over (32KB, 1 SPE) baseline, n=4096 SP:\n");
+  TextTable t({"block size", "1 SPE", "2 SPEs", "4 SPEs", "8 SPEs",
+               "16 SPEs", "DMA bytes"});
+  for (int b = 0; b < 4; ++b) {
+    CellConfig cfg = qs20();
+    CellSimOptions o;
+    o.block_side = sides[b];
+    const auto probe = simulate_cellnpdp(inst, cfg, o);
+    t.row(labels[b], fmt_x(base / seconds(sides[b], 1)),
+          fmt_x(base / seconds(sides[b], 2)),
+          fmt_x(base / seconds(sides[b], 4)),
+          fmt_x(base / seconds(sides[b], 8)),
+          fmt_x(base / seconds(sides[b], 16)),
+          fmt_bytes(double(probe.dma_bytes_in)));
+  }
+  t.print();
+  std::printf(
+      "(paper's shape: performance degrades as blocks shrink — strongest "
+      "at high SPE counts where aggregate bandwidth saturates; the mild "
+      "non-monotonicity near 32KB at many SPEs is the wavefront critical "
+      "path, discussed in EXPERIMENTS.md)\n");
+}
+
+}  // namespace
+}  // namespace cellnpdp
+
+int main(int argc, char** argv) {
+  using namespace cellnpdp;
+  const auto cfg = BenchConfig::from_args(argc, argv);
+  print_bench_header("Figure 13: memory-block size sweep (simulated)", cfg);
+  run();
+  return 0;
+}

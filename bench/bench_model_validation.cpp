@@ -1,0 +1,90 @@
+// Section V — performance-model validation.
+//
+// Reproduces the section's three claims against the discrete-event
+// simulator: (1) utilization is independent of the problem size; (2) the
+// machine is compute-bound iff bandwidth exceeds the closed-form
+// threshold; (3) T_all = max(T_M, T_C) tracks the simulated time.
+#include <cstdio>
+
+#include "bench_util/bench_config.hpp"
+#include "bench_util/table.hpp"
+#include "cellsim/npdp_sim.hpp"
+#include "model/perf_model.hpp"
+
+namespace cellnpdp {
+namespace {
+
+ModelParams qs20_params(double n, double cores, double kernel_cycles) {
+  ModelParams p;
+  p.n1 = n;
+  p.cores = cores;
+  p.kernel_cycles = kernel_cycles;
+  p.n2_override = 88;
+  return p;
+}
+
+void run(const BenchConfig&) {
+  const auto sp = spu_latencies(Precision::Single);
+  const double kc = kernel_steady_cycles(4, sp);
+
+  std::printf("\nModel vs simulator (QS20, SP, 32KB blocks, 16 SPEs):\n");
+  TextTable t({"n", "model T_M", "model T_C", "model T_all", "simulated",
+               "sim/model", "sim util"});
+  for (index_t n : {index_t(2048), index_t(4096), index_t(8192),
+                    index_t(16384)}) {
+    const auto p = qs20_params(double(n), 16, kc);
+    NpdpInstance<float> inst;
+    inst.n = n;
+    inst.init = [](index_t, index_t) { return 1.0f; };
+    CellSimOptions o;
+    o.block_side = 88;
+    const auto sim = simulate_cellnpdp(inst, qs20(), o);
+    char ratio[16];
+    std::snprintf(ratio, sizeof ratio, "%.2f",
+                  sim.seconds / model_total_time(p));
+    t.row(n, fmt_seconds(model_memory_time(p)),
+          fmt_seconds(model_compute_time(p)),
+          fmt_seconds(model_total_time(p)), fmt_seconds(sim.seconds), ratio,
+          fmt_pct(sim.utilization));
+  }
+  t.print();
+
+  std::printf("\nSize-independence of utilization (the §V headline):\n");
+  TextTable u({"n", "model U", "simulated U"});
+  for (index_t n : {index_t(4096), index_t(8192), index_t(16384)}) {
+    const auto p = qs20_params(double(n), 16, kc);
+    NpdpInstance<float> inst;
+    inst.n = n;
+    inst.init = [](index_t, index_t) { return 1.0f; };
+    CellSimOptions o;
+    o.block_side = 88;
+    const auto sim = simulate_cellnpdp(inst, qs20(), o);
+    u.row(n, fmt_pct(model_utilization(p)), fmt_pct(sim.utilization));
+  }
+  u.print();
+
+  std::printf("\nBandwidth constraint (compute-bound iff B >= B_req):\n");
+  TextTable b({"SPEs", "B_req (model)", "QS20 B", "compute-bound?"});
+  for (double cores : {1.0, 4.0, 8.0, 16.0, 32.0}) {
+    const auto p = qs20_params(4096, cores, kc);
+    b.row(int(cores), fmt_bytes(model_required_bandwidth(p)) + "/s",
+          fmt_bytes(p.bandwidth) + "/s",
+          model_compute_bound(p) ? "yes" : "no (memory-bound)");
+  }
+  b.print();
+  std::printf("(kernel utilization U_C = %s; overall U = U_C while "
+              "compute-bound, independent of n)\n",
+              fmt_pct(model_kernel_utilization(qs20_params(4096, 16, kc)))
+                  .c_str());
+}
+
+}  // namespace
+}  // namespace cellnpdp
+
+int main(int argc, char** argv) {
+  using namespace cellnpdp;
+  const auto cfg = BenchConfig::from_args(argc, argv);
+  print_bench_header("Section V: performance model validation", cfg);
+  run(cfg);
+  return 0;
+}

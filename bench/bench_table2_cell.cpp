@@ -1,0 +1,77 @@
+// Table II — performance on the IBM QS20 Cell blade (simulated).
+//
+// Rows per precision: original algorithm on the PPE, original algorithm on
+// one SPE (row-major layout, small DMAs), CellNPDP on 16 SPEs. All Cell
+// numbers come from the machine model (pipeline + DMA + bus); the PPE
+// baseline row is calibrated (see EXPERIMENTS.md). Paper values printed
+// alongside for comparison.
+#include <cstdio>
+#include <map>
+
+#include "bench_util/bench_config.hpp"
+#include "bench_util/table.hpp"
+#include "cellsim/npdp_sim.hpp"
+#include "cellsim/variants.hpp"
+
+namespace cellnpdp {
+namespace {
+
+// Paper Table II (seconds).
+const std::map<index_t, std::array<double, 3>> kPaperSp = {
+    {4096, {715, 3061, 0.22}},
+    {8192, {21961, 24588, 1.77}},
+    {16384, {187945, 198432, 13.90}}};
+const std::map<index_t, std::array<double, 3>> kPaperDp = {
+    {4096, {1015, 5096, 4.41}},
+    {8192, {27821, 40752, 34.54}},
+    {16384, {241759, 327276, 389.15}}};
+
+template <class T>
+void run_precision(Precision prec,
+                   const std::map<index_t, std::array<double, 3>>& paper) {
+  const CellConfig cfg = qs20();
+  // The paper uses 32 KB memory blocks; side = sqrt(32K/S) rounded to the
+  // kernel width.
+  const index_t bs = prec == Precision::Single ? 88 : 64;
+
+  TextTable t({"n", "variant", "simulated", "paper", "util"});
+  for (index_t n : {index_t(4096), index_t(8192), index_t(16384)}) {
+    const double ppe = time_original_ppe(n, prec, cfg);
+    const double spe = time_original_spe(n, prec, cfg);
+
+    NpdpInstance<T> inst;
+    inst.n = n;
+    inst.init = [](index_t, index_t) { return T(1); };
+    CellSimOptions o;
+    o.block_side = bs;
+    const auto sim = simulate_cellnpdp(inst, cfg, o);
+
+    const auto& p = paper.at(n);
+    t.row(n, "original, one PPE", fmt_seconds(ppe), fmt_seconds(p[0]), "");
+    t.row(n, "original, one SPE", fmt_seconds(spe), fmt_seconds(p[1]), "");
+    t.row(n, "CellNPDP, 16 SPEs", fmt_seconds(sim.seconds),
+          fmt_seconds(p[2]), fmt_pct(sim.utilization));
+  }
+  std::printf("\n%s precision (memory block %ld cells/side = %s):\n",
+              precision_name(prec), static_cast<long>(bs),
+              fmt_bytes(double(bs * bs) * double(precision_bytes(prec)))
+                  .c_str());
+  t.print();
+}
+
+}  // namespace
+}  // namespace cellnpdp
+
+int main(int argc, char** argv) {
+  using namespace cellnpdp;
+  const auto cfg = BenchConfig::from_args(argc, argv);
+  print_bench_header("Table II: NPDP on the QS20 Cell blade (simulated)",
+                     cfg);
+  run_precision<float>(Precision::Single, kPaperSp);
+  run_precision<double>(Precision::Double, kPaperDp);
+  std::printf(
+      "\nNote: the 'original, one PPE' row uses calibrated cycles/relax "
+      "(EXPERIMENTS.md); every other number is produced by the machine "
+      "model.\n");
+  return 0;
+}

@@ -1,0 +1,74 @@
+// Weighted CYK parsing — the classic NPDP beside matrix parenthesization.
+//
+//   $ ./cyk_parse                       # demo: balanced parentheses
+//   $ ./cyk_parse '(()(()))'            # parse a paren string
+//   $ ./cyk_parse --anbn aaabbb         # the a^n b^n language
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "apps/cyk/cyk.hpp"
+#include "common/stopwatch.hpp"
+
+using namespace cellnpdp;
+using namespace cellnpdp::cyk;
+
+namespace {
+
+void print_tree(const ParseResult& r, const Grammar& g,
+                const std::string& text) {
+  // Indented preorder dump.
+  std::vector<int> depth(r.nodes.size(), 0);
+  std::vector<index_t> stack;
+  for (std::size_t t = 0; t < r.nodes.size(); ++t) {
+    const auto& nd = r.nodes[t];
+    while (!stack.empty() &&
+           !(r.nodes[static_cast<std::size_t>(stack.back())].i <= nd.i &&
+             nd.j <= r.nodes[static_cast<std::size_t>(stack.back())].j &&
+             stack.back() != static_cast<index_t>(t)))
+      stack.pop_back();
+    depth[t] = static_cast<int>(stack.size());
+    stack.push_back(static_cast<index_t>(t));
+  }
+  for (std::size_t t = 0; t < r.nodes.size(); ++t) {
+    const auto& nd = r.nodes[t];
+    std::printf("%*sN%d [%lld,%lld) \"%s\"\n", depth[t] * 2, "", nd.lhs,
+                static_cast<long long>(nd.i), static_cast<long long>(nd.j),
+                text.substr(static_cast<std::size_t>(nd.i),
+                            static_cast<std::size_t>(nd.j - nd.i))
+                    .c_str());
+  }
+  (void)g;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Grammar g = balanced_parens_grammar();
+  std::string alphabet = "()";
+  std::string text = "(()(()))";
+  if (argc >= 3 && std::strcmp(argv[1], "--anbn") == 0) {
+    g = anbn_grammar();
+    alphabet = "ab";
+    text = argv[2];
+  } else if (argc >= 2) {
+    text = argv[1];
+  }
+
+  CykParser parser(g);
+  Stopwatch sw;
+  const auto r = parser.parse(tokens_from_string(text, alphabet));
+  const double s = sw.seconds();
+
+  std::printf("input      : %s\n", text.c_str());
+  if (!r.accepted()) {
+    std::printf("result     : REJECTED (not in the language)\n");
+    return 1;
+  }
+  std::printf("result     : accepted, Viterbi cost %.1f\n", double(r.cost));
+  std::printf("parse time : %.3f ms (%lld split relaxations)\n", s * 1e3,
+              static_cast<long long>(parser.bifurcation_relaxations()));
+  std::printf("parse tree :\n");
+  print_tree(r, g, text);
+  return 0;
+}

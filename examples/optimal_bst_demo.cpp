@@ -1,0 +1,50 @@
+// Optimal binary search tree through the NPDP engine.
+//
+//   $ ./optimal_bst_demo               # CLRS textbook example
+//   $ ./optimal_bst_demo --random 300 [seed]
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+#include "apps/optimal_bst/optimal_bst.hpp"
+#include "common/rng.hpp"
+#include "common/stopwatch.hpp"
+
+int main(int argc, char** argv) {
+  using namespace cellnpdp;
+
+  BstInstanceData<double> d;
+  if (argc >= 3 && std::strcmp(argv[1], "--random") == 0) {
+    const index_t keys = std::atoll(argv[2]);
+    SplitMix64 rng(argc > 3 ? std::strtoull(argv[3], nullptr, 10) : 5);
+    std::vector<double> p(static_cast<std::size_t>(keys + 1), 0.0);
+    std::vector<double> q(static_cast<std::size_t>(keys + 1), 0.0);
+    double total = 0;
+    for (index_t k = 1; k <= keys; ++k) total += p[k] = rng.next_unit();
+    for (index_t g = 0; g <= keys; ++g) total += q[g] = rng.next_unit();
+    for (auto& x : p) x /= total;
+    for (auto& x : q) x /= total;
+    d = make_bst_data(std::move(p), std::move(q));
+  } else {
+    // CLRS 15.5: optimal expected cost 2.75.
+    d = make_bst_data<double>({0, .15, .10, .05, .10, .20},
+                              {.05, .10, .05, .05, .05, .10});
+  }
+
+  NpdpOptions opts;
+  opts.block_side = 16;
+  Stopwatch sw;
+  const double cost = solve_optimal_bst(d, opts);
+  const double s = sw.seconds();
+
+  std::printf("keys                  : %lld\n",
+              static_cast<long long>(d.keys()));
+  std::printf("expected search cost  : %.6f\n", cost);
+  std::printf("solve time            : %.2f ms (blocked engine, weighted "
+              "NPDP)\n", s * 1e3);
+
+  const double ref = solve_optimal_bst_reference(d, /*speedup=*/true);
+  std::printf("Knuth-speedup check   : %.6f (%s)\n", ref,
+              std::abs(ref - cost) < 1e-9 ? "match" : "MISMATCH");
+  return std::abs(ref - cost) < 1e-9 ? 0 : 1;
+}

@@ -1,0 +1,79 @@
+// Exhaustive parse-tree enumeration: the independent oracle for the CYK
+// parser. Exponential; usable for n up to ~8 with small grammars.
+#pragma once
+
+#include <algorithm>
+
+#include "apps/cyk/cyk.hpp"
+
+namespace cellnpdp::cyk {
+
+namespace brute_detail {
+
+/// Minimum derivation cost of nonterminal `a` over tokens [i, j) by plain
+/// recursion over all rules and splits (no memoisation: an independent
+/// code path, deliberately not the DP).
+inline Weight best_cost(const Grammar& g, const std::vector<int>& tokens,
+                        int a, index_t i, index_t j, int depth) {
+  // Cost is additive and non-negative, so derivations never need to be
+  // deeper than the span allows; depth guards degenerate grammars.
+  if (depth > 64) return kInfW;
+  Weight best = kInfW;
+  if (j == i + 1) {
+    for (const auto& r : g.terminal)
+      if (r.lhs == a && r.terminal == tokens[static_cast<std::size_t>(i)])
+        best = std::min(best, r.w);
+    return best;
+  }
+  for (const auto& r : g.binary) {
+    if (r.lhs != a) continue;
+    for (index_t k = i + 1; k < j; ++k) {
+      const Weight l = best_cost(g, tokens, r.left, i, k, depth + 1);
+      if (l >= kInfW) continue;
+      const Weight rr = best_cost(g, tokens, r.right, k, j, depth + 1);
+      if (rr >= kInfW) continue;
+      best = std::min(best, l + rr + r.w);
+    }
+  }
+  return best;
+}
+
+}  // namespace brute_detail
+
+inline Weight brute_force_parse_cost(const Grammar& g,
+                                     const std::vector<int>& tokens) {
+  if (tokens.empty()) return kInfW;
+  return brute_detail::best_cost(g, tokens, g.start, 0,
+                                 static_cast<index_t>(tokens.size()), 0);
+}
+
+/// Evaluates a parse tree independently: checks structural validity and
+/// returns the summed rule weights (+inf when invalid).
+inline Weight evaluate_parse_tree(const Grammar& g,
+                                  const std::vector<int>& tokens,
+                                  const std::vector<ParseNode>& nodes) {
+  Weight total = 0;
+  for (const auto& nd : nodes) {
+    if (nd.j == nd.i + 1) {
+      if (nd.rule_index < 0 ||
+          nd.rule_index >= static_cast<int>(g.terminal.size()))
+        return kInfW;
+      const auto& r = g.terminal[static_cast<std::size_t>(nd.rule_index)];
+      if (r.lhs != nd.lhs ||
+          r.terminal != tokens[static_cast<std::size_t>(nd.i)])
+        return kInfW;
+      total += r.w;
+    } else {
+      if (nd.rule_index < 0 ||
+          nd.rule_index >= static_cast<int>(g.binary.size()))
+        return kInfW;
+      const auto& r = g.binary[static_cast<std::size_t>(nd.rule_index)];
+      if (r.lhs != nd.lhs || nd.split <= nd.i || nd.split >= nd.j)
+        return kInfW;
+      total += r.w;
+    }
+  }
+  return total;
+}
+
+}  // namespace cellnpdp::cyk

@@ -1,0 +1,221 @@
+#include "apps/cyk/cyk.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "common/rng.hpp"
+#include "simd/vec.hpp"
+
+namespace cellnpdp::cyk {
+
+namespace {
+constexpr index_t kVecW = 8;
+using V8 = Vec<Weight, kVecW>;
+}  // namespace
+
+void Grammar::validate() const {
+  auto check_nt = [&](int a) {
+    if (a < 0 || a >= nonterminals)
+      throw std::invalid_argument("bad nonterminal id");
+  };
+  check_nt(start);
+  for (const auto& r : binary) {
+    check_nt(r.lhs);
+    check_nt(r.left);
+    check_nt(r.right);
+    if (r.w < 0) throw std::invalid_argument("negative rule weight");
+  }
+  for (const auto& r : terminal) {
+    check_nt(r.lhs);
+    if (r.terminal < 0 || r.terminal >= terminals)
+      throw std::invalid_argument("bad terminal id");
+    if (r.w < 0) throw std::invalid_argument("negative rule weight");
+  }
+}
+
+CykParser::CykParser(Grammar g, ParseOptions opts)
+    : g_(std::move(g)), opts_(opts) {
+  g_.validate();
+}
+
+Weight CykParser::split_min(const Weight* row, const Weight* rowt, index_t x,
+                            index_t y) {
+  bif_relax_ += y - x;
+  Weight best = kInfW;
+  index_t k = x;
+  if (opts_.simd && y - x >= 2 * kVecW) {
+    V8 acc = V8::set1(kInfW);
+    for (; k + kVecW <= y; k += kVecW)
+      acc = vmin(acc, V8::loadu(row + k) + V8::loadu(rowt + k));
+    alignas(kBufferAlignment) Weight lanes[kVecW];
+    acc.store(lanes);
+    for (index_t l = 0; l < kVecW; ++l) best = std::min(best, lanes[l]);
+  }
+  for (; k < y; ++k) best = std::min(best, row[k] + rowt[k]);
+  return best;
+}
+
+ParseResult CykParser::parse(const std::vector<int>& tokens) {
+  ParseResult out;
+  n_ = static_cast<index_t>(tokens.size());
+  if (n_ == 0) return out;
+  const index_t bounds = n_ + 1;  // boundary positions 0..n
+  stride_ = (bounds + kVecW - 1) / kVecW * kVecW;
+  const std::size_t cells = static_cast<std::size_t>(bounds * stride_);
+  charts_.assign(static_cast<std::size_t>(g_.nonterminals), {});
+  charts_t_.assign(static_cast<std::size_t>(g_.nonterminals), {});
+  for (int a = 0; a < g_.nonterminals; ++a) {
+    charts_[static_cast<std::size_t>(a)].assign(cells, kInfW);
+    charts_t_[static_cast<std::size_t>(a)].assign(cells, kInfW);
+  }
+  bif_relax_ = 0;
+
+  // Terminal rules seed span-1 cells.
+  for (index_t i = 0; i < n_; ++i)
+    for (const auto& r : g_.terminal)
+      if (r.terminal == tokens[static_cast<std::size_t>(i)]) {
+        Weight& c = chart(r.lhs, i, i + 1);
+        c = std::min(c, r.w);
+      }
+  for (index_t i = 0; i < n_; ++i)
+    for (int a = 0; a < g_.nonterminals; ++a)
+      chart_t(a, i + 1, i) = chart(a, i, i + 1);
+
+  // Spans bottom-up; the split minimum reads row (i,*) of B against the
+  // shifted transpose row (*,j) of C — both contiguous.
+  for (index_t span = 2; span <= n_; ++span) {
+    for (index_t i = 0; i + span <= n_; ++i) {
+      const index_t j = i + span;
+      for (const auto& r : g_.binary) {
+        const Weight* brow =
+            charts_[static_cast<std::size_t>(r.left)].data() + i * stride_;
+        const Weight* crow =
+            charts_t_[static_cast<std::size_t>(r.right)].data() + j * stride_;
+        // k in (i, j): best[i][k][B] + best[k][j][C].
+        const Weight m = split_min(brow, crow, i + 1, j);
+        if (m + r.w < chart(r.lhs, i, j)) chart(r.lhs, i, j) = m + r.w;
+      }
+      for (int a = 0; a < g_.nonterminals; ++a)
+        chart_t(a, j, i) = chart(a, i, j);
+    }
+  }
+
+  out.cost = chart(g_.start, 0, n_);
+  if (out.accepted()) build_tree(tokens, g_.start, 0, n_, out);
+  return out;
+}
+
+void CykParser::build_tree(const std::vector<int>& tokens, int a, index_t i,
+                           index_t j, ParseResult& out) {
+  ParseNode node;
+  node.lhs = a;
+  node.i = i;
+  node.j = j;
+  const Weight target = chart(a, i, j);
+
+  if (j == i + 1) {
+    for (int r = 0; r < static_cast<int>(g_.terminal.size()); ++r) {
+      const auto& tr = g_.terminal[static_cast<std::size_t>(r)];
+      if (tr.lhs == a &&
+          tr.terminal == tokens[static_cast<std::size_t>(i)] &&
+          tr.w == target) {
+        node.rule_index = r;
+        out.nodes.push_back(node);
+        return;
+      }
+    }
+    throw std::logic_error("CYK traceback: no terminal rule matches");
+  }
+
+  for (int r = 0; r < static_cast<int>(g_.binary.size()); ++r) {
+    const auto& br = g_.binary[static_cast<std::size_t>(r)];
+    if (br.lhs != a) continue;
+    for (index_t k = i + 1; k < j; ++k) {
+      const Weight cand =
+          chart(br.left, i, k) + chart_t(br.right, j, k) + br.w;
+      if (cand == target) {
+        node.rule_index = r;
+        node.split = k;
+        out.nodes.push_back(node);
+        build_tree(tokens, br.left, i, k, out);
+        build_tree(tokens, br.right, k, j, out);
+        return;
+      }
+    }
+  }
+  throw std::logic_error("CYK traceback: no binary rule matches");
+}
+
+Grammar balanced_parens_grammar() {
+  // CNF of S -> S S | ( S ) | ( ):
+  //   S -> S S | L R' | L R;  R' -> S R;  L -> '(';  R -> ')'
+  Grammar g;
+  g.nonterminals = 4;  // 0 = S, 1 = L, 2 = R, 3 = R'
+  g.terminals = 2;     // 0 = '(', 1 = ')'
+  g.start = 0;
+  g.binary = {{0, 0, 0, 1.0f}, {0, 1, 3, 1.0f}, {0, 1, 2, 1.0f},
+              {3, 0, 2, 1.0f}};
+  g.terminal = {{1, 0, 0.0f}, {2, 1, 0.0f}};
+  return g;
+}
+
+Grammar anbn_grammar() {
+  // CNF of S -> a S b | a b:
+  //   S -> A T | A B;  T -> S B;  A -> 'a';  B -> 'b'
+  Grammar g;
+  g.nonterminals = 4;  // 0 = S, 1 = A, 2 = B, 3 = T
+  g.terminals = 2;     // 0 = 'a', 1 = 'b'
+  g.start = 0;
+  g.binary = {{0, 1, 3, 1.0f}, {0, 1, 2, 1.0f}, {3, 0, 2, 1.0f}};
+  g.terminal = {{1, 0, 0.0f}, {2, 1, 0.0f}};
+  return g;
+}
+
+Grammar random_grammar(int nonterminals, int terminals, int binary_rules,
+                       std::uint64_t seed) {
+  SplitMix64 rng(seed);
+  Grammar g;
+  g.nonterminals = nonterminals;
+  g.terminals = terminals;
+  g.start = 0;
+  // Every nonterminal gets at least one terminal rule so everything can
+  // bottom out.
+  for (int a = 0; a < nonterminals; ++a)
+    g.terminal.push_back(
+        {a, static_cast<int>(rng.next_below(static_cast<std::uint64_t>(terminals))),
+         Weight(rng.next_below(8))});
+  for (int r = 0; r < binary_rules; ++r)
+    g.binary.push_back(
+        {static_cast<int>(rng.next_below(static_cast<std::uint64_t>(nonterminals))),
+         static_cast<int>(rng.next_below(static_cast<std::uint64_t>(nonterminals))),
+         static_cast<int>(rng.next_below(static_cast<std::uint64_t>(nonterminals))),
+         Weight(rng.next_below(8))});
+  return g;
+}
+
+Grammar universal_grammar(int terminals, std::uint64_t seed) {
+  SplitMix64 rng(seed);
+  Grammar g;
+  g.nonterminals = 1;
+  g.terminals = terminals;
+  g.start = 0;
+  g.binary = {{0, 0, 0, Weight(1 + rng.next_below(4))}};
+  for (int t = 0; t < terminals; ++t)
+    g.terminal.push_back({0, t, Weight(rng.next_below(5))});
+  return g;
+}
+
+std::vector<int> tokens_from_string(const std::string& s,
+                                    const std::string& alphabet) {
+  std::vector<int> out;
+  out.reserve(s.size());
+  for (char ch : s) {
+    const auto pos = alphabet.find(ch);
+    if (pos == std::string::npos)
+      throw std::invalid_argument(std::string("token not in alphabet: ") + ch);
+    out.push_back(static_cast<int>(pos));
+  }
+  return out;
+}
+
+}  // namespace cellnpdp::cyk

@@ -1,0 +1,136 @@
+// Weighted CYK parsing — the textbook nonserial polyadic DP besides
+// matrix parenthesization (Grama et al. [13], the classification the paper
+// builds on).
+//
+// Grammar in Chomsky normal form: binary rules A -> B C and terminal rules
+// A -> t, each with a non-negative weight (e.g. a negative log
+// probability). The Viterbi chart is
+//
+//   best[i][j][A] = min over rules A->BC and splits i<k<j of
+//                   best[i][k][B] + best[k][j][C] + w(A->BC)
+//   best[i][i+1][A] = w(A -> token[i])
+//
+// over boundary positions 0..n — for every nonterminal a triangular
+// (min,+) table with exactly the paper's dependence structure. The split
+// minimum is evaluated with the same transpose trick as the Zuker folder
+// (a shifted transpose of every table turns each bifurcation into two
+// contiguous rows), vectorised with the library's Vec primitives.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "common/aligned.hpp"
+#include "common/defs.hpp"
+
+namespace cellnpdp::cyk {
+
+using Weight = float;
+inline constexpr Weight kInfW = std::numeric_limits<Weight>::infinity();
+
+struct BinaryRule {
+  int lhs;  ///< A
+  int left; ///< B
+  int right;///< C
+  Weight w;
+};
+
+struct TerminalRule {
+  int lhs;
+  int terminal;  ///< token id
+  Weight w;
+};
+
+struct Grammar {
+  int nonterminals = 0;
+  int terminals = 0;
+  int start = 0;
+  std::vector<BinaryRule> binary;
+  std::vector<TerminalRule> terminal;
+
+  /// Basic shape validation; throws std::invalid_argument on bad ids.
+  void validate() const;
+};
+
+struct ParseOptions {
+  bool simd = true;
+};
+
+struct ParseNode {
+  int lhs = -1;
+  index_t i = 0, j = 0;   ///< boundary span [i, j)
+  int rule_index = -1;    ///< into Grammar::binary (span > 1) or ::terminal
+  index_t split = -1;     ///< k for binary nodes
+};
+
+struct ParseResult {
+  Weight cost = kInfW;                ///< +inf: not derivable
+  bool accepted() const { return cost < kInfW; }
+  std::vector<ParseNode> nodes;       ///< preorder parse tree (if accepted)
+};
+
+/// Viterbi CYK parser. Holds per-nonterminal charts; reusable across
+/// sentences.
+class CykParser {
+ public:
+  explicit CykParser(Grammar g, ParseOptions opts = {});
+
+  /// Parses the token sequence; returns best cost and parse tree.
+  ParseResult parse(const std::vector<int>& tokens);
+
+  const Grammar& grammar() const { return g_; }
+
+  /// Split-loop relaxations performed (the NPDP work).
+  index_t bifurcation_relaxations() const { return bif_relax_; }
+
+ private:
+  Weight& chart(int a, index_t i, index_t j) {
+    return charts_[static_cast<std::size_t>(a)]
+                  [static_cast<std::size_t>(i * stride_ + j)];
+  }
+  Weight& chart_t(int a, index_t j, index_t k) {
+    return charts_t_[static_cast<std::size_t>(a)]
+                    [static_cast<std::size_t>(j * stride_ + k)];
+  }
+
+  /// min over k in [x, y-1] of row[k] + rowt[k].
+  Weight split_min(const Weight* row, const Weight* rowt, index_t x,
+                   index_t y);
+
+  void build_tree(const std::vector<int>& tokens, int a, index_t i,
+                  index_t j, ParseResult& out);
+
+  Grammar g_;
+  ParseOptions opts_;
+  index_t n_ = 0;
+  index_t stride_ = 0;
+  std::vector<aligned_vector<Weight>> charts_;    ///< per nonterminal
+  std::vector<aligned_vector<Weight>> charts_t_;  ///< shifted transposes
+  index_t bif_relax_ = 0;
+};
+
+// --- ready-made grammars for tests and examples ---------------------------
+
+/// S -> S S | ( S ) as CNF; tokens: 0 = '(', 1 = ')'. Recognises balanced
+/// parenthesis strings (cost = number of rule applications).
+Grammar balanced_parens_grammar();
+
+/// S -> a S b | a b as CNF; tokens 0 = 'a', 1 = 'b'. Recognises a^n b^n.
+Grammar anbn_grammar();
+
+/// Deterministic random CNF grammar (every nonterminal derives something).
+Grammar random_grammar(int nonterminals, int terminals, int binary_rules,
+                       std::uint64_t seed);
+
+/// S -> S S | t for every terminal t: accepts every non-empty string; the
+/// Viterbi parse picks the cheapest binary bracketing (weights drawn from
+/// the seed), which makes it a good traceback workload.
+Grammar universal_grammar(int terminals, std::uint64_t seed);
+
+/// Tokenises a string of single-character terminals via a lookup table.
+std::vector<int> tokens_from_string(const std::string& s,
+                                    const std::string& alphabet);
+
+}  // namespace cellnpdp::cyk

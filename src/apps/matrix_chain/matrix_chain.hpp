@@ -1,0 +1,135 @@
+// Optimal matrix-chain parenthesization — one of the three NPDP
+// applications the paper names (§I). In boundary form the recurrence is
+// exactly the engine's generalised NPDP with a separable k-term:
+//
+//   c[i][j] = min_{i<k<j} c[i][k] + c[k][j] + p[i]*p[k]*p[j]
+//   c[i][i+1] = 0                       (a single matrix costs nothing)
+//
+// over boundary nodes 0..n for a chain of n matrices with dimensions
+// p[0] x p[1], p[1] x p[2], ...
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/reference.hpp"
+#include "core/solve.hpp"
+#include "layout/convert.hpp"
+
+namespace cellnpdp {
+
+template <class T>
+struct MatrixChainResult {
+  T cost = 0;                      ///< minimal scalar multiplications
+  std::vector<index_t> split;      ///< split[i*(n+1)+j]: argmin k for (i,j)
+  std::string parenthesization;    ///< e.g. "((A0 A1) A2)"
+};
+
+/// Builds the engine instance for dimension vector p (size n+1).
+template <class T>
+NpdpInstance<T> matrix_chain_instance(const std::vector<T>& p) {
+  NpdpInstance<T> inst;
+  inst.n = static_cast<index_t>(p.size());
+  inst.init = [](index_t i, index_t j) {
+    if (i == j || j == i + 1) return T(0);
+    return minplus_identity<T>();
+  };
+  inst.ku = p.data();
+  inst.kv = p.data();
+  inst.kw = p.data();
+  return inst;
+}
+
+namespace matrix_chain_detail {
+
+template <class T>
+void render(const std::vector<index_t>& split, index_t n, index_t i,
+            index_t j, std::string& out) {
+  if (j == i + 1) {
+    out += "A" + std::to_string(i);
+    return;
+  }
+  out += "(";
+  const index_t k = split[static_cast<std::size_t>(i * (n + 1) + j)];
+  render<T>(split, n, i, k, out);
+  out += " ";
+  render<T>(split, n, k, j, out);
+  out += ")";
+}
+
+}  // namespace matrix_chain_detail
+
+/// Recovers split points from a solved boundary table by re-finding each
+/// argmin (O(n^3) total, only used for reporting).
+template <class T, class Table>
+std::vector<index_t> matrix_chain_splits(const Table& c,
+                                         const std::vector<T>& p) {
+  const index_t nodes = static_cast<index_t>(p.size());
+  std::vector<index_t> split(static_cast<std::size_t>(nodes * nodes), -1);
+  for (index_t i = 0; i < nodes; ++i)
+    for (index_t j = i + 2; j < nodes; ++j) {
+      T best = minplus_identity<T>();
+      index_t arg = i + 1;
+      for (index_t k = i + 1; k < j; ++k) {
+        const T cand = c.at(i, k) + c.at(k, j) + p[static_cast<std::size_t>(i)] *
+                           p[static_cast<std::size_t>(k)] *
+                           p[static_cast<std::size_t>(j)];
+        if (cand < best) {
+          best = cand;
+          arg = k;
+        }
+      }
+      split[static_cast<std::size_t>(i * nodes + j)] = arg;
+    }
+  return split;
+}
+
+/// Solves the chain with the blocked engine.
+template <class T>
+MatrixChainResult<T> solve_matrix_chain(const std::vector<T>& p,
+                                        const NpdpOptions& opts) {
+  const auto inst = matrix_chain_instance(p);
+  const auto table = solve_blocked(inst, opts);
+  MatrixChainResult<T> res;
+  res.cost = table.at(0, inst.n - 1);
+  res.split = matrix_chain_splits<T>(table, p);
+  matrix_chain_detail::render<T>(res.split, inst.n - 1, 0, inst.n - 1,
+                                 res.parenthesization);
+  return res;
+}
+
+/// Classic textbook O(n^3) reference with an explicit split table.
+template <class T>
+MatrixChainResult<T> solve_matrix_chain_reference(const std::vector<T>& p) {
+  const index_t nodes = static_cast<index_t>(p.size());
+  TriangularMatrix<T> c(nodes);
+  std::vector<index_t> split(static_cast<std::size_t>(nodes * nodes), -1);
+  for (index_t i = 0; i < nodes; ++i) c.at(i, i) = T(0);
+  for (index_t i = 0; i + 1 < nodes; ++i) c.at(i, i + 1) = T(0);
+  for (index_t span = 2; span < nodes; ++span)
+    for (index_t i = 0; i + span < nodes; ++i) {
+      const index_t j = i + span;
+      T best = minplus_identity<T>();
+      index_t arg = i + 1;
+      for (index_t k = i + 1; k < j; ++k) {
+        const T cand = c.at(i, k) + c.at(k, j) +
+                       p[static_cast<std::size_t>(i)] *
+                           p[static_cast<std::size_t>(k)] *
+                           p[static_cast<std::size_t>(j)];
+        if (cand < best) {
+          best = cand;
+          arg = k;
+        }
+      }
+      c.at(i, j) = best;
+      split[static_cast<std::size_t>(i * nodes + j)] = arg;
+    }
+  MatrixChainResult<T> res;
+  res.cost = c.at(0, nodes - 1);
+  res.split = std::move(split);
+  matrix_chain_detail::render<T>(res.split, nodes - 1, 0, nodes - 1,
+                                 res.parenthesization);
+  return res;
+}
+
+}  // namespace cellnpdp

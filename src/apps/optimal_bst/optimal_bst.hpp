@@ -1,0 +1,118 @@
+// Optimal binary search tree — NPDP application #2 (§I).
+//
+// Knuth's formulation: keys 1..n with hit probabilities p[1..n] and miss
+// (gap) probabilities q[0..n]; e[i][j] is the expected cost of the optimal
+// subtree over gaps i..j. The standard recurrence splits at a *key* k:
+// e[i][j] = min_{i<k<=j} (e[i][k-1] + e[k][j]) + w(i,j) — not shared-k.
+// Substituting c[x][y] = e[x][y-1] over n+1 boundary nodes gives
+//
+//   c[x][y] = min_{x<k<y} c[x][k] + c[k][y] + w(x, y-1)
+//   c[x][x+1] = q[x]
+//
+// which is the engine's generalised NPDP with a k-independent weight.
+#pragma once
+
+#include <vector>
+
+#include "core/reference.hpp"
+#include "core/solve.hpp"
+
+namespace cellnpdp {
+
+template <class T>
+struct BstInstanceData {
+  std::vector<T> p;   ///< p[1..n]; p[0] unused
+  std::vector<T> q;   ///< q[0..n]
+  std::vector<T> pw;  ///< prefix sums for w(i,j)
+
+  index_t keys() const { return static_cast<index_t>(p.size()) - 1; }
+
+  /// w(i,j) = sum q[i..j] + sum p[i+1..j] (expected visits of the subtree).
+  T w(index_t i, index_t j) const {
+    return pw[static_cast<std::size_t>(j + 1)] -
+           pw[static_cast<std::size_t>(i)] -
+           (i > 0 ? p[static_cast<std::size_t>(i)] : T(0));
+  }
+};
+
+template <class T>
+BstInstanceData<T> make_bst_data(std::vector<T> p, std::vector<T> q) {
+  BstInstanceData<T> d;
+  d.p = std::move(p);
+  d.q = std::move(q);
+  // pw[t] = sum_{u<t} (q[u] + p[u]) with p[0] treated as 0.
+  d.pw.resize(d.q.size() + 0 + 1);
+  d.pw[0] = T(0);
+  for (std::size_t t = 0; t < d.q.size(); ++t) {
+    const T pt = t < d.p.size() && t > 0 ? d.p[t] : T(0);
+    d.pw[t + 1] = d.pw[t] + d.q[t] + pt;
+  }
+  return d;
+}
+
+/// Engine instance over n+2 boundary nodes: c[x][y] = e[x][y-1] ranges
+/// over gap intervals, so the full answer e[0][n] lives at c[0][n+1].
+template <class T>
+NpdpInstance<T> optimal_bst_instance(const BstInstanceData<T>& d) {
+  NpdpInstance<T> inst;
+  inst.n = d.keys() + 2;  // boundary nodes 0..n+1
+  inst.init = [&d](index_t x, index_t y) {
+    if (x == y) return T(0);
+    if (y == x + 1) return d.q[static_cast<std::size_t>(x)];
+    return minplus_identity<T>();
+  };
+  inst.weight = [&d](index_t x, index_t y) { return d.w(x, y - 1); };
+  return inst;
+}
+
+/// Expected search cost of the optimal BST, via the blocked engine.
+template <class T>
+T solve_optimal_bst(const BstInstanceData<T>& d, const NpdpOptions& opts) {
+  const auto inst = optimal_bst_instance(d);
+  const auto table = solve_blocked(inst, opts);
+  return table.at(0, inst.n - 1);
+}
+
+/// Classic Knuth O(n^3) reference on the e[i][j] table; `speedup` enables
+/// Knuth's O(n^2) monotone-root optimisation (results must be identical).
+template <class T>
+T solve_optimal_bst_reference(const BstInstanceData<T>& d,
+                              bool speedup = false) {
+  const index_t n = d.keys();
+  // e and root over gap indices 0..n.
+  std::vector<std::vector<T>> e(static_cast<std::size_t>(n + 1),
+                                std::vector<T>(static_cast<std::size_t>(n + 1)));
+  std::vector<std::vector<index_t>> root(
+      static_cast<std::size_t>(n + 1),
+      std::vector<index_t>(static_cast<std::size_t>(n + 1), 0));
+  for (index_t i = 0; i <= n; ++i) {
+    e[static_cast<std::size_t>(i)][static_cast<std::size_t>(i)] =
+        d.q[static_cast<std::size_t>(i)];
+    root[static_cast<std::size_t>(i)][static_cast<std::size_t>(i)] = i;
+  }
+  for (index_t span = 1; span <= n; ++span)
+    for (index_t i = 0; i + span <= n; ++i) {
+      const index_t j = i + span;
+      T best = minplus_identity<T>();
+      index_t arg = i + 1;
+      index_t klo = i + 1, khi = j;
+      if (speedup && span >= 2) {
+        klo = root[static_cast<std::size_t>(i)][static_cast<std::size_t>(j - 1)];
+        khi = root[static_cast<std::size_t>(i + 1)][static_cast<std::size_t>(j)];
+      }
+      for (index_t k = klo; k <= khi; ++k) {
+        const T cand = e[static_cast<std::size_t>(i)][static_cast<std::size_t>(k - 1)] +
+                       e[static_cast<std::size_t>(k)][static_cast<std::size_t>(j)];
+        if (cand < best) {
+          best = cand;
+          arg = k;
+        }
+      }
+      e[static_cast<std::size_t>(i)][static_cast<std::size_t>(j)] =
+          best + d.w(i, j);
+      root[static_cast<std::size_t>(i)][static_cast<std::size_t>(j)] = arg;
+    }
+  return e[0][static_cast<std::size_t>(n)];
+}
+
+}  // namespace cellnpdp

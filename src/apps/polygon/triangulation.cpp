@@ -1,0 +1,20 @@
+#include "apps/polygon/triangulation.hpp"
+
+#include "common/rng.hpp"
+
+namespace cellnpdp::polygon {
+
+std::vector<Point> random_convex_polygon(index_t n, std::uint64_t seed) {
+  SplitMix64 rng(seed);
+  std::vector<Point> pts(static_cast<std::size_t>(n));
+  constexpr double kTau = 6.283185307179586;
+  for (index_t i = 0; i < n; ++i) {
+    const double angle = kTau * double(i) / double(n);
+    const double r = 10.0 + rng.next_in(0.0, 0.5);  // small radial noise
+    pts[static_cast<std::size_t>(i)] = {r * std::cos(angle),
+                                        r * std::sin(angle)};
+  }
+  return pts;
+}
+
+}  // namespace cellnpdp::polygon

@@ -1,0 +1,100 @@
+// Optimal convex-polygon triangulation — the classic NPDP with a
+// non-factorable per-split cost (Grama et al.'s polyadic example family):
+//
+//   d[i][j] = min_{i<k<j} d[i][k] + d[k][j] + w(v_i, v_k, v_j)
+//   d[i][i+1] = 0
+//
+// over the polygon's vertices, where w is the triangle's perimeter (any
+// triangle cost works). This exercises the engine's *general* k-term path
+// (scalar tiles, since a functor cannot vectorise) and the argmin
+// traceback (each split k names the triangle (i, k, j)).
+#pragma once
+
+#include <cmath>
+#include <vector>
+
+#include "core/reference.hpp"
+#include "core/traceback.hpp"
+
+namespace cellnpdp::polygon {
+
+struct Point {
+  double x = 0, y = 0;
+};
+
+struct Triangle {
+  index_t a = 0, b = 0, c = 0;  ///< vertex indices
+};
+
+struct TriangulationResult {
+  double cost = 0;                  ///< summed triangle perimeters
+  std::vector<Triangle> triangles;  ///< exactly n-2 for an n-gon
+};
+
+inline double dist(const Point& a, const Point& b) {
+  return std::hypot(a.x - b.x, a.y - b.y);
+}
+
+inline double perimeter(const Point& a, const Point& b, const Point& c) {
+  return dist(a, b) + dist(b, c) + dist(c, a);
+}
+
+/// Engine instance over the polygon's n vertices. The instance references
+/// `pts`; keep it alive for the solve.
+inline NpdpInstance<double> triangulation_instance(
+    const std::vector<Point>& pts) {
+  NpdpInstance<double> inst;
+  inst.n = static_cast<index_t>(pts.size());
+  inst.init = [](index_t i, index_t j) {
+    if (j <= i + 1) return 0.0;  // edges and vertices cost nothing
+    return minplus_identity<double>();
+  };
+  inst.kterm = [&pts](index_t i, index_t k, index_t j) {
+    return perimeter(pts[static_cast<std::size_t>(i)],
+                     pts[static_cast<std::size_t>(k)],
+                     pts[static_cast<std::size_t>(j)]);
+  };
+  return inst;
+}
+
+/// Minimal-perimeter triangulation via the blocked engine (+ argmin
+/// traceback for the triangle list).
+inline TriangulationResult triangulate(const std::vector<Point>& pts,
+                                       const NpdpOptions& opts) {
+  TriangulationResult res;
+  if (pts.size() < 3) return res;
+  const auto inst = triangulation_instance(pts);
+  const auto sol = solve_blocked_with_argmin(inst, opts);
+  res.cost = sol.values.at(0, inst.n - 1);
+  visit_splits(sol, 0, inst.n - 1, [&](index_t i, index_t k, index_t j) {
+    res.triangles.push_back({i, k, j});
+  });
+  return res;
+}
+
+/// Textbook O(n^3) reference.
+inline double triangulate_reference(const std::vector<Point>& pts) {
+  const index_t n = static_cast<index_t>(pts.size());
+  if (n < 3) return 0.0;
+  TriangularMatrix<double> d(n);
+  for (index_t i = 0; i < n; ++i) d.at(i, i) = 0.0;
+  for (index_t i = 0; i + 1 < n; ++i) d.at(i, i + 1) = 0.0;
+  for (index_t span = 2; span < n; ++span)
+    for (index_t i = 0; i + span < n; ++i) {
+      const index_t j = i + span;
+      double best = minplus_identity<double>();
+      for (index_t k = i + 1; k < j; ++k)
+        best = std::min(best, d.at(i, k) + d.at(k, j) +
+                                  perimeter(pts[static_cast<std::size_t>(i)],
+                                            pts[static_cast<std::size_t>(k)],
+                                            pts[static_cast<std::size_t>(j)]));
+      d.at(i, j) = best;
+    }
+  return d.at(0, n - 1);
+}
+
+/// Deterministic random convex polygon (points on a perturbed circle,
+/// sorted by angle — convex for small radial noise).
+std::vector<Point> random_convex_polygon(index_t n, std::uint64_t seed);
+
+}  // namespace cellnpdp::polygon

@@ -1,0 +1,123 @@
+// Exhaustive reference for the Zuker folder: enumerates every nested
+// secondary structure and evaluates it with an independent loop-
+// decomposition evaluator (no shared code with the DP). Exponential —
+// usable to n ~ 14 — but it is what makes the folder's tests meaningful.
+#pragma once
+
+#include <algorithm>
+#include <map>
+#include <utility>
+#include <vector>
+
+#include "apps/zuker/energy_model.hpp"
+
+namespace cellnpdp::zuker {
+
+using Structure = std::vector<std::pair<index_t, index_t>>;
+
+/// All nested structures over [i, j] (inclusive), pairs obeying base
+/// complementarity and the minimum hairpin distance.
+inline std::vector<Structure> enumerate_structures(const std::vector<Base>& s,
+                                                   index_t i, index_t j) {
+  std::vector<Structure> out;
+  if (i >= j) {
+    out.push_back({});
+    return out;
+  }
+  // Base i unpaired.
+  for (auto& st : enumerate_structures(s, i + 1, j)) out.push_back(std::move(st));
+  // Base i paired with k (hairpin distance enforced structurally).
+  for (index_t k = i + kMinHairpin + 1; k <= j; ++k) {
+    if (!can_pair(s[static_cast<std::size_t>(i)],
+                  s[static_cast<std::size_t>(k)]))
+      continue;
+    const auto inner = enumerate_structures(s, i + 1, k - 1);
+    const auto rest = enumerate_structures(s, k + 1, j);
+    for (const auto& in : inner)
+      for (const auto& re : rest) {
+        Structure st;
+        st.emplace_back(i, k);
+        st.insert(st.end(), in.begin(), in.end());
+        st.insert(st.end(), re.begin(), re.end());
+        out.push_back(std::move(st));
+      }
+  }
+  return out;
+}
+
+/// Independent energy evaluator: walks the nesting tree and charges each
+/// loop by the model's rules. Returns +inf for structures the model
+/// disallows (oversized internal loops).
+inline Energy evaluate_structure(const std::vector<Base>& s,
+                                 const Structure& pairs,
+                                 const EnergyModel& em) {
+  Structure sorted = pairs;
+  std::sort(sorted.begin(), sorted.end());
+
+  // Direct children of each pair (and of the external level, parent = -1).
+  std::map<index_t, std::vector<index_t>> children;  // by pair index
+  std::vector<index_t> stack;                        // open pair indices
+  children[-1] = {};
+  for (index_t pi = 0; pi < static_cast<index_t>(sorted.size()); ++pi) {
+    while (!stack.empty() &&
+           sorted[static_cast<std::size_t>(stack.back())].second <
+               sorted[static_cast<std::size_t>(pi)].first)
+      stack.pop_back();
+    children[stack.empty() ? -1 : stack.back()].push_back(pi);
+    children[pi];  // ensure entry
+    stack.push_back(pi);
+  }
+
+  Energy total = 0;
+  for (index_t pi = 0; pi < static_cast<index_t>(sorted.size()); ++pi) {
+    const auto [i, j] = sorted[static_cast<std::size_t>(pi)];
+    const auto& kids = children[pi];
+    const int oc = pair_class(s[static_cast<std::size_t>(i)],
+                              s[static_cast<std::size_t>(j)]);
+    if (kids.empty()) {
+      total += em.hairpin(j - i - 1);
+    } else if (kids.size() == 1) {
+      const auto [p, q] = sorted[static_cast<std::size_t>(kids[0])];
+      const int ic = pair_class(s[static_cast<std::size_t>(p)],
+                                s[static_cast<std::size_t>(q)]);
+      total += em.two_loop(oc, ic, p - i - 1, j - q - 1);
+    } else {
+      index_t unpaired = j - i - 1;
+      for (index_t c : kids) {
+        const auto [p, q] = sorted[static_cast<std::size_t>(c)];
+        unpaired -= q - p + 1;
+      }
+      total += em.ml_close +
+               em.ml_branch * static_cast<Energy>(kids.size() + 1) +
+               em.ml_unpaired * static_cast<Energy>(unpaired);
+    }
+  }
+  return total;  // external unpaired bases cost nothing
+}
+
+struct BruteResult {
+  Energy mfe = 0;
+  Structure best;
+  index_t structures = 0;
+};
+
+/// Minimum over every structure; ties resolved arbitrarily.
+inline BruteResult brute_force_fold(const std::vector<Base>& s,
+                                    const EnergyModel& em) {
+  BruteResult res;
+  if (s.empty()) return res;
+  const auto all =
+      enumerate_structures(s, 0, static_cast<index_t>(s.size()) - 1);
+  res.structures = static_cast<index_t>(all.size());
+  res.mfe = 0;  // the empty structure
+  for (const auto& st : all) {
+    const Energy e = evaluate_structure(s, st, em);
+    if (e < res.mfe) {
+      res.mfe = e;
+      res.best = st;
+    }
+  }
+  return res;
+}
+
+}  // namespace cellnpdp::zuker

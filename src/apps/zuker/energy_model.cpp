@@ -1,0 +1,60 @@
+#include "apps/zuker/energy_model.hpp"
+
+#include <stdexcept>
+
+#include "common/rng.hpp"
+
+namespace cellnpdp::zuker {
+
+std::vector<Base> parse_sequence(const std::string& seq) {
+  std::vector<Base> out;
+  out.reserve(seq.size());
+  for (char ch : seq) {
+    switch (ch) {
+      case 'A': case 'a': out.push_back(A); break;
+      case 'C': case 'c': out.push_back(C); break;
+      case 'G': case 'g': out.push_back(G); break;
+      case 'U': case 'u':
+      case 'T': case 't': out.push_back(U); break;
+      default:
+        throw std::invalid_argument(std::string("bad base: ") + ch);
+    }
+  }
+  return out;
+}
+
+std::string bases_to_string(const std::vector<Base>& b) {
+  static const char* kLetters = "ACGU";
+  std::string s;
+  s.reserve(b.size());
+  for (Base x : b) s += kLetters[static_cast<int>(x)];
+  return s;
+}
+
+EnergyModel::EnergyModel() {
+  // Pair classes: 0 AU, 1 UA, 2 GC, 3 CG, 4 GU, 5 UG. Strength of a stack
+  // grows with the number of strong (GC) pairs involved; wobble pairs are
+  // weakest. Values are Turner-magnitude, symmetrised.
+  auto strength = [](int cls) {
+    switch (cls) {
+      case 2: case 3: return 2;  // GC
+      case 0: case 1: return 1;  // AU
+      default: return 0;         // GU wobble
+    }
+  };
+  for (int o = 0; o < 6; ++o)
+    for (int i = 0; i < 6; ++i) {
+      static constexpr Energy kBySum[5] = {-0.5f, -1.1f, -1.6f, -2.2f, -2.9f};
+      stack[static_cast<std::size_t>(o)][static_cast<std::size_t>(i)] =
+          kBySum[strength(o) + strength(i)];
+    }
+}
+
+std::vector<Base> random_sequence(index_t n, std::uint64_t seed) {
+  SplitMix64 rng(seed);
+  std::vector<Base> out(static_cast<std::size_t>(n));
+  for (auto& b : out) b = static_cast<Base>(rng.next_below(4));
+  return out;
+}
+
+}  // namespace cellnpdp::zuker

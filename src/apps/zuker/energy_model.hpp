@@ -1,0 +1,95 @@
+// Simplified Zuker energy model for RNA secondary structure.
+//
+// The paper benchmarks the NPDP kernel inside the Zuker algorithm [17];
+// this module provides a self-contained minimum-free-energy model with the
+// standard loop decomposition (hairpin / stack / internal / bulge /
+// multiloop) so the application can run end-to-end. Parameters are
+// Turner-magnitude but simplified (documented in DESIGN.md): there are no
+// dangling ends or terminal-AU penalties, and internal loops larger than
+// `max_internal` unpaired bases are disallowed — the brute-force reference
+// applies the identical rules, so the two stay exactly comparable.
+#pragma once
+
+#include <array>
+#include <cmath>
+#include <cstdint>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "common/defs.hpp"
+
+namespace cellnpdp::zuker {
+
+using Energy = float;  // kcal/mol; negative stabilises
+
+inline constexpr Energy kInf = std::numeric_limits<Energy>::infinity();
+
+enum Base : std::uint8_t { A = 0, C = 1, G = 2, U = 3 };
+
+/// Parses "ACGU" (case-insensitive, T treated as U). Throws on others.
+std::vector<Base> parse_sequence(const std::string& seq);
+std::string bases_to_string(const std::vector<Base>& b);
+
+/// Watson-Crick + GU wobble pair classes; -1 if the bases cannot pair.
+inline int pair_class(Base a, Base b) {
+  if (a == A && b == U) return 0;
+  if (a == U && b == A) return 1;
+  if (a == G && b == C) return 2;
+  if (a == C && b == G) return 3;
+  if (a == G && b == U) return 4;
+  if (a == U && b == G) return 5;
+  return -1;
+}
+
+inline bool can_pair(Base a, Base b) { return pair_class(a, b) >= 0; }
+
+/// Minimum hairpin loop size (unpaired bases between the closing pair).
+inline constexpr index_t kMinHairpin = 3;
+
+struct EnergyModel {
+  // Hairpin loop penalty by unpaired size (Jacobson-Stockmayer shape).
+  Energy hairpin_base = 4.5f;
+  Energy hairpin_slope = 1.6f;
+
+  // Stacking energies stack[inner][outer] by pair class; symmetric-ish,
+  // GC-rich stacks strongest.
+  std::array<std::array<Energy, 6>, 6> stack{};
+
+  // Internal/bulge loops: penalty grows with total unpaired size.
+  Energy internal_base = 2.8f;
+  Energy internal_slope = 1.4f;
+  Energy bulge_base = 3.3f;
+  index_t max_internal = 10;  ///< larger internal loops are disallowed
+
+  // Multiloop affine model: a + b * branches + c * unpaired.
+  Energy ml_close = 3.4f;   ///< a (charged at the closing pair)
+  Energy ml_branch = 0.4f;  ///< b (per branch, closing pair included)
+  Energy ml_unpaired = 0.1f;///< c
+
+  EnergyModel();
+
+  Energy hairpin(index_t size) const {
+    if (size < kMinHairpin) return kInf;
+    return hairpin_base +
+           hairpin_slope * std::log2(static_cast<float>(size) /
+                                     static_cast<float>(kMinHairpin));
+  }
+
+  /// Loop closed by outer pair (classes oc) around inner pair (ic) with s1
+  /// unpaired on the 5' side and s2 on the 3' side.
+  Energy two_loop(int oc, int ic, index_t s1, index_t s2) const {
+    const index_t total = s1 + s2;
+    if (total == 0) return stack[static_cast<std::size_t>(oc)]
+                                [static_cast<std::size_t>(ic)];
+    if (total > max_internal) return kInf;
+    if (s1 == 0 || s2 == 0)
+      return bulge_base + internal_slope * std::log2(1.0f + float(total));
+    return internal_base + internal_slope * std::log2(1.0f + float(total));
+  }
+};
+
+/// Deterministic random RNA sequence with uniform base composition.
+std::vector<Base> random_sequence(index_t n, std::uint64_t seed);
+
+}  // namespace cellnpdp::zuker

@@ -1,0 +1,167 @@
+// Cache-oblivious recursive NPDP, after Chowdhury & Ramachandran [7]
+// (SPAA'08) — the other state-of-the-art line of work the paper discusses
+// (§II-B): instead of tiling for a known cache size, the triangle is
+// divided recursively so every level of a (multi-level) cache hierarchy is
+// reused automatically.
+//
+// Structure (DESIGN.md §5 uses the same dependence analysis):
+//
+//   tri(lo,hi)              solve the self-contained sub-triangle
+//     tri(lo,mid); tri(mid,hi); rect(lo,mid, mid,hi)
+//
+//   rect(r0,r1, c0,c1)      finalize the rectangle rows x cols, given the
+//                           invariant that every k in [r1, c0) has already
+//                           been applied to all of its cells
+//     quadrants BL -> {TL, BR} -> TR, each first extending the invariant
+//     with one recursive (min,+) multiply over the newly-gapped strip
+//
+//   mult(C, Arows, Bcols)   pure relaxation C = min(C, A (+) B): 8-way
+//                           recursive splitting down to a scalar base
+//
+// Every cell receives each k in (i, j) exactly once (the strips partition
+// the range), so the result matches the engine bit-for-bit on identically
+// seeded tables.
+#pragma once
+
+#include <algorithm>
+
+#include "common/defs.hpp"
+#include "core/instance.hpp"
+#include "layout/triangular.hpp"
+#include "simd/kernels.hpp"
+
+namespace cellnpdp {
+
+struct RecursiveOptions {
+  index_t base = 32;  ///< recursion leaf size (cells)
+};
+
+namespace recursive_detail {
+
+/// Seeds a triangular table from an instance using the engine's pure-mode
+/// convention (the Fig. 1 k == i self-term folded into the seed).
+template <class T>
+TriangularMatrix<T> seed_pure(const NpdpInstance<T>& inst) {
+  TriangularMatrix<T> d(inst.n);
+  for (index_t i = 0; i < inst.n; ++i) {
+    const T dii = inst.init(i, i);
+    d.at(i, i) = dii;
+    for (index_t j = i + 1; j < inst.n; ++j) {
+      const T init = inst.init(i, j);
+      const T self = init + dii;
+      d.at(i, j) = self < init ? self : init;
+    }
+  }
+  return d;
+}
+
+template <class T>
+class Recursor {
+ public:
+  Recursor(TriangularMatrix<T>& d, index_t base)
+      : d_(&d), base_(std::max<index_t>(2, base)) {}
+
+  void tri(index_t lo, index_t hi) {
+    if (hi - lo <= base_) {
+      // Ordered scalar base: every k in (i, j), strictly (the self-term
+      // lives in the seed).
+      for (index_t j = lo; j < hi; ++j)
+        for (index_t i = j - 1; i >= lo; --i) relax(i, j, i + 1, j);
+      return;
+    }
+    const index_t mid = lo + (hi - lo) / 2;
+    tri(lo, mid);
+    tri(mid, hi);
+    rect(lo, mid, mid, hi);
+  }
+
+  /// Rectangle rows [r0,r1) x cols [c0,c1); invariant: k in [r1, c0)
+  /// already applied to every cell here.
+  void rect(index_t r0, index_t r1, index_t c0, index_t c1) {
+    if (r1 - r0 <= base_ && c1 - c0 <= base_) {
+      for (index_t j = c0; j < c1; ++j)
+        for (index_t i = r1 - 1; i >= r0; --i) {
+          relax(i, j, i + 1, r1);  // row-block internal / left-triangle k
+          relax(i, j, c0, j);      // col-block internal / bottom k
+        }
+      return;
+    }
+    const index_t rm = r0 + (r1 - r0) / 2;
+    const index_t cm = c0 + (c1 - c0) / 2;
+    // BL: same gap as the parent — nothing to extend.
+    rect(rm, r1, c0, cm);
+    // TL: extend the gap with k in [rm, r1) (left strip x BL).
+    mult(r0, rm, c0, cm, rm, r1);
+    rect(r0, rm, c0, cm);
+    // BR: extend with k in [c0, cm) (BL x bottom strip).
+    mult(rm, r1, cm, c1, c0, cm);
+    rect(rm, r1, cm, c1);
+    // TR: extend with both strips (left x BR, TL x bottom).
+    mult(r0, rm, cm, c1, rm, r1);
+    mult(r0, rm, cm, c1, c0, cm);
+    rect(r0, rm, cm, c1);
+  }
+
+ private:
+  /// C[rows x cols] = min(C, d[rows][k] + d[k][cols]) for k in [k0, k1):
+  /// 8-way recursive (min,+) multiply.
+  void mult(index_t r0, index_t r1, index_t c0, index_t c1, index_t k0,
+            index_t k1) {
+    if (k0 >= k1) return;
+    if (r1 - r0 <= base_ && c1 - c0 <= base_ && k1 - k0 <= base_) {
+      for (index_t i = r0; i < r1; ++i)
+        for (index_t k = k0; k < k1; ++k) {
+          const T a = d_->at(i, k);
+          for (index_t j = c0; j < c1; ++j) {
+            const T cand = a + d_->at(k, j);
+            T& dst = d_->at(i, j);
+            if (cand < dst) dst = cand;
+          }
+        }
+      return;
+    }
+    // Split the largest dimension in two (relaxation order irrelevant).
+    const index_t dr = r1 - r0, dc = c1 - c0, dk = k1 - k0;
+    if (dr >= dc && dr >= dk) {
+      const index_t rm = r0 + dr / 2;
+      mult(r0, rm, c0, c1, k0, k1);
+      mult(rm, r1, c0, c1, k0, k1);
+    } else if (dc >= dk) {
+      const index_t cm = c0 + dc / 2;
+      mult(r0, r1, c0, cm, k0, k1);
+      mult(r0, r1, cm, c1, k0, k1);
+    } else {
+      const index_t km = k0 + dk / 2;
+      mult(r0, r1, c0, c1, k0, km);
+      mult(r0, r1, c0, c1, km, k1);
+    }
+  }
+
+  void relax(index_t i, index_t j, index_t klo, index_t khi) {
+    T acc = d_->at(i, j);
+    for (index_t k = klo; k < khi; ++k) {
+      const T cand = d_->at(i, k) + d_->at(k, j);
+      if (cand < acc) acc = cand;
+    }
+    d_->at(i, j) = acc;
+  }
+
+  TriangularMatrix<T>* d_;
+  index_t base_;
+};
+
+}  // namespace recursive_detail
+
+/// Solves a pure-mode instance with the cache-oblivious recursion.
+template <class T>
+TriangularMatrix<T> solve_recursive(const NpdpInstance<T>& inst,
+                                    const RecursiveOptions& opts = {}) {
+  TriangularMatrix<T> d = recursive_detail::seed_pure(inst);
+  if (inst.n > 1) {
+    recursive_detail::Recursor<T> rec(d, opts.base);
+    rec.tri(0, inst.n);
+  }
+  return d;
+}
+
+}  // namespace cellnpdp

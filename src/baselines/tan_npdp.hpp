@@ -1,0 +1,118 @@
+// TanNPDP: reimplementation of the state-of-the-art comparator the paper
+// measures against (Tan et al. [24][25][26]: SC'06, SPAA'07, TPDS'09).
+//
+// Characteristics reproduced from those papers' descriptions (§II-B, §VI-C):
+//   * the row-major triangular layout is kept (no layout change),
+//   * the iteration space is tiled so a block of the table is reused while
+//     it fits in the shared cache,
+//   * within an off-diagonal tile the k-range with no intra-tile
+//     dependences is processed by all cores in parallel; the dependent
+//     remainder is serial,
+//   * a helper thread walks the tiles needed next and touches their rows to
+//     pull them into cache ("helper threading"),
+//   * all arithmetic is scalar — the paper's point is precisely that this
+//     line of work leaves SIMD on the table.
+//
+// In pure mode with non-negative diagonal seeds the result is bit-identical
+// to Fig. 1 (tests enforce this).
+#pragma once
+
+#include <algorithm>
+#include <atomic>
+#include <thread>
+
+#include "common/defs.hpp"
+#include "common/thread_pool.hpp"
+#include "layout/triangular.hpp"
+#include "simd/kernels.hpp"
+
+namespace cellnpdp {
+
+struct TanOptions {
+  index_t tile = 128;          ///< tile side in cells
+  std::size_t threads = 1;     ///< worker cores
+  bool helper_prefetch = true; ///< emulate the helper prefetch thread
+};
+
+namespace tan_detail {
+
+/// Serial scalar relaxation of cell (i,j) over k in [lo, hi).
+template <class T>
+CELLNPDP_NOVEC inline void relax_range(TriangularMatrix<T>& d, index_t i,
+                                       index_t j, index_t lo, index_t hi) {
+  T acc = d.at(i, j);
+  for (index_t k = lo; k < hi; ++k) {
+    const T cand = d.at(i, k) + d.at(k, j);
+    if (cand < acc) acc = cand;
+  }
+  d.at(i, j) = acc;
+}
+
+template <class T>
+CELLNPDP_NOVEC inline void touch_rows(const TriangularMatrix<T>& d,
+                                      index_t r0, index_t r1, index_t c0,
+                                      index_t c1, std::atomic<T>* sink) {
+  // The helper thread of Tan et al. only warms the cache; accumulate into
+  // an atomic sink so the loads cannot be optimised away.
+  T acc{};
+  for (index_t r = r0; r < r1; ++r)
+    for (index_t c = std::max(r, c0); c < c1; c += 16) acc += d.at(r, c);
+  sink->store(acc, std::memory_order_relaxed);
+}
+
+}  // namespace tan_detail
+
+/// Runs TanNPDP in place over a seeded triangular matrix (pure mode).
+template <class T>
+void solve_tan_npdp(TriangularMatrix<T>& d, const TanOptions& opts) {
+  const index_t n = d.size();
+  const index_t ts = std::max<index_t>(4, opts.tile);
+  const index_t m = ceil_div(n, ts);
+  ThreadPool pool(opts.threads);
+  std::atomic<T> prefetch_sink{};
+
+  for (index_t bj = 0; bj < m; ++bj) {
+    const index_t c0 = bj * ts, c1 = std::min(n, (bj + 1) * ts);
+    for (index_t bi = bj; bi >= 0; --bi) {
+      const index_t r0 = bi * ts, r1 = std::min(n, (bi + 1) * ts);
+
+      std::thread helper;
+      if (opts.helper_prefetch && bi > 0) {
+        // Warm the rows of the tile the next step will read.
+        helper = std::thread([&, r0] {
+          tan_detail::touch_rows(d, std::max<index_t>(0, r0 - ts), r0, c0, c1,
+                                 &prefetch_sink);
+        });
+      }
+
+      if (bi == bj) {
+        // Diagonal tile: self-contained, original Fig. 1 order.
+        for (index_t j = c0; j < c1; ++j)
+          for (index_t i = j - 1; i >= r0; --i)
+            tan_detail::relax_range(d, i, j, i, j);
+      } else {
+        // Phase 1 (parallel): k strictly between the tile's row range and
+        // column range — no intra-tile dependences.
+        const index_t mid_lo = r1, mid_hi = c0;
+        if (mid_lo < mid_hi) {
+          pool.parallel_for(
+              static_cast<std::size_t>(r0), static_cast<std::size_t>(r1),
+              [&](std::size_t i) {
+                for (index_t j = c0; j < c1; ++j)
+                  tan_detail::relax_range(d, static_cast<index_t>(i), j,
+                                          mid_lo, mid_hi);
+              });
+        }
+        // Phase 2 (serial): the dependent k ranges, ordered walk.
+        for (index_t j = c0; j < c1; ++j)
+          for (index_t i = r1 - 1; i >= r0; --i) {
+            tan_detail::relax_range(d, i, j, i, std::min(r1, j));
+            tan_detail::relax_range(d, i, j, std::max(mid_hi, i), j);
+          }
+      }
+      if (helper.joinable()) helper.join();
+    }
+  }
+}
+
+}  // namespace cellnpdp

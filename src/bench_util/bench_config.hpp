@@ -1,0 +1,39 @@
+// Shared bench configuration.
+//
+// By default every bench binary finishes in tens of seconds on one core so
+// `for b in build/bench/*; do $b; done` is practical; pass `--full` (or set
+// CELLNPDP_FULL=1) to run the paper's full problem sizes where that is a
+// native measurement (simulated experiments always run the full sizes —
+// the timing-only simulator is cheap).
+#pragma once
+
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+namespace cellnpdp {
+
+struct BenchConfig {
+  bool full = false;
+
+  static BenchConfig from_args(int argc, char** argv) {
+    BenchConfig cfg;
+    const char* env = std::getenv("CELLNPDP_FULL");
+    if (env != nullptr && env[0] == '1') cfg.full = true;
+    for (int i = 1; i < argc; ++i)
+      if (std::strcmp(argv[i], "--full") == 0) cfg.full = true;
+    return cfg;
+  }
+};
+
+inline void print_bench_header(const std::string& title,
+                               const BenchConfig& cfg) {
+  std::string bar(title.size() + 8, '=');
+  std::printf("\n%s\n=== %s ===\n%s\n", bar.c_str(), title.c_str(),
+              bar.c_str());
+  if (!cfg.full)
+    std::printf("(scaled sizes; pass --full or CELLNPDP_FULL=1 for the "
+                "paper's full native sizes)\n");
+}
+
+}  // namespace cellnpdp

@@ -1,0 +1,104 @@
+// Fixed-width table printer for the paper-style bench outputs.
+#pragma once
+
+#include <cstdio>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace cellnpdp {
+
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> headers)
+      : headers_(std::move(headers)) {}
+
+  template <class... Cells>
+  void row(Cells&&... cells) {
+    std::vector<std::string> r;
+    (r.push_back(to_cell(std::forward<Cells>(cells))), ...);
+    rows_.push_back(std::move(r));
+  }
+
+  void print(std::ostream& os = std::cout) const {
+    std::vector<std::size_t> width(headers_.size());
+    for (std::size_t c = 0; c < headers_.size(); ++c)
+      width[c] = headers_[c].size();
+    for (const auto& r : rows_)
+      for (std::size_t c = 0; c < r.size() && c < width.size(); ++c)
+        width[c] = std::max(width[c], r[c].size());
+
+    auto line = [&](const std::vector<std::string>& cells) {
+      os << "| ";
+      for (std::size_t c = 0; c < headers_.size(); ++c) {
+        const std::string& s = c < cells.size() ? cells[c] : std::string{};
+        os << s << std::string(width[c] - s.size(), ' ')
+           << (c + 1 < headers_.size() ? " | " : " |\n");
+      }
+    };
+    line(headers_);
+    os << "|";
+    for (std::size_t c = 0; c < headers_.size(); ++c)
+      os << std::string(width[c] + 2, '-') << (c + 1 < headers_.size() ? "|" : "|\n");
+    for (const auto& r : rows_) line(r);
+  }
+
+ private:
+  template <class T>
+  static std::string to_cell(const T& v) {
+    if constexpr (std::is_convertible_v<T, std::string>) {
+      return std::string(v);
+    } else {
+      std::ostringstream ss;
+      ss << v;
+      return ss.str();
+    }
+  }
+
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// "12.3 ms" / "4.56 s" / "1.9 h" style durations.
+inline std::string fmt_seconds(double s) {
+  char buf[64];
+  if (s < 0)
+    std::snprintf(buf, sizeof buf, "n/a");
+  else if (s < 1e-3)
+    std::snprintf(buf, sizeof buf, "%.1f us", s * 1e6);
+  else if (s < 1.0)
+    std::snprintf(buf, sizeof buf, "%.2f ms", s * 1e3);
+  else if (s < 600)
+    std::snprintf(buf, sizeof buf, "%.3g s", s);
+  else if (s < 36000)
+    std::snprintf(buf, sizeof buf, "%.3g min", s / 60);
+  else
+    std::snprintf(buf, sizeof buf, "%.3g h", s / 3600);
+  return buf;
+}
+
+inline std::string fmt_bytes(double b) {
+  char buf[64];
+  if (b < 1e6)
+    std::snprintf(buf, sizeof buf, "%.1f KB", b / 1e3);
+  else if (b < 1e9)
+    std::snprintf(buf, sizeof buf, "%.1f MB", b / 1e6);
+  else
+    std::snprintf(buf, sizeof buf, "%.2f GB", b / 1e9);
+  return buf;
+}
+
+inline std::string fmt_x(double f) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%.2fx", f);
+  return buf;
+}
+
+inline std::string fmt_pct(double f) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%.1f%%", f * 100);
+  return buf;
+}
+
+}  // namespace cellnpdp

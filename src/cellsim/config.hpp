@@ -1,0 +1,112 @@
+// Cell Broadband Engine machine description (paper §II-C).
+//
+// The QS20 blade the paper measures on: two Cell processors, 8 SPEs each,
+// 3.2 GHz, 256 KB local stores, 25.6 GB/s main-memory bandwidth, SPEs with
+// two in-order issue pipelines (pipe 0: arithmetic; pipe 1: load / store /
+// shuffle / branch).
+//
+// Calibrated constants (marked CAL) are baseline-only parameters fitted to
+// the paper's own measurements where first-principles modelling is not
+// possible on commodity hardware; EXPERIMENTS.md discusses each.
+#pragma once
+
+#include <string>
+
+#include "common/defs.hpp"
+
+namespace cellnpdp {
+
+enum class Precision { Single, Double };
+
+constexpr index_t precision_bytes(Precision p) {
+  return p == Precision::Single ? 4 : 8;
+}
+
+constexpr const char* precision_name(Precision p) {
+  return p == Precision::Single ? "single" : "double";
+}
+
+/// Instruction latencies for one precision (paper Table I and §VI-A.5).
+struct SpuLatencies {
+  int load = 6;
+  int shuffle = 4;
+  int add = 6;        ///< 13 for DPFP
+  int cmp = 2;
+  int sel = 2;
+  int store = 6;
+  int add_stall = 0;  ///< DPFP adds stall the pipe 6 extra cycles
+  int cmp_stall = 0;  ///< DPFP compares run on the same FPD unit and stall too
+};
+
+inline SpuLatencies spu_latencies(Precision p) {
+  SpuLatencies l;
+  if (p == Precision::Double) {
+    // The SPU FPD unit is not fully pipelined: every double-precision
+    // arithmetic or compare instruction has 13-cycle latency and stalls
+    // the pipe for 6 extra cycles (§VI-A.5).
+    l.add = 13;
+    l.add_stall = 6;
+    l.cmp = 13;
+    l.cmp_stall = 6;
+  }
+  return l;
+}
+
+struct CellConfig {
+  std::string name = "QS20";
+  int num_spes = 16;                      ///< dual-Cell blade
+  double clock_hz = 3.2e9;
+  index_t local_store_bytes = 256 * 1024;
+  index_t ls_code_bytes = 48 * 1024;      ///< instructions resident in LS
+  int ls_buffers = 6;                     ///< double-buffered triples (§III)
+
+  double memory_bandwidth = 25.6e9;       ///< bytes/s, shared over the EIB
+  double dma_cmd_latency = 250e-9;        ///< CAL: small-DMA round trip
+  index_t dma_overhead_bytes = 512;       ///< per-command setup cost charged
+                                          ///< as bus occupancy (small DMAs
+                                          ///< reach a fraction of peak BW)
+  double ppe_dispatch_seconds = 2e-6;     ///< task queue overhead per task
+
+  /// CAL: scalar relaxation cost on one SPE out of the local store (no
+  /// SIMD): in-order core, dependent load-add-cmp chain per iteration.
+  double spe_scalar_cycles_per_relax_sp = 27.0;
+  double spe_scalar_cycles_per_relax_dp = 34.0;
+
+  double spe_scalar_cycles_per_relax(Precision p) const {
+    return p == Precision::Single ? spe_scalar_cycles_per_relax_sp
+                                  : spe_scalar_cycles_per_relax_dp;
+  }
+
+  /// Largest square memory block (cells per side) such that `ls_buffers`
+  /// of them plus the code fit in the local store — the paper's
+  /// "block size should not exceed 1/6 of the local store".
+  index_t max_block_side(Precision p) const {
+    const index_t budget =
+        (local_store_bytes - ls_code_bytes) / ls_buffers;
+    index_t side = 1;
+    while ((side + 1) * (side + 1) * precision_bytes(p) <= budget) ++side;
+    return side;
+  }
+};
+
+/// The IBM QS20 dual-Cell blade (16 SPEs).
+inline CellConfig qs20() { return {}; }
+
+/// A single Cell processor (8 SPEs).
+inline CellConfig cell_single() {
+  CellConfig c;
+  c.name = "Cell(8 SPE)";
+  c.num_spes = 8;
+  return c;
+}
+
+/// §VI-D: hypothetical machines with smaller local stores.
+inline CellConfig cell_with_local_store(index_t ls_bytes) {
+  CellConfig c;
+  c.name = "Cell(LS=" + std::to_string(ls_bytes / 1024) + "KB)";
+  c.local_store_bytes = ls_bytes;
+  c.ls_code_bytes = 0;  // sweep applies the whole LS to data buffers
+  return c;
+}
+
+}  // namespace cellnpdp

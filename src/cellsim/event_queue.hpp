@@ -1,0 +1,57 @@
+// Discrete-event scheduling core of the Cell simulator.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+namespace cellnpdp {
+
+class EventQueue {
+ public:
+  using Action = std::function<void()>;
+
+  double now() const { return now_; }
+
+  /// Schedules `fn` at absolute simulated time `t` (>= now). Events at the
+  /// same instant run in scheduling order (stable via sequence numbers), so
+  /// runs are deterministic.
+  void at(double t, Action fn) {
+    heap_.push(Event{t, seq_++, std::move(fn)});
+  }
+
+  void after(double delay, Action fn) { at(now_ + delay, std::move(fn)); }
+
+  /// Runs events until the queue drains. Returns the final simulated time.
+  double run() {
+    while (!heap_.empty()) {
+      // Moving the action out before popping keeps `heap_` reentrant: the
+      // action may schedule new events.
+      Event ev = std::move(const_cast<Event&>(heap_.top()));
+      heap_.pop();
+      now_ = ev.time;
+      ev.action();
+    }
+    return now_;
+  }
+
+  bool empty() const { return heap_.empty(); }
+
+ private:
+  struct Event {
+    double time;
+    std::uint64_t seq;
+    Action action;
+
+    bool operator>(const Event& o) const {
+      return time != o.time ? time > o.time : seq > o.seq;
+    }
+  };
+
+  std::priority_queue<Event, std::vector<Event>, std::greater<>> heap_;
+  double now_ = 0.0;
+  std::uint64_t seq_ = 0;
+};
+
+}  // namespace cellnpdp

@@ -1,0 +1,58 @@
+// Shared main-memory / EIB bandwidth model.
+//
+// All SPE DMA traffic funnels through one bandwidth-limited resource
+// (25.6 GB/s on the QS20). A transfer reserves the bus for bytes/BW
+// seconds, serialising against every other transfer — which is exactly how
+// aggregate-bandwidth saturation appears when many SPEs stream blocks.
+// Each DMA command additionally pays a fixed latency that does not occupy
+// the bus (round-trip through the MFC); commands in one logical transfer
+// are pipelined, so the latency is charged once per transfer.
+#pragma once
+
+#include <algorithm>
+
+#include "common/defs.hpp"
+
+namespace cellnpdp {
+
+struct BusStats {
+  index_t bytes = 0;
+  index_t commands = 0;
+  double busy_seconds = 0.0;
+};
+
+class MemoryBus {
+ public:
+  MemoryBus(double bandwidth_bytes_per_s, double cmd_latency_s,
+            index_t cmd_overhead_bytes = 0)
+      : bw_(bandwidth_bytes_per_s),
+        lat_(cmd_latency_s),
+        overhead_(cmd_overhead_bytes) {}
+
+  /// A transfer of `bytes` split over `cmds` DMA commands, issued at time
+  /// `t`. Returns the completion time.
+  double transfer(double t, index_t bytes, index_t cmds) {
+    const double start = std::max(t, free_at_);
+    const double xfer =
+        static_cast<double>(bytes + cmds * overhead_) / bw_;
+    free_at_ = start + xfer;
+    stats_.bytes += bytes;
+    stats_.commands += cmds;
+    stats_.busy_seconds += xfer;
+    return free_at_ + lat_;
+  }
+
+  const BusStats& stats() const { return stats_; }
+  double utilization(double total_seconds) const {
+    return total_seconds <= 0 ? 0.0 : stats_.busy_seconds / total_seconds;
+  }
+
+ private:
+  double bw_;
+  double lat_;
+  index_t overhead_ = 0;
+  double free_at_ = 0.0;
+  BusStats stats_;
+};
+
+}  // namespace cellnpdp

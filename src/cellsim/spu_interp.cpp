@@ -1,0 +1,178 @@
+#include "cellsim/spu_interp.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <stdexcept>
+
+namespace cellnpdp {
+
+SpuKernelProgram make_cb_kernel_semantics(int w) {
+  assert(w >= 1 && w <= 8);
+  SpuKernelProgram k;
+  k.width = w;
+  SpuProgram& p = k.prog;
+
+  auto annotate = [&](SpuMemBase base, int row, int ln) {
+    k.mem.push_back(base);
+    k.mem_row.push_back(row);
+    k.lane.push_back(ln);
+  };
+
+  // Mirror make_cb_kernel_program's emission order exactly: A rows, B rows,
+  // C rows, shuffles (k-major), adds (k-major), cmp/sel pairs, stores.
+  std::vector<int> A(static_cast<std::size_t>(w)),
+      B(static_cast<std::size_t>(w)), C(static_cast<std::size_t>(w));
+  for (int r = 0; r < w; ++r) {
+    A[static_cast<std::size_t>(r)] = p.emit(SpuOp::Load);
+    annotate(SpuMemBase::A, r, -1);
+  }
+  for (int kk = 0; kk < w; ++kk) {
+    B[static_cast<std::size_t>(kk)] = p.emit(SpuOp::Load);
+    annotate(SpuMemBase::B, kk, -1);
+  }
+  for (int r = 0; r < w; ++r) {
+    C[static_cast<std::size_t>(r)] = p.emit(SpuOp::Load);
+    annotate(SpuMemBase::C, r, -1);
+  }
+
+  std::vector<std::vector<int>> S(static_cast<std::size_t>(w)),
+      D(static_cast<std::size_t>(w));
+  for (int r = 0; r < w; ++r) {
+    S[static_cast<std::size_t>(r)].assign(static_cast<std::size_t>(w), -1);
+    D[static_cast<std::size_t>(r)].assign(static_cast<std::size_t>(w), -1);
+  }
+  for (int kk = 0; kk < w; ++kk)
+    for (int r = 0; r < w; ++r) {
+      S[static_cast<std::size_t>(r)][static_cast<std::size_t>(kk)] =
+          p.emit(SpuOp::Shuffle, A[static_cast<std::size_t>(r)]);
+      annotate(SpuMemBase::None, -1, kk);
+    }
+  for (int kk = 0; kk < w; ++kk)
+    for (int r = 0; r < w; ++r) {
+      D[static_cast<std::size_t>(r)][static_cast<std::size_t>(kk)] =
+          p.emit(SpuOp::Add,
+                 S[static_cast<std::size_t>(r)][static_cast<std::size_t>(kk)],
+                 B[static_cast<std::size_t>(kk)]);
+      annotate(SpuMemBase::None, -1, -1);
+    }
+
+  std::vector<int> acc = C;
+  for (int kk = 0; kk < w; ++kk) {
+    std::vector<int> m(static_cast<std::size_t>(w));
+    for (int r = 0; r < w; r += 2) {
+      const int r2 = std::min(r + 1, w - 1);
+      m[static_cast<std::size_t>(r)] = p.emit(
+          SpuOp::Cmp, acc[static_cast<std::size_t>(r)],
+          D[static_cast<std::size_t>(r)][static_cast<std::size_t>(kk)]);
+      annotate(SpuMemBase::None, -1, -1);
+      if (r2 != r) {
+        m[static_cast<std::size_t>(r2)] = p.emit(
+            SpuOp::Cmp, acc[static_cast<std::size_t>(r2)],
+            D[static_cast<std::size_t>(r2)][static_cast<std::size_t>(kk)]);
+        annotate(SpuMemBase::None, -1, -1);
+      }
+      acc[static_cast<std::size_t>(r)] = p.emit(
+          SpuOp::Sel, acc[static_cast<std::size_t>(r)],
+          D[static_cast<std::size_t>(r)][static_cast<std::size_t>(kk)],
+          m[static_cast<std::size_t>(r)]);
+      annotate(SpuMemBase::None, -1, -1);
+      if (r2 != r) {
+        acc[static_cast<std::size_t>(r2)] = p.emit(
+            SpuOp::Sel, acc[static_cast<std::size_t>(r2)],
+            D[static_cast<std::size_t>(r2)][static_cast<std::size_t>(kk)],
+            m[static_cast<std::size_t>(r2)]);
+        annotate(SpuMemBase::None, -1, -1);
+      }
+    }
+  }
+  for (int r = 0; r < w; ++r) {
+    p.emit(SpuOp::Store, acc[static_cast<std::size_t>(r)]);
+    annotate(SpuMemBase::C, r, -1);
+  }
+  return k;
+}
+
+void interpret_spu_kernel(const SpuKernelProgram& k, float* C, index_t sc,
+                          const float* A, index_t sa, const float* B,
+                          index_t sb) {
+  const int w = k.width;
+  // A register is a w-lane vector; Cmp produces an all-ones/zero mask
+  // encoded as 1.0f / 0.0f lanes.
+  std::vector<std::vector<float>> regs(
+      static_cast<std::size_t>(k.prog.next_reg),
+      std::vector<float>(static_cast<std::size_t>(w), 0.0f));
+
+  auto row_ptr = [&](SpuMemBase base, int row) -> const float* {
+    switch (base) {
+      case SpuMemBase::A: return A + row * sa;
+      case SpuMemBase::B: return B + row * sb;
+      case SpuMemBase::C: return C + row * sc;
+      default: throw std::logic_error("load without a memory operand");
+    }
+  };
+
+  for (std::size_t idx = 0; idx < k.prog.instrs.size(); ++idx) {
+    const SpuInstr& in = k.prog.instrs[idx];
+    switch (in.op) {
+      case SpuOp::Load: {
+        const float* src = row_ptr(k.mem[idx], k.mem_row[idx]);
+        for (int l = 0; l < w; ++l)
+          regs[static_cast<std::size_t>(in.dst)][static_cast<std::size_t>(l)] =
+              src[l];
+        break;
+      }
+      case SpuOp::Store: {
+        if (k.mem[idx] != SpuMemBase::C)
+          throw std::logic_error("stores must target C");
+        float* dst = C + k.mem_row[idx] * sc;
+        for (int l = 0; l < w; ++l)
+          dst[l] = regs[static_cast<std::size_t>(in.src[0])]
+                       [static_cast<std::size_t>(l)];
+        break;
+      }
+      case SpuOp::Shuffle: {
+        const float v = regs[static_cast<std::size_t>(in.src[0])]
+                            [static_cast<std::size_t>(k.lane[idx])];
+        for (int l = 0; l < w; ++l)
+          regs[static_cast<std::size_t>(in.dst)][static_cast<std::size_t>(l)] =
+              v;
+        break;
+      }
+      case SpuOp::Add: {
+        for (int l = 0; l < w; ++l)
+          regs[static_cast<std::size_t>(in.dst)][static_cast<std::size_t>(l)] =
+              regs[static_cast<std::size_t>(in.src[0])]
+                  [static_cast<std::size_t>(l)] +
+              regs[static_cast<std::size_t>(in.src[1])]
+                  [static_cast<std::size_t>(l)];
+        break;
+      }
+      case SpuOp::Cmp: {
+        // Marks the lanes where the candidate (src1) beats the current
+        // value (src0) — the paper's "mark the minimum values".
+        for (int l = 0; l < w; ++l)
+          regs[static_cast<std::size_t>(in.dst)][static_cast<std::size_t>(l)] =
+              regs[static_cast<std::size_t>(in.src[1])]
+                  [static_cast<std::size_t>(l)] <
+                      regs[static_cast<std::size_t>(in.src[0])]
+                          [static_cast<std::size_t>(l)]
+                  ? 1.0f
+                  : 0.0f;
+        break;
+      }
+      case SpuOp::Sel: {
+        for (int l = 0; l < w; ++l)
+          regs[static_cast<std::size_t>(in.dst)][static_cast<std::size_t>(l)] =
+              regs[static_cast<std::size_t>(in.src[2])]
+                  [static_cast<std::size_t>(l)] != 0.0f
+                  ? regs[static_cast<std::size_t>(in.src[1])]
+                        [static_cast<std::size_t>(l)]
+                  : regs[static_cast<std::size_t>(in.src[0])]
+                        [static_cast<std::size_t>(l)];
+        break;
+      }
+    }
+  }
+}
+
+}  // namespace cellnpdp

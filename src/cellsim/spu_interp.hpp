@@ -1,0 +1,42 @@
+// Functional interpreter for SPU kernel programs.
+//
+// The pipeline model (spu_pipeline) charges cycles for the kernel's
+// instruction stream; this interpreter *executes* the same stream on real
+// register values — loads, splat-shuffles, adds, compare+select pairs,
+// stores — against a C/A/B tile triple. Tests run it against the native
+// kernels, proving that the instruction sequence whose timing we model is
+// semantically the paper's computing-block relaxation (not just an
+// instruction histogram).
+#pragma once
+
+#include <vector>
+
+#include "cellsim/spu_pipeline.hpp"
+#include "common/defs.hpp"
+
+namespace cellnpdp {
+
+/// Memory operand annotation for loads/stores: which tile and row.
+enum class SpuMemBase : int { None = -1, A = 0, B = 1, C = 2 };
+
+/// A kernel program with full operand semantics.
+struct SpuKernelProgram {
+  SpuProgram prog;                 ///< the timed instruction stream
+  std::vector<SpuMemBase> mem;     ///< per instruction: load/store tile
+  std::vector<int> mem_row;        ///< per instruction: tile row
+  std::vector<int> lane;           ///< per instruction: shuffle lane
+  int width = 4;
+};
+
+/// Builds the register-cached computing-block kernel with operand
+/// annotations. The instruction stream is identical to
+/// make_cb_kernel_program(w) (tests enforce this).
+SpuKernelProgram make_cb_kernel_semantics(int w);
+
+/// Executes the program: C = the result of running the instruction stream
+/// against tiles A, B, C with the given row strides.
+void interpret_spu_kernel(const SpuKernelProgram& k, float* C, index_t sc,
+                          const float* A, index_t sa, const float* B,
+                          index_t sb);
+
+}  // namespace cellnpdp

@@ -1,0 +1,234 @@
+#include "cellsim/spu_pipeline.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <deque>
+
+namespace cellnpdp {
+
+namespace {
+
+int op_latency(SpuOp op, const SpuLatencies& lat) {
+  switch (op) {
+    case SpuOp::Load: return lat.load;
+    case SpuOp::Store: return lat.store;
+    case SpuOp::Shuffle: return lat.shuffle;
+    case SpuOp::Add: return lat.add;
+    case SpuOp::Cmp: return lat.cmp;
+    case SpuOp::Sel: return lat.sel;
+  }
+  return 1;
+}
+
+int op_stall(SpuOp op, const SpuLatencies& lat) {
+  if (op == SpuOp::Add) return lat.add_stall;
+  if (op == SpuOp::Cmp) return lat.cmp_stall;
+  return 0;
+}
+
+}  // namespace
+
+int simulate_spu_cycles(const SpuProgram& prog, const SpuLatencies& lat) {
+  // Per-pipe in-order queues of instruction indices.
+  std::deque<std::size_t> queue[2];
+  for (std::size_t i = 0; i < prog.instrs.size(); ++i)
+    queue[spu_pipe(prog.instrs[i].op)].push_back(i);
+
+  // A register produced inside the program is unavailable until its
+  // producer has issued; externally-defined registers (never a dst) are
+  // ready from cycle 0.
+  constexpr int kNotYetProduced = 1 << 28;
+  std::vector<int> ready(static_cast<std::size_t>(prog.next_reg), 0);
+  for (const auto& in : prog.instrs)
+    if (in.dst >= 0) ready[static_cast<std::size_t>(in.dst)] = kNotYetProduced;
+  int pipe_free[2] = {0, 0};
+  int cycle = 0;
+  int done_at = 0;
+
+  auto issueable = [&](std::size_t idx) {
+    const SpuInstr& in = prog.instrs[idx];
+    for (int s : in.src)
+      if (s >= 0 && ready[static_cast<std::size_t>(s)] > cycle) return false;
+    return true;
+  };
+
+  while (!queue[0].empty() || !queue[1].empty()) {
+    bool issued = false;
+    for (int p = 0; p < 2; ++p) {
+      if (queue[p].empty() || pipe_free[p] > cycle) continue;
+      const std::size_t idx = queue[p].front();
+      if (!issueable(idx)) continue;
+      const SpuInstr& in = prog.instrs[idx];
+      queue[p].pop_front();
+      const int latency = op_latency(in.op, lat);
+      if (in.dst >= 0) ready[static_cast<std::size_t>(in.dst)] = cycle + latency;
+      pipe_free[p] = cycle + 1 + op_stall(in.op, lat);
+      done_at = std::max(done_at, cycle + latency);
+      issued = true;
+    }
+    ++cycle;
+    (void)issued;
+  }
+  return std::max(done_at, cycle);
+}
+
+SpuProgram make_cb_kernel_program(int w) {
+  assert(w >= 1 && w <= 8);
+  SpuProgram p;
+
+  // Software-pipelined emission order. Pipe-1 stream: A rows first (the
+  // shuffles depend on them), then B rows, then C rows, with the shuffles
+  // following; pipe-0 stream: adds as their shuffles complete, then the
+  // cmp/sel accumulation chains interleaved two rows at a time so the
+  // 2-cycle cmp->sel dependence never bubbles the pipe.
+  std::vector<int> A(w), B(w), C(w);
+  for (int r = 0; r < w; ++r) A[r] = p.emit(SpuOp::Load);
+  for (int k = 0; k < w; ++k) B[k] = p.emit(SpuOp::Load);
+  for (int r = 0; r < w; ++r) C[r] = p.emit(SpuOp::Load);
+
+  // shuffles S[r][k]: splat lane k of A row r.
+  std::vector<std::vector<int>> S(static_cast<std::size_t>(w)),
+      D(static_cast<std::size_t>(w));
+  for (int k = 0; k < w; ++k)
+    for (int r = 0; r < w; ++r)
+      S[static_cast<std::size_t>(r)].push_back(-1);
+  for (int k = 0; k < w; ++k)
+    for (int r = 0; r < w; ++r)
+      S[static_cast<std::size_t>(r)][static_cast<std::size_t>(k)] =
+          p.emit(SpuOp::Shuffle, A[r]);
+
+  // adds D[r][k] = S[r][k] + B[k], emitted k-major so rows stay independent.
+  for (int r = 0; r < w; ++r) D[static_cast<std::size_t>(r)].resize(
+      static_cast<std::size_t>(w));
+  for (int k = 0; k < w; ++k)
+    for (int r = 0; r < w; ++r)
+      D[static_cast<std::size_t>(r)][static_cast<std::size_t>(k)] =
+          p.emit(SpuOp::Add, S[static_cast<std::size_t>(r)]
+                              [static_cast<std::size_t>(k)], B[k]);
+
+  // Accumulation: per k step, cmp/sel for all rows interleaved in pairs.
+  std::vector<int> acc = C;
+  for (int k = 0; k < w; ++k) {
+    std::vector<int> m(static_cast<std::size_t>(w));
+    for (int r = 0; r < w; r += 2) {
+      const int r2 = std::min(r + 1, w - 1);
+      m[static_cast<std::size_t>(r)] =
+          p.emit(SpuOp::Cmp, acc[r],
+                 D[static_cast<std::size_t>(r)][static_cast<std::size_t>(k)]);
+      if (r2 != r)
+        m[static_cast<std::size_t>(r2)] = p.emit(
+            SpuOp::Cmp, acc[r2],
+            D[static_cast<std::size_t>(r2)][static_cast<std::size_t>(k)]);
+      acc[r] = p.emit(SpuOp::Sel, acc[r],
+                      D[static_cast<std::size_t>(r)][static_cast<std::size_t>(k)],
+                      m[static_cast<std::size_t>(r)]);
+      if (r2 != r)
+        acc[r2] = p.emit(
+            SpuOp::Sel, acc[r2],
+            D[static_cast<std::size_t>(r2)][static_cast<std::size_t>(k)],
+            m[static_cast<std::size_t>(r2)]);
+    }
+  }
+
+  for (int r = 0; r < w; ++r) p.emit(SpuOp::Store, acc[r]);
+  return p;
+}
+
+namespace {
+
+// One kernel iteration split into its pipeline stages so the stream
+// generator can interleave consecutive iterations.
+struct KernelStage {
+  std::vector<int> loads;     // emitted: A rows, B rows, C rows
+  std::vector<int> shuffles;  // S[r*w+k]
+};
+
+KernelStage emit_loads_shuffles(SpuProgram& p, int w) {
+  KernelStage st;
+  std::vector<int> A(static_cast<std::size_t>(w));
+  for (int r = 0; r < w; ++r) {
+    A[static_cast<std::size_t>(r)] = p.emit(SpuOp::Load);
+    st.loads.push_back(A[static_cast<std::size_t>(r)]);
+  }
+  for (int k = 0; k < w; ++k) st.loads.push_back(p.emit(SpuOp::Load));  // B
+  for (int r = 0; r < w; ++r) st.loads.push_back(p.emit(SpuOp::Load));  // C
+  st.shuffles.resize(static_cast<std::size_t>(w * w));
+  for (int k = 0; k < w; ++k)
+    for (int r = 0; r < w; ++r)
+      st.shuffles[static_cast<std::size_t>(r * w + k)] =
+          p.emit(SpuOp::Shuffle, A[static_cast<std::size_t>(r)]);
+  return st;
+}
+
+// Arithmetic + stores of one iteration, given its loads/shuffles.
+void emit_arith_stores(SpuProgram& p, int w, const KernelStage& st) {
+  auto B = [&](int k) { return st.loads[static_cast<std::size_t>(w + k)]; };
+  auto C = [&](int r) { return st.loads[static_cast<std::size_t>(2 * w + r)]; };
+  std::vector<std::vector<int>> D(static_cast<std::size_t>(w));
+  for (int r = 0; r < w; ++r)
+    D[static_cast<std::size_t>(r)].resize(static_cast<std::size_t>(w));
+  for (int k = 0; k < w; ++k)
+    for (int r = 0; r < w; ++r)
+      D[static_cast<std::size_t>(r)][static_cast<std::size_t>(k)] = p.emit(
+          SpuOp::Add, st.shuffles[static_cast<std::size_t>(r * w + k)], B(k));
+  std::vector<int> acc(static_cast<std::size_t>(w));
+  for (int r = 0; r < w; ++r) acc[static_cast<std::size_t>(r)] = C(r);
+  for (int k = 0; k < w; ++k) {
+    for (int r = 0; r < w; r += 2) {
+      const int r2 = std::min(r + 1, w - 1);
+      const int m1 = p.emit(SpuOp::Cmp, acc[static_cast<std::size_t>(r)],
+                            D[static_cast<std::size_t>(r)]
+                             [static_cast<std::size_t>(k)]);
+      const int m2 =
+          r2 != r ? p.emit(SpuOp::Cmp, acc[static_cast<std::size_t>(r2)],
+                           D[static_cast<std::size_t>(r2)]
+                            [static_cast<std::size_t>(k)])
+                  : -1;
+      acc[static_cast<std::size_t>(r)] =
+          p.emit(SpuOp::Sel, acc[static_cast<std::size_t>(r)],
+                 D[static_cast<std::size_t>(r)][static_cast<std::size_t>(k)],
+                 m1);
+      if (r2 != r)
+        acc[static_cast<std::size_t>(r2)] =
+            p.emit(SpuOp::Sel, acc[static_cast<std::size_t>(r2)],
+                   D[static_cast<std::size_t>(r2)]
+                    [static_cast<std::size_t>(k)],
+                   m2);
+    }
+  }
+  for (int r = 0; r < w; ++r) p.emit(SpuOp::Store, acc[static_cast<std::size_t>(r)]);
+}
+
+}  // namespace
+
+SpuProgram make_cb_kernel_stream(int w, int iters) {
+  SpuProgram p;
+  // Software pipelining: hoist iteration i+1's loads and shuffles above
+  // iteration i's arithmetic tail and stores, so pipe 1 never head-blocks
+  // pipe 0 across iteration boundaries.
+  KernelStage cur = emit_loads_shuffles(p, w);
+  for (int i = 0; i < iters; ++i) {
+    KernelStage next;
+    if (i + 1 < iters) next = emit_loads_shuffles(p, w);
+    emit_arith_stores(p, w, cur);
+    cur = std::move(next);
+  }
+  return p;
+}
+
+int kernel_cold_cycles(int w, const SpuLatencies& lat) {
+  return simulate_spu_cycles(make_cb_kernel_program(w), lat);
+}
+
+int kernel_steady_cycles(int w, const SpuLatencies& lat) {
+  const int c1 = simulate_spu_cycles(make_cb_kernel_stream(w, 1), lat);
+  const int c3 = simulate_spu_cycles(make_cb_kernel_stream(w, 3), lat);
+  const int diff = (c3 - c1) / 2;
+  // A kernel can never retire faster than its pipe-0 occupancy:
+  // w^2 adds + w^2 cmps (each holding the pipe 1 + stall cycles) + w^2 sels.
+  const int pipe0_occupancy = w * w * (1 + lat.add_stall) +
+                              w * w * (1 + lat.cmp_stall) + w * w;
+  return std::max(diff, pipe0_occupancy);
+}
+
+}  // namespace cellnpdp

@@ -1,0 +1,102 @@
+// SPU dual-issue pipeline timing model (paper §IV-A, Table I).
+//
+// The SPE issues in order from two pipelines: pipe 0 executes arithmetic
+// (add / compare / select), pipe 1 executes memory and permute operations
+// (load / store / shuffle). Two instructions issue in the same cycle only
+// when they sit on different pipes. Every value has a producer latency;
+// DPFP adds additionally stall their pipe for 6 cycles (§VI-A.5).
+//
+// The model is scoreboarded per-pipe in-order issue: the head instruction
+// of each pipe's program-order queue issues as soon as its operands are
+// ready and the pipe is free. This reproduces the paper's measured ~54
+// cycles for the 80-instruction computing-block kernel once software
+// pipelining across consecutive kernel invocations is accounted for
+// (steady-state cycles = cycles(2 kernels) - cycles(1 kernel)).
+#pragma once
+
+#include <vector>
+
+#include "cellsim/config.hpp"
+#include "common/defs.hpp"
+
+namespace cellnpdp {
+
+enum class SpuOp { Load, Store, Shuffle, Add, Cmp, Sel };
+
+/// Which pipe an op issues on (Table I's "pipeline type").
+constexpr int spu_pipe(SpuOp op) {
+  switch (op) {
+    case SpuOp::Add:
+    case SpuOp::Cmp:
+    case SpuOp::Sel:
+      return 0;
+    case SpuOp::Load:
+    case SpuOp::Store:
+    case SpuOp::Shuffle:
+      return 1;
+  }
+  return 0;
+}
+
+struct SpuInstr {
+  SpuOp op;
+  int dst = -1;                 ///< produced register (-1: none, e.g. store)
+  int src[3] = {-1, -1, -1};    ///< consumed registers
+};
+
+/// A straight-line SPU program (SSA register naming; the real SPE has 128
+/// registers, far more than any kernel needs).
+struct SpuProgram {
+  std::vector<SpuInstr> instrs;
+  int next_reg = 0;
+
+  int fresh() { return next_reg++; }
+
+  int emit(SpuOp op, int a = -1, int b = -1, int c = -1) {
+    const bool produces = op != SpuOp::Store;
+    SpuInstr in;
+    in.op = op;
+    in.dst = produces ? fresh() : -1;
+    in.src[0] = a;
+    in.src[1] = b;
+    in.src[2] = c;
+    instrs.push_back(in);
+    return in.dst;
+  }
+
+  /// Appends another program, renaming its registers to stay disjoint.
+  void append(const SpuProgram& other) {
+    const int base = next_reg;
+    for (SpuInstr in : other.instrs) {
+      if (in.dst >= 0) in.dst += base;
+      for (int& s : in.src)
+        if (s >= 0) s += base;
+      instrs.push_back(in);
+    }
+    next_reg += other.next_reg;
+  }
+};
+
+/// Cycle count for executing `prog` from a cold pipeline.
+int simulate_spu_cycles(const SpuProgram& prog, const SpuLatencies& lat);
+
+/// The register-cached computing-block kernel program for a WxW tile
+/// (W = 4 single precision, W = 2 double precision on the 128-bit SPE).
+/// Emits exactly the Table I instruction mix: 3W loads, W^2 shuffles,
+/// W^2 adds, W^2 compares, W^2 selects, W stores.
+SpuProgram make_cb_kernel_program(int w);
+
+/// A software-pipelined stream of `iters` back-to-back kernel invocations:
+/// iteration i+1's loads and shuffles are hoisted above iteration i's
+/// stores, which is the §IV-A "software pipelining to hide the 10-cycle
+/// latency". Per-iteration instruction mix is unchanged.
+SpuProgram make_cb_kernel_stream(int w, int iters);
+
+/// Steady-state cycles per kernel invocation inside a pipelined stream:
+/// (cycles(stream of 3) - cycles(stream of 1)) / 2.
+int kernel_steady_cycles(int w, const SpuLatencies& lat);
+
+/// Cold-start cycles of a single kernel invocation.
+int kernel_cold_cycles(int w, const SpuLatencies& lat);
+
+}  // namespace cellnpdp

@@ -1,0 +1,44 @@
+// Aligned heap storage for SIMD-width data.
+#pragma once
+
+#include <cstddef>
+#include <cstdlib>
+#include <memory>
+#include <new>
+#include <vector>
+
+namespace cellnpdp {
+
+/// Default alignment for all numeric buffers: one cache line, which is also
+/// enough for every SSE/AVX2 load the kernels issue.
+inline constexpr std::size_t kBufferAlignment = 64;
+
+/// Minimal allocator that over-aligns every allocation to kBufferAlignment.
+/// Used through `aligned_vector<T>` so kernel code can assume aligned rows.
+template <class T>
+struct AlignedAllocator {
+  using value_type = T;
+
+  AlignedAllocator() noexcept = default;
+  template <class U>
+  AlignedAllocator(const AlignedAllocator<U>&) noexcept {}
+
+  T* allocate(std::size_t n) {
+    if (n == 0) return nullptr;
+    void* p = ::operator new(n * sizeof(T), std::align_val_t{kBufferAlignment});
+    return static_cast<T*>(p);
+  }
+  void deallocate(T* p, std::size_t) noexcept {
+    ::operator delete(p, std::align_val_t{kBufferAlignment});
+  }
+
+  template <class U>
+  bool operator==(const AlignedAllocator<U>&) const noexcept {
+    return true;
+  }
+};
+
+template <class T>
+using aligned_vector = std::vector<T, AlignedAllocator<T>>;
+
+}  // namespace cellnpdp

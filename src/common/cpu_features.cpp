@@ -1,0 +1,43 @@
+#include "common/cpu_features.hpp"
+
+#include <cpuid.h>
+
+namespace cellnpdp {
+
+namespace {
+
+CpuFeatures detect() {
+  CpuFeatures f;
+  unsigned eax = 0, ebx = 0, ecx = 0, edx = 0;
+  if (__get_cpuid(1, &eax, &ebx, &ecx, &edx)) {
+    f.sse2 = edx & bit_SSE2;
+    f.sse41 = ecx & bit_SSE4_1;
+    f.avx = ecx & bit_AVX;
+    f.fma = ecx & bit_FMA;
+  }
+  if (__get_cpuid_count(7, 0, &eax, &ebx, &ecx, &edx)) {
+    f.avx2 = ebx & bit_AVX2;
+  }
+  return f;
+}
+
+}  // namespace
+
+const CpuFeatures& cpu_features() {
+  static const CpuFeatures f = detect();
+  return f;
+}
+
+std::string cpu_features_string() {
+  const CpuFeatures& f = cpu_features();
+  std::string s;
+  if (f.sse2) s += "sse2 ";
+  if (f.sse41) s += "sse4.1 ";
+  if (f.avx) s += "avx ";
+  if (f.avx2) s += "avx2 ";
+  if (f.fma) s += "fma ";
+  if (!s.empty()) s.pop_back();
+  return s;
+}
+
+}  // namespace cellnpdp

@@ -1,0 +1,23 @@
+// Runtime CPU feature detection, used to pick the widest available kernel
+// backend and to report the platform in bench headers.
+#pragma once
+
+#include <string>
+
+namespace cellnpdp {
+
+struct CpuFeatures {
+  bool sse2 = false;
+  bool sse41 = false;
+  bool avx = false;
+  bool avx2 = false;
+  bool fma = false;
+};
+
+/// Queries CPUID once and caches the result.
+const CpuFeatures& cpu_features();
+
+/// Human-readable summary, e.g. "sse2 sse4.1 avx avx2 fma".
+std::string cpu_features_string();
+
+}  // namespace cellnpdp

@@ -1,0 +1,47 @@
+// Common definitions shared by every cellnpdp module.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <limits>
+#include <type_traits>
+
+namespace cellnpdp {
+
+/// Index type used for cell and block coordinates. Signed so that the
+/// descending loops of the paper's Fig. 1 flowchart can be written verbatim.
+using index_t = std::int64_t;
+
+/// The identity element of the (min, +) semiring: +inf for floating-point
+/// cells; for integer cells a large sentinel such that identity + identity
+/// still cannot overflow or undercut any real value (callers must keep
+/// |values| well below identity/2, which every bundled application does).
+template <class T>
+constexpr T minplus_identity() {
+  if constexpr (std::is_floating_point_v<T>) {
+    return std::numeric_limits<T>::infinity();
+  } else {
+    return std::numeric_limits<T>::max() / 4;
+  }
+}
+
+/// Returns true when `v` can never influence a (min,+) relaxation, i.e. is
+/// the padding value written into the off-triangle cells of square blocks.
+template <class T>
+constexpr bool is_minplus_identity(T v) {
+  return v >= minplus_identity<T>();
+}
+
+/// ceil(a / b) for non-negative integers.
+constexpr index_t ceil_div(index_t a, index_t b) { return (a + b - 1) / b; }
+
+/// Number of cells in an upper triangle (diagonal included) of side n.
+constexpr index_t triangle_cells(index_t n) { return n * (n + 1) / 2; }
+
+/// Number of scalar relaxations the Fig. 1 loop nest performs for size n:
+/// sum over j of sum over i<j of (j - i)  ==  n(n-1)(n+1)/6  ~  n^3/6.
+constexpr index_t npdp_relaxations(index_t n) {
+  return n * (n - 1) * (n + 1) / 6;
+}
+
+}  // namespace cellnpdp

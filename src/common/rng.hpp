@@ -1,0 +1,55 @@
+// Deterministic pseudo-random workload generation.
+//
+// Every experiment in the harness seeds its own SplitMix64 stream so results
+// are bit-reproducible across runs and independent of module ordering.
+#pragma once
+
+#include <cstdint>
+
+#include "common/defs.hpp"
+
+namespace cellnpdp {
+
+/// SplitMix64: tiny, fast, and good enough for workload generation.
+class SplitMix64 {
+ public:
+  explicit SplitMix64(std::uint64_t seed) : state_(seed) {}
+
+  std::uint64_t next_u64() {
+    std::uint64_t z = (state_ += 0x9E3779B97F4A7C15ull);
+    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+    z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+    return z ^ (z >> 31);
+  }
+
+  /// Uniform double in [0, 1).
+  double next_unit() {
+    return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+  }
+
+  /// Uniform double in [lo, hi).
+  double next_in(double lo, double hi) { return lo + (hi - lo) * next_unit(); }
+
+  /// Uniform integer in [0, bound).
+  std::uint64_t next_below(std::uint64_t bound) {
+    return next_u64() % bound;  // bias negligible for workload generation
+  }
+
+ private:
+  std::uint64_t state_;
+};
+
+/// The canonical random NPDP instance used throughout tests and benches:
+/// cell (i,j) is initialised to a deterministic value in [0, 100) derived
+/// from (seed, i, j). Diagonal cells are set to 0, matching the boundary
+/// form used by the application instances and making the k == i self-term
+/// of the Fig. 1 loop a no-op (see DESIGN.md §5).
+template <class T>
+T random_init_value(std::uint64_t seed, index_t i, index_t j) {
+  if (i == j) return T(0);
+  SplitMix64 rng(seed ^ (static_cast<std::uint64_t>(i) << 32) ^
+                 static_cast<std::uint64_t>(j) * 0x9E3779B97F4A7C15ull);
+  return static_cast<T>(rng.next_in(0.0, 100.0));
+}
+
+}  // namespace cellnpdp

@@ -1,0 +1,74 @@
+#include "common/thread_pool.hpp"
+
+#include <algorithm>
+
+namespace cellnpdp {
+
+ThreadPool::ThreadPool(std::size_t threads) {
+  threads = std::max<std::size_t>(1, threads);
+  workers_.reserve(threads);
+  for (std::size_t i = 0; i < threads; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard lk(mu_);
+    stop_ = true;
+  }
+  cv_job_.notify_all();
+  for (auto& w : workers_) w.join();
+}
+
+void ThreadPool::submit(std::function<void()> job) {
+  {
+    std::lock_guard lk(mu_);
+    jobs_.push_back(std::move(job));
+  }
+  cv_job_.notify_one();
+}
+
+void ThreadPool::wait_idle() {
+  std::unique_lock lk(mu_);
+  cv_idle_.wait(lk, [this] { return jobs_.empty() && in_flight_ == 0; });
+}
+
+void ThreadPool::worker_loop() {
+  for (;;) {
+    std::function<void()> job;
+    {
+      std::unique_lock lk(mu_);
+      cv_job_.wait(lk, [this] { return stop_ || !jobs_.empty(); });
+      if (stop_ && jobs_.empty()) return;
+      job = std::move(jobs_.front());
+      jobs_.pop_front();
+      ++in_flight_;
+    }
+    job();
+    {
+      std::lock_guard lk(mu_);
+      --in_flight_;
+      if (jobs_.empty() && in_flight_ == 0) cv_idle_.notify_all();
+    }
+  }
+}
+
+void ThreadPool::parallel_for(std::size_t begin, std::size_t end,
+                              const std::function<void(std::size_t)>& fn) {
+  if (begin >= end) return;
+  const std::size_t total = end - begin;
+  const std::size_t chunks = std::min(total, thread_count());
+  const std::size_t per = (total + chunks - 1) / chunks;
+  for (std::size_t c = 0; c < chunks; ++c) {
+    const std::size_t lo = begin + c * per;
+    const std::size_t hi = std::min(end, lo + per);
+    if (lo >= hi) break;
+    submit([lo, hi, &fn] {
+      for (std::size_t i = lo; i < hi; ++i) fn(i);
+    });
+  }
+  wait_idle();
+}
+
+}  // namespace cellnpdp

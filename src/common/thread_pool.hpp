@@ -1,0 +1,54 @@
+// A small fixed-size worker pool used by the parallel NPDP procedure and the
+// baselines. Deliberately simple: a locked deque of std::function jobs plus a
+// blocking wait-for-idle, which is all the task-queue model of the paper
+// needs on the host side.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace cellnpdp {
+
+class ThreadPool {
+ public:
+  /// Spawns `threads` workers (at least 1). The pool is not resizable; the
+  /// parallel solver creates one pool per configured core count so that the
+  /// speedup-anatomy benches measure exactly the requested parallelism.
+  explicit ThreadPool(std::size_t threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Enqueues a job. Safe to call from worker threads (jobs may spawn jobs).
+  void submit(std::function<void()> job);
+
+  /// Blocks until every submitted job (including jobs submitted by jobs)
+  /// has finished executing.
+  void wait_idle();
+
+  std::size_t thread_count() const { return workers_.size(); }
+
+  /// Runs fn(i) for i in [begin, end) across the pool and waits.
+  /// Work is split into contiguous chunks, one chunk per worker.
+  void parallel_for(std::size_t begin, std::size_t end,
+                    const std::function<void(std::size_t)>& fn);
+
+ private:
+  void worker_loop();
+
+  std::vector<std::thread> workers_;
+  std::deque<std::function<void()>> jobs_;
+  std::mutex mu_;
+  std::condition_variable cv_job_;    // signalled when a job arrives
+  std::condition_variable cv_idle_;   // signalled when the pool may be idle
+  std::size_t in_flight_ = 0;         // popped but not yet finished
+  bool stop_ = false;
+};
+
+}  // namespace cellnpdp

@@ -1,0 +1,65 @@
+// Reference solvers: the paper's original algorithm (Fig. 1) and an
+// order-independent golden model for the generalised recurrence. These are
+// the correctness oracles for every optimised engine in the repository.
+#pragma once
+
+#include "common/defs.hpp"
+#include "core/instance.hpp"
+#include "layout/triangular.hpp"
+#include "simd/kernels.hpp"
+
+namespace cellnpdp {
+
+/// The original NPDP algorithm, verbatim from Fig. 1, over the row-major
+/// triangular layout of the previous works. Pure mode only; cells must be
+/// pre-seeded by the caller. Never auto-vectorised (it is the paper's
+/// scalar baseline).
+template <class T>
+CELLNPDP_NOVEC void solve_fig1(TriangularMatrix<T>& d) {
+  const index_t n = d.size();
+  for (index_t j = 0; j < n; ++j)
+    for (index_t i = j - 1; i > -1; --i)
+      for (index_t k = i; k < j; ++k) {
+        const T cand = d.at(i, k) + d.at(k, j);
+        if (cand < d.at(i, j)) d.at(i, j) = cand;
+      }
+}
+
+/// Golden model: solves `inst` by increasing span j-i, evaluating the
+/// documented semantics directly. Matches solve_fig1 bit-for-bit in pure
+/// mode (tests enforce this).
+template <class T>
+TriangularMatrix<T> solve_reference(const NpdpInstance<T>& inst) {
+  const index_t n = inst.n;
+  TriangularMatrix<T> d(n);
+  for (index_t i = 0; i < n; ++i) d.at(i, i) = inst.init(i, i);
+
+  const bool general = inst.general_mode();
+  for (index_t span = 1; span < n; ++span) {
+    for (index_t i = 0; i + span < n; ++i) {
+      const index_t j = i + span;
+      const T init = inst.init(i, j);
+      T acc = minplus_identity<T>();
+      for (index_t k = i + 1; k < j; ++k) {
+        T cand = d.at(i, k) + d.at(k, j);
+        if (inst.ku != nullptr) cand += inst.ku[i] * inst.kv[k] * inst.kw[j];
+        if (inst.kterm) cand += inst.kterm(i, k, j);
+        if (cand < acc) acc = cand;
+      }
+      if (general) {
+        const T w = inst.weight ? inst.weight(i, j) : T(0);
+        const T relaxed = w + acc;
+        d.at(i, j) = relaxed < init ? relaxed : init;
+      } else {
+        // Pure mode: fold the Fig. 1 k == i self-term into the seed.
+        T seed = init;
+        const T self = init + d.at(i, i);
+        if (self < seed) seed = self;
+        d.at(i, j) = acc < seed ? acc : seed;
+      }
+    }
+  }
+  return d;
+}
+
+}  // namespace cellnpdp

@@ -1,0 +1,92 @@
+// Top-level solvers: the public entry points of the library.
+#pragma once
+
+#include <algorithm>
+
+#include "common/thread_pool.hpp"
+#include "core/engine.hpp"
+#include "core/instance.hpp"
+#include "layout/blocked.hpp"
+#include "taskgraph/dependence_graph.hpp"
+#include "taskgraph/executor.hpp"
+
+namespace cellnpdp {
+
+/// Serial blocked solver: the Fig. 4(b) flowchart — memory blocks walked
+/// column-ascending, row-descending.
+template <class T>
+BlockedTriangularMatrix<T> solve_blocked_serial(const NpdpInstance<T>& inst,
+                                                const NpdpOptions& opts) {
+  BlockedTriangularMatrix<T> mat(inst.n, opts.block_side);
+  BlockEngine<T> engine(mat, inst, opts);
+  engine.seed();
+  const index_t m = engine.blocks_per_side();
+  for (index_t bj = 0; bj < m; ++bj)
+    for (index_t bi = bj; bi >= 0; --bi) engine.compute_block(bi, bj);
+  return mat;
+}
+
+/// Parallel blocked solver: tier 2 of CellNPDP — scheduling blocks of
+/// opts.sched_side x opts.sched_side memory blocks dispatched through the
+/// simplified dependence graph onto opts.threads workers.
+template <class T>
+BlockedTriangularMatrix<T> solve_blocked_parallel(const NpdpInstance<T>& inst,
+                                                  const NpdpOptions& opts) {
+  BlockedTriangularMatrix<T> mat(inst.n, opts.block_side);
+  BlockEngine<T> engine(mat, inst, opts);
+  engine.seed();
+
+  const index_t m = engine.blocks_per_side();
+  const index_t ss = std::max<index_t>(1, opts.sched_side);
+  const index_t ms = ceil_div(m, ss);
+  BlockDependenceGraph graph(ms);
+
+  // One task = one scheduling block; its memory blocks are walked in the
+  // same column-ascending / row-descending order (paper §IV-B).
+  auto body = [&](index_t si, index_t sj) {
+    const index_t col_lo = sj * ss, col_hi = std::min(m, (sj + 1) * ss);
+    const index_t row_lo = si * ss, row_hi = std::min(m, (si + 1) * ss);
+    for (index_t bj = col_lo; bj < col_hi; ++bj)
+      for (index_t bi = std::min(bj, row_hi - 1); bi >= row_lo; --bi)
+        engine.compute_block(bi, bj);
+  };
+
+  if (opts.threads <= 1) {
+    TaskQueueExecutor::run_serial(graph, body);
+  } else {
+    TaskQueueExecutor::run(graph, opts.threads, body);
+  }
+  return mat;
+}
+
+/// Alternative tier-2 schedule: block anti-diagonals processed step by
+/// step with a barrier between steps (the structure of the prior works the
+/// paper improves on, §II-B). Blocks within one wavefront are mutually
+/// independent; the barrier is the cost this schedule pays.
+template <class T>
+BlockedTriangularMatrix<T> solve_blocked_wavefront(
+    const NpdpInstance<T>& inst, const NpdpOptions& opts) {
+  BlockedTriangularMatrix<T> mat(inst.n, opts.block_side);
+  BlockEngine<T> engine(mat, inst, opts);
+  engine.seed();
+  const index_t m = engine.blocks_per_side();
+  ThreadPool pool(opts.threads);
+  for (index_t d = 0; d < m; ++d) {
+    pool.parallel_for(0, static_cast<std::size_t>(m - d),
+                      [&](std::size_t bi) {
+                        engine.compute_block(static_cast<index_t>(bi),
+                                             static_cast<index_t>(bi) + d);
+                      });
+  }
+  return mat;
+}
+
+/// Convenience dispatcher.
+template <class T>
+BlockedTriangularMatrix<T> solve_blocked(const NpdpInstance<T>& inst,
+                                         const NpdpOptions& opts) {
+  return opts.threads <= 1 ? solve_blocked_serial(inst, opts)
+                           : solve_blocked_parallel(inst, opts);
+}
+
+}  // namespace cellnpdp

@@ -1,0 +1,166 @@
+// Binary serialization of DP tables.
+//
+// Large NPDP tables (a 16384-cell single-precision triangle is ~537 MB)
+// are expensive to recompute; this module checkpoints them. The format is
+// a fixed little-endian header plus raw cell data:
+//
+//   magic  "CNPD"      4 bytes
+//   version u32        currently 1
+//   elem    u32        4 = f32, 8 = f64, 14 = i32
+//   layout  u32        0 = triangular, 1 = blocked
+//   n       i64        problem size (cells per side)
+//   bs      i64        block side (blocked layout; 0 for triangular)
+//   data    raw        cell payload in storage order
+//
+// Round trips are bit-exact (including +inf padding). Loads validate every
+// header field and the payload size before touching the data.
+#pragma once
+
+#include <cstdint>
+#include <fstream>
+#include <istream>
+#include <ostream>
+#include <stdexcept>
+#include <string>
+
+#include "layout/blocked.hpp"
+#include "layout/triangular.hpp"
+
+namespace cellnpdp {
+
+namespace io_detail {
+
+inline constexpr char kMagic[4] = {'C', 'N', 'P', 'D'};
+inline constexpr std::uint32_t kVersion = 1;
+
+template <class T>
+constexpr std::uint32_t elem_tag() {
+  if constexpr (std::is_same_v<T, float>) return 4;
+  if constexpr (std::is_same_v<T, double>) return 8;
+  if constexpr (std::is_same_v<T, std::int32_t>) return 14;
+}
+
+struct Header {
+  std::uint32_t version = kVersion;
+  std::uint32_t elem = 0;
+  std::uint32_t layout = 0;
+  index_t n = 0;
+  index_t bs = 0;
+};
+
+inline void write_header(std::ostream& os, const Header& h) {
+  os.write(kMagic, 4);
+  os.write(reinterpret_cast<const char*>(&h.version), sizeof h.version);
+  os.write(reinterpret_cast<const char*>(&h.elem), sizeof h.elem);
+  os.write(reinterpret_cast<const char*>(&h.layout), sizeof h.layout);
+  os.write(reinterpret_cast<const char*>(&h.n), sizeof h.n);
+  os.write(reinterpret_cast<const char*>(&h.bs), sizeof h.bs);
+}
+
+inline Header read_header(std::istream& is) {
+  char magic[4];
+  is.read(magic, 4);
+  if (!is || std::memcmp(magic, kMagic, 4) != 0)
+    throw std::runtime_error("table_io: bad magic");
+  Header h;
+  is.read(reinterpret_cast<char*>(&h.version), sizeof h.version);
+  is.read(reinterpret_cast<char*>(&h.elem), sizeof h.elem);
+  is.read(reinterpret_cast<char*>(&h.layout), sizeof h.layout);
+  is.read(reinterpret_cast<char*>(&h.n), sizeof h.n);
+  is.read(reinterpret_cast<char*>(&h.bs), sizeof h.bs);
+  if (!is) throw std::runtime_error("table_io: truncated header");
+  if (h.version != kVersion)
+    throw std::runtime_error("table_io: unsupported version");
+  if (h.n < 0 || h.bs < 0) throw std::runtime_error("table_io: bad sizes");
+  return h;
+}
+
+}  // namespace io_detail
+
+template <class T>
+void save_table(std::ostream& os, const TriangularMatrix<T>& t) {
+  io_detail::Header h;
+  h.elem = io_detail::elem_tag<T>();
+  h.layout = 0;
+  h.n = t.size();
+  io_detail::write_header(os, h);
+  os.write(reinterpret_cast<const char*>(t.data()),
+           static_cast<std::streamsize>(t.cell_count() *
+                                        static_cast<index_t>(sizeof(T))));
+  if (!os) throw std::runtime_error("table_io: write failed");
+}
+
+template <class T>
+void save_table(std::ostream& os, const BlockedTriangularMatrix<T>& b) {
+  io_detail::Header h;
+  h.elem = io_detail::elem_tag<T>();
+  h.layout = 1;
+  h.n = b.size();
+  h.bs = b.block_side();
+  io_detail::write_header(os, h);
+  os.write(reinterpret_cast<const char*>(b.data()),
+           static_cast<std::streamsize>(b.total_cells() *
+                                        static_cast<index_t>(sizeof(T))));
+  if (!os) throw std::runtime_error("table_io: write failed");
+}
+
+template <class T>
+TriangularMatrix<T> load_triangular(std::istream& is) {
+  const auto h = io_detail::read_header(is);
+  if (h.elem != io_detail::elem_tag<T>())
+    throw std::runtime_error("table_io: element type mismatch");
+  if (h.layout != 0)
+    throw std::runtime_error("table_io: not a triangular table");
+  TriangularMatrix<T> t(h.n);
+  is.read(reinterpret_cast<char*>(t.data()),
+          static_cast<std::streamsize>(t.cell_count() *
+                                       static_cast<index_t>(sizeof(T))));
+  if (!is || is.gcount() != static_cast<std::streamsize>(
+                                t.cell_count() *
+                                static_cast<index_t>(sizeof(T))))
+    throw std::runtime_error("table_io: truncated payload");
+  return t;
+}
+
+template <class T>
+BlockedTriangularMatrix<T> load_blocked(std::istream& is) {
+  const auto h = io_detail::read_header(is);
+  if (h.elem != io_detail::elem_tag<T>())
+    throw std::runtime_error("table_io: element type mismatch");
+  if (h.layout != 1)
+    throw std::runtime_error("table_io: not a blocked table");
+  if (h.bs < 1) throw std::runtime_error("table_io: bad block side");
+  BlockedTriangularMatrix<T> b(h.n, h.bs);
+  is.read(reinterpret_cast<char*>(b.data()),
+          static_cast<std::streamsize>(b.total_cells() *
+                                       static_cast<index_t>(sizeof(T))));
+  if (!is || is.gcount() != static_cast<std::streamsize>(
+                                b.total_cells() *
+                                static_cast<index_t>(sizeof(T))))
+    throw std::runtime_error("table_io: truncated payload");
+  return b;
+}
+
+/// File-path conveniences.
+template <class Table>
+void save_table_file(const std::string& path, const Table& t) {
+  std::ofstream os(path, std::ios::binary);
+  if (!os) throw std::runtime_error("table_io: cannot open " + path);
+  save_table(os, t);
+}
+
+template <class T>
+TriangularMatrix<T> load_triangular_file(const std::string& path) {
+  std::ifstream is(path, std::ios::binary);
+  if (!is) throw std::runtime_error("table_io: cannot open " + path);
+  return load_triangular<T>(is);
+}
+
+template <class T>
+BlockedTriangularMatrix<T> load_blocked_file(const std::string& path) {
+  std::ifstream is(path, std::ios::binary);
+  if (!is) throw std::runtime_error("table_io: cannot open " + path);
+  return load_blocked<T>(is);
+}
+
+}  // namespace cellnpdp

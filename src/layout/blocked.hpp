@@ -1,0 +1,84 @@
+// The paper's new data layout (NDL, §III / Fig. 5).
+//
+// The triangle is cut into square *memory blocks* of side `bs` cells; every
+// block occupies one contiguous bs*bs slab, so an entire block moves with a
+// single large DMA command (or a run of full cache lines) instead of many
+// short strided row pieces. Triangular diagonal blocks and the ragged edge
+// (when bs does not divide n) are padded with the (min,+) identity (+inf),
+// which relaxations can never pick — padding changes no result (§III:
+// "Triangular block can be padded into square block").
+#pragma once
+
+#include <cassert>
+
+#include "common/aligned.hpp"
+#include "common/defs.hpp"
+
+namespace cellnpdp {
+
+template <class T>
+class BlockedTriangularMatrix {
+ public:
+  /// n: problem size in cells; bs: block side in cells (>= 1).
+  BlockedTriangularMatrix(index_t n, index_t bs)
+      : n_(n),
+        bs_(bs),
+        m_(ceil_div(n, bs)),
+        data_(static_cast<std::size_t>(triangle_cells(m_) * bs * bs),
+              minplus_identity<T>()) {
+    assert(n >= 0 && bs >= 1);
+  }
+
+  index_t size() const { return n_; }
+  index_t block_side() const { return bs_; }
+  index_t blocks_per_side() const { return m_; }
+  index_t cells_per_block() const { return bs_ * bs_; }
+
+  /// Index of block (bi,bj), bi <= bj, in block-row-major order over the
+  /// upper block triangle (the sequential packing of Fig. 5).
+  index_t block_index(index_t bi, index_t bj) const {
+    assert(0 <= bi && bi <= bj && bj < m_);
+    return bi * m_ - bi * (bi - 1) / 2 + (bj - bi);
+  }
+
+  T* block(index_t bi, index_t bj) {
+    return data_.data() + block_index(bi, bj) * cells_per_block();
+  }
+  const T* block(index_t bi, index_t bj) const {
+    return data_.data() + block_index(bi, bj) * cells_per_block();
+  }
+
+  /// Global-cell access; (i,j) must satisfy 0 <= i <= j < n.
+  T& at(index_t i, index_t j) {
+    assert(0 <= i && i <= j && j < n_);
+    return block(i / bs_, j / bs_)[(i % bs_) * bs_ + (j % bs_)];
+  }
+  const T& at(index_t i, index_t j) const {
+    return const_cast<BlockedTriangularMatrix*>(this)->at(i, j);
+  }
+
+  T* data() { return data_.data(); }
+  const T* data() const { return data_.data(); }
+  index_t total_cells() const { return static_cast<index_t>(data_.size()); }
+
+  /// Bytes one memory block occupies — the unit of DMA transfer.
+  index_t block_bytes() const {
+    return cells_per_block() * static_cast<index_t>(sizeof(T));
+  }
+
+  /// Initialises every in-triangle cell from init(i, j); padding cells keep
+  /// the (min,+) identity written by the constructor.
+  template <class Init>
+  void fill(Init&& init) {
+    for (index_t i = 0; i < n_; ++i)
+      for (index_t j = i; j < n_; ++j) at(i, j) = init(i, j);
+  }
+
+ private:
+  index_t n_;
+  index_t bs_;
+  index_t m_;
+  aligned_vector<T> data_;
+};
+
+}  // namespace cellnpdp

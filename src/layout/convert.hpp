@@ -1,0 +1,43 @@
+// Conversions between the row-major triangular layout (previous works) and
+// the blocked layout (the paper's NDL), plus equality helpers for tests.
+#pragma once
+
+#include <cmath>
+
+#include "layout/blocked.hpp"
+#include "layout/triangular.hpp"
+
+namespace cellnpdp {
+
+template <class T>
+BlockedTriangularMatrix<T> to_blocked(const TriangularMatrix<T>& tri,
+                                      index_t block_side) {
+  BlockedTriangularMatrix<T> out(tri.size(), block_side);
+  for (index_t i = 0; i < tri.size(); ++i)
+    for (index_t j = i; j < tri.size(); ++j) out.at(i, j) = tri.at(i, j);
+  return out;
+}
+
+template <class T>
+TriangularMatrix<T> to_triangular(const BlockedTriangularMatrix<T>& blk) {
+  TriangularMatrix<T> out(blk.size());
+  for (index_t i = 0; i < blk.size(); ++i)
+    for (index_t j = i; j < blk.size(); ++j) out.at(i, j) = blk.at(i, j);
+  return out;
+}
+
+/// Max absolute difference over the triangle; for bit-exactness checks pass
+/// tolerance 0.
+template <class A, class B>
+double max_abs_diff(const A& x, const B& y) {
+  double worst = 0.0;
+  for (index_t i = 0; i < x.size(); ++i)
+    for (index_t j = i; j < x.size(); ++j) {
+      const double d = std::abs(static_cast<double>(x.at(i, j)) -
+                                static_cast<double>(y.at(i, j)));
+      if (d > worst) worst = d;
+    }
+  return worst;
+}
+
+}  // namespace cellnpdp

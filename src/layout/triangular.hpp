@@ -1,0 +1,61 @@
+// Row-major triangular matrix: the data layout used by the previous works
+// the paper compares against (Tan et al., Chowdhury et al.; see paper §III).
+//
+// The DP table of NPDP is upper triangular (cells (i,j) with 0 <= i <= j < n).
+// Storing rows back-to-back means row i holds (n - i) cells, so column walks
+// (the d[k][j] accesses of the innermost loop) stride by a *different* amount
+// each step — exactly the poor spatial locality §III calls out.
+#pragma once
+
+#include <cassert>
+
+#include "common/aligned.hpp"
+#include "common/defs.hpp"
+
+namespace cellnpdp {
+
+template <class T>
+class TriangularMatrix {
+ public:
+  explicit TriangularMatrix(index_t n)
+      : n_(n), data_(static_cast<std::size_t>(triangle_cells(n))) {
+    assert(n >= 0);
+  }
+
+  index_t size() const { return n_; }
+  index_t cell_count() const { return static_cast<index_t>(data_.size()); }
+
+  /// Offset of cell (i,j) inside the packed row-major triangle.
+  index_t offset(index_t i, index_t j) const {
+    assert(0 <= i && i <= j && j < n_);
+    return row_start(i) + (j - i);
+  }
+
+  /// Start of row i: sum of the lengths of rows 0..i-1.
+  index_t row_start(index_t i) const { return i * n_ - i * (i - 1) / 2; }
+
+  /// Length of row i (cells i..n-1).
+  index_t row_length(index_t i) const { return n_ - i; }
+
+  T& at(index_t i, index_t j) { return data_[offset(i, j)]; }
+  const T& at(index_t i, index_t j) const { return data_[offset(i, j)]; }
+
+  T* row(index_t i) { return data_.data() + row_start(i); }
+  const T* row(index_t i) const { return data_.data() + row_start(i); }
+
+  T* data() { return data_.data(); }
+  const T* data() const { return data_.data(); }
+
+  /// Initialises every cell from init(i, j).
+  template <class Init>
+  void fill(Init&& init) {
+    for (index_t i = 0; i < n_; ++i)
+      for (index_t j = i; j < n_; ++j) at(i, j) = init(i, j);
+  }
+
+ private:
+  index_t n_;
+  aligned_vector<T> data_;
+};
+
+}  // namespace cellnpdp

@@ -1,0 +1,92 @@
+#include "memsim/cache.hpp"
+
+#include <cassert>
+
+namespace cellnpdp {
+
+Cache::Cache(const CacheConfig& cfg) : cfg_(cfg) {
+  assert(cfg.size_bytes > 0 && cfg.line_bytes > 0 && cfg.associativity > 0);
+  assert(cfg.size_bytes % (cfg.line_bytes * cfg.associativity) == 0);
+  ways_.resize(static_cast<std::size_t>(cfg.set_count() * cfg.associativity));
+}
+
+bool Cache::access(std::uint64_t addr, bool write) {
+  ++stats_.accesses;
+  const std::uint64_t line = addr / static_cast<std::uint64_t>(cfg_.line_bytes);
+  const std::uint64_t set =
+      line % static_cast<std::uint64_t>(cfg_.set_count());
+  const std::uint64_t tag = line / static_cast<std::uint64_t>(cfg_.set_count());
+  Way* base = ways_.data() + set * static_cast<std::uint64_t>(cfg_.associativity);
+
+  Way* victim = base;
+  for (index_t w = 0; w < cfg_.associativity; ++w) {
+    Way& way = base[w];
+    if (way.valid && way.tag == tag) {
+      way.lru = ++tick_;
+      way.dirty = way.dirty || write;
+      return true;
+    }
+    if (!way.valid) {
+      victim = &way;  // prefer an empty way
+    } else if (victim->valid && way.lru < victim->lru) {
+      victim = &way;
+    }
+  }
+
+  ++stats_.misses;
+  if (victim->valid && victim->dirty) ++stats_.writebacks;
+  victim->valid = true;
+  victim->dirty = write;
+  victim->tag = tag;
+  victim->lru = ++tick_;
+  return false;
+}
+
+void Cache::prefetch_fill(std::uint64_t addr) {
+  // Reuse the demand path, then reclassify the statistics.
+  const index_t misses_before = stats_.misses;
+  const index_t accesses_before = stats_.accesses;
+  if (!access(addr, false)) ++stats_.prefetch_fills;
+  stats_.misses = misses_before;
+  stats_.accesses = accesses_before;
+}
+
+void Cache::flush() {
+  for (auto& way : ways_) {
+    if (way.valid && way.dirty) ++stats_.writebacks;
+    way.valid = false;
+    way.dirty = false;
+  }
+}
+
+void CacheHierarchy::access(std::uint64_t addr, bool is_write) {
+  // Walk down until a level hits. Write-allocate: each missing level sees
+  // the access; dirtiness is approximated by marking every filled level
+  // dirty on a write, which counts the eventual writeback traffic.
+  for (std::size_t lvl = 0; lvl < levels_.size(); ++lvl) {
+    const bool last = lvl + 1 == levels_.size();
+    const bool hit = levels_[lvl].access(addr, is_write);
+    if (last && prefetch_) {
+      // Idealised next-line streamer: once two consecutive lines reach the
+      // last level, every following line of the stream is fetched ahead.
+      Cache& llc = levels_[lvl];
+      const std::uint64_t line =
+          addr / static_cast<std::uint64_t>(llc.config().line_bytes);
+      if (line == last_miss_line_ + 1) {
+        const std::uint64_t next =
+            (line + 1) * static_cast<std::uint64_t>(llc.config().line_bytes);
+        const index_t before = llc.stats().prefetch_fills;
+        llc.prefetch_fill(next);
+        if (llc.stats().prefetch_fills != before) ++prefetched_;
+      }
+      last_miss_line_ = line;
+    }
+    if (hit) return;
+  }
+}
+
+void CacheHierarchy::flush() {
+  for (auto& c : levels_) c.flush();
+}
+
+}  // namespace cellnpdp

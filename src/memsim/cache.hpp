@@ -1,0 +1,127 @@
+// Set-associative write-back cache model.
+//
+// Used to reproduce Fig. 9(b): the amount of data moved between the CPU and
+// main memory under the original row-major layout vs. the paper's blocked
+// layout. Only traffic is modelled (no timing): every access is classified
+// hit/miss, misses fill a line from the next level, evictions of dirty
+// lines write a line back.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "common/defs.hpp"
+
+namespace cellnpdp {
+
+struct CacheConfig {
+  index_t size_bytes = 0;
+  index_t line_bytes = 64;
+  index_t associativity = 8;
+
+  index_t set_count() const {
+    return size_bytes / (line_bytes * associativity);
+  }
+};
+
+struct CacheStats {
+  index_t accesses = 0;
+  index_t misses = 0;        ///< demand misses
+  index_t prefetch_fills = 0;
+  index_t writebacks = 0;
+
+  double miss_rate() const {
+    return accesses == 0 ? 0.0 : double(misses) / double(accesses);
+  }
+};
+
+/// One cache level. Addresses are byte addresses; any 64-bit value works as
+/// long as it is consistent across accesses (the drivers use real pointers).
+class Cache {
+ public:
+  explicit Cache(const CacheConfig& cfg);
+
+  /// Returns true on hit. On miss the line is filled (evicting LRU; a dirty
+  /// eviction counts a writeback). `write` marks the line dirty.
+  bool access(std::uint64_t addr, bool write);
+
+  /// Speculative fill: like a read miss but accounted as prefetch traffic,
+  /// not as a demand miss. No-op if the line is already resident.
+  void prefetch_fill(std::uint64_t addr);
+
+  const CacheConfig& config() const { return cfg_; }
+  const CacheStats& stats() const { return stats_; }
+
+  /// Bytes fetched from the next level (demand + prefetch fills).
+  index_t bytes_in() const {
+    return (stats_.misses + stats_.prefetch_fills) * cfg_.line_bytes;
+  }
+  /// Bytes written to the next level (dirty evictions).
+  index_t bytes_out() const { return stats_.writebacks * cfg_.line_bytes; }
+
+  /// Flushes every dirty line (counts writebacks), e.g. at end of run.
+  void flush();
+
+ private:
+  struct Way {
+    std::uint64_t tag = 0;
+    bool valid = false;
+    bool dirty = false;
+    std::uint64_t lru = 0;  // larger == more recently used
+  };
+
+  CacheConfig cfg_;
+  CacheStats stats_;
+  std::vector<Way> ways_;  // set-major: ways_[set * assoc + way]
+  std::uint64_t tick_ = 0;
+};
+
+/// Multi-level hierarchy (two or three levels): an access walks down until
+/// it hits; the last level's misses and writebacks are the DRAM traffic
+/// Fig. 9(b) reports. An optional next-line prefetcher at the last level
+/// models the streaming prefetch hardware of the paper's Nehalem platform.
+class CacheHierarchy {
+ public:
+  CacheHierarchy(const CacheConfig& l1, const CacheConfig& llc)
+      : levels_{Cache(l1), Cache(llc)} {}
+  CacheHierarchy(const CacheConfig& l1, const CacheConfig& l2,
+                 const CacheConfig& l3)
+      : levels_{Cache(l1), Cache(l2), Cache(l3)} {}
+
+  /// Enables next-line prefetch into the last level on sequential misses.
+  void enable_prefetcher(bool on) { prefetch_ = on; }
+
+  void read(const void* p) { access(reinterpret_cast<std::uint64_t>(p), false); }
+  void write(const void* p) { access(reinterpret_cast<std::uint64_t>(p), true); }
+
+  void access(std::uint64_t addr, bool is_write);
+
+  /// Total bytes exchanged with main memory (fills + writebacks).
+  index_t dram_bytes() const {
+    return levels_.back().bytes_in() + levels_.back().bytes_out();
+  }
+  /// Lines brought in purely by the prefetcher.
+  index_t prefetched_lines() const { return prefetched_; }
+
+  const Cache& l1() const { return levels_.front(); }
+  const Cache& l2() const { return levels_[1]; }
+  const Cache& llc() const { return levels_.back(); }
+  std::size_t level_count() const { return levels_.size(); }
+
+  void flush();
+
+ private:
+  std::vector<Cache> levels_;
+  bool prefetch_ = false;
+  std::uint64_t last_miss_line_ = ~0ull;
+  index_t prefetched_ = 0;
+};
+
+/// The paper's CPU platform: Nehalem-generation cores (32 KB L1D, 256 KB
+/// L2, 8 MB shared L3, 64-byte lines).
+inline CacheConfig nehalem_l1() { return {32 * 1024, 64, 8}; }
+inline CacheConfig nehalem_l2() { return {256 * 1024, 64, 8}; }
+inline CacheConfig nehalem_llc() { return {8 * 1024 * 1024, 64, 16}; }
+
+}  // namespace cellnpdp

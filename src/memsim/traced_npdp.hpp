@@ -1,0 +1,93 @@
+// Traffic tracers: run the original and the blocked NPDP access patterns
+// through the cache model and report DRAM traffic (Fig. 9(b)).
+//
+// The tracers replay the *memory access pattern* of each algorithm (they
+// also perform the arithmetic, so results stay checkable):
+//   * original: the Fig. 1 loop over the row-major triangle with d[i][j]
+//     registered across the k loop — per relaxation one read of d[i][k]
+//     (sequential) and one of d[k][j] (the ragged-stride column walk).
+//   * blocked (NDL): block-granularity streaming — each memory block that
+//     participates in a block relaxation is streamed once per pass, which
+//     is what the engine's tile walk does from the cache's point of view.
+#pragma once
+
+#include "common/defs.hpp"
+#include "layout/blocked.hpp"
+#include "layout/triangular.hpp"
+#include "memsim/cache.hpp"
+
+namespace cellnpdp {
+
+struct TrafficResult {
+  index_t dram_bytes = 0;
+  index_t accesses = 0;
+  double llc_miss_rate = 0.0;
+};
+
+/// Original algorithm over the triangular layout, traced.
+template <class T>
+TrafficResult traced_original(TriangularMatrix<T>& d, CacheHierarchy& h) {
+  const index_t n = d.size();
+  for (index_t j = 0; j < n; ++j)
+    for (index_t i = j - 1; i > -1; --i) {
+      h.read(&d.at(i, j));
+      T acc = d.at(i, j);
+      for (index_t k = i; k < j; ++k) {
+        h.read(&d.at(i, k));
+        h.read(&d.at(k, j));
+        const T cand = d.at(i, k) + d.at(k, j);
+        if (cand < acc) acc = cand;
+      }
+      h.write(&d.at(i, j));
+      d.at(i, j) = acc;
+    }
+  h.flush();
+  TrafficResult r;
+  r.dram_bytes = h.dram_bytes();
+  r.accesses = h.l1().stats().accesses;
+  r.llc_miss_rate = h.l2().stats().miss_rate();
+  return r;
+}
+
+/// Blocked (NDL) algorithm, traced at streaming granularity: per memory
+/// block relaxation, the two operand blocks are read once and the target
+/// block is read and written once.
+template <class T>
+TrafficResult traced_blocked(BlockedTriangularMatrix<T>& mat,
+                             CacheHierarchy& h) {
+  const index_t m = mat.blocks_per_side();
+  const index_t cells = mat.cells_per_block();
+
+  auto stream_block = [&](index_t bi, index_t bj, bool write) {
+    const T* p = mat.block(bi, bj);
+    for (index_t c = 0; c < cells; ++c) {
+      h.read(p + c);
+      if (write) h.write(p + c);
+    }
+  };
+
+  for (index_t bj = 0; bj < m; ++bj)
+    for (index_t bi = bj; bi >= 0; --bi) {
+      // Middle passes.
+      for (index_t mk = bi + 1; mk < bj; ++mk) {
+        stream_block(bi, mk, false);
+        stream_block(mk, bj, false);
+        stream_block(bi, bj, true);
+      }
+      // Stage 2 with the two diagonal blocks (or the self-contained
+      // diagonal block pass).
+      if (bi != bj) {
+        stream_block(bi, bi, false);
+        stream_block(bj, bj, false);
+      }
+      stream_block(bi, bj, true);
+    }
+  h.flush();
+  TrafficResult r;
+  r.dram_bytes = h.dram_bytes();
+  r.accesses = h.l1().stats().accesses;
+  r.llc_miss_rate = h.l2().stats().miss_rate();
+  return r;
+}
+
+}  // namespace cellnpdp

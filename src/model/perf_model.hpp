@@ -1,0 +1,100 @@
+// Section V performance model, in closed form.
+//
+// Notation follows the paper: N1 problem size (cells per side), S bytes per
+// element, LS local-store bytes, B memory bandwidth, N2 memory-block side,
+// N3 computing-block side, C_C cycles per computing-block step, f clock,
+// C_N core (SPE) count.
+//
+// Key results encoded here and checked by tests:
+//   * N2 = sqrt(LS / (6 S))  - six block buffers must fit in the LS;
+//   * T_M = N1^3 S / (3 N2 B)  - total fetched bytes over bandwidth;
+//   * T_C = N1^3 C_C / (6 N3^3 f C_N);
+//   * T_all = max(T_M, T_C), U = U_C * min(1, T_C / T_M);
+//   * both T_M and T_C carry the factor N1^3, so U is independent of the
+//     problem size — the paper's §V headline result.
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/defs.hpp"
+
+namespace cellnpdp {
+
+struct ModelParams {
+  double n1 = 0;              ///< problem size (cells)
+  double elem_bytes = 4;      ///< S
+  double ls_bytes = 256e3;    ///< LS
+  double bandwidth = 25.6e9;  ///< B (bytes/s)
+  double clock_hz = 3.2e9;    ///< f
+  double cores = 16;          ///< C_N
+  double n3 = 4;              ///< computing-block side
+  double kernel_cycles = 54;  ///< C_C: cycles per computing-block step
+  double kernel_ops = 320;    ///< useful 32-bit ops per step (80 instr * 4)
+  double peak_ops_per_cycle_per_core = 8;  ///< dual issue * 4 lanes
+  double n2_override = 0;  ///< use this memory-block side instead of the
+                           ///< LS-derived maximum (0 = derive)
+};
+
+/// Memory-block side: the LS-derived maximum (six buffers of N2^2*S bytes
+/// must fit), unless explicitly overridden to match a concrete run.
+inline double model_block_side(const ModelParams& p) {
+  if (p.n2_override > 0) return p.n2_override;
+  return std::sqrt(p.ls_bytes / (6.0 * p.elem_bytes));
+}
+
+/// Total bytes fetched into local stores: ~ (N1/N2)^3/3 blocks of N2^2*S.
+inline double model_fetched_bytes(const ModelParams& p) {
+  const double n2 = model_block_side(p);
+  return p.n1 * p.n1 * p.n1 * p.elem_bytes / (3.0 * n2);
+}
+
+/// T_M: memory time.
+inline double model_memory_time(const ModelParams& p) {
+  return model_fetched_bytes(p) / p.bandwidth;
+}
+
+/// T_C: compute time — N1^3/(6*N3^3) computing-block steps, C_C cycles
+/// each, spread over C_N cores.
+inline double model_compute_time(const ModelParams& p) {
+  const double steps = p.n1 * p.n1 * p.n1 / (6.0 * p.n3 * p.n3 * p.n3);
+  return steps * p.kernel_cycles / (p.clock_hz * p.cores);
+}
+
+inline double model_total_time(const ModelParams& p) {
+  return std::max(model_memory_time(p), model_compute_time(p));
+}
+
+/// U_C: utilization while a computing-block step executes.
+inline double model_kernel_utilization(const ModelParams& p) {
+  return p.kernel_ops /
+         (p.kernel_cycles * p.peak_ops_per_cycle_per_core);
+}
+
+/// U = U_C * T_C / T_all = U_C * min(1, T_C / T_M): the processor
+/// utilization of the whole run. Independent of N1 (both times scale as
+/// N1^3).
+inline double model_utilization(const ModelParams& p) {
+  const double tc = model_compute_time(p);
+  const double tm = model_memory_time(p);
+  return model_kernel_utilization(p) * std::min(1.0, tc / tm);
+}
+
+/// The §V constraint: the minimum bandwidth that keeps the machine
+/// compute-bound (T_M <= T_C), i.e. B >= 3*sqrt(6)*S^{3/2}*N3^3*f*C_N /
+/// (C_C*sqrt(LS)) — returned directly so callers can compare with B.
+inline double model_required_bandwidth(const ModelParams& p) {
+  const double n2 = model_block_side(p);
+  // T_M <= T_C  <=>  B >= (N1^3 S / (3 N2)) / T_C; N1^3 cancels:
+  const double per_n13_bytes = p.elem_bytes / (3.0 * n2);
+  const double per_n13_tc =
+      p.kernel_cycles / (6.0 * p.n3 * p.n3 * p.n3 * p.clock_hz * p.cores);
+  return per_n13_bytes / per_n13_tc;
+}
+
+/// True when the configuration is compute-bound.
+inline bool model_compute_bound(const ModelParams& p) {
+  return model_memory_time(p) <= model_compute_time(p);
+}
+
+}  // namespace cellnpdp

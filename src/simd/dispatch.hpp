@@ -1,0 +1,103 @@
+// Runtime kernel selection.
+//
+// The blocked engine is parameterised by a KernelKind:
+//   Scalar - no SIMD at all (the ablation baseline; never auto-vectorised)
+//   Native - the 128-bit width of the paper's platforms (SSE: 4 floats or
+//            2 doubles per register, mirroring the Cell SPE exactly)
+//   Wide   - the 256-bit AVX2 extension kernel (8 floats / 4 doubles),
+//            one of the "wider machines" ablations
+#pragma once
+
+#include <string_view>
+
+#include "simd/kernels.hpp"
+
+namespace cellnpdp {
+
+enum class KernelKind { Scalar, Native, Wide };
+
+constexpr std::string_view kernel_kind_name(KernelKind k) {
+  switch (k) {
+    case KernelKind::Scalar: return "scalar";
+    case KernelKind::Native: return "simd128";
+    case KernelKind::Wide: return "simd256";
+  }
+  return "?";
+}
+
+template <class T>
+struct CbKernel {
+  using PureFn = void (*)(T*, index_t, const T*, index_t, const T*, index_t);
+  using SepFn = void (*)(T*, index_t, const T*, index_t, const T*, index_t,
+                         const T*, const T*, const T*);
+  using ArgFn = void (*)(T*, T*, index_t, const T*, index_t, const T*,
+                         index_t, index_t);
+
+  index_t width = 4;       ///< computing-block side in cells
+  PureFn pure = nullptr;   ///< C = min(C, A (+) B)
+  SepFn sep = nullptr;     ///< with separable u*v*w term
+  ArgFn arg = nullptr;     ///< pure relaxation + argmin-k tracking
+  KernelKind kind = KernelKind::Scalar;
+};
+
+namespace detail {
+
+template <class T, int W>
+CELLNPDP_NOVEC void scalar_pure_fixed(T* C, index_t sc, const T* A, index_t sa,
+                                      const T* B, index_t sb) {
+  minplus_tile_scalar(C, sc, A, sa, B, sb, W);
+}
+
+template <class T, int W>
+CELLNPDP_NOVEC void scalar_sep_fixed(T* C, index_t sc, const T* A, index_t sa,
+                                     const T* B, index_t sb, const T* u,
+                                     const T* v, const T* w) {
+  minplus_tile_scalar_sep(C, sc, A, sa, B, sb, W, u, v, w);
+}
+
+template <class T, int W>
+CELLNPDP_NOVEC void scalar_arg_fixed(T* C, T* KC, index_t sc, const T* A,
+                                     index_t sa, const T* B, index_t sb,
+                                     index_t kbase) {
+  minplus_tile_scalar_arg<T>(C, KC, sc, A, sa, B, sb, W, kbase,
+                             static_cast<const T*>(nullptr),
+                             static_cast<const T*>(nullptr),
+                             static_cast<const T*>(nullptr));
+}
+
+}  // namespace detail
+
+/// Returns the computing-block kernel bundle for (T, kind). The returned
+/// width always divides the engine's default memory-block sides.
+template <class T>
+CbKernel<T> cb_kernel(KernelKind kind) {
+  CbKernel<T> k;
+  k.kind = kind;
+  switch (kind) {
+    case KernelKind::Scalar:
+      k.width = 4;
+      k.pure = &detail::scalar_pure_fixed<T, 4>;
+      k.sep = &detail::scalar_sep_fixed<T, 4>;
+      k.arg = &detail::scalar_arg_fixed<T, 4>;
+      break;
+    case KernelKind::Native: {
+      constexpr int W = sizeof(T) == 4 ? 4 : 2;
+      k.width = W;
+      k.pure = &minplus_cb<T, W>;
+      k.sep = &minplus_cb_sep<T, W>;
+      k.arg = &minplus_cb_arg<T, W>;
+      break;
+    }
+    case KernelKind::Wide: {
+      constexpr int W = sizeof(T) == 4 ? 8 : 4;
+      k.width = W;
+      k.pure = &minplus_cb<T, W>;
+      k.sep = &minplus_cb_sep<T, W>;
+      k.arg = &minplus_cb_arg<T, W>;
+      break;
+    }
+  }
+  return k;
+}
+
+}  // namespace cellnpdp

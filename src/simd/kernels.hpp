@@ -1,0 +1,224 @@
+// Computing-block kernels (paper §IV-A, Fig. 6).
+//
+// A *computing block* is a WxW tile; the kernel relaxes C = min(C, A (+) B)
+// where (+) is the (min,+) 4x4 "matrix product" of Fig. 6(b):
+//
+//     C[r][c] = min(C[r][c], min_k A[r][k] + B[k][c])
+//
+// The register-cached schedule is exactly the paper's 80-instruction variant:
+// the W rows of B are loaded once, each C row is loaded, relaxed with W
+// splat+add+min steps, and stored — 12 loads, 16 shuffles, 16 adds, 16
+// compares, 16 selects, 4 stores for W = 4 (Table I).
+//
+// The separable variant additionally folds a per-(r,k,c) term u[r]*v[k]*w[c],
+// which is what the optimal-matrix-parenthesization instance needs
+// (p_i * p_k * p_j); pure NPDP passes no term.
+#pragma once
+
+#include <utility>
+
+#include "common/defs.hpp"
+#include "simd/vec.hpp"
+
+// Keep the compiler from auto-vectorising the deliberately scalar ablation
+// kernels, otherwise the "SIMD off" measurements silently use SIMD.
+#if defined(__GNUC__) && !defined(__clang__)
+#define CELLNPDP_NOVEC __attribute__((optimize("no-tree-vectorize")))
+#else
+#define CELLNPDP_NOVEC
+#endif
+
+namespace cellnpdp {
+
+namespace detail {
+
+template <class T, int W, std::size_t... K>
+inline Vec<T, W> minplus_row(Vec<T, W> c, Vec<T, W> a, const Vec<T, W>* b,
+                             std::index_sequence<K...>) {
+  ((c = vmin(c, Vec<T, W>::template splat<K>(a) + b[K])), ...);
+  return c;
+}
+
+template <class T, int W, std::size_t... K>
+inline Vec<T, W> minplus_row_sep(Vec<T, W> c, Vec<T, W> a, const Vec<T, W>* b,
+                                 const T* uv, Vec<T, W> wv,
+                                 std::index_sequence<K...>) {
+  // The product is associated (u*v)*w to stay bit-identical to the scalar
+  // reference path.
+  ((c = vmin(c, Vec<T, W>::template splat<K>(a) + b[K] +
+                    Vec<T, W>::set1(uv[K]) * wv)),
+   ...);
+  return c;
+}
+
+}  // namespace detail
+
+/// Register-cached WxW computing-block relaxation: C = min(C, A (+) B).
+/// sc/sa/sb are row strides in elements; rows must be kBufferAlignment
+/// aligned when a SIMD Vec specialisation is selected.
+template <class T, int W>
+inline void minplus_cb(T* C, index_t sc, const T* A, index_t sa, const T* B,
+                       index_t sb) {
+  using V = Vec<T, W>;
+  V b[W];
+  for (int k = 0; k < W; ++k) b[k] = V::load(B + k * sb);
+  for (int r = 0; r < W; ++r) {
+    V c = V::load(C + r * sc);
+    const V a = V::load(A + r * sa);
+    c = detail::minplus_row<T, W>(c, a, b, std::make_index_sequence<W>{});
+    c.store(C + r * sc);
+  }
+}
+
+/// As minplus_cb but with the separable extra term u[r]*v[k]*w[c]:
+///     C[r][c] = min(C[r][c], min_k A[r][k] + B[k][c] + u[r]*v[k]*w[c])
+/// u/v/w point at the W per-row / per-k / per-column factors of this tile.
+template <class T, int W>
+inline void minplus_cb_sep(T* C, index_t sc, const T* A, index_t sa,
+                           const T* B, index_t sb, const T* u, const T* v,
+                           const T* w) {
+  using V = Vec<T, W>;
+  const V wv = V::load(w);
+  V b[W];
+  for (int k = 0; k < W; ++k) b[k] = V::load(B + k * sb);
+  for (int r = 0; r < W; ++r) {
+    V c = V::load(C + r * sc);
+    const V a = V::load(A + r * sa);
+    T uv[W];
+    for (int k = 0; k < W; ++k) uv[k] = u[r] * v[k];
+    c = detail::minplus_row_sep<T, W>(c, a, b, uv, wv,
+                                      std::make_index_sequence<W>{});
+    c.store(C + r * sc);
+  }
+}
+
+namespace detail {
+
+template <class T, int W, std::size_t... K>
+inline void minplus_row_arg(Vec<T, W>& c, Vec<T, W>& kc, Vec<T, W> a,
+                            const Vec<T, W>* b, T kbase,
+                            std::index_sequence<K...>) {
+  // For each k: cand = a[k] + B[k]; where cand improves, take it and
+  // remember k. k indices are stored in T lanes (exact below 2^24 for
+  // float, far beyond any practical n for double).
+  ((void)([&] {
+     const Vec<T, W> cand = Vec<T, W>::template splat<K>(a) + b[K];
+     const Vec<T, W> m = vlt(cand, c);
+     c = vblend(m, cand, c);
+     kc = vblend(m, Vec<T, W>::set1(kbase + T(K)), kc);
+   }()),
+   ...);
+}
+
+}  // namespace detail
+
+/// Argmin-tracking variant of minplus_cb: KC mirrors C and holds, for each
+/// cell, the global k index (as a T) of the relaxation that produced the
+/// current value, or whatever it held before if no candidate improved.
+/// `kbase` is the global index of B's first row.
+template <class T, int W>
+inline void minplus_cb_arg(T* C, T* KC, index_t sc, const T* A, index_t sa,
+                           const T* B, index_t sb, index_t kbase) {
+  using V = Vec<T, W>;
+  V b[W];
+  for (int k = 0; k < W; ++k) b[k] = V::load(B + k * sb);
+  for (int r = 0; r < W; ++r) {
+    V c = V::load(C + r * sc);
+    V kc = V::load(KC + r * sc);
+    const V a = V::load(A + r * sa);
+    detail::minplus_row_arg<T, W>(c, kc, a, b, T(kbase),
+                                  std::make_index_sequence<W>{});
+    c.store(C + r * sc);
+    kc.store(KC + r * sc);
+  }
+}
+
+/// Scalar argmin-tracking tile relaxation (runtime side); also handles the
+/// separable k-term when u/v/w are non-null.
+template <class T>
+CELLNPDP_NOVEC void minplus_tile_scalar_arg(T* C, T* KC, index_t sc,
+                                            const T* A, index_t sa,
+                                            const T* B, index_t sb,
+                                            index_t side, index_t kbase,
+                                            const T* u, const T* v,
+                                            const T* w) {
+  for (index_t r = 0; r < side; ++r)
+    for (index_t k = 0; k < side; ++k) {
+      const T avk = A[r * sa + k];
+      const T uv = u != nullptr ? u[r] * v[k] : T(0);
+      for (index_t c = 0; c < side; ++c) {
+        T cand = avk + B[k * sb + c];
+        if (u != nullptr) cand += uv * w[c];
+        if (cand < C[r * sc + c]) {
+          C[r * sc + c] = cand;
+          KC[r * sc + c] = T(kbase + k);
+        }
+      }
+    }
+}
+
+/// Deliberately scalar tile relaxation with a runtime side, used by the
+/// "SIMD off" ablation and by the baselines. Never auto-vectorised.
+template <class T>
+CELLNPDP_NOVEC void minplus_tile_scalar(T* C, index_t sc, const T* A,
+                                        index_t sa, const T* B, index_t sb,
+                                        index_t side) {
+  for (index_t r = 0; r < side; ++r)
+    for (index_t k = 0; k < side; ++k) {
+      const T a = A[r * sa + k];
+      for (index_t c = 0; c < side; ++c) {
+        const T cand = a + B[k * sb + c];
+        T& dst = C[r * sc + c];
+        if (cand < dst) dst = cand;
+      }
+    }
+}
+
+/// Scalar separable-term tile relaxation (runtime side).
+template <class T>
+CELLNPDP_NOVEC void minplus_tile_scalar_sep(T* C, index_t sc, const T* A,
+                                            index_t sa, const T* B, index_t sb,
+                                            index_t side, const T* u,
+                                            const T* v, const T* w) {
+  for (index_t r = 0; r < side; ++r)
+    for (index_t k = 0; k < side; ++k) {
+      const T avk = A[r * sa + k];
+      const T uv = u[r] * v[k];
+      for (index_t c = 0; c < side; ++c) {
+        const T cand = avk + B[k * sb + c] + uv * w[c];
+        T& dst = C[r * sc + c];
+        if (cand < dst) dst = cand;
+      }
+    }
+}
+
+/// Instruction mix of one WxW computing-block relaxation as it would be
+/// emitted for the Cell SPE ISA (which has no lane-wise min: each min costs
+/// a compare plus a select). Consumed by the SPU pipeline model.
+struct KernelOpCounts {
+  int loads = 0;
+  int shuffles = 0;
+  int adds = 0;
+  int compares = 0;
+  int selects = 0;
+  int stores = 0;
+
+  int total() const {
+    return loads + shuffles + adds + compares + selects + stores;
+  }
+};
+
+/// The paper's register-cached schedule (Table I): 80 instructions at W = 4.
+constexpr KernelOpCounts cb_op_counts_cached(int w) {
+  // B rows + C rows + A rows loaded once each; one shuffle/add/cmp/sel per
+  // (r, k) pair; one store per C row.
+  return {3 * w, w * w, w * w, w * w, w * w, w};
+}
+
+/// The naive schedule (Fig. 6(b) repeated per step): 128 instructions at
+/// W = 4 — every step reloads C, B and A and stores C.
+constexpr KernelOpCounts cb_op_counts_uncached(int w) {
+  return {3 * w * w, w * w, w * w, w * w, w * w, w * w};
+}
+
+}  // namespace cellnpdp

@@ -1,0 +1,67 @@
+#include "taskgraph/executor.hpp"
+
+#include <algorithm>
+
+namespace cellnpdp {
+
+void TaskQueueExecutor::run(const BlockDependenceGraph& graph,
+                            std::size_t threads, const TaskFn& body) {
+  threads = std::max<std::size_t>(1, threads);
+
+  ReadyTracker tracker(graph);
+  std::deque<index_t> ready;
+  for (index_t id : tracker.initial_ready()) ready.push_back(id);
+
+  std::mutex mu;
+  std::condition_variable cv;
+
+  auto worker = [&] {
+    std::unique_lock lk(mu);
+    for (;;) {
+      cv.wait(lk, [&] { return !ready.empty() || tracker.all_complete(); });
+      if (tracker.all_complete()) return;
+      const index_t id = ready.front();
+      ready.pop_front();
+      const auto [si, sj] = graph.coords(id);
+
+      lk.unlock();
+      body(si, sj);
+      lk.lock();
+
+      for (index_t next : tracker.complete(id)) ready.push_back(next);
+      // Wake everyone when the run is over, otherwise wake enough workers
+      // for the newly released tasks.
+      if (tracker.all_complete()) {
+        cv.notify_all();
+      } else {
+        cv.notify_one();
+      }
+    }
+  };
+
+  std::vector<std::thread> pool;
+  pool.reserve(threads);
+  for (std::size_t t = 0; t < threads; ++t) pool.emplace_back(worker);
+  for (auto& th : pool) th.join();
+}
+
+std::vector<index_t> TaskQueueExecutor::run_serial(
+    const BlockDependenceGraph& graph, const TaskFn& body) {
+  ReadyTracker tracker(graph);
+  std::deque<index_t> ready;
+  for (index_t id : tracker.initial_ready()) ready.push_back(id);
+
+  std::vector<index_t> order;
+  order.reserve(static_cast<std::size_t>(graph.task_count()));
+  while (!ready.empty()) {
+    const index_t id = ready.front();
+    ready.pop_front();
+    const auto [si, sj] = graph.coords(id);
+    body(si, sj);
+    order.push_back(id);
+    for (index_t next : tracker.complete(id)) ready.push_back(next);
+  }
+  return order;
+}
+
+}  // namespace cellnpdp

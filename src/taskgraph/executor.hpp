@@ -1,0 +1,33 @@
+// Host-side task-queue executor: the PPEprocedure of Fig. 8 mapped onto
+// worker threads. Workers pull ready scheduling-block tasks from a shared
+// queue, run the user's task body, and release dependents.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "taskgraph/dependence_graph.hpp"
+
+namespace cellnpdp {
+
+class TaskQueueExecutor {
+ public:
+  using TaskFn = std::function<void(index_t si, index_t sj)>;
+
+  /// Runs every task of `graph` on `threads` workers, honouring the
+  /// simplified dependence relation. Blocks until all tasks finish.
+  static void run(const BlockDependenceGraph& graph, std::size_t threads,
+                  const TaskFn& body);
+
+  /// Serial reference executor; additionally records completion order so
+  /// tests can validate the schedule against the full dependence relation.
+  static std::vector<index_t> run_serial(const BlockDependenceGraph& graph,
+                                         const TaskFn& body);
+};
+
+}  // namespace cellnpdp

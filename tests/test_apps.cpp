@@ -1,0 +1,133 @@
+// Application-level tests: the three NPDP applications the paper names
+// must produce provably correct answers through the blocked engine.
+#include <gtest/gtest.h>
+
+#include "apps/matrix_chain/matrix_chain.hpp"
+#include "apps/optimal_bst/optimal_bst.hpp"
+#include "common/rng.hpp"
+
+namespace cellnpdp {
+namespace {
+
+std::vector<double> random_dims(index_t matrices, std::uint64_t seed) {
+  SplitMix64 rng(seed);
+  std::vector<double> p(static_cast<std::size_t>(matrices + 1));
+  for (auto& x : p) x = double(rng.next_below(40) + 1);
+  return p;
+}
+
+class MatrixChainTest : public ::testing::TestWithParam<index_t> {};
+
+TEST_P(MatrixChainTest, EngineMatchesTextbookReference) {
+  const index_t m = GetParam();
+  for (std::uint64_t seed : {1u, 2u, 3u}) {
+    const auto p = random_dims(m, seed);
+    NpdpOptions opts;
+    opts.block_side = 16;
+    const auto engine = solve_matrix_chain(p, opts);
+    const auto ref = solve_matrix_chain_reference(p);
+    EXPECT_EQ(engine.cost, ref.cost) << "m=" << m << " seed=" << seed;
+    EXPECT_EQ(engine.parenthesization, ref.parenthesization);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, MatrixChainTest,
+                         ::testing::Values(1, 2, 3, 5, 10, 33, 64, 100));
+
+TEST(MatrixChain, ClassicClrsExample) {
+  // CLRS 15.2: dimensions 30x35,35x15,15x5,5x10,10x20,20x25 -> 15125.
+  const std::vector<double> p{30, 35, 15, 5, 10, 20, 25};
+  NpdpOptions opts;
+  opts.block_side = 8;
+  const auto r = solve_matrix_chain(p, opts);
+  EXPECT_EQ(r.cost, 15125.0);
+  EXPECT_EQ(r.parenthesization, "((A0 (A1 A2)) ((A3 A4) A5))");
+}
+
+TEST(MatrixChain, SingleMatrixCostsNothing) {
+  const std::vector<double> p{7, 11};
+  NpdpOptions opts;
+  opts.block_side = 8;
+  const auto r = solve_matrix_chain(p, opts);
+  EXPECT_EQ(r.cost, 0.0);
+  EXPECT_EQ(r.parenthesization, "A0");
+}
+
+TEST(MatrixChain, ParallelEngineAgrees) {
+  const auto p = random_dims(120, 9);
+  NpdpOptions serial, par;
+  serial.block_side = par.block_side = 16;
+  par.threads = 4;
+  par.sched_side = 2;
+  EXPECT_EQ(solve_matrix_chain(p, serial).cost,
+            solve_matrix_chain(p, par).cost);
+}
+
+// --- optimal BST --------------------------------------------------------
+
+BstInstanceData<double> random_bst(index_t keys, std::uint64_t seed) {
+  SplitMix64 rng(seed);
+  std::vector<double> p(static_cast<std::size_t>(keys + 1), 0.0);
+  std::vector<double> q(static_cast<std::size_t>(keys + 1), 0.0);
+  double total = 0;
+  for (index_t k = 1; k <= keys; ++k) {
+    p[static_cast<std::size_t>(k)] = rng.next_in(0.0, 1.0);
+    total += p[static_cast<std::size_t>(k)];
+  }
+  for (index_t g = 0; g <= keys; ++g) {
+    q[static_cast<std::size_t>(g)] = rng.next_in(0.0, 1.0);
+    total += q[static_cast<std::size_t>(g)];
+  }
+  for (auto& x : p) x /= total;
+  for (auto& x : q) x /= total;
+  return make_bst_data(std::move(p), std::move(q));
+}
+
+class OptimalBstTest : public ::testing::TestWithParam<index_t> {};
+
+TEST_P(OptimalBstTest, EngineMatchesKnuthReference) {
+  const index_t keys = GetParam();
+  for (std::uint64_t seed : {4u, 5u, 6u}) {
+    const auto d = random_bst(keys, seed);
+    NpdpOptions opts;
+    opts.block_side = 16;
+    const double engine = solve_optimal_bst(d, opts);
+    const double ref = solve_optimal_bst_reference(d);
+    EXPECT_NEAR(engine, ref, 1e-9) << "keys=" << keys << " seed=" << seed;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, OptimalBstTest,
+                         ::testing::Values(1, 2, 3, 7, 20, 50, 101));
+
+TEST(OptimalBst, ClassicClrsExample) {
+  // CLRS 15.5: p = {.15,.10,.05,.10,.20}, q = {.05,.10,.05,.05,.05,.10},
+  // expected cost 2.75.
+  auto d = make_bst_data<double>({0, .15, .10, .05, .10, .20},
+                                 {.05, .10, .05, .05, .05, .10});
+  NpdpOptions opts;
+  opts.block_side = 8;
+  EXPECT_NEAR(solve_optimal_bst(d, opts), 2.75, 1e-12);
+}
+
+TEST(OptimalBst, KnuthSpeedupGivesIdenticalCosts) {
+  for (index_t keys : {5, 23, 64}) {
+    const auto d = random_bst(keys, 11);
+    EXPECT_NEAR(solve_optimal_bst_reference(d, false),
+                solve_optimal_bst_reference(d, true), 1e-12);
+  }
+}
+
+TEST(OptimalBst, CostBoundedByLogAndLinearExtremes) {
+  // Expected cost of any BST lies between ~1 (all mass in one node) and
+  // n+1 (degenerate chain); check the optimal one is sane.
+  const auto d = random_bst(64, 13);
+  NpdpOptions opts;
+  opts.block_side = 16;
+  const double cost = solve_optimal_bst(d, opts);
+  EXPECT_GT(cost, 1.0);
+  EXPECT_LT(cost, 65.0);
+}
+
+}  // namespace
+}  // namespace cellnpdp

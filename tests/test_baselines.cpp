@@ -1,0 +1,137 @@
+// Baseline implementations must agree with the Fig. 1 semantics: they are
+// the comparators every speedup figure divides by.
+#include <gtest/gtest.h>
+
+#include "baselines/recursive_npdp.hpp"
+#include "baselines/tan_npdp.hpp"
+#include "common/rng.hpp"
+#include "core/reference.hpp"
+#include "layout/convert.hpp"
+
+namespace cellnpdp {
+namespace {
+
+struct TanCase {
+  index_t n;
+  index_t tile;
+  std::size_t threads;
+  bool helper;
+};
+
+class TanTest : public ::testing::TestWithParam<TanCase> {};
+
+TEST_P(TanTest, MatchesFig1BitExact) {
+  const auto& p = GetParam();
+  auto init = [](index_t i, index_t j) {
+    return random_init_value<float>(99, i, j);
+  };
+  TriangularMatrix<float> expect(p.n);
+  expect.fill(init);
+  solve_fig1(expect);
+
+  TriangularMatrix<float> got(p.n);
+  got.fill(init);
+  TanOptions opts;
+  opts.tile = p.tile;
+  opts.threads = p.threads;
+  opts.helper_prefetch = p.helper;
+  solve_tan_npdp(got, opts);
+  EXPECT_EQ(max_abs_diff(expect, got), 0.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Configs, TanTest,
+    ::testing::Values(TanCase{5, 16, 1, false}, TanCase{40, 16, 1, false},
+                      TanCase{64, 16, 1, true}, TanCase{64, 16, 4, false},
+                      TanCase{100, 32, 4, true}, TanCase{97, 24, 2, true},
+                      TanCase{128, 128, 2, false},  // one tile == whole table
+                      TanCase{33, 8, 3, true}),
+    [](const auto& info) {
+      return "n" + std::to_string(info.param.n) + "_t" +
+             std::to_string(info.param.tile) + "_p" +
+             std::to_string(info.param.threads) +
+             (info.param.helper ? "_helper" : "_nohelper");
+    });
+
+TEST(TanTest, RepeatedParallelRunsAreDeterministic) {
+  auto init = [](index_t i, index_t j) {
+    return random_init_value<double>(5, i, j);
+  };
+  TriangularMatrix<double> first(120);
+  first.fill(init);
+  TanOptions opts;
+  opts.tile = 32;
+  opts.threads = 4;
+  solve_tan_npdp(first, opts);
+  for (int rep = 0; rep < 3; ++rep) {
+    TriangularMatrix<double> again(120);
+    again.fill(init);
+    solve_tan_npdp(again, opts);
+    EXPECT_EQ(max_abs_diff(first, again), 0.0);
+  }
+}
+
+// --- cache-oblivious recursion (Chowdhury & Ramachandran style) ----------
+
+struct RecCase {
+  index_t n;
+  index_t base;
+};
+
+class RecursiveTest : public ::testing::TestWithParam<RecCase> {};
+
+TEST_P(RecursiveTest, MatchesGoldenModelBitExact) {
+  const auto [n, base] = GetParam();
+  NpdpInstance<double> inst;
+  inst.n = n;
+  inst.init = [](index_t i, index_t j) {
+    return random_init_value<double>(123, i, j);
+  };
+  RecursiveOptions opts;
+  opts.base = base;
+  const auto got = solve_recursive(inst, opts);
+  const auto ref = solve_reference(inst);
+  EXPECT_EQ(max_abs_diff(ref, got), 0.0) << "n=" << n << " base=" << base;
+}
+
+TEST_P(RecursiveTest, HandlesNegativeDiagonalsViaSeedFolding) {
+  const auto [n, base] = GetParam();
+  NpdpInstance<double> inst;
+  inst.n = n;
+  inst.init = [](index_t i, index_t j) {
+    SplitMix64 rng(9 ^ (static_cast<std::uint64_t>(i) << 20) ^
+                   static_cast<std::uint64_t>(j));
+    return rng.next_in(-30.0, 70.0);
+  };
+  RecursiveOptions opts;
+  opts.base = base;
+  const auto got = solve_recursive(inst, opts);
+  const auto ref = solve_reference(inst);
+  EXPECT_EQ(max_abs_diff(ref, got), 0.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, RecursiveTest,
+    ::testing::Values(RecCase{1, 4}, RecCase{2, 4}, RecCase{3, 4},
+                      RecCase{17, 4}, RecCase{64, 8}, RecCase{100, 8},
+                      RecCase{101, 16}, RecCase{128, 32}, RecCase{130, 2}),
+    [](const auto& info) {
+      return "n" + std::to_string(info.param.n) + "_b" +
+             std::to_string(info.param.base);
+    });
+
+TEST(RecursiveTest, BaseSizeDoesNotChangeTheAnswer) {
+  NpdpInstance<float> inst;
+  inst.n = 120;
+  inst.init = [](index_t i, index_t j) {
+    return random_init_value<float>(6, i, j);
+  };
+  const auto a = solve_recursive(inst, {2});
+  const auto b = solve_recursive(inst, {16});
+  const auto c = solve_recursive(inst, {64});
+  EXPECT_EQ(max_abs_diff(a, b), 0.0);
+  EXPECT_EQ(max_abs_diff(a, c), 0.0);
+}
+
+}  // namespace
+}  // namespace cellnpdp

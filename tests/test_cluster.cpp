@@ -1,0 +1,141 @@
+// Distributed-cluster simulation tests.
+#include <gtest/gtest.h>
+
+#include "cluster/cluster_sim.hpp"
+#include "common/rng.hpp"
+#include "core/reference.hpp"
+#include "layout/convert.hpp"
+
+namespace cellnpdp {
+namespace {
+
+NpdpInstance<float> unit_instance(index_t n) {
+  NpdpInstance<float> inst;
+  inst.n = n;
+  inst.init = [](index_t, index_t) { return 1.0f; };
+  return inst;
+}
+
+TEST(Cluster, FunctionalModeProducesTheReferenceAnswer) {
+  NpdpInstance<float> inst;
+  inst.n = 160;
+  inst.init = [](index_t i, index_t j) {
+    return random_init_value<float>(808, i, j);
+  };
+  ClusterConfig cfg;
+  cfg.nodes = 4;
+  ClusterSimOptions o;
+  o.block_side = 16;
+  o.functional = true;
+  BlockedTriangularMatrix<float> out(1, 16);
+  const auto r = simulate_cluster_npdp(inst, cfg, o, &out);
+  EXPECT_GT(r.seconds, 0.0);
+  const auto ref = solve_reference(inst);
+  EXPECT_EQ(max_abs_diff(ref, to_triangular(out)), 0.0);
+}
+
+TEST(Cluster, SingleNodeHasNoCommunication) {
+  ClusterConfig cfg;
+  cfg.nodes = 1;
+  ClusterSimOptions o;
+  o.block_side = 64;
+  const auto r = simulate_cluster_npdp(unit_instance(1024), cfg, o);
+  EXPECT_EQ(r.comm_bytes, 0);
+  EXPECT_EQ(r.messages, 0);
+  EXPECT_GT(r.seconds, 0.0);
+}
+
+TEST(Cluster, CommunicationVolumeMatchesClosedForm) {
+  // Every block is broadcast once to nodes-1 receivers.
+  ClusterConfig cfg;
+  cfg.nodes = 4;
+  ClusterSimOptions o;
+  o.block_side = 64;
+  const index_t n = 1024;
+  const auto r = simulate_cluster_npdp(unit_instance(n), cfg, o);
+  const index_t m = ceil_div(n, 64);
+  const index_t blocks = triangle_cells(m);
+  EXPECT_EQ(r.blocks, blocks);
+  EXPECT_EQ(r.comm_bytes, blocks * 64 * 64 * 4 * (cfg.nodes - 1));
+  EXPECT_EQ(r.messages, blocks * (cfg.nodes - 1));
+}
+
+TEST(Cluster, DeterministicAcrossRuns) {
+  ClusterConfig cfg;
+  cfg.nodes = 8;
+  ClusterSimOptions o;
+  o.block_side = 32;
+  const auto a = simulate_cluster_npdp(unit_instance(512), cfg, o);
+  const auto b = simulate_cluster_npdp(unit_instance(512), cfg, o);
+  EXPECT_DOUBLE_EQ(a.seconds, b.seconds);
+  EXPECT_EQ(a.comm_bytes, b.comm_bytes);
+}
+
+TEST(Cluster, MoreNodesHelpUntilCommunicationDominates) {
+  // With a fat network, scaling holds; with a thin one it collapses —
+  // exactly the "communication overhead cannot be neglected" regime.
+  ClusterSimOptions o;
+  o.block_side = 64;
+  const auto inst = unit_instance(4096);
+
+  double prev = 1e30;
+  for (int nodes : {1, 2, 4, 8}) {
+    ClusterConfig fat;
+    fat.nodes = nodes;
+    fat.link_bandwidth = 25e9;
+    fat.link_latency = 1e-6;
+    const auto r = simulate_cluster_npdp(inst, fat, o);
+    EXPECT_LT(r.seconds, prev * 1.02) << nodes << " fat nodes";
+    prev = r.seconds;
+  }
+
+  ClusterConfig thin1, thin8;
+  thin1.nodes = 1;
+  thin8.nodes = 8;
+  thin1.link_bandwidth = thin8.link_bandwidth = 50e6;  // 50 MB/s
+  thin1.link_latency = thin8.link_latency = 1e-3;      // 1 ms
+  const auto r1 = simulate_cluster_npdp(inst, thin1, o);
+  const auto r8 = simulate_cluster_npdp(inst, thin8, o);
+  EXPECT_GT(r8.seconds, r1.seconds)
+      << "a thin network must make 8 nodes slower than 1";
+}
+
+TEST(Cluster, EfficiencyDropsWithNodeCount) {
+  ClusterSimOptions o;
+  o.block_side = 64;
+  const auto inst = unit_instance(2048);
+  double prev = 2.0;
+  for (int nodes : {1, 2, 4, 8}) {
+    ClusterConfig cfg;
+    cfg.nodes = nodes;
+    const auto r = simulate_cluster_npdp(inst, cfg, o);
+    EXPECT_LE(r.efficiency, prev + 1e-9) << nodes;
+    EXPECT_GT(r.efficiency, 0.0);
+    prev = r.efficiency;
+  }
+}
+
+TEST(Cluster, TreeBroadcastBeatsSequentialSends) {
+  ClusterSimOptions o;
+  o.block_side = 64;
+  const auto inst = unit_instance(2048);
+  ClusterConfig tree, seq;
+  tree.nodes = seq.nodes = 16;
+  tree.link_bandwidth = seq.link_bandwidth = 1e9;
+  tree.tree_broadcast = true;
+  seq.tree_broadcast = false;
+  const auto rt = simulate_cluster_npdp(inst, tree, o);
+  const auto rs = simulate_cluster_npdp(inst, seq, o);
+  EXPECT_LE(rt.seconds, rs.seconds * 1.001);
+}
+
+TEST(Cluster, RejectsZeroNodes) {
+  ClusterConfig cfg;
+  cfg.nodes = 0;
+  ClusterSimOptions o;
+  EXPECT_THROW(simulate_cluster_npdp(unit_instance(64), cfg, o),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace cellnpdp

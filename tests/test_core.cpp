@@ -1,0 +1,227 @@
+// Core engine correctness: the blocked two-tier engine must reproduce the
+// Fig. 1 loop nest bit-for-bit in pure mode, and the documented generalised
+// semantics in weighted / separable-k-term mode, for every kernel backend,
+// block geometry and thread count.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "common/rng.hpp"
+#include "core/reference.hpp"
+#include "core/solve.hpp"
+#include "layout/convert.hpp"
+
+namespace cellnpdp {
+namespace {
+
+template <class T>
+NpdpInstance<T> random_instance(index_t n, std::uint64_t seed) {
+  NpdpInstance<T> inst;
+  inst.n = n;
+  inst.init = [seed](index_t i, index_t j) {
+    return random_init_value<T>(seed, i, j);
+  };
+  return inst;
+}
+
+TEST(Reference, GoldenModelMatchesFig1OnRandomInstances) {
+  for (index_t n : {1, 2, 3, 5, 17, 40, 77}) {
+    const auto inst = random_instance<double>(n, 7 + n);
+    TriangularMatrix<double> fig1(n);
+    fig1.fill(inst.init);
+    solve_fig1(fig1);
+    const auto ref = solve_reference(inst);
+    EXPECT_EQ(max_abs_diff(fig1, ref), 0.0) << "n=" << n;
+  }
+}
+
+TEST(Reference, SelfTermFoldingHoldsForNegativeDiagonals) {
+  // The engine folds Fig. 1's k == i relaxation into the seed; that must be
+  // equivalent even when diagonal values are negative.
+  for (std::uint64_t seed : {1u, 2u, 3u, 4u}) {
+    const index_t n = 23;
+    NpdpInstance<double> inst;
+    inst.n = n;
+    inst.init = [seed](index_t i, index_t j) {
+      SplitMix64 rng(seed * 1000003 + static_cast<std::uint64_t>(i * 131 + j));
+      return rng.next_in(-20.0, 80.0);  // diagonals may be negative
+    };
+    TriangularMatrix<double> fig1(n);
+    fig1.fill(inst.init);
+    solve_fig1(fig1);
+    const auto ref = solve_reference(inst);
+    EXPECT_EQ(max_abs_diff(fig1, ref), 0.0) << "seed=" << seed;
+  }
+}
+
+struct EngineCase {
+  index_t n;
+  index_t bs;
+  KernelKind kernel;
+
+  std::string name() const {
+    return "n" + std::to_string(n) + "_bs" + std::to_string(bs) + "_" +
+           std::string(kernel_kind_name(kernel));
+  }
+};
+
+std::vector<EngineCase> engine_cases() {
+  std::vector<EngineCase> cases;
+  for (KernelKind k :
+       {KernelKind::Scalar, KernelKind::Native, KernelKind::Wide}) {
+    // Block side must be a multiple of every kernel width in play (<= 8).
+    for (auto [n, bs] : std::initializer_list<std::pair<index_t, index_t>>{
+             {1, 8},    {7, 8},    {8, 8},   {9, 8},   {16, 8},
+             {24, 8},   {31, 8},   {40, 16}, {64, 16}, {65, 16},
+             {100, 24}, {128, 32}, {130, 32}}) {
+      cases.push_back({n, bs, k});
+    }
+  }
+  return cases;
+}
+
+class EngineTest : public ::testing::TestWithParam<EngineCase> {};
+
+TEST_P(EngineTest, PureModeMatchesFig1BitExactFloat) {
+  const auto& p = GetParam();
+  const auto inst = random_instance<float>(p.n, 1234 + p.n);
+  NpdpOptions opts;
+  opts.block_side = p.bs;
+  opts.kernel = p.kernel;
+  const auto blocked = solve_blocked_serial(inst, opts);
+  const auto ref = solve_reference(inst);
+  EXPECT_EQ(max_abs_diff(ref, to_triangular(blocked)), 0.0);
+}
+
+TEST_P(EngineTest, PureModeMatchesFig1BitExactDouble) {
+  const auto& p = GetParam();
+  const auto inst = random_instance<double>(p.n, 777 + p.n);
+  NpdpOptions opts;
+  opts.block_side = p.bs;
+  opts.kernel = p.kernel;
+  const auto blocked = solve_blocked_serial(inst, opts);
+  const auto ref = solve_reference(inst);
+  EXPECT_EQ(max_abs_diff(ref, to_triangular(blocked)), 0.0);
+}
+
+TEST_P(EngineTest, WeightedModeMatchesGoldenModel) {
+  const auto& p = GetParam();
+  auto inst = random_instance<double>(p.n, 31 + p.n);
+  inst.weight = [](index_t i, index_t j) { return double((j - i) % 5) + 0.5; };
+  NpdpOptions opts;
+  opts.block_side = p.bs;
+  opts.kernel = p.kernel;
+  const auto blocked = solve_blocked_serial(inst, opts);
+  const auto ref = solve_reference(inst);
+  EXPECT_EQ(max_abs_diff(ref, to_triangular(blocked)), 0.0);
+}
+
+TEST_P(EngineTest, SeparableKTermMatchesGoldenModel) {
+  const auto& p = GetParam();
+  auto inst = random_instance<float>(p.n, 555 + p.n);
+  // Small integer factors: products are exact in float.
+  aligned_vector<float> u(static_cast<std::size_t>(p.n)),
+      v(static_cast<std::size_t>(p.n)), w(static_cast<std::size_t>(p.n));
+  SplitMix64 rng(42);
+  for (index_t i = 0; i < p.n; ++i) {
+    u[static_cast<std::size_t>(i)] = float(rng.next_below(8) + 1);
+    v[static_cast<std::size_t>(i)] = float(rng.next_below(8) + 1);
+    w[static_cast<std::size_t>(i)] = float(rng.next_below(8) + 1);
+  }
+  inst.ku = u.data();
+  inst.kv = v.data();
+  inst.kw = w.data();
+  NpdpOptions opts;
+  opts.block_side = p.bs;
+  opts.kernel = p.kernel;
+  const auto blocked = solve_blocked_serial(inst, opts);
+  const auto ref = solve_reference(inst);
+  EXPECT_EQ(max_abs_diff(ref, to_triangular(blocked)), 0.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Geometries, EngineTest,
+                         ::testing::ValuesIn(engine_cases()),
+                         [](const auto& info) { return info.param.name(); });
+
+struct ParallelCase {
+  index_t n;
+  index_t bs;
+  index_t sched;
+  std::size_t threads;
+};
+
+class ParallelEngineTest : public ::testing::TestWithParam<ParallelCase> {};
+
+TEST_P(ParallelEngineTest, ParallelEqualsSerialBitExact) {
+  const auto& p = GetParam();
+  const auto inst = random_instance<float>(p.n, 4242);
+  NpdpOptions serial_opts;
+  serial_opts.block_side = p.bs;
+  const auto serial = solve_blocked_serial(inst, serial_opts);
+
+  NpdpOptions par_opts = serial_opts;
+  par_opts.sched_side = p.sched;
+  par_opts.threads = p.threads;
+  for (int rep = 0; rep < 3; ++rep) {
+    const auto par = solve_blocked_parallel(inst, par_opts);
+    EXPECT_EQ(max_abs_diff(to_triangular(serial), to_triangular(par)), 0.0)
+        << "rep=" << rep;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Configs, ParallelEngineTest,
+    ::testing::Values(ParallelCase{64, 8, 1, 2}, ParallelCase{64, 8, 2, 4},
+                      ParallelCase{96, 8, 3, 4}, ParallelCase{100, 16, 1, 7},
+                      ParallelCase{160, 16, 2, 8}, ParallelCase{33, 16, 4, 3},
+                      ParallelCase{8, 8, 1, 4}),
+    [](const auto& info) {
+      return "n" + std::to_string(info.param.n) + "_bs" +
+             std::to_string(info.param.bs) + "_ss" +
+             std::to_string(info.param.sched) + "_t" +
+             std::to_string(info.param.threads);
+    });
+
+TEST(Engine, RejectsBlockSideNotMultipleOfKernelWidth) {
+  auto inst = random_instance<float>(16, 1);
+  NpdpOptions opts;
+  opts.block_side = 6;  // not a multiple of the width-4 native kernel
+  EXPECT_THROW(solve_blocked_serial(inst, opts), std::invalid_argument);
+}
+
+TEST(Engine, WeightedModeKeepsDiagonalAtInit) {
+  auto inst = random_instance<double>(20, 9);
+  inst.weight = [](index_t, index_t) { return 1.0; };
+  NpdpOptions opts;
+  opts.block_side = 8;
+  const auto blocked = solve_blocked_serial(inst, opts);
+  for (index_t i = 0; i < 20; ++i)
+    EXPECT_EQ(blocked.at(i, i), inst.init(i, i));
+}
+
+TEST(Engine, MonotoneProperty_ResultNeverExceedsInit) {
+  // min-relaxation can only lower values.
+  const auto inst = random_instance<float>(90, 2024);
+  NpdpOptions opts;
+  opts.block_side = 16;
+  const auto out = solve_blocked_serial(inst, opts);
+  for (index_t i = 0; i < 90; ++i)
+    for (index_t j = i; j < 90; ++j)
+      EXPECT_LE(out.at(i, j), inst.init(i, j));
+}
+
+TEST(Engine, TriangleInequalityFixpoint) {
+  // After the closure, no relaxation can improve any cell:
+  // d[i][j] <= d[i][k] + d[k][j] for all i < k < j.
+  const auto inst = random_instance<double>(60, 11);
+  NpdpOptions opts;
+  opts.block_side = 8;
+  const auto out = solve_blocked_serial(inst, opts);
+  for (index_t i = 0; i < 60; ++i)
+    for (index_t j = i + 1; j < 60; ++j)
+      for (index_t k = i + 1; k < j; ++k)
+        EXPECT_LE(out.at(i, j), out.at(i, k) + out.at(k, j) + 1e-12);
+}
+
+}  // namespace
+}  // namespace cellnpdp

@@ -1,0 +1,129 @@
+// Weighted CYK parser tests: known languages, exhaustive agreement, parse
+// tree validity, SIMD/scalar equivalence.
+#include <gtest/gtest.h>
+
+#include "apps/cyk/brute_force.hpp"
+#include "apps/cyk/cyk.hpp"
+#include "common/rng.hpp"
+
+namespace cellnpdp::cyk {
+namespace {
+
+TEST(Grammar, ValidationCatchesBadIds) {
+  Grammar g;
+  g.nonterminals = 2;
+  g.terminals = 1;
+  g.binary = {{0, 1, 5, 1.0f}};  // right id out of range
+  EXPECT_THROW(CykParser{g}, std::invalid_argument);
+  Grammar h = balanced_parens_grammar();
+  EXPECT_NO_THROW(CykParser{h});
+}
+
+TEST(CykLanguages, BalancedParentheses) {
+  CykParser parser(balanced_parens_grammar());
+  const std::string alphabet = "()";
+  for (const char* ok : {"()", "()()", "(())", "(()())", "((()))()"}) {
+    EXPECT_TRUE(parser.parse(tokens_from_string(ok, alphabet)).accepted())
+        << ok;
+  }
+  for (const char* bad : {"(", ")", ")(", "(()", "())", "()(", ""}) {
+    EXPECT_FALSE(parser.parse(tokens_from_string(bad, alphabet)).accepted())
+        << bad;
+  }
+}
+
+TEST(CykLanguages, AnBn) {
+  CykParser parser(anbn_grammar());
+  const std::string alphabet = "ab";
+  for (const char* ok : {"ab", "aabb", "aaabbb", "aaaabbbb"}) {
+    EXPECT_TRUE(parser.parse(tokens_from_string(ok, alphabet)).accepted())
+        << ok;
+  }
+  for (const char* bad : {"a", "b", "ba", "abab", "aab", "abb", "bbaa"}) {
+    EXPECT_FALSE(parser.parse(tokens_from_string(bad, alphabet)).accepted())
+        << bad;
+  }
+}
+
+TEST(CykWeights, CostCountsRuleApplications) {
+  // With all binary weights 1 and terminal weights 0, the cost is the
+  // number of internal nodes: "()" uses S -> L R (1); "(())" uses
+  // S -> L R' and R' -> S R plus the inner S -> L R (3).
+  CykParser parser(balanced_parens_grammar());
+  EXPECT_EQ(parser.parse(tokens_from_string("()", "()")).cost, 1.0f);
+  EXPECT_EQ(parser.parse(tokens_from_string("(())", "()")).cost, 3.0f);
+  EXPECT_EQ(parser.parse(tokens_from_string("()()", "()")).cost, 3.0f);
+}
+
+class CykBruteTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(CykBruteTest, MatchesExhaustiveSearchOnRandomGrammars) {
+  const std::uint64_t seed = GetParam();
+  const Grammar g = random_grammar(4, 3, 10, seed);
+  CykParser parser(g);
+  SplitMix64 rng(seed * 7 + 1);
+  for (int trial = 0; trial < 20; ++trial) {
+    const index_t len = 1 + static_cast<index_t>(rng.next_below(7));
+    std::vector<int> tokens(static_cast<std::size_t>(len));
+    for (auto& t : tokens)
+      t = static_cast<int>(rng.next_below(3));
+    const auto dp = parser.parse(tokens);
+    const Weight brute = brute_force_parse_cost(g, tokens);
+    if (brute >= kInfW) {
+      EXPECT_FALSE(dp.accepted()) << "seed=" << seed << " trial=" << trial;
+    } else {
+      ASSERT_TRUE(dp.accepted());
+      EXPECT_FLOAT_EQ(dp.cost, brute) << "seed=" << seed << " trial=" << trial;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CykBruteTest,
+                         ::testing::Values(1, 2, 3, 4, 5, 6));
+
+TEST(CykTree, ParseTreeEvaluatesToReportedCost) {
+  const Grammar g = universal_grammar(3, 42);
+  CykParser parser(g);
+  SplitMix64 rng(11);
+  int accepted = 0;
+  for (int trial = 0; trial < 30; ++trial) {
+    const index_t len = 2 + static_cast<index_t>(rng.next_below(12));
+    std::vector<int> tokens(static_cast<std::size_t>(len));
+    for (auto& t : tokens) t = static_cast<int>(rng.next_below(3));
+    const auto r = parser.parse(tokens);
+    if (!r.accepted()) continue;
+    ++accepted;
+    EXPECT_FLOAT_EQ(evaluate_parse_tree(g, tokens, r.nodes), r.cost);
+    // Tree shape: root covers the whole span with the start symbol.
+    ASSERT_FALSE(r.nodes.empty());
+    EXPECT_EQ(r.nodes[0].lhs, g.start);
+    EXPECT_EQ(r.nodes[0].i, 0);
+    EXPECT_EQ(r.nodes[0].j, len);
+    // A binary tree over `len` leaves has exactly 2*len - 1 nodes.
+    EXPECT_EQ(r.nodes.size(), static_cast<std::size_t>(2 * len - 1));
+  }
+  EXPECT_EQ(accepted, 30) << "the universal grammar accepts everything";
+}
+
+TEST(CykSimd, ScalarAndSimdSplitsAreBitIdentical) {
+  const Grammar g = random_grammar(6, 4, 16, 9);
+  CykParser simd(g, {true});
+  CykParser scalar(g, {false});
+  SplitMix64 rng(3);
+  for (int trial = 0; trial < 10; ++trial) {
+    const index_t len = 20 + static_cast<index_t>(rng.next_below(60));
+    std::vector<int> tokens(static_cast<std::size_t>(len));
+    for (auto& t : tokens) t = static_cast<int>(rng.next_below(4));
+    const auto a = simd.parse(tokens);
+    const auto b = scalar.parse(tokens);
+    EXPECT_EQ(a.cost, b.cost) << "trial " << trial;
+  }
+}
+
+TEST(CykEdge, EmptyInputIsRejected) {
+  CykParser parser(balanced_parens_grammar());
+  EXPECT_FALSE(parser.parse({}).accepted());
+}
+
+}  // namespace
+}  // namespace cellnpdp::cyk

@@ -1,0 +1,111 @@
+// Section V performance-model tests, including its headline property
+// (size-independent utilization) and cross-validation against the
+// discrete-event simulator.
+#include <gtest/gtest.h>
+
+#include "cellsim/npdp_sim.hpp"
+#include "model/perf_model.hpp"
+
+namespace cellnpdp {
+namespace {
+
+ModelParams qs20_sp(double n1) {
+  ModelParams p;
+  p.n1 = n1;
+  p.elem_bytes = 4;
+  p.ls_bytes = 256.0 * 1024;
+  p.bandwidth = 25.6e9;
+  p.clock_hz = 3.2e9;
+  p.cores = 16;
+  p.n3 = 4;
+  p.kernel_cycles = 54;
+  p.kernel_ops = 320;
+  return p;
+}
+
+TEST(Model, BlockSideMatchesSixBufferBudget) {
+  const auto p = qs20_sp(4096);
+  const double n2 = model_block_side(p);
+  // 6 * n2^2 * S == LS
+  EXPECT_NEAR(6.0 * n2 * n2 * p.elem_bytes, p.ls_bytes, 1.0);
+  // ~104 cells for 256KB/4B — the paper's 32KB block (side ~90) is below.
+  EXPECT_NEAR(n2, 104.5, 1.0);
+}
+
+TEST(Model, UtilizationIsExactlySizeIndependent) {
+  const auto a = qs20_sp(1024);
+  const auto b = qs20_sp(65536);
+  EXPECT_DOUBLE_EQ(model_utilization(a), model_utilization(b));
+}
+
+TEST(Model, KernelUtilizationMatchesPaperArithmetic) {
+  // 80 instructions * 4 lanes / 54 cycles / 8 peak = ~74%.
+  const auto p = qs20_sp(4096);
+  EXPECT_NEAR(model_kernel_utilization(p), 320.0 / (54 * 8), 1e-12);
+  EXPECT_GT(model_utilization(p), 0.60) << "the >60% headline";
+}
+
+TEST(Model, TimesScaleCubically) {
+  const auto a = qs20_sp(2048);
+  const auto b = qs20_sp(4096);
+  EXPECT_NEAR(model_memory_time(b) / model_memory_time(a), 8.0, 1e-9);
+  EXPECT_NEAR(model_compute_time(b) / model_compute_time(a), 8.0, 1e-9);
+}
+
+TEST(Model, BiggerLocalStoreLowersMemoryTime) {
+  auto small = qs20_sp(4096);
+  auto large = qs20_sp(4096);
+  small.ls_bytes = 64.0 * 1024;
+  large.ls_bytes = 512.0 * 1024;
+  EXPECT_GT(model_memory_time(small), model_memory_time(large));
+  // Compute time is unaffected by the LS.
+  EXPECT_DOUBLE_EQ(model_compute_time(small), model_compute_time(large));
+}
+
+TEST(Model, ComputeBoundFlagConsistentWithTimes) {
+  for (double cores : {1.0, 2.0, 4.0, 8.0, 16.0, 64.0}) {
+    auto p = qs20_sp(4096);
+    p.cores = cores;
+    EXPECT_EQ(model_compute_bound(p),
+              model_memory_time(p) <= model_compute_time(p));
+  }
+}
+
+TEST(Model, RequiredBandwidthIsTheExactCrossover) {
+  auto p = qs20_sp(4096);
+  const double breq = model_required_bandwidth(p);
+  p.bandwidth = breq * 1.0001;
+  EXPECT_TRUE(model_compute_bound(p));
+  p.bandwidth = breq * 0.9999;
+  EXPECT_FALSE(model_compute_bound(p));
+}
+
+TEST(Model, MoreCoresNeedMoreBandwidth) {
+  auto p8 = qs20_sp(4096);
+  auto p16 = qs20_sp(4096);
+  p8.cores = 8;
+  p16.cores = 16;
+  EXPECT_LT(model_required_bandwidth(p8), model_required_bandwidth(p16));
+}
+
+TEST(Model, AgreesWithDiscreteEventSimulatorWithinTolerance) {
+  // The closed form ignores scheduling/corner overheads; the simulator
+  // includes them. They must still agree on the big picture.
+  NpdpInstance<float> inst;
+  inst.n = 2048;
+  inst.init = [](index_t, index_t) { return 1.0f; };
+  CellSimOptions o;
+  o.block_side = 64;
+  const CellConfig cfg = qs20();
+  const auto sim = simulate_cellnpdp(inst, cfg, o);
+
+  auto p = qs20_sp(2048);
+  p.n2_override = 64;
+  p.kernel_cycles = sim.kernel_cycles;
+  const double model_t = model_total_time(p);
+  EXPECT_GT(sim.seconds / model_t, 0.7);
+  EXPECT_LT(sim.seconds / model_t, 2.0);
+}
+
+}  // namespace
+}  // namespace cellnpdp

@@ -1,0 +1,210 @@
+// SIMD wrapper and computing-block kernel tests. Every SIMD path must be
+// bit-identical to the deliberately scalar reference path.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/aligned.hpp"
+#include "common/rng.hpp"
+#include "simd/dispatch.hpp"
+
+namespace cellnpdp {
+namespace {
+
+template <class T, int W>
+void vec_roundtrip_case() {
+  alignas(kBufferAlignment) T in[W], out[W];
+  for (int i = 0; i < W; ++i) in[i] = T(i) * T(1.5) + T(1);
+  auto v = Vec<T, W>::load(in);
+  v.store(out);
+  for (int i = 0; i < W; ++i) EXPECT_EQ(out[i], in[i]);
+
+  auto s = Vec<T, W>::set1(T(7));
+  s.store(out);
+  for (int i = 0; i < W; ++i) EXPECT_EQ(out[i], T(7));
+}
+
+TEST(Vec, LoadStoreSet1AllWidths) {
+  vec_roundtrip_case<float, 4>();
+  vec_roundtrip_case<float, 8>();
+  vec_roundtrip_case<double, 2>();
+  vec_roundtrip_case<double, 4>();
+  vec_roundtrip_case<float, 3>();  // generic fallback width
+}
+
+template <class T, int W>
+void vec_arith_case() {
+  alignas(kBufferAlignment) T a[W], b[W], out[W];
+  SplitMix64 rng(99);
+  for (int i = 0; i < W; ++i) {
+    a[i] = T(rng.next_in(-50, 50));
+    b[i] = T(rng.next_in(-50, 50));
+  }
+  auto va = Vec<T, W>::load(a), vb = Vec<T, W>::load(b);
+  (va + vb).store(out);
+  for (int i = 0; i < W; ++i) EXPECT_EQ(out[i], a[i] + b[i]);
+  (va * vb).store(out);
+  for (int i = 0; i < W; ++i) EXPECT_EQ(out[i], a[i] * b[i]);
+  vmin(va, vb).store(out);
+  for (int i = 0; i < W; ++i) EXPECT_EQ(out[i], std::min(a[i], b[i]));
+}
+
+TEST(Vec, AddMulMinAllWidths) {
+  vec_arith_case<float, 4>();
+  vec_arith_case<float, 8>();
+  vec_arith_case<double, 2>();
+  vec_arith_case<double, 4>();
+  vec_arith_case<double, 5>();  // generic fallback width
+}
+
+template <class T, int W, int L>
+void splat_lane_case() {
+  alignas(kBufferAlignment) T in[W], out[W];
+  for (int i = 0; i < W; ++i) in[i] = T(i + 1);
+  auto v = Vec<T, W>::template splat<L>(Vec<T, W>::load(in));
+  v.store(out);
+  for (int i = 0; i < W; ++i) EXPECT_EQ(out[i], T(L + 1)) << "lane " << L;
+}
+
+TEST(Vec, SplatEveryLane) {
+  splat_lane_case<float, 4, 0>();
+  splat_lane_case<float, 4, 1>();
+  splat_lane_case<float, 4, 2>();
+  splat_lane_case<float, 4, 3>();
+  splat_lane_case<float, 8, 0>();
+  splat_lane_case<float, 8, 3>();
+  splat_lane_case<float, 8, 4>();
+  splat_lane_case<float, 8, 7>();
+  splat_lane_case<double, 2, 0>();
+  splat_lane_case<double, 2, 1>();
+  splat_lane_case<double, 4, 0>();
+  splat_lane_case<double, 4, 1>();
+  splat_lane_case<double, 4, 2>();
+  splat_lane_case<double, 4, 3>();
+}
+
+// --- computing-block kernels -------------------------------------------
+
+template <class T>
+aligned_vector<T> random_tile(index_t side, index_t stride, std::uint64_t seed,
+                              double inf_fraction = 0.0) {
+  aligned_vector<T> buf(static_cast<std::size_t>(side * stride));
+  SplitMix64 rng(seed);
+  for (auto& x : buf) {
+    x = rng.next_unit() < inf_fraction ? minplus_identity<T>()
+                                       : T(rng.next_in(0, 100));
+  }
+  return buf;
+}
+
+template <class T, int W>
+void kernel_matches_scalar_case(std::uint64_t seed, double inf_fraction) {
+  const index_t stride = 2 * W + 8;  // exercise non-trivial row strides
+  auto c0 = random_tile<T>(W, stride, seed);
+  auto a = random_tile<T>(W, stride, seed + 1, inf_fraction);
+  auto b = random_tile<T>(W, stride, seed + 2, inf_fraction);
+  auto c1 = c0;
+
+  minplus_cb<T, W>(c0.data(), stride, a.data(), stride, b.data(), stride);
+  minplus_tile_scalar<T>(c1.data(), stride, a.data(), stride, b.data(), stride,
+                         W);
+  for (index_t r = 0; r < W; ++r)
+    for (index_t col = 0; col < W; ++col)
+      EXPECT_EQ(c0[r * stride + col], c1[r * stride + col])
+          << "W=" << W << " r=" << r << " c=" << col;
+}
+
+TEST(Kernels, MinPlusMatchesScalarAllWidths) {
+  for (std::uint64_t s = 0; s < 8; ++s) {
+    kernel_matches_scalar_case<float, 4>(s, 0.0);
+    kernel_matches_scalar_case<float, 8>(s, 0.0);
+    kernel_matches_scalar_case<double, 2>(s, 0.0);
+    kernel_matches_scalar_case<double, 4>(s, 0.0);
+  }
+}
+
+TEST(Kernels, MinPlusHandlesIdentityPadding) {
+  // Padded tiles mix +inf into A and B; the kernel must treat them as
+  // no-ops exactly like the scalar path.
+  for (std::uint64_t s = 0; s < 8; ++s) {
+    kernel_matches_scalar_case<float, 4>(s + 100, 0.3);
+    kernel_matches_scalar_case<float, 8>(s + 100, 0.3);
+    kernel_matches_scalar_case<double, 2>(s + 100, 0.3);
+    kernel_matches_scalar_case<double, 4>(s + 100, 0.3);
+  }
+}
+
+TEST(Kernels, AllIdentityInputsLeaveCUntouched) {
+  constexpr int W = 4;
+  const index_t stride = 16;
+  auto c0 = random_tile<float>(W, stride, 5);
+  auto a = random_tile<float>(W, stride, 6, 1.0);  // all +inf
+  auto b = random_tile<float>(W, stride, 7, 1.0);
+  auto expect = c0;
+  minplus_cb<float, W>(c0.data(), stride, a.data(), stride, b.data(), stride);
+  EXPECT_EQ(c0, expect);
+}
+
+template <class T, int W>
+void sep_kernel_case(std::uint64_t seed) {
+  const index_t stride = 3 * W;
+  auto c0 = random_tile<T>(W, stride, seed);
+  auto a = random_tile<T>(W, stride, seed + 1);
+  auto b = random_tile<T>(W, stride, seed + 2);
+  auto c1 = c0;
+  // Integer-valued factors keep products exact at any association, but the
+  // kernels are also required to associate (u*v)*w identically.
+  alignas(kBufferAlignment) T u[W], v[W], w[W];
+  SplitMix64 rng(seed + 3);
+  for (int i = 0; i < W; ++i) {
+    u[i] = T(double(rng.next_below(10)));
+    v[i] = T(double(rng.next_below(10)));
+    w[i] = T(double(rng.next_below(10)));
+  }
+  minplus_cb_sep<T, W>(c0.data(), stride, a.data(), stride, b.data(), stride,
+                       u, v, w);
+  minplus_tile_scalar_sep<T>(c1.data(), stride, a.data(), stride, b.data(),
+                             stride, W, u, v, w);
+  for (index_t r = 0; r < W; ++r)
+    for (index_t col = 0; col < W; ++col)
+      EXPECT_EQ(c0[r * stride + col], c1[r * stride + col]);
+}
+
+TEST(Kernels, SeparableTermMatchesScalarAllWidths) {
+  for (std::uint64_t s = 0; s < 8; ++s) {
+    sep_kernel_case<float, 4>(s);
+    sep_kernel_case<float, 8>(s);
+    sep_kernel_case<double, 2>(s);
+    sep_kernel_case<double, 4>(s);
+  }
+}
+
+TEST(Kernels, OpCountsMatchPaperTableI) {
+  // §IV-A: 16 steps * 8 instructions = 128 naive; register caching saves
+  // 48 memory instructions leaving 80 (Table I's mix).
+  const auto cached = cb_op_counts_cached(4);
+  EXPECT_EQ(cached.total(), 80);
+  EXPECT_EQ(cached.loads, 12);
+  EXPECT_EQ(cached.shuffles, 16);
+  EXPECT_EQ(cached.adds, 16);
+  EXPECT_EQ(cached.compares, 16);
+  EXPECT_EQ(cached.selects, 16);
+  EXPECT_EQ(cached.stores, 4);
+
+  const auto naive = cb_op_counts_uncached(4);
+  EXPECT_EQ(naive.total(), 128);
+  EXPECT_EQ(naive.total() - cached.total(), 48);
+}
+
+TEST(Dispatch, KernelWidthsMatchPrecisionAndKind) {
+  EXPECT_EQ(cb_kernel<float>(KernelKind::Scalar).width, 4);
+  EXPECT_EQ(cb_kernel<float>(KernelKind::Native).width, 4);
+  EXPECT_EQ(cb_kernel<float>(KernelKind::Wide).width, 8);
+  EXPECT_EQ(cb_kernel<double>(KernelKind::Scalar).width, 4);
+  EXPECT_EQ(cb_kernel<double>(KernelKind::Native).width, 2);
+  EXPECT_EQ(cb_kernel<double>(KernelKind::Wide).width, 4);
+  EXPECT_EQ(kernel_kind_name(KernelKind::Native), "simd128");
+}
+
+}  // namespace
+}  // namespace cellnpdp

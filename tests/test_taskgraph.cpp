@@ -1,0 +1,155 @@
+// Dependence graph and task-queue executor tests. The central property:
+// the *simplified* graph (nearest left + below) must never let a task run
+// before its *full* dependence set (all (si,k) and (k,sj)) has finished.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <mutex>
+#include <set>
+
+#include "taskgraph/dependence_graph.hpp"
+#include "taskgraph/executor.hpp"
+
+namespace cellnpdp {
+namespace {
+
+class GraphShapeTest : public ::testing::TestWithParam<index_t> {};
+
+TEST_P(GraphShapeTest, TaskIdAndCoordsAreInverse) {
+  BlockDependenceGraph g(GetParam());
+  index_t id = 0;
+  for (index_t si = 0; si < g.grid_side(); ++si)
+    for (index_t sj = si; sj < g.grid_side(); ++sj) {
+      EXPECT_EQ(g.task_id(si, sj), id);
+      const auto [ri, rj] = g.coords(id);
+      EXPECT_EQ(ri, si);
+      EXPECT_EQ(rj, sj);
+      ++id;
+    }
+  EXPECT_EQ(g.task_count(), id);
+}
+
+TEST_P(GraphShapeTest, DependentsMirrorDependencyCounts) {
+  BlockDependenceGraph g(GetParam());
+  // Sum over all tasks of |dependents| must equal sum of dependency counts.
+  index_t out_edges = 0, in_edges = 0;
+  for (index_t id = 0; id < g.task_count(); ++id) {
+    const auto [si, sj] = g.coords(id);
+    out_edges += static_cast<index_t>(g.dependents(si, sj).size());
+    in_edges += g.dependency_count(si, sj);
+    // Diagonal tasks are the paper's initially-ready set.
+    EXPECT_EQ(g.dependency_count(si, sj) == 0, si == sj);
+  }
+  EXPECT_EQ(out_edges, in_edges);
+}
+
+TEST_P(GraphShapeTest, SimplifiedEdgesAreSubsetOfFullDependencies) {
+  BlockDependenceGraph g(GetParam());
+  for (index_t id = 0; id < g.task_count(); ++id) {
+    const auto [si, sj] = g.coords(id);
+    const auto full = g.full_dependencies(si, sj);
+    const std::set<std::pair<index_t, index_t>> full_set(full.begin(),
+                                                         full.end());
+    // The two nearest predecessors must be real dependencies.
+    if (si != sj) {
+      EXPECT_TRUE(full_set.count({si, sj - 1}));
+      EXPECT_TRUE(full_set.count({si + 1, sj}));
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sides, GraphShapeTest,
+                         ::testing::Values(1, 2, 3, 5, 8, 13, 21));
+
+TEST(ReadyTracker, InitialReadyIsExactlyTheDiagonal) {
+  BlockDependenceGraph g(6);
+  ReadyTracker t(g);
+  const auto ready = t.initial_ready();
+  ASSERT_EQ(ready.size(), 6u);
+  for (index_t id : ready) {
+    const auto [si, sj] = g.coords(id);
+    EXPECT_EQ(si, sj);
+  }
+}
+
+TEST(ReadyTracker, OffDiagonalNeedsExactlyTwoNotifications) {
+  BlockDependenceGraph g(3);
+  ReadyTracker t(g);
+  // Completing (1,1) alone must not release (0,1) or (1,2).
+  auto r = t.complete(g.task_id(1, 1));
+  EXPECT_TRUE(r.empty());
+  // (0,0) done releases (0,1): both its predecessors have now finished.
+  r = t.complete(g.task_id(0, 0));
+  ASSERT_EQ(r.size(), 1u);
+  EXPECT_EQ(r[0], g.task_id(0, 1));
+  // (2,2) done releases (1,2).
+  r = t.complete(g.task_id(2, 2));
+  ASSERT_EQ(r.size(), 1u);
+  EXPECT_EQ(r[0], g.task_id(1, 2));
+}
+
+class ScheduleValidityTest : public ::testing::TestWithParam<index_t> {};
+
+TEST_P(ScheduleValidityTest, SerialOrderRespectsFullDependenceRelation) {
+  BlockDependenceGraph g(GetParam());
+  std::vector<index_t> finish_pos(static_cast<std::size_t>(g.task_count()),
+                                  -1);
+  index_t pos = 0;
+  const auto order = TaskQueueExecutor::run_serial(
+      g, [&](index_t si, index_t sj) {
+        finish_pos[static_cast<std::size_t>(g.task_id(si, sj))] = pos++;
+      });
+  ASSERT_EQ(static_cast<index_t>(order.size()), g.task_count());
+
+  for (index_t id = 0; id < g.task_count(); ++id) {
+    const auto [si, sj] = g.coords(id);
+    for (const auto& [di, dj] : g.full_dependencies(si, sj)) {
+      EXPECT_LT(finish_pos[static_cast<std::size_t>(g.task_id(di, dj))],
+                finish_pos[static_cast<std::size_t>(id)])
+          << "(" << si << "," << sj << ") ran before its dependency (" << di
+          << "," << dj << ")";
+    }
+  }
+}
+
+TEST_P(ScheduleValidityTest, ParallelRunRespectsFullDependenceRelation) {
+  BlockDependenceGraph g(GetParam());
+  std::mutex mu;
+  std::vector<bool> done(static_cast<std::size_t>(g.task_count()), false);
+  std::atomic<int> executed{0};
+
+  TaskQueueExecutor::run(g, 4, [&](index_t si, index_t sj) {
+    {
+      // At task *start*, the full dependence set must already be done.
+      std::lock_guard lk(mu);
+      for (const auto& [di, dj] : g.full_dependencies(si, sj))
+        EXPECT_TRUE(done[static_cast<std::size_t>(g.task_id(di, dj))])
+            << "(" << si << "," << sj << ") started before (" << di << ","
+            << dj << ") finished";
+    }
+    ++executed;
+    std::lock_guard lk(mu);
+    done[static_cast<std::size_t>(g.task_id(si, sj))] = true;
+  });
+  EXPECT_EQ(executed.load(), g.task_count());
+}
+
+INSTANTIATE_TEST_SUITE_P(Sides, ScheduleValidityTest,
+                         ::testing::Values(1, 2, 4, 9, 16));
+
+TEST(Executor, EveryTaskRunsExactlyOnceUnderManyThreads) {
+  BlockDependenceGraph g(12);
+  std::vector<std::atomic<int>> counts(
+      static_cast<std::size_t>(g.task_count()));
+  for (auto& c : counts) c = 0;
+  for (int rep = 0; rep < 5; ++rep) {
+    for (auto& c : counts) c = 0;
+    TaskQueueExecutor::run(g, 8, [&](index_t si, index_t sj) {
+      ++counts[static_cast<std::size_t>(g.task_id(si, sj))];
+    });
+    for (const auto& c : counts) EXPECT_EQ(c.load(), 1);
+  }
+}
+
+}  // namespace
+}  // namespace cellnpdp

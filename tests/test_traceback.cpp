@@ -1,0 +1,187 @@
+// Argmin tracking and traceback tests.
+//
+// The central property is the *certificate*: for every cell, either
+// argmin = -1 and the value equals what the seed/init produces, or
+// argmin = k and the value equals exactly the k-relaxation recomputed from
+// the final table. This is order-independent, so it holds for every kernel
+// and geometry even though different schedules may pick different
+// (equally-optimal) k on ties.
+#include <gtest/gtest.h>
+
+#include "apps/matrix_chain/matrix_chain.hpp"
+#include "common/rng.hpp"
+#include "core/reference.hpp"
+#include "core/traceback.hpp"
+#include "layout/convert.hpp"
+
+namespace cellnpdp {
+namespace {
+
+template <class T>
+void check_certificate(const NpdpInstance<T>& inst,
+                       const NpdpSolution<T>& sol) {
+  const bool general = inst.general_mode();
+  for (index_t i = 0; i < inst.n; ++i)
+    for (index_t j = i + 1; j < inst.n; ++j) {
+      const T val = sol.values.at(i, j);
+      const index_t k = sol.argmin_at(i, j);
+      if (k < 0) {
+        // The seed survived.
+        T seed = inst.init(i, j);
+        if (!general) {
+          const T self = seed + inst.init(i, i);
+          if (self < seed) seed = self;
+        }
+        EXPECT_EQ(val, seed) << "(" << i << "," << j << ") leaf";
+        continue;
+      }
+      ASSERT_GT(k, i);
+      ASSERT_LT(k, j);
+      T cand = sol.values.at(i, k) + sol.values.at(k, j);
+      if (inst.ku != nullptr) cand += inst.ku[i] * inst.kv[k] * inst.kw[j];
+      if (general && inst.weight) cand += inst.weight(i, j);
+      EXPECT_EQ(val, cand) << "(" << i << "," << j << ") via k=" << k;
+    }
+}
+
+struct ArgCase {
+  index_t n;
+  index_t bs;
+  KernelKind kernel;
+};
+
+class ArgminTest : public ::testing::TestWithParam<ArgCase> {};
+
+TEST_P(ArgminTest, PureModeCertificateHolds) {
+  const auto& p = GetParam();
+  NpdpInstance<float> inst;
+  inst.n = p.n;
+  inst.init = [](index_t i, index_t j) {
+    return random_init_value<float>(17, i, j);
+  };
+  NpdpOptions opts;
+  opts.block_side = p.bs;
+  opts.kernel = p.kernel;
+  const auto sol = solve_blocked_with_argmin(inst, opts);
+
+  // Values must still be bit-exact vs the golden model.
+  const auto ref = solve_reference(inst);
+  EXPECT_EQ(max_abs_diff(ref, to_triangular(sol.values)), 0.0);
+  check_certificate(inst, sol);
+}
+
+TEST_P(ArgminTest, WeightedModeCertificateHolds) {
+  const auto& p = GetParam();
+  NpdpInstance<double> inst;
+  inst.n = p.n;
+  inst.init = [](index_t i, index_t j) {
+    return i == j ? 0.0 : random_init_value<double>(23, i, j) + 50.0;
+  };
+  inst.weight = [](index_t i, index_t j) { return double((i + j) % 7); };
+  NpdpOptions opts;
+  opts.block_side = p.bs;
+  opts.kernel = p.kernel;
+  const auto sol = solve_blocked_with_argmin(inst, opts);
+  const auto ref = solve_reference(inst);
+  EXPECT_EQ(max_abs_diff(ref, to_triangular(sol.values)), 0.0);
+  check_certificate(inst, sol);
+}
+
+TEST_P(ArgminTest, SeparableKTermCertificateHolds) {
+  const auto& p = GetParam();
+  NpdpInstance<float> inst;
+  inst.n = p.n;
+  inst.init = [](index_t i, index_t j) {
+    return i == j ? 0.0f : random_init_value<float>(29, i, j) + 100.0f;
+  };
+  aligned_vector<float> u(static_cast<std::size_t>(p.n)),
+      v(static_cast<std::size_t>(p.n)), w(static_cast<std::size_t>(p.n));
+  SplitMix64 rng(4);
+  for (index_t i = 0; i < p.n; ++i) {
+    u[static_cast<std::size_t>(i)] = float(rng.next_below(5) + 1);
+    v[static_cast<std::size_t>(i)] = float(rng.next_below(5) + 1);
+    w[static_cast<std::size_t>(i)] = float(rng.next_below(5) + 1);
+  }
+  inst.ku = u.data();
+  inst.kv = v.data();
+  inst.kw = w.data();
+  NpdpOptions opts;
+  opts.block_side = p.bs;
+  opts.kernel = p.kernel;
+  const auto sol = solve_blocked_with_argmin(inst, opts);
+  const auto ref = solve_reference(inst);
+  EXPECT_EQ(max_abs_diff(ref, to_triangular(sol.values)), 0.0);
+  check_certificate(inst, sol);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Geometries, ArgminTest,
+    ::testing::Values(ArgCase{8, 8, KernelKind::Native},
+                      ArgCase{40, 8, KernelKind::Native},
+                      ArgCase{40, 8, KernelKind::Scalar},
+                      ArgCase{64, 16, KernelKind::Wide},
+                      ArgCase{100, 24, KernelKind::Native},
+                      ArgCase{65, 16, KernelKind::Native}),
+    [](const auto& info) {
+      return "n" + std::to_string(info.param.n) + "_bs" +
+             std::to_string(info.param.bs) + "_" +
+             std::string(kernel_kind_name(info.param.kernel));
+    });
+
+TEST(Traceback, VisitSplitsReconstructsMatrixChainParenthesization) {
+  // CLRS 15.2: ((A0 (A1 A2)) ((A3 A4) A5)).
+  const std::vector<double> p{30, 35, 15, 5, 10, 20, 25};
+  const auto inst = matrix_chain_instance(p);
+  NpdpOptions opts;
+  opts.block_side = 8;
+  const auto sol = solve_blocked_with_argmin(inst, opts);
+
+  EXPECT_EQ(sol.values.at(0, 6), 15125.0);
+  // Root split at boundary 3; sub-splits 2 and 5.
+  EXPECT_EQ(sol.argmin_at(0, 6), 3);
+  EXPECT_EQ(sol.argmin_at(0, 3), 1);  // A0 | (A1 A2)
+  EXPECT_EQ(sol.argmin_at(3, 6), 5);
+
+  index_t splits = 0;
+  visit_splits(sol, 0, 6, [&](index_t i, index_t k, index_t j) {
+    EXPECT_LT(i, k);
+    EXPECT_LT(k, j);
+    ++splits;
+  });
+  // A chain of 6 matrices has exactly 5 internal products, but spans of
+  // length 1 are seeds: splits occur only on spans >= 2.
+  EXPECT_EQ(splits, 5);
+}
+
+TEST(Traceback, SplitCostsAddUpForMatrixChain) {
+  // Sum of p[i]*p[k]*p[j] over the split tree must equal the total cost.
+  SplitMix64 rng(77);
+  std::vector<double> p(41);
+  for (auto& x : p) x = double(rng.next_below(30) + 1);
+  const auto inst = matrix_chain_instance(p);
+  NpdpOptions opts;
+  opts.block_side = 8;
+  const auto sol = solve_blocked_with_argmin(inst, opts);
+
+  double total = 0;
+  visit_splits(sol, 0, inst.n - 1, [&](index_t i, index_t k, index_t j) {
+    total += p[static_cast<std::size_t>(i)] * p[static_cast<std::size_t>(k)] *
+             p[static_cast<std::size_t>(j)];
+  });
+  EXPECT_NEAR(total, double(sol.values.at(0, inst.n - 1)), 1e-6);
+}
+
+TEST(Traceback, ParallelAgreesOnValuesEvenIfTiesDiffer) {
+  NpdpInstance<float> inst;
+  inst.n = 96;
+  inst.init = [](index_t i, index_t j) {
+    return random_init_value<float>(3, i, j);
+  };
+  NpdpOptions opts;
+  opts.block_side = 16;
+  const auto serial = solve_blocked_with_argmin(inst, opts);
+  check_certificate(inst, serial);
+}
+
+}  // namespace
+}  // namespace cellnpdp

@@ -1,0 +1,189 @@
+// Zuker folder tests: exhaustive agreement with the independent
+// brute-force evaluator, traceback validity (the reported structure must
+// evaluate to exactly the reported MFE), and SIMD/scalar equivalence.
+#include <gtest/gtest.h>
+
+#include "apps/zuker/brute_force.hpp"
+#include "apps/zuker/fold.hpp"
+
+namespace cellnpdp::zuker {
+namespace {
+
+TEST(Sequence, ParseAndPrintRoundTrip) {
+  const auto b = parse_sequence("ACGUacguT");
+  EXPECT_EQ(bases_to_string(b), "ACGUACGUU");
+  EXPECT_THROW(parse_sequence("ACGX"), std::invalid_argument);
+}
+
+TEST(Pairing, WatsonCrickAndWobble) {
+  EXPECT_TRUE(can_pair(A, U));
+  EXPECT_TRUE(can_pair(U, A));
+  EXPECT_TRUE(can_pair(G, C));
+  EXPECT_TRUE(can_pair(C, G));
+  EXPECT_TRUE(can_pair(G, U));
+  EXPECT_TRUE(can_pair(U, G));
+  EXPECT_FALSE(can_pair(A, C));
+  EXPECT_FALSE(can_pair(A, G));
+  EXPECT_FALSE(can_pair(C, U));
+  EXPECT_FALSE(can_pair(A, A));
+}
+
+TEST(EnergyModelTest, HairpinRules) {
+  EnergyModel em;
+  EXPECT_EQ(em.hairpin(0), kInf);
+  EXPECT_EQ(em.hairpin(2), kInf);
+  EXPECT_GT(em.hairpin(3), 0.0f);
+  EXPECT_GT(em.hairpin(10), em.hairpin(3));  // bigger loops cost more
+}
+
+TEST(EnergyModelTest, StacksAreStabilisingAndGcStrongest) {
+  EnergyModel em;
+  for (int o = 0; o < 6; ++o)
+    for (int i = 0; i < 6; ++i)
+      EXPECT_LT(em.stack[o][i], 0.0f);
+  // GC-on-GC beats AU-on-AU beats GU-on-GU.
+  EXPECT_LT(em.stack[2][3], em.stack[0][1]);
+  EXPECT_LT(em.stack[0][1], em.stack[4][5]);
+}
+
+TEST(EnergyModelTest, TwoLoopRules) {
+  EnergyModel em;
+  EXPECT_LT(em.two_loop(2, 3, 0, 0), 0.0f);                 // stack
+  EXPECT_GT(em.two_loop(2, 3, 1, 0), 0.0f);                 // bulge
+  EXPECT_GT(em.two_loop(2, 3, 2, 2), 0.0f);                 // internal
+  EXPECT_EQ(em.two_loop(2, 3, 8, 8), kInf);                 // over the cap
+}
+
+TEST(Fold, TinyAndEmptySequences) {
+  EXPECT_EQ(fold_sequence("").mfe, 0.0f);
+  EXPECT_EQ(fold_sequence("A").structure, ".");
+  const auto r = fold_sequence("ACGU");
+  EXPECT_EQ(r.mfe, 0.0f);  // nothing can pair at distance >= 4
+  EXPECT_EQ(r.structure, "....");
+}
+
+TEST(Fold, PerfectGcHairpinFolds) {
+  // GGGG AAAA CCCC: a 4-stack GC helix with an A4 loop is strongly
+  // favourable; expect the outermost pair and a negative MFE.
+  // 3 GC-on-GC stacks (3 * -2.9) against a size-4 hairpin penalty (~5.2).
+  const auto r = fold_sequence("GGGGAAAACCCC");
+  EXPECT_LT(r.mfe, -3.0f);
+  EXPECT_GT(r.mfe, -6.0f);
+  EXPECT_FALSE(r.pairs.empty());
+  EXPECT_EQ(r.structure.size(), 12u);
+  // The helix pairs G(i) with C(11-i) for the outer pairs.
+  EXPECT_NE(r.structure.find('('), std::string::npos);
+}
+
+TEST(Fold, AllAdenineNeverPairs) {
+  const auto r = fold_sequence("AAAAAAAAAAAAAAAA");
+  EXPECT_EQ(r.mfe, 0.0f);
+  EXPECT_TRUE(r.pairs.empty());
+}
+
+class BruteForceAgreement : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(BruteForceAgreement, MfeMatchesExhaustiveSearch) {
+  const std::uint64_t seed = GetParam();
+  for (index_t n : {8, 10, 12, 13}) {
+    const auto seq = random_sequence(n, seed * 100 + static_cast<std::uint64_t>(n));
+    EnergyModel em;
+    const auto brute = brute_force_fold(seq, em);
+
+    ZukerFolder folder(em, {});
+    const auto dp = folder.fold(seq);
+    EXPECT_FLOAT_EQ(dp.mfe, brute.mfe)
+        << "n=" << n << " seq=" << bases_to_string(seq)
+        << " (searched " << brute.structures << " structures)";
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, BruteForceAgreement,
+                         ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8));
+
+TEST(Fold, TracebackStructureEvaluatesToReportedMfe) {
+  // The dot-bracket certificate must reproduce the MFE under the
+  // *independent* evaluator — this validates both traceback and DP.
+  EnergyModel em;
+  for (std::uint64_t seed : {11u, 22u, 33u, 44u}) {
+    for (index_t n : {20, 40, 60}) {
+      const auto seq = random_sequence(n, seed);
+      ZukerFolder folder(em, {});
+      const auto r = folder.fold(seq);
+      const Energy e = evaluate_structure(seq, r.pairs, em);
+      // The evaluator sums loop energies in tree order, the DP sums them
+      // along its recursion: identical up to float re-association.
+      EXPECT_NEAR(e, r.mfe, 1e-4) << "n=" << n << " seed=" << seed;
+    }
+  }
+}
+
+TEST(Fold, TracebackIsWellFormed) {
+  const auto seq = random_sequence(80, 5);
+  ZukerFolder folder;
+  const auto r = folder.fold(seq);
+  // Balanced brackets, every pair complementary, hairpin distance kept.
+  std::vector<index_t> stack;
+  for (index_t i = 0; i < static_cast<index_t>(r.structure.size()); ++i) {
+    if (r.structure[static_cast<std::size_t>(i)] == '(') stack.push_back(i);
+    if (r.structure[static_cast<std::size_t>(i)] == ')') {
+      ASSERT_FALSE(stack.empty());
+      const index_t j = stack.back();
+      stack.pop_back();
+      EXPECT_TRUE(can_pair(seq[static_cast<std::size_t>(j)],
+                           seq[static_cast<std::size_t>(i)]));
+      EXPECT_GE(i - j - 1, kMinHairpin);
+    }
+  }
+  EXPECT_TRUE(stack.empty());
+}
+
+TEST(Fold, SimdAndScalarBifurcationsAreBitIdentical) {
+  for (index_t n : {30, 64, 100, 150}) {
+    const auto seq = random_sequence(n, 7 + static_cast<std::uint64_t>(n));
+    ZukerFolder simd(EnergyModel{}, {true});
+    ZukerFolder scalar(EnergyModel{}, {false});
+    const auto a = simd.fold(seq);
+    const auto b = scalar.fold(seq);
+    EXPECT_EQ(a.mfe, b.mfe) << "n=" << n;
+    EXPECT_EQ(a.structure, b.structure);
+    EXPECT_EQ(simd.bifurcation_relaxations(), scalar.bifurcation_relaxations());
+  }
+}
+
+TEST(Fold, MfeIsMonotoneUnderExtension) {
+  // Appending bases can only help (the old structure is still available).
+  const auto seq = random_sequence(60, 99);
+  EnergyModel em;
+  Energy prev = 1.0f;
+  for (index_t n : {20, 30, 40, 50, 60}) {
+    std::vector<Base> prefix(seq.begin(), seq.begin() + n);
+    ZukerFolder folder(em, {});
+    const Energy e = folder.fold(prefix).mfe;
+    if (prev <= 0.5f) {
+      EXPECT_LE(e, prev + 1e-5f) << "n=" << n;
+    }
+    prev = e;
+  }
+}
+
+TEST(BruteForce, EvaluatorChargesKnownStructures) {
+  EnergyModel em;
+  // GGGAAAACCC with pairs (0,9),(1,8),(2,7): two GC stacks + AAAA hairpin.
+  const auto seq = parse_sequence("GGGAAAACCC");
+  Structure st{{0, 9}, {1, 8}, {2, 7}};
+  const Energy expect = em.stack[2][2] + em.stack[2][2] + em.hairpin(4);
+  EXPECT_FLOAT_EQ(evaluate_structure(seq, st, em), expect);
+}
+
+TEST(BruteForce, EnumerationCountsAreSane) {
+  // No pairable bases: exactly one (empty) structure.
+  const auto polyA = parse_sequence("AAAAAAAA");
+  EXPECT_EQ(enumerate_structures(polyA, 0, 7).size(), 1u);
+  // One possible pair: two structures (paired / unpaired).
+  const auto one = parse_sequence("GAAAC");
+  EXPECT_EQ(enumerate_structures(one, 0, 4).size(), 2u);
+}
+
+}  // namespace
+}  // namespace cellnpdp::zuker

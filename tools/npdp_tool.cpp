@@ -1,0 +1,255 @@
+// npdp — command-line front end to the cellnpdp library.
+//
+//   npdp solve     --n 4096 [--kernel simd128] [--block 64] [--threads 8]
+//                  [--seed 1] [--maxplus] [--save table.bin]
+//   npdp info      --file table.bin
+//   npdp fold      --seq ACGU... | --random 500 [--seed 7] [--threads 4]
+//   npdp parse     --parens "(()())" | --anbn aaabbb
+//   npdp simulate  --n 4096 [--spes 16] [--block 88] [--dp] [--trace out.csv]
+//   npdp cluster   --n 4096 [--nodes 8] [--bw-gbps 3] [--lat-us 10]
+//   npdp model     --n 4096 [--spes 16]
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <map>
+#include <string>
+
+#include "apps/cyk/cyk.hpp"
+#include "apps/zuker/fold.hpp"
+#include "bench_util/table.hpp"
+#include "cellsim/npdp_sim.hpp"
+#include "cluster/cluster_sim.hpp"
+#include "common/rng.hpp"
+#include "common/stopwatch.hpp"
+#include "core/maxplus.hpp"
+#include "core/solve.hpp"
+#include "io/table_io.hpp"
+#include "model/perf_model.hpp"
+
+using namespace cellnpdp;
+
+namespace {
+
+struct Args {
+  std::map<std::string, std::string> kv;
+  bool has(const std::string& k) const { return kv.count(k) > 0; }
+  std::string get(const std::string& k, const std::string& dflt = "") const {
+    auto it = kv.find(k);
+    return it == kv.end() ? dflt : it->second;
+  }
+  long num(const std::string& k, long dflt) const {
+    auto it = kv.find(k);
+    return it == kv.end() ? dflt : std::atol(it->second.c_str());
+  }
+  double real(const std::string& k, double dflt) const {
+    auto it = kv.find(k);
+    return it == kv.end() ? dflt : std::atof(it->second.c_str());
+  }
+};
+
+Args parse_args(int argc, char** argv, int first) {
+  Args a;
+  for (int i = first; i < argc; ++i) {
+    std::string key = argv[i];
+    if (key.rfind("--", 0) != 0) continue;
+    key = key.substr(2);
+    if (i + 1 < argc && std::strncmp(argv[i + 1], "--", 2) != 0) {
+      a.kv[key] = argv[++i];
+    } else {
+      a.kv[key] = "1";
+    }
+  }
+  return a;
+}
+
+KernelKind kernel_from(const std::string& s) {
+  if (s == "scalar") return KernelKind::Scalar;
+  if (s == "simd256") return KernelKind::Wide;
+  return KernelKind::Native;
+}
+
+int cmd_solve(const Args& a) {
+  NpdpInstance<float> inst;
+  inst.n = a.num("n", 1024);
+  const std::uint64_t seed =
+      static_cast<std::uint64_t>(a.num("seed", 1));
+  inst.init = [seed](index_t i, index_t j) {
+    return random_init_value<float>(seed, i, j);
+  };
+  NpdpOptions opts;
+  opts.block_side = a.num("block", 64);
+  opts.kernel = kernel_from(a.get("kernel", "simd128"));
+  opts.threads = static_cast<std::size_t>(a.num("threads", 1));
+
+  Stopwatch sw;
+  BlockedTriangularMatrix<float> table =
+      a.has("maxplus") ? solve_blocked_maxplus(inst, opts)
+                       : solve_blocked(inst, opts);
+  const double s = sw.seconds();
+  std::printf("solved n=%lld (%s, block %lld, %zu threads) in %s\n",
+              static_cast<long long>(inst.n),
+              std::string(kernel_kind_name(opts.kernel)).c_str(),
+              static_cast<long long>(opts.block_side), opts.threads,
+              fmt_seconds(s).c_str());
+  std::printf("d[0][n-1] = %g; %.2f G relax/s\n",
+              double(table.at(0, inst.n - 1)),
+              double(npdp_relaxations(inst.n)) / s / 1e9);
+  if (a.has("save")) {
+    save_table_file(a.get("save"), table);
+    std::printf("saved to %s\n", a.get("save").c_str());
+  }
+  return 0;
+}
+
+int cmd_info(const Args& a) {
+  const std::string path = a.get("file");
+  const auto table = load_blocked_file<float>(path);
+  std::printf("%s: blocked table, n=%lld, block side %lld (%s), %s total\n",
+              path.c_str(), static_cast<long long>(table.size()),
+              static_cast<long long>(table.block_side()),
+              fmt_bytes(double(table.block_bytes())).c_str(),
+              fmt_bytes(double(table.total_cells()) * 4).c_str());
+  std::printf("d[0][n-1] = %g\n", double(table.at(0, table.size() - 1)));
+  return 0;
+}
+
+int cmd_fold(const Args& a) {
+  std::vector<zuker::Base> seq;
+  if (a.has("seq")) {
+    seq = zuker::parse_sequence(a.get("seq"));
+  } else {
+    seq = zuker::random_sequence(a.num("random", 300),
+                                 static_cast<std::uint64_t>(a.num("seed", 7)));
+  }
+  zuker::FoldOptions fo;
+  fo.threads = static_cast<std::size_t>(a.num("threads", 1));
+  zuker::ZukerFolder folder({}, fo);
+  Stopwatch sw;
+  const auto r = folder.fold(seq);
+  std::printf("%s\n%s\n", zuker::bases_to_string(seq).c_str(),
+              r.structure.c_str());
+  std::printf("MFE %.2f, %zu pairs, %s\n", double(r.mfe), r.pairs.size(),
+              fmt_seconds(sw.seconds()).c_str());
+  return 0;
+}
+
+int cmd_parse(const Args& a) {
+  cyk::Grammar g = cyk::balanced_parens_grammar();
+  std::string alphabet = "()";
+  std::string text = a.get("parens", "(()())");
+  if (a.has("anbn")) {
+    g = cyk::anbn_grammar();
+    alphabet = "ab";
+    text = a.get("anbn");
+  }
+  cyk::CykParser parser(g);
+  const auto r = parser.parse(cyk::tokens_from_string(text, alphabet));
+  std::printf("%s: %s", text.c_str(),
+              r.accepted() ? "accepted" : "rejected");
+  if (r.accepted()) std::printf(" (cost %.1f)", double(r.cost));
+  std::printf("\n");
+  return r.accepted() ? 0 : 1;
+}
+
+int cmd_simulate(const Args& a) {
+  CellConfig cfg = qs20();
+  cfg.num_spes = static_cast<int>(a.num("spes", 16));
+  CellSimOptions o;
+  o.block_side = a.num("block", a.has("dp") ? 64 : 88);
+  o.record_trace = a.has("trace");
+  auto report = [&](auto tag) {
+    using T = decltype(tag);
+    NpdpInstance<T> inst;
+    inst.n = a.num("n", 4096);
+    inst.init = [](index_t, index_t) { return T(1); };
+    const auto r = simulate_cellnpdp(inst, cfg, o);
+    std::printf("simulated %s n=%lld on %d SPEs (block %lld): %s\n",
+                sizeof(T) == 4 ? "SP" : "DP",
+                static_cast<long long>(inst.n), cfg.num_spes,
+                static_cast<long long>(o.block_side),
+                fmt_seconds(r.seconds).c_str());
+    std::printf("DMA in %s, utilization %s, kernel %d cycles\n",
+                fmt_bytes(double(r.dma_bytes_in)).c_str(),
+                fmt_pct(r.utilization).c_str(), r.kernel_cycles);
+    if (a.has("trace")) {
+      std::ofstream os(a.get("trace"));
+      r.write_trace_csv(os);
+      std::printf("trace written to %s (%zu events)\n",
+                  a.get("trace").c_str(), r.trace.size());
+    }
+  };
+  if (a.has("dp")) {
+    report(double{});
+  } else {
+    report(float{});
+  }
+  return 0;
+}
+
+int cmd_cluster(const Args& a) {
+  NpdpInstance<float> inst;
+  inst.n = a.num("n", 4096);
+  inst.init = [](index_t, index_t) { return 1.0f; };
+  ClusterConfig cfg;
+  cfg.nodes = static_cast<int>(a.num("nodes", 8));
+  cfg.link_bandwidth = a.real("bw-gbps", 3.0) * 1e9;
+  cfg.link_latency = a.real("lat-us", 10.0) * 1e-6;
+  ClusterSimOptions o;
+  o.block_side = a.num("block", 64);
+  const auto r = simulate_cluster_npdp(inst, cfg, o);
+  std::printf("cluster n=%lld on %d nodes: %s, comm %s, efficiency %s\n",
+              static_cast<long long>(inst.n), cfg.nodes,
+              fmt_seconds(r.seconds).c_str(),
+              fmt_bytes(double(r.comm_bytes)).c_str(),
+              fmt_pct(r.efficiency).c_str());
+  return 0;
+}
+
+int cmd_model(const Args& a) {
+  ModelParams p;
+  p.n1 = double(a.num("n", 4096));
+  p.cores = double(a.num("spes", 16));
+  const auto sp = spu_latencies(Precision::Single);
+  p.kernel_cycles = kernel_steady_cycles(4, sp);
+  p.n2_override = double(a.num("block", 88));
+  std::printf("T_M=%s T_C=%s T_all=%s U=%s %s-bound (B_req %s/s)\n",
+              fmt_seconds(model_memory_time(p)).c_str(),
+              fmt_seconds(model_compute_time(p)).c_str(),
+              fmt_seconds(model_total_time(p)).c_str(),
+              fmt_pct(model_utilization(p)).c_str(),
+              model_compute_bound(p) ? "compute" : "memory",
+              fmt_bytes(model_required_bandwidth(p)).c_str());
+  return 0;
+}
+
+void usage() {
+  std::printf(
+      "usage: npdp <solve|info|fold|parse|simulate|cluster|model> "
+      "[--key value ...]\n(see the header of tools/npdp_tool.cpp for the "
+      "full flag list)\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    usage();
+    return 2;
+  }
+  const std::string cmd = argv[1];
+  const Args a = parse_args(argc, argv, 2);
+  try {
+    if (cmd == "solve") return cmd_solve(a);
+    if (cmd == "info") return cmd_info(a);
+    if (cmd == "fold") return cmd_fold(a);
+    if (cmd == "parse") return cmd_parse(a);
+    if (cmd == "simulate") return cmd_simulate(a);
+    if (cmd == "cluster") return cmd_cluster(a);
+    if (cmd == "model") return cmd_model(a);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+  usage();
+  return 2;
+}
