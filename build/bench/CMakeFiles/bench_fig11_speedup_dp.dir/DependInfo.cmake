@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_fig11_speedup_dp.cpp" "bench/CMakeFiles/bench_fig11_speedup_dp.dir/bench_fig11_speedup_dp.cpp.o" "gcc" "bench/CMakeFiles/bench_fig11_speedup_dp.dir/bench_fig11_speedup_dp.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/cellnpdp_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/taskgraph/CMakeFiles/cellnpdp_taskgraph.dir/DependInfo.cmake"
+  "/root/repo/build/src/memsim/CMakeFiles/cellnpdp_memsim.dir/DependInfo.cmake"
+  "/root/repo/build/src/cellsim/CMakeFiles/cellnpdp_cellsim.dir/DependInfo.cmake"
+  "/root/repo/build/src/apps/CMakeFiles/cellnpdp_apps.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig11_speedup_dp.dir/bench_fig11_speedup_dp.cpp.o"
+  "CMakeFiles/bench_fig11_speedup_dp.dir/bench_fig11_speedup_dp.cpp.o.d"
+  "bench_fig11_speedup_dp"
+  "bench_fig11_speedup_dp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig11_speedup_dp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

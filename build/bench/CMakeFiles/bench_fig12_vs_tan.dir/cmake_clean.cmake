@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig12_vs_tan.dir/bench_fig12_vs_tan.cpp.o"
+  "CMakeFiles/bench_fig12_vs_tan.dir/bench_fig12_vs_tan.cpp.o.d"
+  "bench_fig12_vs_tan"
+  "bench_fig12_vs_tan.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig12_vs_tan.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table1_kernel.dir/bench_table1_kernel.cpp.o"
+  "CMakeFiles/bench_table1_kernel.dir/bench_table1_kernel.cpp.o.d"
+  "bench_table1_kernel"
+  "bench_table1_kernel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table1_kernel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

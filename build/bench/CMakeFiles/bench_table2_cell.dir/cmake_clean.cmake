@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table2_cell.dir/bench_table2_cell.cpp.o"
+  "CMakeFiles/bench_table2_cell.dir/bench_table2_cell.cpp.o.d"
+  "bench_table2_cell"
+  "bench_table2_cell.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table2_cell.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

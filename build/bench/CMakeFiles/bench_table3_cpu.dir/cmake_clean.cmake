@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table3_cpu.dir/bench_table3_cpu.cpp.o"
+  "CMakeFiles/bench_table3_cpu.dir/bench_table3_cpu.cpp.o.d"
+  "bench_table3_cpu"
+  "bench_table3_cpu.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table3_cpu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

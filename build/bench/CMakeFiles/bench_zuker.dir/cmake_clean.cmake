@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_zuker.dir/bench_zuker.cpp.o"
+  "CMakeFiles/bench_zuker.dir/bench_zuker.cpp.o.d"
+  "bench_zuker"
+  "bench_zuker.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_zuker.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

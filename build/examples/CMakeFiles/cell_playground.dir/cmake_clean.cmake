@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cell_playground.dir/cell_playground.cpp.o"
+  "CMakeFiles/cell_playground.dir/cell_playground.cpp.o.d"
+  "cell_playground"
+  "cell_playground.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cell_playground.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

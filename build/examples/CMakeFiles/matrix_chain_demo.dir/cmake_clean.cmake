@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/matrix_chain_demo.dir/matrix_chain_demo.cpp.o"
+  "CMakeFiles/matrix_chain_demo.dir/matrix_chain_demo.cpp.o.d"
+  "matrix_chain_demo"
+  "matrix_chain_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/matrix_chain_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/optimal_bst_demo.dir/optimal_bst_demo.cpp.o"
+  "CMakeFiles/optimal_bst_demo.dir/optimal_bst_demo.cpp.o.d"
+  "optimal_bst_demo"
+  "optimal_bst_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/optimal_bst_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for optimal_bst_demo.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rna_fold.dir/rna_fold.cpp.o"
+  "CMakeFiles/rna_fold.dir/rna_fold.cpp.o.d"
+  "rna_fold"
+  "rna_fold.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rna_fold.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("common")
+subdirs("layout")
+subdirs("simd")
+subdirs("taskgraph")
+subdirs("core")
+subdirs("baselines")
+subdirs("memsim")
+subdirs("cellsim")
+subdirs("model")
+subdirs("apps")
+subdirs("bench_util")
+subdirs("cluster")
+subdirs("io")

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/apps/cyk/cyk.cpp" "src/apps/CMakeFiles/cellnpdp_apps.dir/cyk/cyk.cpp.o" "gcc" "src/apps/CMakeFiles/cellnpdp_apps.dir/cyk/cyk.cpp.o.d"
+  "/root/repo/src/apps/polygon/triangulation.cpp" "src/apps/CMakeFiles/cellnpdp_apps.dir/polygon/triangulation.cpp.o" "gcc" "src/apps/CMakeFiles/cellnpdp_apps.dir/polygon/triangulation.cpp.o.d"
+  "/root/repo/src/apps/zuker/energy_model.cpp" "src/apps/CMakeFiles/cellnpdp_apps.dir/zuker/energy_model.cpp.o" "gcc" "src/apps/CMakeFiles/cellnpdp_apps.dir/zuker/energy_model.cpp.o.d"
+  "/root/repo/src/apps/zuker/fold.cpp" "src/apps/CMakeFiles/cellnpdp_apps.dir/zuker/fold.cpp.o" "gcc" "src/apps/CMakeFiles/cellnpdp_apps.dir/zuker/fold.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/taskgraph/CMakeFiles/cellnpdp_taskgraph.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/cellnpdp_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cellnpdp_apps.dir/cyk/cyk.cpp.o"
+  "CMakeFiles/cellnpdp_apps.dir/cyk/cyk.cpp.o.d"
+  "CMakeFiles/cellnpdp_apps.dir/polygon/triangulation.cpp.o"
+  "CMakeFiles/cellnpdp_apps.dir/polygon/triangulation.cpp.o.d"
+  "CMakeFiles/cellnpdp_apps.dir/zuker/energy_model.cpp.o"
+  "CMakeFiles/cellnpdp_apps.dir/zuker/energy_model.cpp.o.d"
+  "CMakeFiles/cellnpdp_apps.dir/zuker/fold.cpp.o"
+  "CMakeFiles/cellnpdp_apps.dir/zuker/fold.cpp.o.d"
+  "libcellnpdp_apps.a"
+  "libcellnpdp_apps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cellnpdp_apps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cellsim/spu_interp.cpp" "src/cellsim/CMakeFiles/cellnpdp_cellsim.dir/spu_interp.cpp.o" "gcc" "src/cellsim/CMakeFiles/cellnpdp_cellsim.dir/spu_interp.cpp.o.d"
+  "/root/repo/src/cellsim/spu_pipeline.cpp" "src/cellsim/CMakeFiles/cellnpdp_cellsim.dir/spu_pipeline.cpp.o" "gcc" "src/cellsim/CMakeFiles/cellnpdp_cellsim.dir/spu_pipeline.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/cellnpdp_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/taskgraph/CMakeFiles/cellnpdp_taskgraph.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

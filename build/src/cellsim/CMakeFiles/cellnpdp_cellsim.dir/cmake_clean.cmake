@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cellnpdp_cellsim.dir/spu_interp.cpp.o"
+  "CMakeFiles/cellnpdp_cellsim.dir/spu_interp.cpp.o.d"
+  "CMakeFiles/cellnpdp_cellsim.dir/spu_pipeline.cpp.o"
+  "CMakeFiles/cellnpdp_cellsim.dir/spu_pipeline.cpp.o.d"
+  "libcellnpdp_cellsim.a"
+  "libcellnpdp_cellsim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cellnpdp_cellsim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cellnpdp_common.dir/cpu_features.cpp.o"
+  "CMakeFiles/cellnpdp_common.dir/cpu_features.cpp.o.d"
+  "CMakeFiles/cellnpdp_common.dir/thread_pool.cpp.o"
+  "CMakeFiles/cellnpdp_common.dir/thread_pool.cpp.o.d"
+  "libcellnpdp_common.a"
+  "libcellnpdp_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cellnpdp_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libcellnpdp_common.a"
+)

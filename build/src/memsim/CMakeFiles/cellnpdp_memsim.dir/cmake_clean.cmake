@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cellnpdp_memsim.dir/cache.cpp.o"
+  "CMakeFiles/cellnpdp_memsim.dir/cache.cpp.o.d"
+  "libcellnpdp_memsim.a"
+  "libcellnpdp_memsim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cellnpdp_memsim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

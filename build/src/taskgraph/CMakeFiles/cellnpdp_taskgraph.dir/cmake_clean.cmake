@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cellnpdp_taskgraph.dir/executor.cpp.o"
+  "CMakeFiles/cellnpdp_taskgraph.dir/executor.cpp.o.d"
+  "libcellnpdp_taskgraph.a"
+  "libcellnpdp_taskgraph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cellnpdp_taskgraph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_cellsim.dir/test_cellsim.cpp.o"
+  "CMakeFiles/test_cellsim.dir/test_cellsim.cpp.o.d"
+  "test_cellsim"
+  "test_cellsim.pdb"
+  "test_cellsim[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_cellsim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_cyk.dir/test_cyk.cpp.o"
+  "CMakeFiles/test_cyk.dir/test_cyk.cpp.o.d"
+  "test_cyk"
+  "test_cyk.pdb"
+  "test_cyk[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_cyk.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_traceback.dir/test_traceback.cpp.o"
+  "CMakeFiles/test_traceback.dir/test_traceback.cpp.o.d"
+  "test_traceback"
+  "test_traceback.pdb"
+  "test_traceback[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_traceback.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

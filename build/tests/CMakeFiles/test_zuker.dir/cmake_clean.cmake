@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_zuker.dir/test_zuker.cpp.o"
+  "CMakeFiles/test_zuker.dir/test_zuker.cpp.o.d"
+  "test_zuker"
+  "test_zuker.pdb"
+  "test_zuker[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_zuker.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

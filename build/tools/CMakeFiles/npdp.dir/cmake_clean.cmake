@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/npdp.dir/npdp_tool.cpp.o"
+  "CMakeFiles/npdp.dir/npdp_tool.cpp.o.d"
+  "npdp"
+  "npdp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/npdp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
