@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "bench_util/bench_config.hpp"
+#include "bench_util/json_out.hpp"
 #include "bench_util/table.hpp"
 #include "cellsim/npdp_sim.hpp"
 #include "cellsim/variants.hpp"
@@ -21,7 +22,7 @@
 namespace cellnpdp {
 namespace {
 
-void fig10a(const BenchConfig& cfg) {
+void fig10a(const BenchConfig& cfg, BenchJson& json) {
   std::printf("\nFig. 10(a): Cell blade, single precision (simulated; "
               "baseline = original on one SPE):\n");
   std::vector<index_t> sizes{2048, 4096};
@@ -45,6 +46,18 @@ void fig10a(const BenchConfig& cfg) {
     };
     const double ndl = run(false, 1);
     const double spep = run(true, 1);
+    auto rec = [&](const char* stage, int spes, double seconds) {
+      json.record()
+          .set("platform", "cell-sim")
+          .set("n", n)
+          .set("stage", stage)
+          .set("spes", spes)
+          .set("seconds", seconds)
+          .set("speedup", base / seconds);
+    };
+    rec("ndl", 1, ndl);
+    rec("spep", 1, spep);
+    for (int spes : {2, 4, 8, 16}) rec("parp", spes, run(true, spes));
     t.row(n, "1.0x", fmt_x(base / ndl), fmt_x(base / spep),
           fmt_x(base / run(true, 2)), fmt_x(base / run(true, 4)),
           fmt_x(base / run(true, 8)), fmt_x(base / run(true, 16)));
@@ -54,7 +67,7 @@ void fig10a(const BenchConfig& cfg) {
               "at 16 SPEs)\n");
 }
 
-void fig10b(const BenchConfig& cfg) {
+void fig10b(const BenchConfig& cfg, BenchJson& json) {
   const index_t n = cfg.full ? 2048 : 1024;
   std::printf("\nFig. 10(b): CPU platform, single precision "
               "(native, n=%ld):\n", static_cast<long>(n));
@@ -87,12 +100,25 @@ void fig10b(const BenchConfig& cfg) {
 
   const double ndl = run(KernelKind::Scalar, 1);
   const double spep = run(KernelKind::Native, 1);
+  auto rec = [&](const char* stage, std::size_t threads, double seconds) {
+    json.record()
+        .set("platform", "cpu")
+        .set("n", n)
+        .set("stage", stage)
+        .set("threads", threads)
+        .set("seconds", seconds)
+        .set("speedup", base / seconds);
+  };
+  rec("original", 1, base);
+  rec("ndl", 1, ndl);
+  rec("spep", 1, spep);
   TextTable t({"stage", "time", "speedup vs original"});
   t.row("original (Fig.1)", fmt_seconds(base), "1.0x");
   t.row("+NDL (blocked, scalar)", fmt_seconds(ndl), fmt_x(base / ndl));
   t.row("+SPEP (128-bit SIMD)", fmt_seconds(spep), fmt_x(base / spep));
   for (std::size_t th : {2u, 4u, 8u}) {
     const double p = run(KernelKind::Native, th);
+    rec("parp", th, p);
     t.row("PARP x" + std::to_string(th) + " (wall-clock, 1-core host)",
           fmt_seconds(p), fmt_x(base / p));
   }
@@ -137,7 +163,8 @@ int main(int argc, char** argv) {
   using namespace cellnpdp;
   const auto cfg = BenchConfig::from_args(argc, argv);
   print_bench_header("Figure 10: single-precision speedup anatomy", cfg);
-  fig10a(cfg);
-  fig10b(cfg);
+  BenchJson json("fig10_speedup_sp", cfg);
+  fig10a(cfg, json);
+  fig10b(cfg, json);
   return 0;
 }

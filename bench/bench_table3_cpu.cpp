@@ -9,6 +9,7 @@
 #include <vector>
 
 #include "bench_util/bench_config.hpp"
+#include "bench_util/json_out.hpp"
 #include "bench_util/table.hpp"
 #include "common/stopwatch.hpp"
 #include "core/reference.hpp"
@@ -49,8 +50,8 @@ double time_cellnpdp(index_t n, std::size_t threads) {
 }
 
 template <class T>
-void run(const char* name, const BenchConfig& cfg, double paper_orig_4096,
-         double paper_cell_4096) {
+void run(const char* name, const BenchConfig& cfg, BenchJson& json,
+         double paper_orig_4096, double paper_cell_4096) {
   std::vector<index_t> sizes{512, 1024, 2048};
   if (cfg.full) sizes.push_back(4096);
 
@@ -61,6 +62,13 @@ void run(const char* name, const BenchConfig& cfg, double paper_orig_4096,
   for (index_t n : sizes) {
     const double o = time_original<T>(n);
     const double c = time_cellnpdp<T>(n, 8);
+    json.record()
+        .set("precision", name)
+        .set("n", n)
+        .set("original_s", o)
+        .set("cellnpdp_s", c)
+        .set("threads", 8)
+        .set("speedup", o / c);
     t.row(n, fmt_seconds(o), fmt_seconds(c), fmt_x(o / c));
     last_orig = o;
     last_cell = c;
@@ -91,7 +99,8 @@ int main(int argc, char** argv) {
       "cannot show wall-clock thread scaling; the thread-scaling *shape* is "
       "reproduced in bench_fig10/11 via the machine model. Single-thread "
       "layout+SIMD gains below are real measurements.\n");
-  run<float>("single", cfg, 108.01, 0.43);
-  run<double>("double", cfg, 119.79, 0.8159);
+  BenchJson json("table3_cpu", cfg);
+  run<float>("single", cfg, json, 108.01, 0.43);
+  run<double>("double", cfg, json, 119.79, 0.8159);
   return 0;
 }

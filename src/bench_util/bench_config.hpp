@@ -15,13 +15,23 @@ namespace cellnpdp {
 
 struct BenchConfig {
   bool full = false;
+  bool json = true;            ///< write BENCH_<name>.json (see json_out.hpp)
+  std::string json_dir = ".";  ///< where the JSON files land
 
   static BenchConfig from_args(int argc, char** argv) {
     BenchConfig cfg;
     const char* env = std::getenv("CELLNPDP_FULL");
     if (env != nullptr && env[0] == '1') cfg.full = true;
-    for (int i = 1; i < argc; ++i)
+    const char* json_env = std::getenv("CELLNPDP_JSON");
+    if (json_env != nullptr && json_env[0] == '0') cfg.json = false;
+    const char* dir_env = std::getenv("CELLNPDP_JSON_DIR");
+    if (dir_env != nullptr && dir_env[0] != '\0') cfg.json_dir = dir_env;
+    for (int i = 1; i < argc; ++i) {
       if (std::strcmp(argv[i], "--full") == 0) cfg.full = true;
+      if (std::strcmp(argv[i], "--no-json") == 0) cfg.json = false;
+      if (std::strcmp(argv[i], "--json-dir") == 0 && i + 1 < argc)
+        cfg.json_dir = argv[++i];
+    }
     return cfg;
   }
 };

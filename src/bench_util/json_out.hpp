@@ -1,0 +1,112 @@
+// Machine-readable bench output: the JSON companion of table.hpp.
+//
+// Each bench builds one BenchJson("name", cfg), adds flat records of
+// string/number fields, and on destruction the file BENCH_<name>.json is
+// written into cfg.json_dir (unless JSON output is disabled). The format
+// is deliberately flat so trend tooling can ingest it without per-bench
+// schemas:
+//
+//   {"bench":"table3_cpu","full":false,"records":[
+//     {"precision":"single","n":1024,"original_s":1.2,...}, ...]}
+#pragma once
+
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <utility>
+#include <variant>
+#include <vector>
+
+#include "bench_util/bench_config.hpp"
+#include "common/json.hpp"
+
+namespace cellnpdp {
+
+class BenchJson {
+ public:
+  using Field = std::variant<std::string, double, std::int64_t, bool>;
+
+  class Record {
+   public:
+    Record& set(const char* key, std::string v) {
+      fields_.emplace_back(key, Field(std::move(v)));
+      return *this;
+    }
+    Record& set(const char* key, const char* v) {
+      return set(key, std::string(v));
+    }
+    Record& set(const char* key, double v) {
+      fields_.emplace_back(key, Field(v));
+      return *this;
+    }
+    Record& set(const char* key, std::int64_t v) {
+      fields_.emplace_back(key, Field(v));
+      return *this;
+    }
+    Record& set(const char* key, int v) {
+      return set(key, static_cast<std::int64_t>(v));
+    }
+    Record& set(const char* key, std::size_t v) {
+      return set(key, static_cast<std::int64_t>(v));
+    }
+    Record& set(const char* key, bool v) {
+      fields_.emplace_back(key, Field(v));
+      return *this;
+    }
+
+   private:
+    friend class BenchJson;
+    std::vector<std::pair<std::string, Field>> fields_;
+  };
+
+  BenchJson(std::string name, const BenchConfig& cfg)
+      : name_(std::move(name)), enabled_(cfg.json), dir_(cfg.json_dir),
+        full_(cfg.full) {}
+
+  /// Adds and returns a new record; chain .set() calls onto it.
+  Record& record() {
+    records_.emplace_back();
+    return records_.back();
+  }
+
+  /// Writes the file; called automatically from the destructor. Returns
+  /// the path written, or "" when disabled / on failure.
+  std::string flush() {
+    if (!enabled_ || flushed_) return "";
+    flushed_ = true;
+    const std::string path = dir_ + "/BENCH_" + name_ + ".json";
+    std::ofstream os(path);
+    if (!os) return "";
+    JsonWriter w(os);
+    w.begin_object();
+    w.kv("bench", name_);
+    w.kv("full", full_);
+    w.key("records").begin_array();
+    for (const Record& r : records_) {
+      w.begin_object();
+      for (const auto& [k, f] : r.fields_) {
+        w.key(k);
+        std::visit([&](const auto& v) { w.value(v); }, f);
+      }
+      w.end_object();
+    }
+    w.end_array();
+    w.end_object();
+    os << "\n";
+    std::printf("[bench json: %s, %zu records]\n", path.c_str(),
+                records_.size());
+    return path;
+  }
+
+  ~BenchJson() { flush(); }
+
+ private:
+  std::string name_;
+  bool enabled_;
+  std::string dir_;
+  bool full_;
+  bool flushed_ = false;
+  std::vector<Record> records_;
+};
+
+}  // namespace cellnpdp

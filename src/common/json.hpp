@@ -1,0 +1,326 @@
+// Minimal JSON writer/parser used by the observability layer and the
+// machine-readable bench outputs. Writer is streaming (commas and nesting
+// handled by a state stack); parser builds a small value tree — enough to
+// validate emitted traces and metrics snapshots, not a general-purpose
+// JSON library.
+#pragma once
+
+#include <cctype>
+#include <cmath>
+#include <cstdint>
+#include <cstdio>
+#include <map>
+#include <ostream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace cellnpdp {
+
+/// Escapes `s` into a double-quoted JSON string literal.
+inline void json_escape(std::ostream& os, std::string_view s) {
+  os << '"';
+  for (char ch : s) {
+    switch (ch) {
+      case '"': os << "\\\""; break;
+      case '\\': os << "\\\\"; break;
+      case '\n': os << "\\n"; break;
+      case '\r': os << "\\r"; break;
+      case '\t': os << "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(ch) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", ch);
+          os << buf;
+        } else {
+          os << ch;
+        }
+    }
+  }
+  os << '"';
+}
+
+/// Streaming JSON writer. Call sequence mirrors the document structure;
+/// the writer inserts commas and validates key/value alternation only via
+/// its container stack (misuse produces malformed output, not UB).
+class JsonWriter {
+ public:
+  explicit JsonWriter(std::ostream& os) : os_(os) {}
+
+  JsonWriter& begin_object() { return open('{'); }
+  JsonWriter& end_object() { return close('}'); }
+  JsonWriter& begin_array() { return open('['); }
+  JsonWriter& end_array() { return close(']'); }
+
+  JsonWriter& key(std::string_view k) {
+    comma();
+    json_escape(os_, k);
+    os_ << ':';
+    pending_value_ = true;
+    return *this;
+  }
+
+  JsonWriter& value(std::string_view v) {
+    comma();
+    json_escape(os_, v);
+    return *this;
+  }
+  JsonWriter& value(const char* v) { return value(std::string_view(v)); }
+  JsonWriter& value(bool v) {
+    comma();
+    os_ << (v ? "true" : "false");
+    return *this;
+  }
+  JsonWriter& value(double v) {
+    comma();
+    if (std::isfinite(v)) {
+      char buf[32];
+      std::snprintf(buf, sizeof buf, "%.17g", v);
+      os_ << buf;
+    } else {
+      os_ << "null";  // JSON has no inf/nan
+    }
+    return *this;
+  }
+  JsonWriter& value(std::int64_t v) {
+    comma();
+    os_ << v;
+    return *this;
+  }
+  JsonWriter& value(int v) { return value(static_cast<std::int64_t>(v)); }
+  JsonWriter& value(std::uint64_t v) {
+    comma();
+    os_ << v;
+    return *this;
+  }
+
+  template <class V>
+  JsonWriter& kv(std::string_view k, V&& v) {
+    key(k);
+    return value(std::forward<V>(v));
+  }
+
+ private:
+  JsonWriter& open(char c) {
+    comma();
+    os_ << c;
+    first_.push_back(true);
+    return *this;
+  }
+  JsonWriter& close(char c) {
+    os_ << c;
+    if (!first_.empty()) first_.pop_back();
+    return *this;
+  }
+  void comma() {
+    if (pending_value_) {
+      pending_value_ = false;  // value directly follows its key
+      return;
+    }
+    if (first_.empty()) return;
+    if (!first_.back()) os_ << ',';
+    first_.back() = false;
+  }
+
+  std::ostream& os_;
+  std::vector<bool> first_;
+  bool pending_value_ = false;
+};
+
+/// Parsed JSON value tree.
+struct JsonValue {
+  enum class Type { Null, Bool, Number, String, Array, Object };
+  Type type = Type::Null;
+  bool boolean = false;
+  double number = 0;
+  std::string str;
+  std::vector<JsonValue> arr;
+  std::map<std::string, JsonValue> obj;
+
+  bool is_object() const { return type == Type::Object; }
+  bool is_array() const { return type == Type::Array; }
+  bool is_number() const { return type == Type::Number; }
+  bool is_string() const { return type == Type::String; }
+  bool has(const std::string& k) const { return obj.count(k) > 0; }
+  const JsonValue& at(const std::string& k) const { return obj.at(k); }
+};
+
+namespace detail {
+
+class JsonParser {
+ public:
+  JsonParser(std::string_view s, std::string* err) : s_(s), err_(err) {}
+
+  bool parse(JsonValue& out) {
+    if (!parse_value(out)) return false;
+    skip_ws();
+    if (pos_ != s_.size()) return fail("trailing characters");
+    return true;
+  }
+
+ private:
+  bool fail(const char* msg) {
+    if (err_ != nullptr)
+      *err_ = std::string(msg) + " at offset " + std::to_string(pos_);
+    return false;
+  }
+  void skip_ws() {
+    while (pos_ < s_.size() &&
+           std::isspace(static_cast<unsigned char>(s_[pos_])))
+      ++pos_;
+  }
+  bool consume(char c) {
+    skip_ws();
+    if (pos_ >= s_.size() || s_[pos_] != c) return false;
+    ++pos_;
+    return true;
+  }
+  bool parse_value(JsonValue& out) {
+    skip_ws();
+    if (pos_ >= s_.size()) return fail("unexpected end of input");
+    const char c = s_[pos_];
+    if (c == '{') return parse_object(out);
+    if (c == '[') return parse_array(out);
+    if (c == '"') {
+      out.type = JsonValue::Type::String;
+      return parse_string(out.str);
+    }
+    if (c == 't' || c == 'f') return parse_literal(out);
+    if (c == 'n') return parse_literal(out);
+    return parse_number(out);
+  }
+  bool parse_object(JsonValue& out) {
+    out.type = JsonValue::Type::Object;
+    ++pos_;  // '{'
+    skip_ws();
+    if (consume('}')) return true;
+    for (;;) {
+      skip_ws();
+      std::string k;
+      if (pos_ >= s_.size() || s_[pos_] != '"' || !parse_string(k))
+        return fail("expected object key");
+      if (!consume(':')) return fail("expected ':'");
+      JsonValue v;
+      if (!parse_value(v)) return false;
+      out.obj.emplace(std::move(k), std::move(v));
+      if (consume(',')) continue;
+      if (consume('}')) return true;
+      return fail("expected ',' or '}'");
+    }
+  }
+  bool parse_array(JsonValue& out) {
+    out.type = JsonValue::Type::Array;
+    ++pos_;  // '['
+    skip_ws();
+    if (consume(']')) return true;
+    for (;;) {
+      JsonValue v;
+      if (!parse_value(v)) return false;
+      out.arr.push_back(std::move(v));
+      if (consume(',')) continue;
+      if (consume(']')) return true;
+      return fail("expected ',' or ']'");
+    }
+  }
+  bool parse_string(std::string& out) {
+    ++pos_;  // opening quote
+    while (pos_ < s_.size()) {
+      char c = s_[pos_++];
+      if (c == '"') return true;
+      if (c != '\\') {
+        out.push_back(c);
+        continue;
+      }
+      if (pos_ >= s_.size()) break;
+      const char esc = s_[pos_++];
+      switch (esc) {
+        case '"': out.push_back('"'); break;
+        case '\\': out.push_back('\\'); break;
+        case '/': out.push_back('/'); break;
+        case 'b': out.push_back('\b'); break;
+        case 'f': out.push_back('\f'); break;
+        case 'n': out.push_back('\n'); break;
+        case 'r': out.push_back('\r'); break;
+        case 't': out.push_back('\t'); break;
+        case 'u': {
+          if (pos_ + 4 > s_.size()) return fail("bad \\u escape");
+          unsigned code = 0;
+          for (int i = 0; i < 4; ++i) {
+            const char h = s_[pos_++];
+            code <<= 4;
+            if (h >= '0' && h <= '9') code |= unsigned(h - '0');
+            else if (h >= 'a' && h <= 'f') code |= unsigned(h - 'a' + 10);
+            else if (h >= 'A' && h <= 'F') code |= unsigned(h - 'A' + 10);
+            else return fail("bad \\u escape");
+          }
+          // Minimal UTF-8 encoding; surrogate pairs are not recombined
+          // (the writer never emits them).
+          if (code < 0x80) {
+            out.push_back(char(code));
+          } else if (code < 0x800) {
+            out.push_back(char(0xC0 | (code >> 6)));
+            out.push_back(char(0x80 | (code & 0x3F)));
+          } else {
+            out.push_back(char(0xE0 | (code >> 12)));
+            out.push_back(char(0x80 | ((code >> 6) & 0x3F)));
+            out.push_back(char(0x80 | (code & 0x3F)));
+          }
+          break;
+        }
+        default: return fail("bad escape");
+      }
+    }
+    return fail("unterminated string");
+  }
+  bool parse_literal(JsonValue& out) {
+    auto match = [&](std::string_view lit) {
+      if (s_.substr(pos_, lit.size()) != lit) return false;
+      pos_ += lit.size();
+      return true;
+    };
+    if (match("true")) {
+      out.type = JsonValue::Type::Bool;
+      out.boolean = true;
+      return true;
+    }
+    if (match("false")) {
+      out.type = JsonValue::Type::Bool;
+      out.boolean = false;
+      return true;
+    }
+    if (match("null")) {
+      out.type = JsonValue::Type::Null;
+      return true;
+    }
+    return fail("bad literal");
+  }
+  bool parse_number(JsonValue& out) {
+    const std::size_t start = pos_;
+    if (pos_ < s_.size() && (s_[pos_] == '-' || s_[pos_] == '+')) ++pos_;
+    while (pos_ < s_.size() &&
+           (std::isdigit(static_cast<unsigned char>(s_[pos_])) ||
+            s_[pos_] == '.' || s_[pos_] == 'e' || s_[pos_] == 'E' ||
+            s_[pos_] == '-' || s_[pos_] == '+'))
+      ++pos_;
+    if (pos_ == start) return fail("expected value");
+    out.type = JsonValue::Type::Number;
+    out.number = std::strtod(std::string(s_.substr(start, pos_ - start)).c_str(),
+                             nullptr);
+    return true;
+  }
+
+  std::string_view s_;
+  std::size_t pos_ = 0;
+  std::string* err_;
+};
+
+}  // namespace detail
+
+/// Parses `text` into `out`; returns false (and sets `err` if given) on
+/// malformed input.
+inline bool json_parse(std::string_view text, JsonValue& out,
+                       std::string* err = nullptr) {
+  return detail::JsonParser(text, err).parse(out);
+}
+
+}  // namespace cellnpdp

@@ -1,14 +1,27 @@
 #include "common/thread_pool.hpp"
 
 #include <algorithm>
+#include <chrono>
+#include <string>
+
+#include "obs/trace.hpp"
 
 namespace cellnpdp {
 
+namespace {
+std::int64_t now_ns() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+}  // namespace
+
 ThreadPool::ThreadPool(std::size_t threads) {
   threads = std::max<std::size_t>(1, threads);
+  busy_ns_.assign(threads, 0);
   workers_.reserve(threads);
   for (std::size_t i = 0; i < threads; ++i) {
-    workers_.emplace_back([this] { worker_loop(); });
+    workers_.emplace_back([this, i] { worker_loop(i); });
   }
 }
 
@@ -34,7 +47,15 @@ void ThreadPool::wait_idle() {
   cv_idle_.wait(lk, [this] { return jobs_.empty() && in_flight_ == 0; });
 }
 
-void ThreadPool::worker_loop() {
+std::vector<double> ThreadPool::busy_seconds() const {
+  std::lock_guard lk(mu_);
+  std::vector<double> out(busy_ns_.size());
+  for (std::size_t i = 0; i < busy_ns_.size(); ++i)
+    out[i] = double(busy_ns_[i]) / 1e9;
+  return out;
+}
+
+void ThreadPool::worker_loop(std::size_t index) {
   for (;;) {
     std::function<void()> job;
     {
@@ -45,9 +66,16 @@ void ThreadPool::worker_loop() {
       jobs_.pop_front();
       ++in_flight_;
     }
-    job();
+    obs::Tracer::instance().name_this_thread("pool " + std::to_string(index));
+    const std::int64_t t0 = now_ns();
+    {
+      CELLNPDP_TRACE_SPAN("pool", "job");
+      job();
+    }
+    const std::int64_t dt = now_ns() - t0;
     {
       std::lock_guard lk(mu_);
+      busy_ns_[index] += dt;
       --in_flight_;
       if (jobs_.empty() && in_flight_ == 0) cv_idle_.notify_all();
     }

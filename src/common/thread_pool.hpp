@@ -6,6 +6,7 @@
 
 #include <condition_variable>
 #include <cstddef>
+#include <cstdint>
 #include <deque>
 #include <functional>
 #include <mutex>
@@ -39,12 +40,17 @@ class ThreadPool {
   void parallel_for(std::size_t begin, std::size_t end,
                     const std::function<void(std::size_t)>& fn);
 
+  /// Cumulative seconds each worker has spent inside jobs since the pool
+  /// was created. Call while the pool is idle (e.g. after wait_idle()).
+  std::vector<double> busy_seconds() const;
+
  private:
-  void worker_loop();
+  void worker_loop(std::size_t index);
 
   std::vector<std::thread> workers_;
   std::deque<std::function<void()>> jobs_;
-  std::mutex mu_;
+  std::vector<std::int64_t> busy_ns_;  // per worker; guarded by mu_
+  mutable std::mutex mu_;
   std::condition_variable cv_job_;    // signalled when a job arrives
   std::condition_variable cv_idle_;   // signalled when the pool may be idle
   std::size_t in_flight_ = 0;         // popped but not yet finished

@@ -14,12 +14,17 @@
 // itself and scalar triangular tiles on the tile diagonal.
 #pragma once
 
+#include <atomic>
 #include <cassert>
+#include <cstdint>
+#include <deque>
+#include <mutex>
 #include <stdexcept>
 
 #include "common/aligned.hpp"
 #include "core/instance.hpp"
 #include "layout/blocked.hpp"
+#include "obs/trace.hpp"
 
 namespace cellnpdp {
 
@@ -33,6 +38,55 @@ struct EngineStats {
   index_t cells_finalized = 0; ///< finalize_cell executions
 
   index_t scalar_relax() const { return corner_relax + diag_relax; }
+
+  EngineStats& operator+=(const EngineStats& o) {
+    kernel_calls += o.kernel_calls;
+    corner_relax += o.corner_relax;
+    diag_relax += o.diag_relax;
+    cells_finalized += o.cells_finalized;
+    return *this;
+  }
+};
+
+/// Per-thread EngineStats shards, merged on demand. Workers obtain their
+/// shard once per task via local() (a thread-local cache, no lock on the
+/// happy path) and bump it without synchronisation; merged() sums every
+/// shard. This is what lets the parallel solvers account work without
+/// serialising the hot kernel loop on shared counters.
+class EngineStatsSink {
+ public:
+  /// The calling thread's shard (created on first use). The cache is
+  /// keyed by a never-reused sink id, so a stale pointer into a destroyed
+  /// sink can never be returned for a newer sink at the same address.
+  EngineStats& local() {
+    thread_local std::uint64_t cached_id = 0;
+    thread_local EngineStats* cached = nullptr;
+    if (cached_id != id_) {
+      std::lock_guard lk(mu_);
+      shards_.emplace_back();
+      cached = &shards_.back();
+      cached_id = id_;
+    }
+    return *cached;
+  }
+
+  /// Sum of every shard. Call after the parallel region has joined.
+  EngineStats merged() const {
+    std::lock_guard lk(mu_);
+    EngineStats total;
+    for (const EngineStats& s : shards_) total += s;
+    return total;
+  }
+
+ private:
+  static std::uint64_t next_sink_id() {
+    static std::atomic<std::uint64_t> n{0};
+    return ++n;
+  }
+
+  const std::uint64_t id_ = next_sink_id();
+  mutable std::mutex mu_;
+  std::deque<EngineStats> shards_;  // deque: stable addresses
 };
 
 template <class T>
@@ -98,8 +152,10 @@ class BlockEngine {
   index_t tiles_per_side() const { return tb_; }
   index_t kernel_width() const { return kern_.width; }
 
-  /// Attaches a work-counter sink. Not thread safe: use per-thread engines
-  /// or only attach in single-threaded runs.
+  /// Attaches a default work-counter sink, used by compute_block calls
+  /// that do not pass an explicit per-thread sink. For multi-threaded
+  /// runs pass each worker its own EngineStats (see EngineStatsSink)
+  /// through the compute_block overload instead.
   void set_stats(EngineStats* stats) { stats_ = stats; }
 
   /// Attaches an argmin table (same geometry as the value matrix). Each
@@ -114,19 +170,31 @@ class BlockEngine {
 
   /// Relaxes memory block (bi,bj). Every block it depends on — all (bi,k)
   /// and (k,bj) with bi <= k <= bj other than itself — must be final.
+  /// Uses the sink attached with set_stats (if any).
   void compute_block(index_t bi, index_t bj) {
+    compute_block(bi, bj, stats_);
+  }
+
+  /// As above with an explicit work-counter sink, so concurrent workers
+  /// can each count into their own shard (EngineStatsSink::local()).
+  void compute_block(index_t bi, index_t bj, EngineStats* st) {
     T* Cb = mat_->block(bi, bj);
     const index_t row0 = bi * bs_;
     const index_t col0 = bj * bs_;
     if (bi == bj) {
-      inner_pass(Cb, Cb, Cb, /*diag=*/true, row0, col0);
+      CELLNPDP_TRACE_SPAN("inner", "inner.diag", bi, bj);
+      inner_pass(Cb, Cb, Cb, /*diag=*/true, row0, col0, st);
       return;
     }
-    for (index_t mk = bi + 1; mk < bj; ++mk)
-      middle_pass(Cb, mat_->block(bi, mk), mat_->block(mk, bj),
-                  row0, mk * bs_, col0);
+    {
+      CELLNPDP_TRACE_SPAN("middle", "middle", bi, bj);
+      for (index_t mk = bi + 1; mk < bj; ++mk)
+        middle_pass(Cb, mat_->block(bi, mk), mat_->block(mk, bj),
+                    row0, mk * bs_, col0, st);
+    }
+    CELLNPDP_TRACE_SPAN("inner", "inner", bi, bj);
     inner_pass(Cb, mat_->block(bi, bi), mat_->block(bj, bj),
-               /*diag=*/false, row0, col0);
+               /*diag=*/false, row0, col0, st);
   }
 
  private:
@@ -138,8 +206,8 @@ class BlockEngine {
   }
 
   void run_kernel(T* C, const T* A, const T* B, index_t gi0, index_t gk0,
-                  index_t gj0) const {
-    if (stats_ != nullptr) ++stats_->kernel_calls;
+                  index_t gj0, EngineStats* st) const {
+    if (st != nullptr) ++st->kernel_calls;
     if (ktg_) {
       generic_tile(C, A, B, gi0, gk0, gj0);
       return;
@@ -194,23 +262,36 @@ class BlockEngine {
   /// Stage 1: C = min(C, A (+) B) for one middle block pair; a full tile
   /// triple loop with no ordering constraints.
   void middle_pass(T* Cb, const T* Ab, const T* Bb, index_t row0, index_t k0,
-                   index_t col0) const {
+                   index_t col0, EngineStats* st) const {
     const index_t W = kern_.width;
     for (index_t rt = 0; rt < tb_; ++rt)
       for (index_t kt = 0; kt < tb_; ++kt)
         for (index_t ct = 0; ct < tb_; ++ct)
           run_kernel(tile(Cb, rt, ct), tile(Ab, rt, kt), tile(Bb, kt, ct),
-                     row0 + rt * W, k0 + kt * W, col0 + ct * W);
+                     row0 + rt * W, k0 + kt * W, col0 + ct * W, st);
   }
 
   /// Stage 2 (and the whole of a diagonal block): ordered tile walk.
+  /// Per-tile trace spans are emitted from here (behind one hoisted
+  /// enabled() check) rather than inside corner()/diagonal_tile(), so the
+  /// scalar hot loops stay span-free when tracing is off.
   void inner_pass(T* Cb, const T* D1, const T* D2, bool diag, index_t row0,
-                  index_t col0) const {
+                  index_t col0, EngineStats* st) const {
+#ifndef CELLNPDP_NO_TRACING
+    const bool traced = obs::Tracer::instance().enabled();
+#else
+    constexpr bool traced = false;
+#endif
     const index_t W = kern_.width;
     for (index_t ct = 0; ct < tb_; ++ct) {
       for (index_t rt = diag ? ct : tb_ - 1; rt >= 0; --rt) {
         if (diag && rt == ct) {
-          diagonal_tile(Cb, rt, row0, col0);
+          if (traced) {
+            CELLNPDP_TRACE_SPAN("diag", "diag", rt, rt);
+            diagonal_tile(Cb, rt, row0, col0, st);
+          } else {
+            diagonal_tile(Cb, rt, row0, col0, st);
+          }
           continue;
         }
         // (a) k in the block-row range right of tile rt, paired with C
@@ -219,15 +300,22 @@ class BlockEngine {
         const index_t a_end = diag ? ct : tb_;
         for (index_t kt = rt + 1; kt < a_end; ++kt)
           run_kernel(tile(Cb, rt, ct), tile(D1, rt, kt), tile(Cb, kt, ct),
-                     row0 + rt * W, row0 + kt * W, col0 + ct * W);
+                     row0 + rt * W, row0 + kt * W, col0 + ct * W, st);
         // (b) k in the block-column range left of tile ct, paired with C
         // tiles left of this one in tile-row rt. Empty for diagonal blocks
         // (already covered by (a)).
         if (!diag)
           for (index_t kt = 0; kt < ct; ++kt)
             run_kernel(tile(Cb, rt, ct), tile(Cb, rt, kt), tile(D2, kt, ct),
-                       row0 + rt * W, col0 + kt * W, col0 + ct * W);
-        corner(Cb, tile(D1, rt, rt), tile(D2, ct, ct), rt, ct, row0, col0);
+                       row0 + rt * W, col0 + kt * W, col0 + ct * W, st);
+        if (traced) {
+          CELLNPDP_TRACE_SPAN("corner", "corner", rt, ct);
+          corner(Cb, tile(D1, rt, rt), tile(D2, ct, ct), rt, ct, row0, col0,
+                 st);
+        } else {
+          corner(Cb, tile(D1, rt, rt), tile(D2, ct, ct), rt, ct, row0, col0,
+                 st);
+        }
       }
     }
   }
@@ -237,7 +325,7 @@ class BlockEngine {
   /// Cells are walked column-ascending / row-descending so every value read
   /// is already final.
   void corner(T* Cb, const T* A1, const T* B2, index_t rt, index_t ct,
-              index_t row0, index_t col0) const {
+              index_t row0, index_t col0, EngineStats* st) const {
     const index_t W = kern_.width;
     const index_t n = inst_->n;
     const bool kt_on = !ku_.empty();
@@ -275,15 +363,16 @@ class BlockEngine {
             karg = T(gk);
           }
         }
-        if (stats_ != nullptr) stats_->corner_relax += (W - 1 - lr) + lc;
-        finalize_cell(Cb, r, c, gi, gj, n, acc, karg);
+        if (st != nullptr) st->corner_relax += (W - 1 - lr) + lc;
+        finalize_cell(Cb, r, c, gi, gj, n, acc, st, karg);
       }
     }
   }
 
   /// A triangular tile on the diagonal of a diagonal block: fully
   /// self-contained, resolved with the original scalar recurrence.
-  void diagonal_tile(T* Cb, index_t t, index_t row0, index_t col0) const {
+  void diagonal_tile(T* Cb, index_t t, index_t row0, index_t col0,
+                     EngineStats* st) const {
     const index_t W = kern_.width;
     const index_t n = inst_->n;
     const bool kt_on = !ku_.empty();
@@ -308,8 +397,8 @@ class BlockEngine {
             karg = T(gk);
           }
         }
-        if (stats_ != nullptr) stats_->diag_relax += lc - 1 - lr;
-        finalize_cell(Cb, r, c, gi, gj, n, acc, karg);
+        if (st != nullptr) st->diag_relax += lc - 1 - lr;
+        finalize_cell(Cb, r, c, gi, gj, n, acc, st, karg);
       }
     }
   }
@@ -317,8 +406,9 @@ class BlockEngine {
   /// karg: the corner pass's improvement (global k), or -2 when the corner
   /// pass did not improve on the stage-kernel value.
   void finalize_cell(T* Cb, index_t r, index_t c, index_t gi, index_t gj,
-                     index_t n, T acc, T karg = T(-2)) const {
-    if (stats_ != nullptr) ++stats_->cells_finalized;
+                     index_t n, T acc, EngineStats* st,
+                     T karg = T(-2)) const {
+    if (st != nullptr) ++st->cells_finalized;
     T* arg_cell = nullptr;
     if (argm_ != nullptr) {
       arg_cell = argm_->data() + (Cb - mat_->data()) + r * bs_ + c;

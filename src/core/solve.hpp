@@ -2,27 +2,63 @@
 #pragma once
 
 #include <algorithm>
+#include <vector>
 
+#include "common/stopwatch.hpp"
 #include "common/thread_pool.hpp"
 #include "core/engine.hpp"
 #include "core/instance.hpp"
 #include "layout/blocked.hpp"
+#include "obs/trace.hpp"
 #include "taskgraph/dependence_graph.hpp"
 #include "taskgraph/executor.hpp"
 
 namespace cellnpdp {
 
+/// Telemetry of one solve: wall time, per-worker busy time (from the
+/// executor or pool) and the merged engine work counters. Pass to any
+/// solver to enable collection; all fields cost a couple of clock reads
+/// per scheduling block, nothing on the kernel path beyond the counters.
+struct SolveStats {
+  double wall_seconds = 0;
+  std::vector<double> worker_busy;    ///< seconds inside task bodies
+  std::vector<index_t> worker_tasks;  ///< tasks per worker (task-queue only)
+  index_t tasks = 0;
+  EngineStats engine;                 ///< merged across workers
+
+  double busy_total() const {
+    double s = 0;
+    for (double b : worker_busy) s += b;
+    return s;
+  }
+  /// Mean worker occupancy in [0,1].
+  double utilization() const {
+    if (wall_seconds <= 0 || worker_busy.empty()) return 0;
+    return busy_total() / (wall_seconds * double(worker_busy.size()));
+  }
+};
+
 /// Serial blocked solver: the Fig. 4(b) flowchart — memory blocks walked
 /// column-ascending, row-descending.
 template <class T>
 BlockedTriangularMatrix<T> solve_blocked_serial(const NpdpInstance<T>& inst,
-                                                const NpdpOptions& opts) {
+                                                const NpdpOptions& opts,
+                                                SolveStats* ss = nullptr) {
+  CELLNPDP_TRACE_SPAN("solve", "solve_blocked_serial");
   BlockedTriangularMatrix<T> mat(inst.n, opts.block_side);
   BlockEngine<T> engine(mat, inst, opts);
   engine.seed();
   const index_t m = engine.blocks_per_side();
+  Stopwatch sw;
+  EngineStats* st = ss != nullptr ? &ss->engine : nullptr;
   for (index_t bj = 0; bj < m; ++bj)
-    for (index_t bi = bj; bi >= 0; --bi) engine.compute_block(bi, bj);
+    for (index_t bi = bj; bi >= 0; --bi) engine.compute_block(bi, bj, st);
+  if (ss != nullptr) {
+    ss->wall_seconds = sw.seconds();
+    ss->worker_busy = {ss->wall_seconds};
+    ss->tasks = triangle_cells(m);
+    ss->worker_tasks = {ss->tasks};
+  }
   return mat;
 }
 
@@ -31,30 +67,48 @@ BlockedTriangularMatrix<T> solve_blocked_serial(const NpdpInstance<T>& inst,
 /// simplified dependence graph onto opts.threads workers.
 template <class T>
 BlockedTriangularMatrix<T> solve_blocked_parallel(const NpdpInstance<T>& inst,
-                                                  const NpdpOptions& opts) {
+                                                  const NpdpOptions& opts,
+                                                  SolveStats* ss = nullptr) {
+  CELLNPDP_TRACE_SPAN("solve", "solve_blocked_parallel");
   BlockedTriangularMatrix<T> mat(inst.n, opts.block_side);
   BlockEngine<T> engine(mat, inst, opts);
   engine.seed();
 
   const index_t m = engine.blocks_per_side();
-  const index_t ss = std::max<index_t>(1, opts.sched_side);
-  const index_t ms = ceil_div(m, ss);
+  const index_t ss_side = std::max<index_t>(1, opts.sched_side);
+  const index_t ms = ceil_div(m, ss_side);
   BlockDependenceGraph graph(ms);
 
+  EngineStatsSink sink;
+  const bool want_stats = ss != nullptr;
+
   // One task = one scheduling block; its memory blocks are walked in the
-  // same column-ascending / row-descending order (paper §IV-B).
+  // same column-ascending / row-descending order (paper §IV-B). Each
+  // worker counts into its own stats shard (merged below).
   auto body = [&](index_t si, index_t sj) {
-    const index_t col_lo = sj * ss, col_hi = std::min(m, (sj + 1) * ss);
-    const index_t row_lo = si * ss, row_hi = std::min(m, (si + 1) * ss);
+    EngineStats* st = want_stats ? &sink.local() : nullptr;
+    const index_t col_lo = sj * ss_side,
+                  col_hi = std::min(m, (sj + 1) * ss_side);
+    const index_t row_lo = si * ss_side,
+                  row_hi = std::min(m, (si + 1) * ss_side);
     for (index_t bj = col_lo; bj < col_hi; ++bj)
       for (index_t bi = std::min(bj, row_hi - 1); bi >= row_lo; --bi)
-        engine.compute_block(bi, bj);
+        engine.compute_block(bi, bj, st);
   };
 
+  ExecutorStats es;
+  ExecutorStats* esp = want_stats ? &es : nullptr;
   if (opts.threads <= 1) {
-    TaskQueueExecutor::run_serial(graph, body);
+    TaskQueueExecutor::run_serial(graph, body, esp);
   } else {
-    TaskQueueExecutor::run(graph, opts.threads, body);
+    TaskQueueExecutor::run(graph, opts.threads, body, esp);
+  }
+  if (want_stats) {
+    ss->wall_seconds = es.wall_seconds;
+    ss->worker_busy = std::move(es.worker_busy);
+    ss->worker_tasks = std::move(es.worker_tasks);
+    ss->tasks = es.tasks;
+    ss->engine = sink.merged();
   }
   return mat;
 }
@@ -65,18 +119,31 @@ BlockedTriangularMatrix<T> solve_blocked_parallel(const NpdpInstance<T>& inst,
 /// independent; the barrier is the cost this schedule pays.
 template <class T>
 BlockedTriangularMatrix<T> solve_blocked_wavefront(
-    const NpdpInstance<T>& inst, const NpdpOptions& opts) {
+    const NpdpInstance<T>& inst, const NpdpOptions& opts,
+    SolveStats* ss = nullptr) {
+  CELLNPDP_TRACE_SPAN("solve", "solve_blocked_wavefront");
   BlockedTriangularMatrix<T> mat(inst.n, opts.block_side);
   BlockEngine<T> engine(mat, inst, opts);
   engine.seed();
   const index_t m = engine.blocks_per_side();
   ThreadPool pool(opts.threads);
+  EngineStatsSink sink;
+  const bool want_stats = ss != nullptr;
+  Stopwatch sw;
   for (index_t d = 0; d < m; ++d) {
     pool.parallel_for(0, static_cast<std::size_t>(m - d),
                       [&](std::size_t bi) {
+                        EngineStats* st = want_stats ? &sink.local() : nullptr;
                         engine.compute_block(static_cast<index_t>(bi),
-                                             static_cast<index_t>(bi) + d);
+                                             static_cast<index_t>(bi) + d,
+                                             st);
                       });
+  }
+  if (want_stats) {
+    ss->wall_seconds = sw.seconds();
+    ss->worker_busy = pool.busy_seconds();
+    ss->tasks = triangle_cells(m);
+    ss->engine = sink.merged();
   }
   return mat;
 }
@@ -84,9 +151,10 @@ BlockedTriangularMatrix<T> solve_blocked_wavefront(
 /// Convenience dispatcher.
 template <class T>
 BlockedTriangularMatrix<T> solve_blocked(const NpdpInstance<T>& inst,
-                                         const NpdpOptions& opts) {
-  return opts.threads <= 1 ? solve_blocked_serial(inst, opts)
-                           : solve_blocked_parallel(inst, opts);
+                                         const NpdpOptions& opts,
+                                         SolveStats* ss = nullptr) {
+  return opts.threads <= 1 ? solve_blocked_serial(inst, opts, ss)
+                           : solve_blocked_parallel(inst, opts, ss);
 }
 
 }  // namespace cellnpdp

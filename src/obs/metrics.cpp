@@ -1,0 +1,140 @@
+#include "obs/metrics.hpp"
+
+#include <bit>
+
+#include "common/json.hpp"
+
+namespace cellnpdp::obs {
+
+namespace {
+int bucket_index(std::int64_t sample) {
+  if (sample <= 0) return 0;
+  return std::bit_width(static_cast<std::uint64_t>(sample)) - 1;
+}
+
+void atomic_min(std::atomic<std::int64_t>& a, std::int64_t v) {
+  std::int64_t cur = a.load(std::memory_order_relaxed);
+  while (v < cur &&
+         !a.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+  }
+}
+void atomic_max(std::atomic<std::int64_t>& a, std::int64_t v) {
+  std::int64_t cur = a.load(std::memory_order_relaxed);
+  while (v > cur &&
+         !a.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+  }
+}
+}  // namespace
+
+void Histogram::observe(std::int64_t sample) {
+  buckets_[bucket_index(sample)].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  sum_.fetch_add(sample, std::memory_order_relaxed);
+  atomic_min(min_, sample);
+  atomic_max(max_, sample);
+}
+
+std::int64_t Histogram::min() const {
+  const std::int64_t v = min_.load(std::memory_order_relaxed);
+  return v == INT64_MAX ? 0 : v;
+}
+std::int64_t Histogram::max() const {
+  const std::int64_t v = max_.load(std::memory_order_relaxed);
+  return v == INT64_MIN ? 0 : v;
+}
+double Histogram::mean() const {
+  const std::int64_t c = count();
+  return c == 0 ? 0.0 : double(sum()) / double(c);
+}
+
+std::int64_t Histogram::quantile_upper_bound(double q) const {
+  const std::int64_t c = count();
+  if (c == 0) return 0;
+  const auto target =
+      static_cast<std::int64_t>(q * double(c) + 0.5);
+  std::int64_t seen = 0;
+  for (int b = 0; b < kBuckets; ++b) {
+    seen += bucket(b);
+    if (seen >= target)
+      return b >= 62 ? INT64_MAX : (std::int64_t(1) << (b + 1)) - 1;
+  }
+  return max();
+}
+
+void Histogram::reset() {
+  for (auto& b : buckets_) b.store(0, std::memory_order_relaxed);
+  count_.store(0, std::memory_order_relaxed);
+  sum_.store(0, std::memory_order_relaxed);
+  min_.store(INT64_MAX, std::memory_order_relaxed);
+  max_.store(INT64_MIN, std::memory_order_relaxed);
+}
+
+Counter& MetricsRegistry::counter(const std::string& name) {
+  std::lock_guard lk(mu_);
+  auto& slot = counters_[name];
+  if (!slot) slot = std::make_unique<Counter>();
+  return *slot;
+}
+
+Gauge& MetricsRegistry::gauge(const std::string& name) {
+  std::lock_guard lk(mu_);
+  auto& slot = gauges_[name];
+  if (!slot) slot = std::make_unique<Gauge>();
+  return *slot;
+}
+
+Histogram& MetricsRegistry::histogram(const std::string& name) {
+  std::lock_guard lk(mu_);
+  auto& slot = histograms_[name];
+  if (!slot) slot = std::make_unique<Histogram>();
+  return *slot;
+}
+
+void MetricsRegistry::write_json(std::ostream& os) const {
+  std::lock_guard lk(mu_);
+  JsonWriter w(os);
+  w.begin_object();
+  w.key("counters").begin_object();
+  for (const auto& [name, c] : counters_) w.kv(name, c->value());
+  w.end_object();
+  w.key("gauges").begin_object();
+  for (const auto& [name, g] : gauges_) w.kv(name, g->value());
+  w.end_object();
+  w.key("histograms").begin_object();
+  for (const auto& [name, h] : histograms_) {
+    w.key(name).begin_object();
+    w.kv("count", h->count());
+    w.kv("sum", h->sum());
+    w.kv("min", h->min());
+    w.kv("max", h->max());
+    w.kv("mean", h->mean());
+    w.kv("p50", h->quantile_upper_bound(0.50));
+    w.kv("p95", h->quantile_upper_bound(0.95));
+    w.kv("p99", h->quantile_upper_bound(0.99));
+    // Sparse bucket map: log2 lower bound -> count.
+    w.key("buckets").begin_object();
+    for (int b = 0; b < Histogram::kBuckets; ++b) {
+      const std::int64_t n = h->bucket(b);
+      if (n != 0) w.kv(std::to_string(b), n);
+    }
+    w.end_object();
+    w.end_object();
+  }
+  w.end_object();
+  w.end_object();
+  os << "\n";
+}
+
+void MetricsRegistry::reset() {
+  std::lock_guard lk(mu_);
+  for (auto& [_, c] : counters_) c->reset();
+  for (auto& [_, g] : gauges_) g->reset();
+  for (auto& [_, h] : histograms_) h->reset();
+}
+
+MetricsRegistry& metrics() {
+  static MetricsRegistry registry;
+  return registry;
+}
+
+}  // namespace cellnpdp::obs

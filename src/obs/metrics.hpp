@@ -1,0 +1,93 @@
+// Process-wide metrics registry: named counters, gauges, and log2-bucket
+// histograms, all safe to update from any thread, with a JSON snapshot.
+//
+// Usage pattern: resolve the handle once (registration takes a mutex),
+// then update through the handle on the hot path (a relaxed atomic op).
+//
+//   static obs::Counter& tasks = obs::metrics().counter("sched.tasks");
+//   tasks.add();
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <ostream>
+#include <string>
+
+namespace cellnpdp::obs {
+
+class Counter {
+ public:
+  void add(std::int64_t d = 1) { v_.fetch_add(d, std::memory_order_relaxed); }
+  std::int64_t value() const { return v_.load(std::memory_order_relaxed); }
+  void reset() { v_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::int64_t> v_{0};
+};
+
+class Gauge {
+ public:
+  void set(double v) { v_.store(v, std::memory_order_relaxed); }
+  double value() const { return v_.load(std::memory_order_relaxed); }
+  void reset() { set(0); }
+
+ private:
+  std::atomic<double> v_{0};
+};
+
+/// Histogram over non-negative integer samples (typically nanoseconds).
+/// Bucket b counts samples in [2^b, 2^(b+1)); bucket 0 also takes 0.
+class Histogram {
+ public:
+  static constexpr int kBuckets = 64;
+
+  void observe(std::int64_t sample);
+  std::int64_t count() const { return count_.load(std::memory_order_relaxed); }
+  std::int64_t sum() const { return sum_.load(std::memory_order_relaxed); }
+  std::int64_t min() const;
+  std::int64_t max() const;
+  double mean() const;
+  /// Upper bound of the bucket containing quantile q (0 < q <= 1).
+  std::int64_t quantile_upper_bound(double q) const;
+  std::int64_t bucket(int b) const {
+    return buckets_[b].load(std::memory_order_relaxed);
+  }
+  void reset();
+
+ private:
+  std::atomic<std::int64_t> buckets_[kBuckets]{};
+  std::atomic<std::int64_t> count_{0};
+  std::atomic<std::int64_t> sum_{0};
+  std::atomic<std::int64_t> min_{INT64_MAX};
+  std::atomic<std::int64_t> max_{INT64_MIN};
+};
+
+class MetricsRegistry {
+ public:
+  /// Returns (creating on first use) the named metric. Handles stay valid
+  /// for the registry's lifetime; reset() zeroes values, never removes.
+  Counter& counter(const std::string& name);
+  Gauge& gauge(const std::string& name);
+  Histogram& histogram(const std::string& name);
+
+  /// Writes a point-in-time JSON snapshot:
+  /// {"counters":{..},"gauges":{..},"histograms":{name:{count,sum,..}}}.
+  void write_json(std::ostream& os) const;
+
+  /// Zeroes every registered metric (handles stay valid).
+  void reset();
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::string, std::unique_ptr<Counter>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+};
+
+/// The process-wide registry used by library instrumentation.
+MetricsRegistry& metrics();
+
+}  // namespace cellnpdp::obs

@@ -1,0 +1,79 @@
+#include "obs/report.hpp"
+
+#include <cstdio>
+#include <string>
+
+namespace cellnpdp::obs {
+
+namespace {
+std::string secs(double s) {
+  char buf[64];
+  if (s < 1e-3)
+    std::snprintf(buf, sizeof buf, "%.1f us", s * 1e6);
+  else if (s < 1.0)
+    std::snprintf(buf, sizeof buf, "%.2f ms", s * 1e3);
+  else
+    std::snprintf(buf, sizeof buf, "%.3g s", s);
+  return buf;
+}
+std::string pct(double f) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%5.1f%%", f * 100);
+  return buf;
+}
+}  // namespace
+
+void print_utilization_report(std::ostream& os, const UtilizationReport& r,
+                              const ModelParams& params) {
+  char line[256];
+  os << "=== utilization report ===\n";
+  std::snprintf(line, sizeof line, "wall time        %s over %zu worker%s\n",
+                secs(r.wall_seconds).c_str(), r.worker_busy.size(),
+                r.worker_busy.size() == 1 ? "" : "s");
+  os << line;
+
+  for (std::size_t w = 0; w < r.worker_busy.size(); ++w) {
+    const double busy = r.worker_busy[w];
+    const double idle = r.wall_seconds > busy ? r.wall_seconds - busy : 0;
+    const double occ = r.wall_seconds > 0 ? busy / r.wall_seconds : 0;
+    std::snprintf(line, sizeof line,
+                  "  worker %-3zu busy %-10s idle %-10s occupancy %s\n", w,
+                  secs(busy).c_str(), secs(idle).c_str(), pct(occ).c_str());
+    os << line;
+  }
+
+  if (!r.phases.empty()) {
+    os << "phase breakdown (summed span time across workers):\n";
+    double total = 0;
+    for (const PhaseTotal& p : r.phases) total += double(p.total_ns);
+    for (const PhaseTotal& p : r.phases) {
+      std::snprintf(line, sizeof line,
+                    "  %-12s %-10s (%lld spans, %s of traced time)\n",
+                    p.cat.c_str(), secs(double(p.total_ns) / 1e9).c_str(),
+                    static_cast<long long>(p.spans),
+                    pct(total > 0 ? double(p.total_ns) / total : 0).c_str());
+      os << line;
+    }
+  }
+
+  const double measured = r.measured_utilization();
+  const double predicted = model_utilization(params);
+  const double tc = model_compute_time(params);
+  const double tm = model_memory_time(params);
+  std::snprintf(line, sizeof line,
+                "measured worker utilization  U = %s\n"
+                "model prediction (paper §V)  U = %s  (U_C %s, T_C %s, "
+                "T_M %s, %s-bound)\n",
+                pct(measured).c_str(), pct(predicted).c_str(),
+                pct(model_kernel_utilization(params)).c_str(),
+                secs(tc).c_str(), secs(tm).c_str(),
+                model_compute_bound(params) ? "compute" : "memory");
+  os << line;
+  if (measured > 0 && predicted > 0) {
+    std::snprintf(line, sizeof line, "measured / predicted = %.2f\n",
+                  measured / predicted);
+    os << line;
+  }
+}
+
+}  // namespace cellnpdp::obs

@@ -1,0 +1,43 @@
+// Model-vs-measured utilization report (paper §V).
+//
+// The §V model predicts U = U_C * min(1, T_C/T_M), independent of problem
+// size. The measured counterpart folds per-worker busy/idle time (from the
+// task-queue executor or thread pool) into
+//
+//     U_measured = (sum of worker busy time) / (workers * wall time)
+//
+// and, when a trace was recorded, attributes busy time to engine phases
+// (middle / inner / corner / diag) from the span totals.
+#pragma once
+
+#include <ostream>
+#include <vector>
+
+#include "model/perf_model.hpp"
+#include "obs/trace_export.hpp"
+
+namespace cellnpdp::obs {
+
+struct UtilizationReport {
+  double wall_seconds = 0;
+  std::vector<double> worker_busy;  ///< seconds, one entry per worker
+  std::vector<PhaseTotal> phases;   ///< optional trace-derived breakdown
+
+  double busy_total() const {
+    double s = 0;
+    for (double b : worker_busy) s += b;
+    return s;
+  }
+  /// Mean worker occupancy in [0,1]; 0 when nothing was measured.
+  double measured_utilization() const {
+    if (wall_seconds <= 0 || worker_busy.empty()) return 0;
+    return busy_total() / (wall_seconds * double(worker_busy.size()));
+  }
+};
+
+/// Prints per-worker busy/idle, the phase breakdown (if any), and the
+/// measured utilization next to the §V model prediction for `params`.
+void print_utilization_report(std::ostream& os, const UtilizationReport& r,
+                              const ModelParams& params);
+
+}  // namespace cellnpdp::obs

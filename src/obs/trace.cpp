@@ -1,0 +1,116 @@
+#include "obs/trace.hpp"
+
+#include <algorithm>
+
+namespace cellnpdp::obs {
+
+/// Per-thread ring buffer. Owned by the Tracer (raw pointer in buffers_,
+/// freed on the next start() or at tracer destruction) so that a worker
+/// thread may exit before the trace is exported.
+struct Tracer::Buffer {
+  std::vector<TraceEvent> ring;
+  std::uint64_t count = 0;  ///< total events ever written this session
+  std::string name;
+  std::uint32_t tid = 0;
+};
+
+namespace {
+struct TlsSlot {
+  Tracer::Buffer* buf = nullptr;
+  std::uint64_t session = 0;
+};
+thread_local TlsSlot g_tls;
+}  // namespace
+
+Tracer& Tracer::instance() {
+  static Tracer tracer;
+  return tracer;
+}
+
+Tracer::~Tracer() {
+  std::lock_guard lk(mu_);
+  for (Buffer* b : buffers_) delete b;
+  buffers_.clear();
+}
+
+void Tracer::start(std::size_t per_thread_capacity) {
+  std::lock_guard lk(mu_);
+  for (Buffer* b : buffers_) delete b;
+  buffers_.clear();
+  capacity_ = std::max<std::size_t>(16, per_thread_capacity);
+  t0_ns_ = std::chrono::duration_cast<std::chrono::nanoseconds>(
+               std::chrono::steady_clock::now().time_since_epoch())
+               .count();
+  // Bump the session before arming so stale thread-local caches (pointing
+  // at freed buffers) can never be used once enabled_ is observed true.
+  session_.fetch_add(1, std::memory_order_release);
+  enabled_.store(true, std::memory_order_release);
+}
+
+void Tracer::stop() { enabled_.store(false, std::memory_order_release); }
+
+Tracer::Buffer* Tracer::local_buffer() {
+  const std::uint64_t session = session_.load(std::memory_order_acquire);
+  if (g_tls.buf != nullptr && g_tls.session == session) return g_tls.buf;
+  std::lock_guard lk(mu_);
+  if (session_.load(std::memory_order_relaxed) != session) {
+    // start() raced in between; register against the newest session on
+    // the next record call instead of filing events under a dead one.
+    g_tls.buf = nullptr;
+    return nullptr;
+  }
+  auto* buf = new Buffer;
+  buf->ring.reserve(capacity_);
+  buf->tid = static_cast<std::uint32_t>(buffers_.size());
+  buffers_.push_back(buf);
+  g_tls.buf = buf;
+  g_tls.session = session;
+  return buf;
+}
+
+void Tracer::record(const TraceEvent& ev) {
+  if (!enabled()) return;
+  Buffer* buf = local_buffer();
+  if (buf == nullptr) return;
+  if (buf->ring.size() < capacity_) {
+    buf->ring.push_back(ev);
+  } else {
+    buf->ring[buf->count % capacity_] = ev;  // overwrite oldest
+  }
+  ++buf->count;
+}
+
+void Tracer::name_this_thread(const std::string& name) {
+  if (!enabled()) return;
+  Buffer* buf = local_buffer();
+  if (buf == nullptr || !buf->name.empty()) return;
+  std::lock_guard lk(mu_);  // snapshot() copies names under mu_
+  buf->name = name;
+}
+
+std::vector<ThreadTrace> Tracer::snapshot() const {
+  std::lock_guard lk(mu_);
+  std::vector<ThreadTrace> out;
+  out.reserve(buffers_.size());
+  for (const Buffer* b : buffers_) {
+    ThreadTrace t;
+    t.name = b->name;
+    t.tid = b->tid;
+    if (b->count <= b->ring.size()) {
+      t.events.assign(b->ring.begin(), b->ring.end());
+    } else {
+      // Ring wrapped: oldest surviving event sits at count % capacity.
+      t.dropped = b->count - b->ring.size();
+      const std::size_t head =
+          static_cast<std::size_t>(b->count % b->ring.size());
+      t.events.reserve(b->ring.size());
+      t.events.insert(t.events.end(), b->ring.begin() + head, b->ring.end());
+      t.events.insert(t.events.end(), b->ring.begin(),
+                      b->ring.begin() + head);
+    }
+    out.push_back(std::move(t));
+  }
+  return out;
+}
+
+}  // namespace cellnpdp::obs

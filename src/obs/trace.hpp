@@ -1,0 +1,189 @@
+// Low-overhead per-thread event tracer.
+//
+// Design (DESIGN.md-style rationale):
+//   * one ring buffer per recording thread, owned by the global Tracer so
+//     it survives thread exit; threads find their buffer through a
+//     thread_local cache invalidated by a session generation counter;
+//   * the disabled fast path is a single relaxed atomic load — solvers and
+//     executors leave their instrumentation in place permanently;
+//   * events carry only POD fields (static-string name/category, relative
+//     nanosecond timestamps, two integer args), so recording is two clock
+//     reads plus a handful of stores and never allocates;
+//   * `CELLNPDP_NO_TRACING` compiles every macro to nothing for builds
+//     that must not even pay the atomic load.
+//
+// Snapshots are taken after `stop()` (or when no instrumented code is
+// running); the exporter in trace_export.hpp turns them into Chrome
+// trace-event JSON loadable in Perfetto / chrome://tracing.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace cellnpdp::obs {
+
+/// One trace event. `dur_ns < 0` distinguishes non-span phases.
+struct TraceEvent {
+  static constexpr std::int64_t kNoArg = INT64_MIN;
+
+  const char* name = nullptr;  ///< static string
+  const char* cat = nullptr;   ///< static string; exporter groups by this
+  std::int64_t ts_ns = 0;      ///< start, relative to session start
+  std::int64_t dur_ns = 0;     ///< span duration; ignored for 'i'/'C'
+  std::int64_t a0 = kNoArg;    ///< user arg (counter value for 'C')
+  std::int64_t a1 = kNoArg;    ///< user arg
+  char ph = 'X';               ///< 'X' span, 'i' instant, 'C' counter
+};
+
+/// Everything one thread recorded during a session, in chronological
+/// order. `dropped` counts ring-buffer overwrites (oldest-first).
+struct ThreadTrace {
+  std::string name;   ///< "worker 3" etc.; empty => exporter synthesises
+  std::uint32_t tid = 0;
+  std::uint64_t dropped = 0;
+  std::vector<TraceEvent> events;
+};
+
+class Tracer {
+ public:
+  /// The process-wide tracer used by all instrumentation macros.
+  static Tracer& instance();
+
+  /// Starts a new session: clears previous buffers, arms recording.
+  /// `per_thread_capacity` is the ring size per recording thread.
+  void start(std::size_t per_thread_capacity = 1u << 18);
+
+  /// Disarms recording. Buffers stay readable via snapshot().
+  void stop();
+
+  bool enabled() const { return enabled_.load(std::memory_order_relaxed); }
+
+  /// Nanoseconds since session start (steady clock).
+  std::int64_t now_ns() const {
+    return std::chrono::duration_cast<std::chrono::nanoseconds>(
+               std::chrono::steady_clock::now().time_since_epoch())
+               .count() -
+           t0_ns_;
+  }
+
+  /// Appends `ev` to the calling thread's ring; drops the oldest event on
+  /// overflow. No-op when disabled.
+  void record(const TraceEvent& ev);
+
+  /// Names the calling thread's timeline lane (e.g. "worker 2"). No-op
+  /// when disabled; cheap to call repeatedly (only the first name sticks).
+  void name_this_thread(const std::string& name);
+
+  /// Copies out every thread's events in chronological order. Call only
+  /// while no instrumented code is recording (normally after stop()).
+  std::vector<ThreadTrace> snapshot() const;
+
+  ~Tracer();
+
+  struct Buffer;  // opaque per-thread ring buffer (defined in trace.cpp)
+
+ private:
+  Tracer() = default;
+  Buffer* local_buffer();
+
+  std::atomic<bool> enabled_{false};
+  std::atomic<std::uint64_t> session_{0};
+  std::int64_t t0_ns_ = 0;
+  std::size_t capacity_ = 1u << 18;
+
+  mutable std::mutex mu_;  ///< guards buffers_ (registration + snapshot)
+  std::vector<Buffer*> buffers_;
+};
+
+/// RAII span: records one 'X' event covering its lifetime. When tracing
+/// is disabled at construction the object is inert (a bool check).
+class TraceSpan {
+ public:
+  TraceSpan(const char* cat, const char* name,
+            std::int64_t a0 = TraceEvent::kNoArg,
+            std::int64_t a1 = TraceEvent::kNoArg) {
+    Tracer& tr = Tracer::instance();
+    if (!tr.enabled()) return;
+    active_ = true;
+    cat_ = cat;
+    name_ = name;
+    a0_ = a0;
+    a1_ = a1;
+    t0_ = tr.now_ns();
+  }
+  ~TraceSpan() {
+    if (!active_) return;
+    Tracer& tr = Tracer::instance();
+    TraceEvent ev;
+    ev.name = name_;
+    ev.cat = cat_;
+    ev.ts_ns = t0_;
+    ev.dur_ns = tr.now_ns() - t0_;
+    ev.a0 = a0_;
+    ev.a1 = a1_;
+    ev.ph = 'X';
+    tr.record(ev);
+  }
+
+  TraceSpan(const TraceSpan&) = delete;
+  TraceSpan& operator=(const TraceSpan&) = delete;
+
+ private:
+  bool active_ = false;
+  const char* cat_ = nullptr;
+  const char* name_ = nullptr;
+  std::int64_t a0_ = 0, a1_ = 0, t0_ = 0;
+};
+
+/// Records a zero-duration marker.
+inline void trace_instant(const char* cat, const char* name,
+                          std::int64_t a0 = TraceEvent::kNoArg,
+                          std::int64_t a1 = TraceEvent::kNoArg) {
+  Tracer& tr = Tracer::instance();
+  if (!tr.enabled()) return;
+  TraceEvent ev;
+  ev.name = name;
+  ev.cat = cat;
+  ev.ts_ns = tr.now_ns();
+  ev.dur_ns = -1;
+  ev.a0 = a0;
+  ev.a1 = a1;
+  ev.ph = 'i';
+  tr.record(ev);
+}
+
+/// Records a counter sample (rendered as a stacked chart in Perfetto).
+inline void trace_counter(const char* cat, const char* name,
+                          std::int64_t value) {
+  Tracer& tr = Tracer::instance();
+  if (!tr.enabled()) return;
+  TraceEvent ev;
+  ev.name = name;
+  ev.cat = cat;
+  ev.ts_ns = tr.now_ns();
+  ev.dur_ns = -1;
+  ev.a0 = value;
+  ev.ph = 'C';
+  tr.record(ev);
+}
+
+}  // namespace cellnpdp::obs
+
+#ifndef CELLNPDP_NO_TRACING
+#define CELLNPDP_TRACE_CONCAT2(a, b) a##b
+#define CELLNPDP_TRACE_CONCAT(a, b) CELLNPDP_TRACE_CONCAT2(a, b)
+/// Scoped span covering the rest of the enclosing block.
+#define CELLNPDP_TRACE_SPAN(...)                                     \
+  ::cellnpdp::obs::TraceSpan CELLNPDP_TRACE_CONCAT(cellnpdp_span_,   \
+                                                   __LINE__)(__VA_ARGS__)
+#define CELLNPDP_TRACE_INSTANT(...) ::cellnpdp::obs::trace_instant(__VA_ARGS__)
+#define CELLNPDP_TRACE_COUNTER(...) ::cellnpdp::obs::trace_counter(__VA_ARGS__)
+#else
+#define CELLNPDP_TRACE_SPAN(...) do {} while (0)
+#define CELLNPDP_TRACE_INSTANT(...) do {} while (0)
+#define CELLNPDP_TRACE_COUNTER(...) do {} while (0)
+#endif

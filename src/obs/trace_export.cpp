@@ -1,0 +1,102 @@
+#include "obs/trace_export.hpp"
+
+#include <fstream>
+#include <map>
+
+#include "common/json.hpp"
+
+namespace cellnpdp::obs {
+
+void write_chrome_trace(std::ostream& os,
+                        const std::vector<ThreadTrace>& threads,
+                        const std::string& process_name) {
+  JsonWriter w(os);
+  w.begin_object();
+  w.kv("displayTimeUnit", "ms");
+  w.key("traceEvents");
+  w.begin_array();
+
+  // Process + thread metadata: one named lane per recorded thread.
+  w.begin_object()
+      .kv("ph", "M")
+      .kv("pid", 0)
+      .kv("tid", 0)
+      .kv("name", "process_name")
+      .key("args")
+      .begin_object()
+      .kv("name", process_name)
+      .end_object()
+      .end_object();
+  for (const ThreadTrace& t : threads) {
+    const std::string lane =
+        !t.name.empty() ? t.name : "thread " + std::to_string(t.tid);
+    w.begin_object()
+        .kv("ph", "M")
+        .kv("pid", 0)
+        .kv("tid", std::int64_t(t.tid))
+        .kv("name", "thread_name")
+        .key("args")
+        .begin_object()
+        .kv("name", lane)
+        .end_object()
+        .end_object();
+  }
+
+  for (const ThreadTrace& t : threads) {
+    for (const TraceEvent& ev : t.events) {
+      w.begin_object();
+      w.kv("name", ev.name != nullptr ? ev.name : "?");
+      w.kv("cat", ev.cat != nullptr ? ev.cat : "?");
+      w.kv("ph", std::string(1, ev.ph));
+      w.kv("pid", 0);
+      w.kv("tid", std::int64_t(t.tid));
+      w.kv("ts", double(ev.ts_ns) / 1e3);  // microseconds
+      if (ev.ph == 'X') w.kv("dur", double(ev.dur_ns) / 1e3);
+      if (ev.ph == 'i') w.kv("s", "t");  // thread-scoped instant
+      if (ev.ph == 'C') {
+        w.key("args").begin_object().kv("value", ev.a0).end_object();
+      } else if (ev.a0 != TraceEvent::kNoArg ||
+                 ev.a1 != TraceEvent::kNoArg) {
+        w.key("args").begin_object();
+        if (ev.a0 != TraceEvent::kNoArg) w.kv("a0", ev.a0);
+        if (ev.a1 != TraceEvent::kNoArg) w.kv("a1", ev.a1);
+        w.end_object();
+      }
+      w.end_object();
+    }
+  }
+  w.end_array();
+  w.end_object();
+  os << "\n";
+}
+
+long export_chrome_trace(const std::string& path,
+                         const std::string& process_name) {
+  std::ofstream os(path);
+  if (!os) return -1;
+  const auto threads = Tracer::instance().snapshot();
+  write_chrome_trace(os, threads, process_name);
+  long n = 0;
+  for (const auto& t : threads) n += long(t.events.size());
+  return n;
+}
+
+std::vector<PhaseTotal> aggregate_phase_totals(
+    const std::vector<ThreadTrace>& threads) {
+  std::map<std::string, PhaseTotal> by_cat;
+  for (const ThreadTrace& t : threads) {
+    for (const TraceEvent& ev : t.events) {
+      if (ev.ph != 'X' || ev.cat == nullptr) continue;
+      PhaseTotal& pt = by_cat[ev.cat];
+      pt.cat = ev.cat;
+      pt.total_ns += ev.dur_ns;
+      ++pt.spans;
+    }
+  }
+  std::vector<PhaseTotal> out;
+  out.reserve(by_cat.size());
+  for (auto& [_, pt] : by_cat) out.push_back(std::move(pt));
+  return out;
+}
+
+}  // namespace cellnpdp::obs

@@ -1,0 +1,36 @@
+// Chrome trace-event JSON exporter: turns Tracer snapshots into a file
+// loadable in Perfetto (https://ui.perfetto.dev) or chrome://tracing.
+#pragma once
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "obs/trace.hpp"
+
+namespace cellnpdp::obs {
+
+/// Writes `threads` in the Chrome trace-event "JSON object" format:
+/// one metadata event naming each lane, then every recorded event with
+/// microsecond timestamps. Span args are exported as {"a0":..,"a1":..}.
+void write_chrome_trace(std::ostream& os,
+                        const std::vector<ThreadTrace>& threads,
+                        const std::string& process_name = "cellnpdp");
+
+/// Convenience: snapshot the global tracer and write it to `path`.
+/// Returns the number of events written, or -1 if the file could not be
+/// opened.
+long export_chrome_trace(const std::string& path,
+                         const std::string& process_name = "cellnpdp");
+
+/// Total span duration (ns) per category across all threads, e.g.
+/// {"middle": 123, "inner": 456, ...}. Used by the utilization report.
+struct PhaseTotal {
+  std::string cat;
+  std::int64_t total_ns = 0;
+  std::int64_t spans = 0;
+};
+std::vector<PhaseTotal> aggregate_phase_totals(
+    const std::vector<ThreadTrace>& threads);
+
+}  // namespace cellnpdp::obs

@@ -1,21 +1,55 @@
 #include "taskgraph/executor.hpp"
 
 #include <algorithm>
+#include <chrono>
+#include <string>
+
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 
 namespace cellnpdp {
 
+namespace {
+
+std::int64_t now_ns() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+struct SchedMetrics {
+  obs::Counter& tasks = obs::metrics().counter("sched.tasks");
+  obs::Counter& enqueued = obs::metrics().counter("sched.enqueued");
+  obs::Histogram& task_ns = obs::metrics().histogram("sched.task_ns");
+  obs::Histogram& ready_depth = obs::metrics().histogram("sched.ready_depth");
+  static SchedMetrics& get() {
+    static SchedMetrics m;
+    return m;
+  }
+};
+
+}  // namespace
+
 void TaskQueueExecutor::run(const BlockDependenceGraph& graph,
-                            std::size_t threads, const TaskFn& body) {
+                            std::size_t threads, const TaskFn& body,
+                            ExecutorStats* stats) {
   threads = std::max<std::size_t>(1, threads);
+  SchedMetrics& sm = SchedMetrics::get();
 
   ReadyTracker tracker(graph);
   std::deque<index_t> ready;
   for (index_t id : tracker.initial_ready()) ready.push_back(id);
+  sm.enqueued.add(static_cast<std::int64_t>(ready.size()));
 
   std::mutex mu;
   std::condition_variable cv;
+  std::vector<std::int64_t> busy_ns(threads, 0);
+  std::vector<index_t> ntasks(threads, 0);
+  const std::int64_t t_start = now_ns();
 
-  auto worker = [&] {
+  auto worker = [&](std::size_t w) {
+    obs::Tracer::instance().name_this_thread("worker " +
+                                             std::to_string(w));
     std::unique_lock lk(mu);
     for (;;) {
       cv.wait(lk, [&] { return !ready.empty() || tracker.all_complete(); });
@@ -23,12 +57,30 @@ void TaskQueueExecutor::run(const BlockDependenceGraph& graph,
       const index_t id = ready.front();
       ready.pop_front();
       const auto [si, sj] = graph.coords(id);
+      CELLNPDP_TRACE_COUNTER("sched", "ready_depth",
+                             static_cast<std::int64_t>(ready.size()));
 
       lk.unlock();
-      body(si, sj);
+      const std::int64_t t0 = now_ns();
+      {
+        CELLNPDP_TRACE_SPAN("sched", "task", si, sj);
+        body(si, sj);
+      }
+      const std::int64_t dt = now_ns() - t0;
+      busy_ns[w] += dt;
+      ++ntasks[w];
+      sm.tasks.add();
+      sm.task_ns.observe(dt);
       lk.lock();
 
-      for (index_t next : tracker.complete(id)) ready.push_back(next);
+      for (index_t next : tracker.complete(id)) {
+        ready.push_back(next);
+        CELLNPDP_TRACE_INSTANT("sched", "enqueue", next);
+        sm.enqueued.add();
+      }
+      sm.ready_depth.observe(static_cast<std::int64_t>(ready.size()));
+      CELLNPDP_TRACE_COUNTER("sched", "ready_depth",
+                             static_cast<std::int64_t>(ready.size()));
       // Wake everyone when the run is over, otherwise wake enough workers
       // for the newly released tasks.
       if (tracker.all_complete()) {
@@ -41,25 +93,52 @@ void TaskQueueExecutor::run(const BlockDependenceGraph& graph,
 
   std::vector<std::thread> pool;
   pool.reserve(threads);
-  for (std::size_t t = 0; t < threads; ++t) pool.emplace_back(worker);
+  for (std::size_t t = 0; t < threads; ++t) pool.emplace_back(worker, t);
   for (auto& th : pool) th.join();
+
+  if (stats != nullptr) {
+    stats->wall_seconds = double(now_ns() - t_start) / 1e9;
+    stats->worker_busy.assign(threads, 0);
+    for (std::size_t t = 0; t < threads; ++t)
+      stats->worker_busy[t] = double(busy_ns[t]) / 1e9;
+    stats->worker_tasks = ntasks;
+    stats->tasks = graph.task_count();
+  }
 }
 
 std::vector<index_t> TaskQueueExecutor::run_serial(
-    const BlockDependenceGraph& graph, const TaskFn& body) {
+    const BlockDependenceGraph& graph, const TaskFn& body,
+    ExecutorStats* stats) {
+  SchedMetrics& sm = SchedMetrics::get();
   ReadyTracker tracker(graph);
   std::deque<index_t> ready;
   for (index_t id : tracker.initial_ready()) ready.push_back(id);
 
   std::vector<index_t> order;
   order.reserve(static_cast<std::size_t>(graph.task_count()));
+  const std::int64_t t_start = now_ns();
+  std::int64_t busy = 0;
   while (!ready.empty()) {
     const index_t id = ready.front();
     ready.pop_front();
     const auto [si, sj] = graph.coords(id);
-    body(si, sj);
+    const std::int64_t t0 = now_ns();
+    {
+      CELLNPDP_TRACE_SPAN("sched", "task", si, sj);
+      body(si, sj);
+    }
+    const std::int64_t dt = now_ns() - t0;
+    busy += dt;
+    sm.tasks.add();
+    sm.task_ns.observe(dt);
     order.push_back(id);
     for (index_t next : tracker.complete(id)) ready.push_back(next);
+  }
+  if (stats != nullptr) {
+    stats->wall_seconds = double(now_ns() - t_start) / 1e9;
+    stats->worker_busy = {double(busy) / 1e9};
+    stats->worker_tasks = {graph.task_count()};
+    stats->tasks = graph.task_count();
   }
   return order;
 }

@@ -1,6 +1,13 @@
 // Host-side task-queue executor: the PPEprocedure of Fig. 8 mapped onto
 // worker threads. Workers pull ready scheduling-block tasks from a shared
 // queue, run the user's task body, and release dependents.
+//
+// Observability: every run emits, when tracing is armed (obs::Tracer),
+// one "task" span per scheduling block on its worker's timeline lane,
+// "enqueue" instants and a "ready_depth" counter for queue dynamics; the
+// global metrics registry accumulates task counts and task-duration
+// histograms. Passing an ExecutorStats out-param additionally returns
+// wall time and per-worker busy time for utilization reports.
 #pragma once
 
 #include <condition_variable>
@@ -15,19 +22,36 @@
 
 namespace cellnpdp {
 
+/// What one executor run measured. Busy time is the time spent inside
+/// task bodies; idle is wall_seconds - busy (queue waits + wakeups).
+struct ExecutorStats {
+  double wall_seconds = 0;
+  std::vector<double> worker_busy;     ///< seconds per worker
+  std::vector<index_t> worker_tasks;   ///< tasks per worker
+  index_t tasks = 0;
+
+  double busy_total() const {
+    double s = 0;
+    for (double b : worker_busy) s += b;
+    return s;
+  }
+};
+
 class TaskQueueExecutor {
  public:
   using TaskFn = std::function<void(index_t si, index_t sj)>;
 
   /// Runs every task of `graph` on `threads` workers, honouring the
   /// simplified dependence relation. Blocks until all tasks finish.
+  /// Fills `stats` (when non-null) with wall/busy accounting.
   static void run(const BlockDependenceGraph& graph, std::size_t threads,
-                  const TaskFn& body);
+                  const TaskFn& body, ExecutorStats* stats = nullptr);
 
   /// Serial reference executor; additionally records completion order so
   /// tests can validate the schedule against the full dependence relation.
   static std::vector<index_t> run_serial(const BlockDependenceGraph& graph,
-                                         const TaskFn& body);
+                                         const TaskFn& body,
+                                         ExecutorStats* stats = nullptr);
 };
 
 }  // namespace cellnpdp

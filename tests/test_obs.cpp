@@ -1,0 +1,302 @@
+// Observability layer: tracer span semantics, Chrome-trace JSON
+// well-formedness, metrics registry under concurrency, and end-to-end
+// consistency of a traced parallel solve.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <sstream>
+#include <string_view>
+#include <thread>
+
+#include "common/json.hpp"
+#include "core/solve.hpp"
+#include "obs/metrics.hpp"
+#include "obs/report.hpp"
+#include "obs/trace.hpp"
+#include "obs/trace_export.hpp"
+
+namespace cellnpdp {
+namespace {
+
+using obs::Tracer;
+
+// Collapses a snapshot into one event list (tests below run either on a
+// single thread or count across all lanes).
+std::vector<obs::TraceEvent> all_events(
+    const std::vector<obs::ThreadTrace>& threads) {
+  std::vector<obs::TraceEvent> out;
+  for (const auto& t : threads)
+    out.insert(out.end(), t.events.begin(), t.events.end());
+  return out;
+}
+
+TEST(Trace, SpanNestingAndOrdering) {
+  Tracer::instance().start();
+  {
+    obs::TraceSpan outer("test", "outer");
+    {
+      obs::TraceSpan inner("test", "inner", 7, 9);
+    }
+    obs::trace_instant("test", "marker");
+  }
+  Tracer::instance().stop();
+
+  const auto threads = Tracer::instance().snapshot();
+  const auto events = all_events(threads);
+  ASSERT_EQ(events.size(), 3u);
+
+  // Spans are recorded at close, so the inner span lands first.
+  const auto& inner = events[0];
+  const auto& marker = events[1];
+  const auto& outer = events[2];
+  EXPECT_STREQ(inner.name, "inner");
+  EXPECT_STREQ(outer.name, "outer");
+  EXPECT_EQ(inner.a0, 7);
+  EXPECT_EQ(inner.a1, 9);
+  EXPECT_EQ(marker.ph, 'i');
+
+  // Proper nesting: outer starts no later than inner and ends no earlier.
+  EXPECT_LE(outer.ts_ns, inner.ts_ns);
+  EXPECT_GE(outer.ts_ns + outer.dur_ns, inner.ts_ns + inner.dur_ns);
+  // The instant fired between inner close and outer close.
+  EXPECT_GE(marker.ts_ns, inner.ts_ns + inner.dur_ns);
+  EXPECT_LE(marker.ts_ns, outer.ts_ns + outer.dur_ns);
+}
+
+TEST(Trace, DisabledRecordsNothing) {
+  Tracer::instance().start();
+  Tracer::instance().stop();
+  {
+    obs::TraceSpan span("test", "ignored");
+    obs::trace_instant("test", "ignored");
+  }
+  EXPECT_TRUE(all_events(Tracer::instance().snapshot()).empty());
+}
+
+TEST(Trace, RingOverflowKeepsNewestEvents) {
+  Tracer::instance().start(/*per_thread_capacity=*/16);
+  for (int i = 0; i < 50; ++i)
+    obs::trace_instant("test", "tick", i);
+  Tracer::instance().stop();
+
+  const auto threads = Tracer::instance().snapshot();
+  ASSERT_EQ(threads.size(), 1u);
+  EXPECT_EQ(threads[0].events.size(), 16u);
+  EXPECT_EQ(threads[0].dropped, 34u);
+  // Chronological order, ending at the newest sample.
+  EXPECT_EQ(threads[0].events.front().a0, 34);
+  EXPECT_EQ(threads[0].events.back().a0, 49);
+}
+
+TEST(Trace, ChromeExportIsValidJson) {
+  Tracer::instance().start();
+  Tracer::instance().name_this_thread("main");
+  {
+    obs::TraceSpan s("engine", "middle", 1, 2);
+  }
+  obs::trace_counter("sched", "ready_depth", 3);
+  Tracer::instance().stop();
+
+  std::ostringstream os;
+  obs::write_chrome_trace(os, Tracer::instance().snapshot());
+
+  JsonValue root;
+  std::string err;
+  ASSERT_TRUE(json_parse(os.str(), root, &err)) << err;
+  ASSERT_TRUE(root.is_object());
+  ASSERT_TRUE(root.has("traceEvents"));
+  const auto& events = root.at("traceEvents").arr;
+  // process_name + thread_name metadata + span + counter.
+  ASSERT_GE(events.size(), 4u);
+
+  bool saw_span = false, saw_counter = false, saw_name = false;
+  for (const auto& ev : events) {
+    ASSERT_TRUE(ev.is_object());
+    ASSERT_TRUE(ev.has("ph"));
+    const std::string ph = ev.at("ph").str;
+    if (ph == "X") {
+      saw_span = true;
+      EXPECT_TRUE(ev.at("ts").is_number());
+      EXPECT_TRUE(ev.at("dur").is_number());
+      EXPECT_GE(ev.at("dur").number, 0.0);
+      EXPECT_EQ(ev.at("name").str, "middle");
+      EXPECT_EQ(ev.at("args").at("a0").number, 1);
+      EXPECT_EQ(ev.at("args").at("a1").number, 2);
+    } else if (ph == "C") {
+      saw_counter = true;
+      EXPECT_EQ(ev.at("args").at("value").number, 3);
+    } else if (ph == "M" && ev.at("name").str == "thread_name") {
+      saw_name = ev.at("args").at("name").str == "main";
+    }
+  }
+  EXPECT_TRUE(saw_span);
+  EXPECT_TRUE(saw_counter);
+  EXPECT_TRUE(saw_name);
+}
+
+TEST(Metrics, ConcurrentIncrementsAreExact) {
+  obs::MetricsRegistry reg;
+  obs::Counter& c = reg.counter("test.hits");
+  obs::Histogram& h = reg.histogram("test.lat");
+
+  constexpr int kThreads = 8, kIter = 20000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      for (int i = 0; i < kIter; ++i) {
+        c.add();
+        h.observe(t * kIter + i);
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+
+  EXPECT_EQ(c.value(), std::int64_t(kThreads) * kIter);
+  EXPECT_EQ(h.count(), std::int64_t(kThreads) * kIter);
+  EXPECT_EQ(h.min(), 0);
+  EXPECT_EQ(h.max(), std::int64_t(kThreads) * kIter - 1);
+
+  std::ostringstream os;
+  reg.write_json(os);
+  JsonValue root;
+  std::string err;
+  ASSERT_TRUE(json_parse(os.str(), root, &err)) << err;
+  EXPECT_EQ(root.at("counters").at("test.hits").number,
+            double(kThreads) * kIter);
+  EXPECT_EQ(root.at("histograms").at("test.lat").at("count").number,
+            double(kThreads) * kIter);
+}
+
+TEST(Metrics, HistogramQuantiles) {
+  obs::Histogram h;
+  for (int i = 0; i < 1000; ++i) h.observe(100);  // bucket [64,128)
+  h.observe(100000);                              // one outlier
+  EXPECT_GE(h.quantile_upper_bound(0.5), 100);
+  EXPECT_LT(h.quantile_upper_bound(0.5), 128);
+  EXPECT_GE(h.quantile_upper_bound(1.0), 100000 / 2);
+}
+
+// End-to-end: a traced parallel solve must produce exactly one completed
+// "task" span per scheduling block, distributed over the worker lanes,
+// and the busy time the executor reports must equal the summed task-span
+// durations (they bracket the same region).
+TEST(Trace, ParallelSolveEmitsOneSpanPerSchedulingBlock) {
+  NpdpInstance<float> inst;
+  inst.n = 256;
+  inst.init = [](index_t i, index_t j) {
+    return i == j ? 0.0f : float((i * 7 + j * 13) % 100);
+  };
+  NpdpOptions opts;
+  opts.block_side = 32;
+  opts.threads = 4;
+
+  Tracer::instance().start();
+  SolveStats ss;
+  const auto table = solve_blocked_parallel(inst, opts, &ss);
+  Tracer::instance().stop();
+
+  const index_t m = ceil_div(inst.n, opts.block_side);
+  const index_t expected_tasks = triangle_cells(m);
+  EXPECT_EQ(ss.tasks, expected_tasks);
+
+  const auto threads = Tracer::instance().snapshot();
+  std::int64_t task_spans = 0, task_ns = 0;
+  std::set<std::pair<std::int64_t, std::int64_t>> coords;
+  bool saw_middle = false, saw_inner = false, saw_corner = false;
+  for (const auto& t : threads) {
+    EXPECT_EQ(t.dropped, 0u);
+    for (const auto& ev : t.events) {
+      if (ev.ph != 'X') continue;
+      EXPECT_GE(ev.dur_ns, 0);
+      if (std::string_view(ev.name) == "task") {
+        ++task_spans;
+        task_ns += ev.dur_ns;
+        coords.emplace(ev.a0, ev.a1);
+      }
+      const std::string_view cat(ev.cat);
+      saw_middle |= cat == "middle";
+      saw_inner |= cat == "inner";
+      saw_corner |= cat == "corner";
+    }
+  }
+  // Every scheduling block produced exactly one begin/end pair, with
+  // distinct (si,sj) coordinates.
+  EXPECT_EQ(task_spans, expected_tasks);
+  EXPECT_EQ(static_cast<index_t>(coords.size()), expected_tasks);
+  EXPECT_TRUE(saw_middle);
+  EXPECT_TRUE(saw_inner);
+  EXPECT_TRUE(saw_corner);
+
+  // Executor busy time == summed task-span durations (same bracketed
+  // region, measured with separate clock reads — allow small jitter).
+  const double busy = ss.busy_total();
+  const double spans = double(task_ns) / 1e9;
+  EXPECT_NEAR(busy, spans, 0.05 * std::max(busy, spans) + 1e-3);
+  // Busy time can never exceed workers * wall.
+  EXPECT_LE(busy, ss.wall_seconds * double(ss.worker_busy.size()) * 1.05);
+  EXPECT_GT(ss.utilization(), 0.0);
+  EXPECT_LE(ss.utilization(), 1.01);
+
+  // The merged engine counters must match a single-threaded reference.
+  SolveStats serial;
+  const auto ref = solve_blocked_serial(inst, opts, &serial);
+  EXPECT_EQ(ss.engine.kernel_calls, serial.engine.kernel_calls);
+  EXPECT_EQ(ss.engine.corner_relax, serial.engine.corner_relax);
+  EXPECT_EQ(ss.engine.diag_relax, serial.engine.diag_relax);
+  EXPECT_EQ(ss.engine.cells_finalized, serial.engine.cells_finalized);
+
+  // And the parallel solve is still correct.
+  for (index_t j = 0; j < inst.n; j += 17)
+    EXPECT_EQ(table.at(0, j), ref.at(0, j));
+}
+
+TEST(Report, UtilizationFoldsBusyIntoMeasuredU) {
+  obs::UtilizationReport r;
+  r.wall_seconds = 2.0;
+  r.worker_busy = {2.0, 1.0, 1.0};  // 4s busy over 3 workers * 2s wall
+  EXPECT_DOUBLE_EQ(r.busy_total(), 4.0);
+  EXPECT_NEAR(r.measured_utilization(), 4.0 / 6.0, 1e-12);
+
+  ModelParams p;
+  p.n1 = 2048;
+  p.cores = 3;
+  p.n2_override = 64;
+  std::ostringstream os;
+  obs::print_utilization_report(os, r, p);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("worker 0"), std::string::npos);
+  EXPECT_NE(out.find("measured worker utilization"), std::string::npos);
+  EXPECT_NE(out.find("model prediction"), std::string::npos);
+}
+
+TEST(Report, PhaseTotalsAggregateByCategory) {
+  std::vector<obs::ThreadTrace> threads(2);
+  obs::TraceEvent a;
+  a.name = "middle";
+  a.cat = "middle";
+  a.ts_ns = 0;
+  a.dur_ns = 100;
+  obs::TraceEvent b = a;
+  b.cat = "inner";
+  b.name = "inner";
+  b.dur_ns = 50;
+  threads[0].events = {a, b};
+  threads[1].events = {a};
+
+  const auto totals = obs::aggregate_phase_totals(threads);
+  ASSERT_EQ(totals.size(), 2u);
+  for (const auto& pt : totals) {
+    if (pt.cat == "middle") {
+      EXPECT_EQ(pt.total_ns, 200);
+      EXPECT_EQ(pt.spans, 2);
+    } else {
+      EXPECT_EQ(pt.cat, "inner");
+      EXPECT_EQ(pt.total_ns, 50);
+      EXPECT_EQ(pt.spans, 1);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace cellnpdp

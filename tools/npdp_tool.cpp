@@ -2,6 +2,8 @@
 //
 //   npdp solve     --n 4096 [--kernel simd128] [--block 64] [--threads 8]
 //                  [--seed 1] [--maxplus] [--save table.bin]
+//                  [--trace out.json] [--metrics out.json] [--report]
+//   npdp check-trace --file out.json [--min-workers 1] [--expect-tasks N]
 //   npdp info      --file table.bin
 //   npdp fold      --seq ACGU... | --random 500 [--seed 7] [--threads 4]
 //   npdp parse     --parens "(()())" | --anbn aaabbb
@@ -11,6 +13,8 @@
 #include <cstdio>
 #include <cstring>
 #include <fstream>
+#include <iostream>
+#include <iterator>
 #include <map>
 #include <string>
 
@@ -19,12 +23,17 @@
 #include "bench_util/table.hpp"
 #include "cellsim/npdp_sim.hpp"
 #include "cluster/cluster_sim.hpp"
+#include "common/json.hpp"
 #include "common/rng.hpp"
 #include "common/stopwatch.hpp"
 #include "core/maxplus.hpp"
 #include "core/solve.hpp"
 #include "io/table_io.hpp"
 #include "model/perf_model.hpp"
+#include "obs/metrics.hpp"
+#include "obs/report.hpp"
+#include "obs/trace.hpp"
+#include "obs/trace_export.hpp"
 
 using namespace cellnpdp;
 
@@ -81,11 +90,20 @@ int cmd_solve(const Args& a) {
   opts.kernel = kernel_from(a.get("kernel", "simd128"));
   opts.threads = static_cast<std::size_t>(a.num("threads", 1));
 
+  const bool tracing = a.has("trace");
+  const bool want_report = a.has("report");
+  if (tracing)
+    obs::Tracer::instance().start(
+        static_cast<std::size_t>(a.num("trace-buf", 1 << 18)));
+
   Stopwatch sw;
+  SolveStats ss;
+  SolveStats* ssp = (want_report || a.has("metrics")) ? &ss : nullptr;
   BlockedTriangularMatrix<float> table =
       a.has("maxplus") ? solve_blocked_maxplus(inst, opts)
-                       : solve_blocked(inst, opts);
+                       : solve_blocked(inst, opts, ssp);
   const double s = sw.seconds();
+  if (tracing) obs::Tracer::instance().stop();
   std::printf("solved n=%lld (%s, block %lld, %zu threads) in %s\n",
               static_cast<long long>(inst.n),
               std::string(kernel_kind_name(opts.kernel)).c_str(),
@@ -98,6 +116,135 @@ int cmd_solve(const Args& a) {
     save_table_file(a.get("save"), table);
     std::printf("saved to %s\n", a.get("save").c_str());
   }
+
+  if (tracing) {
+    const long events = obs::export_chrome_trace(a.get("trace"));
+    if (events < 0) {
+      std::fprintf(stderr, "error: cannot write %s\n",
+                   a.get("trace").c_str());
+      return 1;
+    }
+    std::printf("trace written to %s (%ld events; open in "
+                "https://ui.perfetto.dev)\n",
+                a.get("trace").c_str(), events);
+    std::uint64_t dropped = 0;
+    for (const auto& t : obs::Tracer::instance().snapshot())
+      dropped += t.dropped;
+    if (dropped > 0)
+      std::printf("warning: %llu events dropped (ring full); rerun with a "
+                  "larger --trace-buf\n",
+                  static_cast<unsigned long long>(dropped));
+  }
+  if (a.has("metrics")) {
+    // Fold the solve's work counters into the registry before dumping so
+    // the snapshot carries engine phases alongside scheduler metrics.
+    obs::metrics().counter("engine.kernel_calls").add(ss.engine.kernel_calls);
+    obs::metrics().counter("engine.corner_relax").add(ss.engine.corner_relax);
+    obs::metrics().counter("engine.diag_relax").add(ss.engine.diag_relax);
+    obs::metrics()
+        .counter("engine.cells_finalized")
+        .add(ss.engine.cells_finalized);
+    std::ofstream os(a.get("metrics"));
+    if (!os) {
+      std::fprintf(stderr, "error: cannot write %s\n",
+                   a.get("metrics").c_str());
+      return 1;
+    }
+    obs::metrics().write_json(os);
+    std::printf("metrics written to %s\n", a.get("metrics").c_str());
+  }
+  if (want_report) {
+    obs::UtilizationReport rep;
+    rep.wall_seconds = ss.wall_seconds;
+    rep.worker_busy = ss.worker_busy;
+    if (tracing)
+      rep.phases =
+          obs::aggregate_phase_totals(obs::Tracer::instance().snapshot());
+    ModelParams p;
+    p.n1 = double(inst.n);
+    p.cores = double(std::max<std::size_t>(1, opts.threads));
+    p.n2_override = double(opts.block_side);
+    print_utilization_report(std::cout, rep, p);
+  }
+  return 0;
+}
+
+/// Validates a Chrome trace-event JSON file written by --trace: parses
+/// it, checks every span is well-formed, and counts worker lanes and
+/// scheduling-block task spans. Used by verify.sh so tracing cannot rot
+/// silently.
+int cmd_check_trace(const Args& a) {
+  const std::string path = a.get("file");
+  std::ifstream is(path);
+  if (!is) {
+    std::fprintf(stderr, "check-trace: cannot open %s\n", path.c_str());
+    return 1;
+  }
+  std::string text((std::istreambuf_iterator<char>(is)),
+                   std::istreambuf_iterator<char>());
+  JsonValue root;
+  std::string err;
+  if (!json_parse(text, root, &err)) {
+    std::fprintf(stderr, "check-trace: malformed JSON: %s\n", err.c_str());
+    return 1;
+  }
+  if (!root.is_object() || !root.has("traceEvents") ||
+      !root.at("traceEvents").is_array()) {
+    std::fprintf(stderr, "check-trace: missing traceEvents array\n");
+    return 1;
+  }
+  const auto& events = root.at("traceEvents").arr;
+  std::map<long, long> spans_per_tid;
+  std::map<std::string, long> spans_per_cat;
+  long tasks = 0, bad = 0;
+  for (const JsonValue& ev : events) {
+    if (!ev.is_object() || !ev.has("ph") || !ev.at("ph").is_string()) {
+      ++bad;
+      continue;
+    }
+    if (ev.at("ph").str != "X") continue;
+    if (!ev.has("ts") || !ev.at("ts").is_number() || !ev.has("dur") ||
+        !ev.at("dur").is_number() || ev.at("dur").number < 0 ||
+        !ev.has("name") || !ev.has("cat") || !ev.has("tid")) {
+      ++bad;
+      continue;
+    }
+    ++spans_per_tid[long(ev.at("tid").number)];
+    ++spans_per_cat[ev.at("cat").str];
+    if (ev.at("name").str == "task") ++tasks;
+  }
+  long total_spans = 0;
+  for (const auto& [tid, cnt] : spans_per_tid) total_spans += cnt;
+  std::printf("check-trace: %zu events, %ld spans on %zu lane%s, %ld task "
+              "spans\n",
+              events.size(), total_spans, spans_per_tid.size(),
+              spans_per_tid.size() == 1 ? "" : "s", tasks);
+  for (const auto& [cat, cnt] : spans_per_cat)
+    std::printf("  cat %-10s %ld spans\n", cat.c_str(), cnt);
+  if (bad > 0) {
+    std::fprintf(stderr, "check-trace: %ld malformed events\n", bad);
+    return 1;
+  }
+  const long min_workers = a.num("min-workers", 1);
+  if (long(spans_per_tid.size()) < min_workers) {
+    std::fprintf(stderr,
+                 "check-trace: expected >= %ld worker lanes, found %zu\n",
+                 min_workers, spans_per_tid.size());
+    return 1;
+  }
+  if (a.has("expect-tasks") && tasks != a.num("expect-tasks", -1)) {
+    std::fprintf(stderr, "check-trace: expected %ld task spans, found %ld\n",
+                 a.num("expect-tasks", -1), tasks);
+    return 1;
+  }
+  for (const char* cat : {"middle", "inner", "corner"}) {
+    if (spans_per_cat.count(cat) == 0) {
+      std::fprintf(stderr, "check-trace: no '%s' engine spans recorded\n",
+                   cat);
+      return 1;
+    }
+  }
+  std::printf("check-trace: OK\n");
   return 0;
 }
 
@@ -224,7 +371,7 @@ int cmd_model(const Args& a) {
 
 void usage() {
   std::printf(
-      "usage: npdp <solve|info|fold|parse|simulate|cluster|model> "
+      "usage: npdp <solve|check-trace|info|fold|parse|simulate|cluster|model> "
       "[--key value ...]\n(see the header of tools/npdp_tool.cpp for the "
       "full flag list)\n");
 }
@@ -240,6 +387,7 @@ int main(int argc, char** argv) {
   const Args a = parse_args(argc, argv, 2);
   try {
     if (cmd == "solve") return cmd_solve(a);
+    if (cmd == "check-trace") return cmd_check_trace(a);
     if (cmd == "info") return cmd_info(a);
     if (cmd == "fold") return cmd_fold(a);
     if (cmd == "parse") return cmd_parse(a);

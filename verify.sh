@@ -1,0 +1,31 @@
+#!/usr/bin/env bash
+# End-to-end verification: configure, build, run the full test suite, then
+# record a traced parallel solve and validate the emitted trace file.
+set -euo pipefail
+cd "$(dirname "$0")"
+
+BUILD_DIR=${BUILD_DIR:-build}
+JOBS=${JOBS:-$(nproc 2>/dev/null || echo 4)}
+
+echo "== configure =="
+cmake -B "$BUILD_DIR" -S .
+
+echo "== build =="
+cmake --build "$BUILD_DIR" -j "$JOBS"
+
+echo "== test =="
+ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$JOBS"
+
+echo "== traced solve =="
+TRACE_DIR=$(mktemp -d)
+trap 'rm -rf "$TRACE_DIR"' EXIT
+"$BUILD_DIR"/tools/npdp solve --n 2048 --threads 4 \
+    --trace "$TRACE_DIR/trace.json" \
+    --metrics "$TRACE_DIR/metrics.json" --report
+
+echo "== validate trace =="
+# n=2048, block 64 -> m=32 scheduling rows -> 32*33/2 = 528 block tasks.
+"$BUILD_DIR"/tools/npdp check-trace --file "$TRACE_DIR/trace.json" \
+    --min-workers 2 --expect-tasks 528
+
+echo "verify.sh: OK"
