@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <chrono>
 #include <string>
+#include <utility>
 
 #include "obs/trace.hpp"
 
@@ -45,6 +46,11 @@ void ThreadPool::submit(std::function<void()> job) {
 void ThreadPool::wait_idle() {
   std::unique_lock lk(mu_);
   cv_idle_.wait(lk, [this] { return jobs_.empty() && in_flight_ == 0; });
+  if (first_error_) {
+    std::exception_ptr e = std::exchange(first_error_, nullptr);
+    lk.unlock();
+    std::rethrow_exception(e);
+  }
 }
 
 std::vector<double> ThreadPool::busy_seconds() const {
@@ -68,14 +74,20 @@ void ThreadPool::worker_loop(std::size_t index) {
     }
     obs::Tracer::instance().name_this_thread("pool " + std::to_string(index));
     const std::int64_t t0 = now_ns();
+    std::exception_ptr error;
     {
       CELLNPDP_TRACE_SPAN("pool", "job");
-      job();
+      try {
+        job();
+      } catch (...) {
+        error = std::current_exception();
+      }
     }
     const std::int64_t dt = now_ns() - t0;
     {
       std::lock_guard lk(mu_);
       busy_ns_[index] += dt;
+      if (error && !first_error_) first_error_ = error;
       --in_flight_;
       if (jobs_.empty() && in_flight_ == 0) cv_idle_.notify_all();
     }

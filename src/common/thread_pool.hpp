@@ -8,6 +8,7 @@
 #include <cstddef>
 #include <cstdint>
 #include <deque>
+#include <exception>
 #include <functional>
 #include <mutex>
 #include <thread>
@@ -30,7 +31,9 @@ class ThreadPool {
   void submit(std::function<void()> job);
 
   /// Blocks until every submitted job (including jobs submitted by jobs)
-  /// has finished executing.
+  /// has finished executing. If any job threw since the last wait_idle(),
+  /// rethrows the first such exception (later ones are dropped); the pool
+  /// itself stays healthy and reusable after the rethrow.
   void wait_idle();
 
   std::size_t thread_count() const { return workers_.size(); }
@@ -50,6 +53,7 @@ class ThreadPool {
   std::vector<std::thread> workers_;
   std::deque<std::function<void()>> jobs_;
   std::vector<std::int64_t> busy_ns_;  // per worker; guarded by mu_
+  std::exception_ptr first_error_;     // first job throw; guarded by mu_
   mutable std::mutex mu_;
   std::condition_variable cv_job_;    // signalled when a job arrives
   std::condition_variable cv_idle_;   // signalled when the pool may be idle

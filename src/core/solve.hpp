@@ -38,14 +38,16 @@ struct SolveStats {
   }
 };
 
-/// Serial blocked solver: the Fig. 4(b) flowchart — memory blocks walked
-/// column-ascending, row-descending.
+/// Serial blocked solve into a caller-owned matrix, which must already
+/// match the instance/options geometry and hold the (min,+) identity in
+/// every cell (freshly constructed or reset()). Lets a serving layer reuse
+/// one arena allocation across many requests of the same shape.
 template <class T>
-BlockedTriangularMatrix<T> solve_blocked_serial(const NpdpInstance<T>& inst,
-                                                const NpdpOptions& opts,
-                                                SolveStats* ss = nullptr) {
+void solve_blocked_serial_into(BlockedTriangularMatrix<T>& mat,
+                               const NpdpInstance<T>& inst,
+                               const NpdpOptions& opts,
+                               SolveStats* ss = nullptr) {
   CELLNPDP_TRACE_SPAN("solve", "solve_blocked_serial");
-  BlockedTriangularMatrix<T> mat(inst.n, opts.block_side);
   BlockEngine<T> engine(mat, inst, opts);
   engine.seed();
   const index_t m = engine.blocks_per_side();
@@ -59,6 +61,16 @@ BlockedTriangularMatrix<T> solve_blocked_serial(const NpdpInstance<T>& inst,
     ss->tasks = triangle_cells(m);
     ss->worker_tasks = {ss->tasks};
   }
+}
+
+/// Serial blocked solver: the Fig. 4(b) flowchart — memory blocks walked
+/// column-ascending, row-descending.
+template <class T>
+BlockedTriangularMatrix<T> solve_blocked_serial(const NpdpInstance<T>& inst,
+                                                const NpdpOptions& opts,
+                                                SolveStats* ss = nullptr) {
+  BlockedTriangularMatrix<T> mat(inst.n, opts.block_side);
+  solve_blocked_serial_into(mat, inst, opts, ss);
   return mat;
 }
 

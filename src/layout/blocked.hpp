@@ -74,6 +74,14 @@ class BlockedTriangularMatrix {
       for (index_t j = i; j < n_; ++j) at(i, j) = init(i, j);
   }
 
+  /// Restores the freshly-constructed state: every cell (padding included)
+  /// back to the (min,+) identity. Lets a long-lived arena be reused across
+  /// solves without reallocating the slab.
+  void reset() {
+    const T id = minplus_identity<T>();
+    for (T& c : data_) c = id;
+  }
+
  private:
   index_t n_;
   index_t bs_;

@@ -1,0 +1,66 @@
+// Groups same-shape small requests so one worker dispatch amortises
+// scheduling overhead and arena setup across several instances (the
+// serving-side analogue of the paper's scheduling blocks: make the unit of
+// dispatch big enough that per-dispatch cost stops mattering).
+//
+// Deliberately single-threaded: only the service dispatcher touches a
+// Batcher, so there is no lock. A group flushes either when it reaches
+// max_batch or when the dispatcher's queue runs dry (drain()).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+namespace cellnpdp::serve {
+
+template <class Item>
+struct Batch {
+  std::uint64_t key = 0;
+  std::vector<Item> items;
+};
+
+template <class Item>
+class Batcher {
+ public:
+  explicit Batcher(std::size_t max_batch)
+      : max_batch_(max_batch < 1 ? 1 : max_batch) {}
+
+  /// Adds `item` under its shape key. Returns a full batch when the group
+  /// reaches max_batch, otherwise a batch with items.empty().
+  Batch<Item> add(std::uint64_t key, Item item) {
+    auto& group = groups_[key];
+    group.push_back(std::move(item));
+    ++pending_;
+    if (group.size() >= max_batch_) {
+      Batch<Item> b{key, std::move(group)};
+      groups_.erase(key);
+      pending_ -= b.items.size();
+      return b;
+    }
+    return {};
+  }
+
+  /// Flushes every partial group, emptying the batcher.
+  std::vector<Batch<Item>> drain() {
+    std::vector<Batch<Item>> out;
+    out.reserve(groups_.size());
+    for (auto& [key, group] : groups_)
+      out.push_back(Batch<Item>{key, std::move(group)});
+    groups_.clear();
+    pending_ = 0;
+    return out;
+  }
+
+  std::size_t pending() const { return pending_; }
+  std::size_t max_batch() const { return max_batch_; }
+
+ private:
+  std::size_t max_batch_;
+  std::size_t pending_ = 0;
+  std::unordered_map<std::uint64_t, std::vector<Item>> groups_;
+};
+
+}  // namespace cellnpdp::serve

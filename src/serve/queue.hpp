@@ -1,0 +1,191 @@
+// Bounded MPMC admission queue: the front door of the solve service.
+//
+// Entries are ordered by (priority descending, admission order) — pop
+// always returns the oldest entry of the highest priority present. When
+// the queue is full the configured OverloadPolicy decides the fate of the
+// *next* push:
+//
+//   Block      - the producer blocks until a consumer makes room
+//                (backpressure; nothing is ever dropped)
+//   Reject     - the push returns Admission::Rejected immediately
+//   ShedOldest - the globally oldest queued entry is evicted (handed to
+//                the shed handler) and the new entry is admitted
+//
+// Deadline expiry is lazy: when an entry reaches the head of the queue and
+// the expiry predicate says it is dead, pop discards it (handing it to the
+// expiry handler) instead of returning it. Handlers are always invoked
+// with the queue lock released, so they may complete promises, take other
+// locks, or push again.
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <mutex>
+#include <utility>
+
+namespace cellnpdp::serve {
+
+enum class OverloadPolicy { Block, Reject, ShedOldest };
+
+constexpr const char* overload_policy_name(OverloadPolicy p) {
+  switch (p) {
+    case OverloadPolicy::Block: return "block";
+    case OverloadPolicy::Reject: return "reject";
+    case OverloadPolicy::ShedOldest: return "shed-oldest";
+  }
+  return "?";
+}
+
+enum class Admission { Admitted, Rejected, Closed };
+enum class PopResult { Item, TimedOut, Closed };
+
+template <class T>
+class AdmissionQueue {
+ public:
+  AdmissionQueue(std::size_t capacity, OverloadPolicy policy)
+      : capacity_(capacity < 1 ? 1 : capacity), policy_(policy) {}
+
+  /// Installs deadline handling: pop() discards head entries for which
+  /// `expired` is true, handing them to `on_expired` instead of returning
+  /// them. Call before the first push; not thread-safe against traffic.
+  void set_expiry(std::function<bool(const T&)> expired,
+                  std::function<void(T&&)> on_expired) {
+    expiry_fn_ = std::move(expired);
+    on_expired_ = std::move(on_expired);
+  }
+
+  /// Receives entries evicted by the ShedOldest policy. Same caveats as
+  /// set_expiry.
+  void set_shed_handler(std::function<void(T&&)> on_shed) {
+    on_shed_ = std::move(on_shed);
+  }
+
+  Admission push(T item, int priority = 0) {
+    T shed_item;
+    bool have_shed = false;
+    {
+      std::unique_lock lk(mu_);
+      for (;;) {
+        if (closed_) {
+          ++rejected_;
+          return Admission::Closed;
+        }
+        if (q_.size() < capacity_) break;
+        if (policy_ == OverloadPolicy::Block) {
+          cv_space_.wait(lk);
+          continue;
+        }
+        if (policy_ == OverloadPolicy::Reject) {
+          ++rejected_;
+          return Admission::Rejected;
+        }
+        // ShedOldest: evict the entry with the smallest admission number.
+        auto victim = q_.begin();
+        for (auto it = q_.begin(); it != q_.end(); ++it)
+          if (it->first.second < victim->first.second) victim = it;
+        shed_item = std::move(victim->second);
+        have_shed = true;
+        q_.erase(victim);
+        ++shed_;
+        break;
+      }
+      ++admitted_;
+      q_.emplace(Key{-static_cast<std::int64_t>(priority), seq_++},
+                 std::move(item));
+    }
+    cv_item_.notify_one();
+    if (have_shed && on_shed_) on_shed_(std::move(shed_item));
+    return Admission::Admitted;
+  }
+
+  /// Blocks until an entry is available (-> Item) or the queue is closed
+  /// and drained (-> Closed).
+  PopResult pop(T& out) { return pop_impl(out, nullptr); }
+
+  /// As pop(), but gives up after `d` (-> TimedOut). The service
+  /// dispatcher uses the timeout as its batch-flush tick.
+  template <class Rep, class Period>
+  PopResult pop_wait_for(T& out, std::chrono::duration<Rep, Period> d) {
+    auto deadline = std::chrono::steady_clock::now() + d;
+    return pop_impl(out, &deadline);
+  }
+
+  /// Closes the queue: subsequent pushes return Closed, blocked pushers
+  /// wake with Closed, and pops drain the remaining entries then Closed.
+  void close() {
+    {
+      std::lock_guard lk(mu_);
+      closed_ = true;
+    }
+    cv_item_.notify_all();
+    cv_space_.notify_all();
+  }
+
+  std::size_t depth() const {
+    std::lock_guard lk(mu_);
+    return q_.size();
+  }
+  std::uint64_t admitted() const { return counter(admitted_); }
+  std::uint64_t rejected() const { return counter(rejected_); }
+  std::uint64_t shed() const { return counter(shed_); }
+  std::uint64_t expired() const { return counter(expired_); }
+
+ private:
+  // Map key: (-priority, admission number); begin() is the pop front.
+  using Key = std::pair<std::int64_t, std::uint64_t>;
+
+  std::uint64_t counter(const std::uint64_t& c) const {
+    std::lock_guard lk(mu_);
+    return c;
+  }
+
+  PopResult pop_impl(T& out, const std::chrono::steady_clock::time_point* tp) {
+    std::unique_lock lk(mu_);
+    for (;;) {
+      // Discard expired entries as they surface at the head.
+      while (!q_.empty() && expiry_fn_ && expiry_fn_(q_.begin()->second)) {
+        T dead = std::move(q_.begin()->second);
+        q_.erase(q_.begin());
+        ++expired_;
+        cv_space_.notify_one();
+        if (on_expired_) {
+          lk.unlock();
+          on_expired_(std::move(dead));
+          lk.lock();
+        }
+      }
+      if (!q_.empty()) {
+        out = std::move(q_.begin()->second);
+        q_.erase(q_.begin());
+        lk.unlock();
+        cv_space_.notify_one();
+        return PopResult::Item;
+      }
+      if (closed_) return PopResult::Closed;
+      if (tp == nullptr) {
+        cv_item_.wait(lk);
+      } else if (cv_item_.wait_until(lk, *tp) == std::cv_status::timeout) {
+        return PopResult::TimedOut;
+      }
+    }
+  }
+
+  const std::size_t capacity_;
+  const OverloadPolicy policy_;
+  std::function<bool(const T&)> expiry_fn_;
+  std::function<void(T&&)> on_expired_;
+  std::function<void(T&&)> on_shed_;
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_item_;   // signalled when an entry arrives
+  std::condition_variable cv_space_;  // signalled when capacity frees up
+  std::map<Key, T> q_;
+  std::uint64_t seq_ = 0;
+  bool closed_ = false;
+  std::uint64_t admitted_ = 0, rejected_ = 0, shed_ = 0, expired_ = 0;
+};
+
+}  // namespace cellnpdp::serve

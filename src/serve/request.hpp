@@ -1,0 +1,298 @@
+// Typed requests accepted by the in-process solve service (src/serve).
+//
+// Three request kinds cover the library's workload families: a generic
+// NPDP min-plus solve of the canonical random instance, a Zuker MFE fold,
+// and a weighted CYK parse. Every request carries an id (echoed in the
+// response), a priority (higher is dispatched first) and an optional
+// deadline; a request whose deadline passes while it sits in the admission
+// queue is shed without being solved.
+//
+// Requests can also be read from a line-delimited text stream (the `npdp
+// serve --requests` driver); see parse_request_line at the bottom.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <cstdlib>
+#include <sstream>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "common/defs.hpp"
+#include "simd/dispatch.hpp"
+
+namespace cellnpdp::serve {
+
+using Clock = std::chrono::steady_clock;
+
+/// Generic NPDP min-plus solve of the canonical random instance (the same
+/// workload as `npdp solve`): cell (i,j) = random_init_value(seed, i, j).
+struct SolveSpec {
+  index_t n = 256;
+  std::uint64_t seed = 1;
+  index_t block_side = 64;
+  KernelKind kernel = KernelKind::Native;
+};
+
+/// Zuker MFE fold of an explicit sequence, or of the deterministic random
+/// sequence of length `random_n` when `seq` is empty.
+struct FoldSpec {
+  std::string seq;
+  index_t random_n = 200;
+  std::uint64_t seed = 7;
+};
+
+/// Weighted CYK parse with one of the ready-made grammars.
+struct ParseSpec {
+  enum class GrammarKind { Parens, Anbn };
+  GrammarKind grammar = GrammarKind::Parens;
+  std::string text;
+};
+
+using Payload = std::variant<SolveSpec, FoldSpec, ParseSpec>;
+
+struct Request {
+  std::uint64_t id = 0;
+  int priority = 0;              ///< higher is dispatched first
+  Clock::time_point deadline{};  ///< default-constructed: no deadline
+  Payload payload = SolveSpec{};
+
+  bool has_deadline() const { return deadline != Clock::time_point{}; }
+  bool expired(Clock::time_point now = Clock::now()) const {
+    return has_deadline() && now > deadline;
+  }
+};
+
+// --- content hashing (result-cache key) -----------------------------------
+
+inline std::uint64_t fnv1a(std::uint64_t h, const void* data,
+                           std::size_t len) {
+  const unsigned char* p = static_cast<const unsigned char*>(data);
+  for (std::size_t i = 0; i < len; ++i) {
+    h ^= p[i];
+    h *= 0x100000001B3ull;
+  }
+  return h;
+}
+inline std::uint64_t hash_u64(std::uint64_t h, std::uint64_t v) {
+  return fnv1a(h, &v, sizeof v);
+}
+inline std::uint64_t hash_str(std::uint64_t h, const std::string& s) {
+  h = hash_u64(h, s.size());
+  return fnv1a(h, s.data(), s.size());
+}
+
+/// FNV-1a over the semantic content of the request. Id, priority and
+/// deadline are deliberately excluded: two requests with equal hashes ask
+/// for the same computation, which is exactly what keys the result cache.
+inline std::uint64_t content_hash(const Request& r) {
+  std::uint64_t h = 0xCBF29CE484222325ull;
+  h = hash_u64(h, r.payload.index());
+  if (const auto* s = std::get_if<SolveSpec>(&r.payload)) {
+    h = hash_u64(h, static_cast<std::uint64_t>(s->n));
+    h = hash_u64(h, s->seed);
+    h = hash_u64(h, static_cast<std::uint64_t>(s->block_side));
+    h = hash_u64(h, static_cast<std::uint64_t>(s->kernel));
+  } else if (const auto* f = std::get_if<FoldSpec>(&r.payload)) {
+    h = hash_str(h, f->seq);
+    if (f->seq.empty()) {
+      h = hash_u64(h, static_cast<std::uint64_t>(f->random_n));
+      h = hash_u64(h, f->seed);
+    }
+  } else if (const auto* p = std::get_if<ParseSpec>(&r.payload)) {
+    h = hash_u64(h, static_cast<std::uint64_t>(p->grammar));
+    h = hash_str(h, p->text);
+  }
+  return h;
+}
+
+/// Batching key: requests with equal shape keys run on identically-shaped
+/// state (same arena geometry / chart sizes), so one worker dispatch can
+/// amortise scheduling and arena setup across all of them. Note seeds and
+/// texts differ within a shape — only the *shape* must match.
+inline std::uint64_t shape_key(const Request& r) {
+  std::uint64_t h = 0x9E3779B97F4A7C15ull;
+  h = hash_u64(h, r.payload.index());
+  if (const auto* s = std::get_if<SolveSpec>(&r.payload)) {
+    h = hash_u64(h, static_cast<std::uint64_t>(s->n));
+    h = hash_u64(h, static_cast<std::uint64_t>(s->block_side));
+    h = hash_u64(h, static_cast<std::uint64_t>(s->kernel));
+  } else if (const auto* f = std::get_if<FoldSpec>(&r.payload)) {
+    const index_t len =
+        f->seq.empty() ? f->random_n : static_cast<index_t>(f->seq.size());
+    h = hash_u64(h, static_cast<std::uint64_t>(len));
+  } else if (const auto* p = std::get_if<ParseSpec>(&r.payload)) {
+    h = hash_u64(h, static_cast<std::uint64_t>(p->grammar));
+    h = hash_u64(h, p->text.size());
+  }
+  return h;
+}
+
+/// The instance size a request operates on (n for solves, sequence/text
+/// length otherwise); the batcher only fuses requests at or below its
+/// size threshold — large solves get a dispatch of their own.
+inline index_t instance_size(const Request& r) {
+  if (const auto* s = std::get_if<SolveSpec>(&r.payload)) return s->n;
+  if (const auto* f = std::get_if<FoldSpec>(&r.payload))
+    return f->seq.empty() ? f->random_n : static_cast<index_t>(f->seq.size());
+  const auto& p = std::get<ParseSpec>(r.payload);
+  return static_cast<index_t>(p.text.size());
+}
+
+// --- line-format parsing ---------------------------------------------------
+//
+//   solve n=512 [seed=3] [block=64] [kernel=scalar|simd128|simd256]
+//   fold  seq=ACGUACGU | random=200 [seed=7]
+//   parse parens=(()()) | anbn=aabb
+//
+// plus the common keys  id=<u64>  priority=<int>  deadline-ms=<ms>
+// (deadline relative to `now`). Blank lines and lines starting with '#'
+// should be skipped by the caller.
+
+/// Parses one request line. Returns false and sets *err on malformed
+/// input (unknown kind, unknown key, malformed number, duplicate key).
+inline bool parse_request_line(const std::string& line, Request* out,
+                               std::string* err,
+                               Clock::time_point now = Clock::now()) {
+  std::istringstream is(line);
+  std::string kind;
+  is >> kind;
+  std::vector<std::pair<std::string, std::string>> kvs;
+  std::string tok;
+  while (is >> tok) {
+    const auto eq = tok.find('=');
+    if (eq == std::string::npos || eq == 0) {
+      *err = "expected key=value, got '" + tok + "'";
+      return false;
+    }
+    const std::string key = tok.substr(0, eq);
+    for (const auto& [k, v] : kvs) {
+      if (k == key) {
+        *err = "duplicate key '" + key + "'";
+        return false;
+      }
+    }
+    kvs.emplace_back(key, tok.substr(eq + 1));
+  }
+  Request r;
+  auto as_num = [err](const std::string& k, const std::string& v,
+                      long long* n) {
+    char* end = nullptr;
+    *n = std::strtoll(v.c_str(), &end, 10);
+    if (end == nullptr || *end != '\0' || v.empty()) {
+      *err = "malformed number for '" + k + "': " + v;
+      return false;
+    }
+    return true;
+  };
+  auto common = [&](const std::string& k, const std::string& v, bool* used) {
+    *used = true;
+    long long n = 0;
+    if (k == "id") {
+      if (!as_num(k, v, &n)) return false;
+      r.id = static_cast<std::uint64_t>(n);
+    } else if (k == "priority") {
+      if (!as_num(k, v, &n)) return false;
+      r.priority = static_cast<int>(n);
+    } else if (k == "deadline-ms") {
+      if (!as_num(k, v, &n)) return false;
+      r.deadline = now + std::chrono::milliseconds(n);
+    } else {
+      *used = false;
+    }
+    return true;
+  };
+
+  if (kind == "solve") {
+    SolveSpec s;
+    for (const auto& [k, v] : kvs) {
+      bool used = false;
+      if (!common(k, v, &used)) return false;
+      if (used) continue;
+      long long n = 0;
+      if (k == "n") {
+        if (!as_num(k, v, &n)) return false;
+        s.n = n;
+      } else if (k == "seed") {
+        if (!as_num(k, v, &n)) return false;
+        s.seed = static_cast<std::uint64_t>(n);
+      } else if (k == "block") {
+        if (!as_num(k, v, &n)) return false;
+        s.block_side = n;
+      } else if (k == "kernel") {
+        if (v == "scalar") {
+          s.kernel = KernelKind::Scalar;
+        } else if (v == "simd128") {
+          s.kernel = KernelKind::Native;
+        } else if (v == "simd256") {
+          s.kernel = KernelKind::Wide;
+        } else {
+          *err = "unknown kernel '" + v + "'";
+          return false;
+        }
+      } else {
+        *err = "unknown solve key '" + k + "'";
+        return false;
+      }
+    }
+    if (s.n < 1) {
+      *err = "solve needs n >= 1";
+      return false;
+    }
+    r.payload = s;
+  } else if (kind == "fold") {
+    FoldSpec f;
+    for (const auto& [k, v] : kvs) {
+      bool used = false;
+      if (!common(k, v, &used)) return false;
+      if (used) continue;
+      long long n = 0;
+      if (k == "seq") {
+        f.seq = v;
+      } else if (k == "random") {
+        if (!as_num(k, v, &n)) return false;
+        f.random_n = n;
+      } else if (k == "seed") {
+        if (!as_num(k, v, &n)) return false;
+        f.seed = static_cast<std::uint64_t>(n);
+      } else {
+        *err = "unknown fold key '" + k + "'";
+        return false;
+      }
+    }
+    r.payload = f;
+  } else if (kind == "parse") {
+    ParseSpec p;
+    bool have_text = false;
+    for (const auto& [k, v] : kvs) {
+      bool used = false;
+      if (!common(k, v, &used)) return false;
+      if (used) continue;
+      if (k == "parens") {
+        p.grammar = ParseSpec::GrammarKind::Parens;
+        p.text = v;
+        have_text = true;
+      } else if (k == "anbn") {
+        p.grammar = ParseSpec::GrammarKind::Anbn;
+        p.text = v;
+        have_text = true;
+      } else {
+        *err = "unknown parse key '" + k + "'";
+        return false;
+      }
+    }
+    if (!have_text) {
+      *err = "parse needs parens=... or anbn=...";
+      return false;
+    }
+    r.payload = p;
+  } else {
+    *err = "unknown request kind '" + kind + "'";
+    return false;
+  }
+  *out = std::move(r);
+  return true;
+}
+
+}  // namespace cellnpdp::serve

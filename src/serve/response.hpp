@@ -1,0 +1,50 @@
+// The service's answer to one Request: terminal status, the scalar result,
+// and a per-stage latency breakdown. Exactly one Response is delivered per
+// submitted request (through the future returned by SolveService::submit),
+// whatever its fate — solved, served from cache, refused at admission,
+// shed, expired, or cancelled at shutdown.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace cellnpdp::serve {
+
+enum class Status {
+  Ok,         ///< solved by a worker
+  OkCached,   ///< served from the result cache
+  Rejected,   ///< refused at admission (queue full under Reject, or stopped)
+  Shed,       ///< evicted from the queue by the ShedOldest overload policy
+  Expired,    ///< deadline passed before a worker picked the request up
+  Cancelled,  ///< service stopped without draining the queue
+  Error,      ///< the solver threw; detail carries the message
+};
+
+constexpr const char* status_name(Status s) {
+  switch (s) {
+    case Status::Ok: return "ok";
+    case Status::OkCached: return "ok-cached";
+    case Status::Rejected: return "rejected";
+    case Status::Shed: return "shed";
+    case Status::Expired: return "expired";
+    case Status::Cancelled: return "cancelled";
+    case Status::Error: return "error";
+  }
+  return "?";
+}
+
+constexpr bool is_success(Status s) {
+  return s == Status::Ok || s == Status::OkCached;
+}
+
+struct Response {
+  std::uint64_t id = 0;
+  Status status = Status::Error;
+  double value = 0;    ///< d[0][n-1] / MFE / parse cost
+  std::string detail;  ///< dot-bracket structure, parse verdict, or error
+  std::int64_t queue_ns = 0;  ///< admission -> dispatch (or terminal verdict)
+  std::int64_t solve_ns = 0;  ///< inside the worker (0 unless solved)
+  std::int64_t total_ns = 0;  ///< admission -> response delivered
+};
+
+}  // namespace cellnpdp::serve

@@ -1,0 +1,84 @@
+// LRU result cache keyed by the content hash of a request. Thread-safe:
+// the dispatcher probes it at dispatch time and every worker fills it
+// after a solve. Capacity 0 disables caching (probes miss, fills no-op),
+// which keeps the service code branch-free.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <list>
+#include <mutex>
+#include <unordered_map>
+#include <utility>
+
+namespace cellnpdp::serve {
+
+template <class V>
+class ResultCache {
+ public:
+  explicit ResultCache(std::size_t capacity) : capacity_(capacity) {}
+
+  /// On hit copies the cached value into *out, promotes the entry to
+  /// most-recently-used, and returns true.
+  bool get(std::uint64_t key, V* out) {
+    std::lock_guard lk(mu_);
+    auto it = map_.find(key);
+    if (it == map_.end()) {
+      ++misses_;
+      return false;
+    }
+    lru_.splice(lru_.begin(), lru_, it->second);
+    *out = it->second->second;
+    ++hits_;
+    return true;
+  }
+
+  /// Inserts (or refreshes) key -> value, evicting the least-recently-used
+  /// entry when at capacity.
+  void put(std::uint64_t key, V value) {
+    if (capacity_ == 0) return;
+    std::lock_guard lk(mu_);
+    auto it = map_.find(key);
+    if (it != map_.end()) {
+      it->second->second = std::move(value);
+      lru_.splice(lru_.begin(), lru_, it->second);
+      return;
+    }
+    if (lru_.size() >= capacity_) {
+      map_.erase(lru_.back().first);
+      lru_.pop_back();
+      ++evictions_;
+    }
+    lru_.emplace_front(key, std::move(value));
+    map_[key] = lru_.begin();
+  }
+
+  std::size_t size() const {
+    std::lock_guard lk(mu_);
+    return lru_.size();
+  }
+  std::size_t capacity() const { return capacity_; }
+  std::uint64_t hits() const {
+    std::lock_guard lk(mu_);
+    return hits_;
+  }
+  std::uint64_t misses() const {
+    std::lock_guard lk(mu_);
+    return misses_;
+  }
+  std::uint64_t evictions() const {
+    std::lock_guard lk(mu_);
+    return evictions_;
+  }
+
+ private:
+  mutable std::mutex mu_;
+  const std::size_t capacity_;
+  std::list<std::pair<std::uint64_t, V>> lru_;  ///< front = most recent
+  std::unordered_map<std::uint64_t,
+                     typename std::list<std::pair<std::uint64_t, V>>::iterator>
+      map_;
+  std::uint64_t hits_ = 0, misses_ = 0, evictions_ = 0;
+};
+
+}  // namespace cellnpdp::serve

@@ -1,0 +1,213 @@
+#include "serve/service.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <utility>
+
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
+namespace cellnpdp::serve {
+
+namespace {
+
+std::int64_t ns_between(Clock::time_point a, Clock::time_point b) {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(b - a).count();
+}
+
+}  // namespace
+
+SolveService::SolveService(ServiceOptions opts)
+    : opts_(opts),
+      pool_(opts.workers),
+      queue_(opts.queue_capacity, opts.policy),
+      batcher_(opts.batch_max),
+      cache_(opts.cache_capacity) {
+  queue_.set_expiry(
+      [](const Item& it) { return it->req.expired(); },
+      [this](Item&& it) {
+        respond(it, Status::Expired, 0, {},
+                ns_between(it->enqueued, Clock::now()));
+      });
+  queue_.set_shed_handler([this](Item&& it) {
+    respond(it, Status::Shed, 0, {},
+            ns_between(it->enqueued, Clock::now()));
+  });
+  dispatcher_ = std::thread([this] { dispatcher_loop(); });
+}
+
+SolveService::~SolveService() { stop(true); }
+
+std::future<Response> SolveService::submit(Request req) {
+  auto p = std::make_shared<Pending>();
+  p->req = std::move(req);
+  p->hash = content_hash(p->req);
+  p->enqueued = Clock::now();
+  std::future<Response> fut = p->promise.get_future();
+  ++submitted_;
+  if (stopped_.load(std::memory_order_acquire)) {
+    respond(p, Status::Rejected, 0, "service stopped");
+    return fut;
+  }
+  const int prio = p->req.priority;
+  const Admission verdict = queue_.push(p, prio);
+  obs::metrics().gauge("serve.queue_depth").set(double(queue_.depth()));
+  if (verdict != Admission::Admitted)
+    respond(p, Status::Rejected, 0,
+            verdict == Admission::Closed ? "service stopped" : "queue full");
+  return fut;
+}
+
+void SolveService::stop(bool drain) {
+  std::lock_guard lk(stop_mu_);
+  if (stopped_.exchange(true, std::memory_order_acq_rel)) return;
+  if (!drain) cancel_queued_.store(true, std::memory_order_release);
+  queue_.close();
+  if (dispatcher_.joinable()) dispatcher_.join();
+}
+
+void SolveService::dispatcher_loop() {
+  obs::Tracer::instance().name_this_thread("serve dispatcher");
+  for (;;) {
+    Item it;
+    const PopResult r = queue_.pop_wait_for(it, std::chrono::milliseconds(2));
+    obs::metrics().gauge("serve.queue_depth").set(double(queue_.depth()));
+    if (r == PopResult::Item) {
+      const std::int64_t queue_ns = ns_between(it->enqueued, Clock::now());
+      if (cancel_queued_.load(std::memory_order_acquire)) {
+        respond(it, Status::Cancelled, 0, {}, queue_ns);
+        continue;
+      }
+      CachedResult hit;
+      if (cache_.get(it->hash, &hit)) {
+        respond(it, Status::OkCached, hit.value, hit.detail, queue_ns);
+        continue;
+      }
+      const std::uint64_t key = shape_key(it->req);
+      if (opts_.batch_max > 1 &&
+          instance_size(it->req) <= opts_.batch_max_size) {
+        Batch<Item> full = batcher_.add(key, std::move(it));
+        if (!full.items.empty()) dispatch(std::move(full));
+      } else {
+        Batch<Item> single;
+        single.key = key;
+        single.items.push_back(std::move(it));
+        dispatch(std::move(single));
+      }
+      continue;
+    }
+    // Queue dry (tick) or closed: flush the partial batches so no request
+    // waits on traffic that may never come.
+    for (Batch<Item>& b : batcher_.drain()) {
+      if (cancel_queued_.load(std::memory_order_acquire)) {
+        for (const Item& queued : b.items)
+          respond(queued, Status::Cancelled, 0, {},
+                  ns_between(queued->enqueued, Clock::now()));
+      } else {
+        dispatch(std::move(b));
+      }
+    }
+    if (r == PopResult::Closed) break;
+  }
+  // In-flight batches always run to completion, drain or not.
+  pool_.wait_idle();
+}
+
+std::size_t SolveService::max_inflight() const {
+  // Two full waves of work per worker keeps everyone busy while still
+  // letting backlog reach the admission queue quickly.
+  const std::size_t wave = opts_.workers * std::max<std::size_t>(opts_.batch_max, 1);
+  return std::max<std::size_t>(wave * 2, 2);
+}
+
+void SolveService::dispatch(Batch<Item> batch) {
+  {
+    std::unique_lock lk(inflight_mu_);
+    inflight_cv_.wait(lk, [this] { return inflight_ < max_inflight(); });
+    inflight_ += batch.items.size();
+  }
+  ++batches_;
+  obs::metrics().counter("serve.batches").add();
+  obs::metrics()
+      .histogram("serve.batch_size")
+      .observe(static_cast<std::int64_t>(batch.items.size()));
+  auto shared = std::make_shared<Batch<Item>>(std::move(batch));
+  pool_.submit([this, shared] { run_batch(*shared); });
+}
+
+void SolveService::run_batch(const Batch<Item>& batch) {
+  CELLNPDP_TRACE_SPAN("serve", "batch");
+  for (const Item& it : batch.items) {
+    const Clock::time_point picked_up = Clock::now();
+    const std::int64_t queue_ns = ns_between(it->enqueued, picked_up);
+    // A deadline can pass between dispatch and pick-up; shed here too.
+    if (it->req.expired(picked_up)) {
+      respond(it, Status::Expired, 0, {}, queue_ns);
+    } else {
+      const SolveOutcome o = pool_.execute(it->req);
+      const std::int64_t solve_ns = ns_between(picked_up, Clock::now());
+      if (!o.ok) {
+        respond(it, Status::Error, 0, o.error, queue_ns, solve_ns);
+      } else {
+        cache_.put(it->hash, CachedResult{o.value, o.detail});
+        respond(it, Status::Ok, o.value, o.detail, queue_ns, solve_ns);
+      }
+    }
+    {
+      std::lock_guard lk(inflight_mu_);
+      --inflight_;
+    }
+    inflight_cv_.notify_one();
+  }
+}
+
+void SolveService::respond(const Item& it, Status st, double value,
+                           std::string detail, std::int64_t queue_ns,
+                           std::int64_t solve_ns) {
+  Response resp;
+  resp.id = it->req.id;
+  resp.status = st;
+  resp.value = value;
+  resp.detail = std::move(detail);
+  resp.queue_ns = queue_ns;
+  resp.solve_ns = solve_ns;
+  resp.total_ns = ns_between(it->enqueued, Clock::now());
+  switch (st) {
+    case Status::Ok: ++completed_; break;
+    case Status::OkCached: ++cache_hits_; break;
+    case Status::Rejected: ++rejected_; break;
+    case Status::Shed: ++shed_; break;
+    case Status::Expired: ++expired_; break;
+    case Status::Cancelled: ++cancelled_; break;
+    case Status::Error: ++errors_; break;
+  }
+  auto& m = obs::metrics();
+  m.counter(std::string("serve.status.") + status_name(st)).add();
+  m.histogram("serve.total_ns").observe(resp.total_ns);
+  if (st == Status::Ok) {
+    m.histogram("serve.queue_ns").observe(queue_ns);
+    m.histogram("serve.solve_ns").observe(solve_ns);
+  }
+  it->promise.set_value(std::move(resp));
+}
+
+ServiceStats SolveService::stats() const {
+  ServiceStats s;
+  s.submitted = submitted_.load();
+  s.completed = completed_.load();
+  s.cache_hits = cache_hits_.load();
+  s.rejected = rejected_.load();
+  s.shed = shed_.load();
+  s.expired = expired_.load();
+  s.cancelled = cancelled_.load();
+  s.errors = errors_.load();
+  s.batches = batches_.load();
+  s.cache_misses = cache_.misses();
+  s.cache_evictions = cache_.evictions();
+  s.arena_reuses = pool_.arena_reuses();
+  s.arena_allocations = pool_.arena_allocations();
+  s.queue_depth = queue_.depth();
+  return s;
+}
+
+}  // namespace cellnpdp::serve

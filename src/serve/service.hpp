@@ -1,0 +1,139 @@
+// The solve service façade: admission queue -> batcher -> solver pool ->
+// result cache, with one dispatcher thread in the middle and per-stage
+// metrics exported through the process-wide obs registry.
+//
+// Request lifecycle (docs/serving.md):
+//
+//   submit()            admission: full queue handled per OverloadPolicy
+//   dispatcher          pops in (priority, FIFO) order; expired entries
+//                       are shed; cache probe; shape-batches small work
+//   worker              executes the batch, one arena checkout per batch
+//   cache fill          successful solves keyed by content hash
+//   respond             the future returned by submit() becomes ready
+//
+// Every submitted request gets exactly one Response, whatever its fate.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+
+#include "serve/batcher.hpp"
+#include "serve/queue.hpp"
+#include "serve/request.hpp"
+#include "serve/response.hpp"
+#include "serve/result_cache.hpp"
+#include "serve/solver_pool.hpp"
+
+namespace cellnpdp::serve {
+
+struct ServiceOptions {
+  std::size_t workers = 4;
+  std::size_t queue_capacity = 256;
+  OverloadPolicy policy = OverloadPolicy::Block;
+  std::size_t cache_capacity = 1024;  ///< entries; 0 disables the cache
+  std::size_t batch_max = 8;          ///< requests fused into one dispatch
+  index_t batch_max_size = 512;       ///< batch only instances this small
+};
+
+/// Point-in-time counters; every terminal response is counted exactly once
+/// under completed/cache_hits/rejected/shed/expired/cancelled/errors.
+struct ServiceStats {
+  std::uint64_t submitted = 0;
+  std::uint64_t completed = 0;   ///< Status::Ok
+  std::uint64_t cache_hits = 0;  ///< Status::OkCached
+  std::uint64_t rejected = 0;
+  std::uint64_t shed = 0;
+  std::uint64_t expired = 0;
+  std::uint64_t cancelled = 0;
+  std::uint64_t errors = 0;
+  std::uint64_t batches = 0;
+  std::uint64_t cache_misses = 0;
+  std::uint64_t cache_evictions = 0;
+  std::uint64_t arena_reuses = 0;
+  std::uint64_t arena_allocations = 0;
+  std::size_t queue_depth = 0;
+
+  std::uint64_t responded() const {
+    return completed + cache_hits + rejected + shed + expired + cancelled +
+           errors;
+  }
+};
+
+class SolveService {
+ public:
+  explicit SolveService(ServiceOptions opts = {});
+  ~SolveService();  // stop(true)
+
+  SolveService(const SolveService&) = delete;
+  SolveService& operator=(const SolveService&) = delete;
+
+  /// Submits a request; the returned future always becomes ready. Under
+  /// the Block policy this call blocks while the queue is full.
+  std::future<Response> submit(Request req);
+
+  /// Stops the service. drain = true completes every admitted request
+  /// before returning; drain = false answers queued (not yet dispatched)
+  /// requests with Status::Cancelled but still lets in-flight worker
+  /// batches finish. Idempotent; submit() after stop() rejects.
+  void stop(bool drain = true);
+
+  ServiceStats stats() const;
+  const ServiceOptions& options() const { return opts_; }
+
+ private:
+  struct Pending {
+    Request req;
+    std::uint64_t hash = 0;
+    std::promise<Response> promise;
+    Clock::time_point enqueued{};
+  };
+  using Item = std::shared_ptr<Pending>;
+
+  struct CachedResult {
+    double value = 0;
+    std::string detail;
+  };
+
+  void dispatcher_loop();
+  void dispatch(Batch<Item> batch);
+  void run_batch(const Batch<Item>& batch);
+  std::size_t max_inflight() const;
+  void respond(const Item& it, Status st, double value = 0,
+               std::string detail = {}, std::int64_t queue_ns = 0,
+               std::int64_t solve_ns = 0);
+
+  const ServiceOptions opts_;
+  SolverPool pool_;
+  AdmissionQueue<Item> queue_;
+  Batcher<Item> batcher_;  ///< dispatcher thread only
+  ResultCache<CachedResult> cache_;
+
+  std::mutex stop_mu_;
+  std::atomic<bool> stopped_{false};
+  std::atomic<bool> cancel_queued_{false};
+
+  // Dispatched-but-unanswered request count. The dispatcher stalls when it
+  // reaches max_inflight(), so worker backlog propagates into the bounded
+  // admission queue and the overload policy actually engages — without
+  // this, the thread pool's unbounded job deque would absorb any burst and
+  // admission control could never say no.
+  std::mutex inflight_mu_;
+  std::condition_variable inflight_cv_;
+  std::size_t inflight_ = 0;
+
+  // Terminal-status counters (see ServiceStats).
+  std::atomic<std::uint64_t> submitted_{0}, completed_{0}, cache_hits_{0},
+      rejected_{0}, shed_{0}, expired_{0}, cancelled_{0}, errors_{0},
+      batches_{0};
+
+  std::thread dispatcher_;  ///< started last, so members above are ready
+};
+
+}  // namespace cellnpdp::serve

@@ -1,0 +1,124 @@
+#include "serve/solver_pool.hpp"
+
+#include <exception>
+#include <stdexcept>
+#include <utility>
+
+#include "apps/cyk/cyk.hpp"
+#include "apps/zuker/fold.hpp"
+#include "common/rng.hpp"
+#include "core/solve.hpp"
+#include "obs/trace.hpp"
+
+namespace cellnpdp::serve {
+
+SolverPool::SolverPool(std::size_t workers) : pool_(workers) {}
+
+std::uint64_t SolverPool::arena_allocations() const {
+  std::lock_guard lk(mu_);
+  return arena_allocs_;
+}
+
+std::uint64_t SolverPool::arena_reuses() const {
+  std::lock_guard lk(mu_);
+  return arena_reuses_;
+}
+
+SolverPool::Arena* SolverPool::checkout(index_t n, index_t bs, bool* reused) {
+  std::lock_guard lk(mu_);
+  Arena* any_free = nullptr;
+  for (auto& a : arenas_) {
+    if (a->in_use) continue;
+    if (a->n == n && a->bs == bs) {
+      a->in_use = true;
+      ++arena_reuses_;
+      *reused = true;
+      return a.get();
+    }
+    if (any_free == nullptr) any_free = a.get();
+  }
+  *reused = false;
+  ++arena_allocs_;
+  if (any_free != nullptr) {
+    // Repurpose a free arena of the wrong shape.
+    any_free->n = n;
+    any_free->bs = bs;
+    any_free->mat = std::make_unique<BlockedTriangularMatrix<float>>(n, bs);
+    any_free->in_use = true;
+    return any_free;
+  }
+  arenas_.push_back(std::make_unique<Arena>());
+  Arena* a = arenas_.back().get();
+  a->n = n;
+  a->bs = bs;
+  a->mat = std::make_unique<BlockedTriangularMatrix<float>>(n, bs);
+  a->in_use = true;
+  return a;
+}
+
+void SolverPool::checkin(Arena* a) {
+  std::lock_guard lk(mu_);
+  a->in_use = false;
+}
+
+SolveOutcome SolverPool::execute(const Request& req) {
+  CELLNPDP_TRACE_SPAN("serve", "execute");
+  SolveOutcome out;
+  try {
+    if (const auto* s = std::get_if<SolveSpec>(&req.payload)) {
+      if (s->n < 1) throw std::invalid_argument("solve needs n >= 1");
+      NpdpInstance<float> inst;
+      inst.n = s->n;
+      const std::uint64_t seed = s->seed;
+      inst.init = [seed](index_t i, index_t j) {
+        return random_init_value<float>(seed, i, j);
+      };
+      NpdpOptions opts;
+      opts.block_side = s->block_side;
+      opts.kernel = s->kernel;
+      opts.threads = 1;
+      bool reused = false;
+      Arena* a = checkout(s->n, s->block_side, &reused);
+      try {
+        if (reused) a->mat->reset();
+        solve_blocked_serial_into(*a->mat, inst, opts);
+        out.value = double(a->mat->at(0, s->n - 1));
+      } catch (...) {
+        checkin(a);
+        throw;
+      }
+      checkin(a);
+      out.arena_reused = reused;
+      out.ok = true;
+    } else if (const auto* f = std::get_if<FoldSpec>(&req.payload)) {
+      const std::vector<zuker::Base> seq =
+          f->seq.empty() ? zuker::random_sequence(f->random_n, f->seed)
+                         : zuker::parse_sequence(f->seq);
+      zuker::ZukerFolder folder;
+      const auto r = folder.fold(seq);
+      out.value = double(r.mfe);
+      out.detail = r.structure;
+      out.ok = true;
+    } else {
+      const auto& p = std::get<ParseSpec>(req.payload);
+      const bool parens = p.grammar == ParseSpec::GrammarKind::Parens;
+      cyk::Grammar g =
+          parens ? cyk::balanced_parens_grammar() : cyk::anbn_grammar();
+      cyk::CykParser parser(std::move(g));
+      const auto r = parser.parse(
+          cyk::tokens_from_string(p.text, parens ? "()" : "ab"));
+      out.value = r.accepted() ? double(r.cost) : -1.0;
+      out.detail = r.accepted() ? "accepted" : "rejected";
+      out.ok = true;
+    }
+  } catch (const std::exception& e) {
+    out.ok = false;
+    out.error = e.what();
+  } catch (...) {
+    out.ok = false;
+    out.error = "unknown solver exception";
+  }
+  return out;
+}
+
+}  // namespace cellnpdp::serve

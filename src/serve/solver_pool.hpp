@@ -1,0 +1,76 @@
+// Worker pool executing solve requests, layered on common/thread_pool.
+//
+// Generic NPDP solves run out of *arenas* — long-lived
+// BlockedTriangularMatrix allocations checked out per request and reset
+// in place, so the hot path pays one memset-like sweep instead of a fresh
+// multi-megabyte allocation per request. At most `workers` arenas ever
+// exist (one per concurrently-running request); a checkout prefers a free
+// arena of matching geometry and only reallocates on a shape change.
+//
+// Each request is solved serially on one worker (opts.threads = 1 inside
+// the engine): the service scales by running many requests concurrently,
+// not by splitting one request across workers.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/thread_pool.hpp"
+#include "layout/blocked.hpp"
+#include "serve/request.hpp"
+
+namespace cellnpdp::serve {
+
+/// What executing one request produced. `ok == false` means the solver
+/// threw and `error` carries the message.
+struct SolveOutcome {
+  bool ok = false;
+  double value = 0;
+  std::string detail;
+  std::string error;
+  bool arena_reused = false;
+};
+
+class SolverPool {
+ public:
+  explicit SolverPool(std::size_t workers);
+
+  std::size_t workers() const { return pool_.thread_count(); }
+
+  /// Enqueues a job onto the underlying thread pool.
+  void submit(std::function<void()> job) { pool_.submit(std::move(job)); }
+
+  /// Blocks until all submitted jobs finished; rethrows the first job
+  /// exception (see ThreadPool::wait_idle). Service jobs catch their own
+  /// exceptions, so a throw here indicates a bug, not a bad request.
+  void wait_idle() { pool_.wait_idle(); }
+
+  /// Executes one request on the calling thread (normally a pool worker).
+  /// Never throws: solver exceptions are captured into the outcome.
+  SolveOutcome execute(const Request& req);
+
+  std::uint64_t arena_allocations() const;
+  std::uint64_t arena_reuses() const;
+
+ private:
+  struct Arena {
+    index_t n = 0, bs = 0;
+    std::unique_ptr<BlockedTriangularMatrix<float>> mat;
+    bool in_use = false;
+  };
+
+  Arena* checkout(index_t n, index_t bs, bool* reused);
+  void checkin(Arena* a);
+
+  ThreadPool pool_;
+  mutable std::mutex mu_;
+  std::vector<std::unique_ptr<Arena>> arenas_;  // stable addresses
+  std::uint64_t arena_allocs_ = 0, arena_reuses_ = 0;
+};
+
+}  // namespace cellnpdp::serve

@@ -5,6 +5,7 @@
 #include <gtest/gtest.h>
 
 #include <string>
+#include <thread>
 
 #include "common/rng.hpp"
 #include "core/reference.hpp"
@@ -221,6 +222,76 @@ TEST(Engine, TriangleInequalityFixpoint) {
     for (index_t j = i + 1; j < 60; ++j)
       for (index_t k = i + 1; k < j; ++k)
         EXPECT_LE(out.at(i, j), out.at(i, k) + out.at(k, j) + 1e-12);
+}
+
+TEST(SolveStats, UtilizationEdgeCases) {
+  // Default-constructed stats (no solve attached) must not divide by zero.
+  SolveStats empty;
+  EXPECT_EQ(empty.utilization(), 0.0);
+  EXPECT_EQ(empty.busy_total(), 0.0);
+
+  // Zero wall time with workers recorded: still well-defined.
+  SolveStats zero_wall;
+  zero_wall.worker_busy = {0.5, 0.5};
+  zero_wall.wall_seconds = 0;
+  EXPECT_EQ(zero_wall.utilization(), 0.0);
+
+  // Wall time but an empty worker vector (stats requested, work accounted
+  // elsewhere): utilization is 0, not NaN.
+  SolveStats no_workers;
+  no_workers.wall_seconds = 1.0;
+  EXPECT_EQ(no_workers.utilization(), 0.0);
+
+  // Sanity of the formula on a fully-busy two-worker second.
+  SolveStats busy;
+  busy.wall_seconds = 1.0;
+  busy.worker_busy = {1.0, 1.0};
+  EXPECT_DOUBLE_EQ(busy.utilization(), 1.0);
+}
+
+TEST(SolveStats, ConcurrentParallelSolvesKeepIndependentStats) {
+  // Two solve_blocked_parallel calls racing in one process (the serving
+  // layer's steady state) must not interleave their stats: each solve's
+  // counters must equal those of the same solve run alone, and the values
+  // must stay bit-exact.
+  const index_t n = 160;
+  NpdpOptions opts;
+  opts.block_side = 32;
+  opts.sched_side = 1;
+  opts.threads = 2;
+
+  const auto inst_a = random_instance<float>(n, 31);
+  const auto inst_b = random_instance<float>(n, 77);
+
+  SolveStats alone_a, alone_b;
+  const auto ref_a = solve_blocked_parallel(inst_a, opts, &alone_a);
+  const auto ref_b = solve_blocked_parallel(inst_b, opts, &alone_b);
+
+  SolveStats racing_a, racing_b;
+  BlockedTriangularMatrix<float> out_a(0, 1), out_b(0, 1);
+  std::thread ta([&] { out_a = solve_blocked_parallel(inst_a, opts, &racing_a); });
+  std::thread tb([&] { out_b = solve_blocked_parallel(inst_b, opts, &racing_b); });
+  ta.join();
+  tb.join();
+
+  for (index_t i = 0; i < n; ++i)
+    for (index_t j = i; j < n; ++j) {
+      ASSERT_EQ(out_a.at(i, j), ref_a.at(i, j)) << i << "," << j;
+      ASSERT_EQ(out_b.at(i, j), ref_b.at(i, j)) << i << "," << j;
+    }
+
+  // Work counters are deterministic per instance; a shard leak between the
+  // two racing solves would break these equalities.
+  EXPECT_EQ(racing_a.tasks, alone_a.tasks);
+  EXPECT_EQ(racing_b.tasks, alone_b.tasks);
+  EXPECT_EQ(racing_a.engine.kernel_calls, alone_a.engine.kernel_calls);
+  EXPECT_EQ(racing_b.engine.kernel_calls, alone_b.engine.kernel_calls);
+  EXPECT_EQ(racing_a.engine.cells_finalized, alone_a.engine.cells_finalized);
+  EXPECT_EQ(racing_b.engine.cells_finalized, alone_b.engine.cells_finalized);
+  EXPECT_EQ(racing_a.engine.scalar_relax(), alone_a.engine.scalar_relax());
+  EXPECT_EQ(racing_b.engine.scalar_relax(), alone_b.engine.scalar_relax());
+  EXPECT_GT(racing_a.busy_total(), 0.0);
+  EXPECT_GT(racing_b.busy_total(), 0.0);
 }
 
 }  // namespace

@@ -10,16 +10,31 @@
 //   npdp simulate  --n 4096 [--spes 16] [--block 88] [--dp] [--trace out.csv]
 //   npdp cluster   --n 4096 [--nodes 8] [--bw-gbps 3] [--lat-us 10]
 //   npdp model     --n 4096 [--spes 16]
+//   npdp serve     --requests <file|-> [--workers 4] [--queue 256]
+//                  [--policy block|reject|shed] [--cache 1024] [--batch 8]
+//   npdp bench-serve --requests 1000 [--workers 4] [--mode closed|open]
+//                  [--concurrency 8] [--rate 500] [--distinct 25]
+//                  [--policy block] [--json-dir .]
+//
+// Exit codes: 0 success, 1 runtime error, 2 unknown subcommand,
+// 3 bad arguments (missing/duplicate/malformed flags).
+#include <algorithm>
 #include <cstdio>
 #include <cstring>
 #include <fstream>
+#include <future>
 #include <iostream>
 #include <iterator>
 #include <map>
+#include <stdexcept>
 #include <string>
+#include <thread>
+#include <vector>
 
 #include "apps/cyk/cyk.hpp"
 #include "apps/zuker/fold.hpp"
+#include "bench_util/bench_config.hpp"
+#include "bench_util/json_out.hpp"
 #include "bench_util/table.hpp"
 #include "cellsim/npdp_sim.hpp"
 #include "cluster/cluster_sim.hpp"
@@ -34,10 +49,20 @@
 #include "obs/report.hpp"
 #include "obs/trace.hpp"
 #include "obs/trace_export.hpp"
+#include "serve/request.hpp"
+#include "serve/response.hpp"
+#include "serve/service.hpp"
 
 using namespace cellnpdp;
 
 namespace {
+
+/// Bad command-line arguments: missing, duplicate, or malformed flags.
+/// Reported on stderr and mapped to exit code 3 (a distinct code from the
+/// unknown-subcommand 2, so scripts can tell the two apart).
+struct UsageError : std::runtime_error {
+  using std::runtime_error::runtime_error;
+};
 
 struct Args {
   std::map<std::string, std::string> kv;
@@ -45,6 +70,12 @@ struct Args {
   std::string get(const std::string& k, const std::string& dflt = "") const {
     auto it = kv.find(k);
     return it == kv.end() ? dflt : it->second;
+  }
+  /// Value of a required flag; UsageError when absent.
+  std::string need(const std::string& k) const {
+    auto it = kv.find(k);
+    if (it == kv.end()) throw UsageError("missing required flag --" + k);
+    return it->second;
   }
   long num(const std::string& k, long dflt) const {
     auto it = kv.find(k);
@@ -62,6 +93,8 @@ Args parse_args(int argc, char** argv, int first) {
     std::string key = argv[i];
     if (key.rfind("--", 0) != 0) continue;
     key = key.substr(2);
+    if (a.kv.count(key) > 0)
+      throw UsageError("duplicate flag --" + key);
     if (i + 1 < argc && std::strncmp(argv[i + 1], "--", 2) != 0) {
       a.kv[key] = argv[++i];
     } else {
@@ -174,7 +207,7 @@ int cmd_solve(const Args& a) {
 /// scheduling-block task spans. Used by verify.sh so tracing cannot rot
 /// silently.
 int cmd_check_trace(const Args& a) {
-  const std::string path = a.get("file");
+  const std::string path = a.need("file");
   std::ifstream is(path);
   if (!is) {
     std::fprintf(stderr, "check-trace: cannot open %s\n", path.c_str());
@@ -249,7 +282,7 @@ int cmd_check_trace(const Args& a) {
 }
 
 int cmd_info(const Args& a) {
-  const std::string path = a.get("file");
+  const std::string path = a.need("file");
   const auto table = load_blocked_file<float>(path);
   std::printf("%s: blocked table, n=%lld, block side %lld (%s), %s total\n",
               path.c_str(), static_cast<long long>(table.size()),
@@ -369,11 +402,233 @@ int cmd_model(const Args& a) {
   return 0;
 }
 
+serve::OverloadPolicy policy_from(const std::string& s) {
+  if (s == "block") return serve::OverloadPolicy::Block;
+  if (s == "reject") return serve::OverloadPolicy::Reject;
+  if (s == "shed" || s == "shed-oldest")
+    return serve::OverloadPolicy::ShedOldest;
+  throw UsageError("unknown --policy '" + s + "' (block|reject|shed)");
+}
+
+serve::ServiceOptions service_options_from(const Args& a) {
+  serve::ServiceOptions so;
+  so.workers = static_cast<std::size_t>(a.num("workers", 4));
+  so.queue_capacity = static_cast<std::size_t>(a.num("queue", 256));
+  so.policy = policy_from(a.get("policy", "block"));
+  so.cache_capacity = static_cast<std::size_t>(a.num("cache", 1024));
+  so.batch_max = static_cast<std::size_t>(a.num("batch", 8));
+  so.batch_max_size = a.num("batch-max-size", 512);
+  return so;
+}
+
+/// Drives the in-process solve service from a line-delimited request
+/// stream (one request per line, '#' comments and blank lines skipped;
+/// format in src/serve/request.hpp). "-" reads stdin.
+int cmd_serve(const Args& a) {
+  const std::string path = a.need("requests");
+  std::ifstream file;
+  if (path != "-") {
+    file.open(path);
+    if (!file) throw UsageError("cannot open request stream " + path);
+  }
+  std::istream& is = path == "-" ? std::cin : file;
+
+  serve::SolveService service(service_options_from(a));
+  std::vector<std::future<serve::Response>> futures;
+  std::string line;
+  std::uint64_t lineno = 0, auto_id = 0;
+  while (std::getline(is, line)) {
+    ++lineno;
+    const auto first = line.find_first_not_of(" \t\r");
+    if (first == std::string::npos || line[first] == '#') continue;
+    serve::Request req;
+    std::string err;
+    if (!serve::parse_request_line(line, &req, &err))
+      throw UsageError(path + ":" + std::to_string(lineno) + ": " + err);
+    if (req.id == 0) req.id = ++auto_id;
+    futures.push_back(service.submit(std::move(req)));
+  }
+  bool any_error = false;
+  for (auto& f : futures) {
+    const serve::Response r = f.get();
+    any_error = any_error || r.status == serve::Status::Error;
+    std::printf("id=%llu status=%s value=%g queue=%.3fms solve=%.3fms "
+                "total=%.3fms%s%s\n",
+                static_cast<unsigned long long>(r.id),
+                serve::status_name(r.status), r.value,
+                double(r.queue_ns) / 1e6, double(r.solve_ns) / 1e6,
+                double(r.total_ns) / 1e6, r.detail.empty() ? "" : " ",
+                r.detail.c_str());
+  }
+  service.stop();
+  const serve::ServiceStats st = service.stats();
+  std::printf("served %llu requests: %llu ok, %llu cached, %llu rejected, "
+              "%llu shed, %llu expired, %llu errors; %llu batches, "
+              "%llu arena reuses\n",
+              static_cast<unsigned long long>(st.submitted),
+              static_cast<unsigned long long>(st.completed),
+              static_cast<unsigned long long>(st.cache_hits),
+              static_cast<unsigned long long>(st.rejected),
+              static_cast<unsigned long long>(st.shed),
+              static_cast<unsigned long long>(st.expired),
+              static_cast<unsigned long long>(st.errors),
+              static_cast<unsigned long long>(st.batches),
+              static_cast<unsigned long long>(st.arena_reuses));
+  return any_error ? 1 : 0;
+}
+
+/// Closed- and open-loop load generator against the in-process service.
+/// Draws requests from a small pool of distinct instances so the result
+/// cache sees a realistic repeated-instance workload, and writes
+/// BENCH_serve.json with throughput and latency percentiles.
+int cmd_bench_serve(const Args& a) {
+  const long total = a.num("requests", 1000);
+  if (total < 1) throw UsageError("--requests must be >= 1");
+  const long distinct = std::max(1L, a.num("distinct", 25));
+  const std::string mode = a.get("mode", "closed");
+  if (mode != "closed" && mode != "open")
+    throw UsageError("unknown --mode '" + mode + "' (closed|open)");
+  serve::ServiceOptions so = service_options_from(a);
+  const long concurrency =
+      std::max(1L, a.num("concurrency", 2 * long(so.workers)));
+  const double rate = a.real("rate", 500.0);
+  const long max_n = std::max(64L, a.num("n", 192));
+
+  // The distinct-instance pool: sizes cycle through a few block multiples,
+  // seeds make every pool entry a different computation.
+  std::vector<serve::Request> pool;
+  pool.reserve(static_cast<std::size_t>(distinct));
+  for (long i = 0; i < distinct; ++i) {
+    serve::Request r;
+    serve::SolveSpec s;
+    s.n = 64 + 32 * (i % std::max(1L, (max_n - 64) / 32 + 1));
+    s.seed = static_cast<std::uint64_t>(1000 + i);
+    r.payload = s;
+    pool.push_back(r);
+  }
+  SplitMix64 pick(static_cast<std::uint64_t>(a.num("seed", 42)));
+
+  serve::SolveService service(so);
+  std::vector<std::future<serve::Response>> inflight;
+  std::vector<serve::Response> responses;
+  responses.reserve(static_cast<std::size_t>(total));
+  auto submit_one = [&](long i) {
+    serve::Request r = pool[pick.next_below(pool.size())];
+    r.id = static_cast<std::uint64_t>(i + 1);
+    inflight.push_back(service.submit(std::move(r)));
+  };
+
+  Stopwatch sw;
+  if (mode == "closed") {
+    // Fixed number of outstanding requests; a completion triggers the
+    // next submission (FIFO harvest keeps the window exact).
+    long submitted = 0;
+    std::size_t harvest = 0;
+    while (submitted < total) {
+      if (long(inflight.size() - harvest) < concurrency) {
+        submit_one(submitted++);
+        continue;
+      }
+      responses.push_back(inflight[harvest++].get());
+    }
+    for (; harvest < inflight.size(); ++harvest)
+      responses.push_back(inflight[harvest].get());
+  } else {
+    // Open loop: Poisson-free fixed-rate arrivals, latency measured under
+    // whatever backlog the rate builds up.
+    const auto t0 = std::chrono::steady_clock::now();
+    const double gap_s = rate > 0 ? 1.0 / rate : 0;
+    for (long i = 0; i < total; ++i) {
+      std::this_thread::sleep_until(
+          t0 + std::chrono::duration<double>(i * gap_s));
+      submit_one(i);
+    }
+    for (auto& f : inflight) responses.push_back(f.get());
+  }
+  const double wall_s = sw.seconds();
+  service.stop();
+
+  std::vector<double> lat_ms;
+  long ok = 0, cached = 0, dropped = 0;
+  for (const auto& r : responses) {
+    if (serve::is_success(r.status)) {
+      lat_ms.push_back(double(r.total_ns) / 1e6);
+      ok += r.status == serve::Status::Ok;
+      cached += r.status == serve::Status::OkCached;
+    } else {
+      ++dropped;
+    }
+  }
+  std::sort(lat_ms.begin(), lat_ms.end());
+  auto pct = [&](double q) {
+    if (lat_ms.empty()) return 0.0;
+    const auto idx = static_cast<std::size_t>(q * double(lat_ms.size() - 1));
+    return lat_ms[idx];
+  };
+  const double p50 = pct(0.50), p99 = pct(0.99);
+  const double rps = double(responses.size()) / wall_s;
+  const serve::ServiceStats st = service.stats();
+  const double hit_rate =
+      st.cache_hits + st.cache_misses > 0
+          ? double(st.cache_hits) / double(st.cache_hits + st.cache_misses)
+          : 0;
+
+  std::printf("bench-serve: %ld requests (%s loop, %zu workers, policy %s): "
+              "%s wall, %.0f req/s\n",
+              total, mode.c_str(), so.workers,
+              serve::overload_policy_name(so.policy),
+              fmt_seconds(wall_s).c_str(), rps);
+  std::printf("  latency p50 %.3f ms, p99 %.3f ms; %ld ok, %ld cached "
+              "(hit rate %.1f%%), %ld dropped\n",
+              p50, p99, ok, cached, 100.0 * hit_rate, dropped);
+  std::printf("  %llu batches, %llu arena reuses / %llu allocations, "
+              "%llu evictions\n",
+              static_cast<unsigned long long>(st.batches),
+              static_cast<unsigned long long>(st.arena_reuses),
+              static_cast<unsigned long long>(st.arena_allocations),
+              static_cast<unsigned long long>(st.cache_evictions));
+
+  BenchConfig cfg;
+  cfg.json_dir = a.get("json-dir", ".");
+  BenchJson json("serve", cfg);
+  json.record()
+      .set("mode", mode)
+      .set("requests", total)
+      .set("workers", so.workers)
+      .set("queue_capacity", so.queue_capacity)
+      .set("policy", serve::overload_policy_name(so.policy))
+      .set("concurrency", concurrency)
+      .set("rate", rate)
+      .set("distinct", distinct)
+      .set("wall_s", wall_s)
+      .set("rps", rps)
+      .set("p50_ms", p50)
+      .set("p99_ms", p99)
+      .set("ok", ok)
+      .set("ok_cached", cached)
+      .set("dropped", dropped)
+      .set("rejected", std::int64_t(st.rejected))
+      .set("shed", std::int64_t(st.shed))
+      .set("expired", std::int64_t(st.expired))
+      .set("errors", std::int64_t(st.errors))
+      .set("cache_hit_rate", hit_rate)
+      .set("cache_evictions", std::int64_t(st.cache_evictions))
+      .set("batches", std::int64_t(st.batches))
+      .set("arena_reuses", std::int64_t(st.arena_reuses))
+      .set("arena_allocations", std::int64_t(st.arena_allocations));
+  json.flush();
+  return 0;
+}
+
 void usage() {
   std::printf(
-      "usage: npdp <solve|check-trace|info|fold|parse|simulate|cluster|model> "
-      "[--key value ...]\n(see the header of tools/npdp_tool.cpp for the "
-      "full flag list)\n");
+      "usage: npdp <solve|check-trace|info|fold|parse|simulate|cluster|model"
+      "|serve|bench-serve> [--key value ...]\n"
+      "  serve        run the in-process solve service over a line-delimited\n"
+      "               request stream (--requests <file|->)\n"
+      "  bench-serve  closed/open-loop load generator; writes "
+      "BENCH_serve.json\n"
+      "(see the header of tools/npdp_tool.cpp for the full flag list)\n");
 }
 
 }  // namespace
@@ -384,8 +639,8 @@ int main(int argc, char** argv) {
     return 2;
   }
   const std::string cmd = argv[1];
-  const Args a = parse_args(argc, argv, 2);
   try {
+    const Args a = parse_args(argc, argv, 2);
     if (cmd == "solve") return cmd_solve(a);
     if (cmd == "check-trace") return cmd_check_trace(a);
     if (cmd == "info") return cmd_info(a);
@@ -394,10 +649,16 @@ int main(int argc, char** argv) {
     if (cmd == "simulate") return cmd_simulate(a);
     if (cmd == "cluster") return cmd_cluster(a);
     if (cmd == "model") return cmd_model(a);
+    if (cmd == "serve") return cmd_serve(a);
+    if (cmd == "bench-serve") return cmd_bench_serve(a);
+  } catch (const UsageError& e) {
+    std::fprintf(stderr, "bad arguments: %s\n", e.what());
+    return 3;
   } catch (const std::exception& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
     return 1;
   }
+  std::fprintf(stderr, "unknown subcommand '%s'\n", cmd.c_str());
   usage();
   return 2;
 }

@@ -28,4 +28,12 @@ echo "== validate trace =="
 "$BUILD_DIR"/tools/npdp check-trace --file "$TRACE_DIR/trace.json" \
     --min-workers 2 --expect-tasks 528
 
+echo "== sanitizers (serve + taskgraph) =="
+# The concurrency-heavy suites rerun under ASan/UBSan in a separate tree.
+ASAN_DIR=${ASAN_DIR:-build-asan}
+cmake -B "$ASAN_DIR" -S . -DCELLNPDP_SANITIZE=address,undefined
+cmake --build "$ASAN_DIR" -j "$JOBS" --target test_serve test_taskgraph
+"$ASAN_DIR"/tests/test_serve
+"$ASAN_DIR"/tests/test_taskgraph
+
 echo "verify.sh: OK"
