@@ -1,0 +1,133 @@
+// Cancellation latency — how fast a mid-flight solve lets go of its
+// workers once its CancelToken trips.
+//
+// The design budget (src/common/cancel.hpp): polls happen at memory-block
+// granularity, so the abort latency of the parallel backend should be on
+// the order of one block's compute time per in-flight worker, not the
+// remaining solve time. This bench trips a token from a separate thread at
+// a fixed fraction of the uncancelled solve time and measures
+// trip -> solver-return, across block sizes; the "block" column is the
+// measured per-block compute time the latency should track.
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <thread>
+#include <vector>
+
+#include "backend/solver_backend.hpp"
+#include "bench_util/bench_config.hpp"
+#include "bench_util/json_out.hpp"
+#include "bench_util/table.hpp"
+#include "common/rng.hpp"
+#include "core/solve.hpp"
+
+namespace cellnpdp {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double seconds_since(Clock::time_point t0) {
+  return std::chrono::duration<double>(Clock::now() - t0).count();
+}
+
+NpdpInstance<float> instance(index_t n) {
+  NpdpInstance<float> inst;
+  inst.n = n;
+  inst.init = [](index_t i, index_t j) {
+    return random_init_value<float>(2026, i, j);
+  };
+  return inst;
+}
+
+struct Sample {
+  double solve_s = 0;    ///< uncancelled wall time
+  double block_s = 0;    ///< mean per-memory-block compute time
+  double latency_s = 0;  ///< trip -> solver return (median of repeats)
+};
+
+Sample measure(const backend::SolverBackend& be, index_t n,
+               index_t block_side, std::size_t threads, int repeats) {
+  const auto inst = instance(n);
+
+  ExecutionContext ctx;
+  ctx.tuning.block_side = block_side;
+  ctx.tuning.threads = threads;
+  SolveStats ss;
+  ctx.stats = &ss;
+  const Clock::time_point w0 = Clock::now();
+  (void)be.solve(inst, ctx);
+  Sample s;
+  s.solve_s = seconds_since(w0);
+  const index_t m = ceil_div(n, block_side);
+  s.block_s = s.solve_s / double(triangle_cells(m));
+
+  std::vector<double> lat;
+  for (int r = 0; r < repeats; ++r) {
+    ExecutionContext cctx;
+    cctx.tuning.block_side = block_side;
+    cctx.tuning.threads = threads;
+    cctx.cancel = CancelToken::armed();
+    Clock::time_point tripped;
+    std::thread cancel_thread([&] {
+      std::this_thread::sleep_for(
+          std::chrono::duration<double>(s.solve_s * 0.4));
+      tripped = Clock::now();
+      cctx.cancel.request_cancel();
+    });
+    const auto res = be.solve(inst, cctx);
+    const Clock::time_point returned = Clock::now();
+    cancel_thread.join();
+    // A repeat where the solve beat the trip measures nothing; skip it.
+    if (res.status == SolveStatus::Cancelled)
+      lat.push_back(std::chrono::duration<double>(returned - tripped).count());
+  }
+  if (!lat.empty()) {
+    std::sort(lat.begin(), lat.end());
+    s.latency_s = lat[lat.size() / 2];
+  }
+  return s;
+}
+
+void run(const BenchConfig& cfg) {
+  const index_t n = cfg.full ? 4096 : 2048;
+  const std::size_t threads = 4;
+  const int repeats = cfg.full ? 9 : 5;
+  const auto& be = backend::require_backend("blocked-parallel");
+
+  BenchJson out("cancel_latency", cfg);
+  std::printf("\nAbort latency of backend 'blocked-parallel', n=%d, "
+              "%zu threads (median of %d trips at 40%% of solve time):\n",
+              int(n), threads, repeats);
+  TextTable t({"block side", "solve", "per block", "abort latency",
+               "latency/block"});
+  for (index_t bs : {32, 64, 128}) {
+    const Sample s = measure(be, n, bs, threads, repeats);
+    t.row(bs, fmt_seconds(s.solve_s), fmt_seconds(s.block_s),
+          fmt_seconds(s.latency_s),
+          s.block_s > 0 ? fmt_x(s.latency_s / s.block_s) : "-");
+    out.record()
+        .set("n", std::int64_t(n))
+        .set("block_side", std::int64_t(bs))
+        .set("threads", threads)
+        .set("solve_s", s.solve_s)
+        .set("block_s", s.block_s)
+        .set("abort_latency_s", s.latency_s);
+  }
+  t.print();
+  std::printf(
+      "(the budget: latency ~ a small multiple of one block's compute — the "
+      "executor stops releasing tasks and each worker finishes at most its "
+      "current block; a latency tracking the full solve time would mean the "
+      "token is not being polled)\n");
+}
+
+}  // namespace
+}  // namespace cellnpdp
+
+int main(int argc, char** argv) {
+  using namespace cellnpdp;
+  const auto cfg = BenchConfig::from_args(argc, argv);
+  print_bench_header("Cancellation latency (blocked-parallel backend)", cfg);
+  run(cfg);
+  return 0;
+}

@@ -84,17 +84,33 @@ std::vector<index_t> matrix_chain_splits(const Table& c,
   return split;
 }
 
+/// Solves the chain with the blocked engine under an ExecutionContext
+/// (cancellation + deadline, tuning, stats). On Cancelled `out` is left
+/// untouched and the partial table is discarded.
+template <class T>
+SolveStatus solve_matrix_chain(const std::vector<T>& p,
+                               const ExecutionContext& ctx,
+                               MatrixChainResult<T>* out) {
+  const auto inst = matrix_chain_instance(p);
+  BlockedTriangularMatrix<T> table(inst.n, ctx.tuning.block_side);
+  const SolveStatus st = solve_blocked_into(table, inst, ctx);
+  if (st != SolveStatus::Ok) return st;
+  out->cost = table.at(0, inst.n - 1);
+  out->split = matrix_chain_splits<T>(table, p);
+  out->parenthesization.clear();
+  matrix_chain_detail::render<T>(out->split, inst.n - 1, 0, inst.n - 1,
+                                 out->parenthesization);
+  return SolveStatus::Ok;
+}
+
 /// Solves the chain with the blocked engine.
 template <class T>
 MatrixChainResult<T> solve_matrix_chain(const std::vector<T>& p,
                                         const NpdpOptions& opts) {
-  const auto inst = matrix_chain_instance(p);
-  const auto table = solve_blocked(inst, opts);
+  ExecutionContext ctx;
+  ctx.tuning = opts;
   MatrixChainResult<T> res;
-  res.cost = table.at(0, inst.n - 1);
-  res.split = matrix_chain_splits<T>(table, p);
-  matrix_chain_detail::render<T>(res.split, inst.n - 1, 0, inst.n - 1,
-                                 res.parenthesization);
+  solve_matrix_chain(p, ctx, &res);
   return res;
 }
 

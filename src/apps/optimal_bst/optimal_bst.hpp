@@ -65,12 +65,27 @@ NpdpInstance<T> optimal_bst_instance(const BstInstanceData<T>& d) {
   return inst;
 }
 
+/// Expected search cost of the optimal BST under an ExecutionContext
+/// (cancellation + deadline, tuning, stats). On Cancelled `cost` is left
+/// untouched.
+template <class T>
+SolveStatus solve_optimal_bst(const BstInstanceData<T>& d,
+                              const ExecutionContext& ctx, T* cost) {
+  const auto inst = optimal_bst_instance(d);
+  BlockedTriangularMatrix<T> table(inst.n, ctx.tuning.block_side);
+  const SolveStatus st = solve_blocked_into(table, inst, ctx);
+  if (st == SolveStatus::Ok) *cost = table.at(0, inst.n - 1);
+  return st;
+}
+
 /// Expected search cost of the optimal BST, via the blocked engine.
 template <class T>
 T solve_optimal_bst(const BstInstanceData<T>& d, const NpdpOptions& opts) {
-  const auto inst = optimal_bst_instance(d);
-  const auto table = solve_blocked(inst, opts);
-  return table.at(0, inst.n - 1);
+  ExecutionContext ctx;
+  ctx.tuning = opts;
+  T cost{};
+  solve_optimal_bst(d, ctx, &cost);
+  return cost;
 }
 
 /// Classic Knuth O(n^3) reference on the e[i][j] table; `speedup` enables

@@ -57,18 +57,38 @@ inline NpdpInstance<double> triangulation_instance(
   return inst;
 }
 
+/// Minimal-perimeter triangulation under an ExecutionContext (cancellation
+/// + deadline, tuning). On Cancelled `out` is left untouched and the
+/// partial tables are discarded.
+inline SolveStatus triangulate(const std::vector<Point>& pts,
+                               const ExecutionContext& ctx,
+                               TriangulationResult* out) {
+  if (pts.size() < 3) {
+    *out = {};
+    return SolveStatus::Ok;
+  }
+  const auto inst = triangulation_instance(pts);
+  NpdpSolution<double> sol{
+      BlockedTriangularMatrix<double>(inst.n, ctx.tuning.block_side),
+      BlockedTriangularMatrix<double>(inst.n, ctx.tuning.block_side)};
+  const SolveStatus st = solve_blocked_with_argmin_into(sol, inst, ctx);
+  if (st != SolveStatus::Ok) return st;
+  out->cost = sol.values.at(0, inst.n - 1);
+  out->triangles.clear();
+  visit_splits(sol, 0, inst.n - 1, [&](index_t i, index_t k, index_t j) {
+    out->triangles.push_back({i, k, j});
+  });
+  return SolveStatus::Ok;
+}
+
 /// Minimal-perimeter triangulation via the blocked engine (+ argmin
 /// traceback for the triangle list).
 inline TriangulationResult triangulate(const std::vector<Point>& pts,
                                        const NpdpOptions& opts) {
   TriangulationResult res;
-  if (pts.size() < 3) return res;
-  const auto inst = triangulation_instance(pts);
-  const auto sol = solve_blocked_with_argmin(inst, opts);
-  res.cost = sol.values.at(0, inst.n - 1);
-  visit_splits(sol, 0, inst.n - 1, [&](index_t i, index_t k, index_t j) {
-    res.triangles.push_back({i, k, j});
-  });
+  ExecutionContext ctx;
+  ctx.tuning = opts;
+  triangulate(pts, ctx, &res);
   return res;
 }
 

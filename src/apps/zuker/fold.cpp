@@ -71,6 +71,12 @@ FoldResult ZukerFolder::fold(const std::vector<Base>& seq) {
   if (opts_.threads > 1) pool = std::make_unique<ThreadPool>(opts_.threads);
 
   for (index_t span = 1; span < n_; ++span) {
+    // One anti-diagonal is a coarse enough boundary for a forced deadline
+    // check; the matrices stay consistent (all spans < this one complete).
+    if (opts_.cancel.poll_deadline_now()) {
+      out.cancelled = true;
+      return out;
+    }
     const index_t cells = n_ - span;
     if (pool != nullptr && cells >= 64) {
       pool->parallel_for(0, static_cast<std::size_t>(cells),

@@ -24,6 +24,7 @@
 
 #include "apps/zuker/energy_model.hpp"
 #include "common/aligned.hpp"
+#include "common/cancel.hpp"
 
 namespace cellnpdp::zuker {
 
@@ -31,12 +32,15 @@ struct FoldOptions {
   bool simd = true;        ///< vectorised bifurcations (false: scalar ablation)
   std::size_t threads = 1; ///< cells of one anti-diagonal computed in
                            ///< parallel (they are mutually independent)
+  CancelToken cancel;      ///< checked once per anti-diagonal; a tripped
+                           ///< token abandons the fold (result.cancelled)
 };
 
 struct FoldResult {
   Energy mfe = 0;
   std::string structure;  ///< dot-bracket
   std::vector<std::pair<index_t, index_t>> pairs;
+  bool cancelled = false; ///< fold abandoned; other fields are meaningless
 };
 
 class ZukerFolder {

@@ -25,6 +25,7 @@
 
 #include <algorithm>
 
+#include "common/cancel.hpp"
 #include "common/defs.hpp"
 #include "core/instance.hpp"
 #include "layout/triangular.hpp"
@@ -58,10 +59,17 @@ TriangularMatrix<T> seed_pure(const NpdpInstance<T>& inst) {
 template <class T>
 class Recursor {
  public:
-  Recursor(TriangularMatrix<T>& d, index_t base)
-      : d_(&d), base_(std::max<index_t>(2, base)) {}
+  Recursor(TriangularMatrix<T>& d, index_t base,
+           const CancelToken& cancel = {})
+      : d_(&d), base_(std::max<index_t>(2, base)), cancel_(cancel) {}
+
+  /// True once the cancel token tripped; recursion unwinds without
+  /// touching further cells (checked at every internal node and leaf, so
+  /// the poll cadence matches the leaf size).
+  bool cancelled() const { return cancel_.cancelled(); }
 
   void tri(index_t lo, index_t hi) {
+    if (cancel_.poll()) return;
     if (hi - lo <= base_) {
       // Ordered scalar base: every k in (i, j), strictly (the self-term
       // lives in the seed).
@@ -78,6 +86,7 @@ class Recursor {
   /// Rectangle rows [r0,r1) x cols [c0,c1); invariant: k in [r1, c0)
   /// already applied to every cell here.
   void rect(index_t r0, index_t r1, index_t c0, index_t c1) {
+    if (cancel_.poll()) return;
     if (r1 - r0 <= base_ && c1 - c0 <= base_) {
       for (index_t j = c0; j < c1; ++j)
         for (index_t i = r1 - 1; i >= r0; --i) {
@@ -107,7 +116,7 @@ class Recursor {
   /// 8-way recursive (min,+) multiply.
   void mult(index_t r0, index_t r1, index_t c0, index_t c1, index_t k0,
             index_t k1) {
-    if (k0 >= k1) return;
+    if (k0 >= k1 || cancel_.poll()) return;
     if (r1 - r0 <= base_ && c1 - c0 <= base_ && k1 - k0 <= base_) {
       for (index_t i = r0; i < r1; ++i)
         for (index_t k = k0; k < k1; ++k) {
@@ -148,19 +157,25 @@ class Recursor {
 
   TriangularMatrix<T>* d_;
   index_t base_;
+  CancelToken cancel_;
 };
 
 }  // namespace recursive_detail
 
 /// Solves a pure-mode instance with the cache-oblivious recursion.
+/// `completed` (when non-null) receives false if `cancel` tripped and the
+/// returned table is partial.
 template <class T>
 TriangularMatrix<T> solve_recursive(const NpdpInstance<T>& inst,
-                                    const RecursiveOptions& opts = {}) {
+                                    const RecursiveOptions& opts = {},
+                                    const CancelToken& cancel = {},
+                                    bool* completed = nullptr) {
   TriangularMatrix<T> d = recursive_detail::seed_pure(inst);
   if (inst.n > 1) {
-    recursive_detail::Recursor<T> rec(d, opts.base);
+    recursive_detail::Recursor<T> rec(d, opts.base, cancel);
     rec.tri(0, inst.n);
   }
+  if (completed != nullptr) *completed = !cancel.cancelled();
   return d;
 }
 

@@ -21,6 +21,7 @@
 #include <atomic>
 #include <thread>
 
+#include "common/cancel.hpp"
 #include "common/defs.hpp"
 #include "common/thread_pool.hpp"
 #include "layout/triangular.hpp"
@@ -63,8 +64,11 @@ CELLNPDP_NOVEC inline void touch_rows(const TriangularMatrix<T>& d,
 }  // namespace tan_detail
 
 /// Runs TanNPDP in place over a seeded triangular matrix (pure mode).
+/// Polls `cancel` at tile granularity; returns false when the run was
+/// abandoned (the table then holds a partial, never torn, result).
 template <class T>
-void solve_tan_npdp(TriangularMatrix<T>& d, const TanOptions& opts) {
+bool solve_tan_npdp(TriangularMatrix<T>& d, const TanOptions& opts,
+                    const CancelToken& cancel = {}) {
   const index_t n = d.size();
   const index_t ts = std::max<index_t>(4, opts.tile);
   const index_t m = ceil_div(n, ts);
@@ -74,6 +78,7 @@ void solve_tan_npdp(TriangularMatrix<T>& d, const TanOptions& opts) {
   for (index_t bj = 0; bj < m; ++bj) {
     const index_t c0 = bj * ts, c1 = std::min(n, (bj + 1) * ts);
     for (index_t bi = bj; bi >= 0; --bi) {
+      if (cancel.poll()) return false;
       const index_t r0 = bi * ts, r1 = std::min(n, (bi + 1) * ts);
 
       std::thread helper;
@@ -113,6 +118,7 @@ void solve_tan_npdp(TriangularMatrix<T>& d, const TanOptions& opts) {
       if (helper.joinable()) helper.join();
     }
   }
+  return true;
 }
 
 }  // namespace cellnpdp

@@ -1,0 +1,148 @@
+// Cooperative cancellation token shared by every solve path.
+//
+// A CancelToken is a cheap handle onto shared cancellation state. Solvers
+// poll it at *memory-block* granularity: the fast path of poll() is one
+// relaxed atomic load, so nothing is added to the kernel path. Cancellation
+// can be requested explicitly (request_cancel) or implicitly by attaching a
+// deadline; the deadline is checked inside poll() only every
+// kDeadlineStride calls (per polling thread), so even deadline-carrying
+// solves stay clock-read-free on most blocks.
+//
+// A default-constructed token is *inert*: it can never be cancelled and
+// polls compile down to a null-pointer test. Armed tokens are created with
+// CancelToken::armed() (or with_deadline) and share state across copies, so
+// a dispatcher can hold one copy and trip every worker polling another.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <memory>
+
+namespace cellnpdp {
+
+enum class CancelReason : std::uint8_t {
+  None = 0,      ///< not cancelled
+  Requested,     ///< explicit request_cancel()
+  Deadline,      ///< attached deadline passed
+  Shed,          ///< load was shed by an overload policy
+  Shutdown,      ///< owner is stopping
+};
+
+constexpr const char* cancel_reason_name(CancelReason r) {
+  switch (r) {
+    case CancelReason::None: return "none";
+    case CancelReason::Requested: return "requested";
+    case CancelReason::Deadline: return "deadline";
+    case CancelReason::Shed: return "shed";
+    case CancelReason::Shutdown: return "shutdown";
+  }
+  return "?";
+}
+
+class CancelToken {
+ public:
+  using Clock = std::chrono::steady_clock;
+
+  /// How many poll() calls (per polling thread) between deadline checks.
+  static constexpr std::uint32_t kDeadlineStride = 64;
+
+  /// Inert token: never cancelled, polls are free of atomics entirely.
+  CancelToken() = default;
+
+  /// A fresh armed token (its own shared state, not yet cancelled).
+  static CancelToken armed() { return CancelToken(std::make_shared<State>()); }
+
+  /// An armed token that trips itself (reason Deadline) once `d` passes.
+  static CancelToken with_deadline(Clock::time_point d) {
+    CancelToken t = armed();
+    t.state_->deadline = d;
+    t.state_->has_deadline.store(true, std::memory_order_release);
+    return t;
+  }
+  template <class Rep, class Period>
+  static CancelToken after(std::chrono::duration<Rep, Period> d) {
+    return with_deadline(Clock::now() + d);
+  }
+
+  bool armed_token() const { return state_ != nullptr; }
+
+  /// True once cancellation was requested (or a deadline observed). One
+  /// relaxed atomic load; safe from any thread.
+  bool cancelled() const {
+    return state_ != nullptr &&
+           state_->reason.load(std::memory_order_relaxed) !=
+               static_cast<std::uint8_t>(CancelReason::None);
+  }
+
+  CancelReason reason() const {
+    if (state_ == nullptr) return CancelReason::None;
+    return static_cast<CancelReason>(
+        state_->reason.load(std::memory_order_relaxed));
+  }
+
+  /// Trips the token. The first reason to arrive wins; later requests are
+  /// no-ops so the recorded reason stays meaningful. No-op on inert tokens.
+  void request_cancel(CancelReason r = CancelReason::Requested) const {
+    if (state_ == nullptr || r == CancelReason::None) return;
+    std::uint8_t expected = static_cast<std::uint8_t>(CancelReason::None);
+    state_->reason.compare_exchange_strong(expected,
+                                           static_cast<std::uint8_t>(r),
+                                           std::memory_order_relaxed);
+  }
+
+  /// The solver-side check, called once per memory block: relaxed load of
+  /// the reason, plus — on every kDeadlineStride-th call of the calling
+  /// thread, for tokens that carry a deadline — one clock read that trips
+  /// the token when the deadline has passed. Returns true when cancelled.
+  bool poll() const {
+    if (state_ == nullptr) return false;
+    if (state_->reason.load(std::memory_order_relaxed) !=
+        static_cast<std::uint8_t>(CancelReason::None))
+      return true;
+    if (state_->has_deadline.load(std::memory_order_relaxed)) {
+      thread_local std::uint32_t strider = 0;
+      if (++strider % kDeadlineStride == 0 &&
+          Clock::now() > state_->deadline) {
+        request_cancel(CancelReason::Deadline);
+        return true;
+      }
+    }
+    return false;
+  }
+
+  /// Forces a deadline check now (used at coarse boundaries — e.g. once
+  /// per task — where a clock read is affordable and latency matters).
+  bool poll_deadline_now() const {
+    if (state_ == nullptr) return false;
+    if (cancelled()) return true;
+    if (state_->has_deadline.load(std::memory_order_relaxed) &&
+        Clock::now() > state_->deadline) {
+      request_cancel(CancelReason::Deadline);
+      return true;
+    }
+    return false;
+  }
+
+  bool has_deadline() const {
+    return state_ != nullptr &&
+           state_->has_deadline.load(std::memory_order_relaxed);
+  }
+  Clock::time_point deadline() const {
+    return state_ != nullptr ? state_->deadline : Clock::time_point{};
+  }
+
+ private:
+  struct State {
+    std::atomic<std::uint8_t> reason{
+        static_cast<std::uint8_t>(CancelReason::None)};
+    std::atomic<bool> has_deadline{false};
+    Clock::time_point deadline{};  ///< written once before has_deadline
+  };
+
+  explicit CancelToken(std::shared_ptr<State> s) : state_(std::move(s)) {}
+
+  std::shared_ptr<State> state_;  ///< null: inert token
+};
+
+}  // namespace cellnpdp

@@ -3,6 +3,7 @@
 // the correctness oracles for every optimised engine in the repository.
 #pragma once
 
+#include "common/cancel.hpp"
 #include "common/defs.hpp"
 #include "core/instance.hpp"
 #include "layout/triangular.hpp"
@@ -27,15 +28,23 @@ CELLNPDP_NOVEC void solve_fig1(TriangularMatrix<T>& d) {
 
 /// Golden model: solves `inst` by increasing span j-i, evaluating the
 /// documented semantics directly. Matches solve_fig1 bit-for-bit in pure
-/// mode (tests enforce this).
+/// mode (tests enforce this). Polls `cancel` once per span (the coarsest
+/// granularity that still aborts within a few milliseconds at realistic
+/// sizes); `completed` (when non-null) receives false on cancellation.
 template <class T>
-TriangularMatrix<T> solve_reference(const NpdpInstance<T>& inst) {
+TriangularMatrix<T> solve_reference(const NpdpInstance<T>& inst,
+                                    const CancelToken& cancel,
+                                    bool* completed = nullptr) {
   const index_t n = inst.n;
   TriangularMatrix<T> d(n);
   for (index_t i = 0; i < n; ++i) d.at(i, i) = inst.init(i, i);
 
   const bool general = inst.general_mode();
   for (index_t span = 1; span < n; ++span) {
+    if (cancel.poll()) {
+      if (completed != nullptr) *completed = false;
+      return d;
+    }
     for (index_t i = 0; i + span < n; ++i) {
       const index_t j = i + span;
       const T init = inst.init(i, j);
@@ -59,7 +68,13 @@ TriangularMatrix<T> solve_reference(const NpdpInstance<T>& inst) {
       }
     }
   }
+  if (completed != nullptr) *completed = true;
   return d;
+}
+
+template <class T>
+TriangularMatrix<T> solve_reference(const NpdpInstance<T>& inst) {
+  return solve_reference(inst, CancelToken{});
 }
 
 }  // namespace cellnpdp

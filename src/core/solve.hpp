@@ -1,4 +1,13 @@
 // Top-level solvers: the public entry points of the library.
+//
+// Every solver comes in two forms: an ExecutionContext form — the unified
+// entry point carrying cancellation/deadline, tuning, the stats sink, and
+// optional arena/pool, returning a SolveStatus — and a legacy
+// (opts, stats) form kept source-compatible for callers that never cancel.
+// Cancellation is polled at memory-block granularity (one relaxed atomic
+// load per block, nothing on the kernel path): a cancelled solve returns
+// SolveStatus::Cancelled with a partial but never torn matrix — every
+// block is either fully relaxed or untouched since seeding.
 #pragma once
 
 #include <algorithm>
@@ -7,6 +16,7 @@
 #include "common/stopwatch.hpp"
 #include "common/thread_pool.hpp"
 #include "core/engine.hpp"
+#include "core/execution_context.hpp"
 #include "core/instance.hpp"
 #include "layout/blocked.hpp"
 #include "obs/trace.hpp"
@@ -15,52 +25,52 @@
 
 namespace cellnpdp {
 
-/// Telemetry of one solve: wall time, per-worker busy time (from the
-/// executor or pool) and the merged engine work counters. Pass to any
-/// solver to enable collection; all fields cost a couple of clock reads
-/// per scheduling block, nothing on the kernel path beyond the counters.
-struct SolveStats {
-  double wall_seconds = 0;
-  std::vector<double> worker_busy;    ///< seconds inside task bodies
-  std::vector<index_t> worker_tasks;  ///< tasks per worker (task-queue only)
-  index_t tasks = 0;
-  EngineStats engine;                 ///< merged across workers
-
-  double busy_total() const {
-    double s = 0;
-    for (double b : worker_busy) s += b;
-    return s;
-  }
-  /// Mean worker occupancy in [0,1].
-  double utilization() const {
-    if (wall_seconds <= 0 || worker_busy.empty()) return 0;
-    return busy_total() / (wall_seconds * double(worker_busy.size()));
-  }
-};
-
 /// Serial blocked solve into a caller-owned matrix, which must already
-/// match the instance/options geometry and hold the (min,+) identity in
+/// match the instance/context geometry and hold the (min,+) identity in
 /// every cell (freshly constructed or reset()). Lets a serving layer reuse
 /// one arena allocation across many requests of the same shape.
+template <class T>
+SolveStatus solve_blocked_serial_into(BlockedTriangularMatrix<T>& mat,
+                                      const NpdpInstance<T>& inst,
+                                      const ExecutionContext& ctx) {
+  CELLNPDP_TRACE_SPAN("solve", "solve_blocked_serial");
+  SolveStats* ss = ctx.stats;
+  BlockEngine<T> engine(mat, inst, ctx.tuning);
+  engine.seed();
+  const index_t m = engine.blocks_per_side();
+  Stopwatch sw;
+  EngineStats* st = ss != nullptr ? &ss->engine : nullptr;
+  SolveStatus status = SolveStatus::Ok;
+  index_t done = 0;
+  for (index_t bj = 0; bj < m && status == SolveStatus::Ok; ++bj) {
+    for (index_t bi = bj; bi >= 0; --bi) {
+      if (ctx.poll()) {
+        status = SolveStatus::Cancelled;
+        break;
+      }
+      engine.compute_block(bi, bj, st);
+      ++done;
+    }
+  }
+  if (ss != nullptr) {
+    ss->wall_seconds = sw.seconds();
+    ss->worker_busy = {ss->wall_seconds};
+    ss->tasks = done;
+    ss->worker_tasks = {done};
+  }
+  return status;
+}
+
+/// Legacy form (no cancellation).
 template <class T>
 void solve_blocked_serial_into(BlockedTriangularMatrix<T>& mat,
                                const NpdpInstance<T>& inst,
                                const NpdpOptions& opts,
                                SolveStats* ss = nullptr) {
-  CELLNPDP_TRACE_SPAN("solve", "solve_blocked_serial");
-  BlockEngine<T> engine(mat, inst, opts);
-  engine.seed();
-  const index_t m = engine.blocks_per_side();
-  Stopwatch sw;
-  EngineStats* st = ss != nullptr ? &ss->engine : nullptr;
-  for (index_t bj = 0; bj < m; ++bj)
-    for (index_t bi = bj; bi >= 0; --bi) engine.compute_block(bi, bj, st);
-  if (ss != nullptr) {
-    ss->wall_seconds = sw.seconds();
-    ss->worker_busy = {ss->wall_seconds};
-    ss->tasks = triangle_cells(m);
-    ss->worker_tasks = {ss->tasks};
-  }
+  ExecutionContext ctx;
+  ctx.tuning = opts;
+  ctx.stats = ss;
+  solve_blocked_serial_into(mat, inst, ctx);
 }
 
 /// Serial blocked solver: the Fig. 4(b) flowchart — memory blocks walked
@@ -74,15 +84,18 @@ BlockedTriangularMatrix<T> solve_blocked_serial(const NpdpInstance<T>& inst,
   return mat;
 }
 
-/// Parallel blocked solver: tier 2 of CellNPDP — scheduling blocks of
-/// opts.sched_side x opts.sched_side memory blocks dispatched through the
-/// simplified dependence graph onto opts.threads workers.
+/// Parallel blocked solve into a caller-owned (freshly reset) matrix:
+/// tier 2 of CellNPDP — scheduling blocks of sched_side x sched_side
+/// memory blocks dispatched through the simplified dependence graph onto
+/// tuning.threads workers. Each task body polls the cancel token per
+/// memory block; the executor stops releasing tasks once it trips.
 template <class T>
-BlockedTriangularMatrix<T> solve_blocked_parallel(const NpdpInstance<T>& inst,
-                                                  const NpdpOptions& opts,
-                                                  SolveStats* ss = nullptr) {
+SolveStatus solve_blocked_parallel_into(BlockedTriangularMatrix<T>& mat,
+                                        const NpdpInstance<T>& inst,
+                                        const ExecutionContext& ctx) {
   CELLNPDP_TRACE_SPAN("solve", "solve_blocked_parallel");
-  BlockedTriangularMatrix<T> mat(inst.n, opts.block_side);
+  const NpdpOptions& opts = ctx.tuning;
+  SolveStats* ss = ctx.stats;
   BlockEngine<T> engine(mat, inst, opts);
   engine.seed();
 
@@ -104,16 +117,24 @@ BlockedTriangularMatrix<T> solve_blocked_parallel(const NpdpInstance<T>& inst,
     const index_t row_lo = si * ss_side,
                   row_hi = std::min(m, (si + 1) * ss_side);
     for (index_t bj = col_lo; bj < col_hi; ++bj)
-      for (index_t bi = std::min(bj, row_hi - 1); bi >= row_lo; --bi)
+      for (index_t bi = std::min(bj, row_hi - 1); bi >= row_lo; --bi) {
+        if (ctx.poll()) return;  // dependents are never released
         engine.compute_block(bi, bj, st);
+      }
   };
 
   ExecutorStats es;
   ExecutorStats* esp = want_stats ? &es : nullptr;
+  bool completed;
   if (opts.threads <= 1) {
-    TaskQueueExecutor::run_serial(graph, body, esp);
+    const auto order =
+        TaskQueueExecutor::run_serial(graph, body, esp, ctx.cancel);
+    completed = static_cast<index_t>(order.size()) == graph.task_count() &&
+                !ctx.cancelled();
   } else {
-    TaskQueueExecutor::run(graph, opts.threads, body, esp);
+    completed =
+        TaskQueueExecutor::run(graph, opts.threads, body, esp, ctx.cancel) &&
+        !ctx.cancelled();
   }
   if (want_stats) {
     ss->wall_seconds = es.wall_seconds;
@@ -122,45 +143,92 @@ BlockedTriangularMatrix<T> solve_blocked_parallel(const NpdpInstance<T>& inst,
     ss->tasks = es.tasks;
     ss->engine = sink.merged();
   }
+  return completed ? SolveStatus::Ok : SolveStatus::Cancelled;
+}
+
+/// Parallel blocked solver (allocating form, legacy signature).
+template <class T>
+BlockedTriangularMatrix<T> solve_blocked_parallel(const NpdpInstance<T>& inst,
+                                                  const NpdpOptions& opts,
+                                                  SolveStats* ss = nullptr) {
+  BlockedTriangularMatrix<T> mat(inst.n, opts.block_side);
+  ExecutionContext ctx;
+  ctx.tuning = opts;
+  ctx.stats = ss;
+  solve_blocked_parallel_into(mat, inst, ctx);
   return mat;
 }
 
 /// Alternative tier-2 schedule: block anti-diagonals processed step by
 /// step with a barrier between steps (the structure of the prior works the
 /// paper improves on, §II-B). Blocks within one wavefront are mutually
-/// independent; the barrier is the cost this schedule pays.
+/// independent; the barrier is the cost this schedule pays. Uses (and
+/// never destroys) ctx.pool when provided; cancellation is observed
+/// between blocks and between wavefront steps.
+template <class T>
+SolveStatus solve_blocked_wavefront_into(BlockedTriangularMatrix<T>& mat,
+                                         const NpdpInstance<T>& inst,
+                                         const ExecutionContext& ctx) {
+  CELLNPDP_TRACE_SPAN("solve", "solve_blocked_wavefront");
+  const NpdpOptions& opts = ctx.tuning;
+  SolveStats* ss = ctx.stats;
+  BlockEngine<T> engine(mat, inst, opts);
+  engine.seed();
+  const index_t m = engine.blocks_per_side();
+  std::unique_ptr<ThreadPool> owned;
+  ThreadPool* pool = ctx.pool;
+  if (pool == nullptr) {
+    owned = std::make_unique<ThreadPool>(opts.threads);
+    pool = owned.get();
+  }
+  EngineStatsSink sink;
+  const bool want_stats = ss != nullptr;
+  Stopwatch sw;
+  SolveStatus status = SolveStatus::Ok;
+  for (index_t d = 0; d < m && status == SolveStatus::Ok; ++d) {
+    pool->parallel_for(0, static_cast<std::size_t>(m - d),
+                       [&](std::size_t bi) {
+                         if (ctx.poll()) return;
+                         EngineStats* st =
+                             want_stats ? &sink.local() : nullptr;
+                         engine.compute_block(static_cast<index_t>(bi),
+                                              static_cast<index_t>(bi) + d,
+                                              st);
+                       });
+    if (ctx.cancel.poll_deadline_now()) status = SolveStatus::Cancelled;
+  }
+  if (want_stats) {
+    ss->wall_seconds = sw.seconds();
+    ss->worker_busy = pool->busy_seconds();
+    ss->tasks = triangle_cells(m);
+    ss->engine = sink.merged();
+  }
+  return status;
+}
+
 template <class T>
 BlockedTriangularMatrix<T> solve_blocked_wavefront(
     const NpdpInstance<T>& inst, const NpdpOptions& opts,
     SolveStats* ss = nullptr) {
-  CELLNPDP_TRACE_SPAN("solve", "solve_blocked_wavefront");
   BlockedTriangularMatrix<T> mat(inst.n, opts.block_side);
-  BlockEngine<T> engine(mat, inst, opts);
-  engine.seed();
-  const index_t m = engine.blocks_per_side();
-  ThreadPool pool(opts.threads);
-  EngineStatsSink sink;
-  const bool want_stats = ss != nullptr;
-  Stopwatch sw;
-  for (index_t d = 0; d < m; ++d) {
-    pool.parallel_for(0, static_cast<std::size_t>(m - d),
-                      [&](std::size_t bi) {
-                        EngineStats* st = want_stats ? &sink.local() : nullptr;
-                        engine.compute_block(static_cast<index_t>(bi),
-                                             static_cast<index_t>(bi) + d,
-                                             st);
-                      });
-  }
-  if (want_stats) {
-    ss->wall_seconds = sw.seconds();
-    ss->worker_busy = pool.busy_seconds();
-    ss->tasks = triangle_cells(m);
-    ss->engine = sink.merged();
-  }
+  ExecutionContext ctx;
+  ctx.tuning = opts;
+  ctx.stats = ss;
+  solve_blocked_wavefront_into(mat, inst, ctx);
   return mat;
 }
 
-/// Convenience dispatcher.
+/// Convenience dispatcher over the context's thread count.
+template <class T>
+SolveStatus solve_blocked_into(BlockedTriangularMatrix<T>& mat,
+                               const NpdpInstance<T>& inst,
+                               const ExecutionContext& ctx) {
+  return ctx.tuning.threads <= 1
+             ? solve_blocked_serial_into(mat, inst, ctx)
+             : solve_blocked_parallel_into(mat, inst, ctx);
+}
+
+/// Convenience dispatcher (legacy signature).
 template <class T>
 BlockedTriangularMatrix<T> solve_blocked(const NpdpInstance<T>& inst,
                                          const NpdpOptions& opts,

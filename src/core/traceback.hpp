@@ -25,6 +25,25 @@ struct NpdpSolution {
   }
 };
 
+/// Solves with argmin tracking (serial blocked engine), honouring the
+/// context's cancel token at memory-block granularity. On Cancelled the
+/// solution holds a partial (never torn) pair of tables.
+template <class T>
+SolveStatus solve_blocked_with_argmin_into(NpdpSolution<T>& sol,
+                                           const NpdpInstance<T>& inst,
+                                           const ExecutionContext& ctx) {
+  BlockEngine<T> engine(sol.values, inst, ctx.tuning);
+  engine.set_argmin(&sol.argmin);
+  engine.seed();
+  const index_t m = engine.blocks_per_side();
+  for (index_t bj = 0; bj < m; ++bj)
+    for (index_t bi = bj; bi >= 0; --bi) {
+      if (ctx.poll()) return SolveStatus::Cancelled;
+      engine.compute_block(bi, bj);
+    }
+  return SolveStatus::Ok;
+}
+
 /// Solves with argmin tracking (serial blocked engine).
 template <class T>
 NpdpSolution<T> solve_blocked_with_argmin(const NpdpInstance<T>& inst,
@@ -32,12 +51,9 @@ NpdpSolution<T> solve_blocked_with_argmin(const NpdpInstance<T>& inst,
   NpdpSolution<T> sol{
       BlockedTriangularMatrix<T>(inst.n, opts.block_side),
       BlockedTriangularMatrix<T>(inst.n, opts.block_side)};
-  BlockEngine<T> engine(sol.values, inst, opts);
-  engine.set_argmin(&sol.argmin);
-  engine.seed();
-  const index_t m = engine.blocks_per_side();
-  for (index_t bj = 0; bj < m; ++bj)
-    for (index_t bi = bj; bi >= 0; --bi) engine.compute_block(bi, bj);
+  ExecutionContext ctx;
+  ctx.tuning = opts;
+  solve_blocked_with_argmin_into(sol, inst, ctx);
   return sol;
 }
 

@@ -33,6 +33,7 @@ struct SolveSpec {
   std::uint64_t seed = 1;
   index_t block_side = 64;
   KernelKind kernel = KernelKind::Native;
+  std::string backend;  ///< registry name; empty = the service's default
 };
 
 /// Zuker MFE fold of an explicit sequence, or of the deterministic random
@@ -94,6 +95,7 @@ inline std::uint64_t content_hash(const Request& r) {
     h = hash_u64(h, s->seed);
     h = hash_u64(h, static_cast<std::uint64_t>(s->block_side));
     h = hash_u64(h, static_cast<std::uint64_t>(s->kernel));
+    h = hash_str(h, s->backend);
   } else if (const auto* f = std::get_if<FoldSpec>(&r.payload)) {
     h = hash_str(h, f->seq);
     if (f->seq.empty()) {
@@ -118,6 +120,7 @@ inline std::uint64_t shape_key(const Request& r) {
     h = hash_u64(h, static_cast<std::uint64_t>(s->n));
     h = hash_u64(h, static_cast<std::uint64_t>(s->block_side));
     h = hash_u64(h, static_cast<std::uint64_t>(s->kernel));
+    h = hash_str(h, s->backend);
   } else if (const auto* f = std::get_if<FoldSpec>(&r.payload)) {
     const index_t len =
         f->seq.empty() ? f->random_n : static_cast<index_t>(f->seq.size());
@@ -143,6 +146,7 @@ inline index_t instance_size(const Request& r) {
 // --- line-format parsing ---------------------------------------------------
 //
 //   solve n=512 [seed=3] [block=64] [kernel=scalar|simd128|simd256]
+//         [backend=<registry name>]
 //   fold  seq=ACGUACGU | random=200 [seed=7]
 //   parse parens=(()()) | anbn=aabb
 //
@@ -231,6 +235,10 @@ inline bool parse_request_line(const std::string& line, Request* out,
           *err = "unknown kernel '" + v + "'";
           return false;
         }
+      } else if (k == "backend") {
+        // Validated at execution (the registry is the source of truth);
+        // an unknown name surfaces as a Status::Error response.
+        s.backend = v;
       } else {
         *err = "unknown solve key '" + k + "'";
         return false;

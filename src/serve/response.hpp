@@ -16,7 +16,8 @@ enum class Status {
   Rejected,   ///< refused at admission (queue full under Reject, or stopped)
   Shed,       ///< evicted from the queue by the ShedOldest overload policy
   Expired,    ///< deadline passed before a worker picked the request up
-  Cancelled,  ///< service stopped without draining the queue
+  Cancelled,  ///< aborted cooperatively: deadline passed mid-solve, or the
+              ///< service stopped without draining
   Error,      ///< the solver threw; detail carries the message
 };
 

@@ -1,7 +1,10 @@
 // LRU result cache keyed by the content hash of a request. Thread-safe:
 // the dispatcher probes it at dispatch time and every worker fills it
 // after a solve. Capacity 0 disables caching (probes miss, fills no-op),
-// which keeps the service code branch-free.
+// which keeps the service code branch-free. Hits, misses, and evictions
+// are mirrored into the process-wide obs metrics registry
+// (serve.cache.{hits,misses,evictions}) so they show up in metric dumps
+// next to the queue and status counters.
 #pragma once
 
 #include <cstddef>
@@ -10,6 +13,8 @@
 #include <mutex>
 #include <unordered_map>
 #include <utility>
+
+#include "obs/metrics.hpp"
 
 namespace cellnpdp::serve {
 
@@ -25,11 +30,13 @@ class ResultCache {
     auto it = map_.find(key);
     if (it == map_.end()) {
       ++misses_;
+      obs_misses_.add();
       return false;
     }
     lru_.splice(lru_.begin(), lru_, it->second);
     *out = it->second->second;
     ++hits_;
+    obs_hits_.add();
     return true;
   }
 
@@ -48,6 +55,7 @@ class ResultCache {
       map_.erase(lru_.back().first);
       lru_.pop_back();
       ++evictions_;
+      obs_evictions_.add();
     }
     lru_.emplace_front(key, std::move(value));
     map_[key] = lru_.begin();
@@ -79,6 +87,10 @@ class ResultCache {
                      typename std::list<std::pair<std::uint64_t, V>>::iterator>
       map_;
   std::uint64_t hits_ = 0, misses_ = 0, evictions_ = 0;
+  obs::Counter& obs_hits_ = obs::metrics().counter("serve.cache.hits");
+  obs::Counter& obs_misses_ = obs::metrics().counter("serve.cache.misses");
+  obs::Counter& obs_evictions_ =
+      obs::metrics().counter("serve.cache.evictions");
 };
 
 }  // namespace cellnpdp::serve

@@ -26,6 +26,10 @@ SolveService::SolveService(ServiceOptions opts)
   queue_.set_expiry(
       [](const Item& it) { return it->req.expired(); },
       [this](Item&& it) {
+        // Lazy in-queue expiry: distinct from Shed (overload) in both the
+        // response status and the serve.expired counter; queue_ns stamps
+        // how long the request sat before its deadline passed.
+        obs::metrics().counter("serve.expired").add();
         respond(it, Status::Expired, 0, {},
                 ns_between(it->enqueued, Clock::now()));
       });
@@ -43,6 +47,13 @@ std::future<Response> SolveService::submit(Request req) {
   p->req = std::move(req);
   p->hash = content_hash(p->req);
   p->enqueued = Clock::now();
+  // Every request gets an armed token (polled mid-solve at memory-block
+  // granularity: one relaxed load per block). Deadlines are wired into it
+  // so workers observe the deadline passing and abort cooperatively —
+  // expiry is enforced during execution, not only while queued.
+  p->cancel = p->req.has_deadline()
+                  ? CancelToken::with_deadline(p->req.deadline)
+                  : CancelToken::armed();
   std::future<Response> fut = p->promise.get_future();
   ++submitted_;
   if (stopped_.load(std::memory_order_acquire)) {
@@ -61,7 +72,16 @@ std::future<Response> SolveService::submit(Request req) {
 void SolveService::stop(bool drain) {
   std::lock_guard lk(stop_mu_);
   if (stopped_.exchange(true, std::memory_order_acq_rel)) return;
-  if (!drain) cancel_queued_.store(true, std::memory_order_release);
+  if (!drain) {
+    cancel_queued_.store(true, std::memory_order_release);
+    // Abort in-flight solves too: every dispatched Pending carries an
+    // armed token, so tripping the copies here reaches the workers at
+    // their next per-block poll and frees them within a block's worth of
+    // work; run_batch answers those requests with Status::Cancelled.
+    std::lock_guard ilk(inflight_mu_);
+    for (const auto& w : inflight_reqs_)
+      if (auto it = w.lock()) it->cancel.request_cancel(CancelReason::Shutdown);
+  }
   queue_.close();
   if (dispatcher_.joinable()) dispatcher_.join();
 }
@@ -125,6 +145,7 @@ void SolveService::dispatch(Batch<Item> batch) {
     std::unique_lock lk(inflight_mu_);
     inflight_cv_.wait(lk, [this] { return inflight_ < max_inflight(); });
     inflight_ += batch.items.size();
+    for (const Item& it : batch.items) inflight_reqs_.push_back(it);
   }
   ++batches_;
   obs::metrics().counter("serve.batches").add();
@@ -142,11 +163,17 @@ void SolveService::run_batch(const Batch<Item>& batch) {
     const std::int64_t queue_ns = ns_between(it->enqueued, picked_up);
     // A deadline can pass between dispatch and pick-up; shed here too.
     if (it->req.expired(picked_up)) {
+      obs::metrics().counter("serve.expired").add();
       respond(it, Status::Expired, 0, {}, queue_ns);
     } else {
-      const SolveOutcome o = pool_.execute(it->req);
+      const SolveOutcome o = pool_.execute(it->req, it->cancel, opts_.backend);
       const std::int64_t solve_ns = ns_between(picked_up, Clock::now());
-      if (!o.ok) {
+      if (o.cancelled) {
+        // Aborted mid-solve (deadline passed, or stop(drain=false)); the
+        // detail names the trip reason. Never cached: the arena held a
+        // partial result.
+        respond(it, Status::Cancelled, 0, o.error, queue_ns, solve_ns);
+      } else if (!o.ok) {
         respond(it, Status::Error, 0, o.error, queue_ns, solve_ns);
       } else {
         cache_.put(it->hash, CachedResult{o.value, o.detail});
@@ -156,6 +183,13 @@ void SolveService::run_batch(const Batch<Item>& batch) {
     {
       std::lock_guard lk(inflight_mu_);
       --inflight_;
+      for (auto wi = inflight_reqs_.begin(); wi != inflight_reqs_.end();) {
+        const auto sp = wi->lock();
+        if (sp == nullptr || sp == it)
+          wi = inflight_reqs_.erase(wi);
+        else
+          ++wi;
+      }
     }
     inflight_cv_.notify_one();
   }

@@ -23,7 +23,9 @@
 #include <mutex>
 #include <string>
 #include <thread>
+#include <vector>
 
+#include "common/cancel.hpp"
 #include "serve/batcher.hpp"
 #include "serve/queue.hpp"
 #include "serve/request.hpp"
@@ -40,6 +42,8 @@ struct ServiceOptions {
   std::size_t cache_capacity = 1024;  ///< entries; 0 disables the cache
   std::size_t batch_max = 8;          ///< requests fused into one dispatch
   index_t batch_max_size = 512;       ///< batch only instances this small
+  std::string backend = "blocked-serial";  ///< default solve backend; a
+                                           ///< request's own backend= wins
 };
 
 /// Point-in-time counters; every terminal response is counted exactly once
@@ -80,8 +84,10 @@ class SolveService {
 
   /// Stops the service. drain = true completes every admitted request
   /// before returning; drain = false answers queued (not yet dispatched)
-  /// requests with Status::Cancelled but still lets in-flight worker
-  /// batches finish. Idempotent; submit() after stop() rejects.
+  /// requests with Status::Cancelled and trips the cancel token of every
+  /// in-flight solve, so workers abort cooperatively at their next
+  /// memory-block poll instead of running to completion. Idempotent;
+  /// submit() after stop() rejects.
   void stop(bool drain = true);
 
   ServiceStats stats() const;
@@ -93,6 +99,10 @@ class SolveService {
     std::uint64_t hash = 0;
     std::promise<Response> promise;
     Clock::time_point enqueued{};
+    /// Armed for every request (one relaxed load per block to poll), with
+    /// the deadline wired in when the request carries one, so both deadline
+    /// expiry and stop(drain=false) abort the solve mid-flight.
+    CancelToken cancel;
   };
   using Item = std::shared_ptr<Pending>;
 
@@ -127,6 +137,9 @@ class SolveService {
   std::mutex inflight_mu_;
   std::condition_variable inflight_cv_;
   std::size_t inflight_ = 0;
+  /// Tokens of dispatched-but-unanswered requests, so stop(drain=false)
+  /// can abort them mid-solve. Pruned as their batches respond.
+  std::vector<std::weak_ptr<Pending>> inflight_reqs_;
 
   // Terminal-status counters (see ServiceStats).
   std::atomic<std::uint64_t> submitted_{0}, completed_{0}, cache_hits_{0},

@@ -6,6 +6,7 @@
 
 #include "apps/cyk/cyk.hpp"
 #include "apps/zuker/fold.hpp"
+#include "backend/solver_backend.hpp"
 #include "common/rng.hpp"
 #include "core/solve.hpp"
 #include "obs/trace.hpp"
@@ -61,41 +62,64 @@ void SolverPool::checkin(Arena* a) {
   a->in_use = false;
 }
 
-SolveOutcome SolverPool::execute(const Request& req) {
+SolveOutcome SolverPool::execute(const Request& req, const CancelToken& cancel,
+                                 const std::string& default_backend) {
   CELLNPDP_TRACE_SPAN("serve", "execute");
   SolveOutcome out;
   try {
     if (const auto* s = std::get_if<SolveSpec>(&req.payload)) {
       if (s->n < 1) throw std::invalid_argument("solve needs n >= 1");
+      const std::string& name = !s->backend.empty()      ? s->backend
+                                : !default_backend.empty() ? default_backend
+                                                           : "blocked-serial";
+      const backend::SolverBackend& be = backend::require_backend(name);
       NpdpInstance<float> inst;
       inst.n = s->n;
       const std::uint64_t seed = s->seed;
       inst.init = [seed](index_t i, index_t j) {
         return random_init_value<float>(seed, i, j);
       };
-      NpdpOptions opts;
-      opts.block_side = s->block_side;
-      opts.kernel = s->kernel;
-      opts.threads = 1;
+      ExecutionContext ctx;
+      ctx.cancel = cancel;
+      ctx.tuning.block_side = s->block_side;
+      ctx.tuning.kernel = s->kernel;
+      ctx.tuning.threads = 1;
+      Arena* a = nullptr;
       bool reused = false;
-      Arena* a = checkout(s->n, s->block_side, &reused);
-      try {
+      if (be.caps().arena) {
+        a = checkout(s->n, s->block_side, &reused);
         if (reused) a->mat->reset();
-        solve_blocked_serial_into(*a->mat, inst, opts);
-        out.value = double(a->mat->at(0, s->n - 1));
+        ctx.arena = a->mat.get();
+      }
+      backend::BackendResult r;
+      try {
+        r = be.solve(inst, ctx);
       } catch (...) {
-        checkin(a);
+        if (a != nullptr) checkin(a);
         throw;
       }
-      checkin(a);
+      if (a != nullptr) checkin(a);
       out.arena_reused = reused;
+      if (r.status == SolveStatus::Cancelled) {
+        out.cancelled = true;
+        out.error = cancel_reason_name(cancel.reason());
+        return out;
+      }
+      out.value = r.value;
       out.ok = true;
     } else if (const auto* f = std::get_if<FoldSpec>(&req.payload)) {
       const std::vector<zuker::Base> seq =
           f->seq.empty() ? zuker::random_sequence(f->random_n, f->seed)
                          : zuker::parse_sequence(f->seq);
-      zuker::ZukerFolder folder;
+      zuker::FoldOptions fo;
+      fo.cancel = cancel;
+      zuker::ZukerFolder folder(zuker::EnergyModel{}, fo);
       const auto r = folder.fold(seq);
+      if (r.cancelled) {
+        out.cancelled = true;
+        out.error = cancel_reason_name(cancel.reason());
+        return out;
+      }
       out.value = double(r.mfe);
       out.detail = r.structure;
       out.ok = true;

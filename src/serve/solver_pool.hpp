@@ -20,6 +20,7 @@
 #include <string>
 #include <vector>
 
+#include "common/cancel.hpp"
 #include "common/thread_pool.hpp"
 #include "layout/blocked.hpp"
 #include "serve/request.hpp"
@@ -27,9 +28,12 @@
 namespace cellnpdp::serve {
 
 /// What executing one request produced. `ok == false` means the solver
-/// threw and `error` carries the message.
+/// threw (`error` carries the message) or the solve was cancelled
+/// mid-flight (`cancelled` set; the arena was checked back in, partial but
+/// never torn).
 struct SolveOutcome {
   bool ok = false;
+  bool cancelled = false;
   double value = 0;
   std::string detail;
   std::string error;
@@ -51,8 +55,12 @@ class SolverPool {
   void wait_idle() { pool_.wait_idle(); }
 
   /// Executes one request on the calling thread (normally a pool worker).
-  /// Never throws: solver exceptions are captured into the outcome.
-  SolveOutcome execute(const Request& req);
+  /// Never throws: solver exceptions are captured into the outcome. Solve
+  /// requests resolve a backend from the registry (the request's own
+  /// `backend` field, else `default_backend`, else "blocked-serial") and
+  /// poll `cancel` at memory-block granularity.
+  SolveOutcome execute(const Request& req, const CancelToken& cancel = {},
+                       const std::string& default_backend = {});
 
   std::uint64_t arena_allocations() const;
   std::uint64_t arena_reuses() const;

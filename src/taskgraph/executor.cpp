@@ -20,6 +20,7 @@ std::int64_t now_ns() {
 struct SchedMetrics {
   obs::Counter& tasks = obs::metrics().counter("sched.tasks");
   obs::Counter& enqueued = obs::metrics().counter("sched.enqueued");
+  obs::Counter& abandoned = obs::metrics().counter("sched.cancelled_tasks");
   obs::Histogram& task_ns = obs::metrics().histogram("sched.task_ns");
   obs::Histogram& ready_depth = obs::metrics().histogram("sched.ready_depth");
   static SchedMetrics& get() {
@@ -30,9 +31,9 @@ struct SchedMetrics {
 
 }  // namespace
 
-void TaskQueueExecutor::run(const BlockDependenceGraph& graph,
+bool TaskQueueExecutor::run(const BlockDependenceGraph& graph,
                             std::size_t threads, const TaskFn& body,
-                            ExecutorStats* stats) {
+                            ExecutorStats* stats, const CancelToken& cancel) {
   threads = std::max<std::size_t>(1, threads);
   SchedMetrics& sm = SchedMetrics::get();
 
@@ -45,6 +46,7 @@ void TaskQueueExecutor::run(const BlockDependenceGraph& graph,
   std::condition_variable cv;
   std::vector<std::int64_t> busy_ns(threads, 0);
   std::vector<index_t> ntasks(threads, 0);
+  index_t executed = 0;  // guarded by mu
   const std::int64_t t_start = now_ns();
 
   auto worker = [&](std::size_t w) {
@@ -52,8 +54,20 @@ void TaskQueueExecutor::run(const BlockDependenceGraph& graph,
                                              std::to_string(w));
     std::unique_lock lk(mu);
     for (;;) {
-      cv.wait(lk, [&] { return !ready.empty() || tracker.all_complete(); });
-      if (tracker.all_complete()) return;
+      if (cancel.armed_token()) {
+        // Bounded waits so an externally-tripped token (or its deadline,
+        // forced here since a task is a coarse enough boundary for a clock
+        // read) is observed even while the queue is empty.
+        while (ready.empty() && !tracker.all_complete() &&
+               !cancel.poll_deadline_now())
+          cv.wait_for(lk, std::chrono::milliseconds(1));
+      } else {
+        cv.wait(lk, [&] { return !ready.empty() || tracker.all_complete(); });
+      }
+      if (tracker.all_complete() || cancel.cancelled()) {
+        cv.notify_all();  // release any peer still in a bounded wait
+        return;
+      }
       const index_t id = ready.front();
       ready.pop_front();
       const auto [si, sj] = graph.coords(id);
@@ -72,7 +86,14 @@ void TaskQueueExecutor::run(const BlockDependenceGraph& graph,
       sm.tasks.add();
       sm.task_ns.observe(dt);
       lk.lock();
+      ++executed;
 
+      // A tripped token stops the release of dependents: the run winds
+      // down as soon as every in-flight task body returns.
+      if (cancel.cancelled()) {
+        cv.notify_all();
+        return;
+      }
       for (index_t next : tracker.complete(id)) {
         ready.push_back(next);
         CELLNPDP_TRACE_INSTANT("sched", "enqueue", next);
@@ -96,19 +117,24 @@ void TaskQueueExecutor::run(const BlockDependenceGraph& graph,
   for (std::size_t t = 0; t < threads; ++t) pool.emplace_back(worker, t);
   for (auto& th : pool) th.join();
 
+  const bool completed = executed == graph.task_count();
+  if (!completed)
+    sm.abandoned.add(
+        static_cast<std::int64_t>(graph.task_count() - executed));
   if (stats != nullptr) {
     stats->wall_seconds = double(now_ns() - t_start) / 1e9;
     stats->worker_busy.assign(threads, 0);
     for (std::size_t t = 0; t < threads; ++t)
       stats->worker_busy[t] = double(busy_ns[t]) / 1e9;
     stats->worker_tasks = ntasks;
-    stats->tasks = graph.task_count();
+    stats->tasks = executed;
   }
+  return completed;
 }
 
 std::vector<index_t> TaskQueueExecutor::run_serial(
     const BlockDependenceGraph& graph, const TaskFn& body,
-    ExecutorStats* stats) {
+    ExecutorStats* stats, const CancelToken& cancel) {
   SchedMetrics& sm = SchedMetrics::get();
   ReadyTracker tracker(graph);
   std::deque<index_t> ready;
@@ -119,6 +145,7 @@ std::vector<index_t> TaskQueueExecutor::run_serial(
   const std::int64_t t_start = now_ns();
   std::int64_t busy = 0;
   while (!ready.empty()) {
+    if (cancel.poll_deadline_now()) break;
     const index_t id = ready.front();
     ready.pop_front();
     const auto [si, sj] = graph.coords(id);
@@ -134,11 +161,15 @@ std::vector<index_t> TaskQueueExecutor::run_serial(
     order.push_back(id);
     for (index_t next : tracker.complete(id)) ready.push_back(next);
   }
+  const index_t executed = static_cast<index_t>(order.size());
+  if (executed != graph.task_count())
+    sm.abandoned.add(
+        static_cast<std::int64_t>(graph.task_count() - executed));
   if (stats != nullptr) {
     stats->wall_seconds = double(now_ns() - t_start) / 1e9;
     stats->worker_busy = {double(busy) / 1e9};
-    stats->worker_tasks = {graph.task_count()};
-    stats->tasks = graph.task_count();
+    stats->worker_tasks = {executed};
+    stats->tasks = executed;
   }
   return order;
 }

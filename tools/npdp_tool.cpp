@@ -1,8 +1,10 @@
 // npdp — command-line front end to the cellnpdp library.
 //
-//   npdp solve     --n 4096 [--kernel simd128] [--block 64] [--threads 8]
-//                  [--seed 1] [--maxplus] [--save table.bin]
+//   npdp solve     --n 4096 [--backend blocked-parallel] [--kernel simd128]
+//                  [--block 64] [--threads 8] [--seed 1] [--deadline-ms 50]
+//                  [--maxplus] [--save table.bin]
 //                  [--trace out.json] [--metrics out.json] [--report]
+//   npdp backends  list the registered solver backends and capabilities
 //   npdp check-trace --file out.json [--min-workers 1] [--expect-tasks N]
 //   npdp info      --file table.bin
 //   npdp fold      --seq ACGU... | --random 500 [--seed 7] [--threads 4]
@@ -12,13 +14,15 @@
 //   npdp model     --n 4096 [--spes 16]
 //   npdp serve     --requests <file|-> [--workers 4] [--queue 256]
 //                  [--policy block|reject|shed] [--cache 1024] [--batch 8]
+//                  [--backend blocked-serial]
 //   npdp bench-serve --requests 1000 [--workers 4] [--mode closed|open]
 //                  [--concurrency 8] [--rate 500] [--distinct 25]
-//                  [--policy block] [--json-dir .]
+//                  [--policy block] [--json-dir .] [--backend blocked-serial]
 //
 // Exit codes: 0 success, 1 runtime error, 2 unknown subcommand,
-// 3 bad arguments (missing/duplicate/malformed flags).
+// 3 bad arguments (missing/duplicate/malformed flags, unknown --backend).
 #include <algorithm>
+#include <chrono>
 #include <cstdio>
 #include <cstring>
 #include <fstream>
@@ -26,6 +30,7 @@
 #include <iostream>
 #include <iterator>
 #include <map>
+#include <memory>
 #include <stdexcept>
 #include <string>
 #include <thread>
@@ -33,6 +38,7 @@
 
 #include "apps/cyk/cyk.hpp"
 #include "apps/zuker/fold.hpp"
+#include "backend/solver_backend.hpp"
 #include "bench_util/bench_config.hpp"
 #include "bench_util/json_out.hpp"
 #include "bench_util/table.hpp"
@@ -110,6 +116,16 @@ KernelKind kernel_from(const std::string& s) {
   return KernelKind::Native;
 }
 
+/// Registry lookup with the CLI's error convention: an unknown name is a
+/// usage error (exit 3), with the known names in the message.
+const backend::SolverBackend& backend_from(const std::string& name) {
+  try {
+    return backend::require_backend(name);
+  } catch (const backend::UnknownBackendError& e) {
+    throw UsageError(e.what());
+  }
+}
+
 int cmd_solve(const Args& a) {
   NpdpInstance<float> inst;
   inst.n = a.num("n", 1024);
@@ -123,6 +139,12 @@ int cmd_solve(const Args& a) {
   opts.kernel = kernel_from(a.get("kernel", "simd128"));
   opts.threads = static_cast<std::size_t>(a.num("threads", 1));
 
+  const bool maxplus = a.has("maxplus");
+  const std::string backend_name = a.get(
+      "backend", opts.threads > 1 ? "blocked-parallel" : "blocked-serial");
+  const backend::SolverBackend* be =
+      maxplus ? nullptr : &backend_from(backend_name);
+
   const bool tracing = a.has("trace");
   const bool want_report = a.has("report");
   if (tracing)
@@ -132,21 +154,49 @@ int cmd_solve(const Args& a) {
   Stopwatch sw;
   SolveStats ss;
   SolveStats* ssp = (want_report || a.has("metrics")) ? &ss : nullptr;
-  BlockedTriangularMatrix<float> table =
-      a.has("maxplus") ? solve_blocked_maxplus(inst, opts)
-                       : solve_blocked(inst, opts, ssp);
+  ExecutionContext ctx;
+  ctx.tuning = opts;
+  ctx.stats = ssp;
+  if (a.has("deadline-ms"))
+    ctx.cancel =
+        CancelToken::after(std::chrono::milliseconds(a.num("deadline-ms", 0)));
+
+  double value = 0, sim_s = 0;
+  std::shared_ptr<BlockedTriangularMatrix<float>> table;
+  if (maxplus) {
+    auto mp = solve_blocked_maxplus(inst, opts);
+    value = double(mp.at(0, inst.n - 1));
+    table = std::make_shared<BlockedTriangularMatrix<float>>(std::move(mp));
+  } else {
+    const backend::BackendResult r = be->solve(inst, ctx);
+    if (r.status == SolveStatus::Cancelled) {
+      if (tracing) obs::Tracer::instance().stop();
+      std::printf("cancelled (%s) after %s: partial table discarded\n",
+                  cancel_reason_name(ctx.cancel.reason()),
+                  fmt_seconds(sw.seconds()).c_str());
+      return 1;
+    }
+    value = r.value;
+    sim_s = r.sim_seconds;
+    table = r.blocked;
+  }
   const double s = sw.seconds();
   if (tracing) obs::Tracer::instance().stop();
-  std::printf("solved n=%lld (%s, block %lld, %zu threads) in %s\n",
+  std::printf("solved n=%lld (%s: %s, block %lld, %zu threads) in %s\n",
               static_cast<long long>(inst.n),
+              maxplus ? "maxplus" : backend_name.c_str(),
               std::string(kernel_kind_name(opts.kernel)).c_str(),
               static_cast<long long>(opts.block_side), opts.threads,
               fmt_seconds(s).c_str());
-  std::printf("d[0][n-1] = %g; %.2f G relax/s\n",
-              double(table.at(0, inst.n - 1)),
+  std::printf("d[0][n-1] = %g; %.2f G relax/s\n", value,
               double(npdp_relaxations(inst.n)) / s / 1e9);
+  if (sim_s > 0)
+    std::printf("simulated Cell time %s\n", fmt_seconds(sim_s).c_str());
   if (a.has("save")) {
-    save_table_file(a.get("save"), table);
+    if (table == nullptr)
+      throw UsageError("--save needs a backend producing a blocked table "
+                       "(backend '" + backend_name + "' does not)");
+    save_table_file(a.get("save"), *table);
     std::printf("saved to %s\n", a.get("save").c_str());
   }
 
@@ -198,6 +248,24 @@ int cmd_solve(const Args& a) {
     p.cores = double(std::max<std::size_t>(1, opts.threads));
     p.n2_override = double(opts.block_side);
     print_utilization_report(std::cout, rep, p);
+  }
+  return 0;
+}
+
+/// Lists every backend in the registry with its capability columns —
+/// the discovery companion of --backend.
+int cmd_backends(const Args&) {
+  std::printf("%-17s %-3s %-3s %-9s %-10s %-9s %-12s %-7s\n", "name", "sp",
+              "dp", "weighted", "traceback", "parallel", "cancellable",
+              "timing");
+  auto yn = [](bool v) { return v ? "yes" : "-"; };
+  for (const backend::SolverBackend* b :
+       backend::BackendRegistry::instance().list()) {
+    const backend::Capabilities c = b->caps();
+    std::printf("%-17s %-3s %-3s %-9s %-10s %-9s %-12s %-7s\n", b->name(),
+                yn(c.single_precision), yn(c.double_precision),
+                yn(c.weighted), yn(c.traceback), yn(c.parallel),
+                yn(c.cancellable), yn(c.timing_model));
   }
   return 0;
 }
@@ -418,6 +486,10 @@ serve::ServiceOptions service_options_from(const Args& a) {
   so.cache_capacity = static_cast<std::size_t>(a.num("cache", 1024));
   so.batch_max = static_cast<std::size_t>(a.num("batch", 8));
   so.batch_max_size = a.num("batch-max-size", 512);
+  if (a.has("backend")) {
+    backend_from(a.get("backend"));  // unknown name -> usage error (exit 3)
+    so.backend = a.get("backend");
+  }
   return so;
 }
 
@@ -463,14 +535,15 @@ int cmd_serve(const Args& a) {
   service.stop();
   const serve::ServiceStats st = service.stats();
   std::printf("served %llu requests: %llu ok, %llu cached, %llu rejected, "
-              "%llu shed, %llu expired, %llu errors; %llu batches, "
-              "%llu arena reuses\n",
+              "%llu shed, %llu expired, %llu cancelled, %llu errors; "
+              "%llu batches, %llu arena reuses\n",
               static_cast<unsigned long long>(st.submitted),
               static_cast<unsigned long long>(st.completed),
               static_cast<unsigned long long>(st.cache_hits),
               static_cast<unsigned long long>(st.rejected),
               static_cast<unsigned long long>(st.shed),
               static_cast<unsigned long long>(st.expired),
+              static_cast<unsigned long long>(st.cancelled),
               static_cast<unsigned long long>(st.errors),
               static_cast<unsigned long long>(st.batches),
               static_cast<unsigned long long>(st.arena_reuses));
@@ -607,9 +680,11 @@ int cmd_bench_serve(const Args& a) {
       .set("ok", ok)
       .set("ok_cached", cached)
       .set("dropped", dropped)
+      .set("backend", so.backend)
       .set("rejected", std::int64_t(st.rejected))
       .set("shed", std::int64_t(st.shed))
       .set("expired", std::int64_t(st.expired))
+      .set("cancelled", std::int64_t(st.cancelled))
       .set("errors", std::int64_t(st.errors))
       .set("cache_hit_rate", hit_rate)
       .set("cache_evictions", std::int64_t(st.cache_evictions))
@@ -622,8 +697,9 @@ int cmd_bench_serve(const Args& a) {
 
 void usage() {
   std::printf(
-      "usage: npdp <solve|check-trace|info|fold|parse|simulate|cluster|model"
-      "|serve|bench-serve> [--key value ...]\n"
+      "usage: npdp <solve|backends|check-trace|info|fold|parse|simulate"
+      "|cluster|model|serve|bench-serve> [--key value ...]\n"
+      "  backends     list the registered solver backends (--backend names)\n"
       "  serve        run the in-process solve service over a line-delimited\n"
       "               request stream (--requests <file|->)\n"
       "  bench-serve  closed/open-loop load generator; writes "
@@ -642,6 +718,7 @@ int main(int argc, char** argv) {
   try {
     const Args a = parse_args(argc, argv, 2);
     if (cmd == "solve") return cmd_solve(a);
+    if (cmd == "backends") return cmd_backends(a);
     if (cmd == "check-trace") return cmd_check_trace(a);
     if (cmd == "info") return cmd_info(a);
     if (cmd == "fold") return cmd_fold(a);

@@ -28,12 +28,23 @@ echo "== validate trace =="
 "$BUILD_DIR"/tools/npdp check-trace --file "$TRACE_DIR/trace.json" \
     --min-workers 2 --expect-tasks 528
 
-echo "== sanitizers (serve + taskgraph) =="
+echo "== sanitizers (serve + taskgraph + cancel) =="
 # The concurrency-heavy suites rerun under ASan/UBSan in a separate tree.
 ASAN_DIR=${ASAN_DIR:-build-asan}
 cmake -B "$ASAN_DIR" -S . -DCELLNPDP_SANITIZE=address,undefined
-cmake --build "$ASAN_DIR" -j "$JOBS" --target test_serve test_taskgraph
+cmake --build "$ASAN_DIR" -j "$JOBS" --target test_serve test_taskgraph \
+    test_cancel
 "$ASAN_DIR"/tests/test_serve
 "$ASAN_DIR"/tests/test_taskgraph
+"$ASAN_DIR"/tests/test_cancel
+
+echo "== thread sanitizer (serve + cancel) =="
+# Cancellation crosses threads by design (dispatcher trips tokens that
+# workers poll); TSan is the check that the handoff is race-free.
+TSAN_DIR=${TSAN_DIR:-build-tsan}
+cmake -B "$TSAN_DIR" -S . -DCELLNPDP_SANITIZE=thread
+cmake --build "$TSAN_DIR" -j "$JOBS" --target test_serve test_cancel
+"$TSAN_DIR"/tests/test_serve
+"$TSAN_DIR"/tests/test_cancel
 
 echo "verify.sh: OK"
