@@ -15,6 +15,7 @@
 #include "cellsim/npdp_sim.hpp"
 #include "core/reference.hpp"
 #include "core/solve.hpp"
+#include "resilience/resilient_solve.hpp"
 
 namespace cellnpdp::backend {
 
@@ -218,6 +219,34 @@ struct CellSimBackend final : SolverBackend {
   }
 };
 
+/// Self-checking serial solve: per-block retry + checksum repair
+/// (src/resilience). Bit-identical to blocked-serial on a clean run;
+/// under an active fault plan it detects injected throws/corruption and
+/// heals at block granularity. Retry budget follows ctx.retry when the
+/// caller set one, else the module default.
+struct ResilientBackend final : SolverBackend {
+  const char* name() const override { return "resilient"; }
+  Capabilities caps() const override {
+    Capabilities c;
+    c.double_precision = true;
+    c.weighted = true;
+    c.cancellable = true;
+    c.arena = true;
+    c.self_checking = true;
+    return c;
+  }
+  BackendResult solve(const NpdpInstance<float>& inst,
+                      const ExecutionContext& ctx) const override {
+    resilience::BlockRecoveryPolicy pol;
+    if (ctx.retry.enabled()) pol.retry = ctx.retry;
+    return solve_blocked_backend(
+        inst, ctx, [&](BlockedTriangularMatrix<float>& mat) {
+          return resilience::solve_blocked_serial_resilient_into(mat, inst,
+                                                                 ctx, pol);
+        });
+  }
+};
+
 void register_builtins(BackendRegistry& reg) {
   reg.add(std::make_unique<ReferenceBackend>());
   reg.add(std::make_unique<BlockedSerialBackend>());
@@ -225,6 +254,7 @@ void register_builtins(BackendRegistry& reg) {
   reg.add(std::make_unique<TanBackend>());
   reg.add(std::make_unique<RecursiveBackend>());
   reg.add(std::make_unique<CellSimBackend>());
+  reg.add(std::make_unique<ResilientBackend>());
 }
 
 }  // namespace

@@ -41,6 +41,8 @@ struct Capabilities {
   bool timing_model = false;      ///< simulated Cell timing, not host speed
   bool arena = false;             ///< solves into ExecutionContext::arena
                                   ///< when the caller provides one
+  bool self_checking = false;     ///< verifies block checksums and repairs
+                                  ///< corrupted blocks during the solve
 };
 
 /// Outcome of one backend solve. On SolveStatus::Cancelled only `status`

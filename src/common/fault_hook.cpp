@@ -1,0 +1,30 @@
+#include "common/fault_hook.hpp"
+
+#include <chrono>
+#include <thread>
+
+namespace cellnpdp {
+
+namespace detail {
+std::atomic<FaultHook*> g_fault_hook{nullptr};
+}
+
+void install_fault_hook(FaultHook* hook) noexcept {
+  detail::g_fault_hook.store(hook, std::memory_order_release);
+}
+
+void maybe_inject_task_fault(std::int64_t k1, std::int64_t k2) {
+  FaultHook* h = fault_hook();
+  if (h == nullptr) return;
+  if (h->fire(FaultSite::TaskStall, k1, k2)) {
+    const std::int64_t ms = h->stall_ms(FaultSite::TaskStall);
+    if (ms > 0) std::this_thread::sleep_for(std::chrono::milliseconds(ms));
+  }
+  if (h->fire(FaultSite::TaskThrow, k1, k2)) {
+    throw InjectedFault(FaultSite::TaskThrow,
+                        "task (" + std::to_string(k1) + "," +
+                            std::to_string(k2) + ")");
+  }
+}
+
+}  // namespace cellnpdp

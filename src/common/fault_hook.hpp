@@ -1,0 +1,93 @@
+// Fault-injection hook: the zero-cost-when-off seam between the execution
+// layers (task-queue executor, thread pool, solver pool, serve dispatcher)
+// and the resilience harness (src/resilience).
+//
+// The layers call maybe_inject_*() at their natural failure boundaries;
+// with no hook installed that is one relaxed atomic load plus a null test
+// — nothing is allocated, no branch history beyond the always-not-taken
+// test, so the clean path stays within measurement noise (enforced by
+// bench_resilience). Installing a FaultHook (normally a
+// resilience::FaultInjector driven by a seeded FaultPlan) makes the same
+// call sites fire deterministic faults: thrown exceptions, stalls, block
+// corruption, worker deaths, and admission overload.
+//
+// This header lives in common/ (not resilience/) on purpose: the executor
+// and thread pool must be able to reach the hook without depending on the
+// resilience module that sits above them.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+
+namespace cellnpdp {
+
+/// Where a fault can be injected. Sites are coordinates into a FaultPlan:
+/// each plan rule names one site and the rate/cap of its firings there.
+enum class FaultSite : int {
+  TaskThrow = 0,  ///< task/request body throws InjectedFault
+  TaskStall,      ///< task/request body sleeps for the rule's stall_ms
+  BlockCorrupt,   ///< a just-relaxed memory block is scribbled (torn DMA)
+  WorkerDeath,    ///< a pool worker retires mid-run (and is respawned)
+  QueueOverload,  ///< admission behaves as if the queue were full
+};
+
+inline constexpr int kFaultSiteCount = 5;
+
+constexpr const char* fault_site_name(FaultSite s) {
+  switch (s) {
+    case FaultSite::TaskThrow: return "task-throw";
+    case FaultSite::TaskStall: return "task-stall";
+    case FaultSite::BlockCorrupt: return "block-corrupt";
+    case FaultSite::WorkerDeath: return "worker-death";
+    case FaultSite::QueueOverload: return "queue-overload";
+  }
+  return "?";
+}
+
+/// The exception a TaskThrow firing raises out of a task/request body.
+/// Distinct from std::runtime_error users so tests can tell an injected
+/// failure from a genuine one.
+struct InjectedFault : std::runtime_error {
+  FaultSite site;
+  explicit InjectedFault(FaultSite s, const std::string& where)
+      : std::runtime_error(std::string("injected fault (") +
+                           fault_site_name(s) + ") at " + where),
+        site(s) {}
+};
+
+/// Decides, per call, whether a fault fires at a site. Implementations
+/// must be thread-safe: every execution layer calls fire() concurrently.
+/// k1/k2 are site-specific coordinates ((si,sj) for tasks, (bi,bj) for
+/// blocks, worker index for deaths, request id for overload) recorded in
+/// the injector's fired-fault log.
+class FaultHook {
+ public:
+  virtual ~FaultHook() = default;
+  virtual bool fire(FaultSite site, std::int64_t k1, std::int64_t k2) = 0;
+  /// Sleep duration for a TaskStall firing, in milliseconds.
+  virtual std::int64_t stall_ms(FaultSite site) const = 0;
+};
+
+namespace detail {
+extern std::atomic<FaultHook*> g_fault_hook;
+}
+
+/// The installed hook, or null (the default). One atomic load.
+inline FaultHook* fault_hook() noexcept {
+  return detail::g_fault_hook.load(std::memory_order_acquire);
+}
+
+/// Installs (or with null, removes) the process-wide hook. The caller owns
+/// the hook and must keep it alive — and must uninstall it — while any
+/// solve/serve traffic may still be running; resilience::
+/// FaultInjectionScope is the RAII wrapper that gets this right.
+void install_fault_hook(FaultHook* hook) noexcept;
+
+/// Task-granular injection, called by the executor / solver pool before a
+/// task or request body runs. Fires TaskStall (sleeps) then TaskThrow
+/// (throws InjectedFault). No-op without an installed hook.
+void maybe_inject_task_fault(std::int64_t k1, std::int64_t k2);
+
+}  // namespace cellnpdp

@@ -5,6 +5,8 @@
 #include <string>
 #include <utility>
 
+#include "common/fault_hook.hpp"
+#include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 
 namespace cellnpdp {
@@ -17,11 +19,11 @@ std::int64_t now_ns() {
 }
 }  // namespace
 
-ThreadPool::ThreadPool(std::size_t threads) {
-  threads = std::max<std::size_t>(1, threads);
-  busy_ns_.assign(threads, 0);
-  workers_.reserve(threads);
-  for (std::size_t i = 0; i < threads; ++i) {
+ThreadPool::ThreadPool(std::size_t threads)
+    : nthreads_(std::max<std::size_t>(1, threads)) {
+  busy_ns_.assign(nthreads_, 0);
+  workers_.reserve(nthreads_);
+  for (std::size_t i = 0; i < nthreads_; ++i) {
     workers_.emplace_back([this, i] { worker_loop(i); });
   }
 }
@@ -32,7 +34,10 @@ ThreadPool::~ThreadPool() {
     stop_ = true;
   }
   cv_job_.notify_all();
-  for (auto& w : workers_) w.join();
+  // Index loop: replacement workers spawned by injected deaths append to
+  // workers_, so the vector may be longer than the initial thread count.
+  for (std::size_t i = 0; i < workers_.size(); ++i)
+    if (workers_[i].joinable()) workers_[i].join();
 }
 
 void ThreadPool::submit(std::function<void()> job) {
@@ -46,11 +51,23 @@ void ThreadPool::submit(std::function<void()> job) {
 void ThreadPool::wait_idle() {
   std::unique_lock lk(mu_);
   cv_idle_.wait(lk, [this] { return jobs_.empty() && in_flight_ == 0; });
-  if (first_error_) {
-    std::exception_ptr e = std::exchange(first_error_, nullptr);
+  if (!errors_.empty()) {
+    last_errors_ = std::move(errors_);
+    errors_.clear();
+    std::exception_ptr first = last_errors_.front();
     lk.unlock();
-    std::rethrow_exception(e);
+    std::rethrow_exception(first);
   }
+}
+
+std::vector<std::exception_ptr> ThreadPool::last_errors() const {
+  std::lock_guard lk(mu_);
+  return last_errors_;
+}
+
+std::uint64_t ThreadPool::worker_deaths() const {
+  std::lock_guard lk(mu_);
+  return deaths_;
 }
 
 std::vector<double> ThreadPool::busy_seconds() const {
@@ -68,6 +85,24 @@ void ThreadPool::worker_loop(std::size_t index) {
       std::unique_lock lk(mu_);
       cv_job_.wait(lk, [this] { return stop_ || !jobs_.empty(); });
       if (stop_ && jobs_.empty()) return;
+      // Injected worker death fires *before* the pop, so the job the dying
+      // worker was about to take stays queued for its replacement — a
+      // death loses a thread, never a job. The replacement inherits the
+      // worker slot (index), keeping busy accounting and thread_count()
+      // stable. Suppressed during shutdown: there is nobody left to serve.
+      if (!stop_) {
+        if (FaultHook* h = fault_hook();
+            h != nullptr &&
+            h->fire(FaultSite::WorkerDeath,
+                    static_cast<std::int64_t>(index),
+                    static_cast<std::int64_t>(jobs_.size()))) {
+          ++deaths_;
+          obs::metrics().counter("pool.worker_deaths").add();
+          workers_.emplace_back([this, index] { worker_loop(index); });
+          cv_job_.notify_one();  // the replacement takes over the queue
+          return;
+        }
+      }
       job = std::move(jobs_.front());
       jobs_.pop_front();
       ++in_flight_;
@@ -87,7 +122,7 @@ void ThreadPool::worker_loop(std::size_t index) {
     {
       std::lock_guard lk(mu_);
       busy_ns_[index] += dt;
-      if (error && !first_error_) first_error_ = error;
+      if (error) errors_.push_back(error);
       --in_flight_;
       if (jobs_.empty() && in_flight_ == 0) cv_idle_.notify_all();
     }

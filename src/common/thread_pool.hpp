@@ -2,6 +2,14 @@
 // baselines. Deliberately simple: a locked deque of std::function jobs plus a
 // blocking wait-for-idle, which is all the task-queue model of the paper
 // needs on the host side.
+//
+// Fault tolerance: every job exception is captured (wait_idle rethrows the
+// first and exposes the full set through last_errors(), so multi-fault
+// tests can assert on all failures), and an injected WorkerDeath (see
+// common/fault_hook.hpp) makes a worker retire at job pickup — the job it
+// was about to take stays queued, and a replacement worker inheriting the
+// same index is spawned before the dying one returns, so no work is ever
+// lost to a death.
 #pragma once
 
 #include <condition_variable>
@@ -32,28 +40,43 @@ class ThreadPool {
 
   /// Blocks until every submitted job (including jobs submitted by jobs)
   /// has finished executing. If any job threw since the last wait_idle(),
-  /// rethrows the first such exception (later ones are dropped); the pool
-  /// itself stays healthy and reusable after the rethrow.
+  /// rethrows the first such exception; the complete set (in completion
+  /// order) is available through last_errors() until the next wait that
+  /// observes a failure. The pool itself stays healthy and reusable after
+  /// the rethrow.
   void wait_idle();
 
-  std::size_t thread_count() const { return workers_.size(); }
+  /// Every job exception captured by the wait_idle() that last observed
+  /// failures (the first entry is the one it rethrew). Empty when the last
+  /// wait completed cleanly.
+  std::vector<std::exception_ptr> last_errors() const;
+
+  /// The configured concurrency. Stable across injected worker deaths
+  /// (replacements inherit the retired worker's slot).
+  std::size_t thread_count() const { return nthreads_; }
+
+  /// Workers retired by injected WorkerDeath faults since construction.
+  std::uint64_t worker_deaths() const;
 
   /// Runs fn(i) for i in [begin, end) across the pool and waits.
   /// Work is split into contiguous chunks, one chunk per worker.
   void parallel_for(std::size_t begin, std::size_t end,
                     const std::function<void(std::size_t)>& fn);
 
-  /// Cumulative seconds each worker has spent inside jobs since the pool
-  /// was created. Call while the pool is idle (e.g. after wait_idle()).
+  /// Cumulative seconds each worker slot has spent inside jobs since the
+  /// pool was created. Call while the pool is idle (e.g. after wait_idle()).
   std::vector<double> busy_seconds() const;
 
  private:
   void worker_loop(std::size_t index);
 
-  std::vector<std::thread> workers_;
+  const std::size_t nthreads_;
+  std::vector<std::thread> workers_;   // grows when deaths spawn replacements
   std::deque<std::function<void()>> jobs_;
-  std::vector<std::int64_t> busy_ns_;  // per worker; guarded by mu_
-  std::exception_ptr first_error_;     // first job throw; guarded by mu_
+  std::vector<std::int64_t> busy_ns_;  // per worker slot; guarded by mu_
+  std::vector<std::exception_ptr> errors_;       // since last failing wait
+  std::vector<std::exception_ptr> last_errors_;  // what that wait observed
+  std::uint64_t deaths_ = 0;           // guarded by mu_
   mutable std::mutex mu_;
   std::condition_variable cv_job_;    // signalled when a job arrives
   std::condition_variable cv_idle_;   // signalled when the pool may be idle

@@ -147,6 +147,47 @@ class BlockEngine {
     }
   }
 
+  /// Restores memory block (bi,bj) — and its argmin block, when attached —
+  /// to the exact state seed() left it in: the (min,+) identity on padding
+  /// and below-diagonal cells, the seed formula on in-triangle cells. The
+  /// recovery paths call this before re-relaxing a block whose first
+  /// execution threw mid-write or whose contents failed a checksum:
+  /// general-mode finalize_cell is an overwrite (not a min-fold), so
+  /// re-execution is only correct from a freshly seeded block, and
+  /// corrupted values below the true minimum could never be repaired by
+  /// re-relaxation alone. Bit-identical to seed() by construction (same
+  /// arithmetic expressions in the same order).
+  void seed_block(index_t bi, index_t bj) {
+    T* Cb = mat_->block(bi, bj);
+    const index_t cells = bs_ * bs_;
+    const T id = minplus_identity<T>();
+    for (index_t c = 0; c < cells; ++c) Cb[c] = id;
+    if (argm_ != nullptr) {
+      T* Kb = argm_->data() + (Cb - mat_->data());
+      for (index_t c = 0; c < cells; ++c) Kb[c] = T(-1);
+    }
+    const index_t n = inst_->n;
+    const index_t row0 = bi * bs_;
+    const index_t col0 = bj * bs_;
+    for (index_t r = 0; r < bs_; ++r) {
+      const index_t gi = row0 + r;
+      if (gi >= n) break;
+      for (index_t c = 0; c < bs_; ++c) {
+        const index_t gj = col0 + c;
+        if (gj < gi || gj >= n) continue;
+        if (gi == gj) {
+          Cb[r * bs_ + c] = inst_->init(gi, gi);
+          continue;
+        }
+        if (general_) continue;  // off-diagonal cells stay +inf
+        const T dii = inst_->init(gi, gi);
+        const T init = inst_->init(gi, gj);
+        const T self = init + dii;  // Fig. 1's k == i relaxation
+        Cb[r * bs_ + c] = self < init ? self : init;
+      }
+    }
+  }
+
   index_t blocks_per_side() const { return mat_->blocks_per_side(); }
   index_t block_side() const { return bs_; }
   index_t tiles_per_side() const { return tb_; }

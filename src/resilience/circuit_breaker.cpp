@@ -1,0 +1,150 @@
+#include "resilience/circuit_breaker.hpp"
+
+#include <algorithm>
+
+namespace cellnpdp::resilience {
+
+bool CircuitBreaker::allow() {
+  std::lock_guard<std::mutex> lk(mu_);
+  switch (state_) {
+    case BreakerState::Closed:
+      return true;
+    case BreakerState::Open: {
+      if (Clock::now() - opened_at_ < policy_.open_for) return false;
+      state_ = BreakerState::HalfOpen;
+      probes_inflight_ = 0;
+      probes_succeeded_ = 0;
+      [[fallthrough]];
+    }
+    case BreakerState::HalfOpen:
+      if (probes_inflight_ >= policy_.half_open_probes) return false;
+      ++probes_inflight_;
+      return true;
+  }
+  return true;
+}
+
+void CircuitBreaker::record_success() {
+  std::lock_guard<std::mutex> lk(mu_);
+  if (state_ == BreakerState::HalfOpen) {
+    ++probes_succeeded_;
+    if (probes_succeeded_ >= policy_.half_open_probes) {
+      state_ = BreakerState::Closed;
+      window_.clear();
+      window_failures_ = 0;
+    }
+    return;
+  }
+  if (state_ == BreakerState::Closed) push_outcome_locked(true);
+  // Open: a straggler finishing after the trip changes nothing.
+}
+
+void CircuitBreaker::record_failure() {
+  std::lock_guard<std::mutex> lk(mu_);
+  if (state_ == BreakerState::HalfOpen) {
+    trip_locked();  // a failed probe re-opens, restarting the cooldown
+    return;
+  }
+  if (state_ != BreakerState::Closed) return;
+  push_outcome_locked(false);
+  const int samples = static_cast<int>(window_.size());
+  if (samples >= policy_.min_samples &&
+      static_cast<double>(window_failures_) / samples >=
+          policy_.failure_threshold)
+    trip_locked();
+}
+
+void CircuitBreaker::push_outcome_locked(bool ok) {
+  window_.push_back(ok);
+  if (!ok) ++window_failures_;
+  while (static_cast<int>(window_.size()) > std::max(1, policy_.window)) {
+    if (!window_.front()) --window_failures_;
+    window_.pop_front();
+  }
+}
+
+void CircuitBreaker::trip_locked() {
+  state_ = BreakerState::Open;
+  opened_at_ = Clock::now();
+  probes_inflight_ = 0;
+  probes_succeeded_ = 0;
+}
+
+BreakerState CircuitBreaker::state() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return state_;
+}
+
+std::int64_t CircuitBreaker::retry_after_ms() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  if (state_ != BreakerState::Open) return 0;
+  const auto elapsed = Clock::now() - opened_at_;
+  const auto left =
+      std::chrono::duration_cast<std::chrono::milliseconds>(policy_.open_for -
+                                                            elapsed);
+  return std::max<std::int64_t>(1, left.count());
+}
+
+double CircuitBreaker::failure_rate() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  if (window_.empty()) return 0;
+  return static_cast<double>(window_failures_) /
+         static_cast<double>(window_.size());
+}
+
+void CircuitBreaker::force_open() {
+  std::lock_guard<std::mutex> lk(mu_);
+  trip_locked();
+}
+
+void CircuitBreaker::reset() {
+  std::lock_guard<std::mutex> lk(mu_);
+  state_ = BreakerState::Closed;
+  window_.clear();
+  window_failures_ = 0;
+  probes_inflight_ = 0;
+  probes_succeeded_ = 0;
+}
+
+CircuitBreaker& BreakerBoard::breaker(const std::string& name,
+                                      const BreakerPolicy& policy) {
+  std::lock_guard<std::mutex> lk(mu_);
+  auto it = breakers_.find(name);
+  if (it == breakers_.end())
+    it = breakers_.emplace(name, std::make_unique<CircuitBreaker>(policy))
+             .first;
+  return *it->second;
+}
+
+CircuitBreaker* BreakerBoard::find(const std::string& name) {
+  std::lock_guard<std::mutex> lk(mu_);
+  auto it = breakers_.find(name);
+  return it == breakers_.end() ? nullptr : it->second.get();
+}
+
+std::vector<BreakerBoard::Row> BreakerBoard::snapshot() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  std::vector<Row> rows;
+  rows.reserve(breakers_.size());
+  for (const auto& [name, br] : breakers_)
+    rows.push_back(
+        Row{name, br->state(), br->failure_rate(), br->retry_after_ms()});
+  return rows;
+}
+
+void BreakerBoard::reset_all() {
+  std::lock_guard<std::mutex> lk(mu_);
+  for (auto& [name, br] : breakers_) br->reset();
+}
+
+void BreakerBoard::clear() {
+  std::lock_guard<std::mutex> lk(mu_);
+  breakers_.clear();
+}
+
+BreakerBoard& breakers() {
+  static BreakerBoard board;
+  return board;
+}
+
+}  // namespace cellnpdp::resilience

@@ -1,0 +1,112 @@
+// Per-backend circuit breaker: trips a backend out of rotation when its
+// rolling failure rate crosses a threshold, then probes it back to health.
+//
+//   Closed    — normal operation; outcomes fill a rolling window.
+//   Open      — every allow() is denied until the cooldown elapses.
+//   HalfOpen  — a bounded number of probe requests pass; all probes
+//               succeeding closes the breaker, any failure re-opens it.
+//
+// The serve dispatcher consults the breaker before executing and feeds
+// outcomes back; a denied request falls down the degradation ladder
+// (fallback backend, then shed with RetryAfter — see docs/resilience.md).
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace cellnpdp::resilience {
+
+struct BreakerPolicy {
+  int window = 32;              ///< rolling outcome window size
+  int min_samples = 8;          ///< no tripping below this many outcomes
+  double failure_threshold = 0.5;  ///< trip when failure rate >= this
+  std::chrono::milliseconds open_for{1000};  ///< cooldown before probing
+  int half_open_probes = 2;     ///< probes that must all succeed to close
+};
+
+enum class BreakerState { Closed, Open, HalfOpen };
+
+constexpr const char* breaker_state_name(BreakerState s) {
+  switch (s) {
+    case BreakerState::Closed: return "closed";
+    case BreakerState::Open: return "open";
+    case BreakerState::HalfOpen: return "half-open";
+  }
+  return "?";
+}
+
+class CircuitBreaker {
+ public:
+  explicit CircuitBreaker(BreakerPolicy policy = {}) : policy_(policy) {}
+
+  /// May this request proceed? Open breakers whose cooldown has elapsed
+  /// transition to HalfOpen and admit up to half_open_probes callers.
+  bool allow();
+
+  void record_success();
+  void record_failure();
+
+  BreakerState state() const;
+  /// Suggested client back-off while open (>= 1ms); 0 when not open.
+  std::int64_t retry_after_ms() const;
+  /// Rolling failure rate over the current window.
+  double failure_rate() const;
+
+  /// Trips the breaker open immediately (tests, operator override).
+  void force_open();
+  /// Back to Closed with a cleared window.
+  void reset();
+
+ private:
+  using Clock = std::chrono::steady_clock;
+
+  void push_outcome_locked(bool ok);
+  void trip_locked();
+
+  BreakerPolicy policy_;
+  mutable std::mutex mu_;
+  BreakerState state_ = BreakerState::Closed;
+  std::deque<bool> window_;       // true = success
+  int window_failures_ = 0;
+  Clock::time_point opened_at_{};
+  int probes_inflight_ = 0;
+  int probes_succeeded_ = 0;
+};
+
+/// Process-global board of breakers keyed by backend name, mirroring the
+/// obs metrics registry: resolve once, update via the handle.
+class BreakerBoard {
+ public:
+  struct Row {
+    std::string name;
+    BreakerState state;
+    double failure_rate;
+    std::int64_t retry_after_ms;
+  };
+
+  /// Returns (creating on first use with `policy`) the named breaker.
+  CircuitBreaker& breaker(const std::string& name,
+                          const BreakerPolicy& policy = {});
+  /// Null when no breaker has been created for `name`.
+  CircuitBreaker* find(const std::string& name);
+  std::vector<Row> snapshot() const;
+  /// Closes and clears every breaker (keeps handles valid).
+  void reset_all();
+  /// Drops all breakers (invalidates handles — tests only).
+  void clear();
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::string, std::unique_ptr<CircuitBreaker>> breakers_;
+};
+
+/// The process-wide board used by the serve layer and the CLI.
+BreakerBoard& breakers();
+
+}  // namespace cellnpdp::resilience

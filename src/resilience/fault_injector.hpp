@@ -1,0 +1,88 @@
+// FaultInjector: the FaultHook implementation behind every injected
+// failure. Firing decisions are deterministic — occurrence k of site s
+// fires iff SplitMix64(seed ^ f(s, k)).next_unit() < rate — and every
+// firing is appended to a bounded log of (site, occurrence, k1, k2)
+// records, which write_log() dumps as JSON for the replay-determinism
+// check (same plan + same execution ⇒ byte-identical logs).
+//
+// Thread safety: occurrence counting and the rate decision are lock-free
+// (one fetch_add + a hash per call); only actual firings — rare by
+// construction — take the mutex that guards the cap and the log.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <ostream>
+#include <vector>
+
+#include "resilience/fault_plan.hpp"
+
+namespace cellnpdp::obs {
+class Counter;
+}
+
+namespace cellnpdp::resilience {
+
+class FaultInjector final : public FaultHook {
+ public:
+  explicit FaultInjector(FaultPlan plan);
+
+  bool fire(FaultSite site, std::int64_t k1, std::int64_t k2) override;
+  std::int64_t stall_ms(FaultSite site) const override;
+
+  struct Fired {
+    FaultSite site;
+    std::int64_t occurrence;  ///< which call at this site fired
+    std::int64_t k1, k2;      ///< call-site coordinates
+  };
+
+  const FaultPlan& plan() const { return plan_; }
+  /// Calls seen at `site` (fired or not).
+  std::int64_t occurrences(FaultSite site) const;
+  /// Firings at `site`.
+  std::int64_t fired_count(FaultSite site) const;
+  /// Copy of the fired-fault log (bounded at kLogCap entries).
+  std::vector<Fired> fired_log() const;
+
+  /// JSON dump of the plan seed and the fired log, for --fault-log and
+  /// the verify.sh replay check.
+  void write_log(std::ostream& os) const;
+
+  static constexpr std::size_t kLogCap = 65536;
+
+ private:
+  struct SiteState {
+    const FaultRule* rule = nullptr;    // null: site never fires
+    obs::Counter* injected = nullptr;   // fault.injected.<site>
+    std::atomic<std::int64_t> occ{0};
+    std::atomic<std::int64_t> fired{0};
+  };
+
+  FaultPlan plan_;
+  SiteState sites_[kFaultSiteCount];
+  mutable std::mutex mu_;
+  std::vector<Fired> log_;  // guarded by mu_
+};
+
+/// RAII plan activation: constructs an injector and installs it as the
+/// process-wide hook; the destructor uninstalls before the injector dies.
+/// Keep the scope alive across the whole faulty region (solve, service
+/// lifetime, ...) — the hook is global, so scopes must not nest.
+class FaultInjectionScope {
+ public:
+  explicit FaultInjectionScope(FaultPlan plan) : injector_(std::move(plan)) {
+    install_fault_hook(&injector_);
+  }
+  ~FaultInjectionScope() { install_fault_hook(nullptr); }
+
+  FaultInjectionScope(const FaultInjectionScope&) = delete;
+  FaultInjectionScope& operator=(const FaultInjectionScope&) = delete;
+
+  FaultInjector& injector() { return injector_; }
+
+ private:
+  FaultInjector injector_;
+};
+
+}  // namespace cellnpdp::resilience

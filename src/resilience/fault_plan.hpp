@@ -1,0 +1,73 @@
+// FaultPlan: the declarative, seeded description of which faults to
+// inject where. A plan is a seed plus one rule per fault site; whether a
+// given *occurrence* of a site fires is a pure function of
+// (seed, site, occurrence index), so the same plan replayed over the same
+// execution injects the same faults — the property the verify.sh replay
+// check asserts.
+//
+// JSON form (npdp --fault-plan file.json, FaultPlan::from_json_text):
+//
+//   {
+//     "seed": 42,
+//     "faults": [
+//       {"site": "task-throw",    "rate": 0.01},
+//       {"site": "block-corrupt", "rate": 0.001, "max_fires": 4},
+//       {"site": "task-stall",    "rate": 1.0, "max_fires": 1,
+//        "stall_ms": 300}
+//     ]
+//   }
+//
+// rate: probability per occurrence in [0,1]. max_fires: cap on total
+// firings (-1 = unlimited). stall_ms: sleep for task-stall firings.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/fault_hook.hpp"
+
+namespace cellnpdp::resilience {
+
+struct FaultRule {
+  FaultSite site = FaultSite::TaskThrow;
+  double rate = 0;               ///< firing probability per occurrence
+  std::int64_t max_fires = -1;   ///< cap on firings; -1 = unlimited
+  std::int64_t stall_ms = 50;    ///< sleep for TaskStall firings
+};
+
+struct FaultPlan {
+  std::uint64_t seed = 1;
+  std::vector<FaultRule> rules;
+
+  const FaultRule* rule_for(FaultSite s) const {
+    for (const FaultRule& r : rules)
+      if (r.site == s) return &r;
+    return nullptr;
+  }
+
+  /// Convenience builder for tests: one rule.
+  static FaultPlan single(FaultSite site, double rate,
+                          std::int64_t max_fires = -1,
+                          std::uint64_t seed = 1,
+                          std::int64_t stall_ms = 50) {
+    FaultPlan p;
+    p.seed = seed;
+    p.rules.push_back(FaultRule{site, rate, max_fires, stall_ms});
+    return p;
+  }
+};
+
+/// "task-throw" -> FaultSite::TaskThrow; false on unknown names.
+bool fault_site_from_name(const std::string& name, FaultSite* out);
+
+/// Parses the JSON plan format above. Returns false and sets *err on
+/// malformed JSON, unknown sites, out-of-range rates, or duplicate sites.
+bool fault_plan_from_json_text(const std::string& text, FaultPlan* out,
+                               std::string* err);
+
+/// Reads and parses a plan file; false + *err on I/O or parse failure.
+bool fault_plan_from_file(const std::string& path, FaultPlan* out,
+                          std::string* err);
+
+}  // namespace cellnpdp::resilience

@@ -1,0 +1,64 @@
+// Straggler hedging support: a per-shape latency estimator feeding the
+// serve watchdog. A request whose elapsed time exceeds k x the estimate
+// for its shape gets a hedge twin launched on another worker; the first
+// finisher responds and the loser is cancelled through its own token
+// (the tail-at-scale recipe, applied to stalled solve tasks).
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <map>
+#include <mutex>
+
+namespace cellnpdp::resilience {
+
+struct HedgePolicy {
+  bool enabled = false;
+  double k = 3.0;  ///< hedge when elapsed > k x shape latency estimate
+  int min_samples = 8;  ///< no hedging until the estimate is warm
+  std::chrono::milliseconds min_delay{2};  ///< floor on the hedge trigger
+};
+
+/// EWMA latency estimate per request shape key. One mutex: observations
+/// happen once per completed solve and scans once per watchdog tick, both
+/// far off the solve hot path.
+class LatencyEstimator {
+ public:
+  explicit LatencyEstimator(double alpha = 0.2) : alpha_(alpha) {}
+
+  void observe(std::uint64_t shape_key, std::int64_t latency_ns) {
+    if (latency_ns < 0) return;
+    std::lock_guard<std::mutex> lk(mu_);
+    Ewma& e = shapes_[shape_key];
+    e.mean_ns = e.count == 0
+                    ? static_cast<double>(latency_ns)
+                    : e.mean_ns + alpha_ * (latency_ns - e.mean_ns);
+    ++e.count;
+  }
+
+  /// Estimate for `shape_key`, or 0 while fewer than `min_samples`
+  /// observations exist (callers must not hedge on a cold estimate).
+  std::int64_t estimate_ns(std::uint64_t shape_key, int min_samples) const {
+    std::lock_guard<std::mutex> lk(mu_);
+    auto it = shapes_.find(shape_key);
+    if (it == shapes_.end() || it->second.count < min_samples) return 0;
+    return static_cast<std::int64_t>(it->second.mean_ns);
+  }
+
+  std::int64_t samples(std::uint64_t shape_key) const {
+    std::lock_guard<std::mutex> lk(mu_);
+    auto it = shapes_.find(shape_key);
+    return it == shapes_.end() ? 0 : it->second.count;
+  }
+
+ private:
+  struct Ewma {
+    double mean_ns = 0;
+    std::int64_t count = 0;
+  };
+  double alpha_;
+  mutable std::mutex mu_;
+  std::map<std::uint64_t, Ewma> shapes_;
+};
+
+}  // namespace cellnpdp::resilience

@@ -19,6 +19,10 @@ enum class Status {
   Cancelled,  ///< aborted cooperatively: deadline passed mid-solve, or the
               ///< service stopped without draining
   Error,      ///< the solver threw; detail carries the message
+  Degraded,   ///< solved, but on the fallback backend (primary broken or
+              ///< exhausted its retry budget) — a success with an asterisk
+  RetryAfter, ///< not solved: the backend's circuit breaker is open and no
+              ///< fallback exists; retry_after_ms hints when to come back
 };
 
 constexpr const char* status_name(Status s) {
@@ -30,12 +34,14 @@ constexpr const char* status_name(Status s) {
     case Status::Expired: return "expired";
     case Status::Cancelled: return "cancelled";
     case Status::Error: return "error";
+    case Status::Degraded: return "degraded";
+    case Status::RetryAfter: return "retry-after";
   }
   return "?";
 }
 
 constexpr bool is_success(Status s) {
-  return s == Status::Ok || s == Status::OkCached;
+  return s == Status::Ok || s == Status::OkCached || s == Status::Degraded;
 }
 
 struct Response {
@@ -46,6 +52,7 @@ struct Response {
   std::int64_t queue_ns = 0;  ///< admission -> dispatch (or terminal verdict)
   std::int64_t solve_ns = 0;  ///< inside the worker (0 unless solved)
   std::int64_t total_ns = 0;  ///< admission -> response delivered
+  std::int64_t retry_after_ms = 0;  ///< back-off hint (RetryAfter only)
 };
 
 }  // namespace cellnpdp::serve

@@ -2,10 +2,14 @@
 
 #include <algorithm>
 #include <chrono>
+#include <thread>
 #include <utility>
+#include <variant>
 
+#include "common/fault_hook.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
+#include "resilience/circuit_breaker.hpp"
 
 namespace cellnpdp::serve {
 
@@ -13,6 +17,12 @@ namespace {
 
 std::int64_t ns_between(Clock::time_point a, Clock::time_point b) {
   return std::chrono::duration_cast<std::chrono::nanoseconds>(b - a).count();
+}
+
+std::int64_t steady_now_ns() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             Clock::now().time_since_epoch())
+      .count();
 }
 
 }  // namespace
@@ -34,9 +44,14 @@ SolveService::SolveService(ServiceOptions opts)
                 ns_between(it->enqueued, Clock::now()));
       });
   queue_.set_shed_handler([this](Item&& it) {
+    obs::metrics().counter("serve.shed").add();
+    CELLNPDP_TRACE_INSTANT("serve", "shed",
+                           static_cast<std::int64_t>(it->req.id));
     respond(it, Status::Shed, 0, {},
             ns_between(it->enqueued, Clock::now()));
   });
+  if (opts_.resilience.hedge.enabled)
+    watchdog_ = std::thread([this] { watchdog_loop(); });
   dispatcher_ = std::thread([this] { dispatcher_loop(); });
 }
 
@@ -54,10 +69,22 @@ std::future<Response> SolveService::submit(Request req) {
   p->cancel = p->req.has_deadline()
                   ? CancelToken::with_deadline(p->req.deadline)
                   : CancelToken::armed();
+  // Armed up front so the watchdog can hand the token to a hedge twin
+  // without racing token assignment against the twin's poll loop.
+  if (opts_.resilience.hedge.enabled) p->hedge_cancel = CancelToken::armed();
   std::future<Response> fut = p->promise.get_future();
   ++submitted_;
   if (stopped_.load(std::memory_order_acquire)) {
     respond(p, Status::Rejected, 0, "service stopped");
+    return fut;
+  }
+  // Fault site: admission refusing a request as if the queue were full.
+  if (FaultHook* hook = fault_hook();
+      hook != nullptr &&
+      hook->fire(FaultSite::QueueOverload,
+                 static_cast<std::int64_t>(p->req.id),
+                 static_cast<std::int64_t>(queue_.depth()))) {
+    respond(p, Status::Rejected, 0, "injected queue overload");
     return fut;
   }
   const int prio = p->req.priority;
@@ -72,6 +99,10 @@ std::future<Response> SolveService::submit(Request req) {
 void SolveService::stop(bool drain) {
   std::lock_guard lk(stop_mu_);
   if (stopped_.exchange(true, std::memory_order_acq_rel)) return;
+  // Quiesce the watchdog first so no new hedge twins launch while the
+  // pipeline is coming down.
+  watchdog_stop_.store(true, std::memory_order_release);
+  if (watchdog_.joinable()) watchdog_.join();
   if (!drain) {
     cancel_queued_.store(true, std::memory_order_release);
     // Abort in-flight solves too: every dispatched Pending carries an
@@ -80,7 +111,10 @@ void SolveService::stop(bool drain) {
     // work; run_batch answers those requests with Status::Cancelled.
     std::lock_guard ilk(inflight_mu_);
     for (const auto& w : inflight_reqs_)
-      if (auto it = w.lock()) it->cancel.request_cancel(CancelReason::Shutdown);
+      if (auto it = w.lock()) {
+        it->cancel.request_cancel(CancelReason::Shutdown);
+        it->hedge_cancel.request_cancel(CancelReason::Shutdown);
+      }
   }
   queue_.close();
   if (dispatcher_.joinable()) dispatcher_.join();
@@ -166,19 +200,9 @@ void SolveService::run_batch(const Batch<Item>& batch) {
       obs::metrics().counter("serve.expired").add();
       respond(it, Status::Expired, 0, {}, queue_ns);
     } else {
-      const SolveOutcome o = pool_.execute(it->req, it->cancel, opts_.backend);
-      const std::int64_t solve_ns = ns_between(picked_up, Clock::now());
-      if (o.cancelled) {
-        // Aborted mid-solve (deadline passed, or stop(drain=false)); the
-        // detail names the trip reason. Never cached: the arena held a
-        // partial result.
-        respond(it, Status::Cancelled, 0, o.error, queue_ns, solve_ns);
-      } else if (!o.ok) {
-        respond(it, Status::Error, 0, o.error, queue_ns, solve_ns);
-      } else {
-        cache_.put(it->hash, CachedResult{o.value, o.detail});
-        respond(it, Status::Ok, o.value, o.detail, queue_ns, solve_ns);
-      }
+      it->queue_ns.store(queue_ns, std::memory_order_relaxed);
+      it->started_ns.store(steady_now_ns(), std::memory_order_release);
+      solve_one(it, picked_up, queue_ns);
     }
     {
       std::lock_guard lk(inflight_mu_);
@@ -195,9 +219,179 @@ void SolveService::run_batch(const Batch<Item>& batch) {
   }
 }
 
-void SolveService::respond(const Item& it, Status st, double value,
+std::string SolveService::breaker_key(const Request& req) const {
+  if (const auto* s = std::get_if<SolveSpec>(&req.payload))
+    return !s->backend.empty() ? s->backend : opts_.backend;
+  if (std::holds_alternative<FoldSpec>(req.payload)) return "zuker";
+  return "cyk";
+}
+
+void SolveService::solve_one(const Item& it, Clock::time_point picked_up,
+                             std::int64_t queue_ns) {
+  const resilience::ResiliencePolicy& rp = opts_.resilience;
+  resilience::CircuitBreaker* br =
+      rp.breaker_enabled
+          ? &resilience::breakers().breaker(breaker_key(it->req), rp.breaker)
+          : nullptr;
+
+  if (br != nullptr && !br->allow()) {
+    // Rung 3/4 of the ladder without even attempting the primary: the
+    // breaker says the backend is sick right now.
+    if (try_fallback(it, picked_up, queue_ns)) return;
+    const std::int64_t hint = std::max<std::int64_t>(
+        br->retry_after_ms(), rp.retry_after.count());
+    if (respond(it, Status::RetryAfter, 0,
+                "circuit open: " + breaker_key(it->req), queue_ns, 0, hint))
+      ++retry_after_;
+    return;
+  }
+
+  // Rung 2: the primary backend, re-executed up to the retry budget with
+  // capped exponential backoff. Every failed attempt feeds the breaker;
+  // cancellation feeds nothing (the backend did nothing wrong).
+  const int max_attempts = rp.retry.enabled() ? rp.retry.max_attempts : 1;
+  SolveOutcome o;
+  for (int attempt = 1;; ++attempt) {
+    o = pool_.execute(it->req, it->cancel, opts_.backend);
+    if (o.cancelled) break;
+    if (o.ok) {
+      if (br != nullptr) br->record_success();
+      break;
+    }
+    if (br != nullptr) br->record_failure();
+    if (attempt >= max_attempts || it->req.expired() ||
+        it->responded.load(std::memory_order_acquire))
+      break;
+    ++retries_;
+    obs::metrics().counter("serve.retries").add();
+    CELLNPDP_TRACE_INSTANT("serve", "retry",
+                           static_cast<std::int64_t>(it->req.id), attempt);
+    const auto delay = rp.retry.backoff(attempt + 1, it->req.id);
+    if (delay.count() > 0) std::this_thread::sleep_for(delay);
+  }
+
+  const std::int64_t solve_ns = ns_between(picked_up, Clock::now());
+  if (o.cancelled) {
+    // Aborted mid-solve (deadline passed, stop(drain=false), or a hedge
+    // twin won and cancelled us — then this respond loses the race and is
+    // a no-op). Never cached: the arena held a partial result.
+    respond(it, Status::Cancelled, 0, o.error, queue_ns, solve_ns);
+    return;
+  }
+  if (!o.ok) {
+    if (try_fallback(it, picked_up, queue_ns)) return;
+    respond(it, Status::Error, 0, o.error, queue_ns, solve_ns);
+    return;
+  }
+  estimator_.observe(shape_key(it->req), solve_ns);
+  // Cache before responding, so a caller that resubmits the moment its
+  // future resolves observes the hit. Losing the first-finisher race
+  // below is harmless: primary and twin computed the same request, so
+  // whichever result lands in the cache is the right one.
+  cache_.put(it->hash, CachedResult{o.value, o.detail});
+  if (respond(it, Status::Ok, o.value, o.detail, queue_ns, solve_ns)) {
+    // First finisher wins: release the hedge twin if one is running.
+    if (it->hedged.load(std::memory_order_acquire))
+      it->hedge_cancel.request_cancel(CancelReason::Requested);
+  }
+}
+
+bool SolveService::try_fallback(const Item& it, Clock::time_point picked_up,
+                                std::int64_t queue_ns) {
+  const std::string& fb = opts_.resilience.fallback_backend;
+  if (fb.empty()) return false;
+  // Only generic solves can change engine; folds/parses have exactly one.
+  if (!std::holds_alternative<SolveSpec>(it->req.payload)) return false;
+  Request copy = it->req;
+  std::get<SolveSpec>(copy.payload).backend.clear();  // fb decides
+  const SolveOutcome o = pool_.execute(copy, it->cancel, fb);
+  const std::int64_t solve_ns = ns_between(picked_up, Clock::now());
+  if (o.cancelled) {
+    respond(it, Status::Cancelled, 0, o.error, queue_ns, solve_ns);
+    return true;
+  }
+  if (!o.ok) return false;  // caller escalates to Error / RetryAfter
+  // Deliberately not cached: the degraded answer would mask the primary's
+  // recovery behind OkCached hits.
+  if (respond(it, Status::Degraded, o.value, o.detail, queue_ns, solve_ns)) {
+    ++fallbacks_;
+    ++degraded_;
+    obs::metrics().counter("serve.fallbacks").add();
+  }
+  return true;
+}
+
+void SolveService::watchdog_loop() {
+  obs::Tracer::instance().name_this_thread("serve watchdog");
+  const resilience::HedgePolicy& hp = opts_.resilience.hedge;
+  const std::int64_t min_delay_ns =
+      std::chrono::duration_cast<std::chrono::nanoseconds>(hp.min_delay)
+          .count();
+  while (!watchdog_stop_.load(std::memory_order_acquire)) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    const std::int64_t now_ns = steady_now_ns();
+    std::vector<Item> to_hedge;
+    {
+      std::lock_guard lk(inflight_mu_);
+      for (const auto& w : inflight_reqs_) {
+        const Item it = w.lock();
+        if (it == nullptr) continue;
+        if (!std::holds_alternative<SolveSpec>(it->req.payload)) continue;
+        if (it->responded.load(std::memory_order_acquire)) continue;
+        if (it->hedged.load(std::memory_order_acquire)) continue;
+        const std::int64_t started =
+            it->started_ns.load(std::memory_order_acquire);
+        if (started == 0) continue;  // dispatched, not picked up yet
+        const std::int64_t est =
+            estimator_.estimate_ns(shape_key(it->req), hp.min_samples);
+        if (est <= 0) continue;  // estimate still cold: never hedge blind
+        const std::int64_t trigger = std::max<std::int64_t>(
+            static_cast<std::int64_t>(hp.k * static_cast<double>(est)),
+            min_delay_ns);
+        if (now_ns - started > trigger) {
+          it->hedged.store(true, std::memory_order_release);
+          to_hedge.push_back(it);
+        }
+      }
+    }
+    for (const Item& it : to_hedge) launch_hedge(it);
+  }
+}
+
+void SolveService::launch_hedge(const Item& it) {
+  ++hedges_;
+  obs::metrics().counter("serve.hedges").add();
+  CELLNPDP_TRACE_INSTANT("serve", "hedge",
+                         static_cast<std::int64_t>(it->req.id));
+  pool_.submit([this, it] {
+    if (it->responded.load(std::memory_order_acquire)) return;
+    const Clock::time_point started = Clock::now();
+    Request copy = it->req;
+    // Prefer a different engine for the twin when one is configured — a
+    // straggler often means the primary backend is the problem.
+    if (!opts_.resilience.fallback_backend.empty())
+      std::get<SolveSpec>(copy.payload).backend =
+          opts_.resilience.fallback_backend;
+    const SolveOutcome o = pool_.execute(copy, it->hedge_cancel, opts_.backend);
+    if (!o.ok) return;  // lost (cancelled) or failed: the primary answers
+    const std::int64_t solve_ns = ns_between(started, Clock::now());
+    cache_.put(it->hash, CachedResult{o.value, o.detail});
+    if (respond(it, Status::Ok, o.value, o.detail,
+                it->queue_ns.load(std::memory_order_relaxed), solve_ns)) {
+      ++hedge_wins_;
+      obs::metrics().counter("serve.hedge_wins").add();
+      estimator_.observe(shape_key(it->req), solve_ns);
+      // Free the stalled primary worker at its next per-block poll.
+      it->cancel.request_cancel(CancelReason::Requested);
+    }
+  });
+}
+
+bool SolveService::respond(const Item& it, Status st, double value,
                            std::string detail, std::int64_t queue_ns,
-                           std::int64_t solve_ns) {
+                           std::int64_t solve_ns,
+                           std::int64_t retry_after_ms) {
+  if (it->responded.exchange(true, std::memory_order_acq_rel)) return false;
   Response resp;
   resp.id = it->req.id;
   resp.status = st;
@@ -206,6 +400,7 @@ void SolveService::respond(const Item& it, Status st, double value,
   resp.queue_ns = queue_ns;
   resp.solve_ns = solve_ns;
   resp.total_ns = ns_between(it->enqueued, Clock::now());
+  resp.retry_after_ms = retry_after_ms;
   switch (st) {
     case Status::Ok: ++completed_; break;
     case Status::OkCached: ++cache_hits_; break;
@@ -214,6 +409,8 @@ void SolveService::respond(const Item& it, Status st, double value,
     case Status::Expired: ++expired_; break;
     case Status::Cancelled: ++cancelled_; break;
     case Status::Error: ++errors_; break;
+    case Status::Degraded: break;     // counted at the fallback site
+    case Status::RetryAfter: break;   // counted at the breaker site
   }
   auto& m = obs::metrics();
   m.counter(std::string("serve.status.") + status_name(st)).add();
@@ -223,6 +420,7 @@ void SolveService::respond(const Item& it, Status st, double value,
     m.histogram("serve.solve_ns").observe(solve_ns);
   }
   it->promise.set_value(std::move(resp));
+  return true;
 }
 
 ServiceStats SolveService::stats() const {
@@ -235,6 +433,12 @@ ServiceStats SolveService::stats() const {
   s.expired = expired_.load();
   s.cancelled = cancelled_.load();
   s.errors = errors_.load();
+  s.degraded = degraded_.load();
+  s.retry_after = retry_after_.load();
+  s.retries = retries_.load();
+  s.hedges = hedges_.load();
+  s.hedge_wins = hedge_wins_.load();
+  s.fallbacks = fallbacks_.load();
   s.batches = batches_.load();
   s.cache_misses = cache_.misses();
   s.cache_evictions = cache_.evictions();

@@ -26,6 +26,8 @@
 #include <vector>
 
 #include "common/cancel.hpp"
+#include "resilience/hedge.hpp"
+#include "resilience/policy.hpp"
 #include "serve/batcher.hpp"
 #include "serve/queue.hpp"
 #include "serve/request.hpp"
@@ -44,6 +46,9 @@ struct ServiceOptions {
   index_t batch_max_size = 512;       ///< batch only instances this small
   std::string backend = "blocked-serial";  ///< default solve backend; a
                                            ///< request's own backend= wins
+  /// Self-healing behaviour: retries, per-backend circuit breaking,
+  /// fallback backend, straggler hedging. Defaults entirely inert.
+  resilience::ResiliencePolicy resilience;
 };
 
 /// Point-in-time counters; every terminal response is counted exactly once
@@ -57,6 +62,12 @@ struct ServiceStats {
   std::uint64_t expired = 0;
   std::uint64_t cancelled = 0;
   std::uint64_t errors = 0;
+  std::uint64_t degraded = 0;     ///< Status::Degraded (fallback backend)
+  std::uint64_t retry_after = 0;  ///< Status::RetryAfter (breaker open)
+  std::uint64_t retries = 0;      ///< failed attempts re-executed
+  std::uint64_t hedges = 0;       ///< hedge twins launched
+  std::uint64_t hedge_wins = 0;   ///< hedge finished before the primary
+  std::uint64_t fallbacks = 0;    ///< solves answered by the fallback rung
   std::uint64_t batches = 0;
   std::uint64_t cache_misses = 0;
   std::uint64_t cache_evictions = 0;
@@ -66,7 +77,7 @@ struct ServiceStats {
 
   std::uint64_t responded() const {
     return completed + cache_hits + rejected + shed + expired + cancelled +
-           errors;
+           errors + degraded + retry_after;
   }
 };
 
@@ -103,6 +114,18 @@ class SolveService {
     /// the deadline wired in when the request carries one, so both deadline
     /// expiry and stop(drain=false) abort the solve mid-flight.
     CancelToken cancel;
+    /// First-finisher-wins guard: whoever flips this owns the response
+    /// (primary worker, hedge twin, or a shutdown path).
+    std::atomic<bool> responded{false};
+    /// Steady-clock ns when a worker picked the request up (0 = not yet);
+    /// the hedge watchdog computes elapsed time from this.
+    std::atomic<std::int64_t> started_ns{0};
+    std::atomic<std::int64_t> queue_ns{0};  ///< for the hedge response
+    std::atomic<bool> hedged{false};        ///< a twin has been launched
+    /// Separate token for the hedge twin, so the winner can cancel the
+    /// loser without tripping its own solve. Armed at submit when hedging
+    /// is enabled; inert otherwise.
+    CancelToken hedge_cancel;
   };
   using Item = std::shared_ptr<Pending>;
 
@@ -115,9 +138,27 @@ class SolveService {
   void dispatch(Batch<Item> batch);
   void run_batch(const Batch<Item>& batch);
   std::size_t max_inflight() const;
-  void respond(const Item& it, Status st, double value = 0,
+  /// Delivers the response if this caller wins the first-finisher race;
+  /// returns whether it did (losers are silent no-ops).
+  bool respond(const Item& it, Status st, double value = 0,
                std::string detail = {}, std::int64_t queue_ns = 0,
-               std::int64_t solve_ns = 0);
+               std::int64_t solve_ns = 0, std::int64_t retry_after_ms = 0);
+
+  // --- resilience ladder (see docs/resilience.md) ---
+  /// Executes one dispatched request through breaker -> retry ->
+  /// fallback -> shed; responds whatever happens.
+  void solve_one(const Item& it, Clock::time_point picked_up,
+                 std::int64_t queue_ns);
+  /// Degradation rung: re-runs a SolveSpec on the fallback backend and
+  /// answers Degraded. False when there is nothing to fall back to or the
+  /// fallback failed too.
+  bool try_fallback(const Item& it, Clock::time_point picked_up,
+                    std::int64_t queue_ns);
+  /// Breaker key for a request: resolved backend name for solves, the
+  /// fixed engine name for folds/parses.
+  std::string breaker_key(const Request& req) const;
+  void watchdog_loop();
+  void launch_hedge(const Item& it);
 
   const ServiceOptions opts_;
   SolverPool pool_;
@@ -144,7 +185,13 @@ class SolveService {
   // Terminal-status counters (see ServiceStats).
   std::atomic<std::uint64_t> submitted_{0}, completed_{0}, cache_hits_{0},
       rejected_{0}, shed_{0}, expired_{0}, cancelled_{0}, errors_{0},
-      batches_{0};
+      degraded_{0}, retry_after_{0}, retries_{0}, hedges_{0}, hedge_wins_{0},
+      fallbacks_{0}, batches_{0};
+
+  /// Per-shape solve latency EWMAs feeding the hedge watchdog.
+  resilience::LatencyEstimator estimator_;
+  std::atomic<bool> watchdog_stop_{false};
+  std::thread watchdog_;  ///< only started when resilience.hedge.enabled
 
   std::thread dispatcher_;  ///< started last, so members above are ready
 };

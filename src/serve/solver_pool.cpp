@@ -7,6 +7,7 @@
 #include "apps/cyk/cyk.hpp"
 #include "apps/zuker/fold.hpp"
 #include "backend/solver_backend.hpp"
+#include "common/fault_hook.hpp"
 #include "common/rng.hpp"
 #include "core/solve.hpp"
 #include "obs/trace.hpp"
@@ -67,6 +68,11 @@ SolveOutcome SolverPool::execute(const Request& req, const CancelToken& cancel,
   CELLNPDP_TRACE_SPAN("serve", "execute");
   SolveOutcome out;
   try {
+    // Fault site for the serve pipeline: a request-level throw exercises
+    // the retry/breaker/fallback ladder, a stall makes this request a
+    // straggler for the hedge watchdog. Zero cost with no hook installed.
+    maybe_inject_task_fault(static_cast<std::int64_t>(req.id),
+                            static_cast<std::int64_t>(req.payload.index()));
     if (const auto* s = std::get_if<SolveSpec>(&req.payload)) {
       if (s->n < 1) throw std::invalid_argument("solve needs n >= 1");
       const std::string& name = !s->backend.empty()      ? s->backend

@@ -2,8 +2,11 @@
 
 #include <algorithm>
 #include <chrono>
+#include <exception>
 #include <string>
+#include <thread>
 
+#include "common/fault_hook.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 
@@ -21,6 +24,8 @@ struct SchedMetrics {
   obs::Counter& tasks = obs::metrics().counter("sched.tasks");
   obs::Counter& enqueued = obs::metrics().counter("sched.enqueued");
   obs::Counter& abandoned = obs::metrics().counter("sched.cancelled_tasks");
+  obs::Counter& retries = obs::metrics().counter("sched.task_retries");
+  obs::Counter& failures = obs::metrics().counter("sched.task_failures");
   obs::Histogram& task_ns = obs::metrics().histogram("sched.task_ns");
   obs::Histogram& ready_depth = obs::metrics().histogram("sched.ready_depth");
   static SchedMetrics& get() {
@@ -29,11 +34,44 @@ struct SchedMetrics {
   }
 };
 
+/// One task execution with the task-granular fault-injection site and the
+/// retry loop. Throws (the last failure) once attempts are exhausted; a
+/// tripped cancel token also stops retrying — there is no point re-running
+/// work whose run is being abandoned.
+void run_task_with_recovery(const TaskQueueExecutor::TaskFn& body,
+                            index_t si, index_t sj,
+                            const TaskRecovery* recovery,
+                            const CancelToken& cancel, SchedMetrics& sm) {
+  int attempt = 1;
+  for (;;) {
+    try {
+      maybe_inject_task_fault(si, sj);
+      body(si, sj);
+      return;
+    } catch (...) {
+      if (recovery == nullptr || attempt >= recovery->retry.max_attempts ||
+          cancel.cancelled()) {
+        sm.failures.add();
+        throw;
+      }
+      sm.retries.add();
+      CELLNPDP_TRACE_INSTANT("sched", "task_retry", si, sj);
+      const auto delay = recovery->retry.backoff(
+          attempt + 1, (static_cast<std::uint64_t>(si) << 32) ^
+                           static_cast<std::uint64_t>(sj));
+      if (delay.count() > 0) std::this_thread::sleep_for(delay);
+      if (recovery->reset) recovery->reset(si, sj);
+      ++attempt;
+    }
+  }
+}
+
 }  // namespace
 
 bool TaskQueueExecutor::run(const BlockDependenceGraph& graph,
                             std::size_t threads, const TaskFn& body,
-                            ExecutorStats* stats, const CancelToken& cancel) {
+                            ExecutorStats* stats, const CancelToken& cancel,
+                            const TaskRecovery* recovery) {
   threads = std::max<std::size_t>(1, threads);
   SchedMetrics& sm = SchedMetrics::get();
 
@@ -46,7 +84,9 @@ bool TaskQueueExecutor::run(const BlockDependenceGraph& graph,
   std::condition_variable cv;
   std::vector<std::int64_t> busy_ns(threads, 0);
   std::vector<index_t> ntasks(threads, 0);
-  index_t executed = 0;  // guarded by mu
+  index_t executed = 0;             // guarded by mu
+  bool failed = false;              // guarded by mu
+  std::exception_ptr failure;       // first exhausted-retries throw
   const std::int64_t t_start = now_ns();
 
   auto worker = [&](std::size_t w) {
@@ -58,13 +98,15 @@ bool TaskQueueExecutor::run(const BlockDependenceGraph& graph,
         // Bounded waits so an externally-tripped token (or its deadline,
         // forced here since a task is a coarse enough boundary for a clock
         // read) is observed even while the queue is empty.
-        while (ready.empty() && !tracker.all_complete() &&
+        while (ready.empty() && !tracker.all_complete() && !failed &&
                !cancel.poll_deadline_now())
           cv.wait_for(lk, std::chrono::milliseconds(1));
       } else {
-        cv.wait(lk, [&] { return !ready.empty() || tracker.all_complete(); });
+        cv.wait(lk, [&] {
+          return !ready.empty() || tracker.all_complete() || failed;
+        });
       }
-      if (tracker.all_complete() || cancel.cancelled()) {
+      if (tracker.all_complete() || cancel.cancelled() || failed) {
         cv.notify_all();  // release any peer still in a bounded wait
         return;
       }
@@ -76,21 +118,36 @@ bool TaskQueueExecutor::run(const BlockDependenceGraph& graph,
 
       lk.unlock();
       const std::int64_t t0 = now_ns();
+      std::exception_ptr task_err;
       {
         CELLNPDP_TRACE_SPAN("sched", "task", si, sj);
-        body(si, sj);
+        try {
+          run_task_with_recovery(body, si, sj, recovery, cancel, sm);
+        } catch (...) {
+          task_err = std::current_exception();
+        }
       }
       const std::int64_t dt = now_ns() - t0;
       busy_ns[w] += dt;
+      lk.lock();
+      if (task_err) {
+        // Retries exhausted: abort the run. The first failure wins the
+        // rethrow; the task's tracker entry stays open so the graph winds
+        // down as abandoned rather than complete.
+        if (!failure) failure = task_err;
+        failed = true;
+        cv.notify_all();
+        return;
+      }
       ++ntasks[w];
       sm.tasks.add();
       sm.task_ns.observe(dt);
-      lk.lock();
       ++executed;
 
-      // A tripped token stops the release of dependents: the run winds
-      // down as soon as every in-flight task body returns.
-      if (cancel.cancelled()) {
+      // A tripped token (or a peer's failure) stops the release of
+      // dependents: the run winds down as soon as every in-flight task
+      // body returns.
+      if (cancel.cancelled() || failed) {
         cv.notify_all();
         return;
       }
@@ -129,12 +186,14 @@ bool TaskQueueExecutor::run(const BlockDependenceGraph& graph,
     stats->worker_tasks = ntasks;
     stats->tasks = executed;
   }
+  if (failure) std::rethrow_exception(failure);
   return completed;
 }
 
 std::vector<index_t> TaskQueueExecutor::run_serial(
     const BlockDependenceGraph& graph, const TaskFn& body,
-    ExecutorStats* stats, const CancelToken& cancel) {
+    ExecutorStats* stats, const CancelToken& cancel,
+    const TaskRecovery* recovery) {
   SchedMetrics& sm = SchedMetrics::get();
   ReadyTracker tracker(graph);
   std::deque<index_t> ready;
@@ -144,6 +203,7 @@ std::vector<index_t> TaskQueueExecutor::run_serial(
   order.reserve(static_cast<std::size_t>(graph.task_count()));
   const std::int64_t t_start = now_ns();
   std::int64_t busy = 0;
+  std::exception_ptr failure;
   while (!ready.empty()) {
     if (cancel.poll_deadline_now()) break;
     const index_t id = ready.front();
@@ -152,8 +212,13 @@ std::vector<index_t> TaskQueueExecutor::run_serial(
     const std::int64_t t0 = now_ns();
     {
       CELLNPDP_TRACE_SPAN("sched", "task", si, sj);
-      body(si, sj);
+      try {
+        run_task_with_recovery(body, si, sj, recovery, cancel, sm);
+      } catch (...) {
+        failure = std::current_exception();
+      }
     }
+    if (failure) break;
     const std::int64_t dt = now_ns() - t0;
     busy += dt;
     sm.tasks.add();
@@ -171,6 +236,7 @@ std::vector<index_t> TaskQueueExecutor::run_serial(
     stats->worker_tasks = {executed};
     stats->tasks = executed;
   }
+  if (failure) std::rethrow_exception(failure);
   return order;
 }
 

@@ -2,9 +2,11 @@
 //
 //   npdp solve     --n 4096 [--backend blocked-parallel] [--kernel simd128]
 //                  [--block 64] [--threads 8] [--seed 1] [--deadline-ms 50]
-//                  [--maxplus] [--save table.bin]
+//                  [--maxplus] [--save table.bin] [--retries 4]
+//                  [--fault-plan plan.json] [--fault-log fired.json]
 //                  [--trace out.json] [--metrics out.json] [--report]
-//   npdp backends  list the registered solver backends and capabilities
+//   npdp backends  list the registered solver backends, capabilities, and
+//                  health (circuit-breaker state)
 //   npdp check-trace --file out.json [--min-workers 1] [--expect-tasks N]
 //   npdp info      --file table.bin
 //   npdp fold      --seq ACGU... | --random 500 [--seed 7] [--threads 4]
@@ -14,10 +16,13 @@
 //   npdp model     --n 4096 [--spes 16]
 //   npdp serve     --requests <file|-> [--workers 4] [--queue 256]
 //                  [--policy block|reject|shed] [--cache 1024] [--batch 8]
-//                  [--backend blocked-serial]
+//                  [--backend blocked-serial] [--retries 3] [--breaker]
+//                  [--fallback reference] [--hedge] [--fault-plan plan.json]
 //   npdp bench-serve --requests 1000 [--workers 4] [--mode closed|open]
 //                  [--concurrency 8] [--rate 500] [--distinct 25]
 //                  [--policy block] [--json-dir .] [--backend blocked-serial]
+//                  [--retries 3] [--breaker] [--fallback NAME] [--hedge]
+//                  [--fault-plan plan.json]
 //
 // Exit codes: 0 success, 1 runtime error, 2 unknown subcommand,
 // 3 bad arguments (missing/duplicate/malformed flags, unknown --backend).
@@ -55,6 +60,8 @@
 #include "obs/report.hpp"
 #include "obs/trace.hpp"
 #include "obs/trace_export.hpp"
+#include "resilience/circuit_breaker.hpp"
+#include "resilience/fault_injector.hpp"
 #include "serve/request.hpp"
 #include "serve/response.hpp"
 #include "serve/service.hpp"
@@ -126,6 +133,33 @@ const backend::SolverBackend& backend_from(const std::string& name) {
   }
 }
 
+/// --fault-plan FILE: parses the plan and installs it as the process-wide
+/// fault hook for the scope's lifetime (null when the flag is absent).
+/// Malformed plans are usage errors (exit 3).
+std::unique_ptr<resilience::FaultInjectionScope> fault_scope_from(
+    const Args& a) {
+  if (!a.has("fault-plan")) return nullptr;
+  resilience::FaultPlan plan;
+  std::string err;
+  if (!resilience::fault_plan_from_file(a.get("fault-plan"), &plan, &err))
+    throw UsageError("--fault-plan: " + err);
+  return std::make_unique<resilience::FaultInjectionScope>(std::move(plan));
+}
+
+/// --fault-log FILE: dumps the fired-fault log (the replay-determinism
+/// artifact) after a faulty run. Returns false on I/O failure.
+bool write_fault_log(const Args& a, resilience::FaultInjectionScope* scope) {
+  if (!a.has("fault-log") || scope == nullptr) return true;
+  std::ofstream os(a.get("fault-log"));
+  if (!os) {
+    std::fprintf(stderr, "error: cannot write %s\n",
+                 a.get("fault-log").c_str());
+    return false;
+  }
+  scope->injector().write_log(os);
+  return true;
+}
+
 int cmd_solve(const Args& a) {
   NpdpInstance<float> inst;
   inst.n = a.num("n", 1024);
@@ -151,6 +185,10 @@ int cmd_solve(const Args& a) {
     obs::Tracer::instance().start(
         static_cast<std::size_t>(a.num("trace-buf", 1 << 18)));
 
+  // Activated before the solve so every fault site below sees the plan;
+  // kept alive until after the log is written.
+  auto fault_scope = fault_scope_from(a);
+
   Stopwatch sw;
   SolveStats ss;
   SolveStats* ssp = (want_report || a.has("metrics")) ? &ss : nullptr;
@@ -160,6 +198,9 @@ int cmd_solve(const Args& a) {
   if (a.has("deadline-ms"))
     ctx.cancel =
         CancelToken::after(std::chrono::milliseconds(a.num("deadline-ms", 0)));
+  if (a.has("retries"))
+    ctx.retry.max_attempts =
+        std::max(1, static_cast<int>(a.num("retries", 1)));
 
   double value = 0, sim_s = 0;
   std::shared_ptr<BlockedTriangularMatrix<float>> table;
@@ -171,6 +212,7 @@ int cmd_solve(const Args& a) {
     const backend::BackendResult r = be->solve(inst, ctx);
     if (r.status == SolveStatus::Cancelled) {
       if (tracing) obs::Tracer::instance().stop();
+      write_fault_log(a, fault_scope.get());
       std::printf("cancelled (%s) after %s: partial table discarded\n",
                   cancel_reason_name(ctx.cancel.reason()),
                   fmt_seconds(sw.seconds()).c_str());
@@ -192,6 +234,21 @@ int cmd_solve(const Args& a) {
               double(npdp_relaxations(inst.n)) / s / 1e9);
   if (sim_s > 0)
     std::printf("simulated Cell time %s\n", fmt_seconds(sim_s).c_str());
+  if (fault_scope != nullptr) {
+    const resilience::FaultInjector& inj = fault_scope->injector();
+    std::printf("faults injected:");
+    for (int si = 0; si < kFaultSiteCount; ++si) {
+      const auto site = static_cast<FaultSite>(si);
+      if (inj.occurrences(site) == 0 && inj.fired_count(site) == 0) continue;
+      std::printf(" %s=%lld/%lld", fault_site_name(site),
+                  static_cast<long long>(inj.fired_count(site)),
+                  static_cast<long long>(inj.occurrences(site)));
+    }
+    std::printf(" (fired/occurrences)\n");
+    if (!write_fault_log(a, fault_scope.get())) return 1;
+    if (a.has("fault-log"))
+      std::printf("fault log written to %s\n", a.get("fault-log").c_str());
+  }
   if (a.has("save")) {
     if (table == nullptr)
       throw UsageError("--save needs a backend producing a blocked table "
@@ -252,20 +309,33 @@ int cmd_solve(const Args& a) {
   return 0;
 }
 
-/// Lists every backend in the registry with its capability columns —
-/// the discovery companion of --backend.
+/// Lists every backend in the registry with its capability columns plus a
+/// health row (circuit-breaker state from the process-wide board) — the
+/// discovery companion of --backend. A backend with no breaker yet is
+/// healthy by definition; "open" means the breaker is currently refusing
+/// it and requests take the degradation ladder.
 int cmd_backends(const Args&) {
-  std::printf("%-17s %-3s %-3s %-9s %-10s %-9s %-12s %-7s\n", "name", "sp",
-              "dp", "weighted", "traceback", "parallel", "cancellable",
-              "timing");
+  std::printf("%-17s %-3s %-3s %-9s %-10s %-9s %-12s %-7s %-6s %-11s %-8s "
+              "%-10s\n",
+              "name", "sp", "dp", "weighted", "traceback", "parallel",
+              "cancellable", "timing", "arena", "self-check", "healthy",
+              "breaker");
   auto yn = [](bool v) { return v ? "yes" : "-"; };
   for (const backend::SolverBackend* b :
        backend::BackendRegistry::instance().list()) {
     const backend::Capabilities c = b->caps();
-    std::printf("%-17s %-3s %-3s %-9s %-10s %-9s %-12s %-7s\n", b->name(),
-                yn(c.single_precision), yn(c.double_precision),
+    const resilience::CircuitBreaker* br =
+        resilience::breakers().find(b->name());
+    const bool healthy =
+        br == nullptr || br->state() != resilience::BreakerState::Open;
+    std::printf("%-17s %-3s %-3s %-9s %-10s %-9s %-12s %-7s %-6s %-11s %-8s "
+                "%-10s\n",
+                b->name(), yn(c.single_precision), yn(c.double_precision),
                 yn(c.weighted), yn(c.traceback), yn(c.parallel),
-                yn(c.cancellable), yn(c.timing_model));
+                yn(c.cancellable), yn(c.timing_model), yn(c.arena),
+                yn(c.self_checking), healthy ? "yes" : "no",
+                br != nullptr ? resilience::breaker_state_name(br->state())
+                              : "-");
   }
   return 0;
 }
@@ -490,6 +560,16 @@ serve::ServiceOptions service_options_from(const Args& a) {
     backend_from(a.get("backend"));  // unknown name -> usage error (exit 3)
     so.backend = a.get("backend");
   }
+  // Resilience ladder knobs (all default-off; see docs/resilience.md).
+  if (a.has("retries"))
+    so.resilience.retry.max_attempts =
+        std::max(1, static_cast<int>(a.num("retries", 1)));
+  if (a.has("breaker")) so.resilience.breaker_enabled = true;
+  if (a.has("fallback")) {
+    backend_from(a.get("fallback"));  // validate the name up front
+    so.resilience.fallback_backend = a.get("fallback");
+  }
+  if (a.has("hedge")) so.resilience.hedge.enabled = true;
   return so;
 }
 
@@ -505,6 +585,7 @@ int cmd_serve(const Args& a) {
   }
   std::istream& is = path == "-" ? std::cin : file;
 
+  auto fault_scope = fault_scope_from(a);  // outlives the service
   serve::SolveService service(service_options_from(a));
   std::vector<std::future<serve::Response>> futures;
   std::string line;
@@ -534,19 +615,29 @@ int cmd_serve(const Args& a) {
   }
   service.stop();
   const serve::ServiceStats st = service.stats();
-  std::printf("served %llu requests: %llu ok, %llu cached, %llu rejected, "
-              "%llu shed, %llu expired, %llu cancelled, %llu errors; "
-              "%llu batches, %llu arena reuses\n",
+  std::printf("served %llu requests: %llu ok, %llu cached, %llu degraded, "
+              "%llu rejected, %llu shed, %llu expired, %llu cancelled, "
+              "%llu retry-after, %llu errors; %llu batches, %llu arena "
+              "reuses\n",
               static_cast<unsigned long long>(st.submitted),
               static_cast<unsigned long long>(st.completed),
               static_cast<unsigned long long>(st.cache_hits),
+              static_cast<unsigned long long>(st.degraded),
               static_cast<unsigned long long>(st.rejected),
               static_cast<unsigned long long>(st.shed),
               static_cast<unsigned long long>(st.expired),
               static_cast<unsigned long long>(st.cancelled),
+              static_cast<unsigned long long>(st.retry_after),
               static_cast<unsigned long long>(st.errors),
               static_cast<unsigned long long>(st.batches),
               static_cast<unsigned long long>(st.arena_reuses));
+  if (st.retries + st.hedges + st.fallbacks > 0)
+    std::printf("resilience: %llu retries, %llu hedges (%llu wins), "
+                "%llu fallbacks\n",
+                static_cast<unsigned long long>(st.retries),
+                static_cast<unsigned long long>(st.hedges),
+                static_cast<unsigned long long>(st.hedge_wins),
+                static_cast<unsigned long long>(st.fallbacks));
   return any_error ? 1 : 0;
 }
 
@@ -566,6 +657,7 @@ int cmd_bench_serve(const Args& a) {
       std::max(1L, a.num("concurrency", 2 * long(so.workers)));
   const double rate = a.real("rate", 500.0);
   const long max_n = std::max(64L, a.num("n", 192));
+  auto fault_scope = fault_scope_from(a);  // outlives the service
 
   // The distinct-instance pool: sizes cycle through a few block multiples,
   // seeds make every pool entry a different computation.
@@ -690,7 +782,13 @@ int cmd_bench_serve(const Args& a) {
       .set("cache_evictions", std::int64_t(st.cache_evictions))
       .set("batches", std::int64_t(st.batches))
       .set("arena_reuses", std::int64_t(st.arena_reuses))
-      .set("arena_allocations", std::int64_t(st.arena_allocations));
+      .set("arena_allocations", std::int64_t(st.arena_allocations))
+      .set("degraded", std::int64_t(st.degraded))
+      .set("retry_after", std::int64_t(st.retry_after))
+      .set("retries", std::int64_t(st.retries))
+      .set("hedges", std::int64_t(st.hedges))
+      .set("hedge_wins", std::int64_t(st.hedge_wins))
+      .set("fallbacks", std::int64_t(st.fallbacks));
   json.flush();
   return 0;
 }
@@ -699,7 +797,8 @@ void usage() {
   std::printf(
       "usage: npdp <solve|backends|check-trace|info|fold|parse|simulate"
       "|cluster|model|serve|bench-serve> [--key value ...]\n"
-      "  backends     list the registered solver backends (--backend names)\n"
+      "  backends     list the registered solver backends (--backend names),\n"
+      "               capabilities, and breaker health\n"
       "  serve        run the in-process solve service over a line-delimited\n"
       "               request stream (--requests <file|->)\n"
       "  bench-serve  closed/open-loop load generator; writes "

@@ -28,23 +28,44 @@ echo "== validate trace =="
 "$BUILD_DIR"/tools/npdp check-trace --file "$TRACE_DIR/trace.json" \
     --min-workers 2 --expect-tasks 528
 
-echo "== sanitizers (serve + taskgraph + cancel) =="
+echo "== fault injection: deterministic replay =="
+# Same plan + same (single-threaded) execution must produce byte-identical
+# fired-fault logs, and the healed solve must match the clean one (the
+# resilient backend prints the same optimal value either way).
+cat > "$TRACE_DIR/faults.json" <<'EOF'
+{"seed": 42, "faults": [
+  {"site": "task-throw", "rate": 0.05},
+  {"site": "block-corrupt", "rate": 0.01}
+]}
+EOF
+"$BUILD_DIR"/tools/npdp solve --n 1024 --backend resilient \
+    --fault-plan "$TRACE_DIR/faults.json" --fault-log "$TRACE_DIR/log1.json"
+"$BUILD_DIR"/tools/npdp solve --n 1024 --backend resilient \
+    --fault-plan "$TRACE_DIR/faults.json" --fault-log "$TRACE_DIR/log2.json"
+cmp "$TRACE_DIR/log1.json" "$TRACE_DIR/log2.json"
+echo "fault replay: logs byte-identical"
+
+echo "== sanitizers (serve + taskgraph + cancel + resilience) =="
 # The concurrency-heavy suites rerun under ASan/UBSan in a separate tree.
 ASAN_DIR=${ASAN_DIR:-build-asan}
 cmake -B "$ASAN_DIR" -S . -DCELLNPDP_SANITIZE=address,undefined
 cmake --build "$ASAN_DIR" -j "$JOBS" --target test_serve test_taskgraph \
-    test_cancel
+    test_cancel test_resilience
 "$ASAN_DIR"/tests/test_serve
 "$ASAN_DIR"/tests/test_taskgraph
 "$ASAN_DIR"/tests/test_cancel
+"$ASAN_DIR"/tests/test_resilience
 
-echo "== thread sanitizer (serve + cancel) =="
+echo "== thread sanitizer (serve + cancel + resilience) =="
 # Cancellation crosses threads by design (dispatcher trips tokens that
-# workers poll); TSan is the check that the handoff is race-free.
+# workers poll), and the hedge watchdog races primaries against twins on
+# purpose; TSan is the check that those handoffs are race-free.
 TSAN_DIR=${TSAN_DIR:-build-tsan}
 cmake -B "$TSAN_DIR" -S . -DCELLNPDP_SANITIZE=thread
-cmake --build "$TSAN_DIR" -j "$JOBS" --target test_serve test_cancel
+cmake --build "$TSAN_DIR" -j "$JOBS" --target test_serve test_cancel \
+    test_resilience
 "$TSAN_DIR"/tests/test_serve
 "$TSAN_DIR"/tests/test_cancel
+"$TSAN_DIR"/tests/test_resilience
 
 echo "verify.sh: OK"
