@@ -17,7 +17,12 @@ bool CircuitBreaker::allow() {
       [[fallthrough]];
     }
     case BreakerState::HalfOpen:
-      if (probes_inflight_ >= policy_.half_open_probes) return false;
+      // Admit only as many probes as could still close the breaker:
+      // outstanding slots plus recorded successes. Slots are returned by
+      // record_success / record_failure / record_abandoned, so a probe
+      // that never reports back cannot wedge the breaker HalfOpen.
+      if (probes_inflight_ + probes_succeeded_ >= policy_.half_open_probes)
+        return false;
       ++probes_inflight_;
       return true;
   }
@@ -27,6 +32,7 @@ bool CircuitBreaker::allow() {
 void CircuitBreaker::record_success() {
   std::lock_guard<std::mutex> lk(mu_);
   if (state_ == BreakerState::HalfOpen) {
+    if (probes_inflight_ > 0) --probes_inflight_;
     ++probes_succeeded_;
     if (probes_succeeded_ >= policy_.half_open_probes) {
       state_ = BreakerState::Closed;
@@ -52,6 +58,14 @@ void CircuitBreaker::record_failure() {
       static_cast<double>(window_failures_) / samples >=
           policy_.failure_threshold)
     trip_locked();
+}
+
+void CircuitBreaker::record_abandoned() {
+  std::lock_guard<std::mutex> lk(mu_);
+  // Only meaningful while half-open; a grant issued in Closed that gets
+  // cancelled after the breaker trips simply has no slot to return.
+  if (state_ == BreakerState::HalfOpen && probes_inflight_ > 0)
+    --probes_inflight_;
 }
 
 void CircuitBreaker::push_outcome_locked(bool ok) {

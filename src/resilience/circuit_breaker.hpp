@@ -51,6 +51,11 @@ class CircuitBreaker {
 
   void record_success();
   void record_failure();
+  /// Releases a half-open probe slot whose request produced no outcome
+  /// (cancelled or deadline-expired mid-probe). Without this, abandoned
+  /// probes would pin the breaker HalfOpen forever, denying everything.
+  /// Conservative: a no-op unless a slot is actually held.
+  void record_abandoned();
 
   BreakerState state() const;
   /// Suggested client back-off while open (>= 1ms); 0 when not open.

@@ -29,10 +29,10 @@ std::int64_t steady_now_ns() {
 
 SolveService::SolveService(ServiceOptions opts)
     : opts_(opts),
-      pool_(opts.workers),
       queue_(opts.queue_capacity, opts.policy),
       batcher_(opts.batch_max),
-      cache_(opts.cache_capacity) {
+      cache_(opts.cache_capacity),
+      pool_(opts.workers) {
   queue_.set_expiry(
       [](const Item& it) { return it->req.expired(); },
       [this](Item&& it) {
@@ -103,21 +103,32 @@ void SolveService::stop(bool drain) {
   // pipeline is coming down.
   watchdog_stop_.store(true, std::memory_order_release);
   if (watchdog_.joinable()) watchdog_.join();
-  if (!drain) {
-    cancel_queued_.store(true, std::memory_order_release);
-    // Abort in-flight solves too: every dispatched Pending carries an
-    // armed token, so tripping the copies here reaches the workers at
-    // their next per-block poll and frees them within a block's worth of
-    // work; run_batch answers those requests with Status::Cancelled.
+  if (!drain) cancel_queued_.store(true, std::memory_order_release);
+  {
+    // Shutdown never waits on work whose answer cannot matter. Hedge
+    // twins are released unconditionally — their primaries drain to
+    // completion, so a twin at shutdown is pure redundancy — and a
+    // primary whose twin already won the respond() race is a zombie that
+    // would otherwise hold the final wait_idle() hostage. With
+    // drain=false every in-flight solve is aborted: the armed tokens
+    // reach the workers at their next per-block poll and free them
+    // within a block's worth of work; run_batch answers those requests
+    // with Status::Cancelled.
     std::lock_guard ilk(inflight_mu_);
     for (const auto& w : inflight_reqs_)
       if (auto it = w.lock()) {
-        it->cancel.request_cancel(CancelReason::Shutdown);
         it->hedge_cancel.request_cancel(CancelReason::Shutdown);
+        if (!drain || it->responded.load(std::memory_order_acquire))
+          it->cancel.request_cancel(CancelReason::Shutdown);
       }
   }
   queue_.close();
   if (dispatcher_.joinable()) dispatcher_.join();
+  // The dispatcher's last act was a wait_idle(), but repeat it here so no
+  // pool job — hedge twin included — can outlive stop() and touch members
+  // mid-destruction (pool_ is also declared to be destroyed first; this
+  // keeps stop()'s contract independent of member order).
+  pool_.wait_idle();
 }
 
 void SolveService::dispatcher_loop() {
@@ -234,26 +245,44 @@ void SolveService::solve_one(const Item& it, Clock::time_point picked_up,
           ? &resilience::breakers().breaker(breaker_key(it->req), rp.breaker)
           : nullptr;
 
+  // Whatever this request's fate, a hedge twin must not outlive it: every
+  // terminal path below releases the twin so it stops at its next
+  // per-block poll instead of solving to completion for nobody. Harmless
+  // when the twin already finished (or won — respond() is first-finisher).
+  const auto release_twin = [&it] {
+    if (it->hedged.load(std::memory_order_acquire))
+      it->hedge_cancel.request_cancel(CancelReason::Requested);
+  };
+
   if (br != nullptr && !br->allow()) {
     // Rung 3/4 of the ladder without even attempting the primary: the
     // breaker says the backend is sick right now.
-    if (try_fallback(it, picked_up, queue_ns)) return;
-    const std::int64_t hint = std::max<std::int64_t>(
-        br->retry_after_ms(), rp.retry_after.count());
-    if (respond(it, Status::RetryAfter, 0,
-                "circuit open: " + breaker_key(it->req), queue_ns, 0, hint))
-      ++retry_after_;
+    if (!try_fallback(it, picked_up, queue_ns)) {
+      const std::int64_t hint = std::max<std::int64_t>(
+          br->retry_after_ms(), rp.retry_after.count());
+      if (respond(it, Status::RetryAfter, 0,
+                  "circuit open: " + breaker_key(it->req), queue_ns, 0, hint))
+        ++retry_after_;
+    }
+    release_twin();
     return;
   }
 
   // Rung 2: the primary backend, re-executed up to the retry budget with
   // capped exponential backoff. Every failed attempt feeds the breaker;
-  // cancellation feeds nothing (the backend did nothing wrong).
+  // cancellation feeds nothing (the backend did nothing wrong) but does
+  // hand back a half-open probe slot, or the breaker could wedge.
   const int max_attempts = rp.retry.enabled() ? rp.retry.max_attempts : 1;
   SolveOutcome o;
+  std::int64_t attempt_ns = 0;  ///< last attempt only, no backoff sleeps
   for (int attempt = 1;; ++attempt) {
+    const Clock::time_point attempt_start = Clock::now();
     o = pool_.execute(it->req, it->cancel, opts_.backend);
-    if (o.cancelled) break;
+    attempt_ns = ns_between(attempt_start, Clock::now());
+    if (o.cancelled) {
+      if (br != nullptr) br->record_abandoned();
+      break;
+    }
     if (o.ok) {
       if (br != nullptr) br->record_success();
       break;
@@ -276,24 +305,34 @@ void SolveService::solve_one(const Item& it, Clock::time_point picked_up,
     // twin won and cancelled us — then this respond loses the race and is
     // a no-op). Never cached: the arena held a partial result.
     respond(it, Status::Cancelled, 0, o.error, queue_ns, solve_ns);
+    release_twin();
     return;
   }
   if (!o.ok) {
-    if (try_fallback(it, picked_up, queue_ns)) return;
+    // The twin may have answered while the primary burned its retries; a
+    // fallback solve would only compute a result that loses the respond()
+    // race — skip straight to releasing the twin.
+    if (!it->responded.load(std::memory_order_acquire) &&
+        try_fallback(it, picked_up, queue_ns)) {
+      release_twin();
+      return;
+    }
     respond(it, Status::Error, 0, o.error, queue_ns, solve_ns);
+    release_twin();
     return;
   }
-  estimator_.observe(shape_key(it->req), solve_ns);
+  // The straggler estimator sees only the successful attempt's duration:
+  // backoff sleeps and failed attempts are not solve latency, and folding
+  // them in would inflate the EWMA and suppress exactly the hedging a
+  // flaky shape needs.
+  estimator_.observe(shape_key(it->req), attempt_ns);
   // Cache before responding, so a caller that resubmits the moment its
   // future resolves observes the hit. Losing the first-finisher race
   // below is harmless: primary and twin computed the same request, so
   // whichever result lands in the cache is the right one.
   cache_.put(it->hash, CachedResult{o.value, o.detail});
-  if (respond(it, Status::Ok, o.value, o.detail, queue_ns, solve_ns)) {
-    // First finisher wins: release the hedge twin if one is running.
-    if (it->hedged.load(std::memory_order_acquire))
-      it->hedge_cancel.request_cancel(CancelReason::Requested);
-  }
+  respond(it, Status::Ok, o.value, o.detail, queue_ns, solve_ns);
+  release_twin();
 }
 
 bool SolveService::try_fallback(const Item& it, Clock::time_point picked_up,

@@ -97,8 +97,11 @@ class SolveService {
   /// before returning; drain = false answers queued (not yet dispatched)
   /// requests with Status::Cancelled and trips the cancel token of every
   /// in-flight solve, so workers abort cooperatively at their next
-  /// memory-block poll instead of running to completion. Idempotent;
-  /// submit() after stop() rejects.
+  /// memory-block poll instead of running to completion. Either way no
+  /// pool job outlives the call: hedge twins are released unconditionally,
+  /// a primary whose twin already answered is aborted (its result can no
+  /// longer matter), and stop() waits for the pool to go idle before
+  /// returning. Idempotent; submit() after stop() rejects.
   void stop(bool drain = true);
 
   ServiceStats stats() const;
@@ -161,7 +164,6 @@ class SolveService {
   void launch_hedge(const Item& it);
 
   const ServiceOptions opts_;
-  SolverPool pool_;
   AdmissionQueue<Item> queue_;
   Batcher<Item> batcher_;  ///< dispatcher thread only
   ResultCache<CachedResult> cache_;
@@ -190,6 +192,14 @@ class SolveService {
 
   /// Per-shape solve latency EWMAs feeding the hedge watchdog.
   resilience::LatencyEstimator estimator_;
+
+  /// Declared after everything its jobs touch (cache_, estimator_, the
+  /// counters, the inflight bookkeeping): members are destroyed in
+  /// reverse declaration order, so the pool — whose ThreadPool joins its
+  /// workers on destruction — goes down first, and any straggling job
+  /// finishes while those members are still alive.
+  SolverPool pool_;
+
   std::atomic<bool> watchdog_stop_{false};
   std::thread watchdog_;  ///< only started when resilience.hedge.enabled
 

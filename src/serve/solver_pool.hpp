@@ -75,10 +75,12 @@ class SolverPool {
   Arena* checkout(index_t n, index_t bs, bool* reused);
   void checkin(Arena* a);
 
-  ThreadPool pool_;
   mutable std::mutex mu_;
   std::vector<std::unique_ptr<Arena>> arenas_;  // stable addresses
   std::uint64_t arena_allocs_ = 0, arena_reuses_ = 0;
+  /// Declared last: ~ThreadPool joins the workers, and a job finishing
+  /// during destruction still touches mu_ / arenas_ via checkin().
+  ThreadPool pool_;
 };
 
 }  // namespace cellnpdp::serve

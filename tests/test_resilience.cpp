@@ -433,6 +433,26 @@ TEST(CircuitBreaker, WalksClosedOpenHalfOpenClosed) {
   EXPECT_TRUE(br.allow());
 }
 
+TEST(CircuitBreaker, AbandonedProbesReleaseTheirSlots) {
+  CircuitBreaker br(fast_breaker());
+  for (int i = 0; i < 4; ++i) br.record_failure();
+  ASSERT_EQ(br.state(), BreakerState::Open);
+  std::this_thread::sleep_for(milliseconds(80));
+  ASSERT_TRUE(br.allow());
+  ASSERT_TRUE(br.allow());
+  ASSERT_FALSE(br.allow());  // probe budget spent
+  // Both probes get cancelled mid-flight and report no outcome. Their
+  // slots must come back, or the breaker is wedged HalfOpen forever.
+  br.record_abandoned();
+  br.record_abandoned();
+  EXPECT_EQ(br.state(), BreakerState::HalfOpen);
+  ASSERT_TRUE(br.allow());
+  br.record_success();
+  ASSERT_TRUE(br.allow());  // success freed its slot too
+  br.record_success();
+  EXPECT_EQ(br.state(), BreakerState::Closed);
+}
+
 TEST(CircuitBreaker, FailedProbeReopensAndBelowThresholdStaysClosed) {
   CircuitBreaker br(fast_breaker());
   for (int i = 0; i < 4; ++i) br.record_failure();
