@@ -1,0 +1,162 @@
+#include "net/client.hpp"
+
+#include <cstring>
+
+namespace cellnpdp::net {
+
+bool NpdpClient::connect(const std::string& host, std::uint16_t port,
+                         std::string* err) {
+  close();
+  const int fd = tcp_connect(host, port, err);
+  if (fd < 0) return false;
+  fd_.reset(fd);
+  return true;
+}
+
+bool NpdpClient::send_frame(const std::vector<std::uint8_t>& frame,
+                            std::string* err) {
+  if (!fd_.valid()) {
+    *err = "not connected";
+    return false;
+  }
+  if (!send_all(fd_.get(), frame.data(), frame.size())) {
+    *err = std::string("send: ") + std::strerror(errno);
+    fd_.reset();
+    return false;
+  }
+  return true;
+}
+
+NpdpClient::RecvStatus NpdpClient::recv_frame(FrameHeader* h,
+                                              std::vector<std::uint8_t>* payload,
+                                              int timeout_ms,
+                                              std::string* err) {
+  if (!fd_.valid()) {
+    *err = "not connected";
+    return RecvStatus::Error;
+  }
+  for (;;) {
+    const HeaderParse hp = parse_header(rbuf_.data(), rbuf_.size(), h);
+    if (hp == HeaderParse::BadMagic) {
+      *err = "bad magic from server";
+      fd_.reset();
+      return RecvStatus::Error;
+    }
+    if (hp == HeaderParse::Ok) {
+      if (h->len > max_frame_) {
+        *err = "reply payload " + std::to_string(h->len) + " exceeds cap";
+        fd_.reset();
+        return RecvStatus::Error;
+      }
+      if (rbuf_.size() >= kHeaderSize + h->len) {
+        payload->assign(rbuf_.begin() + kHeaderSize,
+                        rbuf_.begin() + static_cast<std::ptrdiff_t>(
+                                            kHeaderSize + h->len));
+        rbuf_.erase(rbuf_.begin(), rbuf_.begin() + static_cast<std::ptrdiff_t>(
+                                                       kHeaderSize + h->len));
+        return RecvStatus::Ok;
+      }
+    }
+    std::uint8_t buf[16384];
+    const long n = recv_some(fd_.get(), buf, sizeof buf, timeout_ms);
+    if (n > 0) {
+      rbuf_.insert(rbuf_.end(), buf, buf + n);
+      continue;
+    }
+    if (n == 0) {
+      *err = "server closed the connection";
+      fd_.reset();
+      return RecvStatus::Closed;
+    }
+    if (n == -2) {
+      *err = "timed out waiting for reply";
+      return RecvStatus::Timeout;
+    }
+    *err = std::string("recv: ") + std::strerror(errno);
+    fd_.reset();
+    return RecvStatus::Error;
+  }
+}
+
+NpdpClient::RecvStatus NpdpClient::recv_reply(Reply* out, int timeout_ms,
+                                              std::string* err) {
+  FrameHeader h;
+  std::vector<std::uint8_t> payload;
+  const RecvStatus rs = recv_frame(&h, &payload, timeout_ms, err);
+  if (rs != RecvStatus::Ok) return rs;
+  out->id = h.id;
+  switch (h.type) {
+    case MsgType::Result: {
+      out->kind = Reply::Kind::Result;
+      if (!decode_response_payload(h.id, payload.data(), payload.size(),
+                                   &out->result, err))
+        return RecvStatus::Error;
+      return RecvStatus::Ok;
+    }
+    case MsgType::ProtoError: {
+      out->kind = Reply::Kind::ProtoError;
+      if (!decode_proto_error(payload.data(), payload.size(), &out->code,
+                              &out->message)) {
+        *err = "malformed ProtoError frame";
+        return RecvStatus::Error;
+      }
+      return RecvStatus::Ok;
+    }
+    case MsgType::Pong:
+      out->kind = Reply::Kind::Pong;
+      return RecvStatus::Ok;
+    case MsgType::StatsText: {
+      out->kind = Reply::Kind::StatsText;
+      if (!decode_stats_text(payload.data(), payload.size(), &out->message)) {
+        *err = "malformed StatsText frame";
+        return RecvStatus::Error;
+      }
+      return RecvStatus::Ok;
+    }
+    default:
+      *err = "unexpected frame type " +
+             std::to_string(static_cast<unsigned>(h.type));
+      return RecvStatus::Error;
+  }
+}
+
+NpdpClient::RecvStatus NpdpClient::call(const WireRequest& req, Reply* out,
+                                        int timeout_ms, std::string* err) {
+  if (!send_frame(encode_request(req), err)) return RecvStatus::Error;
+  const RecvStatus rs = recv_reply(out, timeout_ms, err);
+  if (rs != RecvStatus::Ok) return rs;
+  if (out->id != req.id) {
+    *err = "reply id mismatch (pipelined replies pending?)";
+    return RecvStatus::Error;
+  }
+  return RecvStatus::Ok;
+}
+
+NpdpClient::RecvStatus NpdpClient::ping(std::uint64_t id, int timeout_ms,
+                                        std::string* err) {
+  if (!send_frame(encode_ping(id), err)) return RecvStatus::Error;
+  Reply rep;
+  const RecvStatus rs = recv_reply(&rep, timeout_ms, err);
+  if (rs != RecvStatus::Ok) return rs;
+  if (rep.kind != Reply::Kind::Pong || rep.id != id) {
+    *err = "expected Pong";
+    return RecvStatus::Error;
+  }
+  return RecvStatus::Ok;
+}
+
+NpdpClient::RecvStatus NpdpClient::stats(std::string* json, int timeout_ms,
+                                         std::string* err) {
+  if (!send_frame(encode_stats_request(1), err)) return RecvStatus::Error;
+  Reply rep;
+  const RecvStatus rs = recv_reply(&rep, timeout_ms, err);
+  if (rs != RecvStatus::Ok) return rs;
+  if (rep.kind != Reply::Kind::StatsText) {
+    *err = "expected StatsText";
+    return RecvStatus::Error;
+  }
+  *json = rep.message;
+  return RecvStatus::Ok;
+}
+
+}  // namespace cellnpdp::net

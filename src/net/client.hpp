@@ -1,0 +1,73 @@
+// NpdpClient: blocking client for the npdp wire protocol. One instance
+// drives one TCP connection; it is not thread-safe (the load generator
+// gives each connection its own client). Frames may be pipelined: send
+// any number of request frames, then pull replies with recv_frame() /
+// recv_reply() — partial reads are reassembled internally, so a reply
+// split across TCP segments is never mis-framed.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "net/protocol.hpp"
+#include "net/socket.hpp"
+
+namespace cellnpdp::net {
+
+class NpdpClient {
+ public:
+  NpdpClient() = default;
+
+  /// Blocking connect. False with *err on failure.
+  bool connect(const std::string& host, std::uint16_t port, std::string* err);
+  void close() { fd_.reset(); rbuf_.clear(); }
+  bool connected() const { return fd_.valid(); }
+  int fd() const { return fd_.get(); }
+
+  /// Largest reply payload this client will accept (mirror of the
+  /// server-side cap; a frame above it fails the read).
+  void set_max_frame(std::size_t n) { max_frame_ = n; }
+
+  enum class RecvStatus { Ok, Timeout, Closed, Error };
+
+  /// Sends one already-encoded frame. False with *err on transport error.
+  bool send_frame(const std::vector<std::uint8_t>& frame, std::string* err);
+
+  /// Receives the next complete frame (any type). Timeout applies to
+  /// each underlying read; a reply already buffered returns immediately.
+  RecvStatus recv_frame(FrameHeader* h, std::vector<std::uint8_t>* payload,
+                        int timeout_ms, std::string* err);
+
+  /// One decoded server reply: either a Result or a typed ProtoError.
+  struct Reply {
+    enum class Kind { Result, ProtoError, Pong, StatsText };
+    Kind kind = Kind::Result;
+    WireResponse result;                            ///< when Result
+    ProtoErrorCode code = ProtoErrorCode::None;     ///< when ProtoError
+    std::string message;  ///< ProtoError text or StatsText JSON
+    std::uint64_t id = 0;
+  };
+
+  /// Receives and decodes the next reply frame.
+  RecvStatus recv_reply(Reply* out, int timeout_ms, std::string* err);
+
+  /// Round-trips one request: send, then wait for the reply bearing its
+  /// id (other pipelined replies are an error here — use recv_reply for
+  /// pipelined flows).
+  RecvStatus call(const WireRequest& req, Reply* out, int timeout_ms,
+                  std::string* err);
+
+  /// RTT probe. Ok only if a Pong with the same id comes back.
+  RecvStatus ping(std::uint64_t id, int timeout_ms, std::string* err);
+
+  /// Fetches the server's JSON stats snapshot.
+  RecvStatus stats(std::string* json, int timeout_ms, std::string* err);
+
+ private:
+  FdGuard fd_;
+  std::vector<std::uint8_t> rbuf_;  ///< bytes received past the last frame
+  std::size_t max_frame_ = kDefaultMaxFrame;
+};
+
+}  // namespace cellnpdp::net

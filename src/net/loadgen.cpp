@@ -1,0 +1,280 @@
+#include "net/loadgen.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cmath>
+#include <mutex>
+#include <thread>
+#include <unordered_map>
+
+#include "common/rng.hpp"
+#include "net/client.hpp"
+
+namespace cellnpdp::net {
+
+namespace {
+
+using SteadyClock = std::chrono::steady_clock;
+
+std::vector<char> mix_kinds(const std::string& mix) {
+  if (mix == "solve") return {'s'};
+  if (mix == "fold") return {'f'};
+  if (mix == "parse") return {'p'};
+  if (mix == "chain") return {'c'};
+  if (mix == "bst") return {'b'};
+  return {'s', 'f', 'p', 'c', 'b'};  // "mix"
+}
+
+serve::Payload make_payload(const LoadGenOptions& o, char kind,
+                            SplitMix64& rng) {
+  // Seeds are drawn from a small pool so the server's result cache sees
+  // realistic repeat traffic (some OkCached replies), not 100% misses.
+  const std::uint64_t seed = o.seed + rng.next_below(16);
+  switch (kind) {
+    case 's': {
+      serve::SolveSpec s;
+      s.n = std::max<index_t>(2, o.size);
+      s.seed = seed;
+      s.block_side = std::min<index_t>(64, s.n);
+      s.backend = o.backend;
+      return s;
+    }
+    case 'f': {
+      serve::FoldSpec f;
+      f.random_n = std::max<index_t>(4, o.size);
+      f.seed = seed;
+      return f;
+    }
+    case 'p': {
+      serve::ParseSpec ps;
+      ps.grammar = serve::ParseSpec::GrammarKind::Parens;
+      const index_t pairs = std::max<index_t>(1, o.size / 2);
+      ps.text.assign(static_cast<std::size_t>(pairs), '(');
+      ps.text.append(static_cast<std::size_t>(pairs), ')');
+      return ps;
+    }
+    case 'c': {
+      serve::ChainSpec c;
+      c.n = std::max<index_t>(1, o.size);
+      c.seed = seed;
+      return c;
+    }
+    default: {
+      serve::BstSpec b;
+      b.keys = std::max<index_t>(1, o.size);
+      b.seed = seed;
+      return b;
+    }
+  }
+}
+
+void classify(const NpdpClient::Reply& rep, LoadGenResult* acc) {
+  ++acc->replies;
+  if (rep.kind == NpdpClient::Reply::Kind::ProtoError) {
+    ++acc->proto_errors;
+    return;
+  }
+  switch (rep.result.status) {
+    case serve::Status::Ok: ++acc->ok; break;
+    case serve::Status::OkCached: ++acc->cached; break;
+    case serve::Status::Degraded: ++acc->degraded; break;
+    case serve::Status::Rejected: ++acc->rejected; break;
+    case serve::Status::Shed: ++acc->shed; break;
+    case serve::Status::Expired: ++acc->expired; break;
+    case serve::Status::Cancelled: ++acc->cancelled; break;
+    case serve::Status::RetryAfter: ++acc->retry_after; break;
+    default: ++acc->errors; break;
+  }
+}
+
+struct Shared {
+  std::atomic<std::uint64_t> sent_total{0};
+  std::mutex mu;
+  LoadGenResult merged;
+};
+
+void merge(Shared& sh, const LoadGenResult& part) {
+  std::lock_guard lk(sh.mu);
+  LoadGenResult& m = sh.merged;
+  m.sent += part.sent;
+  m.replies += part.replies;
+  m.ok += part.ok;
+  m.cached += part.cached;
+  m.degraded += part.degraded;
+  m.rejected += part.rejected;
+  m.shed += part.shed;
+  m.expired += part.expired;
+  m.cancelled += part.cancelled;
+  m.retry_after += part.retry_after;
+  m.errors += part.errors;
+  m.proto_errors += part.proto_errors;
+  m.transport_errors += part.transport_errors;
+  m.latencies_ms.insert(m.latencies_ms.end(), part.latencies_ms.begin(),
+                        part.latencies_ms.end());
+}
+
+/// One connection's worth of load. Closed loop when interval_ns == 0.
+void conn_worker(const LoadGenOptions& o, int ci, std::int64_t interval_ns,
+                 SteadyClock::time_point t_end, Shared& sh) {
+  LoadGenResult acc;
+  NpdpClient cli;
+  std::string err;
+  if (!cli.connect(o.host, o.port, &err)) {
+    ++acc.transport_errors;
+    merge(sh, acc);
+    return;
+  }
+  SplitMix64 rng(o.seed * 0x9E3779B97F4A7C15ull +
+                 static_cast<std::uint64_t>(ci) + 1);
+  const std::vector<char> kinds = mix_kinds(o.mix);
+  std::unordered_map<std::uint64_t, SteadyClock::time_point> outstanding;
+  std::uint64_t seq = 0;
+
+  auto next_id = [&] {
+    return (static_cast<std::uint64_t>(ci + 1) << 32) | ++seq;
+  };
+  auto under_cap = [&] {
+    if (o.max_requests == 0) return true;
+    // Reserve a send slot; back out if the fleet already hit the cap.
+    if (sh.sent_total.fetch_add(1, std::memory_order_acq_rel) <
+        o.max_requests)
+      return true;
+    sh.sent_total.fetch_sub(1, std::memory_order_acq_rel);
+    return false;
+  };
+  auto send_one = [&]() -> bool {
+    WireRequest w;
+    w.id = next_id();
+    w.priority = o.priority;
+    w.deadline_ms = o.deadline_ms;
+    w.payload = make_payload(o, kinds[static_cast<std::size_t>(
+                                    rng.next_below(kinds.size()))],
+                             rng);
+    if (!cli.send_frame(encode_request(w), &err)) {
+      ++acc.transport_errors;
+      return false;
+    }
+    outstanding.emplace(w.id, SteadyClock::now());
+    ++acc.sent;
+    return true;
+  };
+  auto take_reply = [&](int timeout_ms) -> NpdpClient::RecvStatus {
+    NpdpClient::Reply rep;
+    const auto rs = cli.recv_reply(&rep, timeout_ms, &err);
+    if (rs != NpdpClient::RecvStatus::Ok) return rs;
+    const auto it = outstanding.find(rep.id);
+    if (it != outstanding.end()) {
+      acc.latencies_ms.push_back(
+          std::chrono::duration<double, std::milli>(SteadyClock::now() -
+                                                    it->second)
+              .count());
+      outstanding.erase(it);
+    }
+    classify(rep, &acc);
+    return rs;
+  };
+
+  if (interval_ns == 0) {
+    // Closed loop: one outstanding request per connection.
+    while (SteadyClock::now() < t_end && cli.connected()) {
+      if (!under_cap()) break;
+      if (!send_one()) break;
+      const auto rs = take_reply(o.timeout_ms);
+      if (rs != NpdpClient::RecvStatus::Ok) {
+        ++acc.transport_errors;
+        break;
+      }
+    }
+  } else {
+    // Open loop: inject on schedule, drain replies opportunistically.
+    const auto interval = std::chrono::nanoseconds(interval_ns);
+    auto next_send = SteadyClock::now();
+    bool capped = false;
+    while (cli.connected()) {
+      const auto now = SteadyClock::now();
+      if (now >= t_end) break;
+      if (!capped && now >= next_send) {
+        if (!under_cap()) {
+          capped = true;
+        } else {
+          if (!send_one()) break;
+          next_send += interval;
+          // If we fell behind by whole intervals (scheduler hiccup),
+          // re-anchor instead of bursting to catch up.
+          if (next_send < now) next_send = now + interval;
+          continue;
+        }
+      }
+      // Drain whatever has arrived without blocking past the next send.
+      const auto rs = take_reply(0);
+      if (rs == NpdpClient::RecvStatus::Closed ||
+          rs == NpdpClient::RecvStatus::Error) {
+        ++acc.transport_errors;
+        break;
+      }
+      if (rs == NpdpClient::RecvStatus::Timeout) {
+        const auto wake = capped ? now + std::chrono::milliseconds(1)
+                                 : std::min(next_send, t_end);
+        std::this_thread::sleep_until(std::min(wake, t_end));
+      }
+    }
+  }
+  // Drain outstanding replies (the server answers everything admitted).
+  const auto drain_end =
+      SteadyClock::now() + std::chrono::milliseconds(o.timeout_ms);
+  while (!outstanding.empty() && cli.connected() &&
+         SteadyClock::now() < drain_end) {
+    const auto rs = take_reply(50);
+    if (rs == NpdpClient::RecvStatus::Closed ||
+        rs == NpdpClient::RecvStatus::Error) {
+      ++acc.transport_errors;
+      break;
+    }
+  }
+  merge(sh, acc);
+}
+
+}  // namespace
+
+bool run_loadgen(const LoadGenOptions& opts, LoadGenResult* out,
+                 std::string* err) {
+  const int conns = std::max(1, opts.connections);
+  {
+    // Fail fast (and with a useful message) if nobody is listening.
+    NpdpClient probe;
+    if (!probe.connect(opts.host, opts.port, err)) return false;
+  }
+  const std::int64_t interval_ns =
+      opts.rate > 0
+          ? static_cast<std::int64_t>(1e9 * conns / opts.rate)
+          : 0;
+  Shared sh;
+  const auto t0 = SteadyClock::now();
+  const auto t_end = t0 + std::chrono::milliseconds(opts.duration_ms);
+  std::vector<std::thread> threads;
+  threads.reserve(static_cast<std::size_t>(conns));
+  for (int ci = 0; ci < conns; ++ci)
+    threads.emplace_back(conn_worker, std::cref(opts), ci, interval_ns, t_end,
+                         std::ref(sh));
+  for (auto& t : threads) t.join();
+  sh.merged.elapsed_s =
+      std::chrono::duration<double>(SteadyClock::now() - t0).count();
+  sh.merged.achieved_rps = sh.merged.elapsed_s > 0
+                               ? double(sh.merged.replies) / sh.merged.elapsed_s
+                               : 0;
+  *out = std::move(sh.merged);
+  return true;
+}
+
+double latency_percentile(std::vector<double> sorted_ms, double q) {
+  if (sorted_ms.empty()) return 0;
+  std::sort(sorted_ms.begin(), sorted_ms.end());
+  const double pos = q * double(sorted_ms.size() - 1);
+  const std::size_t lo = static_cast<std::size_t>(pos);
+  const std::size_t hi = std::min(lo + 1, sorted_ms.size() - 1);
+  const double frac = pos - double(lo);
+  return sorted_ms[lo] * (1 - frac) + sorted_ms[hi] * frac;
+}
+
+}  // namespace cellnpdp::net

@@ -1,0 +1,75 @@
+// Network load generator for NpdpServer: N concurrent connections, each
+// driven by its own thread + NpdpClient, in one of two modes:
+//
+//   closed loop (rate == 0)   each connection keeps exactly one request
+//                             outstanding — latency under zero queueing
+//   open loop   (rate  > 0)   requests are injected on a fixed schedule
+//                             (rate/connections per conn) regardless of
+//                             completions, pipelining on the socket —
+//                             latency under sustained offered load
+//
+// The request mix is seed-deterministic (SplitMix64), so two runs with
+// the same options offer the identical byte stream. Results aggregate
+// per-status counts and client-measured end-to-end latencies.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "serve/request.hpp"
+
+namespace cellnpdp::net {
+
+struct LoadGenOptions {
+  std::string host = "127.0.0.1";
+  std::uint16_t port = 0;
+  int connections = 4;
+  double rate = 0;  ///< total req/s across all connections; 0 = closed loop
+  std::int64_t duration_ms = 2000;
+  std::uint64_t max_requests = 0;  ///< stop after this many sends; 0 = no cap
+  /// Workload kind: solve | fold | parse | chain | bst | mix.
+  std::string mix = "chain";
+  index_t size = 32;               ///< problem-size knob for the chosen kind
+  int priority = 0;
+  std::uint32_t deadline_ms = 0;   ///< per-request deadline; 0 = none
+  std::string backend;             ///< Solve requests only
+  std::uint64_t seed = 1;
+  int timeout_ms = 10000;          ///< per-read client timeout
+};
+
+struct LoadGenResult {
+  std::uint64_t sent = 0;
+  std::uint64_t replies = 0;
+  // Terminal serve::Status counts.
+  std::uint64_t ok = 0;
+  std::uint64_t cached = 0;
+  std::uint64_t degraded = 0;
+  std::uint64_t rejected = 0;
+  std::uint64_t shed = 0;
+  std::uint64_t expired = 0;
+  std::uint64_t cancelled = 0;
+  std::uint64_t retry_after = 0;
+  std::uint64_t errors = 0;            ///< serve::Status::Error replies
+  std::uint64_t proto_errors = 0;      ///< ProtoError frames received
+  std::uint64_t transport_errors = 0;  ///< send/recv failures, timeouts
+  double elapsed_s = 0;
+  double achieved_rps = 0;  ///< replies / elapsed
+  /// Client-measured end-to-end latency per reply, milliseconds, unsorted.
+  std::vector<double> latencies_ms;
+
+  /// True when every send got a well-formed terminal reply.
+  bool clean() const {
+    return proto_errors == 0 && transport_errors == 0 && replies == sent;
+  }
+};
+
+/// Runs the load; blocks until duration (plus outstanding-reply drain)
+/// elapses. False with *err if no connection could be established.
+bool run_loadgen(const LoadGenOptions& opts, LoadGenResult* out,
+                 std::string* err);
+
+/// Sorted-percentile helper for latencies_ms (q in [0,1]); 0 when empty.
+double latency_percentile(std::vector<double> sorted_ms, double q);
+
+}  // namespace cellnpdp::net

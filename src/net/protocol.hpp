@@ -1,0 +1,518 @@
+// The npdp wire protocol: versioned, length-prefixed binary frames over a
+// TCP byte stream (docs/networking.md has the full byte-offset table).
+//
+// Every frame is a fixed 20-byte header followed by `length` payload
+// bytes, all integers little-endian:
+//
+//   offset size field
+//   0      4    magic 0x5044504E ("NPDP")
+//   4      2    protocol version (kVersion)
+//   6      2    message type (MsgType)
+//   8      8    request id (echoed verbatim in the response)
+//   16     4    payload length in bytes
+//
+// Request payloads open with a common prefix [priority i32][deadline-ms
+// u32] (deadline 0 = none, relative to server receipt) followed by
+// kind-specific fields, so PR 3's deadline semantics and the priority
+// queue survive the network hop. Strings travel as [u32 length][bytes].
+//
+// Decoding is defensive end to end: every read is bounds-checked, a
+// payload must be consumed exactly (trailing bytes are an error), and
+// enum bytes outside their range fail the frame. A malformed payload is
+// answered with a typed ProtoError frame; it never crashes a reactor and
+// never desynchronizes the stream (frames are length-delimited, so the
+// connection survives). Only an unrecognizable *header* — wrong magic —
+// forces a disconnect, because nothing downstream of it can be trusted.
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "serve/request.hpp"
+#include "serve/response.hpp"
+
+namespace cellnpdp::net {
+
+constexpr std::uint32_t kMagic = 0x5044504E;  // "NPDP" when read as LE bytes
+constexpr std::uint16_t kVersion = 1;
+constexpr std::size_t kHeaderSize = 20;
+/// Default payload-size cap (configurable per server); a frame claiming
+/// more is refused before any buffering happens.
+constexpr std::size_t kDefaultMaxFrame = 1u << 20;
+
+enum class MsgType : std::uint16_t {
+  // Requests (client -> server).
+  Ping = 1,    ///< empty payload; answered with Pong (pure RTT probe)
+  Solve = 2,   ///< serve::SolveSpec
+  Fold = 3,    ///< serve::FoldSpec
+  Parse = 4,   ///< serve::ParseSpec
+  Chain = 5,   ///< serve::ChainSpec
+  Bst = 6,     ///< serve::BstSpec
+  Stats = 7,   ///< empty payload; answered with StatsText
+  // Responses (server -> client).
+  Pong = 128,
+  Result = 129,     ///< terminal serve::Response for one request
+  StatsText = 130,  ///< JSON snapshot of server + service counters
+  ProtoError = 131, ///< typed protocol error (see ProtoErrorCode)
+};
+
+constexpr bool is_request_type(MsgType t) {
+  return t == MsgType::Ping || t == MsgType::Solve || t == MsgType::Fold ||
+         t == MsgType::Parse || t == MsgType::Chain || t == MsgType::Bst ||
+         t == MsgType::Stats;
+}
+
+enum class ProtoErrorCode : std::uint16_t {
+  None = 0,
+  BadVersion = 1,     ///< header carried an unsupported protocol version
+  FrameTooLarge = 2,  ///< payload length exceeds the server's cap
+  BadPayload = 3,     ///< payload failed to decode (connection survives)
+  UnknownType = 4,    ///< unrecognised message type (connection survives)
+};
+
+constexpr const char* proto_error_name(ProtoErrorCode c) {
+  switch (c) {
+    case ProtoErrorCode::None: return "none";
+    case ProtoErrorCode::BadVersion: return "bad-version";
+    case ProtoErrorCode::FrameTooLarge: return "frame-too-large";
+    case ProtoErrorCode::BadPayload: return "bad-payload";
+    case ProtoErrorCode::UnknownType: return "unknown-type";
+  }
+  return "?";
+}
+
+/// serve::Status <-> wire code. The wire values are frozen (appended-only)
+/// so old clients keep decoding new servers.
+constexpr std::uint16_t wire_status(serve::Status s) {
+  return static_cast<std::uint16_t>(s);
+}
+constexpr bool status_from_wire(std::uint16_t v, serve::Status* out) {
+  if (v > static_cast<std::uint16_t>(serve::Status::RetryAfter)) return false;
+  *out = static_cast<serve::Status>(v);
+  return true;
+}
+
+// --- byte-level writers ----------------------------------------------------
+
+inline void put_u8(std::vector<std::uint8_t>& b, std::uint8_t v) {
+  b.push_back(v);
+}
+inline void put_u16(std::vector<std::uint8_t>& b, std::uint16_t v) {
+  b.push_back(static_cast<std::uint8_t>(v));
+  b.push_back(static_cast<std::uint8_t>(v >> 8));
+}
+inline void put_u32(std::vector<std::uint8_t>& b, std::uint32_t v) {
+  for (int i = 0; i < 4; ++i)
+    b.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+}
+inline void put_u64(std::vector<std::uint8_t>& b, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i)
+    b.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+}
+inline void put_i32(std::vector<std::uint8_t>& b, std::int32_t v) {
+  put_u32(b, static_cast<std::uint32_t>(v));
+}
+inline void put_i64(std::vector<std::uint8_t>& b, std::int64_t v) {
+  put_u64(b, static_cast<std::uint64_t>(v));
+}
+inline void put_f64(std::vector<std::uint8_t>& b, double v) {
+  std::uint64_t bits;
+  std::memcpy(&bits, &v, sizeof bits);
+  put_u64(b, bits);
+}
+inline void put_str(std::vector<std::uint8_t>& b, const std::string& s) {
+  put_u32(b, static_cast<std::uint32_t>(s.size()));
+  b.insert(b.end(), s.begin(), s.end());
+}
+
+// --- bounds-checked reader -------------------------------------------------
+
+/// Sequential reader over one payload. Any out-of-bounds access latches
+/// `ok = false` and every subsequent read returns a zero value, so decode
+/// functions can read unconditionally and check `ok` once at the end.
+struct WireReader {
+  const std::uint8_t* p = nullptr;
+  std::size_t n = 0;
+  std::size_t off = 0;
+  bool ok = true;
+
+  WireReader(const std::uint8_t* data, std::size_t len) : p(data), n(len) {}
+
+  bool need(std::size_t k) {
+    if (!ok || n - off < k || off > n) ok = false;
+    return ok;
+  }
+  std::uint8_t u8() {
+    if (!need(1)) return 0;
+    return p[off++];
+  }
+  std::uint16_t u16() {
+    if (!need(2)) return 0;
+    std::uint16_t v = static_cast<std::uint16_t>(
+        p[off] | (static_cast<std::uint16_t>(p[off + 1]) << 8));
+    off += 2;
+    return v;
+  }
+  std::uint32_t u32() {
+    if (!need(4)) return 0;
+    std::uint32_t v = 0;
+    for (int i = 0; i < 4; ++i)
+      v |= static_cast<std::uint32_t>(p[off + i]) << (8 * i);
+    off += 4;
+    return v;
+  }
+  std::uint64_t u64() {
+    if (!need(8)) return 0;
+    std::uint64_t v = 0;
+    for (int i = 0; i < 8; ++i)
+      v |= static_cast<std::uint64_t>(p[off + i]) << (8 * i);
+    off += 8;
+    return v;
+  }
+  std::int32_t i32() { return static_cast<std::int32_t>(u32()); }
+  std::int64_t i64() { return static_cast<std::int64_t>(u64()); }
+  double f64() {
+    const std::uint64_t bits = u64();
+    double v;
+    std::memcpy(&v, &bits, sizeof v);
+    return v;
+  }
+  std::string str() {
+    const std::uint32_t len = u32();
+    if (!need(len)) return {};
+    std::string s(reinterpret_cast<const char*>(p + off), len);
+    off += len;
+    return s;
+  }
+  /// A payload must be consumed exactly; trailing garbage fails it.
+  bool done() const { return ok && off == n; }
+};
+
+// --- frame header ----------------------------------------------------------
+
+struct FrameHeader {
+  std::uint16_t version = 0;
+  MsgType type = MsgType::Ping;
+  std::uint64_t id = 0;
+  std::uint32_t len = 0;
+};
+
+enum class HeaderParse { NeedMore, Ok, BadMagic };
+
+/// Parses a header from the front of `data`. NeedMore means fewer than
+/// kHeaderSize bytes are available; BadMagic means the stream is
+/// unsynchronized and the connection must die. Version and length are
+/// NOT validated here — the caller owns those policies (it may still
+/// want the id to address an error reply).
+inline HeaderParse parse_header(const std::uint8_t* data, std::size_t n,
+                                FrameHeader* h) {
+  if (n < kHeaderSize) return HeaderParse::NeedMore;
+  WireReader r(data, kHeaderSize);
+  const std::uint32_t magic = r.u32();
+  if (magic != kMagic) return HeaderParse::BadMagic;
+  h->version = r.u16();
+  h->type = static_cast<MsgType>(r.u16());
+  h->id = r.u64();
+  h->len = r.u32();
+  return HeaderParse::Ok;
+}
+
+inline void encode_header(std::vector<std::uint8_t>& out, MsgType t,
+                          std::uint64_t id, std::uint32_t len) {
+  put_u32(out, kMagic);
+  put_u16(out, kVersion);
+  put_u16(out, static_cast<std::uint16_t>(t));
+  put_u64(out, id);
+  put_u32(out, len);
+}
+
+// --- requests --------------------------------------------------------------
+
+/// One request as it travels: the serve::Request fields that make sense
+/// on the wire, with the deadline relative (ms from server receipt)
+/// instead of a time_point.
+struct WireRequest {
+  std::uint64_t id = 0;
+  std::int32_t priority = 0;
+  std::uint32_t deadline_ms = 0;  ///< 0 = no deadline
+  serve::Payload payload = serve::SolveSpec{};
+};
+
+inline MsgType request_msg_type(const serve::Payload& p) {
+  switch (p.index()) {
+    case 0: return MsgType::Solve;
+    case 1: return MsgType::Fold;
+    case 2: return MsgType::Parse;
+    case 3: return MsgType::Chain;
+    default: return MsgType::Bst;
+  }
+}
+
+/// Encodes a complete frame (header + payload) for one request.
+inline std::vector<std::uint8_t> encode_request(const WireRequest& r) {
+  std::vector<std::uint8_t> body;
+  put_i32(body, r.priority);
+  put_u32(body, r.deadline_ms);
+  if (const auto* s = std::get_if<serve::SolveSpec>(&r.payload)) {
+    put_i64(body, s->n);
+    put_u64(body, s->seed);
+    put_i64(body, s->block_side);
+    put_u8(body, static_cast<std::uint8_t>(s->kernel));
+    put_str(body, s->backend);
+  } else if (const auto* f = std::get_if<serve::FoldSpec>(&r.payload)) {
+    put_i64(body, f->random_n);
+    put_u64(body, f->seed);
+    put_str(body, f->seq);
+  } else if (const auto* p = std::get_if<serve::ParseSpec>(&r.payload)) {
+    put_u8(body, static_cast<std::uint8_t>(p->grammar));
+    put_str(body, p->text);
+  } else if (const auto* c = std::get_if<serve::ChainSpec>(&r.payload)) {
+    put_i64(body, c->n);
+    put_u64(body, c->seed);
+  } else {
+    const auto& b = std::get<serve::BstSpec>(r.payload);
+    put_i64(body, b.keys);
+    put_u64(body, b.seed);
+  }
+  std::vector<std::uint8_t> out;
+  out.reserve(kHeaderSize + body.size());
+  encode_header(out, request_msg_type(r.payload), r.id,
+                static_cast<std::uint32_t>(body.size()));
+  out.insert(out.end(), body.begin(), body.end());
+  return out;
+}
+
+/// Decodes the payload of a request frame of type `t` (Solve..Bst).
+/// Returns false with a human-readable `*err` on any malformation; `*out`
+/// then holds no guarantees.
+inline bool decode_request_payload(MsgType t, std::uint64_t id,
+                                   const std::uint8_t* p, std::size_t n,
+                                   WireRequest* out, std::string* err) {
+  WireReader r(p, n);
+  out->id = id;
+  out->priority = r.i32();
+  out->deadline_ms = r.u32();
+  switch (t) {
+    case MsgType::Solve: {
+      serve::SolveSpec s;
+      s.n = r.i64();
+      s.seed = r.u64();
+      s.block_side = r.i64();
+      const std::uint8_t k = r.u8();
+      s.backend = r.str();
+      if (k > static_cast<std::uint8_t>(KernelKind::Wide)) {
+        *err = "solve: kernel byte out of range";
+        return false;
+      }
+      s.kernel = static_cast<KernelKind>(k);
+      if (r.done() && (s.n < 1 || s.block_side < 1)) {
+        *err = "solve: n and block must be >= 1";
+        return false;
+      }
+      out->payload = s;
+      break;
+    }
+    case MsgType::Fold: {
+      serve::FoldSpec f;
+      f.random_n = r.i64();
+      f.seed = r.u64();
+      f.seq = r.str();
+      if (r.done() && f.seq.empty() && f.random_n < 1) {
+        *err = "fold: needs seq or random >= 1";
+        return false;
+      }
+      out->payload = f;
+      break;
+    }
+    case MsgType::Parse: {
+      serve::ParseSpec ps;
+      const std::uint8_t g = r.u8();
+      ps.text = r.str();
+      if (g > static_cast<std::uint8_t>(serve::ParseSpec::GrammarKind::Anbn)) {
+        *err = "parse: grammar byte out of range";
+        return false;
+      }
+      ps.grammar = static_cast<serve::ParseSpec::GrammarKind>(g);
+      out->payload = ps;
+      break;
+    }
+    case MsgType::Chain: {
+      serve::ChainSpec c;
+      c.n = r.i64();
+      c.seed = r.u64();
+      if (r.done() && c.n < 1) {
+        *err = "chain: n must be >= 1";
+        return false;
+      }
+      out->payload = c;
+      break;
+    }
+    case MsgType::Bst: {
+      serve::BstSpec b;
+      b.keys = r.i64();
+      b.seed = r.u64();
+      if (r.done() && b.keys < 1) {
+        *err = "bst: keys must be >= 1";
+        return false;
+      }
+      out->payload = b;
+      break;
+    }
+    default:
+      *err = "not a request payload type";
+      return false;
+  }
+  if (!r.done()) {
+    *err = r.ok ? "trailing bytes after payload" : "payload truncated";
+    return false;
+  }
+  return true;
+}
+
+// --- responses -------------------------------------------------------------
+
+/// A serve::Response as it travels (total/queue/solve latencies are the
+/// *server-side* numbers; the client measures its own end-to-end time).
+struct WireResponse {
+  std::uint64_t id = 0;
+  serve::Status status = serve::Status::Error;
+  double value = 0;
+  std::int64_t queue_ns = 0;
+  std::int64_t solve_ns = 0;
+  std::int64_t total_ns = 0;
+  std::int64_t retry_after_ms = 0;
+  std::string backend;  ///< effective engine name (see serve::Response)
+  std::string detail;
+};
+
+inline std::vector<std::uint8_t> encode_response(const WireResponse& r) {
+  std::vector<std::uint8_t> body;
+  put_u16(body, wire_status(r.status));
+  put_f64(body, r.value);
+  put_i64(body, r.queue_ns);
+  put_i64(body, r.solve_ns);
+  put_i64(body, r.total_ns);
+  put_i64(body, r.retry_after_ms);
+  put_str(body, r.backend);
+  put_str(body, r.detail);
+  std::vector<std::uint8_t> out;
+  out.reserve(kHeaderSize + body.size());
+  encode_header(out, MsgType::Result, r.id,
+                static_cast<std::uint32_t>(body.size()));
+  out.insert(out.end(), body.begin(), body.end());
+  return out;
+}
+
+inline std::vector<std::uint8_t> encode_response(const serve::Response& r) {
+  WireResponse w;
+  w.id = r.id;
+  w.status = r.status;
+  w.value = r.value;
+  w.queue_ns = r.queue_ns;
+  w.solve_ns = r.solve_ns;
+  w.total_ns = r.total_ns;
+  w.retry_after_ms = r.retry_after_ms;
+  w.backend = r.backend;
+  w.detail = r.detail;
+  return encode_response(w);
+}
+
+inline bool decode_response_payload(std::uint64_t id, const std::uint8_t* p,
+                                    std::size_t n, WireResponse* out,
+                                    std::string* err) {
+  WireReader r(p, n);
+  out->id = id;
+  const std::uint16_t st = r.u16();
+  out->value = r.f64();
+  out->queue_ns = r.i64();
+  out->solve_ns = r.i64();
+  out->total_ns = r.i64();
+  out->retry_after_ms = r.i64();
+  out->backend = r.str();
+  out->detail = r.str();
+  if (!r.done()) {
+    *err = r.ok ? "trailing bytes after payload" : "payload truncated";
+    return false;
+  }
+  if (!status_from_wire(st, &out->status)) {
+    *err = "status code out of range";
+    return false;
+  }
+  return true;
+}
+
+// --- control frames --------------------------------------------------------
+
+inline std::vector<std::uint8_t> encode_empty(MsgType t, std::uint64_t id) {
+  std::vector<std::uint8_t> out;
+  encode_header(out, t, id, 0);
+  return out;
+}
+inline std::vector<std::uint8_t> encode_ping(std::uint64_t id) {
+  return encode_empty(MsgType::Ping, id);
+}
+inline std::vector<std::uint8_t> encode_pong(std::uint64_t id) {
+  return encode_empty(MsgType::Pong, id);
+}
+inline std::vector<std::uint8_t> encode_stats_request(std::uint64_t id) {
+  return encode_empty(MsgType::Stats, id);
+}
+
+inline std::vector<std::uint8_t> encode_stats_text(std::uint64_t id,
+                                                   const std::string& json) {
+  std::vector<std::uint8_t> body;
+  put_str(body, json);
+  std::vector<std::uint8_t> out;
+  encode_header(out, MsgType::StatsText, id,
+                static_cast<std::uint32_t>(body.size()));
+  out.insert(out.end(), body.begin(), body.end());
+  return out;
+}
+inline bool decode_stats_text(const std::uint8_t* p, std::size_t n,
+                              std::string* json) {
+  WireReader r(p, n);
+  *json = r.str();
+  return r.done();
+}
+
+inline std::vector<std::uint8_t> encode_proto_error(std::uint64_t id,
+                                                    ProtoErrorCode code,
+                                                    const std::string& msg) {
+  std::vector<std::uint8_t> body;
+  put_u16(body, static_cast<std::uint16_t>(code));
+  put_str(body, msg);
+  std::vector<std::uint8_t> out;
+  encode_header(out, MsgType::ProtoError, id,
+                static_cast<std::uint32_t>(body.size()));
+  out.insert(out.end(), body.begin(), body.end());
+  return out;
+}
+inline bool decode_proto_error(const std::uint8_t* p, std::size_t n,
+                               ProtoErrorCode* code, std::string* msg) {
+  WireReader r(p, n);
+  const std::uint16_t c = r.u16();
+  *msg = r.str();
+  if (!r.done() ||
+      c > static_cast<std::uint16_t>(ProtoErrorCode::UnknownType))
+    return false;
+  *code = static_cast<ProtoErrorCode>(c);
+  return true;
+}
+
+/// serve::Request from a decoded WireRequest, stamping the relative
+/// deadline against `now` (the moment the server finished decoding).
+inline serve::Request to_serve_request(
+    const WireRequest& w, serve::Clock::time_point now = serve::Clock::now()) {
+  serve::Request r;
+  r.id = w.id;
+  r.priority = w.priority;
+  if (w.deadline_ms > 0)
+    r.deadline = now + std::chrono::milliseconds(w.deadline_ms);
+  r.payload = w.payload;
+  return r;
+}
+
+}  // namespace cellnpdp::net

@@ -1,0 +1,134 @@
+// NpdpServer: the Linux epoll TCP front-end over serve::SolveService.
+//
+// Thread architecture:
+//
+//   acceptor          one thread; epoll{listen fd, wake}; accepted
+//                     connections are pinned to a reactor by fd hash
+//   reactor[i]        N event loops; each owns its connections' read
+//                     parsing, frame dispatch, and socket writes
+//   service threads   the existing SolveService pipeline; terminal
+//                     responses re-enter the owning reactor through a
+//                     per-connection outbox + eventfd wake
+//
+// A connection's read/write buffers are touched only by its reactor;
+// cross-thread handoff happens exclusively through the mutex-protected
+// outbox, so no frame is ever written interleaved. Responses are matched
+// to connections through weak_ptrs: a client that disconnects mid-request
+// simply drops its response on the floor (counted, never crashing).
+//
+// Shutdown (stop(), also the SIGTERM path in the CLI) drains gracefully:
+// stop accepting, let SolveService::stop(drain=true) answer everything
+// admitted, flush every outbox to the sockets (bounded by
+// drain_timeout_ms), then take the reactors down.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "net/protocol.hpp"
+#include "serve/service.hpp"
+
+namespace cellnpdp::net {
+
+struct ServerOptions {
+  std::string host = "127.0.0.1";
+  std::uint16_t port = 0;  ///< 0 = ephemeral; read the result via port()
+  int reactors = 2;
+  std::size_t max_frame = kDefaultMaxFrame;  ///< payload byte cap
+  /// Idle connections (no bytes received, nothing in flight or pending
+  /// write) are closed after this long; 0 disables the slow-loris sweep.
+  std::int64_t idle_timeout_ms = 30000;
+  /// stop() budget for flushing already-computed responses to sockets.
+  std::int64_t drain_timeout_ms = 5000;
+};
+
+/// Point-in-time network counters (service counters live in
+/// serve::ServiceStats; obs mirrors both under net.* / serve.*).
+struct ServerStats {
+  std::uint64_t accepted = 0;
+  std::uint64_t disconnects = 0;  ///< closes for any reason
+  std::uint64_t bytes_in = 0;
+  std::uint64_t bytes_out = 0;
+  std::uint64_t frames_in = 0;        ///< well-formed frames parsed
+  std::uint64_t responses = 0;        ///< response frames enqueued
+  std::uint64_t frames_bad = 0;       ///< malformed/oversized/bad-magic
+  std::uint64_t protocol_errors = 0;  ///< ProtoError frames sent
+  std::uint64_t dropped_responses = 0;  ///< connection gone at completion
+  std::size_t active_conns = 0;
+};
+
+class NpdpServer {
+ public:
+  NpdpServer(ServerOptions net, serve::ServiceOptions service);
+  ~NpdpServer();  // stop()
+
+  NpdpServer(const NpdpServer&) = delete;
+  NpdpServer& operator=(const NpdpServer&) = delete;
+
+  /// Binds, listens, and spawns the acceptor + reactors. False with *err
+  /// on bind/listen failure. Call at most once.
+  bool start(std::string* err);
+
+  /// Graceful drain (see file header). Idempotent; also run by ~NpdpServer.
+  void stop();
+
+  /// The bound port (valid after start(); resolves port 0).
+  std::uint16_t port() const { return port_; }
+
+  ServerStats stats() const;
+  serve::SolveService& service() { return service_; }
+  const ServerOptions& options() const { return opts_; }
+
+ private:
+  struct Conn;
+  struct Reactor;
+
+  void acceptor_loop();
+  void reactor_loop(Reactor& r);
+  void adopt_incoming(Reactor& r);
+  void on_readable(Reactor& r, const std::shared_ptr<Conn>& c);
+  void parse_frames(Reactor& r, const std::shared_ptr<Conn>& c);
+  void handle_frame(Reactor& r, const std::shared_ptr<Conn>& c,
+                    const FrameHeader& h, const std::uint8_t* payload);
+  /// Appends a frame to the connection's outbox (any thread).
+  void enqueue_out(const std::shared_ptr<Conn>& c,
+                   std::vector<std::uint8_t> frame);
+  /// Moves outbox bytes into the write buffer and pushes to the socket
+  /// (reactor thread only). Closes the connection on fatal write errors
+  /// or when a close-after-flush completes.
+  void pump_out(Reactor& r, const std::shared_ptr<Conn>& c);
+  void close_conn(Reactor& r, const std::shared_ptr<Conn>& c);
+  void sweep_idle(Reactor& r);
+  std::string stats_json() const;
+
+  const ServerOptions opts_;
+  serve::SolveService service_;
+
+  std::atomic<bool> started_{false};
+  std::atomic<bool> stopped_{false};
+  std::atomic<bool> accept_stop_{false};
+  std::atomic<bool> reactor_stop_{false};
+
+  int listen_fd_ = -1;
+  int accept_wake_ = -1;
+  std::uint16_t port_ = 0;
+  std::thread acceptor_;
+  std::vector<std::unique_ptr<Reactor>> reactors_;
+
+  // stop() watches these two to know when every computed response has
+  // reached a socket: requests still inside the service + bytes enqueued
+  // but not yet written.
+  std::atomic<std::int64_t> inflight_total_{0};
+  std::atomic<std::int64_t> out_pending_bytes_{0};
+
+  std::atomic<std::uint64_t> accepted_{0}, disconnects_{0}, bytes_in_{0},
+      bytes_out_{0}, frames_in_{0}, responses_{0}, frames_bad_{0},
+      protocol_errors_{0}, dropped_responses_{0};
+  std::atomic<std::int64_t> active_conns_{0};
+};
+
+}  // namespace cellnpdp::net

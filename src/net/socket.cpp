@@ -1,0 +1,142 @@
+#include "net/socket.hpp"
+
+#include <arpa/inet.h>
+#include <cerrno>
+#include <cstring>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/eventfd.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+namespace cellnpdp::net {
+
+void FdGuard::reset(int fd) {
+  if (fd_ >= 0) ::close(fd_);
+  fd_ = fd;
+}
+
+namespace {
+
+bool parse_addr(const std::string& host, std::uint16_t port,
+                sockaddr_in* addr, std::string* err) {
+  std::memset(addr, 0, sizeof *addr);
+  addr->sin_family = AF_INET;
+  addr->sin_port = htons(port);
+  const std::string h = host.empty() ? "127.0.0.1" : host;
+  if (::inet_pton(AF_INET, h.c_str(), &addr->sin_addr) != 1) {
+    *err = "not an IPv4 address: " + h;
+    return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+int tcp_listen(const std::string& host, std::uint16_t port,
+               std::string* err) {
+  sockaddr_in addr;
+  if (!parse_addr(host, port, &addr, err)) return -1;
+  FdGuard fd(::socket(AF_INET, SOCK_STREAM | SOCK_NONBLOCK | SOCK_CLOEXEC, 0));
+  if (!fd.valid()) {
+    *err = std::string("socket: ") + std::strerror(errno);
+    return -1;
+  }
+  const int one = 1;
+  ::setsockopt(fd.get(), SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
+  if (::bind(fd.get(), reinterpret_cast<sockaddr*>(&addr), sizeof addr) != 0) {
+    *err = std::string("bind: ") + std::strerror(errno);
+    return -1;
+  }
+  if (::listen(fd.get(), 256) != 0) {
+    *err = std::string("listen: ") + std::strerror(errno);
+    return -1;
+  }
+  return fd.release();
+}
+
+std::uint16_t local_port(int fd) {
+  sockaddr_in addr;
+  socklen_t len = sizeof addr;
+  if (::getsockname(fd, reinterpret_cast<sockaddr*>(&addr), &len) != 0)
+    return 0;
+  return ntohs(addr.sin_port);
+}
+
+int tcp_connect(const std::string& host, std::uint16_t port,
+                std::string* err) {
+  sockaddr_in addr;
+  if (!parse_addr(host, port, &addr, err)) return -1;
+  FdGuard fd(::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0));
+  if (!fd.valid()) {
+    *err = std::string("socket: ") + std::strerror(errno);
+    return -1;
+  }
+  if (::connect(fd.get(), reinterpret_cast<sockaddr*>(&addr),
+                sizeof addr) != 0) {
+    *err = std::string("connect: ") + std::strerror(errno);
+    return -1;
+  }
+  const int one = 1;
+  ::setsockopt(fd.get(), IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
+  return fd.release();
+}
+
+bool set_nonblocking(int fd, bool nonblocking) {
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  if (flags < 0) return false;
+  const int want = nonblocking ? (flags | O_NONBLOCK) : (flags & ~O_NONBLOCK);
+  return ::fcntl(fd, F_SETFL, want) == 0;
+}
+
+bool send_all(int fd, const void* p, std::size_t n) {
+  const char* cur = static_cast<const char*>(p);
+  std::size_t left = n;
+  while (left > 0) {
+    const ssize_t w = ::send(fd, cur, left, MSG_NOSIGNAL);
+    if (w < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    if (w == 0) return false;
+    cur += w;
+    left -= static_cast<std::size_t>(w);
+  }
+  return true;
+}
+
+long recv_some(int fd, void* p, std::size_t n, int timeout_ms) {
+  pollfd pfd{fd, POLLIN, 0};
+  for (;;) {
+    const int pr = ::poll(&pfd, 1, timeout_ms);
+    if (pr < 0) {
+      if (errno == EINTR) continue;
+      return -1;
+    }
+    if (pr == 0) return -2;
+    const ssize_t r = ::recv(fd, p, n, 0);
+    if (r < 0) {
+      if (errno == EINTR) continue;
+      return -1;
+    }
+    return static_cast<long>(r);
+  }
+}
+
+int make_wakefd() { return ::eventfd(0, EFD_NONBLOCK | EFD_CLOEXEC); }
+
+void wake_signal(int fd) {
+  const std::uint64_t one = 1;
+  // A full counter (EAGAIN) still wakes the sleeper; ignore the result.
+  [[maybe_unused]] const ssize_t w = ::write(fd, &one, sizeof one);
+}
+
+void wake_drain(int fd) {
+  std::uint64_t v;
+  while (::read(fd, &v, sizeof v) > 0) {
+  }
+}
+
+}  // namespace cellnpdp::net

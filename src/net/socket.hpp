@@ -1,0 +1,66 @@
+// Thin POSIX socket helpers shared by the server, client, and tests:
+// RAII fd ownership, listen/connect setup, non-blocking toggles, and the
+// eventfd wakeups the reactors sleep on. Linux-only (epoll/eventfd), like
+// the server itself.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <utility>
+
+namespace cellnpdp::net {
+
+/// Move-only owner of a file descriptor; closes on destruction.
+class FdGuard {
+ public:
+  FdGuard() = default;
+  explicit FdGuard(int fd) : fd_(fd) {}
+  FdGuard(FdGuard&& o) noexcept : fd_(std::exchange(o.fd_, -1)) {}
+  FdGuard& operator=(FdGuard&& o) noexcept {
+    if (this != &o) {
+      reset();
+      fd_ = std::exchange(o.fd_, -1);
+    }
+    return *this;
+  }
+  FdGuard(const FdGuard&) = delete;
+  FdGuard& operator=(const FdGuard&) = delete;
+  ~FdGuard() { reset(); }
+
+  int get() const { return fd_; }
+  bool valid() const { return fd_ >= 0; }
+  int release() { return std::exchange(fd_, -1); }
+  void reset(int fd = -1);
+
+ private:
+  int fd_ = -1;
+};
+
+/// Binds and listens on host:port (port 0 = kernel-assigned ephemeral).
+/// Returns a non-blocking listening fd, or -1 with *err set.
+int tcp_listen(const std::string& host, std::uint16_t port, std::string* err);
+
+/// The port a bound socket actually listens on (resolves port 0).
+std::uint16_t local_port(int fd);
+
+/// Blocking connect to host:port. Returns the fd (TCP_NODELAY set), or -1
+/// with *err set.
+int tcp_connect(const std::string& host, std::uint16_t port, std::string* err);
+
+bool set_nonblocking(int fd, bool nonblocking);
+
+/// Writes all of [p, p+n) to a blocking fd, riding out EINTR/short
+/// writes. False on error or peer close.
+bool send_all(int fd, const void* p, std::size_t n);
+
+/// Reads up to n bytes with a poll() timeout. Returns bytes read, 0 on
+/// orderly peer close, -1 on error, -2 on timeout.
+long recv_some(int fd, void* p, std::size_t n, int timeout_ms);
+
+/// eventfd-based wakeup for epoll loops.
+int make_wakefd();
+void wake_signal(int fd);
+void wake_drain(int fd);
+
+}  // namespace cellnpdp::net

@@ -63,6 +63,13 @@ class AdmissionQueue {
     on_shed_ = std::move(on_shed);
   }
 
+  /// Admits `item` under the overload policy. Safe to call at any point
+  /// in the queue's lifetime: a push that races (or follows) close()
+  /// returns Admission::Closed — it never asserts and never blocks on a
+  /// queue that can no longer drain. Network front-ends rely on this: a
+  /// reactor thread can be admitting a freshly-decoded frame at the same
+  /// instant shutdown closes the queue, and the loser of that race must
+  /// get a status it can put on the wire.
   Admission push(T item, int priority = 0) {
     T shed_item;
     bool have_shed = false;

@@ -1,11 +1,15 @@
 // Typed requests accepted by the in-process solve service (src/serve).
 //
-// Three request kinds cover the library's workload families: a generic
+// Five request kinds cover the library's workload families: a generic
 // NPDP min-plus solve of the canonical random instance, a Zuker MFE fold,
-// and a weighted CYK parse. Every request carries an id (echoed in the
-// response), a priority (higher is dispatched first) and an optional
-// deadline; a request whose deadline passes while it sits in the admission
-// queue is shed without being solved.
+// a weighted CYK parse, an optimal matrix-chain parenthesization, and an
+// optimal-BST construction (the latter two over deterministic seeded
+// random data, so a request is fully described by its scalar fields and
+// can travel over the wire — see src/net/protocol.hpp). Every request
+// carries an id (echoed in the response), a priority (higher is
+// dispatched first) and an optional deadline; a request whose deadline
+// passes while it sits in the admission queue is shed without being
+// solved.
 //
 // Requests can also be read from a line-delimited text stream (the `npdp
 // serve --requests` driver); see parse_request_line at the bottom.
@@ -51,7 +55,22 @@ struct ParseSpec {
   std::string text;
 };
 
-using Payload = std::variant<SolveSpec, FoldSpec, ParseSpec>;
+/// Optimal matrix-chain parenthesization of `n` matrices whose dimension
+/// vector is drawn deterministically from `seed` (dims in [8, 128)).
+struct ChainSpec {
+  index_t n = 32;  ///< number of matrices in the chain
+  std::uint64_t seed = 11;
+};
+
+/// Optimal binary search tree over `keys` keys with hit/miss weights
+/// drawn deterministically from `seed`.
+struct BstSpec {
+  index_t keys = 64;
+  std::uint64_t seed = 13;
+};
+
+using Payload =
+    std::variant<SolveSpec, FoldSpec, ParseSpec, ChainSpec, BstSpec>;
 
 struct Request {
   std::uint64_t id = 0;
@@ -105,6 +124,12 @@ inline std::uint64_t content_hash(const Request& r) {
   } else if (const auto* p = std::get_if<ParseSpec>(&r.payload)) {
     h = hash_u64(h, static_cast<std::uint64_t>(p->grammar));
     h = hash_str(h, p->text);
+  } else if (const auto* c = std::get_if<ChainSpec>(&r.payload)) {
+    h = hash_u64(h, static_cast<std::uint64_t>(c->n));
+    h = hash_u64(h, c->seed);
+  } else if (const auto* b = std::get_if<BstSpec>(&r.payload)) {
+    h = hash_u64(h, static_cast<std::uint64_t>(b->keys));
+    h = hash_u64(h, b->seed);
   }
   return h;
 }
@@ -128,6 +153,10 @@ inline std::uint64_t shape_key(const Request& r) {
   } else if (const auto* p = std::get_if<ParseSpec>(&r.payload)) {
     h = hash_u64(h, static_cast<std::uint64_t>(p->grammar));
     h = hash_u64(h, p->text.size());
+  } else if (const auto* c = std::get_if<ChainSpec>(&r.payload)) {
+    h = hash_u64(h, static_cast<std::uint64_t>(c->n));
+  } else if (const auto* b = std::get_if<BstSpec>(&r.payload)) {
+    h = hash_u64(h, static_cast<std::uint64_t>(b->keys));
   }
   return h;
 }
@@ -139,6 +168,8 @@ inline index_t instance_size(const Request& r) {
   if (const auto* s = std::get_if<SolveSpec>(&r.payload)) return s->n;
   if (const auto* f = std::get_if<FoldSpec>(&r.payload))
     return f->seq.empty() ? f->random_n : static_cast<index_t>(f->seq.size());
+  if (const auto* c = std::get_if<ChainSpec>(&r.payload)) return c->n;
+  if (const auto* b = std::get_if<BstSpec>(&r.payload)) return b->keys;
   const auto& p = std::get<ParseSpec>(r.payload);
   return static_cast<index_t>(p.text.size());
 }
@@ -149,6 +180,8 @@ inline index_t instance_size(const Request& r) {
 //         [backend=<registry name>]
 //   fold  seq=ACGUACGU | random=200 [seed=7]
 //   parse parens=(()()) | anbn=aabb
+//   chain n=32 [seed=11]
+//   bst   keys=64 [seed=13]
 //
 // plus the common keys  id=<u64>  priority=<int>  deadline-ms=<ms>
 // (deadline relative to `now`). Blank lines and lines starting with '#'
@@ -295,6 +328,52 @@ inline bool parse_request_line(const std::string& line, Request* out,
       return false;
     }
     r.payload = p;
+  } else if (kind == "chain") {
+    ChainSpec c;
+    for (const auto& [k, v] : kvs) {
+      bool used = false;
+      if (!common(k, v, &used)) return false;
+      if (used) continue;
+      long long n = 0;
+      if (k == "n") {
+        if (!as_num(k, v, &n)) return false;
+        c.n = n;
+      } else if (k == "seed") {
+        if (!as_num(k, v, &n)) return false;
+        c.seed = static_cast<std::uint64_t>(n);
+      } else {
+        *err = "unknown chain key '" + k + "'";
+        return false;
+      }
+    }
+    if (c.n < 1) {
+      *err = "chain needs n >= 1";
+      return false;
+    }
+    r.payload = c;
+  } else if (kind == "bst") {
+    BstSpec b;
+    for (const auto& [k, v] : kvs) {
+      bool used = false;
+      if (!common(k, v, &used)) return false;
+      if (used) continue;
+      long long n = 0;
+      if (k == "keys") {
+        if (!as_num(k, v, &n)) return false;
+        b.keys = n;
+      } else if (k == "seed") {
+        if (!as_num(k, v, &n)) return false;
+        b.seed = static_cast<std::uint64_t>(n);
+      } else {
+        *err = "unknown bst key '" + k + "'";
+        return false;
+      }
+    }
+    if (b.keys < 1) {
+      *err = "bst needs keys >= 1";
+      return false;
+    }
+    r.payload = b;
   } else {
     *err = "unknown request kind '" + kind + "'";
     return false;

@@ -49,6 +49,11 @@ struct Response {
   Status status = Status::Error;
   double value = 0;    ///< d[0][n-1] / MFE / parse cost
   std::string detail;  ///< dot-bracket structure, parse verdict, or error
+  /// The engine that actually produced the answer (empty for refusals).
+  /// This is the *effective* name: a Degraded response names the fallback
+  /// backend, not the one the request asked for, and an OkCached response
+  /// names whoever filled the cache entry.
+  std::string backend;
   std::int64_t queue_ns = 0;  ///< admission -> dispatch (or terminal verdict)
   std::int64_t solve_ns = 0;  ///< inside the worker (0 unless solved)
   std::int64_t total_ns = 0;  ///< admission -> response delivered

@@ -57,7 +57,7 @@ SolveService::SolveService(ServiceOptions opts)
 
 SolveService::~SolveService() { stop(true); }
 
-std::future<Response> SolveService::submit(Request req) {
+SolveService::Item SolveService::make_item(Request req) {
   auto p = std::make_shared<Pending>();
   p->req = std::move(req);
   p->hash = content_hash(p->req);
@@ -72,11 +72,14 @@ std::future<Response> SolveService::submit(Request req) {
   // Armed up front so the watchdog can hand the token to a hedge twin
   // without racing token assignment against the twin's poll loop.
   if (opts_.resilience.hedge.enabled) p->hedge_cancel = CancelToken::armed();
-  std::future<Response> fut = p->promise.get_future();
+  return p;
+}
+
+void SolveService::admit(const Item& p) {
   ++submitted_;
   if (stopped_.load(std::memory_order_acquire)) {
     respond(p, Status::Rejected, 0, "service stopped");
-    return fut;
+    return;
   }
   // Fault site: admission refusing a request as if the queue were full.
   if (FaultHook* hook = fault_hook();
@@ -85,15 +88,31 @@ std::future<Response> SolveService::submit(Request req) {
                  static_cast<std::int64_t>(p->req.id),
                  static_cast<std::int64_t>(queue_.depth()))) {
     respond(p, Status::Rejected, 0, "injected queue overload");
-    return fut;
+    return;
   }
+  // A push can still lose the race against stop(): the network layer
+  // submits from reactor threads while drain closes the queue. The queue
+  // answers Closed (never asserts — see AdmissionQueue::push), which maps
+  // to the same Rejected response as the stopped_ check above.
   const int prio = p->req.priority;
   const Admission verdict = queue_.push(p, prio);
   obs::metrics().gauge("serve.queue_depth").set(double(queue_.depth()));
   if (verdict != Admission::Admitted)
     respond(p, Status::Rejected, 0,
             verdict == Admission::Closed ? "service stopped" : "queue full");
+}
+
+std::future<Response> SolveService::submit(Request req) {
+  const Item p = make_item(std::move(req));
+  std::future<Response> fut = p->promise.get_future();
+  admit(p);
   return fut;
+}
+
+void SolveService::submit(Request req, std::function<void(Response)> on_done) {
+  const Item p = make_item(std::move(req));
+  p->callback = std::move(on_done);
+  admit(p);
 }
 
 void SolveService::stop(bool drain) {
@@ -145,7 +164,8 @@ void SolveService::dispatcher_loop() {
       }
       CachedResult hit;
       if (cache_.get(it->hash, &hit)) {
-        respond(it, Status::OkCached, hit.value, hit.detail, queue_ns);
+        respond(it, Status::OkCached, hit.value, hit.detail, queue_ns, 0, 0,
+                hit.backend);
         continue;
       }
       const std::uint64_t key = shape_key(it->req);
@@ -234,6 +254,8 @@ std::string SolveService::breaker_key(const Request& req) const {
   if (const auto* s = std::get_if<SolveSpec>(&req.payload))
     return !s->backend.empty() ? s->backend : opts_.backend;
   if (std::holds_alternative<FoldSpec>(req.payload)) return "zuker";
+  if (std::holds_alternative<ChainSpec>(req.payload)) return "chain";
+  if (std::holds_alternative<BstSpec>(req.payload)) return "bst";
   return "cyk";
 }
 
@@ -330,8 +352,9 @@ void SolveService::solve_one(const Item& it, Clock::time_point picked_up,
   // future resolves observes the hit. Losing the first-finisher race
   // below is harmless: primary and twin computed the same request, so
   // whichever result lands in the cache is the right one.
-  cache_.put(it->hash, CachedResult{o.value, o.detail});
-  respond(it, Status::Ok, o.value, o.detail, queue_ns, solve_ns);
+  cache_.put(it->hash, CachedResult{o.value, o.detail, o.backend_used});
+  respond(it, Status::Ok, o.value, o.detail, queue_ns, solve_ns, 0,
+          o.backend_used);
   release_twin();
 }
 
@@ -352,7 +375,8 @@ bool SolveService::try_fallback(const Item& it, Clock::time_point picked_up,
   if (!o.ok) return false;  // caller escalates to Error / RetryAfter
   // Deliberately not cached: the degraded answer would mask the primary's
   // recovery behind OkCached hits.
-  if (respond(it, Status::Degraded, o.value, o.detail, queue_ns, solve_ns)) {
+  if (respond(it, Status::Degraded, o.value, o.detail, queue_ns, solve_ns, 0,
+              o.backend_used)) {
     ++fallbacks_;
     ++degraded_;
     obs::metrics().counter("serve.fallbacks").add();
@@ -414,9 +438,10 @@ void SolveService::launch_hedge(const Item& it) {
     const SolveOutcome o = pool_.execute(copy, it->hedge_cancel, opts_.backend);
     if (!o.ok) return;  // lost (cancelled) or failed: the primary answers
     const std::int64_t solve_ns = ns_between(started, Clock::now());
-    cache_.put(it->hash, CachedResult{o.value, o.detail});
+    cache_.put(it->hash, CachedResult{o.value, o.detail, o.backend_used});
     if (respond(it, Status::Ok, o.value, o.detail,
-                it->queue_ns.load(std::memory_order_relaxed), solve_ns)) {
+                it->queue_ns.load(std::memory_order_relaxed), solve_ns, 0,
+                o.backend_used)) {
       ++hedge_wins_;
       obs::metrics().counter("serve.hedge_wins").add();
       estimator_.observe(shape_key(it->req), solve_ns);
@@ -429,13 +454,14 @@ void SolveService::launch_hedge(const Item& it) {
 bool SolveService::respond(const Item& it, Status st, double value,
                            std::string detail, std::int64_t queue_ns,
                            std::int64_t solve_ns,
-                           std::int64_t retry_after_ms) {
+                           std::int64_t retry_after_ms, std::string backend) {
   if (it->responded.exchange(true, std::memory_order_acq_rel)) return false;
   Response resp;
   resp.id = it->req.id;
   resp.status = st;
   resp.value = value;
   resp.detail = std::move(detail);
+  resp.backend = std::move(backend);
   resp.queue_ns = queue_ns;
   resp.solve_ns = solve_ns;
   resp.total_ns = ns_between(it->enqueued, Clock::now());
@@ -458,7 +484,11 @@ bool SolveService::respond(const Item& it, Status st, double value,
     m.histogram("serve.queue_ns").observe(queue_ns);
     m.histogram("serve.solve_ns").observe(solve_ns);
   }
-  it->promise.set_value(std::move(resp));
+  if (it->callback) {
+    it->callback(std::move(resp));
+  } else {
+    it->promise.set_value(std::move(resp));
+  }
   return true;
 }
 

@@ -93,6 +93,16 @@ class SolveService {
   /// the Block policy this call blocks while the queue is full.
   std::future<Response> submit(Request req);
 
+  /// Callback form for network front-ends: `on_done` is invoked exactly
+  /// once with the terminal response, from whichever thread delivers it —
+  /// the dispatcher, a worker, the hedge watchdog, or the submitting
+  /// thread itself when admission refuses the request synchronously. The
+  /// callback must be fast and must not block (it runs on serving hot
+  /// paths) and must tolerate firing after the caller has lost interest:
+  /// a submit racing stop() still gets its callback (with a Rejected or
+  /// Cancelled response), never silence.
+  void submit(Request req, std::function<void(Response)> on_done);
+
   /// Stops the service. drain = true completes every admitted request
   /// before returning; drain = false answers queued (not yet dispatched)
   /// requests with Status::Cancelled and trips the cancel token of every
@@ -112,6 +122,8 @@ class SolveService {
     Request req;
     std::uint64_t hash = 0;
     std::promise<Response> promise;
+    /// When set, respond() delivers through this instead of the promise.
+    std::function<void(Response)> callback;
     Clock::time_point enqueued{};
     /// Armed for every request (one relaxed load per block to poll), with
     /// the deadline wired in when the request carries one, so both deadline
@@ -135,17 +147,24 @@ class SolveService {
   struct CachedResult {
     double value = 0;
     std::string detail;
+    std::string backend;  ///< who computed the entry (reported on hits)
   };
 
   void dispatcher_loop();
   void dispatch(Batch<Item> batch);
   void run_batch(const Batch<Item>& batch);
   std::size_t max_inflight() const;
+  /// Builds the Pending record shared by both submit() forms.
+  Item make_item(Request req);
+  /// Admission: the common tail of submit() once the item exists.
+  void admit(const Item& p);
   /// Delivers the response if this caller wins the first-finisher race;
-  /// returns whether it did (losers are silent no-ops).
+  /// returns whether it did (losers are silent no-ops). `backend` is the
+  /// effective engine name reported back to the caller.
   bool respond(const Item& it, Status st, double value = 0,
                std::string detail = {}, std::int64_t queue_ns = 0,
-               std::int64_t solve_ns = 0, std::int64_t retry_after_ms = 0);
+               std::int64_t solve_ns = 0, std::int64_t retry_after_ms = 0,
+               std::string backend = {});
 
   // --- resilience ladder (see docs/resilience.md) ---
   /// Executes one dispatched request through breaker -> retry ->

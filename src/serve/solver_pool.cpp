@@ -5,6 +5,8 @@
 #include <utility>
 
 #include "apps/cyk/cyk.hpp"
+#include "apps/matrix_chain/matrix_chain.hpp"
+#include "apps/optimal_bst/optimal_bst.hpp"
 #include "apps/zuker/fold.hpp"
 #include "backend/solver_backend.hpp"
 #include "common/fault_hook.hpp"
@@ -13,6 +15,23 @@
 #include "obs/trace.hpp"
 
 namespace cellnpdp::serve {
+
+std::vector<float> chain_dims(const ChainSpec& c) {
+  std::vector<float> dims(static_cast<std::size_t>(c.n) + 1);
+  SplitMix64 rng(c.seed);
+  for (auto& d : dims) d = float(8 + rng.next_below(120));
+  return dims;
+}
+
+BstInstanceData<float> bst_data(const BstSpec& b) {
+  SplitMix64 rng(b.seed);
+  std::vector<float> p(static_cast<std::size_t>(b.keys) + 1, 0.0f);
+  std::vector<float> q(static_cast<std::size_t>(b.keys) + 1, 0.0f);
+  for (std::size_t i = 1; i < p.size(); ++i)
+    p[i] = float(rng.next_in(0.01, 1.0));
+  for (auto& v : q) v = float(rng.next_in(0.01, 1.0));
+  return make_bst_data(std::move(p), std::move(q));
+}
 
 SolverPool::SolverPool(std::size_t workers) : pool_(workers) {}
 
@@ -78,6 +97,7 @@ SolveOutcome SolverPool::execute(const Request& req, const CancelToken& cancel,
       const std::string& name = !s->backend.empty()      ? s->backend
                                 : !default_backend.empty() ? default_backend
                                                            : "blocked-serial";
+      out.backend_used = name;
       const backend::SolverBackend& be = backend::require_backend(name);
       NpdpInstance<float> inst;
       inst.n = s->n;
@@ -114,6 +134,7 @@ SolveOutcome SolverPool::execute(const Request& req, const CancelToken& cancel,
       out.value = r.value;
       out.ok = true;
     } else if (const auto* f = std::get_if<FoldSpec>(&req.payload)) {
+      out.backend_used = "zuker";
       const std::vector<zuker::Base> seq =
           f->seq.empty() ? zuker::random_sequence(f->random_n, f->seed)
                          : zuker::parse_sequence(f->seq);
@@ -129,8 +150,44 @@ SolveOutcome SolverPool::execute(const Request& req, const CancelToken& cancel,
       out.value = double(r.mfe);
       out.detail = r.structure;
       out.ok = true;
+    } else if (const auto* c = std::get_if<ChainSpec>(&req.payload)) {
+      if (c->n < 1) throw std::invalid_argument("chain needs n >= 1");
+      out.backend_used = "chain";
+      const std::vector<float> dims = chain_dims(*c);
+      ExecutionContext ctx;
+      ctx.cancel = cancel;
+      ctx.tuning.threads = 1;
+      MatrixChainResult<float> r;
+      const SolveStatus st = solve_matrix_chain(dims, ctx, &r);
+      if (st == SolveStatus::Cancelled) {
+        out.cancelled = true;
+        out.error = cancel_reason_name(cancel.reason());
+        return out;
+      }
+      out.value = double(r.cost);
+      // The rendered parenthesization grows linearly; only echo it for
+      // chains short enough that a human would read it.
+      if (c->n <= 16) out.detail = r.parenthesization;
+      out.ok = true;
+    } else if (const auto* b = std::get_if<BstSpec>(&req.payload)) {
+      if (b->keys < 1) throw std::invalid_argument("bst needs keys >= 1");
+      out.backend_used = "bst";
+      const BstInstanceData<float> d = bst_data(*b);
+      ExecutionContext ctx;
+      ctx.cancel = cancel;
+      ctx.tuning.threads = 1;
+      float cost = 0;
+      const SolveStatus st = solve_optimal_bst(d, ctx, &cost);
+      if (st == SolveStatus::Cancelled) {
+        out.cancelled = true;
+        out.error = cancel_reason_name(cancel.reason());
+        return out;
+      }
+      out.value = double(cost);
+      out.ok = true;
     } else {
       const auto& p = std::get<ParseSpec>(req.payload);
+      out.backend_used = "cyk";
       const bool parens = p.grammar == ParseSpec::GrammarKind::Parens;
       cyk::Grammar g =
           parens ? cyk::balanced_parens_grammar() : cyk::anbn_grammar();

@@ -20,12 +20,18 @@
 #include <string>
 #include <vector>
 
+#include "apps/optimal_bst/optimal_bst.hpp"
 #include "common/cancel.hpp"
 #include "common/thread_pool.hpp"
 #include "layout/blocked.hpp"
 #include "serve/request.hpp"
 
 namespace cellnpdp::serve {
+
+/// Deterministic workloads behind ChainSpec/BstSpec: the same seed always
+/// regenerates the same instance, on the server and in tests alike.
+std::vector<float> chain_dims(const ChainSpec& c);
+BstInstanceData<float> bst_data(const BstSpec& b);
 
 /// What executing one request produced. `ok == false` means the solver
 /// threw (`error` carries the message) or the solve was cancelled
@@ -37,6 +43,11 @@ struct SolveOutcome {
   double value = 0;
   std::string detail;
   std::string error;
+  /// Resolved engine name for solves (request backend, else the default,
+  /// else "blocked-serial"); the fixed engine name for the other kinds.
+  /// Set whenever execution was attempted, so Degraded responses can
+  /// report the backend that really answered.
+  std::string backend_used;
   bool arena_reused = false;
 };
 

@@ -1,0 +1,708 @@
+// Tests for src/net: wire-protocol encode/decode round-trips (property
+// style over seeded random payloads), truncation at every byte boundary,
+// defensive decoding (bad magic / bad version / oversized / malformed /
+// unknown type), and the epoll server end to end over loopback — all five
+// request kinds, pipelined graceful drain, deadline expiry over the wire,
+// mid-request disconnect, slow-loris idle timeout, and the load generator.
+#include <gtest/gtest.h>
+#include <sys/socket.h>
+
+#include <chrono>
+#include <cstring>
+#include <string>
+#include <thread>
+#include <variant>
+#include <vector>
+
+#include "apps/matrix_chain/matrix_chain.hpp"
+#include "apps/optimal_bst/optimal_bst.hpp"
+#include "common/json.hpp"
+#include "common/rng.hpp"
+#include "net/client.hpp"
+#include "net/loadgen.hpp"
+#include "net/protocol.hpp"
+#include "net/server.hpp"
+#include "net/socket.hpp"
+#include "serve/solver_pool.hpp"
+
+namespace cellnpdp::net {
+namespace {
+
+using std::chrono::milliseconds;
+using Reply = NpdpClient::Reply;
+using RecvStatus = NpdpClient::RecvStatus;
+
+std::string random_text(SplitMix64& rng, std::size_t max_len) {
+  std::string s(rng.next_below(max_len + 1), '\0');
+  for (char& c : s) c = static_cast<char>(rng.next_below(256));
+  return s;
+}
+
+WireRequest random_request(SplitMix64& rng, int kind) {
+  WireRequest w;
+  w.id = rng.next_u64();
+  w.priority = static_cast<std::int32_t>(rng.next_u64());
+  w.deadline_ms = static_cast<std::uint32_t>(rng.next_below(1u << 20));
+  switch (kind) {
+    case 0: {
+      serve::SolveSpec s;
+      s.n = static_cast<index_t>(1 + rng.next_below(4096));
+      s.seed = rng.next_u64();
+      s.block_side = static_cast<index_t>(1 + rng.next_below(128));
+      s.kernel = static_cast<KernelKind>(rng.next_below(3));
+      s.backend = random_text(rng, 24);
+      w.payload = s;
+      break;
+    }
+    case 1: {
+      serve::FoldSpec f;
+      f.random_n = static_cast<index_t>(1 + rng.next_below(1024));
+      f.seed = rng.next_u64();
+      f.seq = random_text(rng, 48);
+      w.payload = f;
+      break;
+    }
+    case 2: {
+      serve::ParseSpec p;
+      p.grammar = static_cast<serve::ParseSpec::GrammarKind>(rng.next_below(2));
+      p.text = random_text(rng, 48);
+      w.payload = p;
+      break;
+    }
+    case 3: {
+      serve::ChainSpec c;
+      c.n = static_cast<index_t>(1 + rng.next_below(512));
+      c.seed = rng.next_u64();
+      w.payload = c;
+      break;
+    }
+    default: {
+      serve::BstSpec b;
+      b.keys = static_cast<index_t>(1 + rng.next_below(512));
+      b.seed = rng.next_u64();
+      w.payload = b;
+      break;
+    }
+  }
+  return w;
+}
+
+// --- protocol round-trips --------------------------------------------------
+
+TEST(Protocol, RequestRoundTripsOverSeededRandomPayloads) {
+  SplitMix64 rng(2026);
+  for (int iter = 0; iter < 200; ++iter) {
+    const int kind = iter % 5;
+    const WireRequest in = random_request(rng, kind);
+    const std::vector<std::uint8_t> frame = encode_request(in);
+
+    FrameHeader h;
+    ASSERT_EQ(parse_header(frame.data(), frame.size(), &h), HeaderParse::Ok);
+    EXPECT_EQ(h.version, kVersion);
+    EXPECT_EQ(h.id, in.id);
+    ASSERT_EQ(frame.size(), kHeaderSize + h.len);
+
+    WireRequest out;
+    std::string err;
+    ASSERT_TRUE(decode_request_payload(h.type, h.id, frame.data() + kHeaderSize,
+                                       h.len, &out, &err))
+        << "kind " << kind << ": " << err;
+    EXPECT_EQ(out.id, in.id);
+    EXPECT_EQ(out.priority, in.priority);
+    EXPECT_EQ(out.deadline_ms, in.deadline_ms);
+    ASSERT_EQ(out.payload.index(), in.payload.index());
+    if (const auto* s = std::get_if<serve::SolveSpec>(&in.payload)) {
+      const auto& o = std::get<serve::SolveSpec>(out.payload);
+      EXPECT_EQ(o.n, s->n);
+      EXPECT_EQ(o.seed, s->seed);
+      EXPECT_EQ(o.block_side, s->block_side);
+      EXPECT_EQ(o.kernel, s->kernel);
+      EXPECT_EQ(o.backend, s->backend);
+    } else if (const auto* f = std::get_if<serve::FoldSpec>(&in.payload)) {
+      const auto& o = std::get<serve::FoldSpec>(out.payload);
+      EXPECT_EQ(o.random_n, f->random_n);
+      EXPECT_EQ(o.seed, f->seed);
+      EXPECT_EQ(o.seq, f->seq);
+    } else if (const auto* p = std::get_if<serve::ParseSpec>(&in.payload)) {
+      const auto& o = std::get<serve::ParseSpec>(out.payload);
+      EXPECT_EQ(o.grammar, p->grammar);
+      EXPECT_EQ(o.text, p->text);
+    } else if (const auto* c = std::get_if<serve::ChainSpec>(&in.payload)) {
+      const auto& o = std::get<serve::ChainSpec>(out.payload);
+      EXPECT_EQ(o.n, c->n);
+      EXPECT_EQ(o.seed, c->seed);
+    } else {
+      const auto& b = std::get<serve::BstSpec>(in.payload);
+      const auto& o = std::get<serve::BstSpec>(out.payload);
+      EXPECT_EQ(o.keys, b.keys);
+      EXPECT_EQ(o.seed, b.seed);
+    }
+  }
+}
+
+TEST(Protocol, ResponseRoundTripsOverSeededRandomPayloads) {
+  SplitMix64 rng(77);
+  for (int iter = 0; iter < 200; ++iter) {
+    WireResponse in;
+    in.id = rng.next_u64();
+    in.status = static_cast<serve::Status>(rng.next_below(9));
+    in.value = rng.next_in(-1e9, 1e9);
+    in.queue_ns = static_cast<std::int64_t>(rng.next_u64() >> 1);
+    in.solve_ns = static_cast<std::int64_t>(rng.next_u64() >> 1);
+    in.total_ns = static_cast<std::int64_t>(rng.next_u64() >> 1);
+    in.retry_after_ms = static_cast<std::int64_t>(rng.next_below(100000));
+    in.backend = random_text(rng, 24);
+    in.detail = random_text(rng, 100);
+    const auto frame = encode_response(in);
+
+    FrameHeader h;
+    ASSERT_EQ(parse_header(frame.data(), frame.size(), &h), HeaderParse::Ok);
+    ASSERT_EQ(h.type, MsgType::Result);
+    WireResponse out;
+    std::string err;
+    ASSERT_TRUE(decode_response_payload(h.id, frame.data() + kHeaderSize,
+                                        h.len, &out, &err))
+        << err;
+    EXPECT_EQ(out.id, in.id);
+    EXPECT_EQ(out.status, in.status);
+    EXPECT_EQ(out.value, in.value);
+    EXPECT_EQ(out.queue_ns, in.queue_ns);
+    EXPECT_EQ(out.solve_ns, in.solve_ns);
+    EXPECT_EQ(out.total_ns, in.total_ns);
+    EXPECT_EQ(out.retry_after_ms, in.retry_after_ms);
+    EXPECT_EQ(out.backend, in.backend);
+    EXPECT_EQ(out.detail, in.detail);
+  }
+}
+
+TEST(Protocol, ControlFramesRoundTrip) {
+  const auto ping = encode_ping(42);
+  FrameHeader h;
+  ASSERT_EQ(parse_header(ping.data(), ping.size(), &h), HeaderParse::Ok);
+  EXPECT_EQ(h.type, MsgType::Ping);
+  EXPECT_EQ(h.id, 42u);
+  EXPECT_EQ(h.len, 0u);
+
+  const std::string json = "{\"net\":{\"accepted\":3}}";
+  const auto st = encode_stats_text(7, json);
+  ASSERT_EQ(parse_header(st.data(), st.size(), &h), HeaderParse::Ok);
+  std::string back;
+  ASSERT_TRUE(decode_stats_text(st.data() + kHeaderSize, h.len, &back));
+  EXPECT_EQ(back, json);
+
+  const auto pe =
+      encode_proto_error(9, ProtoErrorCode::BadPayload, "chain: n must be >= 1");
+  ASSERT_EQ(parse_header(pe.data(), pe.size(), &h), HeaderParse::Ok);
+  ProtoErrorCode code;
+  std::string msg;
+  ASSERT_TRUE(decode_proto_error(pe.data() + kHeaderSize, h.len, &code, &msg));
+  EXPECT_EQ(code, ProtoErrorCode::BadPayload);
+  EXPECT_EQ(msg, "chain: n must be >= 1");
+}
+
+TEST(Protocol, TruncationAtEveryByteBoundaryFailsCleanly) {
+  SplitMix64 rng(5);
+  for (int kind = 0; kind < 5; ++kind) {
+    const WireRequest in = random_request(rng, kind);
+    const auto frame = encode_request(in);
+    FrameHeader h;
+    ASSERT_EQ(parse_header(frame.data(), frame.size(), &h), HeaderParse::Ok);
+    // Every header prefix is just "need more bytes", never a parse.
+    for (std::size_t cut = 0; cut < kHeaderSize; ++cut)
+      EXPECT_EQ(parse_header(frame.data(), cut, &h), HeaderParse::NeedMore)
+          << "cut " << cut;
+    // Every proper payload prefix must fail decode — at every boundary.
+    for (std::size_t cut = 0; cut < h.len; ++cut) {
+      WireRequest out;
+      std::string err;
+      EXPECT_FALSE(decode_request_payload(h.type, h.id,
+                                          frame.data() + kHeaderSize, cut,
+                                          &out, &err))
+          << "kind " << kind << " cut " << cut << "/" << h.len;
+    }
+  }
+}
+
+TEST(Protocol, TrailingBytesAndBadEnumsFailDecode) {
+  WireRequest in;
+  in.id = 1;
+  in.payload = serve::ChainSpec{8, 3};
+  auto frame = encode_request(in);
+  frame.push_back(0);  // one trailing byte after a valid payload
+  FrameHeader h;
+  ASSERT_EQ(parse_header(frame.data(), frame.size(), &h), HeaderParse::Ok);
+  WireRequest out;
+  std::string err;
+  EXPECT_FALSE(decode_request_payload(h.type, h.id, frame.data() + kHeaderSize,
+                                      frame.size() - kHeaderSize, &out, &err));
+  EXPECT_NE(err.find("trailing"), std::string::npos) << err;
+
+  // Kernel byte out of range in a Solve payload.
+  WireRequest sv;
+  sv.id = 2;
+  sv.payload = serve::SolveSpec{};
+  auto sf = encode_request(sv);
+  // Payload layout: [prio 4][deadline 4][n 8][seed 8][block 8][kernel 1]...
+  sf[kHeaderSize + 4 + 4 + 8 + 8 + 8] = 0x7F;
+  ASSERT_EQ(parse_header(sf.data(), sf.size(), &h), HeaderParse::Ok);
+  EXPECT_FALSE(decode_request_payload(h.type, h.id, sf.data() + kHeaderSize,
+                                      sf.size() - kHeaderSize, &out, &err));
+  EXPECT_NE(err.find("kernel"), std::string::npos) << err;
+
+  // Status code out of range in a Result payload.
+  WireResponse wr;
+  wr.id = 3;
+  auto rf = encode_response(wr);
+  rf[kHeaderSize] = 0xFF;
+  rf[kHeaderSize + 1] = 0xFF;
+  ASSERT_EQ(parse_header(rf.data(), rf.size(), &h), HeaderParse::Ok);
+  WireResponse rout;
+  EXPECT_FALSE(decode_response_payload(h.id, rf.data() + kHeaderSize,
+                                       rf.size() - kHeaderSize, &rout, &err));
+}
+
+TEST(Protocol, BadMagicIsDetected) {
+  auto frame = encode_ping(1);
+  frame[0] ^= 0x5A;
+  FrameHeader h;
+  EXPECT_EQ(parse_header(frame.data(), frame.size(), &h),
+            HeaderParse::BadMagic);
+}
+
+TEST(Protocol, StatusWireCodesAreFrozen) {
+  // Appended-only: these exact values are the compatibility contract.
+  EXPECT_EQ(wire_status(serve::Status::Ok), 0);
+  EXPECT_EQ(wire_status(serve::Status::OkCached), 1);
+  EXPECT_EQ(wire_status(serve::Status::Rejected), 2);
+  EXPECT_EQ(wire_status(serve::Status::Shed), 3);
+  EXPECT_EQ(wire_status(serve::Status::Expired), 4);
+  EXPECT_EQ(wire_status(serve::Status::Cancelled), 5);
+  EXPECT_EQ(wire_status(serve::Status::Error), 6);
+  EXPECT_EQ(wire_status(serve::Status::Degraded), 7);
+  EXPECT_EQ(wire_status(serve::Status::RetryAfter), 8);
+  serve::Status s;
+  EXPECT_TRUE(status_from_wire(8, &s));
+  EXPECT_FALSE(status_from_wire(9, &s));
+}
+
+// --- end-to-end over loopback ----------------------------------------------
+
+struct ServerFixture {
+  explicit ServerFixture(ServerOptions no = {},
+                         serve::ServiceOptions so = small_service()) {
+    no.port = 0;  // ephemeral
+    server = std::make_unique<NpdpServer>(no, so);
+    std::string err;
+    EXPECT_TRUE(server->start(&err)) << err;
+  }
+  static serve::ServiceOptions small_service() {
+    serve::ServiceOptions so;
+    so.workers = 2;
+    so.queue_capacity = 64;
+    return so;
+  }
+  NpdpClient connect() {
+    NpdpClient c;
+    std::string err;
+    EXPECT_TRUE(c.connect("127.0.0.1", server->port(), &err)) << err;
+    return c;
+  }
+  std::unique_ptr<NpdpServer> server;
+};
+
+WireRequest chain_req(std::uint64_t id, index_t n, std::uint64_t seed,
+                      std::uint32_t deadline_ms = 0) {
+  WireRequest w;
+  w.id = id;
+  w.deadline_ms = deadline_ms;
+  w.payload = serve::ChainSpec{n, seed};
+  return w;
+}
+
+TEST(NetServer, AllRequestKindsRoundTripWithCorrectValues) {
+  ServerFixture fx;
+  NpdpClient cli = fx.connect();
+  std::string err;
+  Reply rep;
+
+  // chain: value must equal the textbook reference on the same dims.
+  {
+    const serve::ChainSpec spec{24, 11};
+    const auto dims = serve::chain_dims(spec);
+    const auto ref = solve_matrix_chain_reference<float>(dims);
+    WireRequest w = chain_req(1, spec.n, spec.seed);
+    ASSERT_EQ(cli.call(w, &rep, 10000, &err), RecvStatus::Ok) << err;
+    ASSERT_EQ(rep.kind, Reply::Kind::Result);
+    EXPECT_EQ(rep.result.status, serve::Status::Ok);
+    EXPECT_FLOAT_EQ(float(rep.result.value), float(ref.cost));
+    EXPECT_FALSE(rep.result.backend.empty());
+  }
+  // bst: ditto against Knuth's reference.
+  {
+    const serve::BstSpec spec{20, 13};
+    const auto data = serve::bst_data(spec);
+    const float ref = solve_optimal_bst_reference<float>(data);
+    WireRequest w;
+    w.id = 2;
+    w.payload = spec;
+    ASSERT_EQ(cli.call(w, &rep, 10000, &err), RecvStatus::Ok) << err;
+    EXPECT_EQ(rep.result.status, serve::Status::Ok);
+    EXPECT_NEAR(float(rep.result.value), ref, 1e-3f);
+  }
+  // solve / fold / parse: success statuses end to end.
+  {
+    WireRequest w;
+    w.id = 3;
+    serve::SolveSpec s;
+    s.n = 64;
+    s.block_side = 16;
+    w.payload = s;
+    ASSERT_EQ(cli.call(w, &rep, 10000, &err), RecvStatus::Ok) << err;
+    EXPECT_EQ(rep.result.status, serve::Status::Ok);
+  }
+  {
+    WireRequest w;
+    w.id = 4;
+    serve::FoldSpec f;
+    f.random_n = 40;
+    w.payload = f;
+    ASSERT_EQ(cli.call(w, &rep, 10000, &err), RecvStatus::Ok) << err;
+    EXPECT_EQ(rep.result.status, serve::Status::Ok);
+    EXPECT_FALSE(rep.result.detail.empty());  // dot-bracket structure
+  }
+  {
+    WireRequest w;
+    w.id = 5;
+    serve::ParseSpec p;
+    p.text = "(()())";
+    w.payload = p;
+    ASSERT_EQ(cli.call(w, &rep, 10000, &err), RecvStatus::Ok) << err;
+    EXPECT_EQ(rep.result.status, serve::Status::Ok);
+  }
+  // Repeat of the chain request: served from cache, same value.
+  {
+    WireRequest w = chain_req(6, 24, 11);
+    ASSERT_EQ(cli.call(w, &rep, 10000, &err), RecvStatus::Ok) << err;
+    EXPECT_EQ(rep.result.status, serve::Status::OkCached);
+  }
+  // ping + stats on the same connection.
+  ASSERT_EQ(cli.ping(99, 5000, &err), RecvStatus::Ok) << err;
+  std::string json;
+  ASSERT_EQ(cli.stats(&json, 5000, &err), RecvStatus::Ok) << err;
+  JsonValue root;
+  ASSERT_TRUE(json_parse(json, root, &err)) << err << "\n" << json;
+  ASSERT_TRUE(root.is_object());
+  EXPECT_TRUE(root.has("net"));
+  EXPECT_TRUE(root.has("serve"));
+  EXPECT_GE(root.at("net").at("frames_in").number, 6.0);
+}
+
+TEST(NetServer, VersionMismatchGetsTypedErrorThenDisconnect) {
+  ServerFixture fx;
+  NpdpClient cli = fx.connect();
+  auto frame = encode_ping(5);
+  frame[4] = 0x63;  // version: 99
+  frame[5] = 0x00;
+  std::string err;
+  ASSERT_TRUE(cli.send_frame(frame, &err)) << err;
+  Reply rep;
+  ASSERT_EQ(cli.recv_reply(&rep, 5000, &err), RecvStatus::Ok) << err;
+  ASSERT_EQ(rep.kind, Reply::Kind::ProtoError);
+  EXPECT_EQ(rep.code, ProtoErrorCode::BadVersion);
+  EXPECT_EQ(rep.id, 5u);
+  // The server closes after flushing the error: next read is EOF.
+  EXPECT_EQ(cli.recv_reply(&rep, 5000, &err), RecvStatus::Closed);
+  // And the server is still accepting fresh connections.
+  NpdpClient again = fx.connect();
+  EXPECT_EQ(again.ping(1, 5000, &err), RecvStatus::Ok) << err;
+}
+
+TEST(NetServer, MalformedPayloadGetsTypedErrorAndConnectionSurvives) {
+  ServerFixture fx;
+  NpdpClient cli = fx.connect();
+  // A Chain frame whose payload is cut mid-field (header length honest,
+  // so the stream stays synchronized — only the payload is garbage).
+  std::vector<std::uint8_t> frame;
+  encode_header(frame, MsgType::Chain, 31, 6);
+  for (int i = 0; i < 6; ++i) frame.push_back(0xAB);
+  std::string err;
+  ASSERT_TRUE(cli.send_frame(frame, &err)) << err;
+  Reply rep;
+  ASSERT_EQ(cli.recv_reply(&rep, 5000, &err), RecvStatus::Ok) << err;
+  ASSERT_EQ(rep.kind, Reply::Kind::ProtoError);
+  EXPECT_EQ(rep.code, ProtoErrorCode::BadPayload);
+  EXPECT_EQ(rep.id, 31u);
+  // Same connection keeps working.
+  ASSERT_EQ(cli.call(chain_req(32, 8, 1), &rep, 10000, &err), RecvStatus::Ok)
+      << err;
+  EXPECT_EQ(rep.result.status, serve::Status::Ok);
+  EXPECT_GE(fx.server->stats().frames_bad, 1u);
+}
+
+TEST(NetServer, UnknownTypeGetsTypedErrorAndConnectionSurvives) {
+  ServerFixture fx;
+  NpdpClient cli = fx.connect();
+  std::vector<std::uint8_t> frame;
+  encode_header(frame, static_cast<MsgType>(77), 41, 0);
+  std::string err;
+  ASSERT_TRUE(cli.send_frame(frame, &err)) << err;
+  Reply rep;
+  ASSERT_EQ(cli.recv_reply(&rep, 5000, &err), RecvStatus::Ok) << err;
+  ASSERT_EQ(rep.kind, Reply::Kind::ProtoError);
+  EXPECT_EQ(rep.code, ProtoErrorCode::UnknownType);
+  ASSERT_EQ(cli.ping(42, 5000, &err), RecvStatus::Ok) << err;
+}
+
+TEST(NetServer, BadMagicDisconnectsImmediately) {
+  ServerFixture fx;
+  NpdpClient cli = fx.connect();
+  const std::vector<std::uint8_t> garbage(64, 0x5A);
+  std::string err;
+  ASSERT_TRUE(cli.send_frame(garbage, &err)) << err;
+  Reply rep;
+  EXPECT_EQ(cli.recv_reply(&rep, 5000, &err), RecvStatus::Closed);
+  NpdpClient again = fx.connect();
+  EXPECT_EQ(again.ping(1, 5000, &err), RecvStatus::Ok) << err;
+}
+
+TEST(NetServer, OversizedFrameIsRefusedWithTypedError) {
+  ServerOptions no;
+  no.max_frame = 4096;
+  ServerFixture fx(no);
+  NpdpClient cli = fx.connect();
+  // Header claims 1 MiB payload; the server must refuse before buffering.
+  std::vector<std::uint8_t> frame;
+  encode_header(frame, MsgType::Chain, 51, 1u << 20);
+  std::string err;
+  ASSERT_TRUE(cli.send_frame(frame, &err)) << err;
+  Reply rep;
+  ASSERT_EQ(cli.recv_reply(&rep, 5000, &err), RecvStatus::Ok) << err;
+  ASSERT_EQ(rep.kind, Reply::Kind::ProtoError);
+  EXPECT_EQ(rep.code, ProtoErrorCode::FrameTooLarge);
+  EXPECT_EQ(rep.id, 51u);
+  EXPECT_EQ(cli.recv_reply(&rep, 5000, &err), RecvStatus::Closed);
+  NpdpClient again = fx.connect();
+  EXPECT_EQ(again.ping(1, 5000, &err), RecvStatus::Ok) << err;
+}
+
+TEST(NetServer, MidRequestDisconnectLeavesServerHealthy) {
+  ServerFixture fx;
+  {
+    NpdpClient cli = fx.connect();
+    std::string err;
+    WireRequest w;
+    w.id = 61;
+    serve::SolveSpec s;
+    s.n = 320;
+    s.block_side = 32;
+    w.payload = s;
+    ASSERT_TRUE(cli.send_frame(encode_request(w), &err)) << err;
+    // Wait for the request to be in flight, then kill the connection
+    // deterministically with unsynchronizable garbage (bad magic closes
+    // immediately) while the solve is still running.
+    const auto submit_deadline =
+        std::chrono::steady_clock::now() + milliseconds(5000);
+    while (fx.server->stats().frames_in < 1 &&
+           std::chrono::steady_clock::now() < submit_deadline)
+      std::this_thread::sleep_for(milliseconds(1));
+    ASSERT_GE(fx.server->stats().frames_in, 1u);
+    ASSERT_TRUE(cli.send_frame(std::vector<std::uint8_t>(32, 0x5A), &err))
+        << err;
+  }
+  // The orphaned response must be dropped (counted), never crash, and the
+  // server must keep answering new clients.
+  NpdpClient cli = fx.connect();
+  std::string err;
+  Reply rep;
+  ASSERT_EQ(cli.call(chain_req(62, 8, 2), &rep, 10000, &err), RecvStatus::Ok)
+      << err;
+  EXPECT_EQ(rep.result.status, serve::Status::Ok);
+  const auto deadline = std::chrono::steady_clock::now() + milliseconds(5000);
+  while (fx.server->stats().dropped_responses < 1 &&
+         std::chrono::steady_clock::now() < deadline)
+    std::this_thread::sleep_for(milliseconds(10));
+  EXPECT_GE(fx.server->stats().dropped_responses, 1u);
+}
+
+TEST(NetServer, HalfCloseStillDrainsBufferedRequests) {
+  ServerFixture fx;
+  NpdpClient cli = fx.connect();
+  std::string err;
+  // Pipeline a few requests and FIN the write side in the same breath:
+  // the server must honour frames that arrived before the EOF and flush
+  // every reply before closing.
+  constexpr int kReqs = 4;
+  for (int i = 0; i < kReqs; ++i)
+    ASSERT_TRUE(cli.send_frame(
+        encode_request(chain_req(200 + std::uint64_t(i), 10 + i, 5)), &err))
+        << err;
+  ASSERT_EQ(::shutdown(cli.fd(), SHUT_WR), 0);
+  int results = 0;
+  for (;;) {
+    Reply rep;
+    const RecvStatus rs = cli.recv_reply(&rep, 10000, &err);
+    if (rs == RecvStatus::Closed) break;
+    ASSERT_EQ(rs, RecvStatus::Ok) << err;
+    ASSERT_EQ(rep.kind, Reply::Kind::Result);
+    EXPECT_EQ(rep.result.status, serve::Status::Ok);
+    ++results;
+  }
+  EXPECT_EQ(results, kReqs);
+}
+
+TEST(NetServer, DeadlineExceededReturnsExpiredOnTheWireNotDisconnect) {
+  serve::ServiceOptions so;
+  so.workers = 1;  // one worker, so the slow solve blocks the queue
+  so.cache_capacity = 0;
+  ServerFixture fx({}, so);
+  NpdpClient cli = fx.connect();
+  std::string err;
+  // Occupy the only worker with a long solve...
+  WireRequest slow;
+  slow.id = 71;
+  serve::SolveSpec s;
+  s.n = 640;
+  s.block_side = 32;
+  s.kernel = KernelKind::Scalar;
+  slow.payload = s;
+  ASSERT_TRUE(cli.send_frame(encode_request(slow), &err)) << err;
+  // ...then a request whose 1 ms deadline lapses while queued.
+  ASSERT_TRUE(cli.send_frame(encode_request(chain_req(72, 64, 3, 1)), &err))
+      << err;
+  bool saw_expired = false, saw_slow = false;
+  for (int i = 0; i < 2; ++i) {
+    Reply rep;
+    ASSERT_EQ(cli.recv_reply(&rep, 30000, &err), RecvStatus::Ok) << err;
+    ASSERT_EQ(rep.kind, Reply::Kind::Result);
+    if (rep.id == 72) {
+      saw_expired = rep.result.status == serve::Status::Expired ||
+                    rep.result.status == serve::Status::Cancelled;
+      EXPECT_TRUE(saw_expired)
+          << "status " << serve::status_name(rep.result.status);
+    } else {
+      saw_slow = true;
+    }
+  }
+  EXPECT_TRUE(saw_expired);
+  EXPECT_TRUE(saw_slow);
+  // Still a healthy connection afterwards.
+  EXPECT_EQ(cli.ping(73, 5000, &err), RecvStatus::Ok) << err;
+}
+
+TEST(NetServer, GracefulDrainAnswersEveryPipelinedRequest) {
+  ServerFixture fx;
+  NpdpClient cli = fx.connect();
+  std::string err;
+  constexpr int kPipelined = 32;
+  for (int i = 0; i < kPipelined; ++i)
+    ASSERT_TRUE(cli.send_frame(
+        encode_request(chain_req(100 + std::uint64_t(i), 16 + i % 8, 9)),
+        &err))
+        << err;
+  // Wait until every frame has been parsed and submitted (bytes still
+  // sitting unread in the kernel at shutdown are legitimately droppable;
+  // the drain contract covers admitted work), then drain.
+  const auto parse_deadline =
+      std::chrono::steady_clock::now() + milliseconds(5000);
+  while (fx.server->stats().frames_in < std::uint64_t(kPipelined) &&
+         std::chrono::steady_clock::now() < parse_deadline)
+    std::this_thread::sleep_for(milliseconds(2));
+  ASSERT_GE(fx.server->stats().frames_in, std::uint64_t(kPipelined));
+  fx.server->stop();
+  int results = 0;
+  for (;;) {
+    Reply rep;
+    const RecvStatus rs = cli.recv_reply(&rep, 10000, &err);
+    if (rs == RecvStatus::Closed) break;
+    ASSERT_EQ(rs, RecvStatus::Ok) << err;
+    ASSERT_EQ(rep.kind, Reply::Kind::Result);
+    ++results;
+  }
+  // Every pipelined request got a terminal response before the close —
+  // possibly Rejected (admission raced the stop), but never silence.
+  EXPECT_EQ(results, kPipelined);
+}
+
+TEST(NetServer, IdleConnectionsAreSweptAfterTimeout) {
+  ServerOptions no;
+  no.idle_timeout_ms = 100;
+  ServerFixture fx(no);
+  NpdpClient cli = fx.connect();
+  std::string err;
+  Reply rep;
+  const auto t0 = std::chrono::steady_clock::now();
+  // A slow-loris connection that never completes a frame gets EOF'd.
+  const RecvStatus rs = cli.recv_reply(&rep, 5000, &err);
+  EXPECT_EQ(rs, RecvStatus::Closed);
+  EXPECT_LT(std::chrono::steady_clock::now() - t0, milliseconds(4000));
+  // An active connection is unaffected by the sweep cadence.
+  NpdpClient busy = fx.connect();
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_EQ(busy.ping(std::uint64_t(i), 5000, &err), RecvStatus::Ok) << err;
+    std::this_thread::sleep_for(milliseconds(40));
+  }
+}
+
+TEST(NetServer, PartialFramesAcrossWritesReassemble) {
+  ServerFixture fx;
+  NpdpClient cli = fx.connect();
+  std::string err;
+  const auto frame = encode_request(chain_req(81, 12, 4));
+  // Dribble the frame one byte at a time; the reactor must reassemble.
+  for (std::size_t i = 0; i < frame.size(); ++i) {
+    ASSERT_TRUE(cli.send_frame({frame[i]}, &err)) << err;
+    std::this_thread::sleep_for(std::chrono::microseconds(200));
+  }
+  Reply rep;
+  ASSERT_EQ(cli.recv_reply(&rep, 10000, &err), RecvStatus::Ok) << err;
+  EXPECT_EQ(rep.id, 81u);
+  EXPECT_EQ(rep.result.status, serve::Status::Ok);
+}
+
+TEST(NetLoadgen, ClosedLoopLoopbackRunsClean) {
+  ServerFixture fx;
+  LoadGenOptions lo;
+  lo.port = fx.server->port();
+  lo.connections = 2;
+  lo.duration_ms = 300;
+  lo.mix = "mix";
+  lo.size = 16;
+  LoadGenResult r;
+  std::string err;
+  ASSERT_TRUE(run_loadgen(lo, &r, &err)) << err;
+  EXPECT_GT(r.sent, 0u);
+  EXPECT_TRUE(r.clean()) << r.proto_errors << " proto / "
+                         << r.transport_errors << " transport errors, "
+                         << r.replies << "/" << r.sent << " replies";
+  EXPECT_EQ(r.ok + r.cached + r.degraded, r.replies);
+  EXPECT_EQ(r.latencies_ms.size(), r.replies);
+  EXPECT_GT(latency_percentile(r.latencies_ms, 0.99), 0.0);
+}
+
+TEST(NetLoadgen, OpenLoopRespectsRequestCap) {
+  ServerFixture fx;
+  LoadGenOptions lo;
+  lo.port = fx.server->port();
+  lo.connections = 2;
+  lo.rate = 2000;
+  lo.duration_ms = 2000;
+  lo.max_requests = 50;
+  lo.mix = "bst";
+  lo.size = 12;
+  LoadGenResult r;
+  std::string err;
+  ASSERT_TRUE(run_loadgen(lo, &r, &err)) << err;
+  EXPECT_EQ(r.sent, 50u);
+  EXPECT_TRUE(r.clean());
+}
+
+TEST(NetLoadgen, PercentileInterpolates) {
+  EXPECT_EQ(latency_percentile({}, 0.5), 0.0);
+  EXPECT_DOUBLE_EQ(latency_percentile({5.0}, 0.99), 5.0);
+  EXPECT_DOUBLE_EQ(latency_percentile({1.0, 3.0}, 0.5), 2.0);
+  EXPECT_DOUBLE_EQ(latency_percentile({3.0, 1.0, 2.0}, 1.0), 3.0);
+  EXPECT_DOUBLE_EQ(latency_percentile({1.0, 2.0, 3.0, 4.0}, 0.0), 1.0);
+}
+
+}  // namespace
+}  // namespace cellnpdp::net

@@ -14,9 +14,12 @@
 #include <variant>
 #include <vector>
 
+#include "apps/matrix_chain/matrix_chain.hpp"
+#include "apps/optimal_bst/optimal_bst.hpp"
 #include "common/rng.hpp"
 #include "common/thread_pool.hpp"
 #include "core/solve.hpp"
+#include "resilience/circuit_breaker.hpp"
 #include "serve/batcher.hpp"
 #include "serve/queue.hpp"
 #include "serve/request.hpp"
@@ -571,6 +574,98 @@ TEST(SolveService, StopWithoutDrainCancelsQueuedButFinishesInflight) {
   // Submitting after stop rejects instead of hanging.
   const Response late = svc.submit(solve_request(64, 99)).get();
   EXPECT_EQ(late.status, Status::Rejected);
+}
+
+// --- callback-form submit (the network front-end's path) -------------------
+
+TEST(SolveService, CallbackSubmitDeliversExactlyOneResponse) {
+  ServiceOptions so;
+  so.workers = 2;
+  SolveService svc(so);
+  std::promise<Response> got;
+  Request r = solve_request(96, 5);
+  r.id = 42;
+  svc.submit(std::move(r), [&](Response resp) { got.set_value(resp); });
+  const Response resp = got.get_future().get();
+  EXPECT_EQ(resp.id, 42u);
+  EXPECT_EQ(resp.status, Status::Ok);
+  EXPECT_EQ(resp.value, direct_solve_value(96, 5, 32));
+  // The effective engine is always named, even when the request left the
+  // backend field empty (satellite of the wire protocol: clients see it).
+  EXPECT_EQ(resp.backend, so.backend);
+  svc.stop();
+}
+
+TEST(SolveService, CallbackSubmitAfterStopStillGetsItsCallback) {
+  SolveService svc(ServiceOptions{});
+  svc.stop();
+  // The admission queue is closed now; push returns Closed (documented on
+  // AdmissionQueue::push) and the service answers Rejected — the callback
+  // must fire anyway, or a network connection would leak its in-flight
+  // accounting forever.
+  std::promise<Response> got;
+  svc.submit(solve_request(64, 6), [&](Response r) { got.set_value(r); });
+  auto fut = got.get_future();
+  ASSERT_EQ(fut.wait_for(std::chrono::seconds(10)), std::future_status::ready);
+  EXPECT_EQ(fut.get().status, Status::Rejected);
+}
+
+// --- wire-transportable request kinds vs their references ------------------
+
+TEST(SolveService, ChainRequestsMatchTheTextbookReference) {
+  ServiceOptions so;
+  so.workers = 2;
+  SolveService svc(so);
+  for (std::uint64_t seed = 1; seed <= 3; ++seed) {
+    Request r;
+    r.payload = ChainSpec{40, seed};
+    const Response resp = svc.submit(r).get();
+    EXPECT_EQ(resp.status, Status::Ok);
+    const auto ref =
+        solve_matrix_chain_reference<float>(chain_dims(ChainSpec{40, seed}));
+    EXPECT_FLOAT_EQ(float(resp.value), float(ref.cost)) << "seed " << seed;
+  }
+  svc.stop();
+}
+
+TEST(SolveService, BstRequestsMatchTheTextbookReference) {
+  ServiceOptions so;
+  so.workers = 2;
+  SolveService svc(so);
+  for (std::uint64_t seed = 1; seed <= 3; ++seed) {
+    Request r;
+    r.payload = BstSpec{48, seed};
+    const Response resp = svc.submit(r).get();
+    EXPECT_EQ(resp.status, Status::Ok);
+    const float ref = solve_optimal_bst_reference<float>(
+        bst_data(BstSpec{48, seed}));
+    EXPECT_NEAR(float(resp.value), ref, 1e-3f) << "seed " << seed;
+  }
+  svc.stop();
+}
+
+// --- effective backend name ------------------------------------------------
+
+TEST(SolveService, ResponseNamesTheBackendThatActuallyRan) {
+  resilience::breakers().clear();
+  ServiceOptions so;
+  so.workers = 1;
+  so.resilience.breaker_enabled = true;
+  so.resilience.fallback_backend = "reference";
+  SolveService svc(so);
+  // Healthy path: the configured default is reported.
+  const Response ok = svc.submit(solve_request(96, 7)).get();
+  EXPECT_EQ(ok.status, Status::Ok);
+  EXPECT_EQ(ok.backend, so.backend);
+  // Broken primary: the response must name the *fallback* that produced
+  // the value, not the backend that was asked for — `npdp serve` and
+  // bench-serve surface this as the effective backend.
+  resilience::breakers().breaker(so.backend).force_open();
+  const Response deg = svc.submit(solve_request(96, 8)).get();
+  EXPECT_EQ(deg.status, Status::Degraded);
+  EXPECT_EQ(deg.backend, "reference");
+  svc.stop();
+  resilience::breakers().clear();
 }
 
 }  // namespace

@@ -23,11 +23,22 @@
 //                  [--policy block] [--json-dir .] [--backend blocked-serial]
 //                  [--retries 3] [--breaker] [--fallback NAME] [--hedge]
 //                  [--fault-plan plan.json]
+//   npdp net-serve [--host 127.0.0.1] [--port 9377] [--reactors 2]
+//                  [--max-frame 1048576] [--idle-timeout-ms 30000]
+//                  [--drain-timeout-ms 5000] [--port-file FILE]
+//                  [--duration-ms 0] + all serve service flags
+//                  (runs until SIGINT/SIGTERM, then drains gracefully)
+//   npdp net-bench --port 9377 [--host 127.0.0.1] [--connections 4]
+//                  [--rate 0] [--duration 2] [--requests 0] [--mix chain]
+//                  [--size 32] [--deadline-ms 0] [--priority 0]
+//                  [--backend NAME] [--seed 1] [--json-dir .]
+//                  (closed loop when --rate 0; writes BENCH_net.json)
 //
 // Exit codes: 0 success, 1 runtime error, 2 unknown subcommand,
 // 3 bad arguments (missing/duplicate/malformed flags, unknown --backend).
 #include <algorithm>
 #include <chrono>
+#include <csignal>
 #include <cstdio>
 #include <cstring>
 #include <fstream>
@@ -56,6 +67,9 @@
 #include "core/solve.hpp"
 #include "io/table_io.hpp"
 #include "model/perf_model.hpp"
+#include "net/client.hpp"
+#include "net/loadgen.hpp"
+#include "net/server.hpp"
 #include "obs/metrics.hpp"
 #include "obs/report.hpp"
 #include "obs/trace.hpp"
@@ -605,13 +619,18 @@ int cmd_serve(const Args& a) {
   for (auto& f : futures) {
     const serve::Response r = f.get();
     any_error = any_error || r.status == serve::Status::Error;
+    // backend= is the *effective* engine: when the resilience ladder fell
+    // back (Degraded), this names the backend that actually answered, not
+    // the one the request asked for.
+    std::string backend_col;
+    if (!r.backend.empty()) backend_col = " backend=" + r.backend;
     std::printf("id=%llu status=%s value=%g queue=%.3fms solve=%.3fms "
-                "total=%.3fms%s%s\n",
+                "total=%.3fms%s%s%s\n",
                 static_cast<unsigned long long>(r.id),
                 serve::status_name(r.status), r.value,
                 double(r.queue_ns) / 1e6, double(r.solve_ns) / 1e6,
-                double(r.total_ns) / 1e6, r.detail.empty() ? "" : " ",
-                r.detail.c_str());
+                double(r.total_ns) / 1e6, backend_col.c_str(),
+                r.detail.empty() ? "" : " ", r.detail.c_str());
   }
   service.stop();
   const serve::ServiceStats st = service.stats();
@@ -715,14 +734,24 @@ int cmd_bench_serve(const Args& a) {
 
   std::vector<double> lat_ms;
   long ok = 0, cached = 0, dropped = 0;
+  std::map<std::string, long> backend_counts;
   for (const auto& r : responses) {
     if (serve::is_success(r.status)) {
       lat_ms.push_back(double(r.total_ns) / 1e6);
       ok += r.status == serve::Status::Ok;
       cached += r.status == serve::Status::OkCached;
+      // Count the *effective* backend per success, so a run where
+      // --fallback rewrote the engine shows up as "reference:123" rather
+      // than pretending the configured backend served everything.
+      ++backend_counts[r.backend.empty() ? "?" : r.backend];
     } else {
       ++dropped;
     }
+  }
+  std::string effective_backends;
+  for (const auto& [name, count] : backend_counts) {
+    if (!effective_backends.empty()) effective_backends += ",";
+    effective_backends += name + ":" + std::to_string(count);
   }
   std::sort(lat_ms.begin(), lat_ms.end());
   auto pct = [&](double q) {
@@ -746,6 +775,8 @@ int cmd_bench_serve(const Args& a) {
   std::printf("  latency p50 %.3f ms, p99 %.3f ms; %ld ok, %ld cached "
               "(hit rate %.1f%%), %ld dropped\n",
               p50, p99, ok, cached, 100.0 * hit_rate, dropped);
+  if (!effective_backends.empty())
+    std::printf("  effective backends: %s\n", effective_backends.c_str());
   std::printf("  %llu batches, %llu arena reuses / %llu allocations, "
               "%llu evictions\n",
               static_cast<unsigned long long>(st.batches),
@@ -773,6 +804,7 @@ int cmd_bench_serve(const Args& a) {
       .set("ok_cached", cached)
       .set("dropped", dropped)
       .set("backend", so.backend)
+      .set("effective_backends", effective_backends)
       .set("rejected", std::int64_t(st.rejected))
       .set("shed", std::int64_t(st.shed))
       .set("expired", std::int64_t(st.expired))
@@ -793,16 +825,190 @@ int cmd_bench_serve(const Args& a) {
   return 0;
 }
 
+// SIGINT/SIGTERM land here; net-serve polls the flag and drains.
+volatile std::sig_atomic_t g_stop_requested = 0;
+extern "C" void handle_stop_signal(int) { g_stop_requested = 1; }
+
+/// Runs NpdpServer in the foreground until SIGINT/SIGTERM (or the
+/// optional --duration-ms elapses), then drains gracefully: stop
+/// accepting, answer everything admitted, flush every socket.
+int cmd_net_serve(const Args& a) {
+  net::ServerOptions no;
+  no.host = a.get("host", "127.0.0.1");
+  no.port = static_cast<std::uint16_t>(a.num("port", 9377));
+  no.reactors = static_cast<int>(a.num("reactors", 2));
+  no.max_frame = static_cast<std::size_t>(
+      a.num("max-frame", long(net::kDefaultMaxFrame)));
+  no.idle_timeout_ms = a.num("idle-timeout-ms", 30000);
+  no.drain_timeout_ms = a.num("drain-timeout-ms", 5000);
+  auto fault_scope = fault_scope_from(a);  // outlives the server
+  net::NpdpServer server(no, service_options_from(a));
+  std::string err;
+  if (!server.start(&err)) {
+    std::fprintf(stderr, "net-serve: %s\n", err.c_str());
+    return 1;
+  }
+  if (a.has("port-file")) {
+    // Written only after the bind succeeded, so a script that polls this
+    // file can connect the moment it appears (needed with --port 0).
+    std::ofstream os(a.get("port-file"));
+    if (!os) {
+      std::fprintf(stderr, "net-serve: cannot write %s\n",
+                   a.get("port-file").c_str());
+      return 1;
+    }
+    os << server.port() << "\n";
+  }
+  std::printf("net-serve: listening on %s:%u (%d reactors, max frame %zu, "
+              "idle timeout %lld ms)\n",
+              no.host.c_str(), unsigned(server.port()), no.reactors,
+              no.max_frame, static_cast<long long>(no.idle_timeout_ms));
+  std::fflush(stdout);
+  std::signal(SIGINT, handle_stop_signal);
+  std::signal(SIGTERM, handle_stop_signal);
+  const long duration_ms = a.num("duration-ms", 0);
+  const auto t0 = std::chrono::steady_clock::now();
+  while (g_stop_requested == 0) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    if (duration_ms > 0 &&
+        std::chrono::steady_clock::now() - t0 >=
+            std::chrono::milliseconds(duration_ms))
+      break;
+  }
+  std::printf("net-serve: draining...\n");
+  std::fflush(stdout);
+  server.stop();
+  const net::ServerStats ns = server.stats();
+  const serve::ServiceStats ss = server.service().stats();
+  std::printf("net-serve: drained. %llu conns accepted, %llu frames in, "
+              "%llu responses, %llu bad frames, %llu protocol errors, "
+              "%llu dropped responses\n",
+              static_cast<unsigned long long>(ns.accepted),
+              static_cast<unsigned long long>(ns.frames_in),
+              static_cast<unsigned long long>(ns.responses),
+              static_cast<unsigned long long>(ns.frames_bad),
+              static_cast<unsigned long long>(ns.protocol_errors),
+              static_cast<unsigned long long>(ns.dropped_responses));
+  std::printf("net-serve: service %llu submitted, %llu ok, %llu cached, "
+              "%llu degraded, %llu rejected, %llu expired\n",
+              static_cast<unsigned long long>(ss.submitted),
+              static_cast<unsigned long long>(ss.completed),
+              static_cast<unsigned long long>(ss.cache_hits),
+              static_cast<unsigned long long>(ss.degraded),
+              static_cast<unsigned long long>(ss.rejected),
+              static_cast<unsigned long long>(ss.expired));
+  return 0;
+}
+
+/// Network load generator against a running net-serve. Closed loop by
+/// default; --rate R switches to open-loop fixed-rate injection. Writes
+/// BENCH_net.json and exits nonzero if any protocol or transport error
+/// occurred (the loopback smoke check in verify.sh relies on that).
+int cmd_net_bench(const Args& a) {
+  net::LoadGenOptions lo;
+  lo.host = a.get("host", "127.0.0.1");
+  lo.port = static_cast<std::uint16_t>(a.num("port", 9377));
+  lo.connections = static_cast<int>(a.num("connections", 4));
+  lo.rate = a.real("rate", 0);
+  lo.duration_ms = static_cast<std::int64_t>(a.real("duration", 2.0) * 1000);
+  lo.max_requests = static_cast<std::uint64_t>(a.num("requests", 0));
+  lo.mix = a.get("mix", "chain");
+  lo.size = a.num("size", 32);
+  lo.priority = static_cast<int>(a.num("priority", 0));
+  lo.deadline_ms = static_cast<std::uint32_t>(a.num("deadline-ms", 0));
+  lo.backend = a.get("backend", "");
+  lo.seed = static_cast<std::uint64_t>(a.num("seed", 1));
+  lo.timeout_ms = static_cast<int>(a.num("timeout-ms", 10000));
+  if (lo.mix != "solve" && lo.mix != "fold" && lo.mix != "parse" &&
+      lo.mix != "chain" && lo.mix != "bst" && lo.mix != "mix")
+    throw UsageError("unknown --mix '" + lo.mix +
+                     "' (solve|fold|parse|chain|bst|mix)");
+
+  net::LoadGenResult r;
+  std::string err;
+  if (!net::run_loadgen(lo, &r, &err)) {
+    std::fprintf(stderr, "net-bench: %s\n", err.c_str());
+    return 1;
+  }
+  const double p50 = net::latency_percentile(r.latencies_ms, 0.50);
+  const double p90 = net::latency_percentile(r.latencies_ms, 0.90);
+  const double p99 = net::latency_percentile(r.latencies_ms, 0.99);
+  const double pmax = net::latency_percentile(r.latencies_ms, 1.0);
+  const char* mode = lo.rate > 0 ? "open" : "closed";
+  std::printf("net-bench: %llu sent, %llu replies over %d conns (%s loop) "
+              "in %.2f s: %.0f req/s\n",
+              static_cast<unsigned long long>(r.sent),
+              static_cast<unsigned long long>(r.replies), lo.connections,
+              mode, r.elapsed_s, r.achieved_rps);
+  std::printf("  latency p50 %.3f ms, p90 %.3f ms, p99 %.3f ms, max %.3f "
+              "ms\n",
+              p50, p90, p99, pmax);
+  std::printf("  %llu ok, %llu cached, %llu degraded, %llu rejected, %llu "
+              "shed, %llu expired, %llu cancelled, %llu retry-after, %llu "
+              "errors\n",
+              static_cast<unsigned long long>(r.ok),
+              static_cast<unsigned long long>(r.cached),
+              static_cast<unsigned long long>(r.degraded),
+              static_cast<unsigned long long>(r.rejected),
+              static_cast<unsigned long long>(r.shed),
+              static_cast<unsigned long long>(r.expired),
+              static_cast<unsigned long long>(r.cancelled),
+              static_cast<unsigned long long>(r.retry_after),
+              static_cast<unsigned long long>(r.errors));
+  if (r.proto_errors + r.transport_errors > 0)
+    std::printf("  !! %llu protocol errors, %llu transport errors\n",
+                static_cast<unsigned long long>(r.proto_errors),
+                static_cast<unsigned long long>(r.transport_errors));
+
+  BenchConfig cfg;
+  cfg.json_dir = a.get("json-dir", ".");
+  BenchJson json("net", cfg);
+  json.record()
+      .set("mode", mode)
+      .set("connections", lo.connections)
+      .set("rate", lo.rate)
+      .set("duration_s", double(lo.duration_ms) / 1000)
+      .set("mix", lo.mix)
+      .set("size", std::int64_t(lo.size))
+      .set("deadline_ms", std::int64_t(lo.deadline_ms))
+      .set("sent", std::int64_t(r.sent))
+      .set("replies", std::int64_t(r.replies))
+      .set("elapsed_s", r.elapsed_s)
+      .set("rps", r.achieved_rps)
+      .set("p50_ms", p50)
+      .set("p90_ms", p90)
+      .set("p99_ms", p99)
+      .set("max_ms", pmax)
+      .set("ok", std::int64_t(r.ok))
+      .set("ok_cached", std::int64_t(r.cached))
+      .set("degraded", std::int64_t(r.degraded))
+      .set("rejected", std::int64_t(r.rejected))
+      .set("shed", std::int64_t(r.shed))
+      .set("expired", std::int64_t(r.expired))
+      .set("cancelled", std::int64_t(r.cancelled))
+      .set("retry_after", std::int64_t(r.retry_after))
+      .set("errors", std::int64_t(r.errors))
+      .set("proto_errors", std::int64_t(r.proto_errors))
+      .set("transport_errors", std::int64_t(r.transport_errors));
+  json.flush();
+  return r.clean() ? 0 : 1;
+}
+
 void usage() {
   std::printf(
       "usage: npdp <solve|backends|check-trace|info|fold|parse|simulate"
-      "|cluster|model|serve|bench-serve> [--key value ...]\n"
+      "|cluster|model|serve|bench-serve|net-serve|net-bench> "
+      "[--key value ...]\n"
       "  backends     list the registered solver backends (--backend names),\n"
       "               capabilities, and breaker health\n"
       "  serve        run the in-process solve service over a line-delimited\n"
       "               request stream (--requests <file|->)\n"
       "  bench-serve  closed/open-loop load generator; writes "
       "BENCH_serve.json\n"
+      "  net-serve    epoll TCP front-end over the solve service "
+      "(docs/networking.md)\n"
+      "  net-bench    network load generator against net-serve; writes "
+      "BENCH_net.json\n"
       "(see the header of tools/npdp_tool.cpp for the full flag list)\n");
 }
 
@@ -827,6 +1033,8 @@ int main(int argc, char** argv) {
     if (cmd == "model") return cmd_model(a);
     if (cmd == "serve") return cmd_serve(a);
     if (cmd == "bench-serve") return cmd_bench_serve(a);
+    if (cmd == "net-serve") return cmd_net_serve(a);
+    if (cmd == "net-bench") return cmd_net_bench(a);
   } catch (const UsageError& e) {
     std::fprintf(stderr, "bad arguments: %s\n", e.what());
     return 3;

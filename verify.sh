@@ -45,27 +45,53 @@ EOF
 cmp "$TRACE_DIR/log1.json" "$TRACE_DIR/log2.json"
 echo "fault replay: logs byte-identical"
 
-echo "== sanitizers (serve + taskgraph + cancel + resilience) =="
+echo "== network loopback smoke =="
+# Bring the epoll front-end up on an ephemeral port, drive it with the
+# load generator, and require a clean run (every request answered, zero
+# protocol or transport errors) plus a graceful SIGTERM drain.
+NET_DIR=$(mktemp -d)
+"$BUILD_DIR"/tools/npdp net-serve --port 0 --reactors 2 \
+    --port-file "$NET_DIR/port" &
+NET_PID=$!
+trap 'kill "$NET_PID" 2>/dev/null; rm -rf "$TRACE_DIR" "$NET_DIR"' EXIT
+for _ in $(seq 100); do
+  [ -s "$NET_DIR/port" ] && break
+  sleep 0.1
+done
+[ -s "$NET_DIR/port" ] || { echo "net-serve never bound"; exit 1; }
+NET_PORT=$(cat "$NET_DIR/port")
+"$BUILD_DIR"/tools/npdp net-bench --port "$NET_PORT" --connections 4 \
+    --duration 2 --mix mix --size 24 --json-dir "$NET_DIR"
+grep -q '"proto_errors":0' "$NET_DIR"/BENCH_net.json
+grep -q '"transport_errors":0' "$NET_DIR"/BENCH_net.json
+kill -TERM "$NET_PID"
+wait "$NET_PID"
+trap 'rm -rf "$TRACE_DIR" "$NET_DIR"' EXIT
+echo "net loopback: clean"
+
+echo "== sanitizers (serve + taskgraph + cancel + resilience + net) =="
 # The concurrency-heavy suites rerun under ASan/UBSan in a separate tree.
 ASAN_DIR=${ASAN_DIR:-build-asan}
 cmake -B "$ASAN_DIR" -S . -DCELLNPDP_SANITIZE=address,undefined
 cmake --build "$ASAN_DIR" -j "$JOBS" --target test_serve test_taskgraph \
-    test_cancel test_resilience
+    test_cancel test_resilience test_net
 "$ASAN_DIR"/tests/test_serve
 "$ASAN_DIR"/tests/test_taskgraph
 "$ASAN_DIR"/tests/test_cancel
 "$ASAN_DIR"/tests/test_resilience
+"$ASAN_DIR"/tests/test_net
 
-echo "== thread sanitizer (serve + cancel + resilience) =="
+echo "== thread sanitizer (serve + cancel + resilience + net) =="
 # Cancellation crosses threads by design (dispatcher trips tokens that
 # workers poll), and the hedge watchdog races primaries against twins on
 # purpose; TSan is the check that those handoffs are race-free.
 TSAN_DIR=${TSAN_DIR:-build-tsan}
 cmake -B "$TSAN_DIR" -S . -DCELLNPDP_SANITIZE=thread
 cmake --build "$TSAN_DIR" -j "$JOBS" --target test_serve test_cancel \
-    test_resilience
+    test_resilience test_net
 "$TSAN_DIR"/tests/test_serve
 "$TSAN_DIR"/tests/test_cancel
 "$TSAN_DIR"/tests/test_resilience
+"$TSAN_DIR"/tests/test_net
 
 echo "verify.sh: OK"
