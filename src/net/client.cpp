@@ -113,6 +113,13 @@ NpdpClient::RecvStatus NpdpClient::recv_reply(Reply* out, int timeout_ms,
       }
       return RecvStatus::Ok;
     }
+    case MsgType::StatsResponse: {
+      out->kind = Reply::Kind::StatsSnapshot;
+      if (!decode_stats_response(payload.data(), payload.size(), &out->stats,
+                                 err))
+        return RecvStatus::Error;
+      return RecvStatus::Ok;
+    }
     default:
       *err = "unexpected frame type " +
              std::to_string(static_cast<unsigned>(h.type));
@@ -156,6 +163,22 @@ NpdpClient::RecvStatus NpdpClient::stats(std::string* json, int timeout_ms,
     return RecvStatus::Error;
   }
   *json = rep.message;
+  return RecvStatus::Ok;
+}
+
+NpdpClient::RecvStatus NpdpClient::stats_snapshot(WireStats* out,
+                                                  int timeout_ms,
+                                                  std::string* err) {
+  if (!send_frame(encode_stats_snapshot_request(1), err))
+    return RecvStatus::Error;
+  Reply rep;
+  const RecvStatus rs = recv_reply(&rep, timeout_ms, err);
+  if (rs != RecvStatus::Ok) return rs;
+  if (rep.kind != Reply::Kind::StatsSnapshot) {
+    *err = "expected StatsResponse";
+    return RecvStatus::Error;
+  }
+  *out = std::move(rep.stats);
   return RecvStatus::Ok;
 }
 

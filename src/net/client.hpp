@@ -41,11 +41,12 @@ class NpdpClient {
 
   /// One decoded server reply: either a Result or a typed ProtoError.
   struct Reply {
-    enum class Kind { Result, ProtoError, Pong, StatsText };
+    enum class Kind { Result, ProtoError, Pong, StatsText, StatsSnapshot };
     Kind kind = Kind::Result;
     WireResponse result;                            ///< when Result
     ProtoErrorCode code = ProtoErrorCode::None;     ///< when ProtoError
     std::string message;  ///< ProtoError text or StatsText JSON
+    WireStats stats;      ///< when StatsSnapshot
     std::uint64_t id = 0;
   };
 
@@ -63,6 +64,10 @@ class NpdpClient {
 
   /// Fetches the server's JSON stats snapshot.
   RecvStatus stats(std::string* json, int timeout_ms, std::string* err);
+
+  /// Fetches the binary stats snapshot (metrics + breakers + queue
+  /// depth) via the v2 StatsRequest/StatsResponse frame pair.
+  RecvStatus stats_snapshot(WireStats* out, int timeout_ms, std::string* err);
 
  private:
   FdGuard fd_;

@@ -10,6 +10,8 @@
 
 #include "common/rng.hpp"
 #include "net/client.hpp"
+#include "obs/span_context.hpp"
+#include "obs/trace.hpp"
 
 namespace cellnpdp::net {
 
@@ -128,7 +130,12 @@ void conn_worker(const LoadGenOptions& o, int ci, std::int64_t interval_ns,
   SplitMix64 rng(o.seed * 0x9E3779B97F4A7C15ull +
                  static_cast<std::uint64_t>(ci) + 1);
   const std::vector<char> kinds = mix_kinds(o.mix);
-  std::unordered_map<std::uint64_t, SteadyClock::time_point> outstanding;
+  struct Outstanding {
+    SteadyClock::time_point sent;
+    std::uint64_t trace_id = 0;
+    bool sampled = false;
+  };
+  std::unordered_map<std::uint64_t, Outstanding> outstanding;
   std::uint64_t seq = 0;
 
   auto next_id = [&] {
@@ -151,11 +158,15 @@ void conn_worker(const LoadGenOptions& o, int ci, std::int64_t interval_ns,
     w.payload = make_payload(o, kinds[static_cast<std::size_t>(
                                     rng.next_below(kinds.size()))],
                              rng);
+    if (o.trace)
+      w.trace = obs::make_root_context(rng.next_unit() < o.trace_sample);
     if (!cli.send_frame(encode_request(w), &err)) {
       ++acc.transport_errors;
       return false;
     }
-    outstanding.emplace(w.id, SteadyClock::now());
+    outstanding.emplace(
+        w.id, Outstanding{SteadyClock::now(), w.trace.trace_id,
+                          w.trace.sampled});
     ++acc.sent;
     return true;
   };
@@ -165,10 +176,28 @@ void conn_worker(const LoadGenOptions& o, int ci, std::int64_t interval_ns,
     if (rs != NpdpClient::RecvStatus::Ok) return rs;
     const auto it = outstanding.find(rep.id);
     if (it != outstanding.end()) {
+      const auto now = SteadyClock::now();
+      const auto elapsed = now - it->second.sent;
       acc.latencies_ms.push_back(
-          std::chrono::duration<double, std::milli>(SteadyClock::now() -
-                                                    it->second)
-              .count());
+          std::chrono::duration<double, std::milli>(elapsed).count());
+      if (it->second.sampled) {
+        // Retroactive client-side span for this request: ts is back-dated
+        // to the send instant so the server's stages nest inside it.
+        obs::Tracer& tr = obs::Tracer::instance();
+        if (tr.enabled()) {
+          const std::int64_t elapsed_ns =
+              std::chrono::duration_cast<std::chrono::nanoseconds>(elapsed)
+                  .count();
+          obs::TraceEvent ev;
+          ev.cat = "req";
+          ev.name = "client";
+          ev.ph = 'X';
+          ev.ts_ns = tr.now_ns() - elapsed_ns;
+          ev.dur_ns = elapsed_ns;
+          ev.a0 = static_cast<std::int64_t>(it->second.trace_id);
+          tr.record(ev);
+        }
+      }
       outstanding.erase(it);
     }
     classify(rep, &acc);

@@ -36,6 +36,11 @@ struct LoadGenOptions {
   std::string backend;             ///< Solve requests only
   std::uint64_t seed = 1;
   int timeout_ms = 10000;          ///< per-read client timeout
+  /// Trace-context origination: when true, every request carries a fresh
+  /// root SpanContext; trace_sample picks which contexts are *sampled*
+  /// (recorded by both ends), deterministically from the request RNG.
+  bool trace = false;
+  double trace_sample = 1.0;  ///< fraction of contexts marked sampled
 };
 
 struct LoadGenResult {

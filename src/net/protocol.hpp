@@ -16,6 +16,16 @@
 // kind-specific fields, so PR 3's deadline semantics and the priority
 // queue survive the network hop. Strings travel as [u32 length][bytes].
 //
+// Version 2 appends an optional trace context to the common request
+// prefix: [flags u8] where bit0 = context present and bit1 = sampled,
+// then (iff bit0) [trace_id u64][parent_span_id u64]. Version-1 frames
+// carry no context and decode exactly as before — the server accepts
+// both versions (kMinVersion..kVersion) and keys its decode on the
+// header's version field. Response payloads are identical across both
+// versions. v2 also adds the StatsRequest/StatsResponse frame pair: a
+// binary snapshot of the metrics registry (counters, gauges, histogram
+// buckets), breaker board, and queue depth for live polling (`npdp top`).
+//
 // Decoding is defensive end to end: every read is bounds-checked, a
 // payload must be consumed exactly (trailing bytes are an error), and
 // enum bytes outside their range fail the frame. A malformed payload is
@@ -31,13 +41,16 @@
 #include <variant>
 #include <vector>
 
+#include "obs/metrics.hpp"
+#include "obs/span_context.hpp"
 #include "serve/request.hpp"
 #include "serve/response.hpp"
 
 namespace cellnpdp::net {
 
 constexpr std::uint32_t kMagic = 0x5044504E;  // "NPDP" when read as LE bytes
-constexpr std::uint16_t kVersion = 1;
+constexpr std::uint16_t kVersion = 2;     ///< current: trace ctx + stats frames
+constexpr std::uint16_t kMinVersion = 1;  ///< oldest version still decoded
 constexpr std::size_t kHeaderSize = 20;
 /// Default payload-size cap (configurable per server); a frame claiming
 /// more is refused before any buffering happens.
@@ -52,17 +65,19 @@ enum class MsgType : std::uint16_t {
   Chain = 5,   ///< serve::ChainSpec
   Bst = 6,     ///< serve::BstSpec
   Stats = 7,   ///< empty payload; answered with StatsText
+  StatsRequest = 8,  ///< empty payload; answered with StatsResponse (v2)
   // Responses (server -> client).
   Pong = 128,
   Result = 129,     ///< terminal serve::Response for one request
   StatsText = 130,  ///< JSON snapshot of server + service counters
   ProtoError = 131, ///< typed protocol error (see ProtoErrorCode)
+  StatsResponse = 132,  ///< binary metrics/breaker/queue snapshot (v2)
 };
 
 constexpr bool is_request_type(MsgType t) {
   return t == MsgType::Ping || t == MsgType::Solve || t == MsgType::Fold ||
          t == MsgType::Parse || t == MsgType::Chain || t == MsgType::Bst ||
-         t == MsgType::Stats;
+         t == MsgType::Stats || t == MsgType::StatsRequest;
 }
 
 enum class ProtoErrorCode : std::uint16_t {
@@ -221,9 +236,10 @@ inline HeaderParse parse_header(const std::uint8_t* data, std::size_t n,
 }
 
 inline void encode_header(std::vector<std::uint8_t>& out, MsgType t,
-                          std::uint64_t id, std::uint32_t len) {
+                          std::uint64_t id, std::uint32_t len,
+                          std::uint16_t version = kVersion) {
   put_u32(out, kMagic);
-  put_u16(out, kVersion);
+  put_u16(out, version);
   put_u16(out, static_cast<std::uint16_t>(t));
   put_u64(out, id);
   put_u32(out, len);
@@ -238,8 +254,13 @@ struct WireRequest {
   std::uint64_t id = 0;
   std::int32_t priority = 0;
   std::uint32_t deadline_ms = 0;  ///< 0 = no deadline
+  obs::SpanContext trace{};       ///< optional; only travels on v2 frames
   serve::Payload payload = serve::SolveSpec{};
 };
+
+// Trace-context flag byte (v2 request prefix).
+constexpr std::uint8_t kTraceFlagPresent = 0x01;
+constexpr std::uint8_t kTraceFlagSampled = 0x02;
 
 inline MsgType request_msg_type(const serve::Payload& p) {
   switch (p.index()) {
@@ -251,11 +272,26 @@ inline MsgType request_msg_type(const serve::Payload& p) {
   }
 }
 
-/// Encodes a complete frame (header + payload) for one request.
-inline std::vector<std::uint8_t> encode_request(const WireRequest& r) {
+/// Encodes a complete frame (header + payload) for one request. Pass
+/// `version = 1` to emit a legacy frame (no trace context) for servers
+/// that predate v2.
+inline std::vector<std::uint8_t> encode_request(
+    const WireRequest& r, std::uint16_t version = kVersion) {
   std::vector<std::uint8_t> body;
   put_i32(body, r.priority);
   put_u32(body, r.deadline_ms);
+  if (version >= 2) {
+    std::uint8_t flags = 0;
+    if (r.trace.valid()) {
+      flags |= kTraceFlagPresent;
+      if (r.trace.sampled) flags |= kTraceFlagSampled;
+    }
+    put_u8(body, flags);
+    if (r.trace.valid()) {
+      put_u64(body, r.trace.trace_id);
+      put_u64(body, r.trace.parent_span_id);
+    }
+  }
   if (const auto* s = std::get_if<serve::SolveSpec>(&r.payload)) {
     put_i64(body, s->n);
     put_u64(body, s->seed);
@@ -280,21 +316,41 @@ inline std::vector<std::uint8_t> encode_request(const WireRequest& r) {
   std::vector<std::uint8_t> out;
   out.reserve(kHeaderSize + body.size());
   encode_header(out, request_msg_type(r.payload), r.id,
-                static_cast<std::uint32_t>(body.size()));
+                static_cast<std::uint32_t>(body.size()), version);
   out.insert(out.end(), body.begin(), body.end());
   return out;
 }
 
 /// Decodes the payload of a request frame of type `t` (Solve..Bst).
+/// `version` is the frame header's version: v1 payloads carry no trace
+/// context, v2 payloads carry the flag byte (+ ids when present).
 /// Returns false with a human-readable `*err` on any malformation; `*out`
 /// then holds no guarantees.
-inline bool decode_request_payload(MsgType t, std::uint64_t id,
-                                   const std::uint8_t* p, std::size_t n,
-                                   WireRequest* out, std::string* err) {
+inline bool decode_request_payload(MsgType t, std::uint16_t version,
+                                   std::uint64_t id, const std::uint8_t* p,
+                                   std::size_t n, WireRequest* out,
+                                   std::string* err) {
   WireReader r(p, n);
   out->id = id;
   out->priority = r.i32();
   out->deadline_ms = r.u32();
+  out->trace = obs::SpanContext{};
+  if (version >= 2) {
+    const std::uint8_t flags = r.u8();
+    if ((flags & ~(kTraceFlagPresent | kTraceFlagSampled)) != 0) {
+      *err = "unknown trace flag bits";
+      return false;
+    }
+    if ((flags & kTraceFlagPresent) != 0) {
+      out->trace.trace_id = r.u64();
+      out->trace.parent_span_id = r.u64();
+      out->trace.sampled = (flags & kTraceFlagSampled) != 0;
+      if (r.ok && !out->trace.valid()) {
+        *err = "trace context present but trace_id is zero";
+        return false;
+      }
+    }
+  }
   switch (t) {
     case MsgType::Solve: {
       serve::SolveSpec s;
@@ -478,6 +534,160 @@ inline bool decode_stats_text(const std::uint8_t* p, std::size_t n,
   return r.done();
 }
 
+// --- binary stats snapshot (v2) --------------------------------------------
+
+/// One circuit breaker as it travels in a StatsResponse.
+struct WireBreaker {
+  std::string name;
+  std::uint8_t state = 0;  ///< resilience::BreakerState as a byte
+  double failure_rate = 0;
+  std::int64_t retry_after_ms = 0;
+};
+
+/// The StatsResponse payload: a one-pass metrics snapshot plus the
+/// breaker board and current admission-queue depth. Histograms travel
+/// as sparse (index, count) bucket lists; quantiles are recomputed on
+/// the receiving side with the same interpolation code the server uses.
+struct WireStats {
+  obs::MetricsSnapshot metrics;
+  std::vector<WireBreaker> breakers;
+  std::int64_t queue_depth = 0;
+};
+
+inline std::vector<std::uint8_t> encode_stats_snapshot_request(
+    std::uint64_t id) {
+  return encode_empty(MsgType::StatsRequest, id);
+}
+
+inline std::vector<std::uint8_t> encode_stats_response(std::uint64_t id,
+                                                       const WireStats& s) {
+  std::vector<std::uint8_t> body;
+  put_u32(body, static_cast<std::uint32_t>(s.metrics.counters.size()));
+  for (const auto& [name, v] : s.metrics.counters) {
+    put_str(body, name);
+    put_i64(body, v);
+  }
+  put_u32(body, static_cast<std::uint32_t>(s.metrics.gauges.size()));
+  for (const auto& [name, v] : s.metrics.gauges) {
+    put_str(body, name);
+    put_f64(body, v);
+  }
+  put_u32(body, static_cast<std::uint32_t>(s.metrics.histograms.size()));
+  for (const auto& [name, h] : s.metrics.histograms) {
+    put_str(body, name);
+    put_i64(body, h.count);
+    put_i64(body, h.sum);
+    put_i64(body, h.min);
+    put_i64(body, h.max);
+    std::uint32_t nonzero = 0;
+    for (const auto b : h.buckets) nonzero += (b != 0);
+    put_u32(body, nonzero);
+    for (int b = 0; b < obs::Histogram::kBuckets; ++b) {
+      if (h.buckets[std::size_t(b)] == 0) continue;
+      put_u8(body, static_cast<std::uint8_t>(b));
+      put_i64(body, h.buckets[std::size_t(b)]);
+    }
+  }
+  put_u32(body, static_cast<std::uint32_t>(s.breakers.size()));
+  for (const auto& b : s.breakers) {
+    put_str(body, b.name);
+    put_u8(body, b.state);
+    put_f64(body, b.failure_rate);
+    put_i64(body, b.retry_after_ms);
+  }
+  put_i64(body, s.queue_depth);
+  std::vector<std::uint8_t> out;
+  out.reserve(kHeaderSize + body.size());
+  encode_header(out, MsgType::StatsResponse, id,
+                static_cast<std::uint32_t>(body.size()));
+  out.insert(out.end(), body.begin(), body.end());
+  return out;
+}
+
+inline bool decode_stats_response(const std::uint8_t* p, std::size_t n,
+                                  WireStats* out, std::string* err) {
+  WireReader r(p, n);
+  // Every entry is >= 5 bytes, so a count larger than the payload length
+  // is garbage — refuse it before looping (a hostile length would
+  // otherwise cost O(count) latched-reader iterations).
+  const auto sane = [&](std::uint32_t c) { return std::size_t(c) <= n; };
+  const std::uint32_t nc = r.u32();
+  if (!sane(nc)) {
+    *err = "stats: counter count exceeds payload";
+    return false;
+  }
+  out->metrics.counters.clear();
+  out->metrics.counters.reserve(nc);
+  for (std::uint32_t i = 0; i < nc && r.ok; ++i) {
+    std::string name = r.str();
+    const std::int64_t v = r.i64();
+    out->metrics.counters.emplace_back(std::move(name), v);
+  }
+  const std::uint32_t ng = r.u32();
+  if (!sane(ng)) {
+    *err = "stats: gauge count exceeds payload";
+    return false;
+  }
+  out->metrics.gauges.clear();
+  out->metrics.gauges.reserve(ng);
+  for (std::uint32_t i = 0; i < ng && r.ok; ++i) {
+    std::string name = r.str();
+    const double v = r.f64();
+    out->metrics.gauges.emplace_back(std::move(name), v);
+  }
+  const std::uint32_t nh = r.u32();
+  if (!sane(nh)) {
+    *err = "stats: histogram count exceeds payload";
+    return false;
+  }
+  out->metrics.histograms.clear();
+  out->metrics.histograms.reserve(nh);
+  for (std::uint32_t i = 0; i < nh && r.ok; ++i) {
+    std::string name = r.str();
+    obs::HistogramSnapshot h;
+    h.count = r.i64();
+    h.sum = r.i64();
+    h.min = r.i64();
+    h.max = r.i64();
+    const std::uint32_t nb = r.u32();
+    if (nb > obs::Histogram::kBuckets) {
+      *err = "stats: histogram bucket count out of range";
+      return false;
+    }
+    for (std::uint32_t b = 0; b < nb && r.ok; ++b) {
+      const std::uint8_t idx = r.u8();
+      const std::int64_t cnt = r.i64();
+      if (idx >= obs::Histogram::kBuckets) {
+        *err = "stats: bucket index out of range";
+        return false;
+      }
+      h.buckets[idx] = cnt;
+    }
+    out->metrics.histograms.emplace_back(std::move(name), h);
+  }
+  const std::uint32_t nbk = r.u32();
+  if (!sane(nbk)) {
+    *err = "stats: breaker count exceeds payload";
+    return false;
+  }
+  out->breakers.clear();
+  out->breakers.reserve(nbk);
+  for (std::uint32_t i = 0; i < nbk && r.ok; ++i) {
+    WireBreaker b;
+    b.name = r.str();
+    b.state = r.u8();
+    b.failure_rate = r.f64();
+    b.retry_after_ms = r.i64();
+    out->breakers.push_back(std::move(b));
+  }
+  out->queue_depth = r.i64();
+  if (!r.done()) {
+    *err = r.ok ? "trailing bytes after payload" : "payload truncated";
+    return false;
+  }
+  return true;
+}
+
 inline std::vector<std::uint8_t> encode_proto_error(std::uint64_t id,
                                                     ProtoErrorCode code,
                                                     const std::string& msg) {
@@ -511,6 +721,7 @@ inline serve::Request to_serve_request(
   r.priority = w.priority;
   if (w.deadline_ms > 0)
     r.deadline = now + std::chrono::milliseconds(w.deadline_ms);
+  r.trace = w.trace;
   r.payload = w.payload;
   return r;
 }

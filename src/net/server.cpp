@@ -16,7 +16,9 @@
 #include "common/json.hpp"
 #include "net/socket.hpp"
 #include "obs/metrics.hpp"
+#include "obs/request_log.hpp"
 #include "obs/trace.hpp"
+#include "resilience/circuit_breaker.hpp"
 
 namespace cellnpdp::net {
 
@@ -325,13 +327,15 @@ void NpdpServer::parse_frames(Reactor& r, const std::shared_ptr<Conn>& c) {
       close_conn(r, c);
       return;
     }
-    if (h.version != kVersion) {
+    if (h.version < kMinVersion || h.version > kVersion) {
       ++frames_bad_;
       ++protocol_errors_;
       obs::metrics().counter("net.frames_bad").add();
       enqueue_out(c, encode_proto_error(
                          h.id, ProtoErrorCode::BadVersion,
-                         "server speaks version " + std::to_string(kVersion)));
+                         "server speaks versions " +
+                             std::to_string(kMinVersion) + ".." +
+                             std::to_string(kVersion)));
       c->close_after_flush = true;  // later frames may not even be frames
       break;
     }
@@ -374,6 +378,23 @@ void NpdpServer::handle_frame(Reactor& r, const std::shared_ptr<Conn>& c,
       enqueue_out(c, encode_stats_text(h.id, stats_json()));
       pump_out(r, c);
       return;
+    case MsgType::StatsRequest: {
+      WireStats ws;
+      ws.metrics = obs::metrics().snapshot();
+      for (const auto& row : resilience::breakers().snapshot()) {
+        WireBreaker b;
+        b.name = row.name;
+        b.state = static_cast<std::uint8_t>(row.state);
+        b.failure_rate = row.failure_rate;
+        b.retry_after_ms = row.retry_after_ms;
+        ws.breakers.push_back(std::move(b));
+      }
+      ws.queue_depth =
+          static_cast<std::int64_t>(service_.stats().queue_depth);
+      enqueue_out(c, encode_stats_response(h.id, ws));
+      pump_out(r, c);
+      return;
+    }
     case MsgType::Solve:
     case MsgType::Fold:
     case MsgType::Parse:
@@ -381,7 +402,8 @@ void NpdpServer::handle_frame(Reactor& r, const std::shared_ptr<Conn>& c,
     case MsgType::Bst: {
       WireRequest w;
       std::string err;
-      if (!decode_request_payload(h.type, h.id, payload, h.len, &w, &err)) {
+      if (!decode_request_payload(h.type, h.version, h.id, payload, h.len,
+                                  &w, &err)) {
         ++frames_bad_;
         ++protocol_errors_;
         obs::metrics().counter("net.frames_bad").add();
@@ -392,6 +414,11 @@ void NpdpServer::handle_frame(Reactor& r, const std::shared_ptr<Conn>& c,
       }
       CELLNPDP_TRACE_INSTANT("net", "decode",
                              static_cast<std::int64_t>(h.id));
+      // Request-chain marker: keyed by trace_id (a0) so the merged trace
+      // correlates this reactor event with the client and serve spans.
+      if (w.trace.sampled)
+        CELLNPDP_TRACE_INSTANT(
+            "req", "decode", static_cast<std::int64_t>(w.trace.trace_id));
       c->inflight.fetch_add(1, std::memory_order_acq_rel);
       inflight_total_.fetch_add(1, std::memory_order_acq_rel);
       const int ridx = c->reactor;
@@ -404,9 +431,21 @@ void NpdpServer::handle_frame(Reactor& r, const std::shared_ptr<Conn>& c,
             bool delivered = false;
             if (auto conn = wc.lock()) {
               conn->inflight.fetch_sub(1, std::memory_order_acq_rel);
+              const auto enc0 = SteadyClock::now();
               std::vector<std::uint8_t> frame = encode_response(resp);
+              const std::int64_t encode_ns =
+                  std::chrono::duration_cast<std::chrono::nanoseconds>(
+                      SteadyClock::now() - enc0)
+                      .count();
+              obs::metrics().histogram("net.encode_ns").observe(encode_ns);
+              if (obs::request_log().enabled())
+                obs::request_log().annotate_encode(resp.id, encode_ns);
               CELLNPDP_TRACE_INSTANT("net", "encode",
                                      static_cast<std::int64_t>(resp.id));
+              if (resp.trace_sampled)
+                CELLNPDP_TRACE_INSTANT(
+                    "req", "encode",
+                    static_cast<std::int64_t>(resp.trace_id));
               {
                 std::lock_guard lk(conn->out_mu);
                 if (!conn->enqueue_closed) {

@@ -1,0 +1,85 @@
+#include "obs/exposition.hpp"
+
+#include <cctype>
+
+namespace cellnpdp::obs {
+
+namespace {
+bool legal_first(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) || c == '_' || c == ':';
+}
+bool legal_rest(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_' || c == ':';
+}
+
+void write_labels(
+    std::ostream& os,
+    const std::vector<std::pair<std::string, std::string>>& labels) {
+  if (labels.empty()) return;
+  os << '{';
+  bool first = true;
+  for (const auto& [k, v] : labels) {
+    if (!first) os << ',';
+    first = false;
+    os << prometheus_name(k) << "=\"" << prometheus_escape_label(v) << '"';
+  }
+  os << '}';
+}
+}  // namespace
+
+std::string prometheus_name(const std::string& raw,
+                            const std::string& prefix) {
+  std::string out;
+  out.reserve(prefix.size() + raw.size() + 1);
+  if (!prefix.empty()) {
+    out = prefix;
+    out.push_back('_');
+  }
+  for (const char c : raw)
+    out.push_back(legal_rest(c) ? c : '_');
+  if (out.empty() || !legal_first(out[0])) out.insert(out.begin(), '_');
+  return out;
+}
+
+std::string prometheus_escape_label(const std::string& value) {
+  std::string out;
+  out.reserve(value.size());
+  for (const char c : value) {
+    switch (c) {
+      case '\\': out += "\\\\"; break;
+      case '"': out += "\\\""; break;
+      case '\n': out += "\\n"; break;
+      default: out.push_back(c);
+    }
+  }
+  return out;
+}
+
+void write_prometheus_text(std::ostream& os, const MetricsSnapshot& snap,
+                           const std::vector<PromLabeledSample>& extra,
+                           const std::string& prefix) {
+  for (const auto& [raw, v] : snap.counters) {
+    const std::string name = prometheus_name(raw, prefix);
+    os << "# TYPE " << name << " counter\n" << name << ' ' << v << '\n';
+  }
+  for (const auto& [raw, v] : snap.gauges) {
+    const std::string name = prometheus_name(raw, prefix);
+    os << "# TYPE " << name << " gauge\n" << name << ' ' << v << '\n';
+  }
+  for (const auto& [raw, h] : snap.histograms) {
+    const std::string name = prometheus_name(raw, prefix);
+    os << "# TYPE " << name << " summary\n";
+    for (const double q : {0.5, 0.9, 0.99})
+      os << name << "{quantile=\"" << q << "\"} " << h.quantile(q) << '\n';
+    os << name << "_sum " << h.sum << '\n';
+    os << name << "_count " << h.count << '\n';
+  }
+  for (const auto& s : extra) {
+    const std::string name = prometheus_name(s.name, prefix);
+    os << "# TYPE " << name << " gauge\n" << name;
+    write_labels(os, s.labels);
+    os << ' ' << s.value << '\n';
+  }
+}
+
+}  // namespace cellnpdp::obs

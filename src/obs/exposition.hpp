@@ -1,0 +1,40 @@
+// Prometheus-style text exposition for a MetricsSnapshot. Dotted metric
+// names ("serve.status.ok") become legal Prometheus names
+// ("cellnpdp_serve_status_ok"); histograms are rendered summary-style
+// with interpolated quantile labels plus _sum/_count.
+#pragma once
+
+#include <ostream>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "obs/metrics.hpp"
+
+namespace cellnpdp::obs {
+
+/// Sanitizes a raw metric name into [a-zA-Z_:][a-zA-Z0-9_:]*; every
+/// illegal character (including '.') maps to '_'. An optional prefix is
+/// prepended with a '_' separator.
+std::string prometheus_name(const std::string& raw,
+                            const std::string& prefix = "");
+
+/// Escapes a label value per the exposition format: backslash, double
+/// quote, and newline are backslash-escaped.
+std::string prometheus_escape_label(const std::string& value);
+
+/// One extra labeled sample to append after the snapshot families (used
+/// for breaker state, queue depth, and other non-registry values).
+struct PromLabeledSample {
+  std::string name;  // raw name; sanitized on output
+  std::vector<std::pair<std::string, std::string>> labels;
+  double value = 0;
+};
+
+/// Writes the whole snapshot (counters, gauges, histograms as summaries
+/// with quantile="0.5|0.9|0.99" labels) plus any extra labeled samples.
+void write_prometheus_text(std::ostream& os, const MetricsSnapshot& snap,
+                           const std::vector<PromLabeledSample>& extra = {},
+                           const std::string& prefix = "cellnpdp");
+
+}  // namespace cellnpdp::obs

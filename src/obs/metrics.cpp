@@ -24,6 +24,53 @@ void atomic_max(std::atomic<std::int64_t>& a, std::int64_t v) {
          !a.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
   }
 }
+
+// Inclusive value range covered by log2 bucket b ([lo, hi); bucket 0
+// also holds zero and negatives-clamped-to-zero samples).
+double bucket_lo(int b) { return b == 0 ? 0.0 : double(std::int64_t(1) << b); }
+double bucket_hi(int b) {
+  return b >= 62 ? 2.0 * double(std::int64_t(1) << 62)
+                 : double(std::int64_t(1) << (b + 1));
+}
+
+// Shared quantile math over a one-pass bucket copy: find the bucket that
+// contains the q-th ranked sample, interpolate linearly by rank fraction
+// inside it, clamp to the exact observed extremes.
+double quantile_from_buckets(const std::int64_t* buckets, std::int64_t count,
+                             std::int64_t mn, std::int64_t mx, double q) {
+  if (count == 0) return 0.0;
+  double target = q * double(count);
+  if (target < 1.0) target = 1.0;
+  if (target > double(count)) target = double(count);
+  double seen = 0;
+  for (int b = 0; b < Histogram::kBuckets; ++b) {
+    const double n = double(buckets[b]);
+    if (n == 0) continue;
+    if (seen + n >= target) {
+      const double frac = (target - seen) / n;
+      double v = bucket_lo(b) + frac * (bucket_hi(b) - bucket_lo(b));
+      if (v < double(mn)) v = double(mn);
+      if (v > double(mx)) v = double(mx);
+      return v;
+    }
+    seen += n;
+  }
+  return double(mx);
+}
+
+std::int64_t upper_bound_from_buckets(const std::int64_t* buckets,
+                                      std::int64_t count, std::int64_t mx,
+                                      double q) {
+  if (count == 0) return 0;
+  const auto target = static_cast<std::int64_t>(q * double(count) + 0.5);
+  std::int64_t seen = 0;
+  for (int b = 0; b < Histogram::kBuckets; ++b) {
+    seen += buckets[b];
+    if (seen >= target)
+      return b >= 62 ? INT64_MAX : (std::int64_t(1) << (b + 1)) - 1;
+  }
+  return mx;
+}
 }  // namespace
 
 void Histogram::observe(std::int64_t sample) {
@@ -48,17 +95,37 @@ double Histogram::mean() const {
 }
 
 std::int64_t Histogram::quantile_upper_bound(double q) const {
-  const std::int64_t c = count();
-  if (c == 0) return 0;
-  const auto target =
-      static_cast<std::int64_t>(q * double(c) + 0.5);
-  std::int64_t seen = 0;
-  for (int b = 0; b < kBuckets; ++b) {
-    seen += bucket(b);
-    if (seen >= target)
-      return b >= 62 ? INT64_MAX : (std::int64_t(1) << (b + 1)) - 1;
-  }
-  return max();
+  std::int64_t copy[kBuckets];
+  for (int b = 0; b < kBuckets; ++b) copy[b] = bucket(b);
+  return upper_bound_from_buckets(copy, count(), max(), q);
+}
+
+double Histogram::quantile(double q) const {
+  std::int64_t copy[kBuckets];
+  for (int b = 0; b < kBuckets; ++b) copy[b] = bucket(b);
+  return quantile_from_buckets(copy, count(), min(), max(), q);
+}
+
+double HistogramSnapshot::quantile(double q) const {
+  return quantile_from_buckets(buckets.data(), count, min, max, q);
+}
+
+std::int64_t HistogramSnapshot::quantile_upper_bound(double q) const {
+  return upper_bound_from_buckets(buckets.data(), count, max, q);
+}
+
+const HistogramSnapshot* MetricsSnapshot::find_histogram(
+    const std::string& name) const {
+  for (const auto& [n, h] : histograms)
+    if (n == name) return &h;
+  return nullptr;
+}
+
+std::int64_t MetricsSnapshot::counter_or(const std::string& name,
+                                         std::int64_t dflt) const {
+  for (const auto& [n, v] : counters)
+    if (n == name) return v;
+  return dflt;
 }
 
 void Histogram::reset() {
@@ -108,9 +175,10 @@ void MetricsRegistry::write_json(std::ostream& os) const {
     w.kv("min", h->min());
     w.kv("max", h->max());
     w.kv("mean", h->mean());
-    w.kv("p50", h->quantile_upper_bound(0.50));
-    w.kv("p95", h->quantile_upper_bound(0.95));
-    w.kv("p99", h->quantile_upper_bound(0.99));
+    w.kv("p50", h->quantile(0.50));
+    w.kv("p95", h->quantile(0.95));
+    w.kv("p99", h->quantile(0.99));
+    w.kv("p99_upper", h->quantile_upper_bound(0.99));
     // Sparse bucket map: log2 lower bound -> count.
     w.key("buckets").begin_object();
     for (int b = 0; b < Histogram::kBuckets; ++b) {
@@ -123,6 +191,33 @@ void MetricsRegistry::write_json(std::ostream& os) const {
   w.end_object();
   w.end_object();
   os << "\n";
+}
+
+MetricsSnapshot MetricsRegistry::snapshot() const {
+  std::lock_guard lk(mu_);
+  MetricsSnapshot out;
+  out.counters.reserve(counters_.size());
+  for (const auto& [name, c] : counters_)
+    out.counters.emplace_back(name, c->value());
+  out.gauges.reserve(gauges_.size());
+  for (const auto& [name, g] : gauges_)
+    out.gauges.emplace_back(name, g->value());
+  out.histograms.reserve(histograms_.size());
+  for (const auto& [name, h] : histograms_) {
+    HistogramSnapshot s;
+    // Buckets first, then count: a racing observe() can make count lag
+    // the bucket sum but never exceed it, keeping deltas non-negative.
+    for (int b = 0; b < Histogram::kBuckets; ++b) s.buckets[b] = h->bucket(b);
+    s.count = h->count();
+    s.sum = h->sum();
+    s.min = h->min();
+    s.max = h->max();
+    std::int64_t bucket_total = 0;
+    for (const auto v : s.buckets) bucket_total += v;
+    if (s.count > bucket_total) s.count = bucket_total;
+    out.histograms.emplace_back(name, s);
+  }
+  return out;
 }
 
 void MetricsRegistry::reset() {

@@ -8,6 +8,7 @@
 //   tasks.add();
 #pragma once
 
+#include <array>
 #include <atomic>
 #include <cstdint>
 #include <map>
@@ -15,6 +16,8 @@
 #include <mutex>
 #include <ostream>
 #include <string>
+#include <utility>
+#include <vector>
 
 namespace cellnpdp::obs {
 
@@ -51,7 +54,11 @@ class Histogram {
   std::int64_t max() const;
   double mean() const;
   /// Upper bound of the bucket containing quantile q (0 < q <= 1).
+  /// Overstates by up to ~2x (log2 buckets); prefer quantile().
   std::int64_t quantile_upper_bound(double q) const;
+  /// Quantile estimate with linear interpolation inside the containing
+  /// log2 bucket, clamped to the exact observed [min, max].
+  double quantile(double q) const;
   std::int64_t bucket(int b) const {
     return buckets_[b].load(std::memory_order_relaxed);
   }
@@ -65,6 +72,33 @@ class Histogram {
   std::atomic<std::int64_t> max_{INT64_MIN};
 };
 
+/// Value-type copy of one histogram: all buckets read in one pass, with
+/// the same quantile math as the live Histogram. Cheap to ship over the
+/// wire or diff between polls.
+struct HistogramSnapshot {
+  std::int64_t count = 0;
+  std::int64_t sum = 0;
+  std::int64_t min = 0;
+  std::int64_t max = 0;
+  std::array<std::int64_t, Histogram::kBuckets> buckets{};
+
+  double mean() const { return count == 0 ? 0.0 : double(sum) / double(count); }
+  double quantile(double q) const;
+  std::int64_t quantile_upper_bound(double q) const;
+};
+
+/// Point-in-time copy of every registered metric family, captured in one
+/// pass under the registry lock with stable (sorted-by-name) ordering, so
+/// counter deltas between two snapshots are monotone.
+struct MetricsSnapshot {
+  std::vector<std::pair<std::string, std::int64_t>> counters;
+  std::vector<std::pair<std::string, double>> gauges;
+  std::vector<std::pair<std::string, HistogramSnapshot>> histograms;
+
+  const HistogramSnapshot* find_histogram(const std::string& name) const;
+  std::int64_t counter_or(const std::string& name, std::int64_t dflt) const;
+};
+
 class MetricsRegistry {
  public:
   /// Returns (creating on first use) the named metric. Handles stay valid
@@ -76,6 +110,9 @@ class MetricsRegistry {
   /// Writes a point-in-time JSON snapshot:
   /// {"counters":{..},"gauges":{..},"histograms":{name:{count,sum,..}}}.
   void write_json(std::ostream& os) const;
+
+  /// Captures every family in one pass under the lock, sorted by name.
+  MetricsSnapshot snapshot() const;
 
   /// Zeroes every registered metric (handles stay valid).
   void reset();

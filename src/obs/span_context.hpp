@@ -1,0 +1,61 @@
+// Trace-context carried by a request across process boundaries: a
+// process-agnostic trace id, the parent span id, and the sampling
+// decision made at the origin. POD on purpose — it rides inside
+// serve::Request and on the wire (protocol v2).
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+
+namespace cellnpdp::obs {
+
+struct SpanContext {
+  std::uint64_t trace_id = 0;
+  std::uint64_t parent_span_id = 0;
+  bool sampled = false;
+
+  /// A context is valid iff it carries a nonzero trace id.
+  bool valid() const { return trace_id != 0; }
+};
+
+namespace detail {
+// SplitMix64 finalizer — good avalanche, cheap, no state.
+inline std::uint64_t mix64(std::uint64_t x) {
+  x += 0x9E3779B97F4A7C15ull;
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ull;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBull;
+  return x ^ (x >> 31);
+}
+}  // namespace detail
+
+/// Process-unique nonzero trace/span id: a monotone counter mixed with
+/// per-process entropy (address layout + boot time), so two processes
+/// started in the same nanosecond still diverge.
+inline std::uint64_t next_trace_id() {
+  static std::atomic<std::uint64_t> counter{0};
+  static const std::uint64_t seed = [] {
+    const auto now = std::chrono::steady_clock::now().time_since_epoch();
+    const auto wall = std::chrono::system_clock::now().time_since_epoch();
+    static int anchor = 0;
+    return detail::mix64(std::uint64_t(now.count())) ^
+           detail::mix64(std::uint64_t(wall.count()) + 0x51ED2700u) ^
+           detail::mix64(reinterpret_cast<std::uintptr_t>(&anchor));
+  }();
+  for (;;) {
+    const std::uint64_t id = detail::mix64(
+        seed ^ counter.fetch_add(1, std::memory_order_relaxed));
+    if (id != 0) return id;  // zero means "no context" on the wire
+  }
+}
+
+/// Originates a new root context (client side / in-process entry point).
+inline SpanContext make_root_context(bool sampled) {
+  SpanContext ctx;
+  ctx.trace_id = next_trace_id();
+  ctx.parent_span_id = ctx.trace_id;  // root: parent == own span
+  ctx.sampled = sampled;
+  return ctx;
+}
+
+}  // namespace cellnpdp::obs

@@ -1,7 +1,9 @@
 #include "obs/trace_export.hpp"
 
 #include <fstream>
+#include <limits>
 #include <map>
+#include <string_view>
 
 #include "common/json.hpp"
 
@@ -79,6 +81,112 @@ long export_chrome_trace(const std::string& path,
   long n = 0;
   for (const auto& t : threads) n += long(t.events.size());
   return n;
+}
+
+namespace {
+// Re-emits a parsed JsonValue verbatim (used when copying trace events
+// into the merged file).
+void write_value(JsonWriter& w, const JsonValue& v) {
+  switch (v.type) {
+    case JsonValue::Type::Null:
+      // JsonWriter renders non-finite numbers as a bare JSON null.
+      w.value(std::numeric_limits<double>::quiet_NaN());
+      break;
+    case JsonValue::Type::Bool: w.value(v.boolean); break;
+    case JsonValue::Type::Number: w.value(v.number); break;
+    case JsonValue::Type::String: w.value(std::string_view(v.str)); break;
+    case JsonValue::Type::Array:
+      w.begin_array();
+      for (const auto& e : v.arr) write_value(w, e);
+      w.end_array();
+      break;
+    case JsonValue::Type::Object:
+      w.begin_object();
+      for (const auto& [k, e] : v.obj) {
+        w.key(k);
+        write_value(w, e);
+      }
+      w.end_object();
+      break;
+  }
+}
+}  // namespace
+
+void merge_chrome_traces(std::ostream& os,
+                         const std::vector<const JsonValue*>& traces) {
+  JsonWriter w(os);
+  w.begin_object();
+  w.kv("displayTimeUnit", "ms");
+  w.key("traceEvents");
+  w.begin_array();
+  for (std::size_t i = 0; i < traces.size(); ++i) {
+    const JsonValue* root = traces[i];
+    if (root == nullptr || !root->is_object() || !root->has("traceEvents"))
+      continue;
+    for (const auto& ev : root->at("traceEvents").arr) {
+      if (!ev.is_object()) continue;
+      w.begin_object();
+      // Every key passes through except pid, which is rewritten so each
+      // source file becomes its own process track.
+      w.kv("pid", std::int64_t(i));
+      for (const auto& [k, v] : ev.obj) {
+        if (k == "pid") continue;
+        w.key(k);
+        write_value(w, v);
+      }
+      w.end_object();
+    }
+  }
+  w.end_array();
+  w.end_object();
+  os << "\n";
+}
+
+ChainSummary analyze_request_chains(
+    const JsonValue& root, const std::vector<std::int64_t>& success_codes) {
+  std::map<std::uint64_t, ChainInfo> by_id;
+  if (root.is_object() && root.has("traceEvents")) {
+    for (const auto& ev : root.at("traceEvents").arr) {
+      if (!ev.is_object() || !ev.has("cat") || ev.at("cat").str != "req")
+        continue;
+      if (!ev.has("args") || !ev.at("args").has("a0")) continue;
+      const auto id =
+          static_cast<std::uint64_t>(ev.at("args").at("a0").number);
+      ChainInfo& ci = by_id[id];
+      ci.trace_id = id;
+      const std::string& name = ev.has("name") ? ev.at("name").str : "";
+      if (name == "client") ci.client = true;
+      else if (name == "decode") ci.decode = true;
+      else if (name == "queue") ci.queue = true;
+      else if (name == "solve") ci.solve = true;
+      else if (name == "cache") ci.cache = true;
+      else if (name == "encode") ci.encode = true;
+      else if (name == "respond") {
+        ci.respond = true;
+        if (ev.at("args").has("a1"))
+          ci.status = static_cast<std::int64_t>(ev.at("args").at("a1").number);
+      }
+    }
+  }
+  ChainSummary out;
+  out.chains.reserve(by_id.size());
+  for (auto& [_, ci] : by_id) {
+    const bool server_side =
+        ci.decode || ci.queue || ci.solve || ci.cache || ci.encode ||
+        ci.respond;
+    if (ci.client) {
+      ++out.with_client;
+      bool ok_status = false;
+      for (const auto c : success_codes) ok_status |= (c == ci.status);
+      const bool work = ci.solve || ci.cache || !ok_status;
+      if (ci.decode && ci.queue && ci.respond && ci.encode && work)
+        ++out.complete;
+    } else if (server_side) {
+      ++out.orphans;
+    }
+    out.chains.push_back(ci);
+  }
+  return out;
 }
 
 std::vector<PhaseTotal> aggregate_phase_totals(

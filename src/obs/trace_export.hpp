@@ -2,10 +2,12 @@
 // loadable in Perfetto (https://ui.perfetto.dev) or chrome://tracing.
 #pragma once
 
+#include <cstdint>
 #include <ostream>
 #include <string>
 #include <vector>
 
+#include "common/json.hpp"
 #include "obs/trace.hpp"
 
 namespace cellnpdp::obs {
@@ -32,5 +34,43 @@ struct PhaseTotal {
 };
 std::vector<PhaseTotal> aggregate_phase_totals(
     const std::vector<ThreadTrace>& threads);
+
+/// Merges already-exported Chrome traces (parsed JSON) into one file,
+/// assigning each input a distinct pid so Perfetto shows one process
+/// track per source (client, server, ...). Events keep their own tids
+/// and timestamps; correlation across processes is by trace_id (args.a0
+/// on cat:"req" events), not by clock.
+void merge_chrome_traces(std::ostream& os,
+                         const std::vector<const JsonValue*>& traces);
+
+/// Per-trace-id request chain reconstructed from cat:"req" events in a
+/// (possibly merged) Chrome trace. args.a0 keys the chain; the respond
+/// instant's args.a1 carries the final serve status code.
+struct ChainInfo {
+  std::uint64_t trace_id = 0;
+  bool client = false;   // originator span ("client", ph X)
+  bool decode = false;   // reactor decoded the frame
+  bool queue = false;    // admission queue span
+  bool solve = false;    // solver span
+  bool cache = false;    // answered from the result cache
+  bool encode = false;   // response serialized
+  bool respond = false;  // terminal respond instant
+  std::int64_t status = -1;  // respond args.a1, -1 when absent
+};
+
+struct ChainSummary {
+  std::int64_t with_client = 0;  // chains that include a client span
+  std::int64_t complete = 0;     // client->decode->queue->work->encode
+  std::int64_t orphans = 0;      // server-side chains with no client span
+  std::vector<ChainInfo> chains;
+};
+
+/// Walks traceEvents and groups cat:"req" events by trace_id. A chain
+/// counts as complete when the client span, decode, queue, respond and
+/// encode markers are all present, plus a solve or cache span whenever
+/// the respond status is in `success_codes` (failures legitimately skip
+/// the solver).
+ChainSummary analyze_request_chains(
+    const JsonValue& root, const std::vector<std::int64_t>& success_codes);
 
 }  // namespace cellnpdp::obs

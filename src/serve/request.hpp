@@ -24,6 +24,7 @@
 #include <vector>
 
 #include "common/defs.hpp"
+#include "obs/span_context.hpp"
 #include "simd/dispatch.hpp"
 
 namespace cellnpdp::serve {
@@ -76,6 +77,9 @@ struct Request {
   std::uint64_t id = 0;
   int priority = 0;              ///< higher is dispatched first
   Clock::time_point deadline{};  ///< default-constructed: no deadline
+  /// Trace context the request arrived with (invalid = untraced). Not
+  /// part of the content hash: tracing never changes what is computed.
+  obs::SpanContext trace{};
   Payload payload = SolveSpec{};
 
   bool has_deadline() const { return deadline != Clock::time_point{}; }
@@ -83,6 +87,17 @@ struct Request {
     return has_deadline() && now > deadline;
   }
 };
+
+/// Static name of the request's workload family (for logs and metrics).
+inline const char* request_kind_name(const Request& r) {
+  switch (r.payload.index()) {
+    case 0: return "solve";
+    case 1: return "fold";
+    case 2: return "parse";
+    case 3: return "chain";
+    default: return "bst";
+  }
+}
 
 // --- content hashing (result-cache key) -----------------------------------
 

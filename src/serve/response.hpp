@@ -58,6 +58,10 @@ struct Response {
   std::int64_t solve_ns = 0;  ///< inside the worker (0 unless solved)
   std::int64_t total_ns = 0;  ///< admission -> response delivered
   std::int64_t retry_after_ms = 0;  ///< back-off hint (RetryAfter only)
+  /// Trace correlation, copied from the request so downstream layers
+  /// (the network encoder) can annotate without a lookup.
+  std::uint64_t trace_id = 0;
+  bool trace_sampled = false;
 };
 
 }  // namespace cellnpdp::serve

@@ -8,6 +8,7 @@
 
 #include "common/fault_hook.hpp"
 #include "obs/metrics.hpp"
+#include "obs/request_log.hpp"
 #include "obs/trace.hpp"
 #include "resilience/circuit_breaker.hpp"
 
@@ -158,6 +159,7 @@ void SolveService::dispatcher_loop() {
     obs::metrics().gauge("serve.queue_depth").set(double(queue_.depth()));
     if (r == PopResult::Item) {
       const std::int64_t queue_ns = ns_between(it->enqueued, Clock::now());
+      it->dispatch_ns.store(steady_now_ns(), std::memory_order_relaxed);
       if (cancel_queued_.load(std::memory_order_acquire)) {
         respond(it, Status::Cancelled, 0, {}, queue_ns);
         continue;
@@ -314,6 +316,7 @@ void SolveService::solve_one(const Item& it, Clock::time_point picked_up,
         it->responded.load(std::memory_order_acquire))
       break;
     ++retries_;
+    it->attempts_retried.fetch_add(1, std::memory_order_relaxed);
     obs::metrics().counter("serve.retries").add();
     CELLNPDP_TRACE_INSTANT("serve", "retry",
                            static_cast<std::int64_t>(it->req.id), attempt);
@@ -477,13 +480,93 @@ bool SolveService::respond(const Item& it, Status st, double value,
     case Status::Degraded: break;     // counted at the fallback site
     case Status::RetryAfter: break;   // counted at the breaker site
   }
+  resp.trace_id = it->req.trace.trace_id;
+  resp.trace_sampled = it->req.trace.sampled;
   auto& m = obs::metrics();
   m.counter(std::string("serve.status.") + status_name(st)).add();
   m.histogram("serve.total_ns").observe(resp.total_ns);
-  if (st == Status::Ok) {
+  if (st == Status::Ok || st == Status::OkCached) {
     m.histogram("serve.queue_ns").observe(queue_ns);
-    m.histogram("serve.solve_ns").observe(solve_ns);
+    if (solve_ns > 0) m.histogram("serve.solve_ns").observe(solve_ns);
   }
+
+  // Stage boundaries in absolute steady ns, shared by the span emission
+  // and the wide event so the two always reconcile exactly.
+  const std::int64_t now_abs = steady_now_ns();
+  const std::int64_t enq_abs = now_abs - resp.total_ns;
+  const std::int64_t disp_abs =
+      it->dispatch_ns.load(std::memory_order_relaxed);
+  const std::int64_t started_abs =
+      it->started_ns.load(std::memory_order_acquire);
+  const std::int64_t queue_span_ns =
+      std::max<std::int64_t>((disp_abs > 0 ? disp_abs : now_abs) - enq_abs, 0);
+  const std::int64_t batch_span_ns =
+      (disp_abs > 0 && started_abs > disp_abs) ? started_abs - disp_abs : 0;
+
+  obs::Tracer& tr = obs::Tracer::instance();
+  if (it->req.trace.sampled && tr.enabled()) {
+    // Retroactive span emission: respond() is the single point every
+    // request passes through, so back-dating the stage spans from the
+    // stamps the stages left keeps the chain complete even for requests
+    // that never reached a worker (rejected, shed, expired, cancelled).
+    const auto a0 = static_cast<std::int64_t>(it->req.trace.trace_id);
+    const std::int64_t session_now = tr.now_ns();
+    const auto to_session = [&](std::int64_t abs) {
+      return session_now - (now_abs - abs);
+    };
+    obs::TraceEvent ev;
+    ev.cat = "req";
+    ev.a0 = a0;
+    ev.ph = 'X';
+    ev.name = "queue";
+    ev.ts_ns = to_session(enq_abs);
+    ev.dur_ns = queue_span_ns;
+    tr.record(ev);
+    if (batch_span_ns > 0) {
+      ev.name = "batch";
+      ev.ts_ns = to_session(disp_abs);
+      ev.dur_ns = batch_span_ns;
+      tr.record(ev);
+    }
+    if (solve_ns > 0) {
+      ev.name = "solve";
+      ev.ts_ns = to_session(now_abs - solve_ns);
+      ev.dur_ns = solve_ns;
+      tr.record(ev);
+    }
+    ev.ph = 'i';
+    ev.dur_ns = -1;
+    if (st == Status::OkCached) {
+      ev.name = "cache";
+      ev.ts_ns = to_session(disp_abs > 0 ? disp_abs : now_abs);
+      ev.a1 = obs::TraceEvent::kNoArg;
+      tr.record(ev);
+    }
+    ev.name = "respond";
+    ev.ts_ns = session_now;
+    ev.a1 = static_cast<std::int64_t>(st);
+    tr.record(ev);
+  }
+
+  obs::RequestLog& rl = obs::request_log();
+  if (rl.enabled()) {
+    obs::WideEvent we;
+    we.trace_id = it->req.trace.trace_id;
+    we.request_id = it->req.id;
+    we.kind = request_kind_name(it->req);
+    we.status = status_name(st);
+    we.backend = resp.backend;
+    we.cache_hit = (st == Status::OkCached);
+    we.sampled = it->req.trace.sampled;
+    we.queue_ns = queue_span_ns;
+    we.batch_ns = batch_span_ns;
+    we.solve_ns = solve_ns;
+    we.total_ns = resp.total_ns;
+    we.retries = it->attempts_retried.load(std::memory_order_relaxed);
+    we.hedged = it->hedged.load(std::memory_order_relaxed);
+    rl.append(std::move(we));
+  }
+
   if (it->callback) {
     it->callback(std::move(resp));
   } else {

@@ -136,6 +136,12 @@ class SolveService {
     /// the hedge watchdog computes elapsed time from this.
     std::atomic<std::int64_t> started_ns{0};
     std::atomic<std::int64_t> queue_ns{0};  ///< for the hedge response
+    /// Steady-clock ns when the dispatcher popped the request (0 = still
+    /// queued); pickup - dispatch is the time spent waiting in a batch.
+    std::atomic<std::int64_t> dispatch_ns{0};
+    /// Failed attempts re-executed for *this* request (wide-event field;
+    /// the service-wide total lives in retries_).
+    std::atomic<std::int32_t> attempts_retried{0};
     std::atomic<bool> hedged{false};        ///< a twin has been launched
     /// Separate token for the hedge twin, so the winner can cancel the
     /// loser without tripping its own solve. Armed at submit when hedging

@@ -9,6 +9,7 @@
 
 #include <chrono>
 #include <cstring>
+#include <set>
 #include <string>
 #include <thread>
 #include <variant>
@@ -23,6 +24,8 @@
 #include "net/protocol.hpp"
 #include "net/server.hpp"
 #include "net/socket.hpp"
+#include "obs/span_context.hpp"
+#include "obs/trace.hpp"
 #include "serve/solver_pool.hpp"
 
 namespace cellnpdp::net {
@@ -43,6 +46,12 @@ WireRequest random_request(SplitMix64& rng, int kind) {
   w.id = rng.next_u64();
   w.priority = static_cast<std::int32_t>(rng.next_u64());
   w.deadline_ms = static_cast<std::uint32_t>(rng.next_below(1u << 20));
+  // Half the requests carry a trace context (v2 optional field).
+  if (rng.next_below(2) == 0) {
+    w.trace.trace_id = 1 + rng.next_u64() % 0xFFFFFFFFull;
+    w.trace.parent_span_id = rng.next_u64();
+    w.trace.sampled = rng.next_below(2) == 0;
+  }
   switch (kind) {
     case 0: {
       serve::SolveSpec s;
@@ -104,12 +113,16 @@ TEST(Protocol, RequestRoundTripsOverSeededRandomPayloads) {
 
     WireRequest out;
     std::string err;
-    ASSERT_TRUE(decode_request_payload(h.type, h.id, frame.data() + kHeaderSize,
-                                       h.len, &out, &err))
+    ASSERT_TRUE(decode_request_payload(h.type, h.version, h.id,
+                                       frame.data() + kHeaderSize, h.len, &out,
+                                       &err))
         << "kind " << kind << ": " << err;
     EXPECT_EQ(out.id, in.id);
     EXPECT_EQ(out.priority, in.priority);
     EXPECT_EQ(out.deadline_ms, in.deadline_ms);
+    EXPECT_EQ(out.trace.trace_id, in.trace.trace_id);
+    EXPECT_EQ(out.trace.parent_span_id, in.trace.parent_span_id);
+    EXPECT_EQ(out.trace.sampled, in.trace.sampled);
     ASSERT_EQ(out.payload.index(), in.payload.index());
     if (const auto* s = std::get_if<serve::SolveSpec>(&in.payload)) {
       const auto& o = std::get<serve::SolveSpec>(out.payload);
@@ -215,7 +228,7 @@ TEST(Protocol, TruncationAtEveryByteBoundaryFailsCleanly) {
     for (std::size_t cut = 0; cut < h.len; ++cut) {
       WireRequest out;
       std::string err;
-      EXPECT_FALSE(decode_request_payload(h.type, h.id,
+      EXPECT_FALSE(decode_request_payload(h.type, h.version, h.id,
                                           frame.data() + kHeaderSize, cut,
                                           &out, &err))
           << "kind " << kind << " cut " << cut << "/" << h.len;
@@ -233,7 +246,8 @@ TEST(Protocol, TrailingBytesAndBadEnumsFailDecode) {
   ASSERT_EQ(parse_header(frame.data(), frame.size(), &h), HeaderParse::Ok);
   WireRequest out;
   std::string err;
-  EXPECT_FALSE(decode_request_payload(h.type, h.id, frame.data() + kHeaderSize,
+  EXPECT_FALSE(decode_request_payload(h.type, h.version, h.id,
+                                      frame.data() + kHeaderSize,
                                       frame.size() - kHeaderSize, &out, &err));
   EXPECT_NE(err.find("trailing"), std::string::npos) << err;
 
@@ -242,10 +256,12 @@ TEST(Protocol, TrailingBytesAndBadEnumsFailDecode) {
   sv.id = 2;
   sv.payload = serve::SolveSpec{};
   auto sf = encode_request(sv);
-  // Payload layout: [prio 4][deadline 4][n 8][seed 8][block 8][kernel 1]...
-  sf[kHeaderSize + 4 + 4 + 8 + 8 + 8] = 0x7F;
+  // v2 payload layout: [prio 4][deadline 4][flags 1][n 8][seed 8][block 8]
+  // [kernel 1]... (no trace ids here: the flags byte is 0).
+  sf[kHeaderSize + 4 + 4 + 1 + 8 + 8 + 8] = 0x7F;
   ASSERT_EQ(parse_header(sf.data(), sf.size(), &h), HeaderParse::Ok);
-  EXPECT_FALSE(decode_request_payload(h.type, h.id, sf.data() + kHeaderSize,
+  EXPECT_FALSE(decode_request_payload(h.type, h.version, h.id,
+                                      sf.data() + kHeaderSize,
                                       sf.size() - kHeaderSize, &out, &err));
   EXPECT_NE(err.find("kernel"), std::string::npos) << err;
 
@@ -283,6 +299,122 @@ TEST(Protocol, StatusWireCodesAreFrozen) {
   serve::Status s;
   EXPECT_TRUE(status_from_wire(8, &s));
   EXPECT_FALSE(status_from_wire(9, &s));
+}
+
+// --- version compatibility (v1 <-> v2) -------------------------------------
+
+TEST(Protocol, LegacyV1FramesDecodeWithoutTraceContext) {
+  // A new client can still emit v1 frames, and a new decoder accepts
+  // them: same payload bytes as before the version bump, no trace field.
+  SplitMix64 rng(404);
+  for (int kind = 0; kind < 5; ++kind) {
+    WireRequest in = random_request(rng, kind);
+    in.trace = {};  // v1 cannot carry a context
+    const auto frame = encode_request(in, /*version=*/1);
+    FrameHeader h;
+    ASSERT_EQ(parse_header(frame.data(), frame.size(), &h), HeaderParse::Ok);
+    EXPECT_EQ(h.version, 1u);
+    WireRequest out;
+    std::string err;
+    ASSERT_TRUE(decode_request_payload(h.type, h.version, h.id,
+                                       frame.data() + kHeaderSize, h.len,
+                                       &out, &err))
+        << "kind " << kind << ": " << err;
+    EXPECT_EQ(out.id, in.id);
+    EXPECT_EQ(out.priority, in.priority);
+    EXPECT_EQ(out.deadline_ms, in.deadline_ms);
+    EXPECT_EQ(out.trace.trace_id, 0u);
+    EXPECT_FALSE(out.trace.sampled);
+    ASSERT_EQ(out.payload.index(), in.payload.index());
+  }
+}
+
+TEST(Protocol, V1AndV2EncodingsDifferOnlyByTheTracePrefix) {
+  // Byte-level contract: a v2 frame without a context is exactly the v1
+  // frame plus one zero flags byte; with a context it adds 17 bytes.
+  WireRequest w;
+  w.id = 12;
+  w.payload = serve::ChainSpec{16, 5};
+  const auto v1 = encode_request(w, 1);
+  const auto v2 = encode_request(w, 2);
+  EXPECT_EQ(v2.size(), v1.size() + 1);
+  w.trace.trace_id = 0xABCD;
+  w.trace.parent_span_id = 0xEF01;
+  w.trace.sampled = true;
+  const auto v2t = encode_request(w, 2);
+  EXPECT_EQ(v2t.size(), v1.size() + 1 + 16);
+}
+
+TEST(Protocol, UnknownTraceFlagBitsAreRejected) {
+  WireRequest w;
+  w.id = 9;
+  w.payload = serve::ChainSpec{8, 1};
+  auto frame = encode_request(w);  // v2, flags byte = 0
+  frame[kHeaderSize + 4 + 4] |= 0x40;  // set a reserved flag bit
+  FrameHeader h;
+  ASSERT_EQ(parse_header(frame.data(), frame.size(), &h), HeaderParse::Ok);
+  WireRequest out;
+  std::string err;
+  EXPECT_FALSE(decode_request_payload(h.type, h.version, h.id,
+                                      frame.data() + kHeaderSize, h.len, &out,
+                                      &err));
+  EXPECT_NE(err.find("flag"), std::string::npos) << err;
+}
+
+TEST(Protocol, StatsResponseRoundTripsMetricsBreakersAndQueueDepth) {
+  WireStats in;
+  in.queue_depth = 17;
+  in.metrics.counters = {{"net.accepted", 3}, {"serve.status.ok", 240}};
+  in.metrics.gauges = {{"net.active_conns", 2.5}};
+  obs::HistogramSnapshot h;
+  h.count = 100;
+  h.sum = 5000;
+  h.min = 10;
+  h.max = 300;
+  h.buckets[4] = 60;   // [16,32)
+  h.buckets[8] = 40;   // [256,512)
+  in.metrics.histograms = {{"serve.total_ns", h}};
+  in.breakers.push_back({"blocked-serial", 1, 0.25, 1500});
+
+  const auto frame = encode_stats_response(5, in);
+  FrameHeader fh;
+  ASSERT_EQ(parse_header(frame.data(), frame.size(), &fh), HeaderParse::Ok);
+  EXPECT_EQ(fh.type, MsgType::StatsResponse);
+  WireStats out;
+  std::string err;
+  ASSERT_TRUE(decode_stats_response(frame.data() + kHeaderSize, fh.len, &out,
+                                    &err))
+      << err;
+  EXPECT_EQ(out.queue_depth, 17);
+  ASSERT_EQ(out.metrics.counters.size(), 2u);
+  EXPECT_EQ(out.metrics.counters[1].first, "serve.status.ok");
+  EXPECT_EQ(out.metrics.counters[1].second, 240);
+  ASSERT_EQ(out.metrics.gauges.size(), 1u);
+  EXPECT_DOUBLE_EQ(out.metrics.gauges[0].second, 2.5);
+  ASSERT_EQ(out.metrics.histograms.size(), 1u);
+  const obs::HistogramSnapshot& oh = out.metrics.histograms[0].second;
+  EXPECT_EQ(oh.count, 100);
+  EXPECT_EQ(oh.sum, 5000);
+  EXPECT_EQ(oh.min, 10);
+  EXPECT_EQ(oh.max, 300);
+  EXPECT_EQ(oh.buckets[4], 60);
+  EXPECT_EQ(oh.buckets[8], 40);
+  // Quantile math is shared with the live histogram, so the decoded
+  // snapshot computes the same interpolated values the server would.
+  EXPECT_DOUBLE_EQ(oh.quantile(0.5), h.quantile(0.5));
+  ASSERT_EQ(out.breakers.size(), 1u);
+  EXPECT_EQ(out.breakers[0].name, "blocked-serial");
+  EXPECT_EQ(out.breakers[0].state, 1);
+  EXPECT_DOUBLE_EQ(out.breakers[0].failure_rate, 0.25);
+  EXPECT_EQ(out.breakers[0].retry_after_ms, 1500);
+
+  // Truncation at every byte fails cleanly, never reads out of bounds.
+  for (std::size_t cut = 0; cut < fh.len; ++cut) {
+    WireStats trunc;
+    EXPECT_FALSE(decode_stats_response(frame.data() + kHeaderSize, cut,
+                                       &trunc, &err))
+        << "cut " << cut;
+  }
 }
 
 // --- end-to-end over loopback ----------------------------------------------
@@ -659,6 +791,97 @@ TEST(NetServer, PartialFramesAcrossWritesReassemble) {
   EXPECT_EQ(rep.result.status, serve::Status::Ok);
 }
 
+TEST(NetServer, LegacyV1ClientRoundTripsAgainstNewServer) {
+  ServerFixture fx;
+  NpdpClient cli = fx.connect();
+  std::string err;
+  // A v1 frame (no trace bytes) must be served exactly like before the
+  // version bump; the response format is identical across versions.
+  ASSERT_TRUE(
+      cli.send_frame(encode_request(chain_req(91, 12, 6), /*version=*/1),
+                     &err))
+      << err;
+  Reply rep;
+  ASSERT_EQ(cli.recv_reply(&rep, 10000, &err), RecvStatus::Ok) << err;
+  ASSERT_EQ(rep.kind, Reply::Kind::Result);
+  EXPECT_EQ(rep.id, 91u);
+  EXPECT_EQ(rep.result.status, serve::Status::Ok);
+  // And v1/v2 frames interleave freely on one connection.
+  ASSERT_EQ(cli.call(chain_req(92, 13, 6), &rep, 10000, &err), RecvStatus::Ok)
+      << err;
+  EXPECT_EQ(rep.result.status, serve::Status::Ok);
+}
+
+TEST(NetServer, StatsSnapshotFrameExposesLiveRegistry) {
+  ServerFixture fx;
+  NpdpClient cli = fx.connect();
+  std::string err;
+  Reply rep;
+  ASSERT_EQ(cli.call(chain_req(95, 20, 8), &rep, 10000, &err), RecvStatus::Ok)
+      << err;
+  ASSERT_EQ(rep.result.status, serve::Status::Ok);
+
+  WireStats ws;
+  ASSERT_EQ(cli.stats_snapshot(&ws, 5000, &err), RecvStatus::Ok) << err;
+  // The registry is process-global, so exact counts depend on test order;
+  // presence and monotonicity are the contract.
+  EXPECT_GE(ws.metrics.counter_or("serve.status.ok", 0), 1);
+  EXPECT_GE(ws.metrics.counter_or("net.accepted", 0), 1);
+  const obs::HistogramSnapshot* th =
+      ws.metrics.find_histogram("serve.total_ns");
+  ASSERT_NE(th, nullptr);
+  EXPECT_GE(th->count, 1);
+  EXPECT_GT(th->quantile(0.5), 0.0);
+  EXPECT_GE(ws.queue_depth, 0);
+  // Counter names arrive sorted (snapshot ordering is stable).
+  for (std::size_t i = 1; i < ws.metrics.counters.size(); ++i)
+    EXPECT_LT(ws.metrics.counters[i - 1].first, ws.metrics.counters[i].first);
+}
+
+TEST(NetServer, SampledTraceContextYieldsCorrelatedServerSpans) {
+  obs::Tracer& tr = obs::Tracer::instance();
+  tr.start(1 << 12);
+  std::uint64_t trace_id;
+  {
+    ServerFixture fx;
+    NpdpClient cli = fx.connect();
+    std::string err;
+    WireRequest w = chain_req(97, 18, 9);
+    w.trace = obs::make_root_context(/*sampled=*/true);
+    trace_id = w.trace.trace_id;
+    ASSERT_NE(trace_id, 0u);
+    Reply rep;
+    ASSERT_EQ(cli.call(w, &rep, 10000, &err), RecvStatus::Ok) << err;
+    EXPECT_EQ(rep.result.status, serve::Status::Ok);
+
+    // An unsampled context must NOT record spans.
+    WireRequest quiet = chain_req(98, 19, 9);
+    quiet.trace = obs::make_root_context(/*sampled=*/false);
+    ASSERT_EQ(cli.call(quiet, &rep, 10000, &err), RecvStatus::Ok) << err;
+  }  // server drains before we read the rings
+  tr.stop();
+  bool saw_decode = false, saw_queue = false, saw_solve = false,
+       saw_respond = false;
+  for (const auto& t : tr.snapshot()) {
+    for (const auto& ev : t.events) {
+      if (std::strcmp(ev.cat, "req") != 0) continue;
+      EXPECT_NE(ev.a0, std::int64_t(0)) << "req event without trace id";
+      if (ev.a0 != std::int64_t(trace_id)) continue;
+      if (std::strcmp(ev.name, "decode") == 0) saw_decode = true;
+      if (std::strcmp(ev.name, "queue") == 0) saw_queue = true;
+      if (std::strcmp(ev.name, "solve") == 0) saw_solve = true;
+      if (std::strcmp(ev.name, "respond") == 0) {
+        saw_respond = true;
+        EXPECT_EQ(ev.a1, std::int64_t(wire_status(serve::Status::Ok)));
+      }
+    }
+  }
+  EXPECT_TRUE(saw_decode);
+  EXPECT_TRUE(saw_queue);
+  EXPECT_TRUE(saw_solve);
+  EXPECT_TRUE(saw_respond);
+}
+
 TEST(NetLoadgen, ClosedLoopLoopbackRunsClean) {
   ServerFixture fx;
   LoadGenOptions lo;
@@ -677,6 +900,41 @@ TEST(NetLoadgen, ClosedLoopLoopbackRunsClean) {
   EXPECT_EQ(r.ok + r.cached + r.degraded, r.replies);
   EXPECT_EQ(r.latencies_ms.size(), r.replies);
   EXPECT_GT(latency_percentile(r.latencies_ms, 0.99), 0.0);
+}
+
+TEST(NetLoadgen, TraceOriginationRecordsOneClientSpanPerSampledReply) {
+  obs::Tracer& tr = obs::Tracer::instance();
+  tr.start(1 << 14);
+  LoadGenResult r;
+  {
+    ServerFixture fx;
+    LoadGenOptions lo;
+    lo.port = fx.server->port();
+    lo.connections = 2;
+    lo.duration_ms = 5000;
+    lo.max_requests = 20;
+    lo.mix = "chain";
+    lo.size = 12;
+    lo.trace = true;
+    lo.trace_sample = 1.0;
+    std::string err;
+    ASSERT_TRUE(run_loadgen(lo, &r, &err)) << err;
+    ASSERT_TRUE(r.clean());
+  }
+  tr.stop();
+  long client_spans = 0;
+  std::set<std::int64_t> ids;
+  for (const auto& t : tr.snapshot())
+    for (const auto& ev : t.events)
+      if (std::strcmp(ev.cat, "req") == 0 &&
+          std::strcmp(ev.name, "client") == 0) {
+        ++client_spans;
+        EXPECT_GE(ev.dur_ns, 0);
+        ids.insert(ev.a0);
+      }
+  EXPECT_EQ(client_spans, long(r.replies));
+  // Every request got its own trace id.
+  EXPECT_EQ(ids.size(), std::size_t(client_spans));
 }
 
 TEST(NetLoadgen, OpenLoopRespectsRequestCap) {

@@ -26,13 +26,22 @@
 //   npdp net-serve [--host 127.0.0.1] [--port 9377] [--reactors 2]
 //                  [--max-frame 1048576] [--idle-timeout-ms 30000]
 //                  [--drain-timeout-ms 5000] [--port-file FILE]
-//                  [--duration-ms 0] + all serve service flags
+//                  [--duration-ms 0] [--trace FILE] [--request-log FILE]
+//                  [--log-sample N] + all serve service flags
 //                  (runs until SIGINT/SIGTERM, then drains gracefully)
 //   npdp net-bench --port 9377 [--host 127.0.0.1] [--connections 4]
 //                  [--rate 0] [--duration 2] [--requests 0] [--mix chain]
 //                  [--size 32] [--deadline-ms 0] [--priority 0]
 //                  [--backend NAME] [--seed 1] [--json-dir .]
+//                  [--trace FILE] [--trace-sample R]
 //                  (closed loop when --rate 0; writes BENCH_net.json)
+//   npdp top       --port 9377 [--host 127.0.0.1] [--interval-ms 1000]
+//                  [--iterations 0] [--once] [--prom]
+//                  (live stats view over the StatsRequest wire frame;
+//                  --prom dumps Prometheus text exposition instead)
+//   npdp merge-traces --out merged.json --client a.json --server b.json
+//   npdp check-trace --file out.json --chains [--min-chain-frac 0.99]
+//                  (request-chain mode: validates trace-id correlation)
 //
 // Exit codes: 0 success, 1 runtime error, 2 unknown subcommand,
 // 3 bad arguments (missing/duplicate/malformed flags, unknown --backend).
@@ -70,8 +79,10 @@
 #include "net/client.hpp"
 #include "net/loadgen.hpp"
 #include "net/server.hpp"
+#include "obs/exposition.hpp"
 #include "obs/metrics.hpp"
 #include "obs/report.hpp"
+#include "obs/request_log.hpp"
 #include "obs/trace.hpp"
 #include "obs/trace_export.hpp"
 #include "resilience/circuit_breaker.hpp"
@@ -378,6 +389,41 @@ int cmd_check_trace(const Args& a) {
     std::fprintf(stderr, "check-trace: missing traceEvents array\n");
     return 1;
   }
+  if (a.has("chains")) {
+    // Request-chain mode: correlate cat:"req" events by trace_id across
+    // processes (usually a merge-traces output) instead of validating
+    // engine spans. Success statuses (Ok, OkCached, Degraded) must show
+    // solver or cache work; failures legitimately skip it.
+    const obs::ChainSummary cs = obs::analyze_request_chains(root, {0, 1, 7});
+    const double frac =
+        cs.with_client > 0 ? double(cs.complete) / double(cs.with_client) : 0;
+    std::printf("check-trace: %zu request chains, %lld with client span, "
+                "%lld complete (%.1f%%), %lld orphans\n",
+                cs.chains.size(), static_cast<long long>(cs.with_client),
+                static_cast<long long>(cs.complete), 100.0 * frac,
+                static_cast<long long>(cs.orphans));
+    if (cs.with_client == 0) {
+      std::fprintf(stderr, "check-trace: no client-originated chains found\n");
+      return 1;
+    }
+    if (cs.orphans > 0) {
+      std::fprintf(stderr,
+                   "check-trace: %lld orphan chains (server-side spans with "
+                   "no matching client trace_id)\n",
+                   static_cast<long long>(cs.orphans));
+      return 1;
+    }
+    const double min_frac = a.real("min-chain-frac", 0.99);
+    if (frac < min_frac) {
+      std::fprintf(stderr,
+                   "check-trace: only %.1f%% of chains complete "
+                   "(need >= %.1f%%)\n",
+                   100.0 * frac, 100.0 * min_frac);
+      return 1;
+    }
+    std::printf("check-trace: OK\n");
+    return 0;
+  }
   const auto& events = root.at("traceEvents").arr;
   std::map<long, long> spans_per_tid;
   std::map<std::string, long> spans_per_cat;
@@ -430,6 +476,184 @@ int cmd_check_trace(const Args& a) {
     }
   }
   std::printf("check-trace: OK\n");
+  return 0;
+}
+
+/// Parses one Chrome trace JSON file; UsageError when unreadable,
+/// plain error (exit 1) semantics left to the caller via the bool.
+bool load_trace_json(const std::string& path, JsonValue* out) {
+  std::ifstream is(path);
+  if (!is) {
+    std::fprintf(stderr, "merge-traces: cannot open %s\n", path.c_str());
+    return false;
+  }
+  std::string text((std::istreambuf_iterator<char>(is)),
+                   std::istreambuf_iterator<char>());
+  std::string err;
+  if (!json_parse(text, *out, &err)) {
+    std::fprintf(stderr, "merge-traces: %s: malformed JSON: %s\n",
+                 path.c_str(), err.c_str());
+    return false;
+  }
+  return true;
+}
+
+/// Merges a client-side and a server-side Chrome trace into one file,
+/// each on its own pid track; spans correlate by trace_id (args.a0).
+int cmd_merge_traces(const Args& a) {
+  const std::string out_path = a.need("out");
+  JsonValue client, server;
+  if (!load_trace_json(a.need("client"), &client)) return 1;
+  if (!load_trace_json(a.need("server"), &server)) return 1;
+  std::ofstream os(out_path);
+  if (!os) {
+    std::fprintf(stderr, "merge-traces: cannot write %s\n", out_path.c_str());
+    return 1;
+  }
+  obs::merge_chrome_traces(os, {&client, &server});
+  long events = 0;
+  for (const JsonValue* t : {&client, &server})
+    if (t->is_object() && t->has("traceEvents") &&
+        t->at("traceEvents").is_array())
+      events += long(t->at("traceEvents").arr.size());
+  std::printf("merge-traces: %ld events -> %s\n", events, out_path.c_str());
+  return 0;
+}
+
+// SIGINT/SIGTERM land here; net-serve and top poll the flag and drain.
+volatile std::sig_atomic_t g_stop_requested = 0;
+extern "C" void handle_stop_signal(int) { g_stop_requested = 1; }
+
+/// One row of the `npdp top` stage table: interpolated latency quantiles
+/// from a wire histogram snapshot, printed in milliseconds.
+void print_stage_row(const char* label, const obs::MetricsSnapshot& snap,
+                     const std::string& name) {
+  const obs::HistogramSnapshot* h = snap.find_histogram(name);
+  if (h == nullptr || h->count == 0) {
+    std::printf("  %-10s (no samples)\n", label);
+    return;
+  }
+  std::printf("  %-10s p50 %9.3f ms  p99 %9.3f ms  max %9.3f ms  "
+              "(%lld samples)\n",
+              label, h->quantile(0.50) / 1e6, h->quantile(0.99) / 1e6,
+              double(h->max) / 1e6, static_cast<long long>(h->count));
+}
+
+/// Live terminal view of a running net-serve: polls the binary
+/// StatsRequest/StatsResponse frame and renders rps (from counter
+/// deltas), per-stage latency quantiles, cache hit rate, shed/degrade
+/// counts, queue depth and breaker state. --prom switches the output to
+/// Prometheus text exposition (scrape-ready), --once exits after one
+/// poll. Counter deltas are monotone because the server snapshots the
+/// whole registry in one pass.
+int cmd_top(const Args& a) {
+  net::NpdpClient cli;
+  std::string err;
+  const std::string host = a.get("host", "127.0.0.1");
+  const auto port = static_cast<std::uint16_t>(a.num("port", 9377));
+  if (!cli.connect(host, port, &err)) {
+    std::fprintf(stderr, "top: %s\n", err.c_str());
+    return 1;
+  }
+  const bool once = a.has("once");
+  const bool prom = a.has("prom");
+  const long interval_ms = std::max(50L, a.num("interval-ms", 1000));
+  const long iterations = once ? 1 : a.num("iterations", 0);
+  const int timeout_ms = static_cast<int>(a.num("timeout-ms", 5000));
+
+  std::signal(SIGINT, handle_stop_signal);
+  std::signal(SIGTERM, handle_stop_signal);
+
+  bool have_prev = false;
+  obs::MetricsSnapshot prev;
+  auto prev_t = std::chrono::steady_clock::now();
+  long iter = 0;
+  while (g_stop_requested == 0) {
+    net::WireStats ws;
+    if (cli.stats_snapshot(&ws, timeout_ms, &err) !=
+        net::NpdpClient::RecvStatus::Ok) {
+      std::fprintf(stderr, "top: %s\n", err.c_str());
+      return 1;
+    }
+    const auto now_t = std::chrono::steady_clock::now();
+    const obs::MetricsSnapshot& snap = ws.metrics;
+
+    if (prom) {
+      std::vector<obs::PromLabeledSample> extra;
+      extra.push_back({"queue_depth", {}, double(ws.queue_depth)});
+      for (const auto& b : ws.breakers) {
+        extra.push_back({"breaker_state", {{"backend", b.name}},
+                         double(b.state)});
+        extra.push_back({"breaker_failure_rate", {{"backend", b.name}},
+                         b.failure_rate});
+      }
+      obs::write_prometheus_text(std::cout, snap, extra);
+    } else {
+      // Responded-request rate from serve.status.* counter deltas; the
+      // first poll has no baseline, so it reports totals since start.
+      std::int64_t responded = 0, responded_prev = 0;
+      for (const auto& [name, v] : snap.counters)
+        if (name.rfind("serve.status.", 0) == 0) responded += v;
+      if (have_prev)
+        for (const auto& [name, v] : prev.counters)
+          if (name.rfind("serve.status.", 0) == 0) responded_prev += v;
+      const double dt =
+          have_prev
+              ? std::chrono::duration<double>(now_t - prev_t).count()
+              : 0;
+      const double rps =
+          dt > 0 ? double(responded - responded_prev) / dt : 0;
+
+      const std::int64_t hits = snap.counter_or("serve.cache.hits", 0);
+      const std::int64_t misses = snap.counter_or("serve.cache.misses", 0);
+      const double hit_rate =
+          hits + misses > 0 ? double(hits) / double(hits + misses) : 0;
+
+      if (!once) std::printf("\033[2J\033[H");
+      std::printf("npdp top — %s:%u  (poll %ld, interval %ld ms)\n",
+                  host.c_str(), unsigned(port), iter + 1, interval_ms);
+      if (have_prev)
+        std::printf("  rps %.1f (responded %lld, +%lld)\n", rps,
+                    static_cast<long long>(responded),
+                    static_cast<long long>(responded - responded_prev));
+      else
+        std::printf("  responded %lld since start\n",
+                    static_cast<long long>(responded));
+      print_stage_row("queue", snap, "serve.queue_ns");
+      print_stage_row("solve", snap, "serve.solve_ns");
+      print_stage_row("encode", snap, "net.encode_ns");
+      print_stage_row("total", snap, "serve.total_ns");
+      std::printf("  cache hit rate %.1f%% (%lld hits / %lld misses)\n",
+                  100.0 * hit_rate, static_cast<long long>(hits),
+                  static_cast<long long>(misses));
+      std::printf("  shed %lld  degraded %lld  retry-after %lld  "
+                  "queue depth %lld\n",
+                  static_cast<long long>(
+                      snap.counter_or("serve.status.shed", 0)),
+                  static_cast<long long>(
+                      snap.counter_or("serve.status.degraded", 0)),
+                  static_cast<long long>(
+                      snap.counter_or("serve.status.retry-after", 0)),
+                  static_cast<long long>(ws.queue_depth));
+      if (!ws.breakers.empty()) {
+        std::printf("  breakers:");
+        for (const auto& b : ws.breakers)
+          std::printf(" %s=%s(%.0f%%)", b.name.c_str(),
+                      resilience::breaker_state_name(
+                          static_cast<resilience::BreakerState>(b.state)),
+                      100.0 * b.failure_rate);
+        std::printf("\n");
+      }
+      std::fflush(stdout);
+    }
+
+    prev = snap;
+    prev_t = now_t;
+    have_prev = true;
+    ++iter;
+    if (iterations > 0 && iter >= iterations) break;
+    std::this_thread::sleep_for(std::chrono::milliseconds(interval_ms));
+  }
   return 0;
 }
 
@@ -732,12 +956,15 @@ int cmd_bench_serve(const Args& a) {
   const double wall_s = sw.seconds();
   service.stop();
 
-  std::vector<double> lat_ms;
+  // Latency percentiles via the same log2-bucket histogram the serving
+  // metrics use (interpolated; p99_upper keeps the old bucket-ceiling
+  // number for comparability across benchmark archives).
+  obs::Histogram lat_h;
   long ok = 0, cached = 0, dropped = 0;
   std::map<std::string, long> backend_counts;
   for (const auto& r : responses) {
     if (serve::is_success(r.status)) {
-      lat_ms.push_back(double(r.total_ns) / 1e6);
+      lat_h.observe(r.total_ns);
       ok += r.status == serve::Status::Ok;
       cached += r.status == serve::Status::OkCached;
       // Count the *effective* backend per success, so a run where
@@ -753,13 +980,9 @@ int cmd_bench_serve(const Args& a) {
     if (!effective_backends.empty()) effective_backends += ",";
     effective_backends += name + ":" + std::to_string(count);
   }
-  std::sort(lat_ms.begin(), lat_ms.end());
-  auto pct = [&](double q) {
-    if (lat_ms.empty()) return 0.0;
-    const auto idx = static_cast<std::size_t>(q * double(lat_ms.size() - 1));
-    return lat_ms[idx];
-  };
-  const double p50 = pct(0.50), p99 = pct(0.99);
+  const double p50 = lat_h.quantile(0.50) / 1e6;
+  const double p99 = lat_h.quantile(0.99) / 1e6;
+  const double p99_upper = double(lat_h.quantile_upper_bound(0.99)) / 1e6;
   const double rps = double(responses.size()) / wall_s;
   const serve::ServiceStats st = service.stats();
   const double hit_rate =
@@ -800,6 +1023,7 @@ int cmd_bench_serve(const Args& a) {
       .set("rps", rps)
       .set("p50_ms", p50)
       .set("p99_ms", p99)
+      .set("p99_upper_ms", p99_upper)
       .set("ok", ok)
       .set("ok_cached", cached)
       .set("dropped", dropped)
@@ -825,10 +1049,6 @@ int cmd_bench_serve(const Args& a) {
   return 0;
 }
 
-// SIGINT/SIGTERM land here; net-serve polls the flag and drains.
-volatile std::sig_atomic_t g_stop_requested = 0;
-extern "C" void handle_stop_signal(int) { g_stop_requested = 1; }
-
 /// Runs NpdpServer in the foreground until SIGINT/SIGTERM (or the
 /// optional --duration-ms elapses), then drains gracefully: stop
 /// accepting, answer everything admitted, flush every socket.
@@ -842,6 +1062,18 @@ int cmd_net_serve(const Args& a) {
   no.idle_timeout_ms = a.num("idle-timeout-ms", 30000);
   no.drain_timeout_ms = a.num("drain-timeout-ms", 5000);
   auto fault_scope = fault_scope_from(a);  // outlives the server
+  const bool tracing = a.has("trace");
+  if (tracing)
+    // Started before the server so the reactor threads register their
+    // ring buffers; exported after drain as one server-side trace.
+    obs::Tracer::instance().start(
+        static_cast<std::size_t>(a.num("trace-buf", 1 << 18)));
+  if (a.has("request-log")) {
+    obs::request_log().enable(
+        static_cast<std::size_t>(a.num("log-capacity", 1 << 16)));
+    obs::request_log().set_sample_every(
+        static_cast<std::uint32_t>(std::max(1L, a.num("log-sample", 1))));
+  }
   net::NpdpServer server(no, service_options_from(a));
   std::string err;
   if (!server.start(&err)) {
@@ -897,6 +1129,35 @@ int cmd_net_serve(const Args& a) {
               static_cast<unsigned long long>(ss.degraded),
               static_cast<unsigned long long>(ss.rejected),
               static_cast<unsigned long long>(ss.expired));
+  if (tracing) {
+    obs::Tracer::instance().stop();
+    const long events =
+        obs::export_chrome_trace(a.get("trace"), "npdp-server");
+    if (events < 0) {
+      std::fprintf(stderr, "net-serve: cannot write %s\n",
+                   a.get("trace").c_str());
+      return 1;
+    }
+    std::printf("net-serve: trace written to %s (%ld events)\n",
+                a.get("trace").c_str(), events);
+  }
+  if (a.has("request-log")) {
+    std::ofstream os(a.get("request-log"));
+    if (!os) {
+      std::fprintf(stderr, "net-serve: cannot write %s\n",
+                   a.get("request-log").c_str());
+      return 1;
+    }
+    const std::size_t written = obs::request_log().snapshot().size();
+    obs::request_log().write_jsonl(os);
+    std::printf("net-serve: %zu wide events written to %s "
+                "(%llu appended, %llu sampled out)\n",
+                written, a.get("request-log").c_str(),
+                static_cast<unsigned long long>(
+                    obs::request_log().appended()),
+                static_cast<unsigned long long>(
+                    obs::request_log().sampled_out()));
+  }
   return 0;
 }
 
@@ -919,10 +1180,16 @@ int cmd_net_bench(const Args& a) {
   lo.backend = a.get("backend", "");
   lo.seed = static_cast<std::uint64_t>(a.num("seed", 1));
   lo.timeout_ms = static_cast<int>(a.num("timeout-ms", 10000));
+  lo.trace = a.has("trace") || a.has("trace-sample");
+  lo.trace_sample = a.real("trace-sample", 1.0);
   if (lo.mix != "solve" && lo.mix != "fold" && lo.mix != "parse" &&
       lo.mix != "chain" && lo.mix != "bst" && lo.mix != "mix")
     throw UsageError("unknown --mix '" + lo.mix +
                      "' (solve|fold|parse|chain|bst|mix)");
+  const bool tracing = a.has("trace");
+  if (tracing)
+    obs::Tracer::instance().start(
+        static_cast<std::size_t>(a.num("trace-buf", 1 << 18)));
 
   net::LoadGenResult r;
   std::string err;
@@ -930,19 +1197,28 @@ int cmd_net_bench(const Args& a) {
     std::fprintf(stderr, "net-bench: %s\n", err.c_str());
     return 1;
   }
-  const double p50 = net::latency_percentile(r.latencies_ms, 0.50);
-  const double p90 = net::latency_percentile(r.latencies_ms, 0.90);
-  const double p99 = net::latency_percentile(r.latencies_ms, 0.99);
-  const double pmax = net::latency_percentile(r.latencies_ms, 1.0);
+  if (tracing) obs::Tracer::instance().stop();
+  // Percentiles go through the same log2-bucket histogram the server's
+  // metrics use, so BENCH_net.json and the live stats plane agree to
+  // within one bucket. p99 is interpolated; p99_upper is the bucket
+  // ceiling (the pre-interpolation behaviour, kept for comparability).
+  obs::Histogram lat_h;
+  for (const double ms : r.latencies_ms)
+    lat_h.observe(static_cast<std::int64_t>(ms * 1e6));
+  const double p50 = lat_h.quantile(0.50) / 1e6;
+  const double p90 = lat_h.quantile(0.90) / 1e6;
+  const double p99 = lat_h.quantile(0.99) / 1e6;
+  const double p99_upper = double(lat_h.quantile_upper_bound(0.99)) / 1e6;
+  const double pmax = lat_h.count() > 0 ? double(lat_h.max()) / 1e6 : 0;
   const char* mode = lo.rate > 0 ? "open" : "closed";
   std::printf("net-bench: %llu sent, %llu replies over %d conns (%s loop) "
               "in %.2f s: %.0f req/s\n",
               static_cast<unsigned long long>(r.sent),
               static_cast<unsigned long long>(r.replies), lo.connections,
               mode, r.elapsed_s, r.achieved_rps);
-  std::printf("  latency p50 %.3f ms, p90 %.3f ms, p99 %.3f ms, max %.3f "
-              "ms\n",
-              p50, p90, p99, pmax);
+  std::printf("  latency p50 %.3f ms, p90 %.3f ms, p99 %.3f ms (upper "
+              "%.3f ms), max %.3f ms\n",
+              p50, p90, p99, p99_upper, pmax);
   std::printf("  %llu ok, %llu cached, %llu degraded, %llu rejected, %llu "
               "shed, %llu expired, %llu cancelled, %llu retry-after, %llu "
               "errors\n",
@@ -978,6 +1254,7 @@ int cmd_net_bench(const Args& a) {
       .set("p50_ms", p50)
       .set("p90_ms", p90)
       .set("p99_ms", p99)
+      .set("p99_upper_ms", p99_upper)
       .set("max_ms", pmax)
       .set("ok", std::int64_t(r.ok))
       .set("ok_cached", std::int64_t(r.cached))
@@ -991,13 +1268,24 @@ int cmd_net_bench(const Args& a) {
       .set("proto_errors", std::int64_t(r.proto_errors))
       .set("transport_errors", std::int64_t(r.transport_errors));
   json.flush();
+  if (tracing) {
+    const long events =
+        obs::export_chrome_trace(a.get("trace"), "npdp-client");
+    if (events < 0) {
+      std::fprintf(stderr, "net-bench: cannot write %s\n",
+                   a.get("trace").c_str());
+      return 1;
+    }
+    std::printf("  client trace written to %s (%ld events)\n",
+                a.get("trace").c_str(), events);
+  }
   return r.clean() ? 0 : 1;
 }
 
 void usage() {
   std::printf(
-      "usage: npdp <solve|backends|check-trace|info|fold|parse|simulate"
-      "|cluster|model|serve|bench-serve|net-serve|net-bench> "
+      "usage: npdp <solve|backends|check-trace|merge-traces|info|fold|parse"
+      "|simulate|cluster|model|serve|bench-serve|net-serve|net-bench|top> "
       "[--key value ...]\n"
       "  backends     list the registered solver backends (--backend names),\n"
       "               capabilities, and breaker health\n"
@@ -1009,6 +1297,9 @@ void usage() {
       "(docs/networking.md)\n"
       "  net-bench    network load generator against net-serve; writes "
       "BENCH_net.json\n"
+      "  top          live stats view of a running net-serve (--prom for\n"
+      "               Prometheus text exposition, --once for one poll)\n"
+      "  merge-traces merge client+server Chrome traces onto one timeline\n"
       "(see the header of tools/npdp_tool.cpp for the full flag list)\n");
 }
 
@@ -1025,6 +1316,8 @@ int main(int argc, char** argv) {
     if (cmd == "solve") return cmd_solve(a);
     if (cmd == "backends") return cmd_backends(a);
     if (cmd == "check-trace") return cmd_check_trace(a);
+    if (cmd == "merge-traces") return cmd_merge_traces(a);
+    if (cmd == "top") return cmd_top(a);
     if (cmd == "info") return cmd_info(a);
     if (cmd == "fold") return cmd_fold(a);
     if (cmd == "parse") return cmd_parse(a);

@@ -69,6 +69,48 @@ wait "$NET_PID"
 trap 'rm -rf "$TRACE_DIR" "$NET_DIR"' EXIT
 echo "net loopback: clean"
 
+echo "== end-to-end telemetry: trace propagation + wide events + stats =="
+# Serve with server-side request tracing and the wide-event log, drive it
+# with a trace-originating load (every request sampled), pull a live stats
+# snapshot, then merge the client and server traces and require >=99% of
+# request chains to be complete with zero orphan server spans.
+TEL_DIR=$(mktemp -d)
+"$BUILD_DIR"/tools/npdp net-serve --port 0 --reactors 2 \
+    --port-file "$TEL_DIR/port" \
+    --trace "$TEL_DIR/server_trace.json" \
+    --request-log "$TEL_DIR/wide.jsonl" &
+TEL_PID=$!
+trap 'kill "$TEL_PID" 2>/dev/null; rm -rf "$TRACE_DIR" "$NET_DIR" "$TEL_DIR"' EXIT
+for _ in $(seq 100); do
+  [ -s "$TEL_DIR/port" ] && break
+  sleep 0.1
+done
+[ -s "$TEL_DIR/port" ] || { echo "telemetry net-serve never bound"; exit 1; }
+TEL_PORT=$(cat "$TEL_DIR/port")
+"$BUILD_DIR"/tools/npdp net-bench --port "$TEL_PORT" --connections 2 \
+    --requests 50 --duration 5 --mix chain --size 24 \
+    --trace "$TEL_DIR/client_trace.json" --trace-sample 1 \
+    --json-dir "$TEL_DIR"
+grep -q '"proto_errors":0' "$TEL_DIR"/BENCH_net.json
+grep -q '"transport_errors":0' "$TEL_DIR"/BENCH_net.json
+# Live stats plane: the binary StatsRequest frame and both renderings.
+"$BUILD_DIR"/tools/npdp top --port "$TEL_PORT" --once | grep -q 'queue depth'
+"$BUILD_DIR"/tools/npdp top --port "$TEL_PORT" --once --prom \
+    | grep -q '^cellnpdp_serve_status_ok'
+kill -TERM "$TEL_PID"
+wait "$TEL_PID"
+trap 'rm -rf "$TRACE_DIR" "$NET_DIR" "$TEL_DIR"' EXIT
+# Every completed request must have produced one wide event.
+[ -s "$TEL_DIR/wide.jsonl" ] || { echo "no wide events written"; exit 1; }
+grep -q '"trace_id":' "$TEL_DIR/wide.jsonl"
+grep -q '"queue_ns":' "$TEL_DIR/wide.jsonl"
+"$BUILD_DIR"/tools/npdp merge-traces --out "$TEL_DIR/merged.json" \
+    --client "$TEL_DIR/client_trace.json" \
+    --server "$TEL_DIR/server_trace.json"
+"$BUILD_DIR"/tools/npdp check-trace --file "$TEL_DIR/merged.json" \
+    --chains --min-chain-frac 0.99
+echo "telemetry: clean"
+
 echo "== sanitizers (serve + taskgraph + cancel + resilience + net) =="
 # The concurrency-heavy suites rerun under ASan/UBSan in a separate tree.
 ASAN_DIR=${ASAN_DIR:-build-asan}
