@@ -1,0 +1,373 @@
+// Router-tier benchmark: does consistent-hash placement make the fleet's
+// aggregate cache capacity scale with replica count, and does failover
+// stay invisible to clients?
+//
+// Four phases, all driving the same seed-deterministic workload (D
+// distinct computations, uniform draws, D chosen so one replica's LRU
+// cannot hold the set but a third of it fits):
+//
+//   single       1 replica, cache X entries        -> hit rate ~ X/D
+//   round_robin  3 replicas, cache X each, clients
+//                dealt round-robin (same total
+//                cache bytes as the router trio)   -> hit rate ~ X/D
+//                (every replica sees every key: the caches duplicate)
+//   router       3 replicas, cache X each, behind
+//                npdp's consistent-hash router     -> hit rate -> ~1
+//                (each replica sees only its arc: the caches shard)
+//   failover     router trio; one replica is
+//                SIGKILLed mid-run                 -> zero client-visible
+//                errors, in-flight requests requeued onto survivors
+//
+// The per-replica request share measured in the router phase is compared
+// against cluster_sim's predicted ownership split (block-column-cyclic
+// owner = bj % nodes, the paper's fixed block->SPE map promoted to node
+// count 3) — both placement maps aim for near-uniform ownership, and
+// BENCH_router.json records predicted vs measured side by side.
+//
+// Replicas are real child processes (fork + NpdpServer) so the failover
+// phase can deliver a genuine SIGKILL; the router runs in-process so the
+// bench can read its health/requeue counters directly. Exits nonzero if
+// the router trio fails to strictly beat both baselines or the failover
+// phase surfaces a client-visible error.
+#include <csignal>
+#include <cstdio>
+#include <sys/types.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <chrono>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_util/bench_config.hpp"
+#include "bench_util/json_out.hpp"
+#include "bench_util/table.hpp"
+#include "cluster/cluster_sim.hpp"
+#include "net/loadgen.hpp"
+#include "net/server.hpp"
+#include "router/router.hpp"
+
+namespace cellnpdp {
+namespace {
+
+volatile std::sig_atomic_t g_child_stop = 0;
+void on_child_stop(int) { g_child_stop = 1; }
+
+struct Replica {
+  pid_t pid = -1;
+  std::uint16_t port = 0;
+};
+
+/// Forks a child running one net-serve replica on an ephemeral port; the
+/// bound port comes back over a pipe. Must be called while the parent is
+/// single-threaded (between load phases).
+Replica spawn_replica(int cache_entries) {
+  int pfd[2];
+  if (::pipe(pfd) != 0) {
+    std::perror("pipe");
+    std::exit(1);
+  }
+  const pid_t pid = ::fork();
+  if (pid < 0) {
+    std::perror("fork");
+    std::exit(1);
+  }
+  if (pid == 0) {
+    ::close(pfd[0]);
+    std::signal(SIGTERM, on_child_stop);
+    net::ServerOptions no;
+    no.port = 0;
+    serve::ServiceOptions so;
+    so.workers = 2;
+    so.queue_capacity = 256;
+    so.cache_capacity = static_cast<std::size_t>(cache_entries);
+    net::NpdpServer server(no, so);
+    std::string err;
+    if (!server.start(&err)) {
+      std::fprintf(stderr, "replica: %s\n", err.c_str());
+      std::_Exit(1);
+    }
+    const std::uint16_t p = server.port();
+    if (::write(pfd[1], &p, sizeof p) != sizeof p) std::_Exit(1);
+    ::close(pfd[1]);
+    while (g_child_stop == 0)
+      std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    server.stop();
+    std::_Exit(0);
+  }
+  ::close(pfd[1]);
+  Replica r;
+  r.pid = pid;
+  if (::read(pfd[0], &r.port, sizeof r.port) != sizeof r.port) {
+    std::fprintf(stderr, "replica child died before binding\n");
+    std::exit(1);
+  }
+  ::close(pfd[0]);
+  return r;
+}
+
+void stop_replica(Replica& r, int sig = SIGTERM) {
+  if (r.pid <= 0) return;
+  ::kill(r.pid, sig);
+  int status = 0;
+  ::waitpid(r.pid, &status, 0);
+  r.pid = -1;
+}
+
+double hit_rate(const net::LoadGenResult& r) {
+  const std::uint64_t served = r.ok + r.cached;
+  return served == 0 ? 0.0 : double(r.cached) / double(served);
+}
+
+std::uint64_t visible_errors(const net::LoadGenResult& r) {
+  return r.errors + r.proto_errors + r.transport_errors +
+         (r.sent - r.replies);
+}
+
+}  // namespace
+}  // namespace cellnpdp
+
+int main(int argc, char** argv) {
+  using namespace cellnpdp;
+  const auto cfg = BenchConfig::from_args(argc, argv);
+  print_bench_header("Router tier: cache sharding and failover", cfg);
+
+  // X < D < 3X: one LRU cannot hold the working set, a third of it fits.
+  const int cache_x = 16;
+  const int distinct = 40;
+  const std::int64_t dur_ms = cfg.full ? 4000 : 1200;
+  net::LoadGenOptions base;
+  base.connections = 6;
+  base.duration_ms = dur_ms;
+  base.mix = "chain";
+  base.size = 24;
+  base.distinct = distinct;
+  base.seed = 101;
+  base.connect_timeout_ms = 2000;
+
+  BenchJson json("router", cfg);
+  TextTable table({"phase", "replicas", "cache/replica", "sent", "hit rate"});
+  bool ok = true;
+  std::string err;
+
+  // --- phase 1: one replica, cache X ---------------------------------------
+  double hit_single = 0;
+  {
+    Replica r = spawn_replica(cache_x);
+    net::LoadGenOptions lo = base;
+    lo.port = r.port;
+    net::LoadGenResult res;
+    if (!run_loadgen(lo, &res, &err)) {
+      std::fprintf(stderr, "single: %s\n", err.c_str());
+      return 1;
+    }
+    stop_replica(r);
+    hit_single = hit_rate(res);
+    ok = ok && visible_errors(res) == 0;
+    table.row("single", 1, cache_x, res.sent, fmt_pct(hit_single));
+    json.record()
+        .set("phase", "single")
+        .set("replicas", 1)
+        .set("cache_per_replica", cache_x)
+        .set("distinct", distinct)
+        .set("sent", std::int64_t(res.sent))
+        .set("replies", std::int64_t(res.replies))
+        .set("hit_rate", hit_single)
+        .set("errors", std::int64_t(visible_errors(res)));
+  }
+
+  // --- phase 2: three replicas, clients dealt round-robin ------------------
+  // Same total cache bytes as the router trio; only placement differs.
+  double hit_rr = 0;
+  {
+    Replica rs[3];
+    net::LoadGenOptions lo = base;
+    for (auto& r : rs) {
+      r = spawn_replica(cache_x);
+      lo.targets.push_back({"127.0.0.1", r.port});
+    }
+    net::LoadGenResult res;
+    if (!run_loadgen(lo, &res, &err)) {
+      std::fprintf(stderr, "round_robin: %s\n", err.c_str());
+      return 1;
+    }
+    for (auto& r : rs) stop_replica(r);
+    hit_rr = hit_rate(res);
+    ok = ok && visible_errors(res) == 0;
+    table.row("round_robin", 3, cache_x, res.sent, fmt_pct(hit_rr));
+    json.record()
+        .set("phase", "round_robin")
+        .set("replicas", 3)
+        .set("cache_per_replica", cache_x)
+        .set("distinct", distinct)
+        .set("sent", std::int64_t(res.sent))
+        .set("replies", std::int64_t(res.replies))
+        .set("hit_rate", hit_rr)
+        .set("errors", std::int64_t(visible_errors(res)));
+  }
+
+  // --- phase 3: three replicas behind the consistent-hash router -----------
+  double hit_router = 0;
+  std::vector<double> measured_share;
+  {
+    Replica rs[3];
+    router::RouterOptions ro;
+    ro.net.port = 0;
+    ro.probe_interval_ms = 50;
+    int i = 0;
+    for (auto& r : rs) {
+      r = spawn_replica(cache_x);
+      ro.replicas.push_back(
+          {"r" + std::to_string(++i), "127.0.0.1", r.port});
+    }
+    router::NpdpRouter router(ro);
+    if (!router.start(&err)) {
+      std::fprintf(stderr, "router: %s\n", err.c_str());
+      return 1;
+    }
+    net::LoadGenOptions lo = base;
+    lo.port = router.port();
+    net::LoadGenResult res;
+    if (!run_loadgen(lo, &res, &err)) {
+      std::fprintf(stderr, "router: %s\n", err.c_str());
+      return 1;
+    }
+    std::uint64_t total_fwd = 0;
+    for (const auto& h : router.health()) total_fwd += h.forwarded;
+    for (const auto& h : router.health())
+      measured_share.push_back(
+          total_fwd ? double(h.forwarded) / double(total_fwd) : 0.0);
+    router.stop();
+    for (auto& r : rs) stop_replica(r);
+    hit_router = hit_rate(res);
+    ok = ok && visible_errors(res) == 0;
+    table.row("router", 3, cache_x, res.sent, fmt_pct(hit_router));
+    json.record()
+        .set("phase", "router")
+        .set("replicas", 3)
+        .set("cache_per_replica", cache_x)
+        .set("distinct", distinct)
+        .set("sent", std::int64_t(res.sent))
+        .set("replies", std::int64_t(res.replies))
+        .set("hit_rate", hit_router)
+        .set("errors", std::int64_t(visible_errors(res)));
+  }
+
+  // --- phase 4: failover — SIGKILL one replica mid-run ---------------------
+  {
+    Replica rs[3];
+    router::RouterOptions ro;
+    ro.net.port = 0;
+    ro.probe_interval_ms = 50;
+    int i = 0;
+    for (auto& r : rs) {
+      r = spawn_replica(cache_x);
+      ro.replicas.push_back(
+          {"r" + std::to_string(++i), "127.0.0.1", r.port});
+    }
+    router::NpdpRouter router(ro);
+    if (!router.start(&err)) {
+      std::fprintf(stderr, "failover: %s\n", err.c_str());
+      return 1;
+    }
+    net::LoadGenOptions lo = base;
+    lo.port = router.port();
+    lo.duration_ms = 2 * dur_ms;
+    lo.connections = 8;
+    net::LoadGenResult res;
+    std::string lerr;
+    bool lok = false;
+    std::thread load([&] { lok = run_loadgen(lo, &res, &lerr); });
+    std::this_thread::sleep_for(std::chrono::milliseconds(dur_ms));
+    // Kill the replica carrying the most traffic — the worst case.
+    std::size_t victim = 0;
+    std::uint64_t best = 0;
+    const auto mid = router.health();
+    for (std::size_t k = 0; k < mid.size(); ++k)
+      if (mid[k].forwarded >= best) {
+        best = mid[k].forwarded;
+        victim = k;
+      }
+    stop_replica(rs[victim], SIGKILL);
+    load.join();
+    if (!lok) {
+      std::fprintf(stderr, "failover: %s\n", lerr.c_str());
+      return 1;
+    }
+    const router::RouterStats st = router.stats();
+    router.stop();
+    for (auto& r : rs) stop_replica(r);
+    const std::uint64_t errors = visible_errors(res);
+    ok = ok && errors == 0;
+    table.row("failover", 3, cache_x, res.sent, fmt_pct(hit_rate(res)));
+    std::printf(
+        "\nfailover: killed r%zu mid-run; %llu requeued, %llu synthesized, "
+        "%llu retry-after, %llu client-visible errors (%llu/%llu replies)\n",
+        victim + 1, static_cast<unsigned long long>(st.requeued),
+        static_cast<unsigned long long>(st.synthesized),
+        static_cast<unsigned long long>(res.retry_after),
+        static_cast<unsigned long long>(errors),
+        static_cast<unsigned long long>(res.replies),
+        static_cast<unsigned long long>(res.sent));
+    json.record()
+        .set("phase", "failover")
+        .set("replicas", 3)
+        .set("cache_per_replica", cache_x)
+        .set("distinct", distinct)
+        .set("sent", std::int64_t(res.sent))
+        .set("replies", std::int64_t(res.replies))
+        .set("hit_rate", hit_rate(res))
+        .set("killed_replica", "r" + std::to_string(victim + 1))
+        .set("requeued", std::int64_t(st.requeued))
+        .set("replica_down", std::int64_t(st.replica_down))
+        .set("synthesized", std::int64_t(st.synthesized))
+        .set("retry_after", std::int64_t(res.retry_after))
+        .set("errors", std::int64_t(errors));
+  }
+
+  // --- placement: measured share vs cluster_sim's ownership oracle ---------
+  // cluster_sim owns triangle blocks column-cyclically (owner = bj % 3);
+  // its per-node busy split is the capacity plan the ring should track.
+  {
+    NpdpInstance<float> inst;
+    inst.n = 2048;
+    inst.init = [](index_t, index_t) { return 1.0f; };
+    ClusterConfig cc;
+    cc.nodes = 3;
+    ClusterSimOptions co;
+    co.block_side = 64;
+    const auto sim = simulate_cluster_npdp(inst, cc, co);
+    double busy_total = 0;
+    for (const double b : sim.node_busy) busy_total += b;
+    std::printf("\nper-replica share, measured (router) vs predicted "
+                "(cluster_sim, %d nodes):\n", cc.nodes);
+    for (std::size_t k = 0; k < measured_share.size(); ++k) {
+      const double predicted =
+          k < sim.node_busy.size() && busy_total > 0
+              ? sim.node_busy[k] / busy_total
+              : 1.0 / double(measured_share.size());
+      std::printf("  r%zu: measured %.3f, predicted %.3f (delta %+.3f)\n",
+                  k + 1, measured_share[k], predicted,
+                  measured_share[k] - predicted);
+      json.record()
+          .set("phase", "placement")
+          .set("replica", "r" + std::to_string(k + 1))
+          .set("measured_share", measured_share[k])
+          .set("predicted_share", predicted)
+          .set("delta", measured_share[k] - predicted);
+    }
+  }
+
+  table.print();
+  json.flush();
+
+  const bool sharding_wins = hit_router > hit_single && hit_router > hit_rr;
+  std::printf("\naggregate hit rate: single %.1f%%, round-robin trio %.1f%%, "
+              "router trio %.1f%% -> %s\n",
+              100 * hit_single, 100 * hit_rr, 100 * hit_router,
+              sharding_wins ? "sharding wins" : "SHARDING DID NOT WIN");
+  if (!ok) std::printf("!! client-visible errors in at least one phase\n");
+  return (sharding_wins && ok) ? 0 : 1;
+}

@@ -1,16 +1,30 @@
 #include "net/client.hpp"
 
+#include <cerrno>
 #include <cstring>
 
 namespace cellnpdp::net {
 
 bool NpdpClient::connect(const std::string& host, std::uint16_t port,
-                         std::string* err) {
+                         std::string* err, int connect_timeout_ms) {
   close();
-  const int fd = tcp_connect(host, port, err);
+  host_ = host;
+  port_ = port;
+  have_endpoint_ = true;
+  if (connect_timeout_ms > 0) connect_timeout_ms_ = connect_timeout_ms;
+  const int fd =
+      tcp_connect_timeout(host, port, connect_timeout_ms_, err);
   if (fd < 0) return false;
   fd_.reset(fd);
   return true;
+}
+
+bool NpdpClient::reconnect(std::string* err) {
+  if (!have_endpoint_) {
+    *err = "no endpoint to reconnect to";
+    return false;
+  }
+  return connect(host_, port_, err, connect_timeout_ms_);
 }
 
 bool NpdpClient::send_frame(const std::vector<std::uint8_t>& frame,
@@ -25,6 +39,35 @@ bool NpdpClient::send_frame(const std::vector<std::uint8_t>& frame,
     return false;
   }
   return true;
+}
+
+NpdpClient::SendStatus NpdpClient::send_frame2(
+    const std::vector<std::uint8_t>& frame, std::string* err) {
+  // Dead before we start (prior error, idle-timeout close noticed on the
+  // previous read): dial again rather than failing a sendable request.
+  if (!fd_.valid()) {
+    if (!auto_reconnect_) {
+      *err = "not connected";
+      return SendStatus::Reset;
+    }
+    if (!reconnect(err)) return SendStatus::Reset;
+  }
+  if (send_all(fd_.get(), frame.data(), frame.size())) return SendStatus::Ok;
+  const int send_errno = errno;
+  *err = std::string("send: ") + std::strerror(send_errno);
+  fd_.reset();
+  rbuf_.clear();
+  if (send_errno != ECONNRESET && send_errno != EPIPE)
+    return SendStatus::Error;
+  // Peer dropped the connection under us. One reconnect + resend: frames
+  // pipelined on the dead connection are gone either way, so the caller
+  // sees Reset (retry the rest) rather than a hard error.
+  if (!auto_reconnect_ || !reconnect(err)) return SendStatus::Reset;
+  if (send_all(fd_.get(), frame.data(), frame.size())) return SendStatus::Ok;
+  *err = std::string("send after reconnect: ") + std::strerror(errno);
+  fd_.reset();
+  rbuf_.clear();
+  return SendStatus::Reset;
 }
 
 NpdpClient::RecvStatus NpdpClient::recv_frame(FrameHeader* h,

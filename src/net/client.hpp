@@ -19,8 +19,14 @@ class NpdpClient {
  public:
   NpdpClient() = default;
 
-  /// Blocking connect. False with *err on failure.
-  bool connect(const std::string& host, std::uint16_t port, std::string* err);
+  /// Blocking connect; the handshake is bounded by connect_timeout_ms
+  /// (0 = unbounded). The endpoint is remembered so reconnect() and the
+  /// auto-reconnect path can dial it again. False with *err on failure.
+  bool connect(const std::string& host, std::uint16_t port, std::string* err,
+               int connect_timeout_ms = 0);
+  /// Re-dials the endpoint of the last connect(). False with *err when no
+  /// endpoint is known or the dial fails.
+  bool reconnect(std::string* err);
   void close() { fd_.reset(); rbuf_.clear(); }
   bool connected() const { return fd_.valid(); }
   int fd() const { return fd_.get(); }
@@ -29,10 +35,31 @@ class NpdpClient {
   /// server-side cap; a frame above it fails the read).
   void set_max_frame(std::size_t n) { max_frame_ = n; }
 
+  /// Handshake bound applied by reconnect() and auto-reconnect dials.
+  void set_connect_timeout(int ms) { connect_timeout_ms_ = ms; }
+
+  /// When on, send_frame2() re-dials the remembered endpoint once: before
+  /// sending if the connection is already down, and again after a
+  /// send-side ECONNRESET/EPIPE (the classic "server restarted between
+  /// requests" case). A resend after reconnect is safe because nothing of
+  /// the old connection's pipeline survives — buffered reply bytes are
+  /// dropped with the old fd.
+  void set_auto_reconnect(bool on) { auto_reconnect_ = on; }
+
   enum class RecvStatus { Ok, Timeout, Closed, Error };
+
+  /// send_frame2 outcome: Reset means the peer dropped the connection
+  /// (ECONNRESET/EPIPE) and — with auto-reconnect on — the re-dial or the
+  /// resend failed too. Distinct from Error so callers can treat a dead
+  /// replica differently from a local fault.
+  enum class SendStatus { Ok, Reset, Error };
 
   /// Sends one already-encoded frame. False with *err on transport error.
   bool send_frame(const std::vector<std::uint8_t>& frame, std::string* err);
+
+  /// Like send_frame but with the reconnect policy and a typed status.
+  SendStatus send_frame2(const std::vector<std::uint8_t>& frame,
+                         std::string* err);
 
   /// Receives the next complete frame (any type). Timeout applies to
   /// each underlying read; a reply already buffered returns immediately.
@@ -73,6 +100,11 @@ class NpdpClient {
   FdGuard fd_;
   std::vector<std::uint8_t> rbuf_;  ///< bytes received past the last frame
   std::size_t max_frame_ = kDefaultMaxFrame;
+  std::string host_;  ///< remembered endpoint for reconnects
+  std::uint16_t port_ = 0;
+  bool have_endpoint_ = false;
+  int connect_timeout_ms_ = 0;
+  bool auto_reconnect_ = false;
 };
 
 }  // namespace cellnpdp::net

@@ -30,9 +30,11 @@ std::vector<char> mix_kinds(const std::string& mix) {
 
 serve::Payload make_payload(const LoadGenOptions& o, char kind,
                             SplitMix64& rng) {
-  // Seeds are drawn from a small pool so the server's result cache sees
+  // Seeds are drawn from a bounded pool so the server's result cache sees
   // realistic repeat traffic (some OkCached replies), not 100% misses.
-  const std::uint64_t seed = o.seed + rng.next_below(16);
+  const std::uint64_t pool =
+      o.distinct > 0 ? static_cast<std::uint64_t>(o.distinct) : 16;
+  const std::uint64_t seed = o.seed + rng.next_below(pool);
   switch (kind) {
     case 's': {
       serve::SolveSpec s;
@@ -94,9 +96,10 @@ struct Shared {
   std::atomic<std::uint64_t> sent_total{0};
   std::mutex mu;
   LoadGenResult merged;
+  std::vector<TargetCounts> per_target;  ///< one slot per target
 };
 
-void merge(Shared& sh, const LoadGenResult& part) {
+void merge(Shared& sh, const LoadGenResult& part, std::size_t tidx) {
   std::lock_guard lk(sh.mu);
   LoadGenResult& m = sh.merged;
   m.sent += part.sent;
@@ -114,17 +117,32 @@ void merge(Shared& sh, const LoadGenResult& part) {
   m.transport_errors += part.transport_errors;
   m.latencies_ms.insert(m.latencies_ms.end(), part.latencies_ms.begin(),
                         part.latencies_ms.end());
+  TargetCounts& t = sh.per_target[tidx];
+  t.sent += part.sent;
+  t.replies += part.replies;
+  t.ok += part.ok;
+  t.cached += part.cached;
+  t.degraded += part.degraded;
+  t.rejected += part.rejected;
+  t.shed += part.shed;
+  t.expired += part.expired;
+  t.cancelled += part.cancelled;
+  t.retry_after += part.retry_after;
+  t.errors += part.errors;
+  t.proto_errors += part.proto_errors;
+  t.transport_errors += part.transport_errors;
 }
 
 /// One connection's worth of load. Closed loop when interval_ns == 0.
-void conn_worker(const LoadGenOptions& o, int ci, std::int64_t interval_ns,
+void conn_worker(const LoadGenOptions& o, const Endpoint& target,
+                 std::size_t tidx, int ci, std::int64_t interval_ns,
                  SteadyClock::time_point t_end, Shared& sh) {
   LoadGenResult acc;
   NpdpClient cli;
   std::string err;
-  if (!cli.connect(o.host, o.port, &err)) {
+  if (!cli.connect(target.host, target.port, &err, o.connect_timeout_ms)) {
     ++acc.transport_errors;
-    merge(sh, acc);
+    merge(sh, acc, tidx);
     return;
   }
   SplitMix64 rng(o.seed * 0x9E3779B97F4A7C15ull +
@@ -261,7 +279,7 @@ void conn_worker(const LoadGenOptions& o, int ci, std::int64_t interval_ns,
       break;
     }
   }
-  merge(sh, acc);
+  merge(sh, acc, tidx);
 }
 
 }  // namespace
@@ -269,29 +287,43 @@ void conn_worker(const LoadGenOptions& o, int ci, std::int64_t interval_ns,
 bool run_loadgen(const LoadGenOptions& opts, LoadGenResult* out,
                  std::string* err) {
   const int conns = std::max(1, opts.connections);
-  {
-    // Fail fast (and with a useful message) if nobody is listening.
+  std::vector<Endpoint> targets = opts.targets;
+  if (targets.empty()) targets.push_back(Endpoint{opts.host, opts.port});
+  for (const Endpoint& t : targets) {
+    // Fail fast (and with a useful message) if any target isn't listening.
     NpdpClient probe;
-    if (!probe.connect(opts.host, opts.port, err)) return false;
+    if (!probe.connect(t.host, t.port, err, opts.connect_timeout_ms)) {
+      *err = t.host + ":" + std::to_string(t.port) + ": " + *err;
+      return false;
+    }
   }
   const std::int64_t interval_ns =
       opts.rate > 0
           ? static_cast<std::int64_t>(1e9 * conns / opts.rate)
           : 0;
   Shared sh;
+  sh.per_target.resize(targets.size());
+  for (std::size_t i = 0; i < targets.size(); ++i)
+    sh.per_target[i].target =
+        targets[i].host + ":" + std::to_string(targets[i].port);
   const auto t0 = SteadyClock::now();
   const auto t_end = t0 + std::chrono::milliseconds(opts.duration_ms);
   std::vector<std::thread> threads;
   threads.reserve(static_cast<std::size_t>(conns));
-  for (int ci = 0; ci < conns; ++ci)
-    threads.emplace_back(conn_worker, std::cref(opts), ci, interval_ns, t_end,
-                         std::ref(sh));
+  for (int ci = 0; ci < conns; ++ci) {
+    const std::size_t tidx =
+        static_cast<std::size_t>(ci) % targets.size();
+    threads.emplace_back(conn_worker, std::cref(opts),
+                         std::cref(targets[tidx]), tidx, ci, interval_ns,
+                         t_end, std::ref(sh));
+  }
   for (auto& t : threads) t.join();
   sh.merged.elapsed_s =
       std::chrono::duration<double>(SteadyClock::now() - t0).count();
   sh.merged.achieved_rps = sh.merged.elapsed_s > 0
                                ? double(sh.merged.replies) / sh.merged.elapsed_s
                                : 0;
+  sh.merged.per_target = std::move(sh.per_target);
   *out = std::move(sh.merged);
   return true;
 }

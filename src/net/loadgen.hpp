@@ -21,9 +21,20 @@
 
 namespace cellnpdp::net {
 
+/// One server to drive (a replica, or a router front-end).
+struct Endpoint {
+  std::string host = "127.0.0.1";
+  std::uint16_t port = 0;
+};
+
 struct LoadGenOptions {
   std::string host = "127.0.0.1";
   std::uint16_t port = 0;
+  /// When non-empty, overrides host/port: connections are dealt to the
+  /// targets round-robin (connection i -> targets[i % n]), so one run can
+  /// drive several direct replicas — or one router — with the identical
+  /// offered stream, and the per-target reply mixes stay comparable.
+  std::vector<Endpoint> targets;
   int connections = 4;
   double rate = 0;  ///< total req/s across all connections; 0 = closed loop
   std::int64_t duration_ms = 2000;
@@ -35,12 +46,36 @@ struct LoadGenOptions {
   std::uint32_t deadline_ms = 0;   ///< per-request deadline; 0 = none
   std::string backend;             ///< Solve requests only
   std::uint64_t seed = 1;
+  /// Size of the seed pool payloads draw from: the offered stream asks
+  /// for `distinct` different computations per kind, so a result cache of
+  /// capacity >= distinct converges to ~100% hits while a smaller one
+  /// thrashes. The knob that makes cache-sharding effects measurable.
+  int distinct = 16;
   int timeout_ms = 10000;          ///< per-read client timeout
+  int connect_timeout_ms = 0;      ///< per-connection dial bound; 0 = none
   /// Trace-context origination: when true, every request carries a fresh
   /// root SpanContext; trace_sample picks which contexts are *sampled*
   /// (recorded by both ends), deterministically from the request RNG.
   bool trace = false;
   double trace_sample = 1.0;  ///< fraction of contexts marked sampled
+};
+
+/// Per-status reply counts for one target endpoint.
+struct TargetCounts {
+  std::string target;  ///< "host:port"
+  std::uint64_t sent = 0;
+  std::uint64_t replies = 0;
+  std::uint64_t ok = 0;
+  std::uint64_t cached = 0;
+  std::uint64_t degraded = 0;
+  std::uint64_t rejected = 0;
+  std::uint64_t shed = 0;
+  std::uint64_t expired = 0;
+  std::uint64_t cancelled = 0;
+  std::uint64_t retry_after = 0;
+  std::uint64_t errors = 0;
+  std::uint64_t proto_errors = 0;
+  std::uint64_t transport_errors = 0;
 };
 
 struct LoadGenResult {
@@ -62,6 +97,9 @@ struct LoadGenResult {
   double achieved_rps = 0;  ///< replies / elapsed
   /// Client-measured end-to-end latency per reply, milliseconds, unsorted.
   std::vector<double> latencies_ms;
+  /// One entry per distinct target (in LoadGenOptions::targets order;
+  /// a single host/port run gets exactly one entry).
+  std::vector<TargetCounts> per_target;
 
   /// True when every send got a well-formed terminal reply.
   bool clean() const {

@@ -1,34 +1,24 @@
-// NpdpServer: the Linux epoll TCP front-end over serve::SolveService.
+// NpdpServer: serve::SolveService behind the shared epoll TCP front-end.
 //
-// Thread architecture:
-//
-//   acceptor          one thread; epoll{listen fd, wake}; accepted
-//                     connections are pinned to a reactor by fd hash
-//   reactor[i]        N event loops; each owns its connections' read
-//                     parsing, frame dispatch, and socket writes
-//   service threads   the existing SolveService pipeline; terminal
-//                     responses re-enter the owning reactor through a
-//                     per-connection outbox + eventfd wake
-//
-// A connection's read/write buffers are touched only by its reactor;
-// cross-thread handoff happens exclusively through the mutex-protected
-// outbox, so no frame is ever written interleaved. Responses are matched
-// to connections through weak_ptrs: a client that disconnects mid-request
-// simply drops its response on the floor (counted, never crashing).
+// The socket machinery — acceptor, reactors, partial-frame reassembly,
+// outbox/eventfd cross-thread replies, half-close drain, idle sweep,
+// bounded stop() drain — lives in net::EpollFrontEnd (frontend.hpp) and
+// is shared with the router tier. This class is the *host*: it supplies
+// the frame handler that decodes request payloads, submits them to the
+// SolveService, and encodes terminal responses back through the
+// front-end, plus the stats frames (JSON text and binary snapshot).
 //
 // Shutdown (stop(), also the SIGTERM path in the CLI) drains gracefully:
-// stop accepting, let SolveService::stop(drain=true) answer everything
-// admitted, flush every outbox to the sockets (bounded by
-// drain_timeout_ms), then take the reactors down.
+// the front-end stops accepting, SolveService::stop(drain=true) answers
+// everything admitted, every outbox flushes to its socket (bounded by
+// drain_timeout_ms), then the reactors come down.
 #pragma once
 
-#include <atomic>
 #include <cstdint>
 #include <memory>
 #include <string>
-#include <thread>
-#include <vector>
 
+#include "net/frontend.hpp"
 #include "net/protocol.hpp"
 #include "serve/service.hpp"
 
@@ -77,58 +67,20 @@ class NpdpServer {
   void stop();
 
   /// The bound port (valid after start(); resolves port 0).
-  std::uint16_t port() const { return port_; }
+  std::uint16_t port() const { return fe_.port(); }
 
   ServerStats stats() const;
   serve::SolveService& service() { return service_; }
   const ServerOptions& options() const { return opts_; }
 
  private:
-  struct Conn;
-  struct Reactor;
-
-  void acceptor_loop();
-  void reactor_loop(Reactor& r);
-  void adopt_incoming(Reactor& r);
-  void on_readable(Reactor& r, const std::shared_ptr<Conn>& c);
-  void parse_frames(Reactor& r, const std::shared_ptr<Conn>& c);
-  void handle_frame(Reactor& r, const std::shared_ptr<Conn>& c,
-                    const FrameHeader& h, const std::uint8_t* payload);
-  /// Appends a frame to the connection's outbox (any thread).
-  void enqueue_out(const std::shared_ptr<Conn>& c,
-                   std::vector<std::uint8_t> frame);
-  /// Moves outbox bytes into the write buffer and pushes to the socket
-  /// (reactor thread only). Closes the connection on fatal write errors
-  /// or when a close-after-flush completes.
-  void pump_out(Reactor& r, const std::shared_ptr<Conn>& c);
-  void close_conn(Reactor& r, const std::shared_ptr<Conn>& c);
-  void sweep_idle(Reactor& r);
+  void handle_frame(const EpollFrontEnd::ConnPtr& c, const FrameHeader& h,
+                    const std::uint8_t* payload);
   std::string stats_json() const;
 
   const ServerOptions opts_;
   serve::SolveService service_;
-
-  std::atomic<bool> started_{false};
-  std::atomic<bool> stopped_{false};
-  std::atomic<bool> accept_stop_{false};
-  std::atomic<bool> reactor_stop_{false};
-
-  int listen_fd_ = -1;
-  int accept_wake_ = -1;
-  std::uint16_t port_ = 0;
-  std::thread acceptor_;
-  std::vector<std::unique_ptr<Reactor>> reactors_;
-
-  // stop() watches these two to know when every computed response has
-  // reached a socket: requests still inside the service + bytes enqueued
-  // but not yet written.
-  std::atomic<std::int64_t> inflight_total_{0};
-  std::atomic<std::int64_t> out_pending_bytes_{0};
-
-  std::atomic<std::uint64_t> accepted_{0}, disconnects_{0}, bytes_in_{0},
-      bytes_out_{0}, frames_in_{0}, responses_{0}, frames_bad_{0},
-      protocol_errors_{0}, dropped_responses_{0};
-  std::atomic<std::int64_t> active_conns_{0};
+  EpollFrontEnd fe_;
 };
 
 }  // namespace cellnpdp::net

@@ -84,6 +84,55 @@ int tcp_connect(const std::string& host, std::uint16_t port,
   return fd.release();
 }
 
+int tcp_connect_timeout(const std::string& host, std::uint16_t port,
+                        int timeout_ms, std::string* err) {
+  if (timeout_ms <= 0) return tcp_connect(host, port, err);
+  sockaddr_in addr;
+  if (!parse_addr(host, port, &addr, err)) return -1;
+  FdGuard fd(::socket(AF_INET, SOCK_STREAM | SOCK_NONBLOCK | SOCK_CLOEXEC, 0));
+  if (!fd.valid()) {
+    *err = std::string("socket: ") + std::strerror(errno);
+    return -1;
+  }
+  if (::connect(fd.get(), reinterpret_cast<sockaddr*>(&addr),
+                sizeof addr) != 0) {
+    if (errno != EINPROGRESS) {
+      *err = std::string("connect: ") + std::strerror(errno);
+      return -1;
+    }
+    // Handshake in flight: wait for writability, bounded.
+    pollfd pfd{fd.get(), POLLOUT, 0};
+    for (;;) {
+      const int pr = ::poll(&pfd, 1, timeout_ms);
+      if (pr < 0) {
+        if (errno == EINTR) continue;
+        *err = std::string("poll: ") + std::strerror(errno);
+        return -1;
+      }
+      if (pr == 0) {
+        *err = "connect timeout after " + std::to_string(timeout_ms) + " ms";
+        return -1;
+      }
+      break;
+    }
+    int soerr = 0;
+    socklen_t slen = sizeof soerr;
+    if (::getsockopt(fd.get(), SOL_SOCKET, SO_ERROR, &soerr, &slen) != 0 ||
+        soerr != 0) {
+      *err = std::string("connect: ") +
+             std::strerror(soerr != 0 ? soerr : errno);
+      return -1;
+    }
+  }
+  if (!set_nonblocking(fd.get(), false)) {
+    *err = std::string("fcntl: ") + std::strerror(errno);
+    return -1;
+  }
+  const int one = 1;
+  ::setsockopt(fd.get(), IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
+  return fd.release();
+}
+
 bool set_nonblocking(int fd, bool nonblocking) {
   const int flags = ::fcntl(fd, F_GETFL, 0);
   if (flags < 0) return false;

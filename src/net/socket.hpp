@@ -48,6 +48,14 @@ std::uint16_t local_port(int fd);
 /// with *err set.
 int tcp_connect(const std::string& host, std::uint16_t port, std::string* err);
 
+/// Like tcp_connect, but bounds the handshake: a non-blocking connect is
+/// polled for up to timeout_ms, then the socket is flipped back to
+/// blocking. timeout_ms <= 0 means no bound (plain tcp_connect). Returns
+/// the fd, or -1 with *err set ("connect timeout ..." when the bound was
+/// hit).
+int tcp_connect_timeout(const std::string& host, std::uint16_t port,
+                        int timeout_ms, std::string* err);
+
 bool set_nonblocking(int fd, bool nonblocking);
 
 /// Writes all of [p, p+n) to a blocking fd, riding out EINTR/short

@@ -1,0 +1,122 @@
+// Consistent-hash ring with virtual nodes — the placement function of the
+// router tier.
+//
+// Each node contributes `vnodes` points to a ring of 64-bit positions; a
+// key is placed on the node owning the first point at or clockwise of the
+// key's (mixed) hash. Two properties matter here and are what the tests
+// pin down:
+//
+//  * uniformity — with enough virtual nodes the ring splits the keyspace
+//    near-evenly, so replicas see comparable load;
+//  * minimal remap — removing a node moves only the keys that node owned
+//    (its arc segments fall to the clockwise successors); every other
+//    key keeps its placement, which is what preserves the surviving
+//    replicas' warm LRU caches through a failover.
+//
+// The paper's Cell mapping assigns triangle blocks to SPEs by a fixed
+// ownership function; this is the serving-tier analogue where membership
+// can change at runtime. Deterministic by construction (FNV-1a + a
+// splitmix-style finalizer, no RNG), so every router instance configured
+// with the same replica names computes the same placement.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace cellnpdp::router {
+
+/// splitmix64 finalizer: spreads FNV's low-entropy high bits over the
+/// whole 64-bit ring (FNV alone clusters nearby inputs).
+inline std::uint64_t mix64(std::uint64_t x) {
+  x += 0x9E3779B97F4A7C15ull;
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ull;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBull;
+  return x ^ (x >> 31);
+}
+
+class HashRing {
+ public:
+  explicit HashRing(int vnodes = 64) : vnodes_(vnodes < 1 ? 1 : vnodes) {}
+
+  /// Inserts `name` with vnodes points. No-op if already present.
+  void add(const std::string& name) {
+    if (contains(name)) return;
+    names_.push_back(name);
+    for (int v = 0; v < vnodes_; ++v)
+      points_.push_back({point_hash(name, v), name});
+    std::sort(points_.begin(), points_.end());
+  }
+
+  /// Removes `name` and its points. No-op if absent.
+  void remove(const std::string& name) {
+    names_.erase(std::remove(names_.begin(), names_.end(), name),
+                 names_.end());
+    points_.erase(std::remove_if(points_.begin(), points_.end(),
+                                 [&](const Point& p) {
+                                   return p.node == name;
+                                 }),
+                  points_.end());
+  }
+
+  bool contains(const std::string& name) const {
+    return std::find(names_.begin(), names_.end(), name) != names_.end();
+  }
+  std::size_t size() const { return names_.size(); }
+  bool empty() const { return names_.empty(); }
+  const std::vector<std::string>& nodes() const { return names_; }
+
+  /// The node owning `key`, or empty when the ring is empty.
+  std::string lookup(std::uint64_t key) const {
+    return lookup_excluding(key, {});
+  }
+
+  /// Like lookup(), but skips nodes in `exclude` (walk clockwise past
+  /// their points). Used for bounded retry: a request bounced by its
+  /// owner goes to the next distinct owner on the ring, which is also
+  /// where the keys would land if the owner were removed — so retries
+  /// warm exactly the cache that inherits the segment on failover.
+  std::string lookup_excluding(
+      std::uint64_t key, const std::vector<std::string>& exclude) const {
+    if (points_.empty()) return {};
+    const std::uint64_t h = mix64(key);
+    auto it = std::lower_bound(
+        points_.begin(), points_.end(), h,
+        [](const Point& p, std::uint64_t v) { return p.hash < v; });
+    for (std::size_t walked = 0; walked < points_.size(); ++walked) {
+      if (it == points_.end()) it = points_.begin();  // wrap
+      if (std::find(exclude.begin(), exclude.end(), it->node) ==
+          exclude.end())
+        return it->node;
+      ++it;
+    }
+    return {};  // every node excluded
+  }
+
+ private:
+  struct Point {
+    std::uint64_t hash = 0;
+    std::string node;
+    bool operator<(const Point& o) const {
+      return hash != o.hash ? hash < o.hash : node < o.node;
+    }
+  };
+
+  static std::uint64_t point_hash(const std::string& name, int vnode) {
+    std::uint64_t h = 0xCBF29CE484222325ull;
+    for (const char ch : name) {
+      h ^= static_cast<unsigned char>(ch);
+      h *= 0x100000001B3ull;
+    }
+    h ^= static_cast<std::uint64_t>(vnode);
+    h *= 0x100000001B3ull;
+    return mix64(h);
+  }
+
+  int vnodes_;
+  std::vector<std::string> names_;
+  std::vector<Point> points_;  ///< sorted by hash
+};
+
+}  // namespace cellnpdp::router

@@ -1,0 +1,167 @@
+// NpdpRouter: the consistent-hash routing tier in front of net-serve
+// replicas.
+//
+// Topology:
+//
+//   clients ──► EpollFrontEnd (router)           src/net reactor machinery
+//                  │ decode payload → content hash = placement key
+//                  ▼
+//               HashRing (virtual nodes)          src/router/hash_ring.hpp
+//                  │ owner replica
+//                  ▼
+//               Upstream pool: one pipelined connection + io thread per
+//               replica; frames forwarded with a router-assigned id,
+//               replies matched back and re-stamped with the client id
+//
+// Placement is keyed on serve::content_hash(payload) — the same function
+// that keys each replica's LRU result cache — so every asker of one
+// computation lands on one replica and the fleet's aggregate cache
+// capacity shards instead of duplicating (the serving-tier analogue of
+// the paper's fixed block→SPE ownership map).
+//
+// The request payload is forwarded byte-for-byte (only the header id is
+// rewritten), so the v2 trace context passes through untouched and
+// merge-traces still stitches complete client→server chains.
+//
+// Health: a background prober polls each replica's binary StatsRequest
+// frame. A replica that fails the probe leaves the ring (its arc falls to
+// the clockwise survivors — minimal remap); one whose circuit breaker
+// board reports an Open breaker is put in *draining* (no new placements,
+// in-flight requests finish). When an upstream connection dies, every
+// request in flight on it is re-placed on the survivors with a bounded
+// attempt budget, so a killed replica costs retries, not client errors;
+// only an exhausted budget or an empty ring synthesizes a terminal
+// response (Error / RetryAfter, backend "router").
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "net/frontend.hpp"
+#include "net/protocol.hpp"
+#include "router/hash_ring.hpp"
+
+namespace cellnpdp::router {
+
+struct ReplicaEndpoint {
+  std::string name;  ///< ring identity (stable across reconnects)
+  std::string host = "127.0.0.1";
+  std::uint16_t port = 0;
+};
+
+struct RouterOptions {
+  net::FrontEndOptions net;  ///< listen endpoint, reactors, caps
+  std::vector<ReplicaEndpoint> replicas;
+  int vnodes = 64;        ///< ring points per replica
+  int max_attempts = 3;   ///< placements per request before Error
+  std::int64_t probe_interval_ms = 200;
+  int probe_timeout_ms = 1000;    ///< per probe connect/read
+  int connect_timeout_ms = 1000;  ///< upstream data connections
+  std::int64_t retry_after_hint_ms = 250;  ///< hint when the ring is empty
+};
+
+/// Point-in-time router counters.
+struct RouterStats {
+  std::uint64_t forwarded = 0;    ///< frames placed on an upstream
+  std::uint64_t replies = 0;      ///< upstream replies routed back
+  std::uint64_t requeued = 0;     ///< re-placed after an upstream died
+  std::uint64_t synthesized = 0;  ///< router-authored terminal replies
+  std::uint64_t no_replica = 0;   ///< synthesized: ring empty
+  std::uint64_t exhausted = 0;    ///< synthesized: attempt budget spent
+  std::uint64_t replica_down = 0;   ///< upstream connection losses
+  std::uint64_t probe_failures = 0; ///< failed health probes
+  std::size_t pending = 0;          ///< requests awaiting a reply
+  std::size_t healthy = 0;          ///< replicas currently in the ring
+};
+
+/// Per-replica health + traffic view (stats plane and tests).
+struct ReplicaHealth {
+  std::string name;
+  bool in_ring = false;
+  bool draining = false;   ///< breaker open upstream: placements paused
+  bool connected = false;  ///< data connection currently up
+  std::uint64_t forwarded = 0;
+  std::uint64_t replies = 0;
+  std::uint64_t disconnects = 0;
+};
+
+class NpdpRouter {
+ public:
+  explicit NpdpRouter(RouterOptions opts);
+  ~NpdpRouter();  // stop()
+
+  NpdpRouter(const NpdpRouter&) = delete;
+  NpdpRouter& operator=(const NpdpRouter&) = delete;
+
+  /// Probes every replica once (synchronously — the ring starts
+  /// truthful), then binds the front-end and starts the upstream io
+  /// threads + the background prober. False with *err when the listen
+  /// socket fails or no replicas are configured.
+  bool start(std::string* err);
+
+  /// Graceful drain: the front-end stops accepting and waits (bounded)
+  /// for every pending reply, then upstream io threads and the prober
+  /// come down. Idempotent.
+  void stop();
+
+  std::uint16_t port() const { return fe_.port(); }
+
+  RouterStats stats() const;
+  std::vector<ReplicaHealth> health() const;
+  net::FrontEndStats net_stats() const { return fe_.stats(); }
+  const RouterOptions& options() const { return opts_; }
+
+ private:
+  struct Upstream;
+  struct Pending;
+
+  void handle_frame(const net::EpollFrontEnd::ConnPtr& c,
+                    const net::FrameHeader& h, const std::uint8_t* payload);
+  /// Places a pending request on the ring owner of its key (walking past
+  /// non-accepting replicas). On success the entry is registered in
+  /// pending_ and its frame queued on the upstream; p is consumed.
+  /// On failure (ring empty / every owner refusing) p is left intact.
+  bool place(std::uint64_t rid, Pending& p);
+  /// Authors a terminal reply for a request the fleet cannot serve.
+  void synthesize(Pending& p, serve::Status st, const std::string& detail);
+  void upstream_io_loop(Upstream& u);
+  /// Connection-loss path (io thread): closes the socket, pulls every
+  /// pending request placed on this replica, and re-places each with an
+  /// incremented attempt count.
+  void upstream_down(Upstream& u, const char* why);
+  void on_upstream_frame(Upstream& u, const net::FrameHeader& h,
+                         std::vector<std::uint8_t> frame);
+  void prober_loop();
+  /// One synchronous probe sweep; returns the number of in-ring replicas.
+  std::size_t probe_pass();
+  std::string stats_json() const;
+
+  const RouterOptions opts_;
+  net::EpollFrontEnd fe_;
+  HashRing ring_;
+  mutable std::mutex ring_mu_;
+
+  std::vector<std::unique_ptr<Upstream>> upstreams_;
+
+  mutable std::mutex pending_mu_;
+  std::unordered_map<std::uint64_t, Pending> pending_;
+  std::atomic<std::uint64_t> next_id_{1};
+
+  std::atomic<bool> started_{false};
+  std::atomic<bool> stopped_{false};
+  std::atomic<bool> io_stop_{false};
+  std::atomic<bool> probe_stop_{false};
+  std::thread prober_;
+
+  std::atomic<std::uint64_t> forwarded_{0}, replies_{0}, requeued_{0},
+      synthesized_{0}, no_replica_{0}, exhausted_{0}, replica_down_{0},
+      probe_failures_{0};
+};
+
+}  // namespace cellnpdp::router

@@ -118,35 +118,43 @@ inline std::uint64_t hash_str(std::uint64_t h, const std::string& s) {
   return fnv1a(h, s.data(), s.size());
 }
 
-/// FNV-1a over the semantic content of the request. Id, priority and
-/// deadline are deliberately excluded: two requests with equal hashes ask
-/// for the same computation, which is exactly what keys the result cache.
-inline std::uint64_t content_hash(const Request& r) {
+/// FNV-1a over the semantic content of a payload. This is both the
+/// result-cache key and the router tier's *placement key*: the router
+/// hashes the decoded payload (id, priority, deadline and trace never
+/// participate) so that all askers of one computation land on one
+/// replica, sharding the fleet's LRU caches instead of duplicating them.
+inline std::uint64_t content_hash(const Payload& payload) {
   std::uint64_t h = 0xCBF29CE484222325ull;
-  h = hash_u64(h, r.payload.index());
-  if (const auto* s = std::get_if<SolveSpec>(&r.payload)) {
+  h = hash_u64(h, payload.index());
+  if (const auto* s = std::get_if<SolveSpec>(&payload)) {
     h = hash_u64(h, static_cast<std::uint64_t>(s->n));
     h = hash_u64(h, s->seed);
     h = hash_u64(h, static_cast<std::uint64_t>(s->block_side));
     h = hash_u64(h, static_cast<std::uint64_t>(s->kernel));
     h = hash_str(h, s->backend);
-  } else if (const auto* f = std::get_if<FoldSpec>(&r.payload)) {
+  } else if (const auto* f = std::get_if<FoldSpec>(&payload)) {
     h = hash_str(h, f->seq);
     if (f->seq.empty()) {
       h = hash_u64(h, static_cast<std::uint64_t>(f->random_n));
       h = hash_u64(h, f->seed);
     }
-  } else if (const auto* p = std::get_if<ParseSpec>(&r.payload)) {
+  } else if (const auto* p = std::get_if<ParseSpec>(&payload)) {
     h = hash_u64(h, static_cast<std::uint64_t>(p->grammar));
     h = hash_str(h, p->text);
-  } else if (const auto* c = std::get_if<ChainSpec>(&r.payload)) {
+  } else if (const auto* c = std::get_if<ChainSpec>(&payload)) {
     h = hash_u64(h, static_cast<std::uint64_t>(c->n));
     h = hash_u64(h, c->seed);
-  } else if (const auto* b = std::get_if<BstSpec>(&r.payload)) {
+  } else if (const auto* b = std::get_if<BstSpec>(&payload)) {
     h = hash_u64(h, static_cast<std::uint64_t>(b->keys));
     h = hash_u64(h, b->seed);
   }
   return h;
+}
+
+/// Content hash of a full request — two requests with equal hashes ask
+/// for the same computation, which is exactly what keys the result cache.
+inline std::uint64_t content_hash(const Request& r) {
+  return content_hash(r.payload);
 }
 
 /// Batching key: requests with equal shape keys run on identically-shaped

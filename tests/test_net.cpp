@@ -954,6 +954,65 @@ TEST(NetLoadgen, OpenLoopRespectsRequestCap) {
   EXPECT_TRUE(r.clean());
 }
 
+// --- client reconnect / connect-timeout ------------------------------------
+
+TEST(NetClient, ConnectTimeoutBoundsTheDial) {
+  // A local port that was just released: the dial must fail promptly
+  // (refused) with an error string, well inside the timeout.
+  std::uint16_t dead_port;
+  {
+    ServerFixture fx;
+    dead_port = fx.server->port();
+  }
+  NpdpClient cli;
+  std::string err;
+  auto t0 = std::chrono::steady_clock::now();
+  EXPECT_FALSE(cli.connect("127.0.0.1", dead_port, &err, 2000));
+  EXPECT_LT(std::chrono::steady_clock::now() - t0, milliseconds(3000));
+  EXPECT_FALSE(err.empty());
+  // A dial that cannot complete promptly (blackhole address in most
+  // environments) must come back within the bound either way, never hang
+  // for the kernel default of minutes.
+  t0 = std::chrono::steady_clock::now();
+  NpdpClient far;
+  far.connect("10.255.255.1", 9, &err, 200);
+  EXPECT_LT(std::chrono::steady_clock::now() - t0, milliseconds(3000));
+}
+
+TEST(NetClient, SendWithoutAutoReconnectReportsReset) {
+  ServerFixture fx;
+  NpdpClient cli = fx.connect();
+  std::string err;
+  cli.close();
+  EXPECT_EQ(cli.send_frame2(encode_ping(1), &err), NpdpClient::SendStatus::Reset);
+  EXPECT_NE(err.find("not connected"), std::string::npos) << err;
+}
+
+TEST(NetClient, AutoReconnectRedialsTheRememberedEndpoint) {
+  ServerFixture fx;
+  NpdpClient cli = fx.connect();
+  cli.set_auto_reconnect(true);
+  cli.set_connect_timeout(2000);
+  std::string err;
+  Reply rep;
+  ASSERT_EQ(cli.call(chain_req(1, 10, 2), &rep, 10000, &err), RecvStatus::Ok)
+      << err;
+  // Drop the connection locally; the next send must re-dial and succeed.
+  cli.close();
+  ASSERT_FALSE(cli.connected());
+  ASSERT_EQ(cli.send_frame2(encode_request(chain_req(2, 11, 2)), &err),
+            NpdpClient::SendStatus::Ok)
+      << err;
+  EXPECT_TRUE(cli.connected());
+  ASSERT_EQ(cli.recv_reply(&rep, 10000, &err), RecvStatus::Ok) << err;
+  EXPECT_EQ(rep.id, 2u);
+  EXPECT_EQ(rep.result.status, serve::Status::Ok);
+  // Explicit reconnect() works too.
+  cli.close();
+  ASSERT_TRUE(cli.reconnect(&err)) << err;
+  EXPECT_EQ(cli.ping(3, 5000, &err), RecvStatus::Ok) << err;
+}
+
 TEST(NetLoadgen, PercentileInterpolates) {
   EXPECT_EQ(latency_percentile({}, 0.5), 0.0);
   EXPECT_DOUBLE_EQ(latency_percentile({5.0}, 0.99), 5.0);

@@ -1,0 +1,368 @@
+// Tests for src/router: the consistent-hash ring's two load-bearing
+// properties (uniformity across 1k keys, minimal remap on membership
+// change), and the router tier end to end over loopback — value
+// correctness through the proxy, content-keyed sharding (every asker of
+// one computation lands on one replica), health-probe eviction of a
+// stopped replica with continued service, and the synthesized RetryAfter
+// when no replica is healthy.
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <map>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "apps/matrix_chain/matrix_chain.hpp"
+#include "common/json.hpp"
+#include "net/client.hpp"
+#include "net/protocol.hpp"
+#include "net/server.hpp"
+#include "router/hash_ring.hpp"
+#include "router/router.hpp"
+#include "serve/request.hpp"
+
+namespace cellnpdp::router {
+namespace {
+
+using std::chrono::milliseconds;
+using net::NpdpClient;
+using Reply = NpdpClient::Reply;
+using RecvStatus = NpdpClient::RecvStatus;
+
+// --- hash ring -------------------------------------------------------------
+
+std::map<std::string, int> owner_counts(const HashRing& ring, int keys) {
+  std::map<std::string, int> counts;
+  for (int k = 0; k < keys; ++k) ++counts[ring.lookup(std::uint64_t(k))];
+  return counts;
+}
+
+TEST(HashRing, DistributionIsNearUniformAcross1kKeys) {
+  HashRing ring(64);
+  ring.add("r1");
+  ring.add("r2");
+  ring.add("r3");
+  constexpr int kKeys = 1000;
+  const auto counts = owner_counts(ring, kKeys);
+  ASSERT_EQ(counts.size(), 3u);  // every node owns something
+  // Chi-square-ish bound against the uniform expectation. With 64 virtual
+  // nodes the arc-share standard deviation is ~1/(3*sqrt(64)) ≈ 4 pp, so
+  // a statistic this size (expected O(10)) only fails on real clustering.
+  const double expected = double(kKeys) / 3.0;
+  double chi2 = 0;
+  for (const auto& [node, n] : counts) {
+    const double d = double(n) - expected;
+    chi2 += d * d / expected;
+    // No node may own less than half or more than twice its fair share.
+    EXPECT_GT(n, kKeys / 6) << node;
+    EXPECT_LT(n, 2 * kKeys / 3) << node;
+  }
+  EXPECT_LT(chi2, 120.0);
+}
+
+TEST(HashRing, RemovingOneNodeRemapsOnlyItsKeys) {
+  HashRing ring(64);
+  for (const char* n : {"r1", "r2", "r3", "r4"}) ring.add(n);
+  constexpr int kKeys = 1000;
+  std::vector<std::string> before(kKeys);
+  for (int k = 0; k < kKeys; ++k) before[k] = ring.lookup(std::uint64_t(k));
+
+  ring.remove("r2");
+  int moved = 0, lost = 0;
+  for (int k = 0; k < kKeys; ++k) {
+    const std::string after = ring.lookup(std::uint64_t(k));
+    if (before[k] == "r2") {
+      ++lost;
+      EXPECT_NE(after, "r2");
+    } else {
+      // Minimal remap: a key owned by a survivor never moves.
+      EXPECT_EQ(after, before[k]) << "key " << k;
+      if (after != before[k]) ++moved;
+    }
+  }
+  EXPECT_EQ(moved, 0);
+  EXPECT_GT(lost, 0);           // r2 owned a real share...
+  EXPECT_LT(lost, kKeys / 2);   // ...but not a majority
+}
+
+TEST(HashRing, AddingTheNodeBackRestoresPlacement) {
+  HashRing ring(64);
+  for (const char* n : {"r1", "r2", "r3"}) ring.add(n);
+  constexpr int kKeys = 500;
+  std::vector<std::string> before(kKeys);
+  for (int k = 0; k < kKeys; ++k) before[k] = ring.lookup(std::uint64_t(k));
+  ring.remove("r3");
+  ring.add("r3");
+  for (int k = 0; k < kKeys; ++k)
+    EXPECT_EQ(ring.lookup(std::uint64_t(k)), before[k]) << "key " << k;
+}
+
+TEST(HashRing, LookupExcludingMatchesRemovalPlacement) {
+  // The bounded-retry walk must land on exactly the node that inherits
+  // the key when its owner leaves the ring: retries after a replica
+  // failure warm the cache that failover traffic will hit.
+  HashRing ring(64);
+  for (const char* n : {"r1", "r2", "r3"}) ring.add(n);
+  for (int k = 0; k < 500; ++k) {
+    const std::string owner = ring.lookup(std::uint64_t(k));
+    const std::string next =
+        ring.lookup_excluding(std::uint64_t(k), {owner});
+    EXPECT_NE(next, owner);
+    HashRing without(64);
+    for (const char* n : {"r1", "r2", "r3"})
+      if (owner != n) without.add(n);
+    EXPECT_EQ(next, without.lookup(std::uint64_t(k))) << "key " << k;
+  }
+}
+
+TEST(HashRing, EdgeCasesEmptySingleAndIdempotentAdd) {
+  HashRing ring(8);
+  EXPECT_TRUE(ring.empty());
+  EXPECT_EQ(ring.lookup(42), "");
+  ring.add("only");
+  for (int k = 0; k < 32; ++k) EXPECT_EQ(ring.lookup(std::uint64_t(k)),
+                                         "only");
+  // Every node excluded -> no placement.
+  EXPECT_EQ(ring.lookup_excluding(7, {"only"}), "");
+  // Re-adding is a no-op, not a duplicate set of points.
+  ring.add("only");
+  EXPECT_EQ(ring.size(), 1u);
+  ring.add("other");
+  const auto counts = owner_counts(ring, 1000);
+  EXPECT_GT(counts.at("only"), 0);
+  EXPECT_GT(counts.at("other"), 0);
+}
+
+// --- router end to end -----------------------------------------------------
+
+/// N net-serve replicas on ephemeral ports plus a router over them, with
+/// a fast prober so eviction tests stay quick.
+struct RouterFixture {
+  explicit RouterFixture(int replicas = 3) {
+    serve::ServiceOptions so;
+    so.workers = 2;
+    so.queue_capacity = 64;
+    so.cache_capacity = 64;
+    for (int i = 0; i < replicas; ++i) {
+      net::ServerOptions no;
+      no.port = 0;
+      servers.push_back(std::make_unique<net::NpdpServer>(no, so));
+      std::string err;
+      EXPECT_TRUE(servers.back()->start(&err)) << err;
+    }
+    RouterOptions ro;
+    ro.net.port = 0;
+    ro.probe_interval_ms = 50;
+    ro.probe_timeout_ms = 500;
+    ro.connect_timeout_ms = 500;
+    for (int i = 0; i < replicas; ++i)
+      ro.replicas.push_back({"r" + std::to_string(i + 1), "127.0.0.1",
+                             servers[i]->port()});
+    router = std::make_unique<NpdpRouter>(ro);
+    std::string err;
+    EXPECT_TRUE(router->start(&err)) << err;
+  }
+  ~RouterFixture() {
+    if (router) router->stop();
+    for (auto& s : servers) s->stop();
+  }
+  NpdpClient connect() {
+    NpdpClient c;
+    std::string err;
+    EXPECT_TRUE(c.connect("127.0.0.1", router->port(), &err)) << err;
+    return c;
+  }
+  std::uint64_t forwarded(const std::string& name) const {
+    for (const auto& h : router->health())
+      if (h.name == name) return h.forwarded;
+    return 0;
+  }
+  std::vector<std::unique_ptr<net::NpdpServer>> servers;
+  std::unique_ptr<NpdpRouter> router;
+};
+
+net::WireRequest chain_req(std::uint64_t id, index_t n, std::uint64_t seed) {
+  net::WireRequest w;
+  w.id = id;
+  w.payload = serve::ChainSpec{n, seed};
+  return w;
+}
+
+TEST(NpdpRouter, RoundTripThroughRouterMatchesReference) {
+  RouterFixture fx;
+  NpdpClient cli = fx.connect();
+  std::string err;
+  Reply rep;
+  const serve::ChainSpec spec{24, 11};
+  const auto ref = solve_matrix_chain_reference<float>(serve::chain_dims(spec));
+  ASSERT_EQ(cli.call(chain_req(1, spec.n, spec.seed), &rep, 10000, &err),
+            RecvStatus::Ok)
+      << err;
+  ASSERT_EQ(rep.kind, Reply::Kind::Result);
+  EXPECT_EQ(rep.result.status, serve::Status::Ok);
+  EXPECT_EQ(rep.id, 1u);  // the reply is re-stamped with the client's id
+  EXPECT_FLOAT_EQ(float(rep.result.value), float(ref.cost));
+  // Same computation again: served from the owning replica's cache.
+  ASSERT_EQ(cli.call(chain_req(2, spec.n, spec.seed), &rep, 10000, &err),
+            RecvStatus::Ok)
+      << err;
+  EXPECT_EQ(rep.result.status, serve::Status::OkCached);
+  EXPECT_FLOAT_EQ(float(rep.result.value), float(ref.cost));
+}
+
+TEST(NpdpRouter, OneContentKeyLandsOnExactlyOneReplica) {
+  RouterFixture fx;
+  NpdpClient cli = fx.connect();
+  std::string err;
+  Reply rep;
+  // 20 requests for the same computation from one client: the placement
+  // key is the content hash, so every one lands on the same replica.
+  for (int i = 0; i < 20; ++i) {
+    ASSERT_EQ(cli.call(chain_req(std::uint64_t(i + 1), 18, 7), &rep, 10000,
+                       &err),
+              RecvStatus::Ok)
+        << err;
+    EXPECT_TRUE(rep.result.status == serve::Status::Ok ||
+                rep.result.status == serve::Status::OkCached);
+  }
+  int replicas_hit = 0;
+  std::uint64_t total = 0;
+  for (const auto& h : fx.router->health()) {
+    if (h.forwarded > 0) ++replicas_hit;
+    total += h.forwarded;
+  }
+  EXPECT_EQ(replicas_hit, 1);
+  EXPECT_EQ(total, 20u);
+}
+
+TEST(NpdpRouter, DistinctKeysShardAcrossReplicas) {
+  RouterFixture fx;
+  NpdpClient cli = fx.connect();
+  std::string err;
+  Reply rep;
+  // 60 distinct computations spread over the ring: with 64 vnodes per
+  // replica every replica owns a share (deterministic placement, so this
+  // either always holds or never does).
+  for (int i = 0; i < 60; ++i) {
+    ASSERT_EQ(cli.call(chain_req(std::uint64_t(i + 1), index_t(8 + i),
+                                 std::uint64_t(i)),
+                       &rep, 10000, &err),
+              RecvStatus::Ok)
+        << err;
+    EXPECT_EQ(rep.result.status, serve::Status::Ok);
+  }
+  for (const auto& h : fx.router->health())
+    EXPECT_GT(h.forwarded, 0u) << h.name;
+}
+
+TEST(NpdpRouter, PingStatsAndBadPayloadSurviveThroughRouter) {
+  RouterFixture fx;
+  NpdpClient cli = fx.connect();
+  std::string err;
+  ASSERT_EQ(cli.ping(9, 5000, &err), RecvStatus::Ok) << err;
+
+  std::string json;
+  ASSERT_EQ(cli.stats(&json, 5000, &err), RecvStatus::Ok) << err;
+  JsonValue root;
+  ASSERT_TRUE(json_parse(json, root, &err)) << err << "\n" << json;
+  ASSERT_TRUE(root.is_object());
+  EXPECT_TRUE(root.has("router"));
+  EXPECT_TRUE(root.has("replicas"));
+  EXPECT_EQ(root.at("router").at("healthy").number, 3.0);
+
+  // A malformed payload is answered by the router itself (it must decode
+  // the payload to place it) and the connection survives.
+  std::vector<std::uint8_t> frame;
+  net::encode_header(frame, net::MsgType::Chain, 77, 6);
+  for (int i = 0; i < 6; ++i) frame.push_back(0xAB);
+  ASSERT_TRUE(cli.send_frame(frame, &err)) << err;
+  Reply rep;
+  ASSERT_EQ(cli.recv_reply(&rep, 5000, &err), RecvStatus::Ok) << err;
+  ASSERT_EQ(rep.kind, Reply::Kind::ProtoError);
+  EXPECT_EQ(rep.code, net::ProtoErrorCode::BadPayload);
+  EXPECT_EQ(rep.id, 77u);
+  ASSERT_EQ(cli.call(chain_req(78, 9, 1), &rep, 10000, &err), RecvStatus::Ok)
+      << err;
+  EXPECT_EQ(rep.result.status, serve::Status::Ok);
+}
+
+TEST(NpdpRouter, StoppedReplicaIsEvictedAndServiceContinues) {
+  RouterFixture fx;
+  NpdpClient cli = fx.connect();
+  std::string err;
+  Reply rep;
+  // Find the replica that owns this computation.
+  ASSERT_EQ(cli.call(chain_req(1, 30, 5), &rep, 10000, &err), RecvStatus::Ok)
+      << err;
+  std::string owner;
+  for (const auto& h : fx.router->health())
+    if (h.forwarded > 0) owner = h.name;
+  ASSERT_FALSE(owner.empty());
+  const std::size_t idx = std::size_t(owner[1] - '1');  // "rK" -> K-1
+
+  // Stop the owner; the prober must notice and shrink the ring.
+  fx.servers[idx]->stop();
+  const auto deadline = std::chrono::steady_clock::now() + milliseconds(5000);
+  while (fx.router->stats().healthy == 3 &&
+         std::chrono::steady_clock::now() < deadline)
+    std::this_thread::sleep_for(milliseconds(10));
+  EXPECT_EQ(fx.router->stats().healthy, 2u);
+
+  // The same computation is now owned by a survivor; no client error.
+  ASSERT_EQ(cli.call(chain_req(2, 30, 5), &rep, 10000, &err), RecvStatus::Ok)
+      << err;
+  EXPECT_EQ(rep.result.status, serve::Status::Ok);
+  // And so are fresh keys.
+  for (int i = 0; i < 10; ++i) {
+    ASSERT_EQ(cli.call(chain_req(std::uint64_t(10 + i), index_t(12 + i), 3),
+                       &rep, 10000, &err),
+              RecvStatus::Ok)
+        << err;
+    EXPECT_EQ(rep.result.status, serve::Status::Ok);
+  }
+}
+
+TEST(NpdpRouter, NoHealthyReplicaSynthesizesRetryAfter) {
+  // An endpoint that was real once (bind, grab the port, close) so the
+  // probe gets a clean connection refusal.
+  std::uint16_t dead_port;
+  {
+    net::ServerOptions no;
+    no.port = 0;
+    serve::ServiceOptions so;
+    so.workers = 1;
+    net::NpdpServer probe_target(no, so);
+    std::string err;
+    ASSERT_TRUE(probe_target.start(&err)) << err;
+    dead_port = probe_target.port();
+    probe_target.stop();
+  }
+  RouterOptions ro;
+  ro.net.port = 0;
+  ro.probe_interval_ms = 50;
+  ro.probe_timeout_ms = 300;
+  ro.connect_timeout_ms = 300;
+  ro.retry_after_hint_ms = 99;
+  ro.replicas.push_back({"gone", "127.0.0.1", dead_port});
+  NpdpRouter router(ro);
+  std::string err;
+  ASSERT_TRUE(router.start(&err)) << err;
+  EXPECT_EQ(router.stats().healthy, 0u);
+
+  NpdpClient cli;
+  ASSERT_TRUE(cli.connect("127.0.0.1", router.port(), &err)) << err;
+  Reply rep;
+  ASSERT_EQ(cli.call(chain_req(1, 12, 1), &rep, 5000, &err), RecvStatus::Ok)
+      << err;
+  ASSERT_EQ(rep.kind, Reply::Kind::Result);
+  EXPECT_EQ(rep.result.status, serve::Status::RetryAfter);
+  EXPECT_EQ(rep.result.backend, "router");
+  EXPECT_EQ(rep.result.retry_after_ms, 99);
+  EXPECT_GE(router.stats().no_replica, 1u);
+  router.stop();
+}
+
+}  // namespace
+}  // namespace cellnpdp::router

@@ -30,11 +30,22 @@
 //                  [--log-sample N] + all serve service flags
 //                  (runs until SIGINT/SIGTERM, then drains gracefully)
 //   npdp net-bench --port 9377 [--host 127.0.0.1] [--connections 4]
-//                  [--rate 0] [--duration 2] [--requests 0] [--mix chain]
-//                  [--size 32] [--deadline-ms 0] [--priority 0]
-//                  [--backend NAME] [--seed 1] [--json-dir .]
-//                  [--trace FILE] [--trace-sample R]
-//                  (closed loop when --rate 0; writes BENCH_net.json)
+//                  [--targets host:port,host:port,...] [--rate 0]
+//                  [--duration 2] [--requests 0] [--mix chain]
+//                  [--size 32] [--distinct 16] [--deadline-ms 0]
+//                  [--priority 0] [--backend NAME] [--seed 1] [--json-dir .]
+//                  [--connect-timeout-ms 0] [--trace FILE] [--trace-sample R]
+//                  (closed loop when --rate 0; writes BENCH_net.json with
+//                  per-target status counts when --targets names several)
+//   npdp net-route --replicas [name=]host:port,... [--host 127.0.0.1]
+//                  [--port 9378] [--reactors 2] [--vnodes 64]
+//                  [--max-attempts 3] [--probe-interval-ms 200]
+//                  [--probe-timeout-ms 1000] [--connect-timeout-ms 1000]
+//                  [--max-frame 1048576] [--idle-timeout-ms 30000]
+//                  [--drain-timeout-ms 5000] [--port-file FILE]
+//                  [--duration-ms 0] [--trace FILE]
+//                  (consistent-hash router over net-serve replicas;
+//                  runs until SIGINT/SIGTERM, then drains gracefully)
 //   npdp top       --port 9377 [--host 127.0.0.1] [--interval-ms 1000]
 //                  [--iterations 0] [--once] [--prom]
 //                  (live stats view over the StatsRequest wire frame;
@@ -86,6 +97,7 @@
 #include "obs/trace.hpp"
 #include "obs/trace_export.hpp"
 #include "resilience/circuit_breaker.hpp"
+#include "router/router.hpp"
 #include "resilience/fault_injector.hpp"
 #include "serve/request.hpp"
 #include "serve/response.hpp"
@@ -1161,14 +1173,59 @@ int cmd_net_serve(const Args& a) {
   return 0;
 }
 
-/// Network load generator against a running net-serve. Closed loop by
-/// default; --rate R switches to open-loop fixed-rate injection. Writes
-/// BENCH_net.json and exits nonzero if any protocol or transport error
-/// occurred (the loopback smoke check in verify.sh relies on that).
+/// Splits one comma-separated "[name=]host:port,..." flag value (the Args
+/// map rejects repeated flags, so lists ride in a single value). The
+/// optional name= prefix is the replica's ring identity; it defaults to
+/// "host:port".
+std::vector<router::ReplicaEndpoint> parse_endpoint_list(
+    const std::string& spec, const char* flag) {
+  std::vector<router::ReplicaEndpoint> out;
+  std::size_t pos = 0;
+  while (pos <= spec.size()) {
+    const std::size_t comma = spec.find(',', pos);
+    std::string item = spec.substr(
+        pos, comma == std::string::npos ? std::string::npos : comma - pos);
+    pos = comma == std::string::npos ? spec.size() + 1 : comma + 1;
+    if (item.empty()) continue;
+    router::ReplicaEndpoint ep;
+    const std::size_t eq = item.find('=');
+    if (eq != std::string::npos) {
+      ep.name = item.substr(0, eq);
+      item = item.substr(eq + 1);
+    }
+    const std::size_t colon = item.rfind(':');
+    if (colon == std::string::npos || colon == 0 || colon + 1 >= item.size())
+      throw UsageError(std::string("--") + flag + ": '" + item +
+                       "' is not host:port");
+    ep.host = item.substr(0, colon);
+    const long port = std::atol(item.c_str() + colon + 1);
+    if (port <= 0 || port > 65535)
+      throw UsageError(std::string("--") + flag + ": bad port in '" + item +
+                       "'");
+    ep.port = static_cast<std::uint16_t>(port);
+    if (ep.name.empty()) ep.name = item;
+    out.push_back(std::move(ep));
+  }
+  if (out.empty())
+    throw UsageError(std::string("--") + flag + ": empty endpoint list");
+  return out;
+}
+
+/// Network load generator against a running net-serve (or net-route).
+/// Closed loop by default; --rate R switches to open-loop fixed-rate
+/// injection. --targets fans the connections out over several endpoints
+/// round-robin. Writes BENCH_net.json (one aggregate record, plus one
+/// per-target record when several targets are named) and exits nonzero if
+/// any protocol or transport error occurred (the loopback smoke check in
+/// verify.sh relies on that).
 int cmd_net_bench(const Args& a) {
   net::LoadGenOptions lo;
   lo.host = a.get("host", "127.0.0.1");
   lo.port = static_cast<std::uint16_t>(a.num("port", 9377));
+  if (a.has("targets")) {
+    for (const auto& ep : parse_endpoint_list(a.get("targets"), "targets"))
+      lo.targets.push_back({ep.host, ep.port});
+  }
   lo.connections = static_cast<int>(a.num("connections", 4));
   lo.rate = a.real("rate", 0);
   lo.duration_ms = static_cast<std::int64_t>(a.real("duration", 2.0) * 1000);
@@ -1179,7 +1236,9 @@ int cmd_net_bench(const Args& a) {
   lo.deadline_ms = static_cast<std::uint32_t>(a.num("deadline-ms", 0));
   lo.backend = a.get("backend", "");
   lo.seed = static_cast<std::uint64_t>(a.num("seed", 1));
+  lo.distinct = static_cast<int>(a.num("distinct", 16));
   lo.timeout_ms = static_cast<int>(a.num("timeout-ms", 10000));
+  lo.connect_timeout_ms = static_cast<int>(a.num("connect-timeout-ms", 0));
   lo.trace = a.has("trace") || a.has("trace-sample");
   lo.trace_sample = a.real("trace-sample", 1.0);
   if (lo.mix != "solve" && lo.mix != "fold" && lo.mix != "parse" &&
@@ -1235,6 +1294,16 @@ int cmd_net_bench(const Args& a) {
     std::printf("  !! %llu protocol errors, %llu transport errors\n",
                 static_cast<unsigned long long>(r.proto_errors),
                 static_cast<unsigned long long>(r.transport_errors));
+  if (r.per_target.size() > 1)
+    for (const auto& t : r.per_target)
+      std::printf("  [%s] %llu sent, %llu replies: %llu ok, %llu cached, "
+                  "%llu errors\n",
+                  t.target.c_str(),
+                  static_cast<unsigned long long>(t.sent),
+                  static_cast<unsigned long long>(t.replies),
+                  static_cast<unsigned long long>(t.ok),
+                  static_cast<unsigned long long>(t.cached),
+                  static_cast<unsigned long long>(t.errors));
 
   BenchConfig cfg;
   cfg.json_dir = a.get("json-dir", ".");
@@ -1267,6 +1336,26 @@ int cmd_net_bench(const Args& a) {
       .set("errors", std::int64_t(r.errors))
       .set("proto_errors", std::int64_t(r.proto_errors))
       .set("transport_errors", std::int64_t(r.transport_errors));
+  // One record per endpoint when the run fans out over --targets, so the
+  // router bench can compare per-replica status mixes from one file.
+  if (r.per_target.size() > 1)
+    for (const auto& t : r.per_target)
+      json.record()
+          .set("mode", "per_target")
+          .set("target", t.target)
+          .set("sent", std::int64_t(t.sent))
+          .set("replies", std::int64_t(t.replies))
+          .set("ok", std::int64_t(t.ok))
+          .set("ok_cached", std::int64_t(t.cached))
+          .set("degraded", std::int64_t(t.degraded))
+          .set("rejected", std::int64_t(t.rejected))
+          .set("shed", std::int64_t(t.shed))
+          .set("expired", std::int64_t(t.expired))
+          .set("cancelled", std::int64_t(t.cancelled))
+          .set("retry_after", std::int64_t(t.retry_after))
+          .set("errors", std::int64_t(t.errors))
+          .set("proto_errors", std::int64_t(t.proto_errors))
+          .set("transport_errors", std::int64_t(t.transport_errors));
   json.flush();
   if (tracing) {
     const long events =
@@ -1282,11 +1371,110 @@ int cmd_net_bench(const Args& a) {
   return r.clean() ? 0 : 1;
 }
 
+/// Runs NpdpRouter in the foreground until SIGINT/SIGTERM (or the
+/// optional --duration-ms elapses), then drains gracefully. Mirrors
+/// cmd_net_serve: --port-file appears only after the bind succeeded.
+int cmd_net_route(const Args& a) {
+  router::RouterOptions ro;
+  ro.net.host = a.get("host", "127.0.0.1");
+  ro.net.port = static_cast<std::uint16_t>(a.num("port", 9378));
+  ro.net.reactors = static_cast<int>(a.num("reactors", 2));
+  ro.net.max_frame = static_cast<std::size_t>(
+      a.num("max-frame", long(net::kDefaultMaxFrame)));
+  ro.net.idle_timeout_ms = a.num("idle-timeout-ms", 30000);
+  ro.net.drain_timeout_ms = a.num("drain-timeout-ms", 5000);
+  ro.replicas = parse_endpoint_list(a.need("replicas"), "replicas");
+  ro.vnodes = static_cast<int>(a.num("vnodes", 64));
+  ro.max_attempts = static_cast<int>(a.num("max-attempts", 3));
+  ro.probe_interval_ms = a.num("probe-interval-ms", 200);
+  ro.probe_timeout_ms = static_cast<int>(a.num("probe-timeout-ms", 1000));
+  ro.connect_timeout_ms = static_cast<int>(a.num("connect-timeout-ms", 1000));
+  const bool tracing = a.has("trace");
+  if (tracing)
+    obs::Tracer::instance().start(
+        static_cast<std::size_t>(a.num("trace-buf", 1 << 18)));
+  router::NpdpRouter router(ro);
+  std::string err;
+  if (!router.start(&err)) {
+    std::fprintf(stderr, "net-route: %s\n", err.c_str());
+    return 1;
+  }
+  if (a.has("port-file")) {
+    std::ofstream os(a.get("port-file"));
+    if (!os) {
+      std::fprintf(stderr, "net-route: cannot write %s\n",
+                   a.get("port-file").c_str());
+      return 1;
+    }
+    os << router.port() << "\n";
+  }
+  std::printf("net-route: listening on %s:%u, %zu replicas (%d vnodes "
+              "each, probe every %lld ms)\n",
+              ro.net.host.c_str(), unsigned(router.port()),
+              ro.replicas.size(), ro.vnodes,
+              static_cast<long long>(ro.probe_interval_ms));
+  for (const auto& ep : ro.replicas)
+    std::printf("  replica %s -> %s:%u\n", ep.name.c_str(), ep.host.c_str(),
+                unsigned(ep.port));
+  std::fflush(stdout);
+  std::signal(SIGINT, handle_stop_signal);
+  std::signal(SIGTERM, handle_stop_signal);
+  const long duration_ms = a.num("duration-ms", 0);
+  const auto t0 = std::chrono::steady_clock::now();
+  while (g_stop_requested == 0) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    if (duration_ms > 0 &&
+        std::chrono::steady_clock::now() - t0 >=
+            std::chrono::milliseconds(duration_ms))
+      break;
+  }
+  std::printf("net-route: draining...\n");
+  std::fflush(stdout);
+  router.stop();
+  const router::RouterStats rs = router.stats();
+  const net::FrontEndStats fs = router.net_stats();
+  std::printf("net-route: drained. %llu conns accepted, %llu frames in, "
+              "%llu forwarded, %llu replies, %llu requeued, %llu "
+              "synthesized (%llu no-replica, %llu exhausted)\n",
+              static_cast<unsigned long long>(fs.accepted),
+              static_cast<unsigned long long>(fs.frames_in),
+              static_cast<unsigned long long>(rs.forwarded),
+              static_cast<unsigned long long>(rs.replies),
+              static_cast<unsigned long long>(rs.requeued),
+              static_cast<unsigned long long>(rs.synthesized),
+              static_cast<unsigned long long>(rs.no_replica),
+              static_cast<unsigned long long>(rs.exhausted));
+  std::printf("net-route: %llu replica-down events, %llu probe failures\n",
+              static_cast<unsigned long long>(rs.replica_down),
+              static_cast<unsigned long long>(rs.probe_failures));
+  for (const auto& h : router.health())
+    std::printf("  replica %s: %s%s, %llu forwarded, %llu replies, "
+                "%llu disconnects\n",
+                h.name.c_str(), h.in_ring ? "in ring" : "out of ring",
+                h.draining ? " (draining)" : "",
+                static_cast<unsigned long long>(h.forwarded),
+                static_cast<unsigned long long>(h.replies),
+                static_cast<unsigned long long>(h.disconnects));
+  if (tracing) {
+    obs::Tracer::instance().stop();
+    const long events =
+        obs::export_chrome_trace(a.get("trace"), "npdp-router");
+    if (events < 0) {
+      std::fprintf(stderr, "net-route: cannot write %s\n",
+                   a.get("trace").c_str());
+      return 1;
+    }
+    std::printf("net-route: trace written to %s (%ld events)\n",
+                a.get("trace").c_str(), events);
+  }
+  return 0;
+}
+
 void usage() {
   std::printf(
       "usage: npdp <solve|backends|check-trace|merge-traces|info|fold|parse"
-      "|simulate|cluster|model|serve|bench-serve|net-serve|net-bench|top> "
-      "[--key value ...]\n"
+      "|simulate|cluster|model|serve|bench-serve|net-serve|net-route"
+      "|net-bench|top> [--key value ...]\n"
       "  backends     list the registered solver backends (--backend names),\n"
       "               capabilities, and breaker health\n"
       "  serve        run the in-process solve service over a line-delimited\n"
@@ -1295,8 +1483,13 @@ void usage() {
       "BENCH_serve.json\n"
       "  net-serve    epoll TCP front-end over the solve service "
       "(docs/networking.md)\n"
-      "  net-bench    network load generator against net-serve; writes "
-      "BENCH_net.json\n"
+      "  net-route    consistent-hash router over net-serve replicas "
+      "(--replicas\n"
+      "               [name=]host:port,...; health-probed failover)\n"
+      "  net-bench    network load generator against net-serve or "
+      "net-route;\n"
+      "               writes BENCH_net.json (--targets for several "
+      "endpoints)\n"
       "  top          live stats view of a running net-serve (--prom for\n"
       "               Prometheus text exposition, --once for one poll)\n"
       "  merge-traces merge client+server Chrome traces onto one timeline\n"
@@ -1327,6 +1520,7 @@ int main(int argc, char** argv) {
     if (cmd == "serve") return cmd_serve(a);
     if (cmd == "bench-serve") return cmd_bench_serve(a);
     if (cmd == "net-serve") return cmd_net_serve(a);
+    if (cmd == "net-route") return cmd_net_route(a);
     if (cmd == "net-bench") return cmd_net_bench(a);
   } catch (const UsageError& e) {
     std::fprintf(stderr, "bad arguments: %s\n", e.what());

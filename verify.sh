@@ -111,29 +111,107 @@ grep -q '"queue_ns":' "$TEL_DIR/wide.jsonl"
     --chains --min-chain-frac 0.99
 echo "telemetry: clean"
 
-echo "== sanitizers (serve + taskgraph + cancel + resilience + net) =="
+echo "== router tier: sharded caches + SIGKILL failover =="
+# Three small-cache replicas behind the consistent-hash router, driven by
+# a traced bench whose working set (40 distinct keys) exceeds one
+# replica's cache (16 entries) but shards to fit. One replica is
+# SIGKILLed mid-run: the bench must still exit clean (zero client-visible
+# errors), >=99% of trace chains must be complete, and the aggregate
+# cache hit rate must beat the single-replica baseline.
+RT_DIR=$(mktemp -d)
+mkdir -p "$RT_DIR/base" "$RT_DIR/router"
+hit_rate_of() {
+  awk 'ok=="" && match($0,/"ok":[0-9]+/){ok=substr($0,RSTART+5,RLENGTH-5)}
+       c=="" && match($0,/"ok_cached":[0-9]+/){c=substr($0,RSTART+12,RLENGTH-12)}
+       END{if(ok+c>0) printf "%.4f", c/(ok+c); else print "0"}' "$1"
+}
+"$BUILD_DIR"/tools/npdp net-serve --port 0 --port-file "$RT_DIR/base.port" \
+    --cache 16 &
+RT_BASE_PID=$!
+trap 'kill "$RT_BASE_PID" 2>/dev/null; rm -rf "$TRACE_DIR" "$NET_DIR" "$TEL_DIR" "$RT_DIR"' EXIT
+for _ in $(seq 100); do
+  [ -s "$RT_DIR/base.port" ] && break
+  sleep 0.1
+done
+[ -s "$RT_DIR/base.port" ] || { echo "baseline replica never bound"; exit 1; }
+"$BUILD_DIR"/tools/npdp net-bench --port "$(cat "$RT_DIR/base.port")" \
+    --connections 4 --duration 2 --mix chain --size 24 --distinct 40 \
+    --json-dir "$RT_DIR/base"
+kill -TERM "$RT_BASE_PID"
+wait "$RT_BASE_PID"
+R_PIDS=()
+for i in 1 2 3; do
+  "$BUILD_DIR"/tools/npdp net-serve --port 0 \
+      --port-file "$RT_DIR/r$i.port" --cache 16 &
+  R_PIDS+=($!)
+done
+trap 'kill "${R_PIDS[@]}" 2>/dev/null; rm -rf "$TRACE_DIR" "$NET_DIR" "$TEL_DIR" "$RT_DIR"' EXIT
+for _ in $(seq 100); do
+  [ -s "$RT_DIR/r1.port" ] && [ -s "$RT_DIR/r2.port" ] && \
+  [ -s "$RT_DIR/r3.port" ] && break
+  sleep 0.1
+done
+[ -s "$RT_DIR/r3.port" ] || { echo "replicas never bound"; exit 1; }
+"$BUILD_DIR"/tools/npdp net-route --port 0 --port-file "$RT_DIR/router.port" \
+    --probe-interval-ms 100 --trace "$RT_DIR/router_trace.json" \
+    --replicas "r1=127.0.0.1:$(cat "$RT_DIR/r1.port"),r2=127.0.0.1:$(cat "$RT_DIR/r2.port"),r3=127.0.0.1:$(cat "$RT_DIR/r3.port")" &
+RT_PID=$!
+trap 'kill "$RT_PID" "${R_PIDS[@]}" 2>/dev/null; rm -rf "$TRACE_DIR" "$NET_DIR" "$TEL_DIR" "$RT_DIR"' EXIT
+for _ in $(seq 100); do
+  [ -s "$RT_DIR/router.port" ] && break
+  sleep 0.1
+done
+[ -s "$RT_DIR/router.port" ] || { echo "router never bound"; exit 1; }
+"$BUILD_DIR"/tools/npdp net-bench --port "$(cat "$RT_DIR/router.port")" \
+    --connections 4 --duration 4 --mix chain --size 24 --distinct 40 \
+    --trace "$RT_DIR/client_trace.json" --trace-sample 1 \
+    --json-dir "$RT_DIR/router" &
+RT_BENCH_PID=$!
+sleep 2
+kill -9 "${R_PIDS[1]}"   # SIGKILL replica r2 mid-run
+wait "$RT_BENCH_PID"     # nonzero on any client-visible error
+kill -TERM "$RT_PID"
+wait "$RT_PID"
+kill -TERM "${R_PIDS[0]}" "${R_PIDS[2]}" 2>/dev/null
+wait "${R_PIDS[0]}" "${R_PIDS[2]}" 2>/dev/null || true
+trap 'rm -rf "$TRACE_DIR" "$NET_DIR" "$TEL_DIR" "$RT_DIR"' EXIT
+"$BUILD_DIR"/tools/npdp merge-traces --out "$RT_DIR/merged.json" \
+    --client "$RT_DIR/client_trace.json" \
+    --server "$RT_DIR/router_trace.json"
+"$BUILD_DIR"/tools/npdp check-trace --file "$RT_DIR/merged.json" \
+    --chains --min-chain-frac 0.99
+BASE_HIT=$(hit_rate_of "$RT_DIR/base/BENCH_net.json")
+ROUTER_HIT=$(hit_rate_of "$RT_DIR/router/BENCH_net.json")
+awk -v b="$BASE_HIT" -v r="$ROUTER_HIT" \
+    'BEGIN{exit !(r > b)}' || {
+  echo "router hit rate $ROUTER_HIT not above baseline $BASE_HIT"; exit 1; }
+echo "router tier: clean (hit rate $ROUTER_HIT vs single-replica $BASE_HIT)"
+
+echo "== sanitizers (serve + taskgraph + cancel + resilience + net + router) =="
 # The concurrency-heavy suites rerun under ASan/UBSan in a separate tree.
 ASAN_DIR=${ASAN_DIR:-build-asan}
 cmake -B "$ASAN_DIR" -S . -DCELLNPDP_SANITIZE=address,undefined
 cmake --build "$ASAN_DIR" -j "$JOBS" --target test_serve test_taskgraph \
-    test_cancel test_resilience test_net
+    test_cancel test_resilience test_net test_router
 "$ASAN_DIR"/tests/test_serve
 "$ASAN_DIR"/tests/test_taskgraph
 "$ASAN_DIR"/tests/test_cancel
 "$ASAN_DIR"/tests/test_resilience
 "$ASAN_DIR"/tests/test_net
+"$ASAN_DIR"/tests/test_router
 
-echo "== thread sanitizer (serve + cancel + resilience + net) =="
+echo "== thread sanitizer (serve + cancel + resilience + net + router) =="
 # Cancellation crosses threads by design (dispatcher trips tokens that
 # workers poll), and the hedge watchdog races primaries against twins on
 # purpose; TSan is the check that those handoffs are race-free.
 TSAN_DIR=${TSAN_DIR:-build-tsan}
 cmake -B "$TSAN_DIR" -S . -DCELLNPDP_SANITIZE=thread
 cmake --build "$TSAN_DIR" -j "$JOBS" --target test_serve test_cancel \
-    test_resilience test_net
+    test_resilience test_net test_router
 "$TSAN_DIR"/tests/test_serve
 "$TSAN_DIR"/tests/test_cancel
 "$TSAN_DIR"/tests/test_resilience
 "$TSAN_DIR"/tests/test_net
+"$TSAN_DIR"/tests/test_router
 
 echo "verify.sh: OK"
