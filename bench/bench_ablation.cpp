@@ -5,8 +5,11 @@
 //   (4) simplified (left+below) dependence graph vs full-graph release
 //       timing — measured as simulated makespan with forced serial chains.
 #include <cstdio>
+#include <string>
+#include <utility>
 
 #include "bench_util/bench_config.hpp"
+#include "bench_util/json_out.hpp"
 #include "bench_util/table.hpp"
 #include "cellsim/npdp_sim.hpp"
 #include "common/stopwatch.hpp"
@@ -165,6 +168,119 @@ void ablate_scheduler(const BenchConfig&) {
 }
 
 
+// --- (7) semiring instantiations -----------------------------------------
+
+namespace legacy {
+
+// Verbatim copy of the hand-written (min,+) computing block the engine
+// shipped before the semiring template refactor. Racing it against
+// semiring_cb<MinPlusSemiring> proves the generic kernel kept the codegen
+// (the acceptance bar is < 2% throughput regression).
+template <class T, int W, std::size_t... K>
+inline Vec<T, W> minplus_row(Vec<T, W> c, Vec<T, W> a, const Vec<T, W>* b,
+                             std::index_sequence<K...>) {
+  ((c = vmin(c, Vec<T, W>::template splat<K>(a) + b[K])), ...);
+  return c;
+}
+
+template <class T, int W>
+inline void minplus_cb(T* C, index_t sc, const T* A, index_t sa, const T* B,
+                       index_t sb) {
+  using V = Vec<T, W>;
+  V b[W];
+  for (int k = 0; k < W; ++k) b[k] = V::load(B + k * sb);
+  for (int r = 0; r < W; ++r) {
+    V c = V::load(C + r * sc);
+    const V a = V::load(A + r * sa);
+    c = minplus_row<T, W>(c, a, b, std::make_index_sequence<W>{});
+    c.store(C + r * sc);
+  }
+}
+
+}  // namespace legacy
+
+void ablate_semirings(const BenchConfig& cfg, BenchJson& json) {
+  const index_t n = cfg.full ? 2048 : 1024;
+  std::printf("\n(7) Semiring instantiations (native kernel, n=%ld, single "
+              "thread):\n", static_cast<long>(n));
+
+  // (a) Full solves: the same geometry through every instantiation. The
+  // optimisation semirings share one inner loop shape, so their times
+  // should be near-identical; counting swaps min for + (and loses the
+  // idempotent early-out in finalize).
+  TextTable t({"semiring", "time", "vs min-plus"});
+  double minplus_s = 0;
+  for (std::uint8_t sr = 0; sr < kSemiringCount; ++sr) {
+    const auto id = static_cast<SemiringId>(sr);
+    NpdpInstance<float> inst;
+    inst.n = n;
+    inst.semiring = id;
+    inst.init = [id](index_t i, index_t j) {
+      // Keep counting cells at 1.0 (products stay 1.0 forever: no
+      // overflow at bench sizes); log-space workloads get <= 0 seeds.
+      switch (id) {
+        case SemiringId::Counting: return 1.0f;
+        case SemiringId::ViterbiLog: return -float((i + j) % 100) - 1.0f;
+        default: return i == j ? 0.0f : float((i + j) % 100);
+      }
+    };
+    NpdpOptions o;
+    o.block_side = 64;
+    Stopwatch sw;
+    auto out = solve_blocked(inst, o);
+    const double s = sw.seconds();
+    volatile float sink = out.at(0, n - 1);
+    (void)sink;
+    if (id == SemiringId::MinPlus) minplus_s = s;
+    t.row(std::string(semiring_name(id)), fmt_seconds(s),
+          fmt_x(s / minplus_s));
+    json.record()
+        .set("section", "solve")
+        .set("semiring", std::string(semiring_name(id)))
+        .set("n", n)
+        .set("block", 64)
+        .set("seconds", s)
+        .set("vs_minplus", s / minplus_s);
+  }
+  t.print();
+
+  // (b) Kernel micro-race: the pre-refactor hand-written min-plus block
+  // against the semiring template instantiated with min-plus, on hot
+  // tiles. Best-of-5 to shave scheduler noise.
+  constexpr int W = 8;
+  constexpr index_t stride = W;
+  constexpr int reps = 4000;
+  aligned_vector<float> c(W * stride, 10.0f), a(W * stride, 3.0f),
+      b(W * stride, 4.0f);
+  auto race = [&](auto&& kernel) {
+    double best = 1e100;
+    for (int round = 0; round < 5; ++round) {
+      Stopwatch sw;
+      for (int i = 0; i < reps; ++i)
+        kernel(c.data(), stride, a.data(), stride, b.data(), stride);
+      best = std::min(best, sw.seconds());
+    }
+    volatile float sink = c[0];
+    (void)sink;
+    return best;
+  };
+  const double legacy_s = race(legacy::minplus_cb<float, W>);
+  const double generic_s = race(minplus_cb<float, W>);
+  const double regression_pct = (generic_s - legacy_s) / legacy_s * 100.0;
+  TextTable k({"kernel (8x8 float tile)", "best of 5", "regression"});
+  k.row("hand-written (pre-refactor)", fmt_seconds(legacy_s), "--");
+  k.row("semiring template (min-plus)", fmt_seconds(generic_s),
+        fmt_pct(regression_pct / 100.0));
+  k.print();
+  json.record()
+      .set("section", "kernel")
+      .set("legacy_seconds", legacy_s)
+      .set("generic_seconds", generic_s)
+      .set("minplus_regression_pct", regression_pct);
+  std::printf("(the semiring ops inline to the same vmin/add sequence; any "
+              "regression beyond noise means a specialisation broke)\n");
+}
+
 }  // namespace
 }  // namespace cellnpdp
 
@@ -172,12 +288,15 @@ int main(int argc, char** argv) {
   using namespace cellnpdp;
   const auto cfg = BenchConfig::from_args(argc, argv);
   print_bench_header("Ablations: scheduling blocks, register caching, "
-                     "kernel width, prefetch, argmin, scheduler", cfg);
+                     "kernel width, prefetch, argmin, scheduler, semirings",
+                     cfg);
   ablate_sched_block(cfg);
   ablate_register_caching(cfg);
   ablate_kernel_width(cfg);
   ablate_prefetch(cfg);
   ablate_argmin(cfg);
   ablate_scheduler(cfg);
+  BenchJson json("semiring", cfg);
+  ablate_semirings(cfg, json);
   return 0;
 }

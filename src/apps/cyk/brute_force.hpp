@@ -3,6 +3,7 @@
 #pragma once
 
 #include <algorithm>
+#include <cmath>
 
 #include "apps/cyk/cyk.hpp"
 
@@ -38,6 +39,38 @@ inline Weight best_cost(const Grammar& g, const std::vector<int>& tokens,
   return best;
 }
 
+/// Sum over all derivations of nonterminal `a` spanning [i, j) of the
+/// product of per-rule contributions (exp(-w) for inside probabilities,
+/// 1 for tree counting). CNF guarantees termination: binary rules split
+/// into strictly smaller spans, so the recursion is span-bounded.
+inline double sum_derivations(const Grammar& g, const std::vector<int>& tokens,
+                              int a, index_t i, index_t j,
+                              bool probabilities) {
+  const auto contrib = [probabilities](Weight w) {
+    return probabilities ? std::exp(-double(w)) : 1.0;
+  };
+  if (j == i + 1) {
+    double total = 0;
+    for (const auto& r : g.terminal)
+      if (r.lhs == a && r.terminal == tokens[static_cast<std::size_t>(i)])
+        total += contrib(r.w);
+    return total;
+  }
+  double total = 0;
+  for (const auto& r : g.binary) {
+    if (r.lhs != a) continue;
+    for (index_t k = i + 1; k < j; ++k) {
+      const double l =
+          sum_derivations(g, tokens, r.left, i, k, probabilities);
+      if (l == 0) continue;
+      const double rr =
+          sum_derivations(g, tokens, r.right, k, j, probabilities);
+      total += l * rr * contrib(r.w);
+    }
+  }
+  return total;
+}
+
 }  // namespace brute_detail
 
 inline Weight brute_force_parse_cost(const Grammar& g,
@@ -45,6 +78,24 @@ inline Weight brute_force_parse_cost(const Grammar& g,
   if (tokens.empty()) return kInfW;
   return brute_detail::best_cost(g, tokens, g.start, 0,
                                  static_cast<index_t>(tokens.size()), 0);
+}
+
+/// Total probability of all derivations (weights as -log p) — the oracle
+/// for CykParser::inside.
+inline double brute_force_inside(const Grammar& g,
+                                 const std::vector<int>& tokens) {
+  if (tokens.empty()) return 0.0;
+  return brute_detail::sum_derivations(
+      g, tokens, g.start, 0, static_cast<index_t>(tokens.size()), true);
+}
+
+/// Number of distinct parse trees — the oracle for
+/// CykParser::count_parses.
+inline double brute_force_parse_count(const Grammar& g,
+                                      const std::vector<int>& tokens) {
+  if (tokens.empty()) return 0.0;
+  return brute_detail::sum_derivations(
+      g, tokens, g.start, 0, static_cast<index_t>(tokens.size()), false);
 }
 
 /// Evaluates a parse tree independently: checks structural validity and

@@ -1,9 +1,11 @@
 #include "apps/cyk/cyk.hpp"
 
 #include <algorithm>
+#include <cmath>
 #include <stdexcept>
 
 #include "common/rng.hpp"
+#include "simd/semiring.hpp"
 #include "simd/vec.hpp"
 
 namespace cellnpdp::cyk {
@@ -53,6 +55,81 @@ Weight CykParser::split_min(const Weight* row, const Weight* rowt, index_t x,
   }
   for (; k < y; ++k) best = std::min(best, row[k] + rowt[k]);
   return best;
+}
+
+Weight CykParser::split_sum(const Weight* row, const Weight* rowt, index_t x,
+                            index_t y) {
+  using S = CountingSemiring<Weight>;
+  bif_relax_ += y - x;
+  Weight total = S::zero();
+  index_t k = x;
+  if (opts_.simd && y - x >= 2 * kVecW) {
+    V8 acc = V8::set1(S::zero());
+    for (; k + kVecW <= y; k += kVecW)
+      acc = S::vplus<kVecW>(
+          acc, S::vtimes<kVecW>(V8::loadu(row + k), V8::loadu(rowt + k)));
+    alignas(kBufferAlignment) Weight lanes[kVecW];
+    acc.store(lanes);
+    for (index_t l = 0; l < kVecW; ++l) total = S::plus(total, lanes[l]);
+  }
+  for (; k < y; ++k) total = S::plus(total, S::times(row[k], rowt[k]));
+  return total;
+}
+
+double CykParser::sum_product(const std::vector<int>& tokens,
+                              bool probabilities) {
+  n_ = static_cast<index_t>(tokens.size());
+  if (n_ == 0) return 0.0;
+  const index_t bounds = n_ + 1;
+  stride_ = (bounds + kVecW - 1) / kVecW * kVecW;
+  const std::size_t cells = static_cast<std::size_t>(bounds * stride_);
+  charts_.assign(static_cast<std::size_t>(g_.nonterminals), {});
+  charts_t_.assign(static_cast<std::size_t>(g_.nonterminals), {});
+  // Chart cells live in the counting semiring, so empty cells (and the
+  // stride padding the SIMD loop reads) hold its zero — an annihilator,
+  // exactly like +inf in the Viterbi chart.
+  for (int a = 0; a < g_.nonterminals; ++a) {
+    charts_[static_cast<std::size_t>(a)].assign(cells, 0.0f);
+    charts_t_[static_cast<std::size_t>(a)].assign(cells, 0.0f);
+  }
+  bif_relax_ = 0;
+  const auto contrib = [probabilities](Weight w) {
+    return probabilities ? static_cast<Weight>(std::exp(-double(w)))
+                         : Weight(1);
+  };
+
+  for (index_t i = 0; i < n_; ++i)
+    for (const auto& r : g_.terminal)
+      if (r.terminal == tokens[static_cast<std::size_t>(i)])
+        chart(r.lhs, i, i + 1) += contrib(r.w);
+  for (index_t i = 0; i < n_; ++i)
+    for (int a = 0; a < g_.nonterminals; ++a)
+      chart_t(a, i + 1, i) = chart(a, i, i + 1);
+
+  for (index_t span = 2; span <= n_; ++span) {
+    for (index_t i = 0; i + span <= n_; ++i) {
+      const index_t j = i + span;
+      for (const auto& r : g_.binary) {
+        const Weight* brow =
+            charts_[static_cast<std::size_t>(r.left)].data() + i * stride_;
+        const Weight* crow =
+            charts_t_[static_cast<std::size_t>(r.right)].data() + j * stride_;
+        const Weight m = split_sum(brow, crow, i + 1, j);
+        chart(r.lhs, i, j) += m * contrib(r.w);
+      }
+      for (int a = 0; a < g_.nonterminals; ++a)
+        chart_t(a, j, i) = chart(a, i, j);
+    }
+  }
+  return double(chart(g_.start, 0, n_));
+}
+
+double CykParser::inside(const std::vector<int>& tokens) {
+  return sum_product(tokens, true);
+}
+
+double CykParser::count_parses(const std::vector<int>& tokens) {
+  return sum_product(tokens, false);
 }
 
 ParseResult CykParser::parse(const std::vector<int>& tokens) {

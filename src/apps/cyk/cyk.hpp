@@ -80,6 +80,17 @@ class CykParser {
   /// Parses the token sequence; returns best cost and parse tree.
   ParseResult parse(const std::vector<int>& tokens);
 
+  /// Inside algorithm (probabilistic CYK): rule weights are interpreted
+  /// as negative log probabilities, and the chart accumulates in the
+  /// counting (+, *) semiring over p = exp(-w) — the returned value is
+  /// the total probability of all derivations of the start symbol.
+  double inside(const std::vector<int>& tokens);
+
+  /// Number of distinct parse trees of the start symbol (the same (+, *)
+  /// chart pass with every rule contributing weight 1). Exact while the
+  /// count fits a float chart cell (< 2^24).
+  double count_parses(const std::vector<int>& tokens);
+
   const Grammar& grammar() const { return g_; }
 
   /// Split-loop relaxations performed (the NPDP work).
@@ -98,6 +109,14 @@ class CykParser {
   /// min over k in [x, y-1] of row[k] + rowt[k].
   Weight split_min(const Weight* row, const Weight* rowt, index_t x,
                    index_t y);
+
+  /// sum over k in [x, y-1] of row[k] * rowt[k] (the (+, *) analogue).
+  Weight split_sum(const Weight* row, const Weight* rowt, index_t x,
+                   index_t y);
+
+  /// Shared (+, *) chart pass: rule contribution exp(-w) when
+  /// `probabilities`, 1 otherwise.
+  double sum_product(const std::vector<int>& tokens, bool probabilities);
 
   void build_tree(const std::vector<int>& tokens, int a, index_t i,
                   index_t j, ParseResult& out);

@@ -36,6 +36,15 @@ void require_pure(const char* name, const NpdpInstance<float>& inst) {
                                 "(no weight / k-term)");
 }
 
+void require_semiring(const SolverBackend& b,
+                      const NpdpInstance<float>& inst) {
+  if (!supports_semiring(b.caps(), inst.semiring))
+    throw std::invalid_argument(
+        std::string("backend '") + b.name() + "' does not support the " +
+        std::string(semiring_name(inst.semiring)) + " semiring (supported: " +
+        semirings_string(b.caps()) + ")");
+}
+
 /// Fig. 1 golden model: the correctness oracle, O(n^3) scalar.
 struct ReferenceBackend final : SolverBackend {
   const char* name() const override { return "reference"; }
@@ -44,11 +53,20 @@ struct ReferenceBackend final : SolverBackend {
     c.double_precision = true;
     c.weighted = true;
     c.cancellable = true;
+    c.semirings = kAllSemirings;
     return c;
   }
   BackendResult solve(const NpdpInstance<float>& inst,
                       const ExecutionContext& ctx) const override {
     BackendResult r;
+    if (inst.semiring != SemiringId::MinPlus) {
+      // The generic golden model has no mid-solve cancellation point; it
+      // is host-fast at every size the CLI/serve layers accept.
+      auto d = solve_reference_any(inst);
+      r.value = top_value(d);
+      r.tri = std::make_shared<TriangularMatrix<float>>(std::move(d));
+      return r;
+    }
     bool completed = true;
     auto d = solve_reference(inst, ctx.cancel, &completed);
     if (!completed) {
@@ -75,7 +93,7 @@ BackendResult solve_blocked_backend(const NpdpInstance<float>& inst,
     return r;
   }
   auto mat = std::make_shared<BlockedTriangularMatrix<float>>(
-      inst.n, ctx.tuning.block_side);
+      inst.n, ctx.tuning.block_side, semiring_zero<float>(inst.semiring));
   r.status = solve_into(*mat);
   if (r.status == SolveStatus::Ok) {
     r.value = top_value(*mat);
@@ -94,6 +112,7 @@ struct BlockedSerialBackend final : SolverBackend {
     c.traceback = true;
     c.cancellable = true;
     c.arena = true;
+    c.semirings = kAllSemirings;
     return c;
   }
   BackendResult solve(const NpdpInstance<float>& inst,
@@ -116,6 +135,7 @@ struct BlockedParallelBackend final : SolverBackend {
     c.parallel = true;
     c.cancellable = true;
     c.arena = true;
+    c.semirings = kAllSemirings;
     return c;
   }
   BackendResult solve(const NpdpInstance<float>& inst,
@@ -140,6 +160,7 @@ struct TanBackend final : SolverBackend {
   BackendResult solve(const NpdpInstance<float>& inst,
                       const ExecutionContext& ctx) const override {
     require_pure(name(), inst);
+    require_semiring(*this, inst);
     BackendResult r;
     auto d = std::make_shared<TriangularMatrix<float>>(inst.n);
     d->fill(inst.init);
@@ -168,6 +189,7 @@ struct RecursiveBackend final : SolverBackend {
   BackendResult solve(const NpdpInstance<float>& inst,
                       const ExecutionContext& ctx) const override {
     require_pure(name(), inst);
+    require_semiring(*this, inst);
     BackendResult r;
     bool completed = true;
     auto d = solve_recursive(inst, RecursiveOptions{}, ctx.cancel, &completed);
@@ -197,6 +219,7 @@ struct CellSimBackend final : SolverBackend {
   }
   BackendResult solve(const NpdpInstance<float>& inst,
                       const ExecutionContext& ctx) const override {
+    require_semiring(*this, inst);
     CellSimOptions o;
     o.mode = ExecMode::Functional;
     o.block_side = ctx.tuning.block_side;
@@ -237,6 +260,7 @@ struct ResilientBackend final : SolverBackend {
   }
   BackendResult solve(const NpdpInstance<float>& inst,
                       const ExecutionContext& ctx) const override {
+    require_semiring(*this, inst);
     resilience::BlockRecoveryPolicy pol;
     if (ctx.retry.enabled()) pol.retry = ctx.retry;
     return solve_blocked_backend(

@@ -26,8 +26,17 @@
 #include "core/instance.hpp"
 #include "layout/blocked.hpp"
 #include "layout/triangular.hpp"
+#include "simd/semiring.hpp"
 
 namespace cellnpdp::backend {
+
+/// Bit for one SemiringId in Capabilities::semirings.
+constexpr unsigned semiring_bit(SemiringId id) {
+  return 1u << static_cast<unsigned>(id);
+}
+
+/// Every semiring the engine family instantiates.
+constexpr unsigned kAllSemirings = (1u << kSemiringCount) - 1u;
 
 /// What a backend can do; `npdp backends` prints these columns.
 struct Capabilities {
@@ -43,7 +52,24 @@ struct Capabilities {
                                   ///< when the caller provides one
   bool self_checking = false;     ///< verifies block checksums and repairs
                                   ///< corrupted blocks during the solve
+  unsigned semirings =            ///< bitmask of supported SemiringId values
+      semiring_bit(SemiringId::MinPlus);
 };
+
+inline bool supports_semiring(const Capabilities& c, SemiringId id) {
+  return (c.semirings & semiring_bit(id)) != 0;
+}
+
+/// Comma-joined names of the supported semirings ("min-plus,counting").
+inline std::string semirings_string(const Capabilities& c) {
+  std::string out;
+  for (unsigned i = 0; i < kSemiringCount; ++i)
+    if ((c.semirings & (1u << i)) != 0) {
+      if (!out.empty()) out += ',';
+      out += semiring_name(static_cast<SemiringId>(i));
+    }
+  return out;
+}
 
 /// Outcome of one backend solve. On SolveStatus::Cancelled only `status`
 /// is meaningful. Exactly one of `blocked` / `tri` is set on success —

@@ -89,7 +89,11 @@ class EngineStatsSink {
   std::deque<EngineStats> shards_;  // deque: stable addresses
 };
 
-template <class T>
+/// The blocked engine, generic over a semiring S (see simd/semiring.hpp).
+/// The default min-plus instantiation is bit-identical to the historical
+/// hard-coded engine: every S::plus/times/improves call below expands to
+/// the exact expression the min-plus code spelled out inline.
+template <class T, class S = MinPlusSemiring<T>>
 class BlockEngine {
  public:
   BlockEngine(BlockedTriangularMatrix<T>& mat, const NpdpInstance<T>& inst,
@@ -97,13 +101,20 @@ class BlockEngine {
       : mat_(&mat),
         inst_(&inst),
         bs_(opts.block_side),
-        kern_(cb_kernel<T>(opts.kernel)),
+        kern_(cb_kernel<T, S>(opts.kernel)),
         general_(inst.general_mode()) {
     if (bs_ % kern_.width != 0)
       throw std::invalid_argument(
           "block_side must be a multiple of the kernel width");
     if (mat.block_side() != bs_ || mat.size() != inst.n)
       throw std::invalid_argument("matrix does not match instance/options");
+    if (inst.semiring != S::id)
+      throw std::invalid_argument(
+          "instance semiring does not match the engine instantiation");
+    if (!(mat.pad() == S::zero()))
+      throw std::invalid_argument(
+          "matrix padding is not the semiring's zero (construct or reset "
+          "the matrix with semiring_zero<T>(inst.semiring))");
     tb_ = bs_ / kern_.width;
     ktg_ = static_cast<bool>(inst.kterm);
     if (ktg_ && inst.ku != nullptr)
@@ -141,14 +152,14 @@ class BlockEngine {
       mat_->at(i, i) = dii;
       for (index_t j = i + 1; j < n; ++j) {
         const T init = inst_->init(i, j);
-        const T self = init + dii;  // Fig. 1's k == i relaxation
-        mat_->at(i, j) = self < init ? self : init;
+        const T self = S::times(init, dii);  // Fig. 1's k == i relaxation
+        mat_->at(i, j) = S::plus(init, self);
       }
     }
   }
 
   /// Restores memory block (bi,bj) — and its argmin block, when attached —
-  /// to the exact state seed() left it in: the (min,+) identity on padding
+  /// to the exact state seed() left it in: the semiring zero on padding
   /// and below-diagonal cells, the seed formula on in-triangle cells. The
   /// recovery paths call this before re-relaxing a block whose first
   /// execution threw mid-write or whose contents failed a checksum:
@@ -160,7 +171,7 @@ class BlockEngine {
   void seed_block(index_t bi, index_t bj) {
     T* Cb = mat_->block(bi, bj);
     const index_t cells = bs_ * bs_;
-    const T id = minplus_identity<T>();
+    const T id = S::zero();
     for (index_t c = 0; c < cells; ++c) Cb[c] = id;
     if (argm_ != nullptr) {
       T* Kb = argm_->data() + (Cb - mat_->data());
@@ -179,11 +190,11 @@ class BlockEngine {
           Cb[r * bs_ + c] = inst_->init(gi, gi);
           continue;
         }
-        if (general_) continue;  // off-diagonal cells stay +inf
+        if (general_) continue;  // off-diagonal cells stay the zero
         const T dii = inst_->init(gi, gi);
         const T init = inst_->init(gi, gj);
-        const T self = init + dii;  // Fig. 1's k == i relaxation
-        Cb[r * bs_ + c] = self < init ? self : init;
+        const T self = S::times(init, dii);  // Fig. 1's k == i relaxation
+        Cb[r * bs_ + c] = S::plus(init, self);
       }
     }
   }
@@ -202,8 +213,11 @@ class BlockEngine {
   /// Attaches an argmin table (same geometry as the value matrix). Each
   /// cell ends up holding, as a T, the k index whose relaxation produced
   /// the final value, or -1 if the seed/init value survived. Must be
-  /// attached before seed().
+  /// attached before seed(). Min-plus only: argmin traceback over other
+  /// semirings has no SIMD kernel (and no meaning for counting).
   void set_argmin(BlockedTriangularMatrix<T>* argm) {
+    if constexpr (S::id != SemiringId::MinPlus)
+      throw std::invalid_argument("argmin tracking requires min-plus");
     if (argm->block_side() != bs_ || argm->size() != inst_->n)
       throw std::invalid_argument("argmin matrix geometry mismatch");
     argm_ = argm;
@@ -275,7 +289,7 @@ class BlockEngine {
 
   /// Scalar tile relaxation with the general per-(i,k,j) term; handles
   /// argmin tracking. Functor calls are skipped for padded indices (the
-  /// operand there is the +inf identity, so the candidate loses anyway).
+  /// operand there is the semiring zero, which annihilates the candidate).
   void generic_tile(T* C, const T* A, const T* B, index_t gi0, index_t gk0,
                     index_t gj0) const {
     const index_t W = kern_.width;
@@ -289,11 +303,16 @@ class BlockEngine {
         for (index_t c = 0; c < W; ++c) {
           const index_t gj = gj0 + c;
           if (gi >= n || gk >= n || gj >= n) continue;
-          const T cand = a + B[k * bs_ + c] + inst_->kterm(gi, gk, gj);
+          const T cand = S::times(S::times(a, B[k * bs_ + c]),
+                                  inst_->kterm(gi, gk, gj));
           T& dst = C[r * bs_ + c];
-          if (cand < dst) {
-            dst = cand;
-            if (KC != nullptr) KC[r * bs_ + c] = T(gk);
+          if constexpr (S::idempotent) {
+            if (S::improves(cand, dst)) {
+              dst = cand;
+              if (KC != nullptr) KC[r * bs_ + c] = T(gk);
+            }
+          } else {
+            dst = S::plus(dst, cand);
           }
         }
       }
@@ -380,29 +399,23 @@ class BlockEngine {
         T karg = T(-2);  // sentinel: unchanged
         for (index_t lk = lr + 1; lk < W; ++lk) {
           const index_t gk = row0 + rt * W + lk;
-          T cand = A1[lr * bs_ + lk] + Cb[(rt * W + lk) * bs_ + c];
-          if (kt_on) cand += ku_[gi] * kv_[gk] * kw_[gj];
+          T cand = S::times(A1[lr * bs_ + lk], Cb[(rt * W + lk) * bs_ + c]);
+          if (kt_on) cand = S::times(cand, ku_[gi] * kv_[gk] * kw_[gj]);
           if (ktg_) {
             if (gi >= n || gk >= n || gj >= n) continue;
-            cand += inst_->kterm(gi, gk, gj);
+            cand = S::times(cand, inst_->kterm(gi, gk, gj));
           }
-          if (cand < acc) {
-            acc = cand;
-            karg = T(gk);
-          }
+          relax(acc, karg, cand, gk);
         }
         for (index_t lk = 0; lk < lc; ++lk) {
           const index_t gk = col0 + ct * W + lk;
-          T cand = Cb[r * bs_ + ct * W + lk] + B2[lk * bs_ + lc];
-          if (kt_on) cand += ku_[gi] * kv_[gk] * kw_[gj];
+          T cand = S::times(Cb[r * bs_ + ct * W + lk], B2[lk * bs_ + lc]);
+          if (kt_on) cand = S::times(cand, ku_[gi] * kv_[gk] * kw_[gj]);
           if (ktg_) {
             if (gi >= n || gk >= n || gj >= n) continue;
-            cand += inst_->kterm(gi, gk, gj);
+            cand = S::times(cand, inst_->kterm(gi, gk, gj));
           }
-          if (cand < acc) {
-            acc = cand;
-            karg = T(gk);
-          }
+          relax(acc, karg, cand, gk);
         }
         if (st != nullptr) st->corner_relax += (W - 1 - lr) + lc;
         finalize_cell(Cb, r, c, gi, gj, n, acc, st, karg);
@@ -427,20 +440,34 @@ class BlockEngine {
         T karg = T(-2);
         for (index_t lk = lr + 1; lk < lc; ++lk) {
           const index_t gk = row0 + t * W + lk;
-          T cand = Cb[r * bs_ + t * W + lk] + Cb[(t * W + lk) * bs_ + c];
-          if (kt_on) cand += ku_[gi] * kv_[gk] * kw_[gj];
+          T cand =
+              S::times(Cb[r * bs_ + t * W + lk], Cb[(t * W + lk) * bs_ + c]);
+          if (kt_on) cand = S::times(cand, ku_[gi] * kv_[gk] * kw_[gj]);
           if (ktg_) {
             if (gi >= n || gk >= n || gj >= n) continue;
-            cand += inst_->kterm(gi, gk, gj);
+            cand = S::times(cand, inst_->kterm(gi, gk, gj));
           }
-          if (cand < acc) {
-            acc = cand;
-            karg = T(gk);
-          }
+          relax(acc, karg, cand, gk);
         }
         if (st != nullptr) st->diag_relax += lc - 1 - lr;
         finalize_cell(Cb, r, c, gi, gj, n, acc, st, karg);
       }
+    }
+  }
+
+  /// Folds one candidate into the running cell value. Idempotent
+  /// semirings relax with a strict-improvement compare (argmin tracking
+  /// keeps the earliest winning k on ties, exactly as before); counting
+  /// accumulates every candidate.
+  void relax(T& acc, T& karg, T cand, index_t gk) const {
+    if constexpr (S::idempotent) {
+      if (S::improves(cand, acc)) {
+        acc = cand;
+        karg = T(gk);
+      }
+    } else {
+      (void)karg;
+      acc = S::plus(acc, cand);
     }
   }
 
@@ -459,15 +486,19 @@ class BlockEngine {
       Cb[r * bs_ + c] = acc;
       return;
     }
-    if (gi >= n || gj >= n) return;  // padding stays +inf
+    if (gi >= n || gj >= n) return;  // padding stays the semiring zero
     const T init = inst_->init(gi, gj);
-    const T w = inst_->weight ? inst_->weight(gi, gj) : T(0);
-    const T relaxed = w + acc;
-    if (relaxed < init) {
-      Cb[r * bs_ + c] = relaxed;
+    const T w = inst_->weight ? inst_->weight(gi, gj) : S::one();
+    const T relaxed = S::times(w, acc);
+    if constexpr (S::idempotent) {
+      if (S::improves(relaxed, init)) {
+        Cb[r * bs_ + c] = relaxed;
+      } else {
+        Cb[r * bs_ + c] = init;
+        if (arg_cell != nullptr) *arg_cell = T(-1);  // the init survived
+      }
     } else {
-      Cb[r * bs_ + c] = init;
-      if (arg_cell != nullptr) *arg_cell = T(-1);  // the init value survived
+      Cb[r * bs_ + c] = S::plus(init, relaxed);
     }
   }
 

@@ -6,6 +6,7 @@
 
 #include "common/defs.hpp"
 #include "simd/dispatch.hpp"
+#include "simd/semiring.hpp"
 
 namespace cellnpdp {
 
@@ -33,6 +34,11 @@ namespace cellnpdp {
 template <class T>
 struct NpdpInstance {
   index_t n = 0;
+
+  /// The semiring the recurrence is evaluated in. min/max substitute for
+  /// min in the semantics above; counting replaces (min, +) with (+, *).
+  /// Every solver dispatches on this tag (see with_semiring).
+  SemiringId semiring = SemiringId::MinPlus;
 
   /// Required: initial value of cell (i,j), 0 <= i <= j < n.
   std::function<T(index_t, index_t)> init;

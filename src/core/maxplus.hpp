@@ -1,30 +1,22 @@
 // Max-plus NPDP: d[i][j] = max(d[i][j], d[i][k] + d[k][j]).
 //
 // Some NPDP instances maximise (longest chains, maximum-score
-// parenthesizations). Rather than duplicating every kernel with a max
-// reduction, this adapter uses the semiring isomorphism
+// parenthesizations). Historically this was served by the semiring
+// isomorphism
 //
 //   max-plus over x  ==  -( min-plus over -x )
 //
-// (negation maps +inf to -inf, sums to sums, max to min), so the full
-// blocked/SIMD/parallel machinery applies unchanged. Only the instance's
-// init/weight are wrapped and the output negated.
+// (negation maps +inf to -inf, sums to sums, max to min). The engine now
+// instantiates natively over MaxPlusSemiring, which lifts the adapter's
+// restriction on separable k-terms (u*v*w cannot be sign-flipped
+// factor-wise); the negation path is kept as a regression oracle because
+// float negation is exact, so both must agree bit-for-bit.
 #pragma once
 
 #include "core/reference.hpp"
 #include "core/solve.hpp"
 
 namespace cellnpdp {
-
-/// The identity of (max,+): the value no relaxation can come from.
-template <class T>
-constexpr T maxplus_identity() {
-  if constexpr (std::is_floating_point_v<T>) {
-    return -std::numeric_limits<T>::infinity();
-  } else {
-    return -(std::numeric_limits<T>::max() / 4);
-  }
-}
 
 namespace maxplus_detail {
 
@@ -41,8 +33,8 @@ NpdpInstance<T> negate_instance(const NpdpInstance<T>& inst) {
     neg.weight = [w](index_t i, index_t j) { return -w(i, j); };
   }
   // The separable k-term cannot be sign-flipped through u*v*w factor-wise
-  // in general (three factors); callers needing it can fold the sign into
-  // one factor themselves.
+  // in general (three factors); callers needing it must use the native
+  // max-plus path.
   neg.ku = nullptr;
   neg.kv = nullptr;
   neg.kw = nullptr;
@@ -52,14 +44,27 @@ NpdpInstance<T> negate_instance(const NpdpInstance<T>& inst) {
 }  // namespace maxplus_detail
 
 /// Solves the max-plus analogue of the instance (init/weight interpreted
-/// under max): d[i][j] = max(init, [weight +] max_k d[i][k] + d[k][j]).
-/// Separable k-terms are not supported through this adapter.
+/// under max): d[i][j] = max(init, [weight +] max_k d[i][k] + d[k][j]
+/// [+ ku[i]*kv[k]*kw[j]]). Runs the engine's native MaxPlusSemiring
+/// instantiation, so separable k-terms are supported.
 template <class T>
 BlockedTriangularMatrix<T> solve_blocked_maxplus(const NpdpInstance<T>& inst,
                                                  const NpdpOptions& opts) {
+  NpdpInstance<T> mp = inst;
+  mp.semiring = SemiringId::MaxPlus;
+  return solve_blocked(mp, opts);
+}
+
+/// The historical negate-and-solve adapter, preserved as a regression
+/// oracle for the native path: float negation is exact, so the two must
+/// agree bit-for-bit on every instance both accept. Separable k-terms are
+/// not supported through this adapter.
+template <class T>
+BlockedTriangularMatrix<T> solve_blocked_maxplus_via_negation(
+    const NpdpInstance<T>& inst, const NpdpOptions& opts) {
   if (inst.ku != nullptr)
     throw std::invalid_argument(
-        "solve_blocked_maxplus: separable k-terms unsupported");
+        "solve_blocked_maxplus_via_negation: separable k-terms unsupported");
   const auto neg = maxplus_detail::negate_instance(inst);
   auto table = solve_blocked(neg, opts);
   T* p = table.data();
@@ -68,7 +73,7 @@ BlockedTriangularMatrix<T> solve_blocked_maxplus(const NpdpInstance<T>& inst,
 }
 
 /// Golden model for the max-plus semantics (direct, no negation), used by
-/// tests to validate the adapter.
+/// tests to validate both blocked paths.
 template <class T>
 TriangularMatrix<T> solve_reference_maxplus(const NpdpInstance<T>& inst) {
   const index_t n = inst.n;
@@ -80,8 +85,11 @@ TriangularMatrix<T> solve_reference_maxplus(const NpdpInstance<T>& inst) {
       const index_t j = i + span;
       const T init = inst.init(i, j);
       T acc = maxplus_identity<T>();
-      for (index_t k = i + 1; k < j; ++k)
-        acc = std::max(acc, d.at(i, k) + d.at(k, j));
+      for (index_t k = i + 1; k < j; ++k) {
+        T cand = d.at(i, k) + d.at(k, j);
+        if (inst.ku != nullptr) cand += inst.ku[i] * inst.kv[k] * inst.kw[j];
+        acc = std::max(acc, cand);
+      }
       if (general) {
         const T w = inst.weight ? inst.weight(i, j) : T(0);
         d.at(i, j) = std::max(init, w + acc);

@@ -19,11 +19,13 @@ template <class T>
 CELLNPDP_NOVEC void solve_fig1(TriangularMatrix<T>& d) {
   const index_t n = d.size();
   for (index_t j = 0; j < n; ++j)
-    for (index_t i = j - 1; i > -1; --i)
+    for (index_t i = j - 1; i > -1; --i) {
+      CELLNPDP_NOVEC_LOOP
       for (index_t k = i; k < j; ++k) {
         const T cand = d.at(i, k) + d.at(k, j);
         if (cand < d.at(i, j)) d.at(i, j) = cand;
       }
+    }
 }
 
 /// Golden model: solves `inst` by increasing span j-i, evaluating the
@@ -75,6 +77,51 @@ TriangularMatrix<T> solve_reference(const NpdpInstance<T>& inst,
 template <class T>
 TriangularMatrix<T> solve_reference(const NpdpInstance<T>& inst) {
   return solve_reference(inst, CancelToken{});
+}
+
+/// Semiring-generic golden model: solve_reference with (min, +) replaced
+/// by S::plus/S::times, candidate-for-candidate. The min-plus
+/// instantiation is bit-identical to solve_reference (tests enforce it);
+/// every blocked engine instantiation must match this model exactly in
+/// its own domain — element-for-element equality, no tolerance.
+template <class S, class T = typename S::value_type>
+TriangularMatrix<T> solve_reference_semiring(const NpdpInstance<T>& inst) {
+  const index_t n = inst.n;
+  TriangularMatrix<T> d(n);
+  for (index_t i = 0; i < n; ++i) d.at(i, i) = inst.init(i, i);
+
+  const bool general = inst.general_mode();
+  for (index_t span = 1; span < n; ++span)
+    for (index_t i = 0; i + span < n; ++i) {
+      const index_t j = i + span;
+      const T init = inst.init(i, j);
+      T acc = S::zero();
+      for (index_t k = i + 1; k < j; ++k) {
+        T cand = S::times(d.at(i, k), d.at(k, j));
+        if (inst.ku != nullptr)
+          cand = S::times(cand, inst.ku[i] * inst.kv[k] * inst.kw[j]);
+        if (inst.kterm) cand = S::times(cand, inst.kterm(i, k, j));
+        acc = S::plus(acc, cand);
+      }
+      if (general) {
+        const T w = inst.weight ? inst.weight(i, j) : S::one();
+        d.at(i, j) = S::plus(init, S::times(w, acc));
+      } else {
+        // Pure mode: fold the Fig. 1 k == i self-term into the seed.
+        const T seed = S::plus(init, S::times(init, d.at(i, i)));
+        d.at(i, j) = S::plus(seed, acc);
+      }
+    }
+  return d;
+}
+
+/// Runtime-dispatched form of solve_reference_semiring over the
+/// instance's semiring tag.
+template <class T>
+TriangularMatrix<T> solve_reference_any(const NpdpInstance<T>& inst) {
+  return with_semiring<T>(inst.semiring, [&](auto s) {
+    return solve_reference_semiring<decltype(s)>(inst);
+  });
 }
 
 }  // namespace cellnpdp

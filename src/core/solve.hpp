@@ -25,17 +25,15 @@
 
 namespace cellnpdp {
 
-/// Serial blocked solve into a caller-owned matrix, which must already
-/// match the instance/context geometry and hold the (min,+) identity in
-/// every cell (freshly constructed or reset()). Lets a serving layer reuse
-/// one arena allocation across many requests of the same shape.
-template <class T>
-SolveStatus solve_blocked_serial_into(BlockedTriangularMatrix<T>& mat,
-                                      const NpdpInstance<T>& inst,
-                                      const ExecutionContext& ctx) {
-  CELLNPDP_TRACE_SPAN("solve", "solve_blocked_serial");
+namespace detail {
+
+/// The serial driver, compiled once per (T, S) pair.
+template <class S, class T>
+SolveStatus solve_blocked_serial_into_s(BlockedTriangularMatrix<T>& mat,
+                                        const NpdpInstance<T>& inst,
+                                        const ExecutionContext& ctx) {
   SolveStats* ss = ctx.stats;
-  BlockEngine<T> engine(mat, inst, ctx.tuning);
+  BlockEngine<T, S> engine(mat, inst, ctx.tuning);
   engine.seed();
   const index_t m = engine.blocks_per_side();
   Stopwatch sw;
@@ -61,6 +59,24 @@ SolveStatus solve_blocked_serial_into(BlockedTriangularMatrix<T>& mat,
   return status;
 }
 
+}  // namespace detail
+
+/// Serial blocked solve into a caller-owned matrix, which must already
+/// match the instance/context geometry and hold the semiring zero in
+/// every cell (freshly constructed or reset() with the right pad). Lets a
+/// serving layer reuse one arena allocation across many requests of the
+/// same shape. Dispatches on inst.semiring; each instantiation runs the
+/// same driver with the S-specialised engine.
+template <class T>
+SolveStatus solve_blocked_serial_into(BlockedTriangularMatrix<T>& mat,
+                                      const NpdpInstance<T>& inst,
+                                      const ExecutionContext& ctx) {
+  CELLNPDP_TRACE_SPAN("solve", "solve_blocked_serial");
+  return with_semiring<T>(inst.semiring, [&](auto s) {
+    return detail::solve_blocked_serial_into_s<decltype(s)>(mat, inst, ctx);
+  });
+}
+
 /// Legacy form (no cancellation).
 template <class T>
 void solve_blocked_serial_into(BlockedTriangularMatrix<T>& mat,
@@ -79,24 +95,22 @@ template <class T>
 BlockedTriangularMatrix<T> solve_blocked_serial(const NpdpInstance<T>& inst,
                                                 const NpdpOptions& opts,
                                                 SolveStats* ss = nullptr) {
-  BlockedTriangularMatrix<T> mat(inst.n, opts.block_side);
+  BlockedTriangularMatrix<T> mat(inst.n, opts.block_side,
+                                 semiring_zero<T>(inst.semiring));
   solve_blocked_serial_into(mat, inst, opts, ss);
   return mat;
 }
 
-/// Parallel blocked solve into a caller-owned (freshly reset) matrix:
-/// tier 2 of CellNPDP — scheduling blocks of sched_side x sched_side
-/// memory blocks dispatched through the simplified dependence graph onto
-/// tuning.threads workers. Each task body polls the cancel token per
-/// memory block; the executor stops releasing tasks once it trips.
-template <class T>
-SolveStatus solve_blocked_parallel_into(BlockedTriangularMatrix<T>& mat,
-                                        const NpdpInstance<T>& inst,
-                                        const ExecutionContext& ctx) {
-  CELLNPDP_TRACE_SPAN("solve", "solve_blocked_parallel");
+namespace detail {
+
+/// The task-queue parallel driver, compiled once per (T, S) pair.
+template <class S, class T>
+SolveStatus solve_blocked_parallel_into_s(BlockedTriangularMatrix<T>& mat,
+                                          const NpdpInstance<T>& inst,
+                                          const ExecutionContext& ctx) {
   const NpdpOptions& opts = ctx.tuning;
   SolveStats* ss = ctx.stats;
-  BlockEngine<T> engine(mat, inst, opts);
+  BlockEngine<T, S> engine(mat, inst, opts);
   engine.seed();
 
   const index_t m = engine.blocks_per_side();
@@ -166,12 +180,31 @@ SolveStatus solve_blocked_parallel_into(BlockedTriangularMatrix<T>& mat,
   return completed ? SolveStatus::Ok : SolveStatus::Cancelled;
 }
 
+}  // namespace detail
+
+/// Parallel blocked solve into a caller-owned (freshly reset) matrix:
+/// tier 2 of CellNPDP — scheduling blocks of sched_side x sched_side
+/// memory blocks dispatched through the simplified dependence graph onto
+/// tuning.threads workers. Each task body polls the cancel token per
+/// memory block; the executor stops releasing tasks once it trips.
+template <class T>
+SolveStatus solve_blocked_parallel_into(BlockedTriangularMatrix<T>& mat,
+                                        const NpdpInstance<T>& inst,
+                                        const ExecutionContext& ctx) {
+  CELLNPDP_TRACE_SPAN("solve", "solve_blocked_parallel");
+  return with_semiring<T>(inst.semiring, [&](auto s) {
+    return detail::solve_blocked_parallel_into_s<decltype(s)>(mat, inst,
+                                                              ctx);
+  });
+}
+
 /// Parallel blocked solver (allocating form, legacy signature).
 template <class T>
 BlockedTriangularMatrix<T> solve_blocked_parallel(const NpdpInstance<T>& inst,
                                                   const NpdpOptions& opts,
                                                   SolveStats* ss = nullptr) {
-  BlockedTriangularMatrix<T> mat(inst.n, opts.block_side);
+  BlockedTriangularMatrix<T> mat(inst.n, opts.block_side,
+                                 semiring_zero<T>(inst.semiring));
   ExecutionContext ctx;
   ctx.tuning = opts;
   ctx.stats = ss;
@@ -179,20 +212,16 @@ BlockedTriangularMatrix<T> solve_blocked_parallel(const NpdpInstance<T>& inst,
   return mat;
 }
 
-/// Alternative tier-2 schedule: block anti-diagonals processed step by
-/// step with a barrier between steps (the structure of the prior works the
-/// paper improves on, §II-B). Blocks within one wavefront are mutually
-/// independent; the barrier is the cost this schedule pays. Uses (and
-/// never destroys) ctx.pool when provided; cancellation is observed
-/// between blocks and between wavefront steps.
-template <class T>
-SolveStatus solve_blocked_wavefront_into(BlockedTriangularMatrix<T>& mat,
-                                         const NpdpInstance<T>& inst,
-                                         const ExecutionContext& ctx) {
-  CELLNPDP_TRACE_SPAN("solve", "solve_blocked_wavefront");
+namespace detail {
+
+/// The wavefront driver, compiled once per (T, S) pair.
+template <class S, class T>
+SolveStatus solve_blocked_wavefront_into_s(BlockedTriangularMatrix<T>& mat,
+                                           const NpdpInstance<T>& inst,
+                                           const ExecutionContext& ctx) {
   const NpdpOptions& opts = ctx.tuning;
   SolveStats* ss = ctx.stats;
-  BlockEngine<T> engine(mat, inst, opts);
+  BlockEngine<T, S> engine(mat, inst, opts);
   engine.seed();
   const index_t m = engine.blocks_per_side();
   std::unique_ptr<ThreadPool> owned;
@@ -226,11 +255,31 @@ SolveStatus solve_blocked_wavefront_into(BlockedTriangularMatrix<T>& mat,
   return status;
 }
 
+}  // namespace detail
+
+/// Alternative tier-2 schedule: block anti-diagonals processed step by
+/// step with a barrier between steps (the structure of the prior works the
+/// paper improves on, §II-B). Blocks within one wavefront are mutually
+/// independent; the barrier is the cost this schedule pays. Uses (and
+/// never destroys) ctx.pool when provided; cancellation is observed
+/// between blocks and between wavefront steps.
+template <class T>
+SolveStatus solve_blocked_wavefront_into(BlockedTriangularMatrix<T>& mat,
+                                         const NpdpInstance<T>& inst,
+                                         const ExecutionContext& ctx) {
+  CELLNPDP_TRACE_SPAN("solve", "solve_blocked_wavefront");
+  return with_semiring<T>(inst.semiring, [&](auto s) {
+    return detail::solve_blocked_wavefront_into_s<decltype(s)>(mat, inst,
+                                                               ctx);
+  });
+}
+
 template <class T>
 BlockedTriangularMatrix<T> solve_blocked_wavefront(
     const NpdpInstance<T>& inst, const NpdpOptions& opts,
     SolveStats* ss = nullptr) {
-  BlockedTriangularMatrix<T> mat(inst.n, opts.block_side);
+  BlockedTriangularMatrix<T> mat(inst.n, opts.block_side,
+                                 semiring_zero<T>(inst.semiring));
   ExecutionContext ctx;
   ctx.tuning = opts;
   ctx.stats = ss;

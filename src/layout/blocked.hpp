@@ -19,18 +19,24 @@ namespace cellnpdp {
 template <class T>
 class BlockedTriangularMatrix {
  public:
-  /// n: problem size in cells; bs: block side in cells (>= 1).
-  BlockedTriangularMatrix(index_t n, index_t bs)
+  /// n: problem size in cells; bs: block side in cells (>= 1); pad: the
+  /// value written into padding / below-diagonal cells — the annihilator
+  /// ("zero") of whichever semiring the matrix will be relaxed in, so
+  /// padded cells can never influence a result. Defaults to the (min,+)
+  /// identity, matching every historical call site.
+  BlockedTriangularMatrix(index_t n, index_t bs,
+                          T pad = minplus_identity<T>())
       : n_(n),
         bs_(bs),
         m_(ceil_div(n, bs)),
-        data_(static_cast<std::size_t>(triangle_cells(m_) * bs * bs),
-              minplus_identity<T>()) {
+        pad_(pad),
+        data_(static_cast<std::size_t>(triangle_cells(m_) * bs * bs), pad) {
     assert(n >= 0 && bs >= 1);
   }
 
   index_t size() const { return n_; }
   index_t block_side() const { return bs_; }
+  T pad() const { return pad_; }
   index_t blocks_per_side() const { return m_; }
   index_t cells_per_block() const { return bs_ * bs_; }
 
@@ -75,17 +81,24 @@ class BlockedTriangularMatrix {
   }
 
   /// Restores the freshly-constructed state: every cell (padding included)
-  /// back to the (min,+) identity. Lets a long-lived arena be reused across
+  /// back to the pad value. Lets a long-lived arena be reused across
   /// solves without reallocating the slab.
   void reset() {
-    const T id = minplus_identity<T>();
-    for (T& c : data_) c = id;
+    for (T& c : data_) c = pad_;
+  }
+
+  /// As reset(), but re-padding for a different semiring first — an arena
+  /// checked out for a min-plus solve can be handed to a counting solve.
+  void reset(T new_pad) {
+    pad_ = new_pad;
+    reset();
   }
 
  private:
   index_t n_;
   index_t bs_;
   index_t m_;
+  T pad_;
   aligned_vector<T> data_;
 };
 

@@ -42,6 +42,13 @@ serve::Payload make_payload(const LoadGenOptions& o, char kind,
       s.seed = seed;
       s.block_side = std::min<index_t>(64, s.n);
       s.backend = o.backend;
+      if (o.semiring == "mix") {
+        s.semiring = static_cast<SemiringId>(rng.next_below(kSemiringCount));
+      } else if (!o.semiring.empty()) {
+        // Validated by the CLI layer; fall back to min-plus on a name
+        // slipped through programmatically.
+        semiring_from_name(o.semiring, &s.semiring);
+      }
       return s;
     }
     case 'f': {

@@ -45,6 +45,10 @@ struct LoadGenOptions {
   int priority = 0;
   std::uint32_t deadline_ms = 0;   ///< per-request deadline; 0 = none
   std::string backend;             ///< Solve requests only
+  /// Semiring for Solve requests: a semiring name ("min-plus", "max-plus",
+  /// "counting", "viterbi-log") or "mix" to rotate through all four
+  /// seed-deterministically. Empty = min-plus.
+  std::string semiring;
   std::uint64_t seed = 1;
   /// Size of the seed pool payloads draw from: the offered stream asks
   /// for `distinct` different computations per kind, so a result cache of

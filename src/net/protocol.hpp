@@ -298,6 +298,12 @@ inline std::vector<std::uint8_t> encode_request(
     put_i64(body, s->block_side);
     put_u8(body, static_cast<std::uint8_t>(s->kernel));
     put_str(body, s->backend);
+    // Optional trailing semiring tag: omitted for min-plus so frames from
+    // this encoder stay byte-identical to pre-semiring ones (and old
+    // decoders, which reject trailing bytes, keep working for the one
+    // semiring they know).
+    if (s->semiring != SemiringId::MinPlus)
+      put_u8(body, static_cast<std::uint8_t>(s->semiring));
   } else if (const auto* f = std::get_if<serve::FoldSpec>(&r.payload)) {
     put_i64(body, f->random_n);
     put_u64(body, f->seed);
@@ -364,6 +370,16 @@ inline bool decode_request_payload(MsgType t, std::uint16_t version,
         return false;
       }
       s.kernel = static_cast<KernelKind>(k);
+      // Optional trailing semiring tag; absent means min-plus (clients
+      // that predate semirings never emit it).
+      if (r.ok && r.off < r.n) {
+        const std::uint8_t sr = r.u8();
+        if (sr >= kSemiringCount) {
+          *err = "solve: semiring byte out of range";
+          return false;
+        }
+        s.semiring = static_cast<SemiringId>(sr);
+      }
       if (r.done() && (s.n < 1 || s.block_side < 1)) {
         *err = "solve: n and block must be >= 1";
         return false;

@@ -26,18 +26,21 @@
 #include "common/defs.hpp"
 #include "obs/span_context.hpp"
 #include "simd/dispatch.hpp"
+#include "simd/semiring.hpp"
 
 namespace cellnpdp::serve {
 
 using Clock = std::chrono::steady_clock;
 
-/// Generic NPDP min-plus solve of the canonical random instance (the same
-/// workload as `npdp solve`): cell (i,j) = random_init_value(seed, i, j).
+/// Generic NPDP solve of the canonical random instance in a chosen
+/// semiring (the same workload as `npdp solve`): cell (i,j) =
+/// semiring_init_value(semiring, seed, i, j).
 struct SolveSpec {
   index_t n = 256;
   std::uint64_t seed = 1;
   index_t block_side = 64;
   KernelKind kernel = KernelKind::Native;
+  SemiringId semiring = SemiringId::MinPlus;
   std::string backend;  ///< registry name; empty = the service's default
 };
 
@@ -131,6 +134,7 @@ inline std::uint64_t content_hash(const Payload& payload) {
     h = hash_u64(h, s->seed);
     h = hash_u64(h, static_cast<std::uint64_t>(s->block_side));
     h = hash_u64(h, static_cast<std::uint64_t>(s->kernel));
+    h = hash_u64(h, static_cast<std::uint64_t>(s->semiring));
     h = hash_str(h, s->backend);
   } else if (const auto* f = std::get_if<FoldSpec>(&payload)) {
     h = hash_str(h, f->seq);
@@ -168,6 +172,7 @@ inline std::uint64_t shape_key(const Request& r) {
     h = hash_u64(h, static_cast<std::uint64_t>(s->n));
     h = hash_u64(h, static_cast<std::uint64_t>(s->block_side));
     h = hash_u64(h, static_cast<std::uint64_t>(s->kernel));
+    h = hash_u64(h, static_cast<std::uint64_t>(s->semiring));
     h = hash_str(h, s->backend);
   } else if (const auto* f = std::get_if<FoldSpec>(&r.payload)) {
     const index_t len =
@@ -200,6 +205,7 @@ inline index_t instance_size(const Request& r) {
 // --- line-format parsing ---------------------------------------------------
 //
 //   solve n=512 [seed=3] [block=64] [kernel=scalar|simd128|simd256]
+//         [semiring=min-plus|max-plus|counting|viterbi-log]
 //         [backend=<registry name>]
 //   fold  seq=ACGUACGU | random=200 [seed=7]
 //   parse parens=(()()) | anbn=aabb
@@ -289,6 +295,11 @@ inline bool parse_request_line(const std::string& line, Request* out,
           s.kernel = KernelKind::Wide;
         } else {
           *err = "unknown kernel '" + v + "'";
+          return false;
+        }
+      } else if (k == "semiring") {
+        if (!semiring_from_name(v, &s.semiring)) {
+          *err = "unknown semiring '" + v + "'";
           return false;
         }
       } else if (k == "backend") {

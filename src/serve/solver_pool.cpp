@@ -101,9 +101,11 @@ SolveOutcome SolverPool::execute(const Request& req, const CancelToken& cancel,
       const backend::SolverBackend& be = backend::require_backend(name);
       NpdpInstance<float> inst;
       inst.n = s->n;
+      inst.semiring = s->semiring;
       const std::uint64_t seed = s->seed;
-      inst.init = [seed](index_t i, index_t j) {
-        return random_init_value<float>(seed, i, j);
+      const SemiringId sr = s->semiring;
+      inst.init = [seed, sr](index_t i, index_t j) {
+        return semiring_init_value<float>(sr, seed, i, j);
       };
       ExecutionContext ctx;
       ctx.cancel = cancel;
@@ -114,7 +116,10 @@ SolveOutcome SolverPool::execute(const Request& req, const CancelToken& cancel,
       bool reused = false;
       if (be.caps().arena) {
         a = checkout(s->n, s->block_side, &reused);
-        if (reused) a->mat->reset();
+        // Re-pad when the arena was used before or was constructed for a
+        // different semiring (fresh arenas come min-plus-padded).
+        const float pad = semiring_zero<float>(s->semiring);
+        if (reused || a->mat->pad() != pad) a->mat->reset(pad);
         ctx.arena = a->mat.get();
       }
       backend::BackendResult r;

@@ -6,11 +6,17 @@
 //            2 doubles per register, mirroring the Cell SPE exactly)
 //   Wide   - the 256-bit AVX2 extension kernel (8 floats / 4 doubles),
 //            one of the "wider machines" ablations
+//
+// and by a semiring S (default min-plus): cb_kernel<T, S>(kind) returns
+// the bundle of S-specialised computing-block kernels. The argmin kernel
+// exists only for min-plus (arg is null otherwise; the engine guards it).
 #pragma once
 
 #include <string_view>
+#include <type_traits>
 
 #include "simd/kernels.hpp"
+#include "simd/semiring.hpp"
 
 namespace cellnpdp {
 
@@ -34,25 +40,25 @@ struct CbKernel {
                          index_t, index_t);
 
   index_t width = 4;       ///< computing-block side in cells
-  PureFn pure = nullptr;   ///< C = min(C, A (+) B)
-  SepFn sep = nullptr;     ///< with separable u*v*w term
-  ArgFn arg = nullptr;     ///< pure relaxation + argmin-k tracking
+  PureFn pure = nullptr;   ///< C = C (+) (A (x) B)
+  SepFn sep = nullptr;     ///< with separable u*v*w factor
+  ArgFn arg = nullptr;     ///< pure relaxation + argmin-k (min-plus only)
   KernelKind kind = KernelKind::Scalar;
 };
 
 namespace detail {
 
-template <class T, int W>
+template <class S, class T, int W>
 CELLNPDP_NOVEC void scalar_pure_fixed(T* C, index_t sc, const T* A, index_t sa,
                                       const T* B, index_t sb) {
-  minplus_tile_scalar(C, sc, A, sa, B, sb, W);
+  semiring_tile_scalar<S, T>(C, sc, A, sa, B, sb, W);
 }
 
-template <class T, int W>
+template <class S, class T, int W>
 CELLNPDP_NOVEC void scalar_sep_fixed(T* C, index_t sc, const T* A, index_t sa,
                                      const T* B, index_t sb, const T* u,
                                      const T* v, const T* w) {
-  minplus_tile_scalar_sep(C, sc, A, sa, B, sb, W, u, v, w);
+  semiring_tile_scalar_sep<S, T>(C, sc, A, sa, B, sb, W, u, v, w);
 }
 
 template <class T, int W>
@@ -67,33 +73,35 @@ CELLNPDP_NOVEC void scalar_arg_fixed(T* C, T* KC, index_t sc, const T* A,
 
 }  // namespace detail
 
-/// Returns the computing-block kernel bundle for (T, kind). The returned
-/// width always divides the engine's default memory-block sides.
-template <class T>
+/// Returns the computing-block kernel bundle for (T, S, kind). The
+/// returned width always divides the engine's default memory-block sides.
+/// Defaults to min-plus, which keeps every historical call site intact.
+template <class T, class S = MinPlusSemiring<T>>
 CbKernel<T> cb_kernel(KernelKind kind) {
+  constexpr bool minplus = std::is_same_v<S, MinPlusSemiring<T>>;
   CbKernel<T> k;
   k.kind = kind;
   switch (kind) {
     case KernelKind::Scalar:
       k.width = 4;
-      k.pure = &detail::scalar_pure_fixed<T, 4>;
-      k.sep = &detail::scalar_sep_fixed<T, 4>;
-      k.arg = &detail::scalar_arg_fixed<T, 4>;
+      k.pure = &detail::scalar_pure_fixed<S, T, 4>;
+      k.sep = &detail::scalar_sep_fixed<S, T, 4>;
+      if constexpr (minplus) k.arg = &detail::scalar_arg_fixed<T, 4>;
       break;
     case KernelKind::Native: {
       constexpr int W = sizeof(T) == 4 ? 4 : 2;
       k.width = W;
-      k.pure = &minplus_cb<T, W>;
-      k.sep = &minplus_cb_sep<T, W>;
-      k.arg = &minplus_cb_arg<T, W>;
+      k.pure = &semiring_cb<S, T, W>;
+      k.sep = &semiring_cb_sep<S, T, W>;
+      if constexpr (minplus) k.arg = &minplus_cb_arg<T, W>;
       break;
     }
     case KernelKind::Wide: {
       constexpr int W = sizeof(T) == 4 ? 8 : 4;
       k.width = W;
-      k.pure = &minplus_cb<T, W>;
-      k.sep = &minplus_cb_sep<T, W>;
-      k.arg = &minplus_cb_arg<T, W>;
+      k.pure = &semiring_cb<S, T, W>;
+      k.sep = &semiring_cb_sep<S, T, W>;
+      if constexpr (minplus) k.arg = &minplus_cb_arg<T, W>;
       break;
     }
   }

@@ -1,82 +1,105 @@
-// Computing-block kernels (paper §IV-A, Fig. 6).
+// Computing-block kernels (paper §IV-A, Fig. 6), generic over a semiring.
 //
-// A *computing block* is a WxW tile; the kernel relaxes C = min(C, A (+) B)
-// where (+) is the (min,+) 4x4 "matrix product" of Fig. 6(b):
+// A *computing block* is a WxW tile; the kernel relaxes C = C (+) (A (x) B)
+// where (x) is the semiring "matrix product" of Fig. 6(b):
 //
-//     C[r][c] = min(C[r][c], min_k A[r][k] + B[k][c])
+//     C[r][c] = C[r][c] (+) (+)_k A[r][k] (x) B[k][c]
 //
-// The register-cached schedule is exactly the paper's 80-instruction variant:
-// the W rows of B are loaded once, each C row is loaded, relaxed with W
-// splat+add+min steps, and stored — 12 loads, 16 shuffles, 16 adds, 16
-// compares, 16 selects, 4 stores for W = 4 (Table I).
+// For (min,+) this is exactly the paper's kernel: C[r][c] =
+// min(C[r][c], min_k A[r][k] + B[k][c]). The register-cached schedule is
+// the paper's 80-instruction variant regardless of the semiring: the W rows
+// of B are loaded once, each C row is loaded, relaxed with W
+// splat+times+plus steps, and stored — 12 loads, 16 shuffles, 16 (x), 16
+// compares, 16 selects, 4 stores for W = 4 (Table I; for non-idempotent
+// (+) the compare+select pair is a single lane add instead).
 //
-// The separable variant additionally folds a per-(r,k,c) term u[r]*v[k]*w[c],
+// The separable variant additionally folds a per-(r,k,c) factor
+// u[r]*v[k]*w[c] (an ordinary product, (x)-combined with the candidate),
 // which is what the optimal-matrix-parenthesization instance needs
 // (p_i * p_k * p_j); pure NPDP passes no term.
+//
+// The minplus_* entry points below are thin aliases onto the generic
+// kernels instantiated with MinPlusSemiring — same instructions, same
+// results, kept for the existing call sites and the op-count model.
 #pragma once
 
 #include <utility>
 
 #include "common/defs.hpp"
+#include "simd/semiring.hpp"
 #include "simd/vec.hpp"
 
 // Keep the compiler from auto-vectorising the deliberately scalar ablation
-// kernels, otherwise the "SIMD off" measurements silently use SIMD.
+// kernels, otherwise the "SIMD off" measurements silently use SIMD. GCC
+// honours the function attribute; clang ignores it (and has no equivalent
+// function-level spelling), so the scalar kernels additionally carry
+// CELLNPDP_NOVEC_LOOP on their inner loops, which clang does honour.
 #if defined(__GNUC__) && !defined(__clang__)
 #define CELLNPDP_NOVEC __attribute__((optimize("no-tree-vectorize")))
 #else
 #define CELLNPDP_NOVEC
 #endif
 
+#if defined(__clang__)
+#define CELLNPDP_NOVEC_LOOP \
+  _Pragma("clang loop vectorize(disable) interleave(disable)")
+#else
+#define CELLNPDP_NOVEC_LOOP
+#endif
+
 namespace cellnpdp {
 
 namespace detail {
 
-template <class T, int W, std::size_t... K>
-inline Vec<T, W> minplus_row(Vec<T, W> c, Vec<T, W> a, const Vec<T, W>* b,
-                             std::index_sequence<K...>) {
-  ((c = vmin(c, Vec<T, W>::template splat<K>(a) + b[K])), ...);
+template <class S, class T, int W, std::size_t... K>
+inline Vec<T, W> semiring_row(Vec<T, W> c, Vec<T, W> a, const Vec<T, W>* b,
+                              std::index_sequence<K...>) {
+  ((c = S::template vplus<W>(
+        c, S::template vtimes<W>(Vec<T, W>::template splat<K>(a), b[K]))),
+   ...);
   return c;
 }
 
-template <class T, int W, std::size_t... K>
-inline Vec<T, W> minplus_row_sep(Vec<T, W> c, Vec<T, W> a, const Vec<T, W>* b,
-                                 const T* uv, Vec<T, W> wv,
-                                 std::index_sequence<K...>) {
-  // The product is associated (u*v)*w to stay bit-identical to the scalar
-  // reference path.
-  ((c = vmin(c, Vec<T, W>::template splat<K>(a) + b[K] +
-                    Vec<T, W>::set1(uv[K]) * wv)),
+template <class S, class T, int W, std::size_t... K>
+inline Vec<T, W> semiring_row_sep(Vec<T, W> c, Vec<T, W> a,
+                                  const Vec<T, W>* b, const T* uv,
+                                  Vec<T, W> wv, std::index_sequence<K...>) {
+  // The factor product is associated (u*v)*w to stay bit-identical to the
+  // scalar reference path.
+  ((c = S::template vplus<W>(
+        c, S::template vtimes<W>(
+               S::template vtimes<W>(Vec<T, W>::template splat<K>(a), b[K]),
+               Vec<T, W>::set1(uv[K]) * wv))),
    ...);
   return c;
 }
 
 }  // namespace detail
 
-/// Register-cached WxW computing-block relaxation: C = min(C, A (+) B).
+/// Register-cached WxW computing-block relaxation: C = C (+) (A (x) B).
 /// sc/sa/sb are row strides in elements; rows must be kBufferAlignment
 /// aligned when a SIMD Vec specialisation is selected.
-template <class T, int W>
-inline void minplus_cb(T* C, index_t sc, const T* A, index_t sa, const T* B,
-                       index_t sb) {
+template <class S, class T, int W>
+inline void semiring_cb(T* C, index_t sc, const T* A, index_t sa, const T* B,
+                        index_t sb) {
   using V = Vec<T, W>;
   V b[W];
   for (int k = 0; k < W; ++k) b[k] = V::load(B + k * sb);
   for (int r = 0; r < W; ++r) {
     V c = V::load(C + r * sc);
     const V a = V::load(A + r * sa);
-    c = detail::minplus_row<T, W>(c, a, b, std::make_index_sequence<W>{});
+    c = detail::semiring_row<S, T, W>(c, a, b, std::make_index_sequence<W>{});
     c.store(C + r * sc);
   }
 }
 
-/// As minplus_cb but with the separable extra term u[r]*v[k]*w[c]:
-///     C[r][c] = min(C[r][c], min_k A[r][k] + B[k][c] + u[r]*v[k]*w[c])
+/// As semiring_cb but with the separable extra factor u[r]*v[k]*w[c]:
+///     C[r][c] = C[r][c] (+) (+)_k (A[r][k] (x) B[k][c]) (x) u[r]*v[k]*w[c]
 /// u/v/w point at the W per-row / per-k / per-column factors of this tile.
-template <class T, int W>
-inline void minplus_cb_sep(T* C, index_t sc, const T* A, index_t sa,
-                           const T* B, index_t sb, const T* u, const T* v,
-                           const T* w) {
+template <class S, class T, int W>
+inline void semiring_cb_sep(T* C, index_t sc, const T* A, index_t sa,
+                            const T* B, index_t sb, const T* u, const T* v,
+                            const T* w) {
   using V = Vec<T, W>;
   const V wv = V::load(w);
   V b[W];
@@ -86,10 +109,25 @@ inline void minplus_cb_sep(T* C, index_t sc, const T* A, index_t sa,
     const V a = V::load(A + r * sa);
     T uv[W];
     for (int k = 0; k < W; ++k) uv[k] = u[r] * v[k];
-    c = detail::minplus_row_sep<T, W>(c, a, b, uv, wv,
-                                      std::make_index_sequence<W>{});
+    c = detail::semiring_row_sep<S, T, W>(c, a, b, uv, wv,
+                                          std::make_index_sequence<W>{});
     c.store(C + r * sc);
   }
+}
+
+/// The paper's (min,+) kernel: semiring_cb instantiated with min-plus.
+template <class T, int W>
+inline void minplus_cb(T* C, index_t sc, const T* A, index_t sa, const T* B,
+                       index_t sb) {
+  semiring_cb<MinPlusSemiring<T>, T, W>(C, sc, A, sa, B, sb);
+}
+
+/// (min,+) kernel with the separable term u[r]*v[k]*w[c].
+template <class T, int W>
+inline void minplus_cb_sep(T* C, index_t sc, const T* A, index_t sa,
+                           const T* B, index_t sb, const T* u, const T* v,
+                           const T* w) {
+  semiring_cb_sep<MinPlusSemiring<T>, T, W>(C, sc, A, sa, B, sb, u, v, w);
 }
 
 namespace detail {
@@ -115,7 +153,9 @@ inline void minplus_row_arg(Vec<T, W>& c, Vec<T, W>& kc, Vec<T, W> a,
 /// Argmin-tracking variant of minplus_cb: KC mirrors C and holds, for each
 /// cell, the global k index (as a T) of the relaxation that produced the
 /// current value, or whatever it held before if no candidate improved.
-/// `kbase` is the global index of B's first row.
+/// `kbase` is the global index of B's first row. Min-plus only: traceback
+/// is defined for the optimisation semirings, and max-plus goes through
+/// the same engine with improves() flipped, not through this kernel.
 template <class T, int W>
 inline void minplus_cb_arg(T* C, T* KC, index_t sc, const T* A, index_t sa,
                            const T* B, index_t sb, index_t kbase) {
@@ -146,6 +186,7 @@ CELLNPDP_NOVEC void minplus_tile_scalar_arg(T* C, T* KC, index_t sc,
     for (index_t k = 0; k < side; ++k) {
       const T avk = A[r * sa + k];
       const T uv = u != nullptr ? u[r] * v[k] : T(0);
+      CELLNPDP_NOVEC_LOOP
       for (index_t c = 0; c < side; ++c) {
         T cand = avk + B[k * sb + c];
         if (u != nullptr) cand += uv * w[c];
@@ -159,37 +200,67 @@ CELLNPDP_NOVEC void minplus_tile_scalar_arg(T* C, T* KC, index_t sc,
 
 /// Deliberately scalar tile relaxation with a runtime side, used by the
 /// "SIMD off" ablation and by the baselines. Never auto-vectorised.
-template <class T>
-CELLNPDP_NOVEC void minplus_tile_scalar(T* C, index_t sc, const T* A,
-                                        index_t sa, const T* B, index_t sb,
-                                        index_t side) {
+template <class S, class T>
+CELLNPDP_NOVEC void semiring_tile_scalar(T* C, index_t sc, const T* A,
+                                         index_t sa, const T* B, index_t sb,
+                                         index_t side) {
   for (index_t r = 0; r < side; ++r)
     for (index_t k = 0; k < side; ++k) {
       const T a = A[r * sa + k];
+      CELLNPDP_NOVEC_LOOP
       for (index_t c = 0; c < side; ++c) {
-        const T cand = a + B[k * sb + c];
+        const T cand = S::times(a, B[k * sb + c]);
         T& dst = C[r * sc + c];
-        if (cand < dst) dst = cand;
+        if constexpr (S::idempotent) {
+          if (S::improves(cand, dst)) dst = cand;
+        } else {
+          dst = S::plus(dst, cand);
+        }
       }
     }
 }
 
 /// Scalar separable-term tile relaxation (runtime side).
-template <class T>
-CELLNPDP_NOVEC void minplus_tile_scalar_sep(T* C, index_t sc, const T* A,
-                                            index_t sa, const T* B, index_t sb,
-                                            index_t side, const T* u,
-                                            const T* v, const T* w) {
+template <class S, class T>
+CELLNPDP_NOVEC void semiring_tile_scalar_sep(T* C, index_t sc, const T* A,
+                                             index_t sa, const T* B,
+                                             index_t sb, index_t side,
+                                             const T* u, const T* v,
+                                             const T* w) {
   for (index_t r = 0; r < side; ++r)
     for (index_t k = 0; k < side; ++k) {
       const T avk = A[r * sa + k];
       const T uv = u[r] * v[k];
+      CELLNPDP_NOVEC_LOOP
       for (index_t c = 0; c < side; ++c) {
-        const T cand = avk + B[k * sb + c] + uv * w[c];
+        const T cand = S::times(S::times(avk, B[k * sb + c]), uv * w[c]);
         T& dst = C[r * sc + c];
-        if (cand < dst) dst = cand;
+        if constexpr (S::idempotent) {
+          if (S::improves(cand, dst)) dst = cand;
+        } else {
+          dst = S::plus(dst, cand);
+        }
       }
     }
+}
+
+/// (min,+) scalar tile (the ablation baseline's historical entry point).
+template <class T>
+CELLNPDP_NOVEC void minplus_tile_scalar(T* C, index_t sc, const T* A,
+                                        index_t sa, const T* B, index_t sb,
+                                        index_t side) {
+  semiring_tile_scalar<MinPlusSemiring<T>, T>(C, sc, A, sa, B, sb, side);
+}
+
+/// (min,+) scalar separable-term tile.
+template <class T>
+CELLNPDP_NOVEC void minplus_tile_scalar_sep(T* C, index_t sc, const T* A,
+                                            index_t sa, const T* B,
+                                            index_t sb, index_t side,
+                                            const T* u, const T* v,
+                                            const T* w) {
+  semiring_tile_scalar_sep<MinPlusSemiring<T>, T>(C, sc, A, sa, B, sb, side,
+                                                  u, v, w);
 }
 
 /// Instruction mix of one WxW computing-block relaxation as it would be

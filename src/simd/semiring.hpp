@@ -1,0 +1,227 @@
+// The semiring concept the solve engine is generic over.
+//
+// The NPDP recurrence d[i][j] = (+)_k d[i][k] (x) d[k][j] only uses two
+// operations: an associative+commutative reduction (+) ("plus") and an
+// associative combine (x) ("times") that distributes over it. Everything
+// else in the engine — blocking, the register-cached kernel schedule,
+// padding, the parallel drivers — is operation-agnostic, so each workload
+// is one instantiation of the same machinery:
+//
+//   min-plus      (min, +)  shortest chains / optimal parenthesization
+//   max-plus      (max, +)  longest chains / maximum-score structures
+//   counting      (+,  *)   number of derivations / parse counting
+//   viterbi-log   (max, +)  most-probable derivation over log-probs
+//
+// A semiring type S exposes:
+//   S::id          the runtime SemiringId tag
+//   S::idempotent  whether a (+) b with a == b equals a (min/max do; + does
+//                  not) — idempotent semirings relax with a compare+select
+//                  ("does this candidate improve the cell?") and tolerate
+//                  re-applying a relaxation; counting must apply each
+//                  candidate exactly once, which the blocked engine
+//                  guarantees by construction
+//   S::zero()      the (+) identity and (x) annihilator; the padding value
+//   S::one()       the (x) identity; the default cell weight
+//   S::plus/times  the scalar operations
+//   S::improves    for idempotent semirings: does cand strictly beat acc?
+//   S::vplus/vtimes  the Vec<T, W> lane-wise operations the computing-block
+//                  kernels are written against
+//
+// viterbi-log is structurally max-plus (multiplying probabilities is adding
+// log-probs; the most probable split is the max) but keeps its own id so
+// backends, the wire protocol, and workload generators can distinguish the
+// probabilistic workload (inputs are log-probs <= 0) from generic max-plus.
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+#include <string_view>
+#include <type_traits>
+
+#include "common/defs.hpp"
+#include "common/rng.hpp"
+#include "simd/vec.hpp"
+
+namespace cellnpdp {
+
+enum class SemiringId : std::uint8_t {
+  MinPlus = 0,
+  MaxPlus = 1,
+  Counting = 2,
+  ViterbiLog = 3,
+};
+
+inline constexpr int kSemiringCount = 4;
+
+constexpr std::string_view semiring_name(SemiringId s) {
+  switch (s) {
+    case SemiringId::MinPlus: return "min-plus";
+    case SemiringId::MaxPlus: return "max-plus";
+    case SemiringId::Counting: return "counting";
+    case SemiringId::ViterbiLog: return "viterbi-log";
+  }
+  return "?";
+}
+
+/// Parses a semiring name; returns false on unknown names.
+inline bool semiring_from_name(std::string_view name, SemiringId* out) {
+  for (int i = 0; i < kSemiringCount; ++i) {
+    const auto s = static_cast<SemiringId>(i);
+    if (semiring_name(s) == name) {
+      *out = s;
+      return true;
+    }
+  }
+  return false;
+}
+
+/// The identity of (max,+): the value no relaxation can come from.
+template <class T>
+constexpr T maxplus_identity() {
+  if constexpr (std::is_floating_point_v<T>) {
+    return -std::numeric_limits<T>::infinity();
+  } else {
+    return -(std::numeric_limits<T>::max() / 4);
+  }
+}
+
+template <class T>
+struct MinPlusSemiring {
+  using value_type = T;
+  static constexpr SemiringId id = SemiringId::MinPlus;
+  static constexpr bool idempotent = true;
+  static constexpr T zero() { return minplus_identity<T>(); }
+  static constexpr T one() { return T(0); }
+  static T plus(T a, T b) { return b < a ? b : a; }
+  static T times(T a, T b) { return a + b; }
+  static bool improves(T cand, T acc) { return cand < acc; }
+  template <int W>
+  static Vec<T, W> vplus(Vec<T, W> a, Vec<T, W> b) {
+    return vmin(a, b);
+  }
+  template <int W>
+  static Vec<T, W> vtimes(Vec<T, W> a, Vec<T, W> b) {
+    return a + b;
+  }
+};
+
+template <class T>
+struct MaxPlusSemiring {
+  using value_type = T;
+  static constexpr SemiringId id = SemiringId::MaxPlus;
+  static constexpr bool idempotent = true;
+  static constexpr T zero() { return maxplus_identity<T>(); }
+  static constexpr T one() { return T(0); }
+  static T plus(T a, T b) { return b > a ? b : a; }
+  static T times(T a, T b) { return a + b; }
+  static bool improves(T cand, T acc) { return cand > acc; }
+  template <int W>
+  static Vec<T, W> vplus(Vec<T, W> a, Vec<T, W> b) {
+    return vmax(a, b);
+  }
+  template <int W>
+  static Vec<T, W> vtimes(Vec<T, W> a, Vec<T, W> b) {
+    return a + b;
+  }
+};
+
+/// Plus-times over ordinary arithmetic: d[i][j] counts (weighted)
+/// derivations. Not idempotent — the engine must apply every (i,k,j)
+/// candidate exactly once, and callers must keep real cell values >= 1
+/// (see semiring_init_value) so the 0 * inf = NaN combination can only
+/// arise between padding cells, which real cells never read.
+template <class T>
+struct CountingSemiring {
+  using value_type = T;
+  static constexpr SemiringId id = SemiringId::Counting;
+  static constexpr bool idempotent = false;
+  static constexpr T zero() { return T(0); }
+  static constexpr T one() { return T(1); }
+  static T plus(T a, T b) { return a + b; }
+  static T times(T a, T b) { return a * b; }
+  /// Unused (the engine accumulates with plus when !idempotent); kept so
+  /// generic code can name it without specialisation.
+  static bool improves(T, T) { return false; }
+  template <int W>
+  static Vec<T, W> vplus(Vec<T, W> a, Vec<T, W> b) {
+    return a + b;
+  }
+  template <int W>
+  static Vec<T, W> vtimes(Vec<T, W> a, Vec<T, W> b) {
+    return a * b;
+  }
+};
+
+/// Max-times over probabilities, computed in log-space: cells hold
+/// log-probabilities (<= 0), (x) is + (multiplying probs), (+) is max
+/// (the most probable derivation). Arithmetic is exactly max-plus, so the
+/// instantiation shares its operations; the distinct id tags the workload.
+template <class T>
+struct ViterbiLogSemiring {
+  using value_type = T;
+  static constexpr SemiringId id = SemiringId::ViterbiLog;
+  static constexpr bool idempotent = true;
+  static constexpr T zero() { return maxplus_identity<T>(); }
+  static constexpr T one() { return T(0); }
+  static T plus(T a, T b) { return b > a ? b : a; }
+  static T times(T a, T b) { return a + b; }
+  static bool improves(T cand, T acc) { return cand > acc; }
+  template <int W>
+  static Vec<T, W> vplus(Vec<T, W> a, Vec<T, W> b) {
+    return vmax(a, b);
+  }
+  template <int W>
+  static Vec<T, W> vtimes(Vec<T, W> a, Vec<T, W> b) {
+    return a + b;
+  }
+};
+
+/// Runtime-to-compile-time dispatch: calls f with a value of the semiring
+/// tag type selected by `id` and returns whatever f returns.
+template <class T, class F>
+decltype(auto) with_semiring(SemiringId id, F&& f) {
+  switch (id) {
+    case SemiringId::MinPlus: return f(MinPlusSemiring<T>{});
+    case SemiringId::MaxPlus: return f(MaxPlusSemiring<T>{});
+    case SemiringId::Counting: return f(CountingSemiring<T>{});
+    case SemiringId::ViterbiLog: return f(ViterbiLogSemiring<T>{});
+  }
+  throw std::invalid_argument("unknown semiring id");
+}
+
+/// Runtime forms of the semiring constants (for padding allocation and
+/// workload setup outside templated code).
+template <class T>
+T semiring_zero(SemiringId id) {
+  return with_semiring<T>(id, [](auto s) { return decltype(s)::zero(); });
+}
+template <class T>
+T semiring_one(SemiringId id) {
+  return with_semiring<T>(id, [](auto s) { return decltype(s)::one(); });
+}
+
+/// The canonical random workload cell value for a semiring — the
+/// per-semiring analogue of random_init_value (which it matches exactly
+/// for min-plus, keeping every existing seeded workload bit-identical):
+///
+///   min-plus / max-plus  0 on the diagonal, uniform [0, 100) off it
+///   viterbi-log          the same values negated: log-probs in (-100, 0]
+///   counting             small integers in [1, 5): real cells never hold
+///                        0, so no real relaxation can form 0 * inf
+template <class T>
+T semiring_init_value(SemiringId id, std::uint64_t seed, index_t i,
+                      index_t j) {
+  switch (id) {
+    case SemiringId::MaxPlus:
+    case SemiringId::MinPlus: return random_init_value<T>(seed, i, j);
+    case SemiringId::ViterbiLog: return -random_init_value<T>(seed, i, j);
+    case SemiringId::Counting: {
+      SplitMix64 rng(seed ^ (static_cast<std::uint64_t>(i) << 32) ^
+                     static_cast<std::uint64_t>(j) * 0x9E3779B97F4A7C15ull);
+      return T(1 + rng.next_below(4));
+    }
+  }
+  return T(0);
+}
+
+}  // namespace cellnpdp

@@ -67,6 +67,12 @@ struct Vec {
     for (int i = 0; i < W; ++i) r.lane[i] = b.lane[i] < a.lane[i] ? b.lane[i] : a.lane[i];
     return r;
   }
+  /// Lane-wise maximum (the max-plus / Viterbi reduction).
+  friend Vec vmax(Vec a, Vec b) {
+    Vec r;
+    for (int i = 0; i < W; ++i) r.lane[i] = b.lane[i] > a.lane[i] ? b.lane[i] : a.lane[i];
+    return r;
+  }
   /// Lane mask a < b (non-zero where true). Consumed only by vblend.
   friend Vec vlt(Vec a, Vec b) {
     Vec r;
@@ -98,6 +104,7 @@ struct Vec<float, 4> {
   friend Vec operator+(Vec a, Vec b) { return {_mm_add_ps(a.v, b.v)}; }
   friend Vec operator*(Vec a, Vec b) { return {_mm_mul_ps(a.v, b.v)}; }
   friend Vec vmin(Vec a, Vec b) { return {_mm_min_ps(a.v, b.v)}; }
+  friend Vec vmax(Vec a, Vec b) { return {_mm_max_ps(a.v, b.v)}; }
   friend Vec vlt(Vec a, Vec b) { return {_mm_cmplt_ps(a.v, b.v)}; }
   friend Vec vblend(Vec mask, Vec a, Vec b) {
     return {_mm_blendv_ps(b.v, a.v, mask.v)};
@@ -123,6 +130,7 @@ struct Vec<float, 8> {
   friend Vec operator+(Vec a, Vec b) { return {_mm256_add_ps(a.v, b.v)}; }
   friend Vec operator*(Vec a, Vec b) { return {_mm256_mul_ps(a.v, b.v)}; }
   friend Vec vmin(Vec a, Vec b) { return {_mm256_min_ps(a.v, b.v)}; }
+  friend Vec vmax(Vec a, Vec b) { return {_mm256_max_ps(a.v, b.v)}; }
   friend Vec vlt(Vec a, Vec b) {
     return {_mm256_cmp_ps(a.v, b.v, _CMP_LT_OQ)};
   }
@@ -146,6 +154,7 @@ struct Vec<double, 2> {
   friend Vec operator+(Vec a, Vec b) { return {_mm_add_pd(a.v, b.v)}; }
   friend Vec operator*(Vec a, Vec b) { return {_mm_mul_pd(a.v, b.v)}; }
   friend Vec vmin(Vec a, Vec b) { return {_mm_min_pd(a.v, b.v)}; }
+  friend Vec vmax(Vec a, Vec b) { return {_mm_max_pd(a.v, b.v)}; }
   friend Vec vlt(Vec a, Vec b) { return {_mm_cmplt_pd(a.v, b.v)}; }
   friend Vec vblend(Vec mask, Vec a, Vec b) {
     return {_mm_blendv_pd(b.v, a.v, mask.v)};
@@ -170,6 +179,7 @@ struct Vec<double, 4> {
   friend Vec operator+(Vec a, Vec b) { return {_mm256_add_pd(a.v, b.v)}; }
   friend Vec operator*(Vec a, Vec b) { return {_mm256_mul_pd(a.v, b.v)}; }
   friend Vec vmin(Vec a, Vec b) { return {_mm256_min_pd(a.v, b.v)}; }
+  friend Vec vmax(Vec a, Vec b) { return {_mm256_max_pd(a.v, b.v)}; }
   friend Vec vlt(Vec a, Vec b) {
     return {_mm256_cmp_pd(a.v, b.v, _CMP_LT_OQ)};
   }
@@ -199,6 +209,7 @@ struct Vec<std::int32_t, 4> {
   friend Vec operator+(Vec a, Vec b) { return {_mm_add_epi32(a.v, b.v)}; }
   friend Vec operator*(Vec a, Vec b) { return {_mm_mullo_epi32(a.v, b.v)}; }
   friend Vec vmin(Vec a, Vec b) { return {_mm_min_epi32(a.v, b.v)}; }
+  friend Vec vmax(Vec a, Vec b) { return {_mm_max_epi32(a.v, b.v)}; }
   friend Vec vlt(Vec a, Vec b) { return {_mm_cmplt_epi32(a.v, b.v)}; }
   friend Vec vblend(Vec mask, Vec a, Vec b) {
     return {_mm_blendv_epi8(b.v, a.v, mask.v)};
@@ -232,6 +243,7 @@ struct Vec<std::int32_t, 8> {
     return {_mm256_mullo_epi32(a.v, b.v)};
   }
   friend Vec vmin(Vec a, Vec b) { return {_mm256_min_epi32(a.v, b.v)}; }
+  friend Vec vmax(Vec a, Vec b) { return {_mm256_max_epi32(a.v, b.v)}; }
   friend Vec vlt(Vec a, Vec b) { return {_mm256_cmpgt_epi32(b.v, a.v)}; }
   friend Vec vblend(Vec mask, Vec a, Vec b) {
     return {_mm256_blendv_epi8(b.v, a.v, mask.v)};

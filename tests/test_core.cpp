@@ -8,6 +8,7 @@
 #include <thread>
 
 #include "common/rng.hpp"
+#include "core/maxplus.hpp"
 #include "core/reference.hpp"
 #include "core/solve.hpp"
 #include "layout/convert.hpp"
@@ -222,6 +223,30 @@ TEST(Engine, TriangleInequalityFixpoint) {
     for (index_t j = i + 1; j < 60; ++j)
       for (index_t k = i + 1; k < j; ++k)
         EXPECT_LE(out.at(i, j), out.at(i, k) + out.at(k, j) + 1e-12);
+}
+
+TEST(Engine, MaxPlusNegationAdapterIsBitIdenticalOracle) {
+  // The retired negate-and-solve adapter stays around exactly for this:
+  // float negation is exact, so on every instance the adapter accepts it
+  // must agree with the native MaxPlusSemiring instantiation bit for bit.
+  for (index_t n : {5, 40, 77}) {
+    auto inst = random_instance<float>(n, 2026 + n);
+    const auto base = inst.init;
+    // Mixed-sign seeds make max and min genuinely different closures.
+    inst.init = [base](index_t i, index_t j) {
+      return base(i, j) - 50.0f;
+    };
+    inst.weight = [](index_t i, index_t j) {
+      return float((i + j) % 7) - 3.0f;
+    };
+    NpdpOptions opts;
+    opts.block_side = 16;
+    const auto native = solve_blocked_maxplus(inst, opts);
+    const auto adapter = solve_blocked_maxplus_via_negation(inst, opts);
+    EXPECT_EQ(max_abs_diff(to_triangular(native), to_triangular(adapter)),
+              0.0)
+        << "n=" << n;
+  }
 }
 
 TEST(SolveStats, UtilizationEdgeCases) {

@@ -2,6 +2,9 @@
 // tree validity, SIMD/scalar equivalence.
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <cmath>
+
 #include "apps/cyk/brute_force.hpp"
 #include "apps/cyk/cyk.hpp"
 #include "common/rng.hpp"
@@ -80,6 +83,82 @@ TEST_P(CykBruteTest, MatchesExhaustiveSearchOnRandomGrammars) {
 
 INSTANTIATE_TEST_SUITE_P(Seeds, CykBruteTest,
                          ::testing::Values(1, 2, 3, 4, 5, 6));
+
+TEST_P(CykBruteTest, InsideAndCountMatchExhaustiveSums) {
+  // The (+, *) chart passes against the independent sum over all
+  // derivations: exact tree counts (while they fit the float chart) and
+  // total inside probability to float accuracy.
+  const std::uint64_t seed = GetParam();
+  const Grammar g = random_grammar(4, 3, 10, seed);
+  CykParser parser(g);
+  SplitMix64 rng(seed * 13 + 5);
+  for (int trial = 0; trial < 20; ++trial) {
+    const index_t len = 1 + static_cast<index_t>(rng.next_below(7));
+    std::vector<int> tokens(static_cast<std::size_t>(len));
+    for (auto& t : tokens) t = static_cast<int>(rng.next_below(3));
+
+    const double count = parser.count_parses(tokens);
+    const double brute_count = brute_force_parse_count(g, tokens);
+    if (brute_count < double(1 << 24)) {
+      EXPECT_EQ(count, brute_count) << "seed=" << seed << " trial=" << trial;
+    } else {
+      EXPECT_NEAR(count, brute_count, brute_count * 1e-5)
+          << "seed=" << seed << " trial=" << trial;
+    }
+    // A sentence has a parse tree iff it has a nonzero tree count.
+    EXPECT_EQ(parser.parse(tokens).accepted(), brute_count > 0)
+        << "seed=" << seed << " trial=" << trial;
+
+    const double inside = parser.inside(tokens);
+    const double brute_inside = brute_force_inside(g, tokens);
+    EXPECT_NEAR(inside, brute_inside,
+                std::max(1e-9, brute_inside * 1e-4))
+        << "seed=" << seed << " trial=" << trial;
+  }
+}
+
+TEST(CykCounting, KnownParseCountsForBalancedParens) {
+  // S -> S S is associatively ambiguous: "()()()" splits after the first
+  // or the second pair, every other string here has a unique tree.
+  CykParser p(balanced_parens_grammar());
+  const std::string ab = "()";
+  EXPECT_EQ(p.count_parses(tokens_from_string("()", ab)), 1.0);
+  EXPECT_EQ(p.count_parses(tokens_from_string("(())", ab)), 1.0);
+  EXPECT_EQ(p.count_parses(tokens_from_string("()()", ab)), 1.0);
+  EXPECT_EQ(p.count_parses(tokens_from_string("()()()", ab)), 2.0);
+  EXPECT_EQ(p.count_parses(tokens_from_string(")(", ab)), 0.0);
+  EXPECT_EQ(p.count_parses({}), 0.0);
+}
+
+TEST(CykCounting, InsideSumsProbabilityOverAllTrees) {
+  // Binary rules weigh 1 (= -log p), terminals 0, so a tree with b binary
+  // applications contributes exp(-b): "()" has one tree with 1, "()()()"
+  // two trees with 5 each.
+  CykParser p(balanced_parens_grammar());
+  const std::string ab = "()";
+  EXPECT_NEAR(p.inside(tokens_from_string("()", ab)), std::exp(-1.0), 1e-6);
+  EXPECT_NEAR(p.inside(tokens_from_string("()()()", ab)),
+              2.0 * std::exp(-5.0), 1e-6);
+  EXPECT_EQ(p.inside(tokens_from_string(")(", ab)), 0.0);
+}
+
+TEST(CykCounting, SimdAndScalarSumChartsAgree) {
+  const Grammar g = random_grammar(6, 4, 16, 9);
+  CykParser simd(g, {true});
+  CykParser scalar(g, {false});
+  SplitMix64 rng(31);
+  for (int trial = 0; trial < 6; ++trial) {
+    const index_t len = 20 + static_cast<index_t>(rng.next_below(40));
+    std::vector<int> tokens(static_cast<std::size_t>(len));
+    for (auto& t : tokens) t = static_cast<int>(rng.next_below(4));
+    // Inside probabilities shrink with length, so float sums are stable;
+    // compare SIMD and scalar to relative accuracy (the lane-reduction
+    // order differs, so bit-identity is not promised for (+, *)).
+    const double a = simd.inside(tokens);
+    const double b = scalar.inside(tokens);
+    EXPECT_NEAR(a, b, std::max(1e-12, b * 1e-5)) << "trial " << trial;
+  }
+}
 
 TEST(CykTree, ParseTreeEvaluatesToReportedCost) {
   const Grammar g = universal_grammar(3, 42);

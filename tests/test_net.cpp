@@ -60,6 +60,7 @@ WireRequest random_request(SplitMix64& rng, int kind) {
       s.block_side = static_cast<index_t>(1 + rng.next_below(128));
       s.kernel = static_cast<KernelKind>(rng.next_below(3));
       s.backend = random_text(rng, 24);
+      s.semiring = static_cast<SemiringId>(rng.next_below(kSemiringCount));
       w.payload = s;
       break;
     }
@@ -131,6 +132,7 @@ TEST(Protocol, RequestRoundTripsOverSeededRandomPayloads) {
       EXPECT_EQ(o.block_side, s->block_side);
       EXPECT_EQ(o.kernel, s->kernel);
       EXPECT_EQ(o.backend, s->backend);
+      EXPECT_EQ(o.semiring, s->semiring);
     } else if (const auto* f = std::get_if<serve::FoldSpec>(&in.payload)) {
       const auto& o = std::get<serve::FoldSpec>(out.payload);
       EXPECT_EQ(o.random_n, f->random_n);
@@ -225,9 +227,24 @@ TEST(Protocol, TruncationAtEveryByteBoundaryFailsCleanly) {
       EXPECT_EQ(parse_header(frame.data(), cut, &h), HeaderParse::NeedMore)
           << "cut " << cut;
     // Every proper payload prefix must fail decode — at every boundary.
+    // One designed exception: the semiring tag is an optional trailing
+    // byte, so cutting exactly it leaves a valid pre-semiring Solve frame
+    // (that is what backward compatibility means) which decodes as the
+    // min-plus default.
+    const auto* sp = std::get_if<serve::SolveSpec>(&in.payload);
+    const bool tagged = sp && sp->semiring != SemiringId::MinPlus;
     for (std::size_t cut = 0; cut < h.len; ++cut) {
       WireRequest out;
       std::string err;
+      if (tagged && cut == h.len - 1) {
+        ASSERT_TRUE(decode_request_payload(h.type, h.version, h.id,
+                                           frame.data() + kHeaderSize, cut,
+                                           &out, &err))
+            << err;
+        EXPECT_EQ(std::get<serve::SolveSpec>(out.payload).semiring,
+                  SemiringId::MinPlus);
+        continue;
+      }
       EXPECT_FALSE(decode_request_payload(h.type, h.version, h.id,
                                           frame.data() + kHeaderSize, cut,
                                           &out, &err))
@@ -275,6 +292,81 @@ TEST(Protocol, TrailingBytesAndBadEnumsFailDecode) {
   WireResponse rout;
   EXPECT_FALSE(decode_response_payload(h.id, rf.data() + kHeaderSize,
                                        rf.size() - kHeaderSize, &rout, &err));
+}
+
+TEST(Protocol, SolveSemiringTagRoundTripsForEveryValue) {
+  for (std::uint8_t sr = 0; sr < kSemiringCount; ++sr) {
+    WireRequest in;
+    in.id = 40 + sr;
+    serve::SolveSpec s;
+    s.n = 64;
+    s.seed = 9;
+    s.block_side = 16;
+    s.semiring = static_cast<SemiringId>(sr);
+    in.payload = s;
+    const auto frame = encode_request(in);
+    FrameHeader h;
+    ASSERT_EQ(parse_header(frame.data(), frame.size(), &h), HeaderParse::Ok);
+    WireRequest out;
+    std::string err;
+    ASSERT_TRUE(decode_request_payload(h.type, h.version, h.id,
+                                       frame.data() + kHeaderSize, h.len, &out,
+                                       &err))
+        << semiring_name(static_cast<SemiringId>(sr)) << ": " << err;
+    EXPECT_EQ(std::get<serve::SolveSpec>(out.payload).semiring,
+              static_cast<SemiringId>(sr));
+  }
+}
+
+TEST(Protocol, MinPlusSolveFramesOmitTheSemiringTag) {
+  // The tag is a trailing optional: min-plus (the default) encodes without
+  // it, keeping frames byte-identical to the pre-semiring layout so old
+  // decoders keep working; any other semiring appends exactly one byte.
+  WireRequest w;
+  w.id = 7;
+  serve::SolveSpec s;
+  s.n = 96;
+  s.seed = 3;
+  s.block_side = 32;
+  w.payload = s;
+  const auto plain = encode_request(w);
+  s.semiring = SemiringId::Counting;
+  w.payload = s;
+  const auto tagged = encode_request(w);
+  EXPECT_EQ(tagged.size(), plain.size() + 1);
+  EXPECT_EQ(tagged.back(), static_cast<std::uint8_t>(SemiringId::Counting));
+
+  // And a tag-free frame (an old client) decodes to min-plus.
+  FrameHeader h;
+  ASSERT_EQ(parse_header(plain.data(), plain.size(), &h), HeaderParse::Ok);
+  WireRequest out;
+  std::string err;
+  ASSERT_TRUE(decode_request_payload(h.type, h.version, h.id,
+                                     plain.data() + kHeaderSize, h.len, &out,
+                                     &err))
+      << err;
+  EXPECT_EQ(std::get<serve::SolveSpec>(out.payload).semiring,
+            SemiringId::MinPlus);
+}
+
+TEST(Protocol, SemiringByteOutOfRangeFailsDecode) {
+  WireRequest w;
+  w.id = 8;
+  serve::SolveSpec s;
+  s.n = 48;
+  s.block_side = 8;
+  s.semiring = SemiringId::MaxPlus;
+  w.payload = s;
+  auto frame = encode_request(w);
+  frame.back() = 0x2A;  // the tag is the last payload byte; 42 is no semiring
+  FrameHeader h;
+  ASSERT_EQ(parse_header(frame.data(), frame.size(), &h), HeaderParse::Ok);
+  WireRequest out;
+  std::string err;
+  EXPECT_FALSE(decode_request_payload(h.type, h.version, h.id,
+                                      frame.data() + kHeaderSize,
+                                      frame.size() - kHeaderSize, &out, &err));
+  EXPECT_NE(err.find("semiring"), std::string::npos) << err;
 }
 
 TEST(Protocol, BadMagicIsDetected) {
@@ -569,6 +661,58 @@ TEST(NetServer, MalformedPayloadGetsTypedErrorAndConnectionSurvives) {
       << err;
   EXPECT_EQ(rep.result.status, serve::Status::Ok);
   EXPECT_GE(fx.server->stats().frames_bad, 1u);
+}
+
+TEST(NetServer, UnknownSemiringTagGetsTypedErrorAndConnectionSurvives) {
+  ServerFixture fx;
+  NpdpClient cli = fx.connect();
+  WireRequest in;
+  in.id = 91;
+  serve::SolveSpec s;
+  s.n = 32;
+  s.block_side = 8;
+  s.semiring = SemiringId::MaxPlus;
+  in.payload = s;
+  auto frame = encode_request(in);
+  frame.back() = 0x2A;  // clobber the trailing semiring tag
+  std::string err;
+  ASSERT_TRUE(cli.send_frame(frame, &err)) << err;
+  Reply rep;
+  ASSERT_EQ(cli.recv_reply(&rep, 5000, &err), RecvStatus::Ok) << err;
+  ASSERT_EQ(rep.kind, Reply::Kind::ProtoError);
+  EXPECT_EQ(rep.code, ProtoErrorCode::BadPayload);
+  EXPECT_EQ(rep.id, 91u);
+  // A correctly tagged solve on the same connection still works.
+  WireRequest ok;
+  ok.id = 92;
+  ok.payload = s;
+  ASSERT_EQ(cli.call(ok, &rep, 10000, &err), RecvStatus::Ok) << err;
+  ASSERT_EQ(rep.kind, Reply::Kind::Result);
+  EXPECT_EQ(rep.result.status, serve::Status::Ok);
+}
+
+TEST(NetServer, SolveRunsEverySemiringOverTheWire) {
+  ServerFixture fx;
+  NpdpClient cli = fx.connect();
+  std::string err;
+  Reply rep;
+  for (std::uint8_t sr = 0; sr < kSemiringCount; ++sr) {
+    WireRequest w;
+    w.id = 300 + sr;
+    serve::SolveSpec s;
+    s.seed = 5;
+    s.block_side = 8;
+    s.semiring = static_cast<SemiringId>(sr);
+    // Counting grows ~3 bits per span step; keep n small enough that the
+    // float table stays finite.
+    s.n = s.semiring == SemiringId::Counting ? 12 : 48;
+    w.payload = s;
+    ASSERT_EQ(cli.call(w, &rep, 10000, &err), RecvStatus::Ok)
+        << semiring_name(s.semiring) << ": " << err;
+    ASSERT_EQ(rep.kind, Reply::Kind::Result);
+    EXPECT_EQ(rep.result.status, serve::Status::Ok)
+        << semiring_name(s.semiring);
+  }
 }
 
 TEST(NetServer, UnknownTypeGetsTypedErrorAndConnectionSurvives) {

@@ -340,6 +340,25 @@ TEST(RequestParsing, ParsesAFullSolveLine) {
   EXPECT_EQ(r.deadline, now + milliseconds(50));
 }
 
+TEST(RequestParsing, ParsesSemiringAndDefaultsToMinPlus) {
+  Request r;
+  std::string err;
+  // Lines that never mention a semiring keep the min-plus default.
+  ASSERT_TRUE(parse_request_line("solve n=64", &r, &err)) << err;
+  EXPECT_EQ(std::get<SolveSpec>(r.payload).semiring, SemiringId::MinPlus);
+  ASSERT_TRUE(parse_request_line("solve n=64 semiring=max-plus", &r, &err))
+      << err;
+  EXPECT_EQ(std::get<SolveSpec>(r.payload).semiring, SemiringId::MaxPlus);
+  ASSERT_TRUE(parse_request_line("solve n=64 semiring=counting", &r, &err))
+      << err;
+  EXPECT_EQ(std::get<SolveSpec>(r.payload).semiring, SemiringId::Counting);
+  ASSERT_TRUE(parse_request_line("solve n=64 semiring=viterbi-log", &r, &err))
+      << err;
+  EXPECT_EQ(std::get<SolveSpec>(r.payload).semiring, SemiringId::ViterbiLog);
+  EXPECT_FALSE(parse_request_line("solve n=64 semiring=tropical", &r, &err));
+  EXPECT_NE(err.find("semiring"), std::string::npos) << err;
+}
+
 TEST(RequestParsing, ParsesFoldAndParseLines) {
   Request r;
   std::string err;

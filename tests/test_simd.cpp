@@ -2,6 +2,8 @@
 // bit-identical to the deliberately scalar reference path.
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <type_traits>
 #include <vector>
 
 #include "common/aligned.hpp"
@@ -47,9 +49,11 @@ void vec_arith_case() {
   for (int i = 0; i < W; ++i) EXPECT_EQ(out[i], a[i] * b[i]);
   vmin(va, vb).store(out);
   for (int i = 0; i < W; ++i) EXPECT_EQ(out[i], std::min(a[i], b[i]));
+  vmax(va, vb).store(out);
+  for (int i = 0; i < W; ++i) EXPECT_EQ(out[i], std::max(a[i], b[i]));
 }
 
-TEST(Vec, AddMulMinAllWidths) {
+TEST(Vec, AddMulMinMaxAllWidths) {
   vec_arith_case<float, 4>();
   vec_arith_case<float, 8>();
   vec_arith_case<double, 2>();
@@ -176,6 +180,119 @@ TEST(Kernels, SeparableTermMatchesScalarAllWidths) {
     sep_kernel_case<float, 8>(s);
     sep_kernel_case<double, 2>(s);
     sep_kernel_case<double, 4>(s);
+  }
+}
+
+// --- semiring-generic kernels ------------------------------------------
+
+/// Tile filled with values drawn from the semiring's natural domain;
+/// `zero_fraction` mixes in the semiring zero (the padding value the
+/// blocked layout uses) so annihilator handling gets exercised too.
+template <class S>
+aligned_vector<typename S::value_type> random_semiring_tile(
+    index_t side, index_t stride, std::uint64_t seed, double zero_fraction) {
+  using T = typename S::value_type;
+  aligned_vector<T> buf(static_cast<std::size_t>(side * stride));
+  SplitMix64 rng(seed);
+  for (auto& x : buf) {
+    if (rng.next_unit() < zero_fraction) {
+      x = S::zero();
+    } else if constexpr (S::id == SemiringId::Counting) {
+      x = T(rng.next_below(4));  // small integers: exact in float or double
+    } else if constexpr (S::id == SemiringId::ViterbiLog) {
+      x = T(-double(rng.next_below(50)));  // log-probabilities are <= 0
+    } else {
+      x = T(rng.next_in(-50, 50));
+    }
+  }
+  return buf;
+}
+
+template <class S, int W>
+void semiring_kernel_case(std::uint64_t seed, double zero_fraction) {
+  using T = typename S::value_type;
+  const index_t stride = 2 * W + 8;
+  auto c0 = random_semiring_tile<S>(W, stride, seed, 0.0);
+  auto a = random_semiring_tile<S>(W, stride, seed + 1, zero_fraction);
+  auto b = random_semiring_tile<S>(W, stride, seed + 2, zero_fraction);
+  auto c1 = c0;
+
+  semiring_cb<S, T, W>(c0.data(), stride, a.data(), stride, b.data(), stride);
+  semiring_tile_scalar<S, T>(c1.data(), stride, a.data(), stride, b.data(),
+                             stride, W);
+  for (index_t r = 0; r < W; ++r)
+    for (index_t col = 0; col < W; ++col)
+      EXPECT_EQ(c0[r * stride + col], c1[r * stride + col])
+          << semiring_name(S::id) << " W=" << W << " r=" << r << " c=" << col;
+}
+
+template <class S>
+void semiring_kernel_all_widths(std::uint64_t seed, double zero_fraction) {
+  using T = typename S::value_type;
+  if constexpr (std::is_same_v<T, float>) {
+    semiring_kernel_case<S, 4>(seed, zero_fraction);
+    semiring_kernel_case<S, 8>(seed, zero_fraction);
+  } else {
+    semiring_kernel_case<S, 2>(seed, zero_fraction);
+    semiring_kernel_case<S, 4>(seed, zero_fraction);
+  }
+}
+
+TEST(Kernels, EverySemiringMatchesScalarAllWidths) {
+  for (std::uint64_t s = 0; s < 4; ++s) {
+    semiring_kernel_all_widths<MinPlusSemiring<float>>(s, 0.0);
+    semiring_kernel_all_widths<MinPlusSemiring<double>>(s, 0.0);
+    semiring_kernel_all_widths<MaxPlusSemiring<float>>(s, 0.0);
+    semiring_kernel_all_widths<MaxPlusSemiring<double>>(s, 0.0);
+    semiring_kernel_all_widths<CountingSemiring<float>>(s, 0.0);
+    semiring_kernel_all_widths<CountingSemiring<double>>(s, 0.0);
+    semiring_kernel_all_widths<ViterbiLogSemiring<float>>(s, 0.0);
+  }
+}
+
+TEST(Kernels, EverySemiringHandlesZeroPadding) {
+  // The annihilator (padding) value must behave as a no-op contribution in
+  // every semiring, SIMD and scalar alike: -inf kills a max-plus term the
+  // same way 0 kills a counting product.
+  for (std::uint64_t s = 0; s < 4; ++s) {
+    semiring_kernel_all_widths<MinPlusSemiring<float>>(s + 100, 0.3);
+    semiring_kernel_all_widths<MaxPlusSemiring<float>>(s + 100, 0.3);
+    semiring_kernel_all_widths<CountingSemiring<double>>(s + 100, 0.3);
+    semiring_kernel_all_widths<ViterbiLogSemiring<float>>(s + 100, 0.3);
+  }
+}
+
+template <class S, int W>
+void semiring_sep_kernel_case(std::uint64_t seed) {
+  using T = typename S::value_type;
+  const index_t stride = 3 * W;
+  auto c0 = random_semiring_tile<S>(W, stride, seed, 0.0);
+  auto a = random_semiring_tile<S>(W, stride, seed + 1, 0.0);
+  auto b = random_semiring_tile<S>(W, stride, seed + 2, 0.0);
+  auto c1 = c0;
+  alignas(kBufferAlignment) T u[W], v[W], w[W];
+  SplitMix64 rng(seed + 3);
+  for (int i = 0; i < W; ++i) {
+    u[i] = T(double(rng.next_below(4)));
+    v[i] = T(double(rng.next_below(4)));
+    w[i] = T(double(rng.next_below(4)));
+  }
+  semiring_cb_sep<S, T, W>(c0.data(), stride, a.data(), stride, b.data(),
+                           stride, u, v, w);
+  semiring_tile_scalar_sep<S, T>(c1.data(), stride, a.data(), stride, b.data(),
+                                 stride, W, u, v, w);
+  for (index_t r = 0; r < W; ++r)
+    for (index_t col = 0; col < W; ++col)
+      EXPECT_EQ(c0[r * stride + col], c1[r * stride + col])
+          << semiring_name(S::id) << " W=" << W;
+}
+
+TEST(Kernels, SeparableTermEverySemiring) {
+  for (std::uint64_t s = 0; s < 4; ++s) {
+    semiring_sep_kernel_case<MaxPlusSemiring<float>, 8>(s);
+    semiring_sep_kernel_case<MaxPlusSemiring<double>, 4>(s);
+    semiring_sep_kernel_case<CountingSemiring<double>, 4>(s);
+    semiring_sep_kernel_case<ViterbiLogSemiring<float>, 4>(s);
   }
 }
 

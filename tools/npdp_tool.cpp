@@ -2,6 +2,7 @@
 //
 //   npdp solve     --n 4096 [--backend blocked-parallel] [--kernel simd128]
 //                  [--block 64] [--threads 8] [--seed 1] [--deadline-ms 50]
+//                  [--semiring min-plus|max-plus|counting|viterbi-log]
 //                  [--maxplus] [--save table.bin] [--retries 4]
 //                  [--fault-plan plan.json] [--fault-log fired.json]
 //                  [--trace out.json] [--metrics out.json] [--report]
@@ -32,7 +33,8 @@
 //   npdp net-bench --port 9377 [--host 127.0.0.1] [--connections 4]
 //                  [--targets host:port,host:port,...] [--rate 0]
 //                  [--duration 2] [--requests 0] [--mix chain]
-//                  [--size 32] [--distinct 16] [--deadline-ms 0]
+//                  [--semiring NAME|mix] [--size 32] [--distinct 16]
+//                  [--deadline-ms 0]
 //                  [--priority 0] [--backend NAME] [--seed 1] [--json-dir .]
 //                  [--connect-timeout-ms 0] [--trace FILE] [--trace-sample R]
 //                  (closed loop when --rate 0; writes BENCH_net.json with
@@ -202,19 +204,26 @@ int cmd_solve(const Args& a) {
   inst.n = a.num("n", 1024);
   const std::uint64_t seed =
       static_cast<std::uint64_t>(a.num("seed", 1));
-  inst.init = [seed](index_t i, index_t j) {
-    return random_init_value<float>(seed, i, j);
+  SemiringId sr = SemiringId::MinPlus;
+  if (a.has("semiring") &&
+      !semiring_from_name(a.get("semiring"), &sr))
+    throw UsageError("unknown semiring '" + a.get("semiring") +
+                     "' (min-plus|max-plus|counting|viterbi-log)");
+  // --maxplus predates --semiring and stays as an alias; the engine runs
+  // the native max-plus instantiation either way.
+  if (a.has("maxplus")) sr = SemiringId::MaxPlus;
+  inst.semiring = sr;
+  inst.init = [seed, sr](index_t i, index_t j) {
+    return semiring_init_value<float>(sr, seed, i, j);
   };
   NpdpOptions opts;
   opts.block_side = a.num("block", 64);
   opts.kernel = kernel_from(a.get("kernel", "simd128"));
   opts.threads = static_cast<std::size_t>(a.num("threads", 1));
 
-  const bool maxplus = a.has("maxplus");
   const std::string backend_name = a.get(
       "backend", opts.threads > 1 ? "blocked-parallel" : "blocked-serial");
-  const backend::SolverBackend* be =
-      maxplus ? nullptr : &backend_from(backend_name);
+  const backend::SolverBackend* be = &backend_from(backend_name);
 
   const bool tracing = a.has("trace");
   const bool want_report = a.has("report");
@@ -241,11 +250,7 @@ int cmd_solve(const Args& a) {
 
   double value = 0, sim_s = 0;
   std::shared_ptr<BlockedTriangularMatrix<float>> table;
-  if (maxplus) {
-    auto mp = solve_blocked_maxplus(inst, opts);
-    value = double(mp.at(0, inst.n - 1));
-    table = std::make_shared<BlockedTriangularMatrix<float>>(std::move(mp));
-  } else {
+  {
     const backend::BackendResult r = be->solve(inst, ctx);
     if (r.status == SolveStatus::Cancelled) {
       if (tracing) obs::Tracer::instance().stop();
@@ -261,10 +266,10 @@ int cmd_solve(const Args& a) {
   }
   const double s = sw.seconds();
   if (tracing) obs::Tracer::instance().stop();
-  std::printf("solved n=%lld (%s: %s, block %lld, %zu threads) in %s\n",
-              static_cast<long long>(inst.n),
-              maxplus ? "maxplus" : backend_name.c_str(),
+  std::printf("solved n=%lld (%s: %s, %s, block %lld, %zu threads) in %s\n",
+              static_cast<long long>(inst.n), backend_name.c_str(),
               std::string(kernel_kind_name(opts.kernel)).c_str(),
+              std::string(semiring_name(sr)).c_str(),
               static_cast<long long>(opts.block_side), opts.threads,
               fmt_seconds(s).c_str());
   std::printf("d[0][n-1] = %g; %.2f G relax/s\n", value,
@@ -352,11 +357,11 @@ int cmd_solve(const Args& a) {
 /// healthy by definition; "open" means the breaker is currently refusing
 /// it and requests take the degradation ladder.
 int cmd_backends(const Args&) {
-  std::printf("%-17s %-3s %-3s %-9s %-10s %-9s %-12s %-7s %-6s %-11s %-8s "
-              "%-10s\n",
+  std::printf("%-17s %-3s %-3s %-9s %-10s %-9s %-12s %-7s %-6s %-11s "
+              "%-42s %-8s %-10s\n",
               "name", "sp", "dp", "weighted", "traceback", "parallel",
-              "cancellable", "timing", "arena", "self-check", "healthy",
-              "breaker");
+              "cancellable", "timing", "arena", "self-check", "semirings",
+              "healthy", "breaker");
   auto yn = [](bool v) { return v ? "yes" : "-"; };
   for (const backend::SolverBackend* b :
        backend::BackendRegistry::instance().list()) {
@@ -365,12 +370,13 @@ int cmd_backends(const Args&) {
         resilience::breakers().find(b->name());
     const bool healthy =
         br == nullptr || br->state() != resilience::BreakerState::Open;
-    std::printf("%-17s %-3s %-3s %-9s %-10s %-9s %-12s %-7s %-6s %-11s %-8s "
-                "%-10s\n",
+    std::printf("%-17s %-3s %-3s %-9s %-10s %-9s %-12s %-7s %-6s %-11s "
+                "%-42s %-8s %-10s\n",
                 b->name(), yn(c.single_precision), yn(c.double_precision),
                 yn(c.weighted), yn(c.traceback), yn(c.parallel),
                 yn(c.cancellable), yn(c.timing_model), yn(c.arena),
-                yn(c.self_checking), healthy ? "yes" : "no",
+                yn(c.self_checking),
+                backend::semirings_string(c).c_str(), healthy ? "yes" : "no",
                 br != nullptr ? resilience::breaker_state_name(br->state())
                               : "-");
   }
@@ -1235,6 +1241,13 @@ int cmd_net_bench(const Args& a) {
   lo.priority = static_cast<int>(a.num("priority", 0));
   lo.deadline_ms = static_cast<std::uint32_t>(a.num("deadline-ms", 0));
   lo.backend = a.get("backend", "");
+  lo.semiring = a.get("semiring", "");
+  if (!lo.semiring.empty() && lo.semiring != "mix") {
+    SemiringId sr;
+    if (!semiring_from_name(lo.semiring, &sr))
+      throw UsageError("unknown --semiring '" + lo.semiring +
+                       "' (min-plus|max-plus|counting|viterbi-log|mix)");
+  }
   lo.seed = static_cast<std::uint64_t>(a.num("seed", 1));
   lo.distinct = static_cast<int>(a.num("distinct", 16));
   lo.timeout_ms = static_cast<int>(a.num("timeout-ms", 10000));
@@ -1314,6 +1327,7 @@ int cmd_net_bench(const Args& a) {
       .set("rate", lo.rate)
       .set("duration_s", double(lo.duration_ms) / 1000)
       .set("mix", lo.mix)
+      .set("semiring", lo.semiring.empty() ? "min-plus" : lo.semiring)
       .set("size", std::int64_t(lo.size))
       .set("deadline_ms", std::int64_t(lo.deadline_ms))
       .set("sent", std::int64_t(r.sent))

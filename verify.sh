@@ -28,6 +28,24 @@ echo "== validate trace =="
 "$BUILD_DIR"/tools/npdp check-trace --file "$TRACE_DIR/trace.json" \
     --min-workers 2 --expect-tasks 528
 
+echo "== semiring instantiations =="
+# One solve per semiring through the CLI (counting kept small so the float
+# table stays finite), plus rejection of unknown names and of semirings a
+# backend does not advertise.
+"$BUILD_DIR"/tools/npdp solve --n 512 --semiring min-plus
+"$BUILD_DIR"/tools/npdp solve --n 512 --semiring max-plus
+"$BUILD_DIR"/tools/npdp solve --n 24 --block 8 --semiring counting
+"$BUILD_DIR"/tools/npdp solve --n 512 --semiring viterbi-log
+if "$BUILD_DIR"/tools/npdp solve --n 64 --semiring tropical 2>/dev/null; then
+  echo "unknown semiring name was not rejected"; exit 1
+fi
+if "$BUILD_DIR"/tools/npdp solve --n 64 --semiring counting --backend tan \
+    2>/dev/null; then
+  echo "min-plus-only backend accepted a counting solve"; exit 1
+fi
+"$BUILD_DIR"/tools/npdp backends | grep -q 'counting'
+echo "semiring smoke: clean"
+
 echo "== fault injection: deterministic replay =="
 # Same plan + same (single-threaded) execution must produce byte-identical
 # fired-fault logs, and the healed solve must match the clean one (the
@@ -64,6 +82,15 @@ NET_PORT=$(cat "$NET_DIR/port")
     --duration 2 --mix mix --size 24 --json-dir "$NET_DIR"
 grep -q '"proto_errors":0' "$NET_DIR"/BENCH_net.json
 grep -q '"transport_errors":0' "$NET_DIR"/BENCH_net.json
+# Mixed-semiring traffic against the same server: every solve rotates
+# through the four instantiations; a clean run means the optional wire tag
+# decodes everywhere and the pool repads its arenas correctly per request.
+mkdir -p "$NET_DIR/semiring"
+"$BUILD_DIR"/tools/npdp net-bench --port "$NET_PORT" --connections 4 \
+    --duration 2 --mix solve --size 24 --semiring mix \
+    --json-dir "$NET_DIR/semiring"
+grep -q '"proto_errors":0' "$NET_DIR"/semiring/BENCH_net.json
+grep -q '"transport_errors":0' "$NET_DIR"/semiring/BENCH_net.json
 kill -TERM "$NET_PID"
 wait "$NET_PID"
 trap 'rm -rf "$TRACE_DIR" "$NET_DIR"' EXIT
@@ -187,12 +214,15 @@ awk -v b="$BASE_HIT" -v r="$ROUTER_HIT" \
   echo "router hit rate $ROUTER_HIT not above baseline $BASE_HIT"; exit 1; }
 echo "router tier: clean (hit rate $ROUTER_HIT vs single-replica $BASE_HIT)"
 
-echo "== sanitizers (serve + taskgraph + cancel + resilience + net + router) =="
-# The concurrency-heavy suites rerun under ASan/UBSan in a separate tree.
+echo "== sanitizers (semiring + serve + taskgraph + cancel + resilience + net + router) =="
+# The concurrency-heavy suites rerun under ASan/UBSan in a separate tree;
+# the semiring property sweep rides along so every instantiation's kernel
+# and driver paths get sanitized too.
 ASAN_DIR=${ASAN_DIR:-build-asan}
 cmake -B "$ASAN_DIR" -S . -DCELLNPDP_SANITIZE=address,undefined
 cmake --build "$ASAN_DIR" -j "$JOBS" --target test_serve test_taskgraph \
-    test_cancel test_resilience test_net test_router
+    test_cancel test_resilience test_net test_router test_semiring
+"$ASAN_DIR"/tests/test_semiring
 "$ASAN_DIR"/tests/test_serve
 "$ASAN_DIR"/tests/test_taskgraph
 "$ASAN_DIR"/tests/test_cancel
