@@ -124,6 +124,10 @@ void merge(Shared& sh, const LoadGenResult& part, std::size_t tidx) {
   m.transport_errors += part.transport_errors;
   m.latencies_ms.insert(m.latencies_ms.end(), part.latencies_ms.begin(),
                         part.latencies_ms.end());
+  m.corrected_latencies_ms.insert(m.corrected_latencies_ms.end(),
+                                  part.corrected_latencies_ms.begin(),
+                                  part.corrected_latencies_ms.end());
+  m.slipped += part.slipped;
   TargetCounts& t = sh.per_target[tidx];
   t.sent += part.sent;
   t.replies += part.replies;
@@ -156,7 +160,8 @@ void conn_worker(const LoadGenOptions& o, const Endpoint& target,
                  static_cast<std::uint64_t>(ci) + 1);
   const std::vector<char> kinds = mix_kinds(o.mix);
   struct Outstanding {
-    SteadyClock::time_point sent;
+    SteadyClock::time_point sent;       ///< actual send instant
+    SteadyClock::time_point scheduled;  ///< when it *should* have gone out
     std::uint64_t trace_id = 0;
     bool sampled = false;
   };
@@ -175,11 +180,16 @@ void conn_worker(const LoadGenOptions& o, const Endpoint& target,
     sh.sent_total.fetch_sub(1, std::memory_order_acq_rel);
     return false;
   };
-  auto send_one = [&]() -> bool {
+  // `scheduled` is the instant this request was due per the open-loop
+  // schedule; the default (epoch) means "now" — closed loop, where the
+  // corrected and uncorrected latency views coincide by construction.
+  auto send_one = [&](SteadyClock::time_point scheduled =
+                          SteadyClock::time_point{}) -> bool {
     WireRequest w;
     w.id = next_id();
     w.priority = o.priority;
     w.deadline_ms = o.deadline_ms;
+    w.tenant = o.tenant;
     w.payload = make_payload(o, kinds[static_cast<std::size_t>(
                                     rng.next_below(kinds.size()))],
                              rng);
@@ -189,9 +199,10 @@ void conn_worker(const LoadGenOptions& o, const Endpoint& target,
       ++acc.transport_errors;
       return false;
     }
-    outstanding.emplace(
-        w.id, Outstanding{SteadyClock::now(), w.trace.trace_id,
-                          w.trace.sampled});
+    const auto sent = SteadyClock::now();
+    if (scheduled == SteadyClock::time_point{}) scheduled = sent;
+    outstanding.emplace(w.id, Outstanding{sent, scheduled, w.trace.trace_id,
+                                          w.trace.sampled});
     ++acc.sent;
     return true;
   };
@@ -205,6 +216,10 @@ void conn_worker(const LoadGenOptions& o, const Endpoint& target,
       const auto elapsed = now - it->second.sent;
       acc.latencies_ms.push_back(
           std::chrono::duration<double, std::milli>(elapsed).count());
+      acc.corrected_latencies_ms.push_back(
+          std::chrono::duration<double, std::milli>(now -
+                                                    it->second.scheduled)
+              .count());
       if (it->second.sampled) {
         // Retroactive client-side span for this request: ts is back-dated
         // to the send instant so the server's stages nest inside it.
@@ -252,11 +267,20 @@ void conn_worker(const LoadGenOptions& o, const Endpoint& target,
         if (!under_cap()) {
           capped = true;
         } else {
-          if (!send_one()) break;
+          // Latency for this request is charged from next_send, the
+          // instant it was *due* — not from when we finally got to it —
+          // so falling behind schedule shows up in the corrected
+          // percentiles instead of vanishing (coordinated omission).
+          if (!send_one(next_send)) break;
           next_send += interval;
           // If we fell behind by whole intervals (scheduler hiccup),
-          // re-anchor instead of bursting to catch up.
-          if (next_send < now) next_send = now + interval;
+          // re-anchor instead of bursting to catch up — but count every
+          // abandoned slot so the shortfall in offered load is visible.
+          if (next_send < now) {
+            acc.slipped +=
+                static_cast<std::uint64_t>((now - next_send) / interval) + 1;
+            next_send = now + interval;
+          }
           continue;
         }
       }

@@ -11,6 +11,13 @@
 // The request mix is seed-deterministic (SplitMix64), so two runs with
 // the same options offer the identical byte stream. Results aggregate
 // per-status counts and client-measured end-to-end latencies.
+//
+// Open-loop latency is reported two ways to avoid coordinated omission:
+// `latencies_ms` stamps each request at its actual send instant (the
+// classic, optimistic view), while `corrected_latencies_ms` stamps it at
+// its *scheduled* send instant — when the generator itself falls behind,
+// the wait it imposed counts against the server, not nobody. Intervals
+// dropped outright on re-anchor are tallied in `slipped`.
 #pragma once
 
 #include <cstdint>
@@ -44,6 +51,10 @@ struct LoadGenOptions {
   index_t size = 32;               ///< problem-size knob for the chosen kind
   int priority = 0;
   std::uint32_t deadline_ms = 0;   ///< per-request deadline; 0 = none
+  /// QoS tenant id stamped on every request (0 = default tenant; the
+  /// frame then omits the tenant tag entirely and is byte-identical to
+  /// pre-tenant traffic).
+  std::uint16_t tenant = 0;
   std::string backend;             ///< Solve requests only
   /// Semiring for Solve requests: a semiring name ("min-plus", "max-plus",
   /// "counting", "viterbi-log") or "mix" to rotate through all four
@@ -99,8 +110,20 @@ struct LoadGenResult {
   std::uint64_t transport_errors = 0;  ///< send/recv failures, timeouts
   double elapsed_s = 0;
   double achieved_rps = 0;  ///< replies / elapsed
-  /// Client-measured end-to-end latency per reply, milliseconds, unsorted.
+  /// Client-measured end-to-end latency per reply, milliseconds, unsorted,
+  /// stamped from the request's *actual* send instant. Under open-loop
+  /// overload this is the coordinated-omission-prone view: it excludes
+  /// time the generator spent behind its own schedule.
   std::vector<double> latencies_ms;
+  /// Same replies, stamped from the request's *scheduled* send instant —
+  /// the coordinated-omission-corrected view. Closed loop (and an open
+  /// loop that keeps up) makes the two distributions identical.
+  std::vector<double> corrected_latencies_ms;
+  /// Open loop only: whole send intervals abandoned when the generator
+  /// fell behind schedule and re-anchored rather than bursting to catch
+  /// up. Nonzero slips mean the offered rate was silently lower than
+  /// requested and uncorrected percentiles understate server latency.
+  std::uint64_t slipped = 0;
   /// One entry per distinct target (in LoadGenOptions::targets order;
   /// a single host/port run gets exactly one entry).
   std::vector<TargetCounts> per_target;

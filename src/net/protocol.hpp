@@ -18,8 +18,10 @@
 //
 // Version 2 appends an optional trace context to the common request
 // prefix: [flags u8] where bit0 = context present and bit1 = sampled,
-// then (iff bit0) [trace_id u64][parent_span_id u64]. Version-1 frames
-// carry no context and decode exactly as before — the server accepts
+// then (iff bit0) [trace_id u64][parent_span_id u64], then (iff bit2)
+// [tenant u16] — the QoS tenant tag, omitted for the default tenant 0 so
+// untagged frames stay byte-identical to pre-tenant ones. Version-1
+// frames carry no context and decode exactly as before — the server accepts
 // both versions (kMinVersion..kVersion) and keys its decode on the
 // header's version field. Response payloads are identical across both
 // versions. v2 also adds the StatsRequest/StatsResponse frame pair: a
@@ -255,12 +257,19 @@ struct WireRequest {
   std::int32_t priority = 0;
   std::uint32_t deadline_ms = 0;  ///< 0 = no deadline
   obs::SpanContext trace{};       ///< optional; only travels on v2 frames
+  std::uint16_t tenant = 0;       ///< optional; only travels on v2 frames
   serve::Payload payload = serve::SolveSpec{};
 };
 
-// Trace-context flag byte (v2 request prefix).
+// Flag byte of the v2 request prefix. Bit 2 marks an optional [tenant
+// u16] that follows the trace ids (same backward-compatible pattern as
+// the trailing semiring tag: tenant 0 — the default — is never encoded,
+// so frames from untagged clients stay byte-identical to pre-tenant
+// ones, and pre-tenant decoders keep rejecting only genuinely unknown
+// bits).
 constexpr std::uint8_t kTraceFlagPresent = 0x01;
 constexpr std::uint8_t kTraceFlagSampled = 0x02;
+constexpr std::uint8_t kFlagTenant = 0x04;
 
 inline MsgType request_msg_type(const serve::Payload& p) {
   switch (p.index()) {
@@ -286,11 +295,13 @@ inline std::vector<std::uint8_t> encode_request(
       flags |= kTraceFlagPresent;
       if (r.trace.sampled) flags |= kTraceFlagSampled;
     }
+    if (r.tenant != 0) flags |= kFlagTenant;
     put_u8(body, flags);
     if (r.trace.valid()) {
       put_u64(body, r.trace.trace_id);
       put_u64(body, r.trace.parent_span_id);
     }
+    if (r.tenant != 0) put_u16(body, r.tenant);
   }
   if (const auto* s = std::get_if<serve::SolveSpec>(&r.payload)) {
     put_i64(body, s->n);
@@ -341,9 +352,11 @@ inline bool decode_request_payload(MsgType t, std::uint16_t version,
   out->priority = r.i32();
   out->deadline_ms = r.u32();
   out->trace = obs::SpanContext{};
+  out->tenant = 0;
   if (version >= 2) {
     const std::uint8_t flags = r.u8();
-    if ((flags & ~(kTraceFlagPresent | kTraceFlagSampled)) != 0) {
+    if ((flags & ~(kTraceFlagPresent | kTraceFlagSampled | kFlagTenant)) !=
+        0) {
       *err = "unknown trace flag bits";
       return false;
     }
@@ -353,6 +366,17 @@ inline bool decode_request_payload(MsgType t, std::uint16_t version,
       out->trace.sampled = (flags & kTraceFlagSampled) != 0;
       if (r.ok && !out->trace.valid()) {
         *err = "trace context present but trace_id is zero";
+        return false;
+      }
+    }
+    if ((flags & kFlagTenant) != 0) {
+      out->tenant = r.u16();
+      if (r.ok && out->tenant == 0) {
+        *err = "tenant flag set but tenant is zero";
+        return false;
+      }
+      if (r.ok && out->tenant >= serve::kMaxTenants) {
+        *err = "tenant id out of range";
         return false;
       }
     }
@@ -738,6 +762,7 @@ inline serve::Request to_serve_request(
   if (w.deadline_ms > 0)
     r.deadline = now + std::chrono::milliseconds(w.deadline_ms);
   r.trace = w.trace;
+  r.tenant = w.tenant;
   r.payload = w.payload;
   return r;
 }

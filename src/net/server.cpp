@@ -89,6 +89,11 @@ void NpdpServer::handle_frame(const EpollFrontEnd::ConnPtr& c,
       }
       CELLNPDP_TRACE_INSTANT("net", "decode",
                              static_cast<std::int64_t>(h.id));
+      if (w.tenant != 0)
+        obs::metrics()
+            .counter("net.tenant.requests{tenant=" +
+                     std::to_string(w.tenant) + "}")
+            .add();
       // Request-chain marker: keyed by trace_id (a0) so the merged trace
       // correlates this reactor event with the client and serve spans.
       if (w.trace.sampled)

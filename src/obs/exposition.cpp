@@ -1,6 +1,8 @@
 #include "obs/exposition.hpp"
 
 #include <cctype>
+#include <cstdlib>
+#include <set>
 
 namespace cellnpdp::obs {
 
@@ -24,6 +26,42 @@ void write_labels(
     os << prometheus_name(k) << "=\"" << prometheus_escape_label(v) << '"';
   }
   os << '}';
+}
+
+/// Splits registry names carrying embedded labels —
+/// "serve.tenant.shed{tenant=hot}" — into the base name and label pairs.
+/// A name without a well-formed "{k=v,...}" suffix comes back unchanged
+/// with no labels (the braces then sanitize to '_' as before, so nothing
+/// silently changes meaning).
+bool split_embedded_labels(
+    const std::string& raw, std::string* base,
+    std::vector<std::pair<std::string, std::string>>* labels) {
+  const std::size_t open = raw.find('{');
+  if (open == std::string::npos || raw.back() != '}' || open + 2 > raw.size())
+    return false;
+  std::vector<std::pair<std::string, std::string>> parsed;
+  std::size_t pos = open + 1;
+  const std::size_t close = raw.size() - 1;
+  while (pos < close) {
+    const std::size_t end = std::min(raw.find(',', pos), close);
+    const std::size_t eq = raw.find('=', pos);
+    if (eq == std::string::npos || eq >= end || eq == pos) return false;
+    parsed.emplace_back(raw.substr(pos, eq - pos),
+                        raw.substr(eq + 1, end - eq - 1));
+    pos = end + 1;
+  }
+  if (parsed.empty()) return false;
+  *base = raw.substr(0, open);
+  *labels = std::move(parsed);
+  return true;
+}
+
+/// Emits "# TYPE" once per family — label variants of one base name form
+/// a single family and must not repeat the header.
+void type_line(std::ostream& os, std::set<std::string>& seen,
+               const std::string& name, const char* type) {
+  if (!seen.insert(name).second) return;
+  os << "# TYPE " << name << ' ' << type << '\n';
 }
 }  // namespace
 
@@ -58,26 +96,52 @@ std::string prometheus_escape_label(const std::string& value) {
 void write_prometheus_text(std::ostream& os, const MetricsSnapshot& snap,
                            const std::vector<PromLabeledSample>& extra,
                            const std::string& prefix) {
+  std::set<std::string> typed;
+  std::string base;
+  std::vector<std::pair<std::string, std::string>> labels;
+  const auto resolve = [&](const std::string& raw) {
+    labels.clear();
+    if (!split_embedded_labels(raw, &base, &labels)) base = raw;
+    return prometheus_name(base, prefix);
+  };
   for (const auto& [raw, v] : snap.counters) {
-    const std::string name = prometheus_name(raw, prefix);
-    os << "# TYPE " << name << " counter\n" << name << ' ' << v << '\n';
+    const std::string name = resolve(raw);
+    type_line(os, typed, name, "counter");
+    os << name;
+    write_labels(os, labels);
+    os << ' ' << v << '\n';
   }
   for (const auto& [raw, v] : snap.gauges) {
-    const std::string name = prometheus_name(raw, prefix);
-    os << "# TYPE " << name << " gauge\n" << name << ' ' << v << '\n';
+    const std::string name = resolve(raw);
+    type_line(os, typed, name, "gauge");
+    os << name;
+    write_labels(os, labels);
+    os << ' ' << v << '\n';
   }
   for (const auto& [raw, h] : snap.histograms) {
-    const std::string name = prometheus_name(raw, prefix);
-    os << "# TYPE " << name << " summary\n";
-    for (const double q : {0.5, 0.9, 0.99})
-      os << name << "{quantile=\"" << q << "\"} " << h.quantile(q) << '\n';
-    os << name << "_sum " << h.sum << '\n';
-    os << name << "_count " << h.count << '\n';
+    const std::string name = resolve(raw);
+    type_line(os, typed, name, "summary");
+    for (const char* q : {"0.5", "0.9", "0.99"}) {
+      auto quantiled = labels;
+      quantiled.emplace_back("quantile", q);
+      os << name;
+      write_labels(os, quantiled);
+      os << ' ' << h.quantile(std::atof(q)) << '\n';
+    }
+    os << name << "_sum";
+    write_labels(os, labels);
+    os << ' ' << h.sum << '\n';
+    os << name << "_count";
+    write_labels(os, labels);
+    os << ' ' << h.count << '\n';
   }
   for (const auto& s : extra) {
-    const std::string name = prometheus_name(s.name, prefix);
-    os << "# TYPE " << name << " gauge\n" << name;
-    write_labels(os, s.labels);
+    const std::string name = resolve(s.name);
+    auto merged = labels;
+    merged.insert(merged.end(), s.labels.begin(), s.labels.end());
+    type_line(os, typed, name, "gauge");
+    os << name;
+    write_labels(os, merged);
     os << ' ' << s.value << '\n';
   }
 }

@@ -2,6 +2,14 @@
 // names ("serve.status.ok") become legal Prometheus names
 // ("cellnpdp_serve_status_ok"); histograms are rendered summary-style
 // with interpolated quantile labels plus _sum/_count.
+//
+// Registry names may carry embedded labels in a "{k=v,...}" suffix —
+// "serve.tenant.shed{tenant=hot}" — which are parsed out and rendered as
+// real Prometheus labels (cellnpdp_serve_tenant_shed{tenant="hot"}),
+// with one # TYPE line per family no matter how many label variants
+// exist. This is how per-tenant QoS counters reach dashboards without
+// the registry growing a label concept. A malformed suffix falls back to
+// plain sanitization (braces become '_').
 #pragma once
 
 #include <ostream>

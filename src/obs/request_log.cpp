@@ -76,6 +76,7 @@ void RequestLog::write_jsonl(std::ostream& os) const {
     w.begin_object();
     w.kv("trace_id", std::uint64_t(ev.trace_id));
     w.kv("id", std::uint64_t(ev.request_id));
+    w.kv("tenant", std::uint64_t(ev.tenant));
     w.kv("kind", ev.kind);
     w.kv("status", ev.status);
     w.kv("backend", ev.backend);

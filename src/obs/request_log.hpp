@@ -18,6 +18,7 @@ namespace cellnpdp::obs {
 struct WideEvent {
   std::uint64_t trace_id = 0;   // 0 when the request carried no context
   std::uint64_t request_id = 0;
+  std::uint16_t tenant = 0;     // QoS tenant id (0 = default)
   const char* kind = "?";       // static strings: "solve", "fold", ...
   const char* status = "?";     // serve::status_name
   std::string backend;          // effective backend that produced the value

@@ -209,6 +209,14 @@ void NpdpRouter::handle_frame(const EpollFrontEnd::ConnPtr& c,
         CELLNPDP_TRACE_INSTANT("req", "queue",
                                static_cast<std::int64_t>(p.trace_id));
       }
+      // Tenant tag passes through untouched inside the forwarded bytes;
+      // count it here so a router front-end shows per-tenant demand even
+      // though QoS enforcement happens on the replicas.
+      if (w.tenant != 0)
+        obs::metrics()
+            .counter("router.tenant.forwarded{tenant=" +
+                     std::to_string(w.tenant) + "}")
+            .add();
       fe_.begin_async(c);
       if (!place(rid, p)) {
         ++no_replica_;

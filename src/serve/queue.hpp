@@ -1,30 +1,61 @@
-// Bounded MPMC admission queue: the front door of the solve service.
+// Bounded MPMC admission queue: the front door of the solve service,
+// with weighted fair scheduling across tenants.
 //
-// Entries are ordered by (priority descending, admission order) — pop
-// always returns the oldest entry of the highest priority present. When
-// the queue is full the configured OverloadPolicy decides the fate of the
-// *next* push:
+// Entries live in per-tenant sub-queues, each ordered by (priority
+// descending, admission order). pop composes two disciplines:
+//
+//   1. strict priority — only tenants whose head entry carries the
+//      highest priority present anywhere are eligible, so priority keeps
+//      its existing meaning across tenants;
+//   2. deficit round robin within that band — each tenant holds a credit
+//      counter replenished by its weight; serving an entry costs one
+//      credit; when no eligible tenant has credit, every eligible
+//      tenant's counter is topped up by its weight. Over time tenants at
+//      equal priority are served proportionally to their weights, so a
+//      hot tenant cannot starve a quiet one. A tenant's credit resets
+//      when its queue drains (no banking while idle). With one tenant —
+//      every untagged request — the order is exactly the old global
+//      (priority, FIFO) order.
+//
+// When the queue is full the configured OverloadPolicy decides the fate
+// of the *next* push:
 //
 //   Block      - the producer blocks until a consumer makes room
 //                (backpressure; nothing is ever dropped)
 //   Reject     - the push returns Admission::Rejected immediately
-//   ShedOldest - the globally oldest queued entry is evicted (handed to
-//                the shed handler) and the new entry is admitted
+//   ShedOldest - the tenant most over its fair share (max depth/weight)
+//                loses its oldest queued entry (handed to the shed
+//                handler) and the new entry is admitted. With a single
+//                tenant this is the globally oldest entry, as before.
 //
-// Deadline expiry is lazy: when an entry reaches the head of the queue and
-// the expiry predicate says it is dead, pop discards it (handing it to the
-// expiry handler) instead of returning it. Handlers are always invoked
-// with the queue lock released, so they may complete promises, take other
-// locks, or push again.
+// Deadline expiry is lazy: when an entry is selected for pop and the
+// expiry predicate says it is dead, pop discards it (handing it to the
+// expiry handler) instead of returning it.
+//
+// Handler reentrancy contract: handlers are always invoked with the
+// queue lock released, so they may complete promises, take other locks,
+// or push into this queue again. A shed handler that re-pushes (and
+// thereby sheds again) does NOT recurse: evicted entries are appended to
+// an internal backlog and drained iteratively by the outermost push
+// frame, so handler nesting is bounded at one level no matter how many
+// sheds a push cascade causes. Consequences a handler must tolerate:
+// (a) its invocation may happen on a different producer thread than the
+// push that evicted the entry, and (b) delivery happens after the
+// evicting push already returned Admitted. Handlers must not block
+// indefinitely — every producer entering push() may be drafted into
+// draining the backlog.
 #pragma once
 
 #include <chrono>
 #include <condition_variable>
 #include <cstdint>
+#include <deque>
 #include <functional>
+#include <limits>
 #include <map>
 #include <mutex>
 #include <utility>
+#include <vector>
 
 namespace cellnpdp::serve {
 
@@ -48,19 +79,29 @@ class AdmissionQueue {
   AdmissionQueue(std::size_t capacity, OverloadPolicy policy)
       : capacity_(capacity < 1 ? 1 : capacity), policy_(policy) {}
 
-  /// Installs deadline handling: pop() discards head entries for which
-  /// `expired` is true, handing them to `on_expired` instead of returning
-  /// them. Call before the first push; not thread-safe against traffic.
+  /// Installs deadline handling: pop() discards selected entries for
+  /// which `expired` is true, handing them to `on_expired` instead of
+  /// returning them. Call before the first push; not thread-safe against
+  /// traffic.
   void set_expiry(std::function<bool(const T&)> expired,
                   std::function<void(T&&)> on_expired) {
     expiry_fn_ = std::move(expired);
     on_expired_ = std::move(on_expired);
   }
 
-  /// Receives entries evicted by the ShedOldest policy. Same caveats as
+  /// Receives entries evicted by the ShedOldest policy. See the handler
+  /// reentrancy contract in the header comment. Same caveats as
   /// set_expiry.
   void set_shed_handler(std::function<void(T&&)> on_shed) {
     on_shed_ = std::move(on_shed);
+  }
+
+  /// Sets a tenant's fair-share weight (>= 1; default 1). Weights shape
+  /// both the DRR dequeue ratio and the ShedOldest victim choice. Call
+  /// before traffic for that tenant; safe at any time (takes the lock).
+  void set_tenant_weight(std::uint16_t tenant, std::uint64_t weight) {
+    std::lock_guard lk(mu_);
+    subs_[tenant].weight = weight < 1 ? 1 : weight;
   }
 
   /// Admits `item` under the overload policy. Safe to call at any point
@@ -70,9 +111,7 @@ class AdmissionQueue {
   /// reactor thread can be admitting a freshly-decoded frame at the same
   /// instant shutdown closes the queue, and the loser of that race must
   /// get a status it can put on the wire.
-  Admission push(T item, int priority = 0) {
-    T shed_item;
-    bool have_shed = false;
+  Admission push(T item, int priority = 0, std::uint16_t tenant = 0) {
     {
       std::unique_lock lk(mu_);
       for (;;) {
@@ -80,7 +119,7 @@ class AdmissionQueue {
           ++rejected_;
           return Admission::Closed;
         }
-        if (q_.size() < capacity_) break;
+        if (size_ < capacity_) break;
         if (policy_ == OverloadPolicy::Block) {
           cv_space_.wait(lk);
           continue;
@@ -89,22 +128,22 @@ class AdmissionQueue {
           ++rejected_;
           return Admission::Rejected;
         }
-        // ShedOldest: evict the entry with the smallest admission number.
-        auto victim = q_.begin();
-        for (auto it = q_.begin(); it != q_.end(); ++it)
-          if (it->first.second < victim->first.second) victim = it;
-        shed_item = std::move(victim->second);
-        have_shed = true;
-        q_.erase(victim);
+        // ShedOldest: the victim tenant is the one most over its fair
+        // share (largest depth/weight); within it, the entry with the
+        // smallest admission number. One tenant degenerates to the
+        // globally oldest entry.
+        shed_backlog_.push_back(take_shed_victim_locked());
         ++shed_;
         break;
       }
       ++admitted_;
-      q_.emplace(Key{-static_cast<std::int64_t>(priority), seq_++},
-                 std::move(item));
+      Sub& sub = subs_[tenant];
+      sub.q.emplace(Key{-static_cast<std::int64_t>(priority), seq_++},
+                    std::move(item));
+      ++size_;
+      drain_shed_backlog_locked(lk);
     }
     cv_item_.notify_one();
-    if (have_shed && on_shed_) on_shed_(std::move(shed_item));
     return Admission::Admitted;
   }
 
@@ -133,7 +172,21 @@ class AdmissionQueue {
 
   std::size_t depth() const {
     std::lock_guard lk(mu_);
-    return q_.size();
+    return size_;
+  }
+  /// Queued entries for one tenant (0 for a tenant never seen).
+  std::size_t tenant_depth(std::uint16_t tenant) const {
+    std::lock_guard lk(mu_);
+    const auto it = subs_.find(tenant);
+    return it == subs_.end() ? 0 : it->second.q.size();
+  }
+  /// (tenant, depth) snapshot over every tenant the queue has seen.
+  std::vector<std::pair<std::uint16_t, std::size_t>> tenant_depths() const {
+    std::lock_guard lk(mu_);
+    std::vector<std::pair<std::uint16_t, std::size_t>> out;
+    out.reserve(subs_.size());
+    for (const auto& [tid, sub] : subs_) out.emplace_back(tid, sub.q.size());
+    return out;
   }
   std::uint64_t admitted() const { return counter(admitted_); }
   std::uint64_t rejected() const { return counter(rejected_); }
@@ -141,32 +194,121 @@ class AdmissionQueue {
   std::uint64_t expired() const { return counter(expired_); }
 
  private:
-  // Map key: (-priority, admission number); begin() is the pop front.
+  // Sub-queue key: (-priority, admission number); begin() is the front.
   using Key = std::pair<std::int64_t, std::uint64_t>;
+  struct Sub {
+    std::map<Key, T> q;
+    std::uint64_t weight = 1;
+    std::int64_t credit = 0;
+  };
+  using SubMap = std::map<std::uint16_t, Sub>;
 
   std::uint64_t counter(const std::uint64_t& c) const {
     std::lock_guard lk(mu_);
     return c;
   }
 
+  /// Removes and returns the ShedOldest victim. Caller holds the lock
+  /// and guarantees at least one entry is queued.
+  T take_shed_victim_locked() {
+    auto victim = subs_.end();
+    double worst = -1;
+    for (auto it = subs_.begin(); it != subs_.end(); ++it) {
+      if (it->second.q.empty()) continue;
+      const double over = static_cast<double>(it->second.q.size()) /
+                          static_cast<double>(it->second.weight);
+      if (over > worst) {
+        worst = over;
+        victim = it;
+      }
+    }
+    Sub& sub = victim->second;
+    auto oldest = sub.q.begin();
+    for (auto it = sub.q.begin(); it != sub.q.end(); ++it)
+      if (it->first.second < oldest->first.second) oldest = it;
+    T item = std::move(oldest->second);
+    sub.q.erase(oldest);
+    if (sub.q.empty()) sub.credit = 0;
+    --size_;
+    return item;
+  }
+
+  /// Hands backlogged shed victims to the handler, lock released per
+  /// call. Only one frame drains at a time: a handler that re-pushes
+  /// (and sheds again) merely appends to the backlog — its own push
+  /// frame sees draining_ set and returns, so eviction cascades are
+  /// iterative, never recursive. The flag is only cleared while the
+  /// backlog is empty under the lock, so no victim is ever stranded.
+  void drain_shed_backlog_locked(std::unique_lock<std::mutex>& lk) {
+    if (shed_backlog_.empty() || shed_draining_) return;
+    shed_draining_ = true;
+    while (!shed_backlog_.empty()) {
+      T v = std::move(shed_backlog_.front());
+      shed_backlog_.pop_front();
+      lk.unlock();
+      if (on_shed_) on_shed_(std::move(v));
+      lk.lock();
+    }
+    shed_draining_ = false;
+  }
+
+  /// Picks the sub-queue to serve next: strict priority across tenants,
+  /// DRR among the tenants whose head sits at that priority. Caller
+  /// holds the lock. Returns subs_.end() when everything is empty.
+  typename SubMap::iterator select_locked() {
+    std::int64_t best = std::numeric_limits<std::int64_t>::max();
+    for (const auto& [tid, sub] : subs_)
+      if (!sub.q.empty() && sub.q.begin()->first.first < best)
+        best = sub.q.begin()->first.first;
+    if (best == std::numeric_limits<std::int64_t>::max()) return subs_.end();
+    // Two passes: find an eligible tenant with credit, replenishing every
+    // eligible tenant once if none has any. Weights >= 1 guarantee the
+    // second pass succeeds.
+    for (int round = 0; round < 2; ++round) {
+      auto it = subs_.upper_bound(rr_last_);
+      for (std::size_t i = 0; i < subs_.size(); ++i, ++it) {
+        if (it == subs_.end()) it = subs_.begin();
+        Sub& sub = it->second;
+        if (sub.q.empty() || sub.q.begin()->first.first != best) continue;
+        if (sub.credit >= 1) return it;
+      }
+      for (auto& [tid, sub] : subs_)
+        if (!sub.q.empty() && sub.q.begin()->first.first == best)
+          sub.credit += static_cast<std::int64_t>(sub.weight);
+    }
+    return subs_.end();  // unreachable
+  }
+
   PopResult pop_impl(T& out, const std::chrono::steady_clock::time_point* tp) {
     std::unique_lock lk(mu_);
     for (;;) {
-      // Discard expired entries as they surface at the head.
-      while (!q_.empty() && expiry_fn_ && expiry_fn_(q_.begin()->second)) {
-        T dead = std::move(q_.begin()->second);
-        q_.erase(q_.begin());
-        ++expired_;
-        cv_space_.notify_one();
-        if (on_expired_) {
-          lk.unlock();
-          on_expired_(std::move(dead));
-          lk.lock();
+      // Serve the fair-share selection, lazily discarding entries whose
+      // deadline passed while they waited.
+      for (;;) {
+        auto sit = select_locked();
+        if (sit == subs_.end()) break;
+        Sub& sub = sit->second;
+        auto head = sub.q.begin();
+        if (expiry_fn_ && expiry_fn_(head->second)) {
+          T dead = std::move(head->second);
+          sub.q.erase(head);
+          if (sub.q.empty()) sub.credit = 0;
+          --size_;
+          ++expired_;
+          cv_space_.notify_one();
+          if (on_expired_) {
+            lk.unlock();
+            on_expired_(std::move(dead));
+            lk.lock();
+          }
+          continue;
         }
-      }
-      if (!q_.empty()) {
-        out = std::move(q_.begin()->second);
-        q_.erase(q_.begin());
+        out = std::move(head->second);
+        sub.q.erase(head);
+        sub.credit -= 1;
+        if (sub.q.empty()) sub.credit = 0;
+        rr_last_ = sit->first;
+        --size_;
         lk.unlock();
         cv_space_.notify_one();
         return PopResult::Item;
@@ -189,7 +331,11 @@ class AdmissionQueue {
   mutable std::mutex mu_;
   std::condition_variable cv_item_;   // signalled when an entry arrives
   std::condition_variable cv_space_;  // signalled when capacity frees up
-  std::map<Key, T> q_;
+  SubMap subs_;                       // per-tenant sub-queues (persistent)
+  std::size_t size_ = 0;              // total queued entries across tenants
+  std::uint16_t rr_last_ = 0;         // DRR cursor: last tenant served
+  std::deque<T> shed_backlog_;        // evicted, awaiting handler delivery
+  bool shed_draining_ = false;        // one frame drains at a time
   std::uint64_t seq_ = 0;
   bool closed_ = false;
   std::uint64_t admitted_ = 0, rejected_ = 0, shed_ = 0, expired_ = 0;

@@ -32,6 +32,12 @@ namespace cellnpdp::serve {
 
 using Clock = std::chrono::steady_clock;
 
+/// Tenant ids are small integers so QoS state (counters, fair-share
+/// queues, cache quotas) can live in dense arrays. The wire decoder and
+/// the line parser both reject ids at or above this bound; id 0 is the
+/// default tenant every untagged (legacy) request belongs to.
+constexpr std::uint16_t kMaxTenants = 256;
+
 /// Generic NPDP solve of the canonical random instance in a chosen
 /// semiring (the same workload as `npdp solve`): cell (i,j) =
 /// semiring_init_value(semiring, seed, i, j).
@@ -83,6 +89,12 @@ struct Request {
   /// Trace context the request arrived with (invalid = untraced). Not
   /// part of the content hash: tracing never changes what is computed.
   obs::SpanContext trace{};
+  /// Who the request belongs to (0 = default tenant). Like the trace
+  /// context, NOT part of the content hash: two tenants asking for the
+  /// same computation share one cache entry and one placement replica —
+  /// isolation applies to admission, scheduling, and cache *budgets*,
+  /// never to the results themselves.
+  std::uint16_t tenant = 0;
   Payload payload = SolveSpec{};
 
   bool has_deadline() const { return deadline != Clock::time_point{}; }
@@ -213,8 +225,8 @@ inline index_t instance_size(const Request& r) {
 //   bst   keys=64 [seed=13]
 //
 // plus the common keys  id=<u64>  priority=<int>  deadline-ms=<ms>
-// (deadline relative to `now`). Blank lines and lines starting with '#'
-// should be skipped by the caller.
+// tenant=<0..255>  (deadline relative to `now`). Blank lines and lines
+// starting with '#' should be skipped by the caller.
 
 /// Parses one request line. Returns false and sets *err on malformed
 /// input (unknown kind, unknown key, malformed number, duplicate key).
@@ -264,6 +276,13 @@ inline bool parse_request_line(const std::string& line, Request* out,
     } else if (k == "deadline-ms") {
       if (!as_num(k, v, &n)) return false;
       r.deadline = now + std::chrono::milliseconds(n);
+    } else if (k == "tenant") {
+      if (!as_num(k, v, &n)) return false;
+      if (n < 0 || n >= kMaxTenants) {
+        *err = "tenant out of range (0..255): " + v;
+        return false;
+      }
+      r.tenant = static_cast<std::uint16_t>(n);
     } else {
       *used = false;
     }

@@ -1,10 +1,23 @@
-// LRU result cache keyed by the content hash of a request. Thread-safe:
-// the dispatcher probes it at dispatch time and every worker fills it
-// after a solve. Capacity 0 disables caching (probes miss, fills no-op),
-// which keeps the service code branch-free. Hits, misses, and evictions
-// are mirrored into the process-wide obs metrics registry
-// (serve.cache.{hits,misses,evictions}) so they show up in metric dumps
-// next to the queue and status counters.
+// LRU result cache keyed by the content hash of a request, with
+// optional per-tenant byte quotas. Thread-safe: the dispatcher probes it
+// at dispatch time and every worker fills it after a solve. Capacity 0
+// disables caching (probes miss, fills no-op), which keeps the service
+// code branch-free.
+//
+// Tenancy model: entries are keyed by the *global* content hash — two
+// tenants asking for the same computation share one entry, results are
+// never duplicated per tenant. What is partitioned is the *budget*: each
+// entry is charged (its approximate byte cost) to the tenant that filled
+// it, and a tenant with a configured byte quota evicts only from its own
+// entries when over budget. A hot tenant churning through distinct
+// computations therefore exhausts its own quota instead of flushing a
+// quiet tenant's working set — cache isolation matching queue isolation.
+// The global entry-count capacity still applies on top as a hard bound.
+//
+// Hits, misses, and evictions are mirrored into the process-wide obs
+// metrics registry (serve.cache.{hits,misses,evictions,
+// tenant_evictions}) so they show up in metric dumps next to the queue
+// and status counters.
 #pragma once
 
 #include <cstddef>
@@ -23,6 +36,13 @@ class ResultCache {
  public:
   explicit ResultCache(std::size_t capacity) : capacity_(capacity) {}
 
+  /// Gives `tenant` a byte budget (0 = unlimited). Call before traffic;
+  /// safe at any time (takes the lock) but does not retro-evict.
+  void set_tenant_budget(std::uint16_t tenant, std::size_t bytes) {
+    std::lock_guard lk(mu_);
+    budgets_[tenant] = bytes;
+  }
+
   /// On hit copies the cached value into *out, promotes the entry to
   /// most-recently-used, and returns true.
   bool get(std::uint64_t key, V* out) {
@@ -34,31 +54,45 @@ class ResultCache {
       return false;
     }
     lru_.splice(lru_.begin(), lru_, it->second);
-    *out = it->second->second;
+    *out = it->second->value;
     ++hits_;
     obs_hits_.add();
     return true;
   }
 
-  /// Inserts (or refreshes) key -> value, evicting the least-recently-used
-  /// entry when at capacity.
-  void put(std::uint64_t key, V value) {
+  /// Inserts (or refreshes) key -> value, charging ~`bytes` to `tenant`.
+  /// Evicts the global least-recently-used entry when at entry capacity,
+  /// then the filling tenant's own oldest entries while it is over its
+  /// byte budget. A value larger than its tenant's whole budget is not
+  /// retained (the quota cannot hold it).
+  void put(std::uint64_t key, V value, std::uint16_t tenant = 0,
+           std::size_t bytes = 1) {
     if (capacity_ == 0) return;
     std::lock_guard lk(mu_);
     auto it = map_.find(key);
     if (it != map_.end()) {
-      it->second->second = std::move(value);
+      Entry& e = *it->second;
+      usage_[e.tenant] -= e.bytes;
+      e.value = std::move(value);
+      e.tenant = tenant;
+      e.bytes = bytes;
+      usage_[tenant] += bytes;
       lru_.splice(lru_.begin(), lru_, it->second);
+      enforce_tenant_budget(tenant);
       return;
     }
     if (lru_.size() >= capacity_) {
-      map_.erase(lru_.back().first);
+      const Entry& back = lru_.back();
+      usage_[back.tenant] -= back.bytes;
+      map_.erase(back.key);
       lru_.pop_back();
       ++evictions_;
       obs_evictions_.add();
     }
-    lru_.emplace_front(key, std::move(value));
+    lru_.emplace_front(Entry{key, std::move(value), tenant, bytes});
     map_[key] = lru_.begin();
+    usage_[tenant] += bytes;
+    enforce_tenant_budget(tenant);
   }
 
   std::size_t size() const {
@@ -66,6 +100,12 @@ class ResultCache {
     return lru_.size();
   }
   std::size_t capacity() const { return capacity_; }
+  /// Bytes currently charged to `tenant`.
+  std::size_t tenant_bytes(std::uint16_t tenant) const {
+    std::lock_guard lk(mu_);
+    const auto it = usage_.find(tenant);
+    return it == usage_.end() ? 0 : it->second;
+  }
   std::uint64_t hits() const {
     std::lock_guard lk(mu_);
     return hits_;
@@ -78,19 +118,53 @@ class ResultCache {
     std::lock_guard lk(mu_);
     return evictions_;
   }
+  /// Evictions caused by a tenant byte quota (not entry capacity).
+  std::uint64_t tenant_evictions() const {
+    std::lock_guard lk(mu_);
+    return tenant_evictions_;
+  }
 
  private:
+  struct Entry {
+    std::uint64_t key = 0;
+    V value{};
+    std::uint16_t tenant = 0;
+    std::size_t bytes = 0;
+  };
+
+  /// Evicts `tenant`'s own oldest entries while it is over budget.
+  /// Caller holds the lock. Walks the global LRU list from its cold end;
+  /// entries owned by other tenants are skipped untouched.
+  void enforce_tenant_budget(std::uint16_t tenant) {
+    const auto bit = budgets_.find(tenant);
+    if (bit == budgets_.end() || bit->second == 0) return;
+    const std::size_t budget = bit->second;
+    auto it = lru_.end();
+    while (usage_[tenant] > budget && it != lru_.begin()) {
+      --it;
+      if (it->tenant != tenant) continue;
+      usage_[tenant] -= it->bytes;
+      map_.erase(it->key);
+      it = lru_.erase(it);
+      ++tenant_evictions_;
+      obs_tenant_evictions_.add();
+    }
+  }
+
   mutable std::mutex mu_;
   const std::size_t capacity_;
-  std::list<std::pair<std::uint64_t, V>> lru_;  ///< front = most recent
-  std::unordered_map<std::uint64_t,
-                     typename std::list<std::pair<std::uint64_t, V>>::iterator>
-      map_;
-  std::uint64_t hits_ = 0, misses_ = 0, evictions_ = 0;
+  std::list<Entry> lru_;  ///< front = most recent
+  std::unordered_map<std::uint64_t, typename std::list<Entry>::iterator> map_;
+  std::unordered_map<std::uint16_t, std::size_t> budgets_;
+  std::unordered_map<std::uint16_t, std::size_t> usage_;
+  std::uint64_t hits_ = 0, misses_ = 0, evictions_ = 0,
+                tenant_evictions_ = 0;
   obs::Counter& obs_hits_ = obs::metrics().counter("serve.cache.hits");
   obs::Counter& obs_misses_ = obs::metrics().counter("serve.cache.misses");
   obs::Counter& obs_evictions_ =
       obs::metrics().counter("serve.cache.evictions");
+  obs::Counter& obs_tenant_evictions_ =
+      obs::metrics().counter("serve.cache.tenant_evictions");
 };
 
 }  // namespace cellnpdp::serve

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <chrono>
 #include <thread>
+#include <tuple>
 #include <utility>
 #include <variant>
 
@@ -28,6 +29,14 @@ std::int64_t steady_now_ns() {
 
 }  // namespace
 
+/// Approximate retained bytes of a cache entry, for tenant byte quotas.
+/// Exactness doesn't matter — only that hot-tenant churn is charged to
+/// the hot tenant proportionally to what it stores.
+template <class R>
+static std::size_t cached_bytes_of(const R& r) {
+  return sizeof(R) + r.detail.size() + r.backend.size();
+}
+
 SolveService::SolveService(ServiceOptions opts)
     : opts_(opts),
       queue_(opts.queue_capacity, opts.policy),
@@ -51,6 +60,16 @@ SolveService::SolveService(ServiceOptions opts)
     respond(it, Status::Shed, 0, {},
             ns_between(it->enqueued, Clock::now()));
   });
+  // Tenant QoS wiring: fair-share weights into the queue, byte quotas
+  // into the cache, a token bucket per rate-limited tenant. buckets_ is
+  // never mutated after this, so admit() reads it lock-free.
+  for (const auto& [tid, pol] : opts_.tenants.policies) {
+    queue_.set_tenant_weight(tid, pol.weight);
+    if (pol.cache_bytes > 0) cache_.set_tenant_budget(tid, pol.cache_bytes);
+    if (pol.rate > 0)
+      buckets_.emplace(std::piecewise_construct, std::forward_as_tuple(tid),
+                       std::forward_as_tuple(pol.rate, pol.burst));
+  }
   if (opts_.resilience.hedge.enabled)
     watchdog_ = std::thread([this] { watchdog_loop(); });
   dispatcher_ = std::thread([this] { dispatcher_loop(); });
@@ -76,10 +95,54 @@ SolveService::Item SolveService::make_item(Request req) {
   return p;
 }
 
+TokenBucket* SolveService::bucket_for(std::uint16_t tenant) {
+  const auto it = buckets_.find(tenant);
+  return it == buckets_.end() ? nullptr : &it->second;
+}
+
+const std::string& SolveService::tenant_label(std::uint16_t tenant) {
+  if (!label_ready_[tenant].load(std::memory_order_acquire)) {
+    std::lock_guard lk(label_mu_);
+    if (!label_ready_[tenant].load(std::memory_order_relaxed)) {
+      tenant_labels_[tenant] = opts_.tenants.name_of(tenant);
+      label_ready_[tenant].store(true, std::memory_order_release);
+    }
+  }
+  return tenant_labels_[tenant];
+}
+
 void SolveService::admit(const Item& p) {
   ++submitted_;
+  if (p->req.tenant >= kMaxTenants) {
+    // Belt-and-braces: the wire decoder and line parser already enforce
+    // this, but a programmatic submit must not index out of the dense
+    // counter arrays.
+    respond(p, Status::Rejected, 0, "tenant id out of range");
+    return;
+  }
+  const std::uint16_t tid = p->req.tenant;
+  tenant_counters_[tid].submitted.fetch_add(1, std::memory_order_relaxed);
   if (stopped_.load(std::memory_order_acquire)) {
     respond(p, Status::Rejected, 0, "service stopped");
+    return;
+  }
+  // Rung 1 of the failure-modes ladder: the tenant's token bucket. A
+  // tenant over its admission rate is pushed back *before* it can
+  // occupy queue capacity — the answer is RetryAfter with a refill hint,
+  // never a drop, and other tenants' queues are untouched.
+  if (TokenBucket* b = bucket_for(tid); b != nullptr && !b->try_take()) {
+    ++throttled_;
+    ++retry_after_;  // a throttle IS a RetryAfter terminal response
+    tenant_counters_[tid].throttled.fetch_add(1, std::memory_order_relaxed);
+    auto& m = obs::metrics();
+    m.counter("serve.throttled").add();
+    m.counter("serve.tenant.throttled{tenant=" + tenant_label(tid) + "}")
+        .add();
+    CELLNPDP_TRACE_INSTANT("serve", "throttle",
+                           static_cast<std::int64_t>(p->req.id));
+    respond(p, Status::RetryAfter, 0,
+            "tenant quota exceeded: " + tenant_label(tid), 0, 0,
+            b->retry_after_ms());
     return;
   }
   // Fault site: admission refusing a request as if the queue were full.
@@ -96,11 +159,20 @@ void SolveService::admit(const Item& p) {
   // answers Closed (never asserts — see AdmissionQueue::push), which maps
   // to the same Rejected response as the stopped_ check above.
   const int prio = p->req.priority;
-  const Admission verdict = queue_.push(p, prio);
-  obs::metrics().gauge("serve.queue_depth").set(double(queue_.depth()));
-  if (verdict != Admission::Admitted)
+  const Admission verdict = queue_.push(p, prio, tid);
+  auto& m = obs::metrics();
+  m.gauge("serve.queue_depth").set(double(queue_.depth()));
+  if (verdict != Admission::Admitted) {
     respond(p, Status::Rejected, 0,
             verdict == Admission::Closed ? "service stopped" : "queue full");
+    return;
+  }
+  if (opts_.tenants.configured() || tid != 0) {
+    m.counter("serve.tenant.admitted{tenant=" + tenant_label(tid) + "}")
+        .add();
+    m.gauge("serve.tenant.queue_depth{tenant=" + tenant_label(tid) + "}")
+        .set(double(queue_.tenant_depth(tid)));
+  }
 }
 
 std::future<Response> SolveService::submit(Request req) {
@@ -170,6 +242,8 @@ void SolveService::dispatcher_loop() {
                 hit.backend);
         continue;
       }
+      tenant_counters_[it->req.tenant].cache_misses.fetch_add(
+          1, std::memory_order_relaxed);
       const std::uint64_t key = shape_key(it->req);
       if (opts_.batch_max > 1 &&
           instance_size(it->req) <= opts_.batch_max_size) {
@@ -354,8 +428,11 @@ void SolveService::solve_one(const Item& it, Clock::time_point picked_up,
   // Cache before responding, so a caller that resubmits the moment its
   // future resolves observes the hit. Losing the first-finisher race
   // below is harmless: primary and twin computed the same request, so
-  // whichever result lands in the cache is the right one.
-  cache_.put(it->hash, CachedResult{o.value, o.detail, o.backend_used});
+  // whichever result lands in the cache is the right one. The fill is
+  // charged against the submitting tenant's byte quota.
+  CachedResult fill{o.value, o.detail, o.backend_used};
+  const std::size_t fill_bytes = cached_bytes_of(fill);
+  cache_.put(it->hash, std::move(fill), it->req.tenant, fill_bytes);
   respond(it, Status::Ok, o.value, o.detail, queue_ns, solve_ns, 0,
           o.backend_used);
   release_twin();
@@ -441,7 +518,9 @@ void SolveService::launch_hedge(const Item& it) {
     const SolveOutcome o = pool_.execute(copy, it->hedge_cancel, opts_.backend);
     if (!o.ok) return;  // lost (cancelled) or failed: the primary answers
     const std::int64_t solve_ns = ns_between(started, Clock::now());
-    cache_.put(it->hash, CachedResult{o.value, o.detail, o.backend_used});
+    CachedResult fill{o.value, o.detail, o.backend_used};
+    const std::size_t fill_bytes = cached_bytes_of(fill);
+    cache_.put(it->hash, std::move(fill), it->req.tenant, fill_bytes);
     if (respond(it, Status::Ok, o.value, o.detail,
                 it->queue_ns.load(std::memory_order_relaxed), solve_ns, 0,
                 o.backend_used)) {
@@ -469,21 +548,48 @@ bool SolveService::respond(const Item& it, Status st, double value,
   resp.solve_ns = solve_ns;
   resp.total_ns = ns_between(it->enqueued, Clock::now());
   resp.retry_after_ms = retry_after_ms;
+  const std::uint16_t tid =
+      it->req.tenant < kMaxTenants ? it->req.tenant : std::uint16_t(0);
+  TenantCounters& tc = tenant_counters_[tid];
   switch (st) {
-    case Status::Ok: ++completed_; break;
-    case Status::OkCached: ++cache_hits_; break;
-    case Status::Rejected: ++rejected_; break;
-    case Status::Shed: ++shed_; break;
-    case Status::Expired: ++expired_; break;
+    case Status::Ok:
+      ++completed_;
+      tc.completed.fetch_add(1, std::memory_order_relaxed);
+      break;
+    case Status::OkCached:
+      ++cache_hits_;
+      tc.cache_hits.fetch_add(1, std::memory_order_relaxed);
+      break;
+    case Status::Rejected:
+      ++rejected_;
+      tc.rejected.fetch_add(1, std::memory_order_relaxed);
+      break;
+    case Status::Shed:
+      ++shed_;
+      tc.shed.fetch_add(1, std::memory_order_relaxed);
+      break;
+    case Status::Expired:
+      ++expired_;
+      tc.expired.fetch_add(1, std::memory_order_relaxed);
+      break;
     case Status::Cancelled: ++cancelled_; break;
     case Status::Error: ++errors_; break;
     case Status::Degraded: break;     // counted at the fallback site
-    case Status::RetryAfter: break;   // counted at the breaker site
+    case Status::RetryAfter: break;   // counted at the breaker/throttle site
   }
   resp.trace_id = it->req.trace.trace_id;
   resp.trace_sampled = it->req.trace.sampled;
   auto& m = obs::metrics();
   m.counter(std::string("serve.status.") + status_name(st)).add();
+  // Labeled per-tenant terminal counters (only once tenancy is in play,
+  // so an untenanted deployment's metric namespace is unchanged).
+  if (opts_.tenants.configured() || tid != 0) {
+    m.counter("serve.tenant.status." + std::string(status_name(st)) +
+              "{tenant=" + tenant_label(tid) + "}")
+        .add();
+    if (st == Status::Shed)
+      m.counter("serve.tenant.shed{tenant=" + tenant_label(tid) + "}").add();
+  }
   m.histogram("serve.total_ns").observe(resp.total_ns);
   if (st == Status::Ok || st == Status::OkCached) {
     m.histogram("serve.queue_ns").observe(queue_ns);
@@ -555,6 +661,7 @@ bool SolveService::respond(const Item& it, Status st, double value,
     we.request_id = it->req.id;
     we.kind = request_kind_name(it->req);
     we.status = status_name(st);
+    we.tenant = tid;
     we.backend = resp.backend;
     we.cache_hit = (st == Status::OkCached);
     we.sampled = it->req.trace.sampled;
@@ -587,6 +694,7 @@ ServiceStats SolveService::stats() const {
   s.errors = errors_.load();
   s.degraded = degraded_.load();
   s.retry_after = retry_after_.load();
+  s.throttled = throttled_.load();
   s.retries = retries_.load();
   s.hedges = hedges_.load();
   s.hedge_wins = hedge_wins_.load();
@@ -597,6 +705,28 @@ ServiceStats SolveService::stats() const {
   s.arena_reuses = pool_.arena_reuses();
   s.arena_allocations = pool_.arena_allocations();
   s.queue_depth = queue_.depth();
+  // Per-tenant rows: every tenant that saw traffic plus every configured
+  // one (a configured-but-idle tenant still shows up with zeros).
+  for (std::uint32_t tid = 0; tid < kMaxTenants; ++tid) {
+    const TenantCounters& tc = tenant_counters_[tid];
+    const std::uint64_t sub = tc.submitted.load(std::memory_order_relaxed);
+    const bool configured =
+        opts_.tenants.policies.count(static_cast<std::uint16_t>(tid)) != 0;
+    if (sub == 0 && !configured) continue;
+    TenantStats ts;
+    ts.id = static_cast<std::uint16_t>(tid);
+    ts.name = opts_.tenants.name_of(ts.id);
+    ts.submitted = sub;
+    ts.throttled = tc.throttled.load(std::memory_order_relaxed);
+    ts.completed = tc.completed.load(std::memory_order_relaxed);
+    ts.cache_hits = tc.cache_hits.load(std::memory_order_relaxed);
+    ts.cache_misses = tc.cache_misses.load(std::memory_order_relaxed);
+    ts.shed = tc.shed.load(std::memory_order_relaxed);
+    ts.rejected = tc.rejected.load(std::memory_order_relaxed);
+    ts.expired = tc.expired.load(std::memory_order_relaxed);
+    ts.queue_depth = queue_.tenant_depth(ts.id);
+    s.tenants.push_back(std::move(ts));
+  }
   return s;
 }
 

@@ -14,11 +14,13 @@
 // Every submitted request gets exactly one Response, whatever its fate.
 #pragma once
 
+#include <array>
 #include <atomic>
 #include <condition_variable>
 #include <cstddef>
 #include <cstdint>
 #include <future>
+#include <map>
 #include <memory>
 #include <mutex>
 #include <string>
@@ -34,6 +36,7 @@
 #include "serve/response.hpp"
 #include "serve/result_cache.hpp"
 #include "serve/solver_pool.hpp"
+#include "serve/tenant.hpp"
 
 namespace cellnpdp::serve {
 
@@ -49,6 +52,31 @@ struct ServiceOptions {
   /// Self-healing behaviour: retries, per-backend circuit breaking,
   /// fallback backend, straggler hedging. Defaults entirely inert.
   resilience::ResiliencePolicy resilience;
+  /// Per-tenant QoS: token-bucket admission rates, fair-share weights,
+  /// cache byte quotas. Defaults empty — every request lands on the
+  /// default tenant with no throttle, and the service behaves exactly
+  /// like the pre-tenant one.
+  TenantTable tenants;
+};
+
+/// Point-in-time per-tenant counters (one row per tenant with activity).
+struct TenantStats {
+  std::uint16_t id = 0;
+  std::string name;
+  std::uint64_t submitted = 0;
+  std::uint64_t throttled = 0;  ///< refused by the token bucket
+  std::uint64_t completed = 0;  ///< Status::Ok
+  std::uint64_t cache_hits = 0;
+  std::uint64_t cache_misses = 0;
+  std::uint64_t shed = 0;
+  std::uint64_t rejected = 0;
+  std::uint64_t expired = 0;
+  std::size_t queue_depth = 0;
+
+  double cache_hit_rate() const {
+    const std::uint64_t total = cache_hits + cache_misses;
+    return total == 0 ? 0 : double(cache_hits) / double(total);
+  }
 };
 
 /// Point-in-time counters; every terminal response is counted exactly once
@@ -62,6 +90,10 @@ struct ServiceStats {
   std::uint64_t expired = 0;
   std::uint64_t cancelled = 0;
   std::uint64_t errors = 0;
+  /// Refused by a tenant token bucket (Status::RetryAfter with a refill
+  /// hint); counted under retry_after in responded(), tracked separately
+  /// so overload dashboards can tell quota pushback from breaker trips.
+  std::uint64_t throttled = 0;
   std::uint64_t degraded = 0;     ///< Status::Degraded (fallback backend)
   std::uint64_t retry_after = 0;  ///< Status::RetryAfter (breaker open)
   std::uint64_t retries = 0;      ///< failed attempts re-executed
@@ -74,6 +106,8 @@ struct ServiceStats {
   std::uint64_t arena_reuses = 0;
   std::uint64_t arena_allocations = 0;
   std::size_t queue_depth = 0;
+  /// One row per tenant that has seen traffic (or is configured).
+  std::vector<TenantStats> tenants;
 
   std::uint64_t responded() const {
     return completed + cache_hits + rejected + shed + expired + cancelled +
@@ -162,8 +196,16 @@ class SolveService {
   std::size_t max_inflight() const;
   /// Builds the Pending record shared by both submit() forms.
   Item make_item(Request req);
-  /// Admission: the common tail of submit() once the item exists.
+  /// Admission: the common tail of submit() once the item exists —
+  /// tenant token bucket first, then the bounded queue. The failure-mode
+  /// ladder's first rung (docs/serving.md).
   void admit(const Item& p);
+  /// Metric label for a tenant ("default", a configured name, "t<id>").
+  const std::string& tenant_label(std::uint16_t tenant);
+  /// The tenant's token bucket, or nullptr when unthrottled. The bucket
+  /// map is built in the constructor and never mutated after, so lookups
+  /// are lock-free.
+  TokenBucket* bucket_for(std::uint16_t tenant);
   /// Delivers the response if this caller wins the first-finisher race;
   /// returns whether it did (losers are silent no-ops). `backend` is the
   /// effective engine name reported back to the caller.
@@ -212,8 +254,28 @@ class SolveService {
   // Terminal-status counters (see ServiceStats).
   std::atomic<std::uint64_t> submitted_{0}, completed_{0}, cache_hits_{0},
       rejected_{0}, shed_{0}, expired_{0}, cancelled_{0}, errors_{0},
-      degraded_{0}, retry_after_{0}, retries_{0}, hedges_{0}, hedge_wins_{0},
-      fallbacks_{0}, batches_{0};
+      degraded_{0}, retry_after_{0}, throttled_{0}, retries_{0}, hedges_{0},
+      hedge_wins_{0}, fallbacks_{0}, batches_{0};
+
+  /// Dense per-tenant counters, indexed by tenant id (ids are < 256 by
+  /// construction: the wire decoder, the line parser, and admit() all
+  /// enforce kMaxTenants). Atomics, no lock on any hot path.
+  struct TenantCounters {
+    std::atomic<std::uint64_t> submitted{0}, throttled{0}, completed{0},
+        cache_hits{0}, cache_misses{0}, shed{0}, rejected{0}, expired{0};
+  };
+  std::unique_ptr<TenantCounters[]> tenant_counters_{
+      new TenantCounters[kMaxTenants]};
+  /// Memoized metric labels (built on first use per id, under a mutex —
+  /// the label string itself is then stable and read lock-free is NOT
+  /// assumed; callers re-enter tenant_label which takes the mutex only
+  /// on the miss path via double-checked storage).
+  std::mutex label_mu_;
+  std::array<std::string, kMaxTenants> tenant_labels_;
+  std::array<std::atomic<bool>, kMaxTenants> label_ready_{};
+  /// Token buckets for tenants with a configured rate; immutable after
+  /// the constructor.
+  std::map<std::uint16_t, TokenBucket> buckets_;
 
   /// Per-shape solve latency EWMAs feeding the hedge watchdog.
   resilience::LatencyEstimator estimator_;

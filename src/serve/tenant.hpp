@@ -1,0 +1,232 @@
+// Multi-tenant QoS policy for the solve service: who a request belongs
+// to, how fast that tenant may submit, how large a share of the queue and
+// result cache it deserves.
+//
+// A tenant is a small integer id carried end-to-end (wire frame ->
+// serve::Request -> admission queue -> wide events -> Prometheus labels).
+// Id 0 is the default tenant: requests that carry no tag — every legacy
+// frame — land there, so a deployment that never configures tenants
+// behaves exactly as before.
+//
+// Three pieces live here:
+//
+//   TenantPolicy  - declarative per-tenant limits (rate/burst/weight/
+//                   cache bytes)
+//   TokenBucket   - the admission throttle implementing rate+burst, with
+//                   a refill hint for RetryAfter responses
+//   TenantTable   - id -> policy map with a default for unknown ids,
+//                   plus the CLI spec parser (`npdp ... --tenants`)
+#pragma once
+
+#include <chrono>
+#include <cmath>
+#include <cstdint>
+#include <cstdlib>
+#include <map>
+#include <mutex>
+#include <string>
+
+namespace cellnpdp::serve {
+
+/// Declarative QoS limits for one tenant. Defaults are fully permissive:
+/// unlimited rate, weight 1 (equal share), no cache byte quota.
+struct TenantPolicy {
+  std::string name;          ///< label for metrics/logs; "" = "t<id>"
+  double rate = 0;           ///< admitted requests/second; 0 = unlimited
+  double burst = 1;          ///< token-bucket capacity (>= 1)
+  std::uint64_t weight = 1;  ///< fair-share weight for dequeue + shed
+  std::size_t cache_bytes = 0;  ///< result-cache byte quota; 0 = unlimited
+};
+
+/// Classic token bucket: `rate` tokens/second refill up to `burst`
+/// capacity; each admitted request takes one token. Thread-safe (one
+/// short lock per probe — admission path only, never per solve stage).
+class TokenBucket {
+ public:
+  using Clock = std::chrono::steady_clock;
+
+  TokenBucket(double rate, double burst)
+      : rate_(rate),
+        burst_(burst < 1 ? 1 : burst),
+        tokens_(burst < 1 ? 1 : burst),
+        last_(Clock::now()) {}
+
+  /// Takes one token if available. Always succeeds when rate <= 0.
+  bool try_take(Clock::time_point now = Clock::now()) {
+    if (rate_ <= 0) return true;
+    std::lock_guard lk(mu_);
+    refill(now);
+    if (tokens_ < 1.0) return false;
+    tokens_ -= 1.0;
+    return true;
+  }
+
+  /// Milliseconds until one token will be available — the refill hint a
+  /// throttled response carries so well-behaved clients back off exactly
+  /// as long as needed, no longer.
+  std::int64_t retry_after_ms(Clock::time_point now = Clock::now()) const {
+    if (rate_ <= 0) return 0;
+    std::lock_guard lk(mu_);
+    const double have = current(now);
+    if (have >= 1.0) return 0;
+    return static_cast<std::int64_t>(std::ceil((1.0 - have) / rate_ * 1e3));
+  }
+
+  double available(Clock::time_point now = Clock::now()) const {
+    if (rate_ <= 0) return burst_;
+    std::lock_guard lk(mu_);
+    return current(now);
+  }
+
+  double rate() const { return rate_; }
+  double burst() const { return burst_; }
+
+ private:
+  void refill(Clock::time_point now) {
+    tokens_ = current(now);
+    last_ = now;
+  }
+  double current(Clock::time_point now) const {
+    const double dt = std::chrono::duration<double>(now - last_).count();
+    const double t = tokens_ + (dt > 0 ? dt * rate_ : 0);
+    return t > burst_ ? burst_ : t;
+  }
+
+  mutable std::mutex mu_;
+  const double rate_;
+  const double burst_;
+  double tokens_;
+  Clock::time_point last_;
+};
+
+/// id -> policy. Ids outside the map get the permissive default policy,
+/// so unknown (and untagged) tenants are never throttled — isolation is
+/// opt-in per tenant, starvation protection (fair dequeue) is always on.
+struct TenantTable {
+  std::map<std::uint16_t, TenantPolicy> policies;
+
+  bool configured() const { return !policies.empty(); }
+
+  const TenantPolicy& policy(std::uint16_t id) const {
+    static const TenantPolicy kDefault{};
+    const auto it = policies.find(id);
+    return it == policies.end() ? kDefault : it->second;
+  }
+
+  /// Stable label for metrics: the configured name, else "default" for
+  /// tenant 0, else "t<id>".
+  std::string name_of(std::uint16_t id) const {
+    const auto it = policies.find(id);
+    if (it != policies.end() && !it->second.name.empty())
+      return it->second.name;
+    return id == 0 ? std::string("default") : "t" + std::to_string(id);
+  }
+};
+
+/// Parses the CLI tenant spec: slash-separated tenants, colon-separated
+/// fields, the first field the numeric id:
+///
+///   1:name=hot:rate=500:burst=50:weight=1:cache-kb=64/2:name=quiet:weight=4
+///
+/// Everything but the id is optional. Returns false with *err set on a
+/// malformed spec (bad number, unknown key, duplicate id, id >= 256).
+inline bool parse_tenant_spec(const std::string& spec, TenantTable* out,
+                              std::string* err) {
+  const std::uint16_t kMax = 256;  // mirrors serve::kMaxTenants
+  std::size_t pos = 0;
+  while (pos <= spec.size()) {
+    const std::size_t end = std::min(spec.find('/', pos), spec.size());
+    const std::string entry = spec.substr(pos, end - pos);
+    pos = end + 1;
+    if (entry.empty()) {
+      if (end == spec.size()) break;
+      *err = "empty tenant entry";
+      return false;
+    }
+    const std::size_t c0 = entry.find(':');
+    const std::string id_str = entry.substr(0, c0);
+    char* eptr = nullptr;
+    const long id = std::strtol(id_str.c_str(), &eptr, 10);
+    if (eptr == nullptr || *eptr != '\0' || id_str.empty() || id < 0) {
+      *err = "malformed tenant id '" + id_str + "'";
+      return false;
+    }
+    if (id >= kMax) {
+      *err = "tenant id " + id_str + " out of range (max 255)";
+      return false;
+    }
+    const auto tid = static_cast<std::uint16_t>(id);
+    if (out->policies.count(tid) != 0) {
+      *err = "duplicate tenant id " + id_str;
+      return false;
+    }
+    TenantPolicy p;
+    std::size_t fpos = c0 == std::string::npos ? entry.size() : c0 + 1;
+    while (fpos < entry.size()) {
+      const std::size_t fend = std::min(entry.find(':', fpos), entry.size());
+      const std::string field = entry.substr(fpos, fend - fpos);
+      fpos = fend + 1;
+      const std::size_t eq = field.find('=');
+      if (eq == std::string::npos || eq == 0) {
+        *err = "tenant " + id_str + ": expected key=value, got '" + field +
+               "'";
+        return false;
+      }
+      const std::string key = field.substr(0, eq);
+      const std::string val = field.substr(eq + 1);
+      auto as_double = [&](double* d) {
+        char* dend = nullptr;
+        *d = std::strtod(val.c_str(), &dend);
+        if (dend == nullptr || *dend != '\0' || val.empty()) {
+          *err = "tenant " + id_str + ": malformed number for '" + key +
+                 "': " + val;
+          return false;
+        }
+        return true;
+      };
+      double d = 0;
+      if (key == "name") {
+        p.name = val;
+      } else if (key == "rate") {
+        if (!as_double(&d)) return false;
+        if (d < 0) {
+          *err = "tenant " + id_str + ": rate must be >= 0";
+          return false;
+        }
+        p.rate = d;
+      } else if (key == "burst") {
+        if (!as_double(&d)) return false;
+        if (d < 1) {
+          *err = "tenant " + id_str + ": burst must be >= 1";
+          return false;
+        }
+        p.burst = d;
+      } else if (key == "weight") {
+        if (!as_double(&d)) return false;
+        if (d < 1) {
+          *err = "tenant " + id_str + ": weight must be >= 1";
+          return false;
+        }
+        p.weight = static_cast<std::uint64_t>(d);
+      } else if (key == "cache-kb") {
+        if (!as_double(&d)) return false;
+        if (d < 0) {
+          *err = "tenant " + id_str + ": cache-kb must be >= 0";
+          return false;
+        }
+        p.cache_bytes = static_cast<std::size_t>(d * 1024);
+      } else {
+        *err = "tenant " + id_str + ": unknown key '" + key + "'";
+        return false;
+      }
+    }
+    out->policies[tid] = std::move(p);
+  }
+  if (out->policies.empty()) {
+    *err = "empty tenant spec";
+    return false;
+  }
+  return true;
+}
+
+}  // namespace cellnpdp::serve

@@ -52,6 +52,9 @@ WireRequest random_request(SplitMix64& rng, int kind) {
     w.trace.parent_span_id = rng.next_u64();
     w.trace.sampled = rng.next_below(2) == 0;
   }
+  // And half carry a QoS tenant tag (the other v2 optional field).
+  if (rng.next_below(2) == 0)
+    w.tenant = static_cast<std::uint16_t>(1 + rng.next_below(255));
   switch (kind) {
     case 0: {
       serve::SolveSpec s;
@@ -124,6 +127,7 @@ TEST(Protocol, RequestRoundTripsOverSeededRandomPayloads) {
     EXPECT_EQ(out.trace.trace_id, in.trace.trace_id);
     EXPECT_EQ(out.trace.parent_span_id, in.trace.parent_span_id);
     EXPECT_EQ(out.trace.sampled, in.trace.sampled);
+    EXPECT_EQ(out.tenant, in.tenant);
     ASSERT_EQ(out.payload.index(), in.payload.index());
     if (const auto* s = std::get_if<serve::SolveSpec>(&in.payload)) {
       const auto& o = std::get<serve::SolveSpec>(out.payload);
@@ -367,6 +371,129 @@ TEST(Protocol, SemiringByteOutOfRangeFailsDecode) {
                                       frame.data() + kHeaderSize,
                                       frame.size() - kHeaderSize, &out, &err));
   EXPECT_NE(err.find("semiring"), std::string::npos) << err;
+}
+
+// --- tenant tag (mirrors the semiring-tag suite: optional, default-
+// omitted, range-checked, truncation-safe) --------------------------------
+
+TEST(Protocol, TenantTagRoundTripsForBoundaryValues) {
+  for (const std::uint16_t tenant : {1, 42, 255}) {
+    WireRequest in;
+    in.id = 100 + tenant;
+    in.priority = 3;
+    in.deadline_ms = 250;
+    in.tenant = tenant;
+    in.payload = serve::ChainSpec{16, 5};
+    const auto frame = encode_request(in);
+    FrameHeader h;
+    ASSERT_EQ(parse_header(frame.data(), frame.size(), &h), HeaderParse::Ok);
+    WireRequest out;
+    std::string err;
+    ASSERT_TRUE(decode_request_payload(h.type, h.version, h.id,
+                                       frame.data() + kHeaderSize, h.len,
+                                       &out, &err))
+        << "tenant " << tenant << ": " << err;
+    EXPECT_EQ(out.tenant, tenant);
+    EXPECT_EQ(out.priority, in.priority);
+    EXPECT_EQ(out.deadline_ms, in.deadline_ms);
+  }
+}
+
+TEST(Protocol, DefaultTenantFramesOmitTheTenantTag) {
+  // Tenant 0 (every untagged/legacy client) is never encoded: the frame
+  // must be byte-identical to the pre-tenant layout, and a tagged frame
+  // costs exactly two extra bytes (the u16 after the trace block).
+  WireRequest w;
+  w.id = 7;
+  w.payload = serve::ChainSpec{16, 5};
+  const auto plain = encode_request(w);
+  w.tenant = 9;
+  const auto tagged = encode_request(w);
+  EXPECT_EQ(tagged.size(), plain.size() + 2);
+
+  FrameHeader h;
+  ASSERT_EQ(parse_header(plain.data(), plain.size(), &h), HeaderParse::Ok);
+  WireRequest out;
+  std::string err;
+  ASSERT_TRUE(decode_request_payload(h.type, h.version, h.id,
+                                     plain.data() + kHeaderSize, h.len, &out,
+                                     &err))
+      << err;
+  EXPECT_EQ(out.tenant, 0);
+
+  // A v1 frame (no flags byte at all) also lands on the default tenant.
+  const auto v1 = encode_request(w, /*version=*/1);
+  ASSERT_EQ(parse_header(v1.data(), v1.size(), &h), HeaderParse::Ok);
+  ASSERT_TRUE(decode_request_payload(h.type, h.version, h.id,
+                                     v1.data() + kHeaderSize, h.len, &out,
+                                     &err))
+      << err;
+  EXPECT_EQ(out.tenant, 0);
+}
+
+TEST(Protocol, TenantIdOutOfRangeFailsDecode) {
+  WireRequest w;
+  w.id = 8;
+  w.tenant = 5;
+  w.payload = serve::ChainSpec{16, 5};
+  auto frame = encode_request(w);
+  // No trace context, so the tenant u16 (little-endian) sits right after
+  // the common prefix: [prio 4][deadline 4][flags 1].
+  const std::size_t off = kHeaderSize + 4 + 4 + 1;
+  frame[off] = 0xFF;
+  frame[off + 1] = 0xFF;  // 65535 >= kMaxTenants
+  FrameHeader h;
+  ASSERT_EQ(parse_header(frame.data(), frame.size(), &h), HeaderParse::Ok);
+  WireRequest out;
+  std::string err;
+  EXPECT_FALSE(decode_request_payload(h.type, h.version, h.id,
+                                      frame.data() + kHeaderSize, h.len, &out,
+                                      &err));
+  EXPECT_NE(err.find("tenant"), std::string::npos) << err;
+}
+
+TEST(Protocol, TenantFlagWithZeroTenantFailsDecode) {
+  // Flag bit set but id zero is unrepresentable by the encoder — a frame
+  // like that is corrupt, not "default tenant".
+  WireRequest w;
+  w.id = 9;
+  w.tenant = 5;
+  w.payload = serve::ChainSpec{16, 5};
+  auto frame = encode_request(w);
+  const std::size_t off = kHeaderSize + 4 + 4 + 1;
+  frame[off] = 0;
+  frame[off + 1] = 0;
+  FrameHeader h;
+  ASSERT_EQ(parse_header(frame.data(), frame.size(), &h), HeaderParse::Ok);
+  WireRequest out;
+  std::string err;
+  EXPECT_FALSE(decode_request_payload(h.type, h.version, h.id,
+                                      frame.data() + kHeaderSize, h.len, &out,
+                                      &err));
+  EXPECT_NE(err.find("tenant"), std::string::npos) << err;
+}
+
+TEST(Protocol, TenantTaggedFrameTruncationFailsCleanly) {
+  // Unlike the semiring tag the tenant u16 is NOT trailing — it sits in
+  // the request prefix — so every truncation of a tenant-tagged frame
+  // must fail decode (there is no "valid shorter frame" to fall back to).
+  WireRequest w;
+  w.id = 10;
+  w.tenant = 200;
+  w.trace.trace_id = 77;  // trace + tenant together: the full v2 prefix
+  w.trace.parent_span_id = 5;
+  w.payload = serve::ChainSpec{16, 5};
+  const auto frame = encode_request(w);
+  FrameHeader h;
+  ASSERT_EQ(parse_header(frame.data(), frame.size(), &h), HeaderParse::Ok);
+  for (std::size_t cut = 0; cut < h.len; ++cut) {
+    WireRequest out;
+    std::string err;
+    EXPECT_FALSE(decode_request_payload(h.type, h.version, h.id,
+                                        frame.data() + kHeaderSize, cut, &out,
+                                        &err))
+        << "cut " << cut << "/" << h.len;
+  }
 }
 
 TEST(Protocol, BadMagicIsDetected) {

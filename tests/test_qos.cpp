@@ -1,0 +1,351 @@
+// Tests for multi-tenant QoS: token-bucket math, the --tenants spec
+// parser, weighted fair (DRR) dequeue and its interaction with strict
+// priority, the weighted shed-victim choice, per-tenant result-cache
+// byte quotas, and the service-level throttle path (RetryAfter with a
+// refill hint, per-tenant stats rows).
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "serve/queue.hpp"
+#include "serve/request.hpp"
+#include "serve/response.hpp"
+#include "serve/result_cache.hpp"
+#include "serve/service.hpp"
+#include "serve/tenant.hpp"
+
+namespace cellnpdp::serve {
+namespace {
+
+using std::chrono::milliseconds;
+
+// --- TokenBucket -----------------------------------------------------------
+
+TEST(TokenBucket, BurstThenThrottleThenRefill) {
+  TokenBucket b(/*rate=*/10, /*burst=*/2);
+  const auto t0 = TokenBucket::Clock::now();
+  EXPECT_TRUE(b.try_take(t0));   // burst capacity
+  EXPECT_TRUE(b.try_take(t0));
+  EXPECT_FALSE(b.try_take(t0));  // bucket empty at t0
+  // One token refills in 1/rate = 100 ms; the hint says exactly that.
+  const std::int64_t hint = b.retry_after_ms(t0);
+  EXPECT_GT(hint, 0);
+  EXPECT_LE(hint, 100);
+  EXPECT_FALSE(b.try_take(t0 + milliseconds(50)));  // only half a token
+  EXPECT_TRUE(b.try_take(t0 + milliseconds(100)));
+  EXPECT_FALSE(b.try_take(t0 + milliseconds(100)));
+}
+
+TEST(TokenBucket, RefillCapsAtBurst) {
+  TokenBucket b(/*rate=*/100, /*burst=*/3);
+  const auto t0 = TokenBucket::Clock::now();
+  // A long idle period must not bank more than `burst` tokens.
+  const auto later = t0 + std::chrono::seconds(60);
+  EXPECT_TRUE(b.try_take(later));
+  EXPECT_TRUE(b.try_take(later));
+  EXPECT_TRUE(b.try_take(later));
+  EXPECT_FALSE(b.try_take(later));
+}
+
+TEST(TokenBucket, ZeroRateIsUnlimited) {
+  TokenBucket b(/*rate=*/0, /*burst=*/1);
+  const auto t0 = TokenBucket::Clock::now();
+  for (int i = 0; i < 100; ++i) EXPECT_TRUE(b.try_take(t0));
+  EXPECT_EQ(b.retry_after_ms(t0), 0);
+}
+
+// --- parse_tenant_spec -----------------------------------------------------
+
+TEST(TenantSpec, ParsesFullSpec) {
+  TenantTable t;
+  std::string err;
+  ASSERT_TRUE(parse_tenant_spec(
+      "1:name=hot:rate=500:burst=50:weight=2:cache-kb=64/2:name=quiet:weight=4",
+      &t, &err))
+      << err;
+  ASSERT_EQ(t.policies.size(), 2u);
+  const TenantPolicy& hot = t.policy(1);
+  EXPECT_EQ(hot.name, "hot");
+  EXPECT_DOUBLE_EQ(hot.rate, 500);
+  EXPECT_DOUBLE_EQ(hot.burst, 50);
+  EXPECT_EQ(hot.weight, 2u);
+  EXPECT_EQ(hot.cache_bytes, 64u * 1024u);
+  const TenantPolicy& quiet = t.policy(2);
+  EXPECT_EQ(quiet.name, "quiet");
+  EXPECT_DOUBLE_EQ(quiet.rate, 0);  // unlimited by default
+  EXPECT_EQ(quiet.weight, 4u);
+  EXPECT_EQ(t.name_of(1), "hot");
+  EXPECT_EQ(t.name_of(0), "default");
+  EXPECT_EQ(t.name_of(7), "t7");
+}
+
+TEST(TenantSpec, IdOnlyEntryGetsDefaults) {
+  TenantTable t;
+  std::string err;
+  ASSERT_TRUE(parse_tenant_spec("3", &t, &err)) << err;
+  EXPECT_DOUBLE_EQ(t.policy(3).rate, 0);
+  EXPECT_EQ(t.policy(3).weight, 1u);
+}
+
+TEST(TenantSpec, RejectsMalformedSpecs) {
+  const char* bad[] = {
+      "",                    // empty spec
+      "x:rate=1",            // non-numeric id
+      "256:rate=1",          // id out of range
+      "1:rate=1/1:rate=2",   // duplicate id
+      "1:rate=-1",           // negative rate
+      "1:burst=0",           // burst < 1
+      "1:weight=0",          // weight < 1
+      "1:cache-kb=oops",     // malformed number
+      "1:color=red",         // unknown key
+      "1:rate",              // not key=value
+  };
+  for (const char* spec : bad) {
+    TenantTable t;
+    std::string err;
+    EXPECT_FALSE(parse_tenant_spec(spec, &t, &err)) << spec;
+    EXPECT_FALSE(err.empty()) << spec;
+  }
+}
+
+TEST(TenantSpec, RequestLineCarriesTenant) {
+  Request r;
+  std::string err;
+  ASSERT_TRUE(parse_request_line("chain n=8 seed=1 tenant=3", &r, &err))
+      << err;
+  EXPECT_EQ(r.tenant, 3);
+  EXPECT_FALSE(parse_request_line("chain n=8 seed=1 tenant=999", &r, &err));
+  EXPECT_FALSE(parse_request_line("chain n=8 seed=1 tenant=-1", &r, &err));
+}
+
+// --- weighted fair dequeue (DRR) ------------------------------------------
+
+TEST(AdmissionQueueQos, DrrServesProportionallyToWeights) {
+  AdmissionQueue<int> q(64, OverloadPolicy::Reject);
+  q.set_tenant_weight(1, 1);
+  q.set_tenant_weight(2, 3);
+  for (int i = 0; i < 20; ++i) {
+    ASSERT_EQ(q.push(1000 + i, 0, 1), Admission::Admitted);
+    ASSERT_EQ(q.push(2000 + i, 0, 2), Admission::Admitted);
+  }
+  std::map<int, int> served;  // tenant -> count
+  int v = 0;
+  for (int i = 0; i < 12; ++i) {
+    ASSERT_EQ(q.pop(v), PopResult::Item);
+    ++served[v / 1000];
+  }
+  // Per DRR replenish window of 4 credits, tenant 2 (weight 3) gets 3
+  // pops for tenant 1's one: 12 pops -> exactly 3 vs 9.
+  EXPECT_EQ(served[1], 3);
+  EXPECT_EQ(served[2], 9);
+}
+
+TEST(AdmissionQueueQos, HotTenantCannotStarveQuietOne) {
+  AdmissionQueue<int> q(128, OverloadPolicy::Reject);
+  // Equal (default) weights: a tenant with 50 queued entries and one with
+  // 5 alternate until the small one drains.
+  for (int i = 0; i < 50; ++i)
+    ASSERT_EQ(q.push(1000 + i, 0, 1), Admission::Admitted);
+  for (int i = 0; i < 5; ++i)
+    ASSERT_EQ(q.push(2000 + i, 0, 2), Admission::Admitted);
+  int quiet_served = 0, v = 0;
+  for (int i = 0; i < 10; ++i) {
+    ASSERT_EQ(q.pop(v), PopResult::Item);
+    if (v >= 2000) ++quiet_served;
+  }
+  // All five quiet entries are out within the first ten pops; FIFO order
+  // would have served none of them before pop 51.
+  EXPECT_EQ(quiet_served, 5);
+  // In-tenant order is still FIFO.
+  EXPECT_EQ(q.tenant_depth(2), 0u);
+}
+
+TEST(AdmissionQueueQos, PriorityDominatesFairness) {
+  AdmissionQueue<int> q(16, OverloadPolicy::Reject);
+  q.set_tenant_weight(2, 100);  // enormous weight...
+  ASSERT_EQ(q.push(20, 0, 2), Admission::Admitted);
+  ASSERT_EQ(q.push(21, 0, 2), Admission::Admitted);
+  ASSERT_EQ(q.push(10, 5, 1), Admission::Admitted);  // ...but low priority
+  int v = 0;
+  ASSERT_EQ(q.pop(v), PopResult::Item);
+  EXPECT_EQ(v, 10);  // strict priority first, weights only within a band
+  ASSERT_EQ(q.pop(v), PopResult::Item);
+  EXPECT_EQ(v, 20);
+}
+
+TEST(AdmissionQueueQos, SingleTenantOrderMatchesLegacyQueue) {
+  // Untagged traffic (all tenant 0) must behave exactly like the old
+  // global (priority desc, FIFO) queue.
+  AdmissionQueue<int> q(16, OverloadPolicy::Reject);
+  ASSERT_EQ(q.push(1, 0), Admission::Admitted);
+  ASSERT_EQ(q.push(2, 3), Admission::Admitted);
+  ASSERT_EQ(q.push(3, 3), Admission::Admitted);
+  ASSERT_EQ(q.push(4, 1), Admission::Admitted);
+  int v = 0;
+  std::vector<int> order;
+  while (q.depth() > 0) {
+    ASSERT_EQ(q.pop(v), PopResult::Item);
+    order.push_back(v);
+  }
+  EXPECT_EQ(order, (std::vector<int>{2, 3, 4, 1}));
+}
+
+// --- weighted shed ---------------------------------------------------------
+
+TEST(AdmissionQueueQos, ShedVictimIsTenantMostOverFairShare) {
+  AdmissionQueue<int> q(4, OverloadPolicy::ShedOldest);
+  q.set_tenant_weight(1, 1);
+  q.set_tenant_weight(2, 3);
+  std::vector<int> shed;
+  q.set_shed_handler([&](int&& v) { shed.push_back(v); });
+  ASSERT_EQ(q.push(1001, 0, 1), Admission::Admitted);
+  ASSERT_EQ(q.push(1002, 0, 1), Admission::Admitted);
+  ASSERT_EQ(q.push(1003, 0, 1), Admission::Admitted);
+  ASSERT_EQ(q.push(2001, 0, 2), Admission::Admitted);
+  // Full. Tenant 1 sits at 3/1 = 3.0 over-share, tenant 2 at 1/3 = 0.33:
+  // the next push evicts tenant 1's oldest, not the globally... (here it
+  // is also globally oldest; push tenant-2 first in the next case).
+  ASSERT_EQ(q.push(2002, 0, 2), Admission::Admitted);
+  ASSERT_EQ(shed, (std::vector<int>{1001}));
+  EXPECT_EQ(q.tenant_depth(1), 2u);
+  EXPECT_EQ(q.tenant_depth(2), 2u);
+
+  // Now tenant 2's entry is globally oldest, but tenant 1 is still the
+  // one most over its share — the victim stays tenant 1.
+  ASSERT_EQ(q.push(2003, 0, 2), Admission::Admitted);
+  ASSERT_EQ(shed.size(), 2u);
+  EXPECT_EQ(shed[1], 1002);
+  EXPECT_EQ(q.shed(), 2u);
+}
+
+// --- result-cache byte quotas ---------------------------------------------
+
+TEST(ResultCacheQos, TenantBudgetEvictsOwnOldestEntries) {
+  ResultCache<int> c(100);
+  c.set_tenant_budget(1, 10);
+  c.put(101, 1, /*tenant=*/1, /*bytes=*/4);
+  c.put(102, 2, 1, 4);
+  EXPECT_EQ(c.tenant_bytes(1), 8u);
+  c.put(103, 3, 1, 4);  // 12 bytes > 10: evict tenant 1's oldest (101)
+  EXPECT_EQ(c.tenant_bytes(1), 8u);
+  EXPECT_EQ(c.tenant_evictions(), 1u);
+  int out = 0;
+  EXPECT_FALSE(c.get(101, &out));
+  EXPECT_TRUE(c.get(102, &out));
+  EXPECT_TRUE(c.get(103, &out));
+}
+
+TEST(ResultCacheQos, HotTenantChurnLeavesQuietTenantEntriesAlone) {
+  ResultCache<int> c(100);
+  c.set_tenant_budget(1, 16);
+  c.put(900, 9, /*tenant=*/2, /*bytes=*/4);  // quiet tenant, no budget
+  for (int i = 0; i < 50; ++i) c.put(100 + i, i, 1, 4);  // hot churn
+  EXPECT_LE(c.tenant_bytes(1), 16u);
+  EXPECT_GT(c.tenant_evictions(), 0u);
+  int out = 0;
+  EXPECT_TRUE(c.get(900, &out));  // never evicted by tenant 1's quota
+  EXPECT_EQ(out, 9);
+  EXPECT_EQ(c.tenant_bytes(2), 4u);
+}
+
+TEST(ResultCacheQos, ValueLargerThanBudgetIsNotRetained) {
+  ResultCache<int> c(100);
+  c.set_tenant_budget(1, 10);
+  c.put(101, 1, 1, /*bytes=*/64);
+  int out = 0;
+  EXPECT_FALSE(c.get(101, &out));
+  EXPECT_EQ(c.tenant_bytes(1), 0u);
+}
+
+TEST(ResultCacheQos, EntriesAreSharedAcrossTenants) {
+  // Same content hash: one entry, whoever filled it last owns the bytes.
+  ResultCache<int> c(100);
+  c.put(42, 7, /*tenant=*/1, /*bytes=*/8);
+  int out = 0;
+  EXPECT_TRUE(c.get(42, &out));  // tenant 2 probes the same key: hit
+  EXPECT_EQ(out, 7);
+  c.put(42, 7, /*tenant=*/2, /*bytes=*/8);  // refresh transfers ownership
+  EXPECT_EQ(c.tenant_bytes(1), 0u);
+  EXPECT_EQ(c.tenant_bytes(2), 8u);
+  EXPECT_EQ(c.size(), 1u);
+}
+
+// --- service-level throttle ------------------------------------------------
+
+Request chain_request(std::uint16_t tenant, std::uint64_t seed) {
+  Request r;
+  ChainSpec c;
+  c.n = 8;
+  c.seed = seed;
+  r.payload = c;
+  r.tenant = tenant;
+  return r;
+}
+
+TEST(ServiceQos, TokenBucketThrottleRespondsRetryAfterWithHint) {
+  ServiceOptions so;
+  so.workers = 1;
+  so.queue_capacity = 16;
+  std::string err;
+  // Tenant 1: one request per *very* long while, burst 1 — the second
+  // submit inside this test must be throttled.
+  ASSERT_TRUE(parse_tenant_spec("1:name=limited:rate=0.001:burst=1",
+                                &so.tenants, &err))
+      << err;
+  SolveService svc(so);
+  auto f1 = svc.submit(chain_request(1, 1));
+  const Response r1 = f1.get();
+  EXPECT_TRUE(is_success(r1.status)) << status_name(r1.status);
+
+  auto f2 = svc.submit(chain_request(1, 2));
+  const Response r2 = f2.get();
+  EXPECT_EQ(r2.status, Status::RetryAfter);
+  EXPECT_GT(r2.retry_after_ms, 0);
+  EXPECT_NE(r2.detail.find("limited"), std::string::npos) << r2.detail;
+
+  // Unthrottled tenants (0 and unconfigured ones) sail through.
+  auto f3 = svc.submit(chain_request(0, 3));
+  EXPECT_TRUE(is_success(f3.get().status));
+  auto f4 = svc.submit(chain_request(2, 4));
+  EXPECT_TRUE(is_success(f4.get().status));
+
+  svc.stop();
+  const ServiceStats st = svc.stats();
+  EXPECT_EQ(st.throttled, 1u);
+  EXPECT_EQ(st.retry_after, 1u);  // the throttle IS the RetryAfter
+  EXPECT_EQ(st.responded(), st.submitted);
+
+  // Per-tenant rows: tenant 1 configured + active, tenants 0 and 2 active.
+  bool saw1 = false, saw0 = false, saw2 = false;
+  for (const TenantStats& row : st.tenants) {
+    if (row.id == 1) {
+      saw1 = true;
+      EXPECT_EQ(row.name, "limited");
+      EXPECT_EQ(row.submitted, 2u);
+      EXPECT_EQ(row.throttled, 1u);
+    }
+    if (row.id == 0) saw0 = row.submitted == 1;
+    if (row.id == 2) saw2 = row.submitted == 1;
+  }
+  EXPECT_TRUE(saw1);
+  EXPECT_TRUE(saw0);
+  EXPECT_TRUE(saw2);
+}
+
+TEST(ServiceQos, OutOfRangeTenantIsRejectedAtAdmission) {
+  ServiceOptions so;
+  so.workers = 1;
+  SolveService svc(so);
+  Request r = chain_request(0, 1);
+  r.tenant = kMaxTenants;  // bypasses parse/wire validation on purpose
+  const Response resp = svc.submit(std::move(r)).get();
+  EXPECT_EQ(resp.status, Status::Rejected);
+  svc.stop();
+}
+
+}  // namespace
+}  // namespace cellnpdp::serve

@@ -132,6 +132,43 @@ TEST(AdmissionQueue, ShedOldestEvictsGloballyOldestEntry) {
   EXPECT_EQ(v, 3);
 }
 
+TEST(AdmissionQueue, ShedHandlerMayRePushWithoutDeadlockOrRecursion) {
+  // Regression test for the handler reentrancy contract (queue.hpp): a
+  // shed handler that pushes back into the same full queue must neither
+  // deadlock (the handler runs with the lock released) nor recurse
+  // unboundedly (cascading evictions drain iteratively via the backlog).
+  AdmissionQueue<int> q(2, OverloadPolicy::ShedOldest);
+  std::vector<int> shed;
+  int depth = 0, max_depth = 0;
+  q.set_shed_handler([&](int&& v) {
+    ++depth;
+    if (depth > max_depth) max_depth = depth;
+    shed.push_back(v);
+    // Re-push the original victims; each re-push into the full queue
+    // evicts another entry, so this would recurse without the backlog.
+    if (v < 100)
+      EXPECT_EQ(q.push(v + 100, 0), Admission::Admitted);
+    --depth;
+  });
+  ASSERT_EQ(q.push(1, 0), Admission::Admitted);
+  ASSERT_EQ(q.push(2, 0), Admission::Admitted);
+  // Full. This push evicts 1; the handler re-pushes 101, evicting 2,
+  // whose handler re-pushes 102, evicting 3 (the entry just admitted)...
+  // the cascade ends when a re-pushed (>= 100) victim is not re-pushed.
+  ASSERT_EQ(q.push(3, 0), Admission::Admitted);
+  EXPECT_EQ(max_depth, 1);              // never nested
+  EXPECT_EQ(q.depth(), 2u);             // still exactly at capacity
+  EXPECT_GE(shed.size(), 3u);           // 1, 2, and at least one more
+  EXPECT_EQ(shed[0], 1);
+  EXPECT_EQ(shed[1], 2);
+  EXPECT_EQ(q.shed(), shed.size());     // every eviction was delivered
+  // The queue still works normally afterwards.
+  int v = 0;
+  ASSERT_EQ(q.pop(v), PopResult::Item);
+  ASSERT_EQ(q.pop(v), PopResult::Item);
+  EXPECT_EQ(q.depth(), 0u);
+}
+
 TEST(AdmissionQueue, ExpiredHeadEntriesGoToTheHandler) {
   AdmissionQueue<int> q(8, OverloadPolicy::Reject);
   std::vector<int> dead;

@@ -28,17 +28,21 @@
 //                  [--max-frame 1048576] [--idle-timeout-ms 30000]
 //                  [--drain-timeout-ms 5000] [--port-file FILE]
 //                  [--duration-ms 0] [--trace FILE] [--request-log FILE]
-//                  [--log-sample N] + all serve service flags
+//                  [--log-sample N] + all serve service flags, including
+//                  [--tenants "ID:name=N:rate=R:burst=B:weight=W:
+//                  cache-kb=K/ID2:..."] for per-tenant QoS policies
 //                  (runs until SIGINT/SIGTERM, then drains gracefully)
 //   npdp net-bench --port 9377 [--host 127.0.0.1] [--connections 4]
 //                  [--targets host:port,host:port,...] [--rate 0]
 //                  [--duration 2] [--requests 0] [--mix chain]
 //                  [--semiring NAME|mix] [--size 32] [--distinct 16]
-//                  [--deadline-ms 0]
+//                  [--deadline-ms 0] [--tenant 0]
 //                  [--priority 0] [--backend NAME] [--seed 1] [--json-dir .]
 //                  [--connect-timeout-ms 0] [--trace FILE] [--trace-sample R]
 //                  (closed loop when --rate 0; writes BENCH_net.json with
-//                  per-target status counts when --targets names several)
+//                  per-target status counts when --targets names several;
+//                  open-loop runs also report coordinated-omission-
+//                  corrected p50/p99 and the count of slipped intervals)
 //   npdp net-route --replicas [name=]host:port,... [--host 127.0.0.1]
 //                  [--port 9378] [--reactors 2] [--vnodes 64]
 //                  [--max-attempts 3] [--probe-interval-ms 200]
@@ -50,7 +54,8 @@
 //                  runs until SIGINT/SIGTERM, then drains gracefully)
 //   npdp top       --port 9377 [--host 127.0.0.1] [--interval-ms 1000]
 //                  [--iterations 0] [--once] [--prom]
-//                  (live stats view over the StatsRequest wire frame;
+//                  (live stats view over the StatsRequest wire frame, with
+//                  a per-tenant QoS table when the server runs tenanted;
 //                  --prom dumps Prometheus text exposition instead)
 //   npdp merge-traces --out merged.json --client a.json --server b.json
 //   npdp check-trace --file out.json --chains [--min-chain-frac 0.99]
@@ -104,6 +109,7 @@
 #include "serve/request.hpp"
 #include "serve/response.hpp"
 #include "serve/service.hpp"
+#include "serve/tenant.hpp"
 
 using namespace cellnpdp;
 
@@ -653,6 +659,53 @@ int cmd_top(const Args& a) {
                   static_cast<long long>(
                       snap.counter_or("serve.status.retry-after", 0)),
                   static_cast<long long>(ws.queue_depth));
+      // Per-tenant QoS rows, assembled from the labeled serve.tenant.*
+      // metrics (registry names carry a "{tenant=NAME}" suffix). Only
+      // printed when the server is actually running with tenancy.
+      struct TenantRow {
+        std::int64_t admitted = 0, throttled = 0, shed = 0;
+        std::int64_t ok = 0, cached = 0;
+        double depth = 0;
+      };
+      std::map<std::string, TenantRow> tenant_rows;
+      const auto tenant_metric = [](const std::string& name,
+                                    std::string* base, std::string* tenant) {
+        constexpr const char* kPrefix = "serve.tenant.";
+        if (name.rfind(kPrefix, 0) != 0 || name.back() != '}') return false;
+        const std::size_t open = name.find("{tenant=");
+        if (open == std::string::npos) return false;
+        *base = name.substr(std::strlen(kPrefix),
+                            open - std::strlen(kPrefix));
+        *tenant = name.substr(open + 8, name.size() - open - 9);
+        return true;
+      };
+      std::string base, tenant;
+      for (const auto& [name, v] : snap.counters) {
+        if (!tenant_metric(name, &base, &tenant)) continue;
+        TenantRow& row = tenant_rows[tenant];
+        if (base == "admitted") row.admitted = v;
+        else if (base == "throttled") row.throttled = v;
+        else if (base == "shed") row.shed = v;
+        else if (base == "status.ok") row.ok = v;
+        else if (base == "status.ok-cached") row.cached = v;
+      }
+      for (const auto& [name, v] : snap.gauges)
+        if (tenant_metric(name, &base, &tenant) && base == "queue_depth")
+          tenant_rows[tenant].depth = v;
+      if (!tenant_rows.empty()) {
+        std::printf("  tenants:\n");
+        for (const auto& [tname, row] : tenant_rows) {
+          const std::int64_t served = row.ok + row.cached;
+          const double hit =
+              served > 0 ? double(row.cached) / double(served) : 0;
+          std::printf("    %-10s admitted %lld  throttled %lld  shed %lld"
+                      "  depth %.0f  cache hit %.1f%%\n",
+                      tname.c_str(), static_cast<long long>(row.admitted),
+                      static_cast<long long>(row.throttled),
+                      static_cast<long long>(row.shed), row.depth,
+                      100.0 * hit);
+        }
+      }
       if (!ws.breakers.empty()) {
         std::printf("  breakers:");
         for (const auto& b : ws.breakers)
@@ -826,6 +879,14 @@ serve::ServiceOptions service_options_from(const Args& a) {
     so.resilience.fallback_backend = a.get("fallback");
   }
   if (a.has("hedge")) so.resilience.hedge.enabled = true;
+  // Multi-tenant QoS policies: --tenants "1:name=hot:rate=500:burst=50:
+  // weight=1:cache-kb=64/2:name=quiet:weight=4" (entries separated by
+  // '/', fields by ':', first field the numeric tenant id).
+  if (a.has("tenants")) {
+    std::string err;
+    if (!serve::parse_tenant_spec(a.get("tenants"), &so.tenants, &err))
+      throw UsageError("--tenants: " + err);
+  }
   return so;
 }
 
@@ -1240,6 +1301,11 @@ int cmd_net_bench(const Args& a) {
   lo.size = a.num("size", 32);
   lo.priority = static_cast<int>(a.num("priority", 0));
   lo.deadline_ms = static_cast<std::uint32_t>(a.num("deadline-ms", 0));
+  const long tenant = a.num("tenant", 0);
+  if (tenant < 0 || tenant >= long(serve::kMaxTenants))
+    throw UsageError("--tenant out of range (0.." +
+                     std::to_string(serve::kMaxTenants - 1) + ")");
+  lo.tenant = static_cast<std::uint16_t>(tenant);
   lo.backend = a.get("backend", "");
   lo.semiring = a.get("semiring", "");
   if (!lo.semiring.empty() && lo.semiring != "mix") {
@@ -1282,6 +1348,14 @@ int cmd_net_bench(const Args& a) {
   const double p99 = lat_h.quantile(0.99) / 1e6;
   const double p99_upper = double(lat_h.quantile_upper_bound(0.99)) / 1e6;
   const double pmax = lat_h.count() > 0 ? double(lat_h.max()) / 1e6 : 0;
+  // Coordinated-omission-corrected view: latency from the scheduled send
+  // instant. Identical to the above in closed loop; under open-loop
+  // overload it is the honest number.
+  obs::Histogram corr_h;
+  for (const double ms : r.corrected_latencies_ms)
+    corr_h.observe(static_cast<std::int64_t>(ms * 1e6));
+  const double cp50 = corr_h.quantile(0.50) / 1e6;
+  const double cp99 = corr_h.quantile(0.99) / 1e6;
   const char* mode = lo.rate > 0 ? "open" : "closed";
   std::printf("net-bench: %llu sent, %llu replies over %d conns (%s loop) "
               "in %.2f s: %.0f req/s\n",
@@ -1291,6 +1365,10 @@ int cmd_net_bench(const Args& a) {
   std::printf("  latency p50 %.3f ms, p90 %.3f ms, p99 %.3f ms (upper "
               "%.3f ms), max %.3f ms\n",
               p50, p90, p99, p99_upper, pmax);
+  if (lo.rate > 0)
+    std::printf("  corrected (from scheduled send) p50 %.3f ms, p99 %.3f "
+                "ms; %llu intervals slipped\n",
+                cp50, cp99, static_cast<unsigned long long>(r.slipped));
   std::printf("  %llu ok, %llu cached, %llu degraded, %llu rejected, %llu "
               "shed, %llu expired, %llu cancelled, %llu retry-after, %llu "
               "errors\n",
@@ -1330,6 +1408,7 @@ int cmd_net_bench(const Args& a) {
       .set("semiring", lo.semiring.empty() ? "min-plus" : lo.semiring)
       .set("size", std::int64_t(lo.size))
       .set("deadline_ms", std::int64_t(lo.deadline_ms))
+      .set("tenant", std::int64_t(lo.tenant))
       .set("sent", std::int64_t(r.sent))
       .set("replies", std::int64_t(r.replies))
       .set("elapsed_s", r.elapsed_s)
@@ -1339,6 +1418,9 @@ int cmd_net_bench(const Args& a) {
       .set("p99_ms", p99)
       .set("p99_upper_ms", p99_upper)
       .set("max_ms", pmax)
+      .set("corrected_p50_ms", cp50)
+      .set("corrected_p99_ms", cp99)
+      .set("slipped", std::int64_t(r.slipped))
       .set("ok", std::int64_t(r.ok))
       .set("ok_cached", std::int64_t(r.cached))
       .set("degraded", std::int64_t(r.degraded))
@@ -1495,8 +1577,8 @@ void usage() {
       "               request stream (--requests <file|->)\n"
       "  bench-serve  closed/open-loop load generator; writes "
       "BENCH_serve.json\n"
-      "  net-serve    epoll TCP front-end over the solve service "
-      "(docs/networking.md)\n"
+      "  net-serve    epoll TCP front-end over the solve service; --tenants\n"
+      "               enables per-tenant QoS (docs/networking.md)\n"
       "  net-route    consistent-hash router over net-serve replicas "
       "(--replicas\n"
       "               [name=]host:port,...; health-probed failover)\n"

@@ -214,31 +214,85 @@ awk -v b="$BASE_HIT" -v r="$ROUTER_HIT" \
   echo "router hit rate $ROUTER_HIT not above baseline $BASE_HIT"; exit 1; }
 echo "router tier: clean (hit rate $ROUTER_HIT vs single-replica $BASE_HIT)"
 
-echo "== sanitizers (semiring + serve + taskgraph + cancel + resilience + net + router) =="
+echo "== multi-tenant qos: two-tenant overload isolation =="
+# One tenanted server: a rate-limited hot tenant (1) and an unthrottled
+# quiet tenant (2) with a 4x fair-share weight. The quiet tenant's p99 is
+# measured alone, then again while the hot tenant floods at far above its
+# bucket rate. The hot run must see nonzero RetryAfter/Shed pushback, the
+# quiet p99 must stay within 3x its unloaded baseline (plus a 5 ms floor
+# for timer noise at small absolute latencies), and both runs must exit
+# clean — throttling is a status, never a dropped reply.
+QOS_DIR=$(mktemp -d)
+mkdir -p "$QOS_DIR/quiet_base" "$QOS_DIR/quiet_load" "$QOS_DIR/hot"
+"$BUILD_DIR"/tools/npdp net-serve --port 0 --port-file "$QOS_DIR/port" \
+    --workers 2 --queue 64 --policy shed-oldest \
+    --tenants '1:name=hot:rate=200:burst=20:weight=1/2:name=quiet:weight=4' &
+QOS_PID=$!
+trap 'kill "$QOS_PID" 2>/dev/null; rm -rf "$TRACE_DIR" "$NET_DIR" "$TEL_DIR" "$RT_DIR" "$QOS_DIR"' EXIT
+for _ in $(seq 100); do
+  [ -s "$QOS_DIR/port" ] && break
+  sleep 0.1
+done
+[ -s "$QOS_DIR/port" ] || { echo "qos net-serve never bound"; exit 1; }
+QOS_PORT=$(cat "$QOS_DIR/port")
+"$BUILD_DIR"/tools/npdp net-bench --port "$QOS_PORT" --connections 2 \
+    --rate 50 --duration 2 --mix chain --size 48 --tenant 2 \
+    --json-dir "$QOS_DIR/quiet_base"
+"$BUILD_DIR"/tools/npdp net-bench --port "$QOS_PORT" --connections 4 \
+    --rate 2000 --duration 3 --mix chain --size 48 --tenant 1 \
+    --json-dir "$QOS_DIR/hot" &
+QOS_HOT_PID=$!
+"$BUILD_DIR"/tools/npdp net-bench --port "$QOS_PORT" --connections 2 \
+    --rate 50 --duration 3 --mix chain --size 48 --tenant 2 \
+    --json-dir "$QOS_DIR/quiet_load"
+wait "$QOS_HOT_PID"          # nonzero on any client-visible error
+kill -TERM "$QOS_PID"
+wait "$QOS_PID"
+trap 'rm -rf "$TRACE_DIR" "$NET_DIR" "$TEL_DIR" "$RT_DIR" "$QOS_DIR"' EXIT
+field_of() {
+  awk -v f="\"$2\":" 'match($0, f "[0-9.]+") {
+    print substr($0, RSTART + length(f), RLENGTH - length(f)); exit }' "$1"
+}
+HOT_PUSHBACK=$(( $(field_of "$QOS_DIR/hot/BENCH_net.json" retry_after) \
+               + $(field_of "$QOS_DIR/hot/BENCH_net.json" shed) ))
+[ "$HOT_PUSHBACK" -gt 0 ] || {
+  echo "hot tenant was never throttled or shed"; exit 1; }
+QUIET_BASE_P99=$(field_of "$QOS_DIR/quiet_base/BENCH_net.json" p99_ms)
+QUIET_LOAD_P99=$(field_of "$QOS_DIR/quiet_load/BENCH_net.json" p99_ms)
+awk -v b="$QUIET_BASE_P99" -v l="$QUIET_LOAD_P99" \
+    'BEGIN{exit !(l <= 3 * b + 5)}' || {
+  echo "quiet p99 ${QUIET_LOAD_P99}ms exceeds 3x baseline ${QUIET_BASE_P99}ms"
+  exit 1; }
+echo "qos: clean (quiet p99 ${QUIET_LOAD_P99}ms vs ${QUIET_BASE_P99}ms alone, hot pushback $HOT_PUSHBACK)"
+
+echo "== sanitizers (semiring + serve + qos + taskgraph + cancel + resilience + net + router) =="
 # The concurrency-heavy suites rerun under ASan/UBSan in a separate tree;
 # the semiring property sweep rides along so every instantiation's kernel
 # and driver paths get sanitized too.
 ASAN_DIR=${ASAN_DIR:-build-asan}
 cmake -B "$ASAN_DIR" -S . -DCELLNPDP_SANITIZE=address,undefined
-cmake --build "$ASAN_DIR" -j "$JOBS" --target test_serve test_taskgraph \
-    test_cancel test_resilience test_net test_router test_semiring
+cmake --build "$ASAN_DIR" -j "$JOBS" --target test_serve test_qos \
+    test_taskgraph test_cancel test_resilience test_net test_router \
+    test_semiring
 "$ASAN_DIR"/tests/test_semiring
 "$ASAN_DIR"/tests/test_serve
+"$ASAN_DIR"/tests/test_qos
 "$ASAN_DIR"/tests/test_taskgraph
 "$ASAN_DIR"/tests/test_cancel
 "$ASAN_DIR"/tests/test_resilience
 "$ASAN_DIR"/tests/test_net
 "$ASAN_DIR"/tests/test_router
 
-echo "== thread sanitizer (serve + cancel + resilience + net + router) =="
+echo "== thread sanitizer (serve + qos + cancel + resilience + net + router) =="
 # Cancellation crosses threads by design (dispatcher trips tokens that
 # workers poll), and the hedge watchdog races primaries against twins on
 # purpose; TSan is the check that those handoffs are race-free.
 TSAN_DIR=${TSAN_DIR:-build-tsan}
 cmake -B "$TSAN_DIR" -S . -DCELLNPDP_SANITIZE=thread
-cmake --build "$TSAN_DIR" -j "$JOBS" --target test_serve test_cancel \
-    test_resilience test_net test_router
+cmake --build "$TSAN_DIR" -j "$JOBS" --target test_serve test_qos \
+    test_cancel test_resilience test_net test_router
 "$TSAN_DIR"/tests/test_serve
+"$TSAN_DIR"/tests/test_qos
 "$TSAN_DIR"/tests/test_cancel
 "$TSAN_DIR"/tests/test_resilience
 "$TSAN_DIR"/tests/test_net
