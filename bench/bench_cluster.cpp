@@ -5,13 +5,14 @@
 #include <cstdio>
 
 #include "bench_util/bench_config.hpp"
+#include "bench_util/json_out.hpp"
 #include "bench_util/table.hpp"
 #include "cluster/cluster_sim.hpp"
 
 namespace cellnpdp {
 namespace {
 
-void run(const BenchConfig& cfg) {
+void run(const BenchConfig& cfg, BenchJson& json) {
   const index_t n = cfg.full ? 16384 : 4096;
   NpdpInstance<float> inst;
   inst.n = n;
@@ -44,6 +45,18 @@ void run(const BenchConfig& cfg) {
       if (nodes == 1) one = r.seconds;
       t.row(nodes, fmt_seconds(r.seconds), fmt_x(one / r.seconds),
             fmt_pct(r.efficiency), fmt_bytes(double(r.comm_bytes)));
+      json.record()
+          .set("network", net.name)
+          .set("link_bandwidth", net.bw)
+          .set("link_latency", net.lat)
+          .set("n", n)
+          .set("nodes", nodes)
+          .set("seconds", r.seconds)
+          .set("speedup", one / r.seconds)
+          .set("efficiency", r.efficiency)
+          .set("comm_bytes", static_cast<std::int64_t>(r.comm_bytes))
+          .set("messages", static_cast<std::int64_t>(r.messages))
+          .set("comm_seconds_total", r.comm_seconds_total);
     }
     t.print();
   }
@@ -61,6 +74,7 @@ int main(int argc, char** argv) {
   using namespace cellnpdp;
   const auto cfg = BenchConfig::from_args(argc, argv);
   print_bench_header("Cluster extension: distributed NPDP scaling", cfg);
-  run(cfg);
+  BenchJson json("cluster", cfg);
+  run(cfg, json);
   return 0;
 }

@@ -51,7 +51,9 @@ struct ClusterSimResult {
   index_t comm_bytes = 0;
   index_t messages = 0;
   std::vector<double> node_busy;    ///< per-node compute seconds
+  std::vector<double> node_comm;    ///< per-node NIC busy seconds
   double compute_seconds_total = 0.0;
+  double comm_seconds_total = 0.0;  ///< sum of node_comm
   double efficiency = 0.0;          ///< total compute / (seconds * nodes)
   index_t blocks = 0;
 };
@@ -196,6 +198,10 @@ ClusterSimResult simulate_cluster_npdp(
   for (const auto& nd : nodes) {
     res.node_busy.push_back(nd.busy_seconds);
     res.compute_seconds_total += nd.busy_seconds;
+  }
+  for (const auto& nic : nics) {
+    res.node_comm.push_back(nic.stats().busy_seconds);
+    res.comm_seconds_total += nic.stats().busy_seconds;
   }
   if (res.seconds > 0)
     res.efficiency =

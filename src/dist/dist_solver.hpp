@@ -1,0 +1,425 @@
+// The distributed blocked solve: every peer runs this same driver over
+// its own full-size BlockedTriangularMatrix, computes the block columns
+// it owns (bj mod P == rank, matching cluster_sim's placement), and
+// broadcasts each finished block to every other peer as a BlockAnnounce
+// + BlockData pair. Received blocks are checksum-verified and memcpy'd
+// into the local slab, so every peer ends the solve holding the complete
+// assembled matrix — bit-identical to solve_blocked_serial, because an
+// owned block is only relaxed once its full input set is final and
+// remote blocks are exact byte copies of the bytes their owner computed.
+//
+// There is no antidiagonal barrier anywhere: the DistTracker releases an
+// owned block the moment its last input (local or remote) lands, so a
+// peer's compute overlaps other peers' compute and the wire transfer of
+// finished blocks.
+//
+// Threading per peer: PeerGroup runs one receiver thread per connection;
+// receivers verify + memcpy remote blocks and push events into a mutex +
+// condvar inbox that the single solver loop drains. The solver loop does
+// all tracker updates and all sends (per-connection FIFO keeps Announce
+// before Data and PeerDone after the last block). With tuning.threads >
+// 1 the block relaxations themselves fan out over a ThreadPool; the
+// finished-block event rides the same inbox, so every cross-thread
+// handoff is a mutex chain (TSan-clean by construction).
+//
+// Failure: a peer dying mid-solve surfaces as a receiver error event or
+// a send failure, and the solve throws DistError promptly — never a hang
+// and never a partial matrix reported as success. Recovery is
+// restart-and-resolve: instances are regenerated deterministically from
+// the seed, so rerunning the whole group reproduces the identical
+// result (docs/distributed.md).
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <cstring>
+#include <deque>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "common/stopwatch.hpp"
+#include "common/thread_pool.hpp"
+#include "core/engine.hpp"
+#include "core/execution_context.hpp"
+#include "core/instance.hpp"
+#include "dist/dist_tracker.hpp"
+#include "dist/peer_group.hpp"
+#include "dist/peer_wire.hpp"
+#include "layout/blocked.hpp"
+#include "obs/metrics.hpp"
+#include "resilience/checksum.hpp"
+
+namespace cellnpdp::dist {
+
+struct DistOptions {
+  NpdpOptions tuning;            ///< block side, kernel, compute threads
+  PeerGroupOptions group;        ///< connect deadline, frame-size cap
+  /// Fingerprint of whatever the explicit hello fields cannot express
+  /// (workload seed, instance mode); peers must agree or the handshake
+  /// fails.
+  std::uint64_t config_hash = 0;
+  /// No event and no computable block for this long aborts the solve —
+  /// a wedged peer must become an error, not a hang.
+  int stall_timeout_ms = 60000;
+};
+
+/// Telemetry of one peer's side of a distributed solve.
+struct DistStats {
+  index_t blocks_owned = 0;
+  index_t blocks_computed = 0;
+  index_t blocks_received = 0;
+  std::uint64_t bytes_sent = 0;
+  std::uint64_t bytes_received = 0;
+  std::uint64_t messages_sent = 0;
+  double wall_seconds = 0;
+  double stall_seconds = 0;  ///< solver loop idle, waiting on remote input
+};
+
+namespace detail {
+
+/// The per-(T,S) driver. One instance lives on the stack of one peer's
+/// solve call; receiver threads only touch it through the inbox and the
+/// matrix slab regions they exclusively own (see file comment).
+template <class S, class T>
+class PeerSolveRun {
+ public:
+  PeerSolveRun(BlockedTriangularMatrix<T>& mat, const NpdpInstance<T>& inst,
+               PeerGroup& group, const DistOptions& opts, DistStats* stats)
+      : mat_(mat),
+        inst_(inst),
+        group_(group),
+        opts_(opts),
+        stats_(stats),
+        engine_(mat, inst, opts.tuning),
+        tracker_(mat.blocks_per_side(), group.rank(), group.nranks()),
+        received_(static_cast<std::size_t>(
+            tracker_.graph().task_count())),
+        pending_announce_(group.nranks()) {}
+
+  SolveStatus run() {
+    Stopwatch sw;
+    // On ANY exit — error included — receivers must be joined before this
+    // object unwinds: their handler lambdas point into it.
+    try {
+      start();
+      run_loop();
+    } catch (...) {
+      group_.stop();
+      throw;
+    }
+    group_.stop();
+    if (stats_ != nullptr) {
+      stats_->blocks_owned = tracker_.owned_total();
+      stats_->blocks_computed = tracker_.owned_done();
+      stats_->bytes_sent = group_.bytes_sent();
+      stats_->bytes_received = group_.bytes_received();
+      stats_->messages_sent = group_.messages_sent();
+      stats_->wall_seconds = sw.seconds();
+    }
+    return SolveStatus::Ok;
+  }
+
+ private:
+  void start() {
+    PeerHello hello;
+    hello.rank = group_.rank();
+    hello.nranks = group_.nranks();
+    hello.config_hash = opts_.config_hash;
+    hello.n = inst_.n;
+    hello.block_side = opts_.tuning.block_side;
+    hello.semiring = static_cast<std::uint8_t>(inst_.semiring);
+    hello.elem_bytes = static_cast<std::uint8_t>(sizeof(T));
+    group_.establish(hello);
+
+    // Seed the full matrix BEFORE receivers start: a remote block that
+    // lands early must never race the seeding writes to its slab.
+    engine_.seed();
+    group_.start_receiving(
+        [this](std::uint32_t src, const net::FrameHeader& h,
+               const std::uint8_t* payload, std::size_t len) {
+          on_frame(src, h, payload, len);
+        },
+        [this](std::uint32_t src, const std::string& what) {
+          push_event(Event{Event::Error, 0, 0, src,
+                           "peer " + std::to_string(src) + ": " + what});
+        });
+  }
+
+  void run_loop() {
+    std::unique_ptr<ThreadPool> pool;
+    if (opts_.tuning.threads > 1)
+      pool = std::make_unique<ThreadPool>(opts_.tuning.threads);
+
+    for (const index_t id : tracker_.initial_ready()) ready_.push_back(id);
+
+    auto& stall_ns = obs::metrics().counter("net.peer.stall_ns");
+    const auto stall_budget =
+        std::chrono::milliseconds(opts_.stall_timeout_ms);
+    auto last_progress = std::chrono::steady_clock::now();
+    std::uint32_t done_peers = 0;
+    bool done_sent = false;
+    index_t in_flight = 0;  // blocks handed to the pool, not yet finished
+
+    while (true) {
+      // Launch (or run inline) every ready owned block.
+      while (!ready_.empty()) {
+        const index_t id = ready_.front();
+        ready_.pop_front();
+        const auto [bi, bj] = tracker_.graph().coords(id);
+        if (pool != nullptr) {
+          ++in_flight;
+          pool->submit([this, bi = bi, bj = bj] {
+            try {
+              engine_.compute_block(bi, bj, &sink_.local());
+              push_event(Event{Event::LocalDone, bi, bj, 0, {}});
+            } catch (const std::exception& e) {
+              push_event(Event{Event::Error, bi, bj, group_.rank(),
+                               std::string("compute failed: ") + e.what()});
+            }
+          });
+        } else {
+          engine_.compute_block(bi, bj, &sink_.local());
+          finish_local(bi, bj);
+          last_progress = std::chrono::steady_clock::now();
+        }
+      }
+
+      if (tracker_.all_owned_done() && in_flight == 0 && !done_sent) {
+        PeerDone d;
+        d.rank = group_.rank();
+        d.blocks_computed = static_cast<std::uint32_t>(tracker_.owned_done());
+        d.bytes_sent = group_.bytes_sent();
+        group_.send_to_all(encode_peer_done(group_.rank(), d));
+        done_sent = true;
+      }
+      if (done_sent && tracker_.all_visible() &&
+          done_peers == group_.nranks() - 1)
+        break;
+
+      // Nothing computable: sleep on the inbox until a remote block, a
+      // local completion, a PeerDone, or an error arrives.
+      std::vector<Event> batch;
+      {
+        std::unique_lock<std::mutex> lock(mu_);
+        if (inbox_.empty()) {
+          const auto t0 = std::chrono::steady_clock::now();
+          cv_.wait_for(lock, std::chrono::milliseconds(100),
+                       [this] { return !inbox_.empty(); });
+          const auto waited = std::chrono::steady_clock::now() - t0;
+          const auto ns =
+              std::chrono::duration_cast<std::chrono::nanoseconds>(waited)
+                  .count();
+          stall_ns.add(ns);
+          if (stats_ != nullptr) stats_->stall_seconds += double(ns) * 1e-9;
+        }
+        batch.swap(inbox_);
+      }
+      if (!batch.empty()) last_progress = std::chrono::steady_clock::now();
+      for (const Event& ev : batch) {
+        switch (ev.kind) {
+          case Event::LocalDone:
+            --in_flight;
+            finish_local(ev.bi, ev.bj);
+            break;
+          case Event::Remote: {
+            if (stats_ != nullptr) ++stats_->blocks_received;
+            for (const index_t id : tracker_.mark_visible(ev.bi, ev.bj))
+              ready_.push_back(id);
+            break;
+          }
+          case Event::PeerDoneSeen:
+            ++done_peers;
+            break;
+          case Event::Error:
+            throw DistError(ev.what);
+        }
+      }
+      if (std::chrono::steady_clock::now() - last_progress > stall_budget)
+        throw DistError(
+            "rank " + std::to_string(group_.rank()) + " stalled: " +
+            std::to_string(tracker_.owned_done()) + "/" +
+            std::to_string(tracker_.owned_total()) + " owned computed, " +
+            std::to_string(tracker_.visible()) + "/" +
+            std::to_string(tracker_.graph().task_count()) +
+            " blocks visible after " +
+            std::to_string(opts_.stall_timeout_ms) + " ms without progress");
+    }
+  }
+
+  struct Event {
+    enum Kind { LocalDone, Remote, PeerDoneSeen, Error } kind;
+    index_t bi = 0, bj = 0;
+    std::uint32_t src = 0;
+    std::string what;
+  };
+
+  void push_event(Event ev) {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      inbox_.push_back(std::move(ev));
+    }
+    cv_.notify_one();
+  }
+
+  /// Broadcast + tracker update for a block this rank just computed.
+  /// Solver-loop thread only.
+  void finish_local(index_t bi, index_t bj) {
+    const T* blk = mat_.block(bi, bj);
+    const auto bytes = static_cast<std::size_t>(mat_.block_bytes());
+    const std::uint64_t sum = resilience::fnv1a(blk, bytes);
+    const auto id =
+        static_cast<std::uint64_t>(tracker_.graph().task_id(bi, bj));
+    BlockAnnounce a;
+    a.bi = static_cast<std::uint32_t>(bi);
+    a.bj = static_cast<std::uint32_t>(bj);
+    a.bytes = static_cast<std::uint32_t>(bytes);
+    a.checksum = sum;
+    group_.send_to_all(encode_block_announce(id, a));
+    group_.send_to_all(encode_block_data(
+        id, a.bi, a.bj, sum, blk, bytes));
+    obs::metrics()
+        .counter("net.peer.blocks_sent")
+        .add(static_cast<std::int64_t>(group_.nranks() - 1));
+    for (const index_t rid : tracker_.mark_visible(bi, bj))
+      ready_.push_back(rid);
+  }
+
+  /// Receiver-thread frame handler. Throwing aborts the connection and
+  /// surfaces as an Error event (PeerGroup routes the exception through
+  /// on_error).
+  void on_frame(std::uint32_t src, const net::FrameHeader& h,
+                const std::uint8_t* payload, std::size_t len) {
+    std::string err;
+    switch (h.type) {
+      case net::MsgType::BlockAnnounce: {
+        BlockAnnounce a;
+        if (!decode_block_announce(h.version, payload, len, &a, &err))
+          throw DistError("bad BlockAnnounce: " + err);
+        validate_remote_coords(src, a.bi, a.bj);
+        if (a.bytes != static_cast<std::uint32_t>(mat_.block_bytes()))
+          throw DistError("BlockAnnounce for (" + std::to_string(a.bi) +
+                          "," + std::to_string(a.bj) + ") announces " +
+                          std::to_string(a.bytes) + " bytes, expected " +
+                          std::to_string(mat_.block_bytes()));
+        auto& pending = pending_announce_[src];
+        const index_t id = tracker_.graph().task_id(a.bi, a.bj);
+        if (!pending.emplace(id, a).second)
+          throw DistError("duplicate BlockAnnounce for (" +
+                          std::to_string(a.bi) + "," + std::to_string(a.bj) +
+                          ")");
+        return;
+      }
+      case net::MsgType::BlockData: {
+        BlockDataView v;
+        if (!decode_block_data(h.version, payload, len,
+                               static_cast<std::size_t>(mat_.block_bytes()),
+                               &v, &err))
+          throw DistError("bad BlockData: " + err);
+        validate_remote_coords(src, v.bi, v.bj);
+        auto& pending = pending_announce_[src];
+        const index_t id = tracker_.graph().task_id(v.bi, v.bj);
+        const auto it = pending.find(id);
+        if (it == pending.end())
+          throw DistError("BlockData for (" + std::to_string(v.bi) + "," +
+                          std::to_string(v.bj) + ") without announce");
+        if (it->second.checksum != v.checksum)
+          throw DistError("BlockData checksum does not match its announce");
+        pending.erase(it);
+        if (resilience::fnv1a(v.data, v.len) != v.checksum)
+          throw DistError("BlockData for (" + std::to_string(v.bi) + "," +
+                          std::to_string(v.bj) + ") failed its checksum");
+        if (received_[static_cast<std::size_t>(id)].exchange(
+                1, std::memory_order_acq_rel) != 0)
+          throw DistError("duplicate BlockData for (" + std::to_string(v.bi) +
+                          "," + std::to_string(v.bj) + ")");
+        std::memcpy(mat_.block(static_cast<index_t>(v.bi),
+                               static_cast<index_t>(v.bj)),
+                    v.data, v.len);
+        obs::metrics().counter("net.peer.blocks_received").add();
+        obs::metrics()
+            .counter("net.peer.blocks_received{peer=" + std::to_string(src) +
+                     "}")
+            .add();
+        push_event(Event{Event::Remote, static_cast<index_t>(v.bi),
+                         static_cast<index_t>(v.bj), src, {}});
+        return;
+      }
+      case net::MsgType::PeerDone: {
+        PeerDone d;
+        if (!decode_peer_done(h.version, payload, len, &d, &err))
+          throw DistError("bad PeerDone: " + err);
+        if (d.rank != src)
+          throw DistError("PeerDone rank " + std::to_string(d.rank) +
+                          " from connection of rank " + std::to_string(src));
+        // PeerDone is the last frame a peer sends; from here an EOF on
+        // this connection is that peer shutting down normally, not dying.
+        group_.mark_finished(src);
+        push_event(Event{Event::PeerDoneSeen, 0, 0, src, {}});
+        return;
+      }
+      default:
+        throw DistError("unexpected frame type " +
+                        std::to_string(static_cast<int>(h.type)) +
+                        " on an established peer connection");
+    }
+  }
+
+  void validate_remote_coords(std::uint32_t src, std::uint32_t bi,
+                              std::uint32_t bj) {
+    const auto m = static_cast<std::uint32_t>(mat_.blocks_per_side());
+    if (bj >= m || bi > bj)
+      throw DistError("block (" + std::to_string(bi) + "," +
+                      std::to_string(bj) + ") outside the triangle");
+    if (DistTracker::owner_of(static_cast<index_t>(bj), group_.nranks()) !=
+        src)
+      throw DistError("peer " + std::to_string(src) +
+                      " sent block (" + std::to_string(bi) + "," +
+                      std::to_string(bj) + ") it does not own");
+  }
+
+  BlockedTriangularMatrix<T>& mat_;
+  const NpdpInstance<T>& inst_;
+  PeerGroup& group_;
+  const DistOptions& opts_;
+  DistStats* stats_;
+  BlockEngine<T, S> engine_;
+  DistTracker tracker_;
+  EngineStatsSink sink_;
+
+  // Receiver-side state. `received_` is the cross-thread dedup guard
+  // (atomic per block); `pending_announce_[rank]` is only ever touched by
+  // that rank's receiver thread.
+  std::vector<std::atomic<std::uint8_t>> received_;
+  std::vector<std::map<index_t, BlockAnnounce>> pending_announce_;
+
+  // Solver-loop state.
+  std::deque<index_t> ready_;
+
+  // The inbox: receivers and pool workers produce, the solver loop
+  // consumes.
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::vector<Event> inbox_;
+};
+
+}  // namespace detail
+
+/// One peer's share of a distributed solve. `mat` must be freshly
+/// constructed (or reset) with the semiring zero and match the
+/// instance/tuning geometry; on return it holds the COMPLETE assembled
+/// matrix. Throws DistError on any peer failure; never hangs past the
+/// stall timeout.
+template <class T>
+SolveStatus solve_distributed_into(BlockedTriangularMatrix<T>& mat,
+                                   const NpdpInstance<T>& inst,
+                                   PeerGroup& group, const DistOptions& opts,
+                                   DistStats* stats = nullptr) {
+  return with_semiring<T>(inst.semiring, [&](auto s) {
+    detail::PeerSolveRun<decltype(s), T> run(mat, inst, group, opts, stats);
+    return run.run();
+  });
+}
+
+}  // namespace cellnpdp::dist

@@ -1,0 +1,113 @@
+// Distributed dependence tracking for a peer solve.
+//
+// The simplified two-predecessor graph of BlockDependenceGraph is only
+// valid when completion order is globally observable: the left and below
+// neighbours transitively cover the full input set *because* everything
+// upstream of them finished first in the same address space. Across
+// peers that guarantee is gone — blocks arrive over sockets in whatever
+// order the network delivers them, so block (bi,bj) must count its FULL
+// input set: every (bi,k) with bi <= k < bj and every (k,bj) with
+// bi < k <= bj, i.e. 2*(bj-bi) inputs (0 on the diagonal).
+//
+// DistTracker keeps one countdown per block this rank owns (owner =
+// bj mod P, block-column-cyclic, matching cluster_sim) plus an
+// arrived-bitmap over ALL blocks so duplicate deliveries are detected
+// and the "every block visible" half of the termination condition can be
+// answered. Not thread safe: the solver's event loop is its only caller.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/defs.hpp"
+#include "taskgraph/dependence_graph.hpp"
+
+namespace cellnpdp::dist {
+
+class DistTracker {
+ public:
+  DistTracker(index_t grid_side, std::uint32_t rank, std::uint32_t nranks)
+      : graph_(grid_side), rank_(rank), nranks_(nranks),
+        waiting_(static_cast<std::size_t>(graph_.task_count()), -1),
+        arrived_(static_cast<std::size_t>(graph_.task_count()), 0) {
+    for (index_t id = 0; id < graph_.task_count(); ++id) {
+      const auto [bi, bj] = graph_.coords(id);
+      if (!owns(bi, bj)) continue;
+      ++owned_total_;
+      waiting_[static_cast<std::size_t>(id)] =
+          2 * static_cast<int>(bj - bi);  // full input set, not simplified
+    }
+  }
+
+  const BlockDependenceGraph& graph() const { return graph_; }
+  index_t grid_side() const { return graph_.grid_side(); }
+
+  bool owns(index_t bi, index_t bj) const {
+    (void)bi;
+    return static_cast<std::uint32_t>(bj) % nranks_ == rank_;
+  }
+  static std::uint32_t owner_of(index_t bj, std::uint32_t nranks) {
+    return static_cast<std::uint32_t>(bj) % nranks;
+  }
+
+  /// Owned blocks ready before any input arrives (owned diagonal blocks).
+  std::vector<index_t> initial_ready() const {
+    std::vector<index_t> out;
+    for (index_t id = 0; id < graph_.task_count(); ++id)
+      if (waiting_[static_cast<std::size_t>(id)] == 0 &&
+          !arrived_[static_cast<std::size_t>(id)])
+        out.push_back(id);
+    return out;
+  }
+
+  /// Records block (bi,bj) as visible (computed locally or received) and
+  /// returns the owned blocks that just became ready. Returns an empty
+  /// list for a duplicate (already-visible) block — the caller treats
+  /// duplicates as protocol errors for received frames.
+  std::vector<index_t> mark_visible(index_t bi, index_t bj) {
+    const index_t id = graph_.task_id(bi, bj);
+    std::vector<index_t> ready;
+    if (arrived_[static_cast<std::size_t>(id)]) return ready;
+    arrived_[static_cast<std::size_t>(id)] = 1;
+    ++visible_;
+    if (owns(bi, bj)) ++owned_done_;
+    // Full-graph dependents: every block whose input set contains
+    // (bi,bj) — the rest of row bi to the right, and the rest of column
+    // bj above. Only owned blocks carry countdowns.
+    const index_t m = graph_.grid_side();
+    for (index_t j = bj + 1; j < m; ++j) retire_input(bi, j, &ready);
+    for (index_t i = 0; i < bi; ++i) retire_input(i, bj, &ready);
+    return ready;
+  }
+
+  bool seen(index_t bi, index_t bj) const {
+    return arrived_[static_cast<std::size_t>(graph_.task_id(bi, bj))] != 0;
+  }
+
+  index_t owned_total() const { return owned_total_; }
+  index_t owned_done() const { return owned_done_; }
+  index_t visible() const { return visible_; }
+  bool all_owned_done() const { return owned_done_ == owned_total_; }
+  /// True when every block of the triangle is visible locally — the
+  /// matrix is fully assembled on this rank.
+  bool all_visible() const { return visible_ == graph_.task_count(); }
+
+ private:
+  void retire_input(index_t bi, index_t bj, std::vector<index_t>* ready) {
+    if (!owns(bi, bj)) return;
+    const auto id = static_cast<std::size_t>(graph_.task_id(bi, bj));
+    if (--waiting_[id] == 0 && !arrived_[id])
+      ready->push_back(static_cast<index_t>(id));
+  }
+
+  BlockDependenceGraph graph_;
+  std::uint32_t rank_;
+  std::uint32_t nranks_;
+  std::vector<int> waiting_;       ///< inputs outstanding; -1 = not owned
+  std::vector<std::uint8_t> arrived_;
+  index_t owned_total_ = 0;
+  index_t owned_done_ = 0;
+  index_t visible_ = 0;
+};
+
+}  // namespace cellnpdp::dist

@@ -1,0 +1,54 @@
+// The `distributed` coordinator backend: one registry name that runs a
+// 3-peer in-process distributed solve over real loopback sockets. It
+// registers from the dist library (not backend/registry.cpp) because the
+// backend library cannot link dist — dist → net → serve → backend would
+// close a dependency cycle — so main()s that link cellnpdp_dist opt in
+// by calling register_distributed_backend().
+#include <memory>
+#include <mutex>
+
+#include "backend/solver_backend.hpp"
+#include "dist/in_process.hpp"
+
+namespace cellnpdp::dist {
+
+namespace {
+
+constexpr std::uint32_t kBackendPeers = 3;
+
+struct DistributedBackend final : backend::SolverBackend {
+  const char* name() const override { return "distributed"; }
+  backend::Capabilities caps() const override {
+    backend::Capabilities c;
+    c.double_precision = true;
+    c.weighted = true;
+    c.parallel = true;  // tuning.threads = compute threads per peer
+    c.semirings = backend::kAllSemirings;
+    return c;
+  }
+  backend::BackendResult solve(const NpdpInstance<float>& inst,
+                               const ExecutionContext& ctx) const override {
+    DistOptions opts;
+    opts.tuning = ctx.tuning;
+    backend::BackendResult r;
+    auto mat = std::make_shared<BlockedTriangularMatrix<float>>(
+        solve_distributed_in_process(inst, opts, kBackendPeers));
+    r.value = mat->size() > 0
+                  ? double(mat->at(0, mat->size() - 1))
+                  : 0.0;
+    r.blocked = std::move(mat);
+    return r;
+  }
+};
+
+}  // namespace
+
+void register_distributed_backend() {
+  static std::once_flag once;
+  std::call_once(once, [] {
+    backend::BackendRegistry::instance().add(
+        std::make_unique<DistributedBackend>());
+  });
+}
+
+}  // namespace cellnpdp::dist

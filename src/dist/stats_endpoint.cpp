@@ -1,0 +1,113 @@
+#include "dist/stats_endpoint.hpp"
+
+#include <poll.h>
+#include <sys/socket.h>
+
+#include <sstream>
+#include <vector>
+
+#include "net/protocol.hpp"
+#include "obs/metrics.hpp"
+
+namespace cellnpdp::dist {
+
+namespace {
+
+constexpr int kPollSliceMs = 100;
+
+/// Reads one complete frame from a blocking fd, polling in short slices
+/// so `stop` is honoured. Returns false on close/error/stop.
+bool read_frame(int fd, const std::atomic<bool>& stop,
+                std::vector<std::uint8_t>* buf, net::FrameHeader* h) {
+  buf->clear();
+  std::size_t want = net::kHeaderSize;
+  bool have_header = false;
+  std::uint8_t tmp[16 * 1024];
+  while (!stop.load(std::memory_order_acquire)) {
+    if (buf->size() >= want) {
+      if (!have_header) {
+        if (net::parse_header(buf->data(), buf->size(), h) !=
+            net::HeaderParse::Ok)
+          return false;  // bad magic: the stream is unsynchronized
+        if (h->len > net::kDefaultMaxFrame) return false;
+        have_header = true;
+        want = net::kHeaderSize + h->len;
+      }
+      if (have_header && buf->size() >= want) return true;
+    }
+    const long got =
+        net::recv_some(fd, tmp, std::min(sizeof tmp, want - buf->size()),
+                       kPollSliceMs);
+    if (got > 0)
+      buf->insert(buf->end(), tmp, tmp + got);
+    else if (got == 0 || got == -1)
+      return false;
+    // -2: slice elapsed, loop re-checks stop.
+  }
+  return false;
+}
+
+std::string stats_json() {
+  std::ostringstream os;
+  os << "{\"metrics\":";
+  obs::metrics().write_json(os);
+  os << "}";
+  return os.str();
+}
+
+}  // namespace
+
+bool StatsEndpoint::start(const std::string& host, std::uint16_t port,
+                          std::string* err) {
+  const int fd = net::tcp_listen(host, port, err);
+  if (fd < 0) return false;
+  listener_.reset(fd);
+  port_ = net::local_port(fd);
+  thread_ = std::thread([this] { serve_loop(); });
+  return true;
+}
+
+void StatsEndpoint::stop() {
+  stop_.store(true, std::memory_order_release);
+  if (thread_.joinable()) thread_.join();
+  listener_.reset();
+}
+
+void StatsEndpoint::serve_loop() {
+  while (!stop_.load(std::memory_order_acquire)) {
+    struct pollfd pfd{listener_.get(), POLLIN, 0};
+    if (::poll(&pfd, 1, kPollSliceMs) <= 0) continue;
+    const int cfd = ::accept4(listener_.get(), nullptr, nullptr, 0);
+    if (cfd < 0) continue;
+    net::FdGuard conn(cfd);
+    std::vector<std::uint8_t> buf;
+    net::FrameHeader h;
+    // One connection at a time: `npdp top` polls with a single short
+    // connection per refresh, so serialising accepts is plenty.
+    while (read_frame(cfd, stop_, &buf, &h)) {
+      std::vector<std::uint8_t> reply;
+      switch (h.type) {
+        case net::MsgType::Ping:
+          reply = net::encode_pong(h.id);
+          break;
+        case net::MsgType::Stats:
+          reply = net::encode_stats_text(h.id, stats_json());
+          break;
+        case net::MsgType::StatsRequest: {
+          net::WireStats ws;
+          ws.metrics = obs::metrics().snapshot();
+          reply = net::encode_stats_response(h.id, ws);
+          break;
+        }
+        default:
+          reply = net::encode_proto_error(
+              h.id, net::ProtoErrorCode::UnknownType,
+              "stats endpoint serves ping/stats only");
+          break;
+      }
+      if (!net::send_all(cfd, reply.data(), reply.size())) break;
+    }
+  }
+}
+
+}  // namespace cellnpdp::dist

@@ -1,0 +1,42 @@
+// A minimal stats-only wire endpoint for peer processes. A dist-solve
+// peer is not a request/response server — its sockets speak the peer
+// frames — but `npdp top` still needs a port to poll, so each peer can
+// open one of these: a single background thread that accepts ordinary
+// protocol connections and answers Ping, Stats (JSON text) and
+// StatsRequest (the binary registry snapshot `npdp top` renders).
+// Request types it does not serve get the standard typed ProtoError
+// (UnknownType), same policy as the full NpdpServer.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <thread>
+
+#include "net/socket.hpp"
+
+namespace cellnpdp::dist {
+
+class StatsEndpoint {
+ public:
+  StatsEndpoint() = default;
+  ~StatsEndpoint() { stop(); }
+  StatsEndpoint(const StatsEndpoint&) = delete;
+  StatsEndpoint& operator=(const StatsEndpoint&) = delete;
+
+  /// Binds host:port (0 = ephemeral) and starts the accept thread.
+  bool start(const std::string& host, std::uint16_t port, std::string* err);
+  void stop();
+
+  std::uint16_t port() const { return port_; }
+
+ private:
+  void serve_loop();
+
+  net::FdGuard listener_;
+  std::uint16_t port_ = 0;
+  std::thread thread_;
+  std::atomic<bool> stop_{false};
+};
+
+}  // namespace cellnpdp::dist

@@ -74,12 +74,26 @@ enum class MsgType : std::uint16_t {
   StatsText = 130,  ///< JSON snapshot of server + service counters
   ProtoError = 131, ///< typed protocol error (see ProtoErrorCode)
   StatsResponse = 132,  ///< binary metrics/breaker/queue snapshot (v2)
+  // Peer frames (peer <-> peer, src/dist): symmetric — either side of a
+  // peer connection may send any of them. A request/response server that
+  // receives one answers UnknownType, exactly as for any type it does not
+  // serve; peer frames additionally require a v2 header (v1 predates
+  // them), which the peer decoder enforces per frame.
+  PeerHello = 192,     ///< rank + workload fingerprint, opens a connection
+  BlockAnnounce = 193, ///< a finished block's coords, size and checksum
+  BlockData = 194,     ///< the block payload itself (raw cell bytes)
+  PeerDone = 195,      ///< sender computed all owned blocks and saw all others
 };
 
 constexpr bool is_request_type(MsgType t) {
   return t == MsgType::Ping || t == MsgType::Solve || t == MsgType::Fold ||
          t == MsgType::Parse || t == MsgType::Chain || t == MsgType::Bst ||
          t == MsgType::Stats || t == MsgType::StatsRequest;
+}
+
+constexpr bool is_peer_type(MsgType t) {
+  return t == MsgType::PeerHello || t == MsgType::BlockAnnounce ||
+         t == MsgType::BlockData || t == MsgType::PeerDone;
 }
 
 enum class ProtoErrorCode : std::uint16_t {

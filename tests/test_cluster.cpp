@@ -60,6 +60,38 @@ TEST(Cluster, CommunicationVolumeMatchesClosedForm) {
   EXPECT_EQ(r.messages, blocks * (cfg.nodes - 1));
 }
 
+TEST(Cluster, PerNodeCommSecondsArePopulatedAndSumToTotal) {
+  ClusterConfig cfg;
+  cfg.nodes = 4;
+  ClusterSimOptions o;
+  o.block_side = 64;
+  const auto r = simulate_cluster_npdp(unit_instance(1024), cfg, o);
+  ASSERT_EQ(r.node_comm.size(), static_cast<std::size_t>(cfg.nodes));
+  double sum = 0.0;
+  for (const double s : r.node_comm) {
+    EXPECT_GT(s, 0.0);  // every node owns columns, so every NIC is busy
+    sum += s;
+  }
+  EXPECT_DOUBLE_EQ(sum, r.comm_seconds_total);
+  // NIC busy time is bounded below by pure serialization of the bytes a
+  // node actually sent, and the whole run is at least as long as the
+  // busiest NIC.
+  EXPECT_GE(r.comm_seconds_total,
+            double(r.comm_bytes) / cfg.link_bandwidth * 0.99);
+  for (const double s : r.node_comm) EXPECT_LE(s, r.seconds);
+}
+
+TEST(Cluster, SingleNodeHasNoCommSeconds) {
+  ClusterConfig cfg;
+  cfg.nodes = 1;
+  ClusterSimOptions o;
+  o.block_side = 64;
+  const auto r = simulate_cluster_npdp(unit_instance(512), cfg, o);
+  ASSERT_EQ(r.node_comm.size(), 1u);
+  EXPECT_EQ(r.node_comm[0], 0.0);
+  EXPECT_EQ(r.comm_seconds_total, 0.0);
+}
+
 TEST(Cluster, DeterministicAcrossRuns) {
   ClusterConfig cfg;
   cfg.nodes = 8;

@@ -16,6 +16,7 @@
 #include <vector>
 
 #include "apps/matrix_chain/matrix_chain.hpp"
+#include "dist/peer_wire.hpp"
 #include "apps/optimal_bst/optimal_bst.hpp"
 #include "common/json.hpp"
 #include "common/rng.hpp"
@@ -1282,6 +1283,220 @@ TEST(NetClient, AutoReconnectRedialsTheRememberedEndpoint) {
   cli.close();
   ASSERT_TRUE(cli.reconnect(&err)) << err;
   EXPECT_EQ(cli.ping(3, 5000, &err), RecvStatus::Ok) << err;
+}
+
+// --- peer frames (src/dist wire tier) --------------------------------------
+
+TEST(PeerFrames, AllFourKindsRoundTrip) {
+  dist::PeerHello in;
+  in.rank = 2;
+  in.nranks = 5;
+  in.config_hash = 0xDEADBEEFCAFEF00Dull;
+  in.n = 4096;
+  in.block_side = 64;
+  in.semiring = 3;
+  in.elem_bytes = 8;
+  const auto hf = dist::encode_peer_hello(11, in);
+  FrameHeader h;
+  ASSERT_EQ(parse_header(hf.data(), hf.size(), &h), HeaderParse::Ok);
+  EXPECT_EQ(h.type, MsgType::PeerHello);
+  EXPECT_EQ(h.version, kVersion);
+  EXPECT_TRUE(is_peer_type(h.type));
+  EXPECT_FALSE(is_request_type(h.type));
+  dist::PeerHello out;
+  std::string err;
+  ASSERT_TRUE(decode_peer_hello(h.version, hf.data() + kHeaderSize, h.len,
+                                &out, &err))
+      << err;
+  EXPECT_EQ(out.rank, in.rank);
+  EXPECT_EQ(out.nranks, in.nranks);
+  EXPECT_EQ(out.config_hash, in.config_hash);
+  EXPECT_EQ(out.n, in.n);
+  EXPECT_EQ(out.block_side, in.block_side);
+  EXPECT_EQ(out.semiring, in.semiring);
+  EXPECT_EQ(out.elem_bytes, in.elem_bytes);
+
+  dist::BlockAnnounce an;
+  an.bi = 3;
+  an.bj = 7;
+  an.bytes = 16384;
+  an.checksum = 0x1234567890ABCDEFull;
+  const auto af = dist::encode_block_announce(12, an);
+  ASSERT_EQ(parse_header(af.data(), af.size(), &h), HeaderParse::Ok);
+  EXPECT_EQ(h.type, MsgType::BlockAnnounce);
+  dist::BlockAnnounce aout;
+  ASSERT_TRUE(decode_block_announce(h.version, af.data() + kHeaderSize, h.len,
+                                    &aout, &err))
+      << err;
+  EXPECT_EQ(aout.bi, an.bi);
+  EXPECT_EQ(aout.bj, an.bj);
+  EXPECT_EQ(aout.bytes, an.bytes);
+  EXPECT_EQ(aout.checksum, an.checksum);
+
+  SplitMix64 rng(77);
+  std::vector<std::uint8_t> block(256);
+  for (auto& b : block) b = static_cast<std::uint8_t>(rng.next_below(256));
+  const auto df =
+      dist::encode_block_data(13, 1, 4, 0xFEEDull, block.data(), block.size());
+  ASSERT_EQ(parse_header(df.data(), df.size(), &h), HeaderParse::Ok);
+  EXPECT_EQ(h.type, MsgType::BlockData);
+  EXPECT_EQ(h.len, dist::kBlockDataPrefix + block.size());
+  dist::BlockDataView v;
+  ASSERT_TRUE(decode_block_data(h.version, df.data() + kHeaderSize, h.len,
+                                block.size(), &v, &err))
+      << err;
+  EXPECT_EQ(v.bi, 1u);
+  EXPECT_EQ(v.bj, 4u);
+  EXPECT_EQ(v.checksum, 0xFEEDull);
+  ASSERT_EQ(v.len, block.size());
+  EXPECT_EQ(std::memcmp(v.data, block.data(), block.size()), 0);
+
+  dist::PeerDone d;
+  d.rank = 4;
+  d.blocks_computed = 21;
+  d.bytes_sent = 1u << 24;
+  const auto pf = dist::encode_peer_done(14, d);
+  ASSERT_EQ(parse_header(pf.data(), pf.size(), &h), HeaderParse::Ok);
+  EXPECT_EQ(h.type, MsgType::PeerDone);
+  dist::PeerDone dout;
+  ASSERT_TRUE(decode_peer_done(h.version, pf.data() + kHeaderSize, h.len,
+                               &dout, &err))
+      << err;
+  EXPECT_EQ(dout.rank, d.rank);
+  EXPECT_EQ(dout.blocks_computed, d.blocks_computed);
+  EXPECT_EQ(dout.bytes_sent, d.bytes_sent);
+}
+
+TEST(PeerFrames, TruncationAtEveryByteBoundaryFailsCleanly) {
+  dist::PeerHello hello;
+  hello.rank = 0;
+  hello.nranks = 3;
+  hello.n = 256;
+  hello.block_side = 64;
+  hello.elem_bytes = 4;
+  dist::BlockAnnounce an;
+  an.bj = 2;
+  dist::PeerDone done;
+  done.rank = 1;
+  const std::vector<std::uint8_t> payload(64, 0xAB);
+
+  struct Case {
+    const char* name;
+    std::vector<std::uint8_t> frame;
+  };
+  const Case cases[] = {
+      {"hello", dist::encode_peer_hello(1, hello)},
+      {"announce", dist::encode_block_announce(2, an)},
+      {"data", dist::encode_block_data(3, 0, 1, 9, payload.data(),
+                                       payload.size())},
+      {"done", dist::encode_peer_done(4, done)},
+  };
+  for (const Case& c : cases) {
+    FrameHeader h;
+    ASSERT_EQ(parse_header(c.frame.data(), c.frame.size(), &h),
+              HeaderParse::Ok);
+    for (std::size_t cut = 0; cut < kHeaderSize; ++cut)
+      EXPECT_EQ(parse_header(c.frame.data(), cut, &h), HeaderParse::NeedMore)
+          << c.name << " header cut " << cut;
+    for (std::size_t cut = 0; cut < h.len; ++cut) {
+      std::string err;
+      bool ok = false;
+      const std::uint8_t* p = c.frame.data() + kHeaderSize;
+      if (h.type == MsgType::PeerHello) {
+        dist::PeerHello out;
+        ok = decode_peer_hello(h.version, p, cut, &out, &err);
+      } else if (h.type == MsgType::BlockAnnounce) {
+        dist::BlockAnnounce out;
+        ok = decode_block_announce(h.version, p, cut, &out, &err);
+      } else if (h.type == MsgType::BlockData) {
+        dist::BlockDataView out;
+        ok = decode_block_data(h.version, p, cut, payload.size(), &out, &err);
+      } else {
+        dist::PeerDone out;
+        ok = decode_peer_done(h.version, p, cut, &out, &err);
+      }
+      EXPECT_FALSE(ok) << c.name << " cut " << cut << "/" << h.len;
+    }
+  }
+}
+
+TEST(PeerFrames, BlockDataOfUnexpectedSizeIsRejected) {
+  // The receiver knows its block_bytes from the hello; a BlockData whose
+  // payload is any other size — oversize or short — must fail decode
+  // before a byte reaches the matrix slab.
+  const std::vector<std::uint8_t> payload(128, 0x3C);
+  const auto frame =
+      dist::encode_block_data(5, 0, 0, 1, payload.data(), payload.size());
+  FrameHeader h;
+  ASSERT_EQ(parse_header(frame.data(), frame.size(), &h), HeaderParse::Ok);
+  dist::BlockDataView v;
+  std::string err;
+  EXPECT_FALSE(decode_block_data(h.version, frame.data() + kHeaderSize, h.len,
+                                 /*expected_len=*/64, &v, &err));
+  EXPECT_NE(err.find("expected 64"), std::string::npos) << err;
+  EXPECT_FALSE(decode_block_data(h.version, frame.data() + kHeaderSize, h.len,
+                                 /*expected_len=*/256, &v, &err));
+}
+
+TEST(PeerFrames, TrailingBytesFailDecode) {
+  dist::PeerDone d;
+  auto frame = dist::encode_peer_done(6, d);
+  frame.push_back(0);
+  FrameHeader h;
+  ASSERT_EQ(parse_header(frame.data(), frame.size(), &h), HeaderParse::Ok);
+  dist::PeerDone out;
+  std::string err;
+  EXPECT_FALSE(decode_peer_done(h.version, frame.data() + kHeaderSize,
+                                frame.size() - kHeaderSize, &out, &err));
+  EXPECT_NE(err.find("trailing"), std::string::npos) << err;
+}
+
+TEST(PeerFrames, V1HeadersAreRejected) {
+  // v1 predates the peer tier; nothing at that version can legitimately
+  // have produced a peer frame, so the decoders refuse it outright.
+  dist::PeerHello hello;
+  hello.nranks = 2;
+  hello.n = 64;
+  hello.block_side = 32;
+  hello.elem_bytes = 4;
+  const auto hf = dist::encode_peer_hello(7, hello);
+  FrameHeader h;
+  ASSERT_EQ(parse_header(hf.data(), hf.size(), &h), HeaderParse::Ok);
+  dist::PeerHello out;
+  std::string err;
+  EXPECT_FALSE(decode_peer_hello(/*version=*/1, hf.data() + kHeaderSize,
+                                 h.len, &out, &err));
+  EXPECT_NE(err.find("protocol v2"), std::string::npos) << err;
+  dist::BlockAnnounce aout;
+  EXPECT_FALSE(decode_block_announce(1, hf.data() + kHeaderSize, h.len, &aout,
+                                     &err));
+  dist::BlockDataView v;
+  EXPECT_FALSE(
+      decode_block_data(1, hf.data() + kHeaderSize, h.len, 64, &v, &err));
+  dist::PeerDone dout;
+  EXPECT_FALSE(
+      decode_peer_done(1, hf.data() + kHeaderSize, h.len, &dout, &err));
+}
+
+TEST(PeerFrames, RequestServerAnswersPeerFramesWithUnknownType) {
+  // Peer frames are not request types: a client that aims one at an
+  // ordinary NpdpServer gets the standard typed UnknownType error and the
+  // connection survives — the request tier never interprets peer frames.
+  ServerFixture fx;
+  NpdpClient cli = fx.connect();
+  dist::PeerHello hello;
+  hello.nranks = 2;
+  hello.n = 64;
+  hello.block_side = 32;
+  hello.elem_bytes = 4;
+  std::string err;
+  ASSERT_TRUE(cli.send_frame(dist::encode_peer_hello(91, hello), &err)) << err;
+  Reply rep;
+  ASSERT_EQ(cli.recv_reply(&rep, 5000, &err), RecvStatus::Ok) << err;
+  ASSERT_EQ(rep.kind, Reply::Kind::ProtoError);
+  EXPECT_EQ(rep.code, ProtoErrorCode::UnknownType);
+  EXPECT_EQ(rep.id, 91u);
+  ASSERT_EQ(cli.ping(92, 5000, &err), RecvStatus::Ok) << err;
 }
 
 TEST(NetLoadgen, PercentileInterpolates) {

@@ -14,6 +14,14 @@
 //   npdp parse     --parens "(()())" | --anbn aaabbb
 //   npdp simulate  --n 4096 [--spes 16] [--block 88] [--dp] [--trace out.csv]
 //   npdp cluster   --n 4096 [--nodes 8] [--bw-gbps 3] [--lat-us 10]
+//   npdp dist-solve --rank R --peers host:port,host:port,... [--n 4096]
+//                  [--seed 1] [--block 64] [--kernel simd128] [--threads 1]
+//                  [--semiring min-plus|max-plus|counting|viterbi-log]
+//                  [--save table.bin] [--stats-port 0] [--port-file FILE]
+//                  [--connect-timeout-ms 10000] [--stall-timeout-ms 60000]
+//                  (one peer of a P-process distributed solve; every peer
+//                  must pass the same --peers list, --n, --seed, --block
+//                  and --semiring, and its own --rank; docs/distributed.md)
 //   npdp model     --n 4096 [--spes 16]
 //   npdp serve     --requests <file|-> [--workers 4] [--queue 256]
 //                  [--policy block|reject|shed] [--cache 1024] [--batch 8]
@@ -92,6 +100,8 @@
 #include "common/stopwatch.hpp"
 #include "core/maxplus.hpp"
 #include "core/solve.hpp"
+#include "dist/in_process.hpp"
+#include "dist/stats_endpoint.hpp"
 #include "io/table_io.hpp"
 #include "model/perf_model.hpp"
 #include "net/client.hpp"
@@ -704,6 +714,35 @@ int cmd_top(const Args& a) {
                       static_cast<long long>(row.throttled),
                       static_cast<long long>(row.shed), row.depth,
                       100.0 * hit);
+        }
+      }
+      // Distributed-solve peer traffic, from the net.peer.* counters a
+      // dist-solve peer's stats endpoint exports. The per-source
+      // breakdown comes from the labeled net.peer.blocks_received{peer=K}
+      // counters; totals print even when no labeled rows exist yet.
+      const std::int64_t pblk_sent =
+          snap.counter_or("net.peer.blocks_sent", 0);
+      const std::int64_t pblk_recv =
+          snap.counter_or("net.peer.blocks_received", 0);
+      if (pblk_sent + pblk_recv > 0) {
+        std::printf("  peers: blocks sent %lld  received %lld  "
+                    "sent %.2f MiB  received %.2f MiB  stalled %.3f s\n",
+                    static_cast<long long>(pblk_sent),
+                    static_cast<long long>(pblk_recv),
+                    double(snap.counter_or("net.peer.bytes_sent", 0)) /
+                        (1 << 20),
+                    double(snap.counter_or("net.peer.bytes_received", 0)) /
+                        (1 << 20),
+                    double(snap.counter_or("net.peer.stall_ns", 0)) / 1e9);
+        constexpr const char* kPeerPrefix = "net.peer.blocks_received{peer=";
+        for (const auto& [name, v] : snap.counters) {
+          if (name.rfind(kPeerPrefix, 0) != 0 || name.back() != '}')
+            continue;
+          const std::string src = name.substr(
+              std::strlen(kPeerPrefix),
+              name.size() - std::strlen(kPeerPrefix) - 1);
+          std::printf("    from rank %-4s %lld blocks\n", src.c_str(),
+                      static_cast<long long>(v));
         }
       }
       if (!ws.breakers.empty()) {
@@ -1566,11 +1605,105 @@ int cmd_net_route(const Args& a) {
   return 0;
 }
 
+/// One peer process of a distributed solve (docs/distributed.md). All
+/// peers must be launched with the same --peers list and workload flags;
+/// each passes its own --rank. The instance is the same pure generated
+/// workload `npdp solve` uses, so a --save'd table from any rank can be
+/// cmp'd byte-for-byte against `npdp solve --save` output — that is
+/// exactly what verify.sh's dist phase does.
+int cmd_dist_solve(const Args& a) {
+  const auto rank = static_cast<std::uint32_t>(a.num("rank", -1));
+  const std::vector<dist::PeerEndpoint> peers =
+      dist::parse_peer_list(a.need("peers"));
+  if (a.num("rank", -1) < 0 ||
+      rank >= static_cast<std::uint32_t>(peers.size()))
+    throw UsageError("--rank must name an entry in --peers (0.." +
+                     std::to_string(peers.size() - 1) + ")");
+
+  NpdpInstance<float> inst;
+  inst.n = a.num("n", 1024);
+  const std::uint64_t seed = static_cast<std::uint64_t>(a.num("seed", 1));
+  SemiringId sr = SemiringId::MinPlus;
+  if (a.has("semiring") && !semiring_from_name(a.get("semiring"), &sr))
+    throw UsageError("unknown semiring '" + a.get("semiring") +
+                     "' (min-plus|max-plus|counting|viterbi-log)");
+  inst.semiring = sr;
+  inst.init = [seed, sr](index_t i, index_t j) {
+    return semiring_init_value<float>(sr, seed, i, j);
+  };
+
+  dist::DistOptions opts;
+  opts.tuning.block_side = a.num("block", 64);
+  opts.tuning.kernel = kernel_from(a.get("kernel", "simd128"));
+  opts.tuning.threads = static_cast<std::size_t>(a.num("threads", 1));
+  opts.group.connect_timeout_ms =
+      static_cast<int>(a.num("connect-timeout-ms", 10000));
+  opts.stall_timeout_ms = static_cast<int>(a.num("stall-timeout-ms", 60000));
+  // The hello frame already carries n/block/semiring explicitly; the hash
+  // covers what it cannot: the workload seed. A peer launched with a
+  // different --seed fails the handshake instead of assembling garbage.
+  opts.config_hash = resilience::fnv1a(&seed, sizeof(seed));
+
+  // Optional ordinary-protocol stats port so `npdp top` can watch the
+  // net.peer.* counters of a live peer.
+  dist::StatsEndpoint stats_ep;
+  if (a.has("stats-port")) {
+    std::string err;
+    if (!stats_ep.start("127.0.0.1",
+                        static_cast<std::uint16_t>(a.num("stats-port", 0)),
+                        &err))
+      throw UsageError("--stats-port: " + err);
+    std::printf("rank %u stats on 127.0.0.1:%u\n", rank,
+                unsigned(stats_ep.port()));
+    if (a.has("port-file")) {
+      std::ofstream os(a.get("port-file"));
+      if (!os) {
+        std::fprintf(stderr, "error: cannot write %s\n",
+                     a.get("port-file").c_str());
+        return 1;
+      }
+      os << stats_ep.port() << "\n";
+    }
+  }
+
+  BlockedTriangularMatrix<float> mat(inst.n, opts.tuning.block_side,
+                                     semiring_zero<float>(sr));
+  dist::PeerGroup group(rank, peers, opts.group);
+  dist::DistStats ds;
+  Stopwatch sw;
+  dist::solve_distributed_into(mat, inst, group, opts, &ds);
+  const double s = sw.seconds();
+
+  std::printf(
+      "rank %u/%zu solved n=%lld (%s, block %lld, %zu threads) in %s\n",
+      rank, peers.size(), static_cast<long long>(inst.n),
+      std::string(semiring_name(sr)).c_str(),
+      static_cast<long long>(opts.tuning.block_side), opts.tuning.threads,
+      fmt_seconds(s).c_str());
+  std::printf("  owned %lld  computed %lld  received %lld  "
+              "sent %.2f MiB  received %.2f MiB  stalled %s\n",
+              static_cast<long long>(ds.blocks_owned),
+              static_cast<long long>(ds.blocks_computed),
+              static_cast<long long>(ds.blocks_received),
+              double(ds.bytes_sent) / (1 << 20),
+              double(ds.bytes_received) / (1 << 20),
+              fmt_seconds(ds.stall_seconds).c_str());
+  std::printf("d[0][n-1] = %g\n", double(mat.at(0, inst.n - 1)));
+
+  if (a.has("save")) {
+    save_table_file(a.get("save"), mat);
+    std::printf("saved to %s\n", a.get("save").c_str());
+  }
+  return 0;
+}
+
 void usage() {
   std::printf(
       "usage: npdp <solve|backends|check-trace|merge-traces|info|fold|parse"
-      "|simulate|cluster|model|serve|bench-serve|net-serve|net-route"
-      "|net-bench|top> [--key value ...]\n"
+      "|simulate|cluster|dist-solve|model|serve|bench-serve|net-serve"
+      "|net-route|net-bench|top> [--key value ...]\n"
+      "  dist-solve   one peer of a multi-process distributed solve\n"
+      "               (--rank R --peers host:port,...; docs/distributed.md)\n"
       "  backends     list the registered solver backends (--backend names),\n"
       "               capabilities, and breaker health\n"
       "  serve        run the in-process solve service over a line-delimited\n"
@@ -1600,6 +1733,9 @@ int main(int argc, char** argv) {
     return 2;
   }
   const std::string cmd = argv[1];
+  // The coordinator backend lives in the dist library (backend cannot link
+  // dist without a cycle), so the binary that links both registers it.
+  dist::register_distributed_backend();
   try {
     const Args a = parse_args(argc, argv, 2);
     if (cmd == "solve") return cmd_solve(a);
@@ -1612,6 +1748,7 @@ int main(int argc, char** argv) {
     if (cmd == "parse") return cmd_parse(a);
     if (cmd == "simulate") return cmd_simulate(a);
     if (cmd == "cluster") return cmd_cluster(a);
+    if (cmd == "dist-solve") return cmd_dist_solve(a);
     if (cmd == "model") return cmd_model(a);
     if (cmd == "serve") return cmd_serve(a);
     if (cmd == "bench-serve") return cmd_bench_serve(a);

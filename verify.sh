@@ -265,7 +265,44 @@ awk -v b="$QUIET_BASE_P99" -v l="$QUIET_LOAD_P99" \
   exit 1; }
 echo "qos: clean (quiet p99 ${QUIET_LOAD_P99}ms vs ${QUIET_BASE_P99}ms alone, hot pushback $HOT_PUSHBACK)"
 
-echo "== sanitizers (semiring + serve + qos + taskgraph + cancel + resilience + net + router) =="
+echo "== distributed solve: 3-peer loopback bit-identity per semiring =="
+# Three real npdp processes split one instance block-column-cyclically and
+# exchange finished blocks over peer frames; every rank's assembled table
+# must be byte-identical to the tier-1 serial solve. Repeated for every
+# semiring so each kernel instantiation crosses the wire at least once.
+DIST_DIR=$(mktemp -d)
+trap 'rm -rf "$TRACE_DIR" "$NET_DIR" "$TEL_DIR" "$RT_DIR" "$QOS_DIR" "$DIST_DIR"' EXIT
+for SR in min-plus max-plus counting viterbi-log; do
+  # counting overflows float fast; keep that instance tiny like the
+  # semiring smoke above.
+  if [ "$SR" = counting ]; then DN=96; DB=16; else DN=512; DB=64; fi
+  "$BUILD_DIR"/tools/npdp solve --n "$DN" --block "$DB" --semiring "$SR" \
+      --save "$DIST_DIR/ref.bin" > /dev/null
+  DP=$((19470 + RANDOM % 2000))
+  PEERS="127.0.0.1:$DP,127.0.0.1:$((DP + 1)),127.0.0.1:$((DP + 2))"
+  "$BUILD_DIR"/tools/npdp dist-solve --rank 1 --peers "$PEERS" \
+      --n "$DN" --block "$DB" --semiring "$SR" \
+      --save "$DIST_DIR/out1.bin" > /dev/null &
+  DIST_P1=$!
+  "$BUILD_DIR"/tools/npdp dist-solve --rank 2 --peers "$PEERS" \
+      --n "$DN" --block "$DB" --semiring "$SR" \
+      --save "$DIST_DIR/out2.bin" > /dev/null &
+  DIST_P2=$!
+  "$BUILD_DIR"/tools/npdp dist-solve --rank 0 --peers "$PEERS" \
+      --n "$DN" --block "$DB" --semiring "$SR" \
+      --save "$DIST_DIR/out0.bin" > /dev/null || {
+    echo "dist-solve rank 0 failed ($SR)"; exit 1; }
+  wait "$DIST_P1" || { echo "dist-solve rank 1 failed ($SR)"; exit 1; }
+  wait "$DIST_P2" || { echo "dist-solve rank 2 failed ($SR)"; exit 1; }
+  for R in 0 1 2; do
+    cmp "$DIST_DIR/out$R.bin" "$DIST_DIR/ref.bin" || {
+      echo "dist-solve rank $R not bit-identical to serial ($SR)"; exit 1; }
+  done
+  rm -f "$DIST_DIR"/out*.bin "$DIST_DIR/ref.bin"
+done
+echo "dist: clean (3 peers x 4 semirings, all ranks bit-identical)"
+
+echo "== sanitizers (semiring + serve + qos + taskgraph + cancel + resilience + net + router + dist) =="
 # The concurrency-heavy suites rerun under ASan/UBSan in a separate tree;
 # the semiring property sweep rides along so every instantiation's kernel
 # and driver paths get sanitized too.
@@ -273,7 +310,7 @@ ASAN_DIR=${ASAN_DIR:-build-asan}
 cmake -B "$ASAN_DIR" -S . -DCELLNPDP_SANITIZE=address,undefined
 cmake --build "$ASAN_DIR" -j "$JOBS" --target test_serve test_qos \
     test_taskgraph test_cancel test_resilience test_net test_router \
-    test_semiring
+    test_semiring test_dist
 "$ASAN_DIR"/tests/test_semiring
 "$ASAN_DIR"/tests/test_serve
 "$ASAN_DIR"/tests/test_qos
@@ -282,20 +319,22 @@ cmake --build "$ASAN_DIR" -j "$JOBS" --target test_serve test_qos \
 "$ASAN_DIR"/tests/test_resilience
 "$ASAN_DIR"/tests/test_net
 "$ASAN_DIR"/tests/test_router
+"$ASAN_DIR"/tests/test_dist
 
-echo "== thread sanitizer (serve + qos + cancel + resilience + net + router) =="
+echo "== thread sanitizer (serve + qos + cancel + resilience + net + router + dist) =="
 # Cancellation crosses threads by design (dispatcher trips tokens that
 # workers poll), and the hedge watchdog races primaries against twins on
 # purpose; TSan is the check that those handoffs are race-free.
 TSAN_DIR=${TSAN_DIR:-build-tsan}
 cmake -B "$TSAN_DIR" -S . -DCELLNPDP_SANITIZE=thread
 cmake --build "$TSAN_DIR" -j "$JOBS" --target test_serve test_qos \
-    test_cancel test_resilience test_net test_router
+    test_cancel test_resilience test_net test_router test_dist
 "$TSAN_DIR"/tests/test_serve
 "$TSAN_DIR"/tests/test_qos
 "$TSAN_DIR"/tests/test_cancel
 "$TSAN_DIR"/tests/test_resilience
 "$TSAN_DIR"/tests/test_net
 "$TSAN_DIR"/tests/test_router
+"$TSAN_DIR"/tests/test_dist
 
 echo "verify.sh: OK"
